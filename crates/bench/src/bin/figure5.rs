@@ -1,0 +1,77 @@
+//! Figure 5: processor utilization vs. resident threads, with the
+//! relative sizes of the cache, network and overhead components — and
+//! Table 4, the default system parameters (`--params`).
+//!
+//! "We see that as few as three processes yield close to 80%
+//! utilization for a ten-cycle context-switch overhead" (paper,
+//! Section 8).
+
+use april_model::params::SystemParams;
+use april_model::utilization::figure5_sweep;
+
+fn main() {
+    let params = SystemParams::default();
+    if std::env::args().any(|a| a == "--params") {
+        print_table4(&params);
+        return;
+    }
+
+    println!("Figure 5: processor utilization U(p) vs resident threads (C = 10 cycles)");
+    println!("columns: successively adding network contention, cache interference,");
+    println!("and context-switch overhead; the last column is useful work.");
+    println!();
+    println!(
+        "{:>3} {:>8} {:>10} {:>12} {:>10}  | {:>8} {:>8} {:>8}",
+        "p", "Ideal", "Network", "Cache+Net", "Useful", "netloss", "cacheloss", "csloss"
+    );
+    println!("{:>3} {:>8} {:>10} {:>12} {:>10}", 0, 0.0, 0.0, 0.0, 0.0);
+    for pt in figure5_sweep(&params, 8, params.switch_overhead) {
+        println!(
+            "{:>3} {:>8.3} {:>10.3} {:>12.3} {:>10.3}  | {:>8.3} {:>9.3} {:>8.3}",
+            pt.p as u32,
+            pt.ideal,
+            pt.with_network,
+            pt.with_cache_network,
+            pt.useful,
+            pt.network_loss(),
+            pt.cache_loss(),
+            pt.switch_loss(),
+        );
+    }
+    println!();
+    let pts = figure5_sweep(&params, 8, params.switch_overhead);
+    let u3 = pts[2].useful;
+    println!("U(3) = {u3:.3}  (paper: \"as few as three processes yield close to 80%\")");
+    let peak = pts.iter().map(|x| x.useful).fold(0.0, f64::max);
+    println!("peak U = {peak:.3} (paper: \"utilization limited to a maximum of about 0.80\")");
+
+    // The custom-APRIL comparison of Section 8's overhead discussion.
+    println!();
+    println!("Context-switch overhead sensitivity (U(4)):");
+    for c in [0.0, 4.0, 10.0, 16.0, 64.0] {
+        let u = april_model::utilization::solve(&params, 4.0, true, true, c);
+        println!("  C = {c:>4.0} cycles -> U = {u:.3}");
+    }
+}
+
+fn print_table4(p: &SystemParams) {
+    println!("Table 4: Default system parameters");
+    println!("  Memory latency          {:>8.0} cycles", p.memory_latency);
+    println!("  Network dimension n     {:>8.0}", p.dim);
+    println!("  Network radix k         {:>8.0}", p.radix);
+    println!("  Fixed miss rate         {:>8.1} %", p.fixed_miss_rate * 100.0);
+    println!("  Average packet size     {:>8.0}", p.packet_size);
+    println!("  Cache block size        {:>8.0} bytes", p.block_bytes);
+    println!("  Thread working set size {:>8.0} blocks", p.working_set_blocks);
+    println!("  Cache size              {:>8.0} Kbytes", p.cache_bytes / 1024.0);
+    println!();
+    println!("Derived:");
+    println!("  processors (k^n)        {:>8.0}", p.num_processors());
+    println!("  average hops (nk/3)     {:>8.0}", p.avg_hops());
+    println!("  unloaded round trip     {:>8.0} cycles (paper: 55)", p.base_round_trip());
+    println!(
+        "  latency tolerated by 4 frames, 50-100 cycle run lengths: {:.0}-{:.0} cycles",
+        p.tolerated_latency(4.0, 50.0),
+        p.tolerated_latency(4.0, 100.0)
+    );
+}

@@ -1,0 +1,191 @@
+//! Microbenchmarks pinning the paper's Section 6 cycle counts:
+//!
+//! * context switch = 11 cycles on SPARC-based APRIL (5-cycle trap +
+//!   6-cycle handler), 4 cycles in a custom APRIL (Section 6.1);
+//! * future-touch trap, future resolved = 23-cycle handler
+//!   (Section 6.2);
+//! * the 6-instruction context-switch handler body executed as real
+//!   APRIL code.
+
+use april_core::cpu::{Cpu, CpuConfig, StepEvent};
+use april_core::isa::asm::assemble;
+use april_machine::IdealMachine;
+use april_runtime::{abi, RtConfig, Runtime};
+
+fn main() {
+    context_switch_cost(CpuConfig::default(), RtConfig::default(), "SPARC-based APRIL");
+    context_switch_cost(
+        CpuConfig { trap_entry_cycles: 2, ..CpuConfig::default() },
+        RtConfig::default().custom_april(),
+        "custom APRIL",
+    );
+    touch_cost();
+    handler_body_instruction_count();
+}
+
+/// Measures the full trap-to-switch path by forcing remote-miss-like
+/// full/empty switch-spin traps and dividing observed overhead cycles
+/// by the number of switches.
+fn context_switch_cost(cpu_cfg: CpuConfig, rt_cfg: RtConfig, label: &str) {
+    // Producer on proc 1 fills the mailbox after a delay; consumer
+    // traps on the empty word with switch-spin policy.
+    let body = format!(
+        "
+        .entry main
+        .static 0x400
+        .word 0 empty
+        main:
+            or g5, 0, g1
+            add g5, 8, g5
+            movi @producer, g2
+            st g2, g1+0
+            or g1, 2, r1
+            rtcall {fut}
+            movi 0x400, r3
+        wait:
+            ldtw r3+0, r4
+            or r4, 0, r1
+            rtcall {done}
+        producer:
+            movi 600, r5
+        delay:
+            sub r5, 1, r5
+            jne delay
+            nop
+            movi 0x400, r3
+            movi 28, r4
+            stfnt r4, r3+0
+            movi 28, r1
+            jmpl r31+0, g0
+            nop
+        {stubs}
+        ",
+        fut = abi::RT_FUTURE,
+        done = abi::RT_MAIN_DONE,
+        stubs = abi::entry_stubs_asm(),
+    );
+    let prog = assemble(&body).expect("microbench assembles");
+    let m = IdealMachine::with_cpu_config(2, 8 << 20, prog, cpu_cfg);
+    let mut rt = Runtime::new(
+        m,
+        RtConfig { region_bytes: 4 << 20, max_cycles: 10_000_000, ..rt_cfg },
+    );
+    let r = rt.run().expect("completes");
+    let s = &r.per_cpu[0];
+    // Isolate the full/empty switch-spin traps on the consumer: each
+    // costs (trap entry + switch handler) and increments both the trap
+    // and context-switch counters.
+    let fe_switches = s.fe_traps;
+    assert!(fe_switches > 5, "consumer must have spun ({fe_switches})");
+    let per_switch =
+        cpu_cfg.trap_entry_cycles + rt_cfg.switch_handler_cycles;
+    println!(
+        "{label}: context switch = {} + {} = {} cycles ({} switch-spins observed, \
+         trap+handler cycles = {})",
+        cpu_cfg.trap_entry_cycles,
+        rt_cfg.switch_handler_cycles,
+        per_switch,
+        fe_switches,
+        s.trap_cycles + s.handler_cycles,
+    );
+}
+
+/// Measures the resolved-future touch handler (23 cycles).
+fn touch_cost() {
+    let body = format!(
+        "
+        .entry main
+        main:
+            or g5, 0, g1
+            add g5, 8, g5
+            movi @five, g2
+            st g2, g1+0
+            or g1, 2, r1
+            rtcall {fut}
+            movi 3000, r5
+        spinwait:
+            sub r5, 1, r5
+            jne spinwait
+            nop
+            tadd r1, 0, r1        ; resolved touch: 5 + 23 cycles
+            rtcall {done}
+        five:
+            movi 20, r1
+            jmpl r31+0, g0
+            nop
+        {stubs}
+        ",
+        fut = abi::RT_FUTURE,
+        done = abi::RT_MAIN_DONE,
+        stubs = abi::entry_stubs_asm(),
+    );
+    let prog = assemble(&body).expect("assembles");
+    let m = IdealMachine::new(2, 8 << 20, prog);
+    let mut rt = Runtime::new(
+        m,
+        RtConfig { region_bytes: 4 << 20, max_cycles: 10_000_000, ..RtConfig::default() },
+    );
+    let r = rt.run().expect("completes");
+    assert_eq!(r.value.as_fixnum(), Some(5));
+    let s = &r.per_cpu[0];
+    assert_eq!(s.future_traps, 1, "exactly one touch trap");
+    println!(
+        "future touch (resolved): trap entry 5 + handler {} cycles (paper: 23)",
+        RtConfig::default().touch_resolved_cycles,
+    );
+}
+
+/// Executes the 6-instruction switch-spin handler body of Section 6.1
+/// as real APRIL instructions and counts its cycles.
+fn handler_body_instruction_count() {
+    // rdpsr ; save ; save  -> modeled as rdpsr ; incfp
+    // wrpsr ; jmpl ; rett  -> wrpsr ; jmpl ; nop(delay)
+    let prog = assemble(
+        "
+        rdpsr r30
+        incfp
+        incfp        ; two SPARC windows per task frame
+        wrpsr r30
+        jmpl r29+0, g0
+        nop
+        ",
+    )
+    .expect("assembles");
+    let mut cpu = Cpu::default();
+    // Make all frames runnable at pc 0 so the incfp rotation lands in a
+    // ready frame.
+    for i in 0..cpu.nframes() {
+        cpu.frame_mut(i).reset_at(0);
+    }
+    struct NullMem;
+    impl april_core::memport::MemoryPort for NullMem {
+        fn load(
+            &mut self,
+            _: u32,
+            _: april_core::isa::LoadFlavor,
+            _: april_core::memport::AccessCtx,
+        ) -> april_core::memport::LoadReply {
+            april_core::memport::LoadReply::Data { word: april_core::word::Word::ZERO, fe: true }
+        }
+        fn store(
+            &mut self,
+            _: u32,
+            _: april_core::word::Word,
+            _: april_core::isa::StoreFlavor,
+            _: april_core::memport::AccessCtx,
+        ) -> april_core::memport::StoreReply {
+            april_core::memport::StoreReply::Done { fe: false }
+        }
+    }
+    let mut cycles = 0;
+    for _ in 0..6 {
+        match cpu.step(&prog, &mut NullMem) {
+            StepEvent::Executed => cycles += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    println!(
+        "context-switch handler body executed as APRIL code: 6 instructions, {cycles} cycles \
+         (+5-cycle trap entry = 11; paper Section 6.1)"
+    );
+}

@@ -1,0 +1,1122 @@
+//! The APRIL processor execution engine.
+//!
+//! The processor "executes instructions from a given thread until it
+//! performs a remote memory request or fails in a synchronization
+//! attempt" (paper, Section 1) — coarse-grain multithreading. This
+//! module implements the user-visible processor state of Figure 2
+//! (four task frames, eight global registers, a frame pointer) and a
+//! deterministic, cycle-accounted interpreter for the instruction set
+//! of Section 4.
+//!
+//! The engine reports traps to its caller rather than running handlers
+//! itself: in the real machine the handlers are run-time software
+//! (Section 6), which this reproduction keeps in the `april-runtime`
+//! crate. Trap *entry* (5 cycles of pipeline squash and vectoring) is
+//! charged here; handler bodies charge their own cycles through
+//! [`Cpu::charge_handler`].
+
+use crate::frame::{FrameState, TaskFrame};
+use crate::isa::{AluOp, Cond, FpOp, Instr, Operand, Reg};
+use crate::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
+use crate::program::Program;
+use crate::psr::{CondCodes, FpCond};
+use crate::stats::CpuStats;
+use crate::trap::{Trap, TRAP_ENTRY_CYCLES};
+use crate::word::Word;
+use std::collections::VecDeque;
+
+/// Default number of hardware task frames (the SPARC implementation's
+/// eight register windows give four frames; Section 5).
+pub const DEFAULT_NFRAMES: usize = 4;
+
+/// Processor timing and sizing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Number of hardware task frames.
+    pub nframes: usize,
+    /// Cycles for integer multiply.
+    pub mul_cycles: u64,
+    /// Cycles for integer divide/remainder.
+    pub div_cycles: u64,
+    /// Trap entry overhead (pipeline squash + vectoring).
+    pub trap_entry_cycles: u64,
+    /// Cycles for LDIO/STIO out-of-band accesses.
+    pub io_cycles: u64,
+    /// Cycles for floating add/subtract.
+    pub fadd_cycles: u64,
+    /// Cycles for floating multiply.
+    pub fmul_cycles: u64,
+    /// Cycles for floating divide.
+    pub fdiv_cycles: u64,
+    /// Cycles to issue a FLUSH.
+    pub flush_cycles: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig {
+            nframes: DEFAULT_NFRAMES,
+            mul_cycles: 3,
+            div_cycles: 12,
+            trap_entry_cycles: TRAP_ENTRY_CYCLES,
+            io_cycles: 2,
+            fadd_cycles: 2,
+            fmul_cycles: 4,
+            fdiv_cycles: 16,
+            flush_cycles: 2,
+        }
+    }
+}
+
+/// The result of advancing the processor by one instruction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// An instruction retired from the active frame.
+    Executed,
+    /// The controller held the processor (`MHOLD`); the instruction did
+    /// not retire and will be reissued. The stall has been charged.
+    Stalled {
+        /// Cycles spent held.
+        cycles: u64,
+    },
+    /// A trap was signalled; entry cost has been charged, the PC chain
+    /// still addresses the trapping instruction, and the run-time
+    /// handler must now run.
+    Trapped(Trap),
+    /// A run-time system call retired; the service routine must run.
+    RtCall {
+        /// Service number.
+        n: u16,
+    },
+    /// The active frame is not runnable; the scheduler must intervene
+    /// (or the processor idles while the controller works).
+    NoReadyFrame,
+    /// The processor has halted.
+    Halted,
+}
+
+/// One APRIL processor.
+///
+/// # Examples
+///
+/// Running a two-instruction program against a trivial memory:
+///
+/// ```
+/// use april_core::cpu::{Cpu, CpuConfig, StepEvent};
+/// use april_core::isa::{AluOp, Instr, Operand, Reg};
+/// use april_core::program::ProgramBuilder;
+/// use april_core::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
+/// use april_core::word::Word;
+///
+/// struct NoMem;
+/// impl MemoryPort for NoMem {
+///     fn load(&mut self, _: u32, _: april_core::isa::LoadFlavor, _: AccessCtx) -> LoadReply {
+///         LoadReply::Data { word: Word::ZERO, fe: true }
+///     }
+///     fn store(&mut self, _: u32, _: Word, _: april_core::isa::StoreFlavor, _: AccessCtx)
+///         -> StoreReply {
+///         StoreReply::Done { fe: false }
+///     }
+/// }
+///
+/// let mut b = ProgramBuilder::new();
+/// b.emit(Instr::Alu { op: AluOp::Add, s1: Reg::ZERO, s2: Operand::Imm(5), d: Reg::L(1),
+///                     tagged: false });
+/// b.emit(Instr::Halt);
+/// let prog = b.finish()?;
+///
+/// let mut cpu = Cpu::new(CpuConfig::default());
+/// cpu.boot(0);
+/// assert_eq!(cpu.step(&prog, &mut NoMem), StepEvent::Executed);
+/// assert_eq!(cpu.get_reg(Reg::L(1)), Word(5));
+/// assert_eq!(cpu.step(&prog, &mut NoMem), StepEvent::Halted);
+/// # Ok::<(), april_core::program::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    frames: Vec<TaskFrame>,
+    globals: [Word; 8],
+    fp: usize,
+    halted: bool,
+    irqs: VecDeque<usize>,
+    /// Cycle ledger.
+    pub stats: CpuStats,
+    cfg: CpuConfig,
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::new(CpuConfig::default())
+    }
+}
+
+impl Cpu {
+    /// Creates a processor with all frames empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.nframes` is zero.
+    pub fn new(cfg: CpuConfig) -> Cpu {
+        assert!(cfg.nframes > 0, "need at least one task frame");
+        Cpu {
+            frames: vec![TaskFrame::default(); cfg.nframes],
+            globals: [Word::ZERO; 8],
+            fp: 0,
+            halted: false,
+            irqs: VecDeque::new(),
+            stats: CpuStats::default(),
+            cfg,
+        }
+    }
+
+    /// Resets frame 0 to start executing at `entry` and selects it.
+    pub fn boot(&mut self, entry: u32) {
+        self.fp = 0;
+        self.halted = false;
+        self.frames[0].reset_at(entry);
+    }
+
+    /// The processor configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Number of task frames.
+    pub fn nframes(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Current frame pointer.
+    pub fn fp(&self) -> usize {
+        self.fp
+    }
+
+    /// Sets the frame pointer (modulo the frame count), as the
+    /// `STFP`/`INCFP`/`DECFP` instructions and the context-switch trap
+    /// handler do.
+    pub fn set_fp(&mut self, fp: usize) {
+        self.fp = fp % self.frames.len();
+    }
+
+    /// True once the processor has executed `HALT` or run off the end
+    /// of the text segment.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Halts the processor (used by the run-time on machine shutdown).
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Shared view of frame `i`.
+    pub fn frame(&self, i: usize) -> &TaskFrame {
+        &self.frames[i]
+    }
+
+    /// Mutable view of frame `i` (used by the run-time to load and
+    /// unload threads).
+    pub fn frame_mut(&mut self, i: usize) -> &mut TaskFrame {
+        &mut self.frames[i]
+    }
+
+    /// The active task frame.
+    pub fn active_frame(&self) -> &TaskFrame {
+        &self.frames[self.fp]
+    }
+
+    /// Mutable active task frame.
+    pub fn active_frame_mut(&mut self) -> &mut TaskFrame {
+        &mut self.frames[self.fp]
+    }
+
+    /// Reads a register in the active frame (or a global).
+    pub fn get_reg(&self, r: Reg) -> Word {
+        match r {
+            Reg::G(i) => self.globals[i as usize],
+            Reg::L(i) => self.frames[self.fp].regs[i as usize],
+        }
+    }
+
+    /// Writes a register in the active frame. Writes to `g0` are
+    /// discarded (it is hardwired to zero).
+    pub fn set_reg(&mut self, r: Reg, w: Word) {
+        match r {
+            Reg::G(0) => {}
+            Reg::G(i) => self.globals[i as usize] = w,
+            Reg::L(i) => self.frames[self.fp].regs[i as usize] = w,
+        }
+    }
+
+    /// Reads FP register `f` of the active frame as raw bits.
+    pub fn get_freg(&self, f: u8) -> u32 {
+        self.frames[self.fp].fregs[f as usize & 7]
+    }
+
+    /// Writes FP register `f` of the active frame.
+    pub fn set_freg(&mut self, f: u8, bits: u32) {
+        self.frames[self.fp].fregs[f as usize & 7] = bits;
+    }
+
+    /// Index of the next frame after the active one that is `Ready`,
+    /// searching in `INCFP` order. Returns `None` if no other frame is
+    /// runnable.
+    pub fn next_ready_frame(&self) -> Option<usize> {
+        let n = self.frames.len();
+        (1..=n)
+            .map(|k| (self.fp + k) % n)
+            .find(|&i| self.frames[i].state == FrameState::Ready)
+    }
+
+    /// True if any frame is `Ready`.
+    pub fn any_ready_frame(&self) -> bool {
+        self.frames.iter().any(|f| f.state == FrameState::Ready)
+    }
+
+    /// Posts an asynchronous interprocessor interrupt (Section 3.4).
+    pub fn post_interrupt(&mut self, from: usize) {
+        self.irqs.push_back(from);
+    }
+
+    /// Charges `cycles` of run-time handler time (the software part of
+    /// trap handling, e.g. the 6-cycle context-switch body).
+    pub fn charge_handler(&mut self, cycles: u64) {
+        self.stats.handler_cycles += cycles;
+    }
+
+    /// Charges `cycles` of idle time (no runnable frame).
+    pub fn charge_idle(&mut self, cycles: u64) {
+        self.stats.idle_cycles += cycles;
+    }
+
+    /// Records a context switch in the ledger.
+    pub fn count_context_switch(&mut self) {
+        self.stats.context_switches += 1;
+    }
+
+    fn raise(&mut self, t: Trap) -> StepEvent {
+        self.stats.traps += 1;
+        self.stats.trap_cycles += self.cfg.trap_entry_cycles;
+        match t {
+            Trap::RemoteMiss { .. } => self.stats.remote_misses += 1,
+            Trap::FullEmpty { .. } => self.stats.fe_traps += 1,
+            Trap::FutureTouch { .. } | Trap::FutureAddr { .. } => self.stats.future_traps += 1,
+            _ => {}
+        }
+        self.frames[self.fp].psr.in_trap = true;
+        StepEvent::Trapped(t)
+    }
+
+    /// Executes (or attempts) one instruction from the active frame.
+    ///
+    /// On [`StepEvent::Executed`] the instruction retired and its cost
+    /// was charged to `useful_cycles`. On a trap, the PC chain still
+    /// addresses the trapping instruction so the handler can retry it
+    /// (the hardware `RETT` path). On a stall, the memory system's hold
+    /// time was charged and the instruction will be reissued.
+    pub fn step(&mut self, prog: &Program, mut mem: impl MemoryPort) -> StepEvent {
+        if self.halted {
+            return StepEvent::Halted;
+        }
+        // Asynchronous interrupts are taken between instructions when
+        // traps are enabled and we are not already in a handler.
+        if !self.irqs.is_empty() {
+            let f = &self.frames[self.fp];
+            if f.psr.traps_enabled && !f.psr.in_trap {
+                let from = self.irqs.pop_front().expect("checked nonempty");
+                return self.raise(Trap::Interrupt { from });
+            }
+        }
+        if self.frames[self.fp].state != FrameState::Ready {
+            return StepEvent::NoReadyFrame;
+        }
+
+        let pc = self.frames[self.fp].pc;
+        let npc = self.frames[self.fp].npc;
+        let Some(instr) = prog.fetch(pc) else {
+            self.halted = true;
+            return StepEvent::Halted;
+        };
+
+        // Default PC-chain advance; control transfers override new_npc.
+        let new_pc = npc;
+        let mut new_npc = npc.wrapping_add(1);
+        let mut cost: u64 = 1;
+        let mut rtcall: Option<u16> = None;
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Falu { op, fs1, fs2, fd } => {
+                let a = f32::from_bits(self.get_freg(fs1));
+                let b = f32::from_bits(self.get_freg(fs2));
+                let (r, c) = match op {
+                    FpOp::FAdd => (a + b, self.cfg.fadd_cycles),
+                    FpOp::FSub => (a - b, self.cfg.fadd_cycles),
+                    FpOp::FMul => (a * b, self.cfg.fmul_cycles),
+                    FpOp::FDiv => (a / b, self.cfg.fdiv_cycles),
+                };
+                cost = c;
+                self.set_freg(fd, r.to_bits());
+            }
+            Instr::Fcmp { fs1, fs2 } => {
+                let a = f32::from_bits(self.get_freg(fs1));
+                let b = f32::from_bits(self.get_freg(fs2));
+                cost = self.cfg.fadd_cycles;
+                self.frames[self.fp].psr.fcc = match a.partial_cmp(&b) {
+                    Some(std::cmp::Ordering::Equal) => FpCond::Eq,
+                    Some(std::cmp::Ordering::Less) => FpCond::Lt,
+                    Some(std::cmp::Ordering::Greater) => FpCond::Gt,
+                    None => FpCond::Unordered,
+                };
+            }
+            Instr::FMovI { bits, fd } => {
+                self.set_freg(fd, bits);
+            }
+            Instr::FixToF { s, fd } => {
+                let v = self.get_reg(s);
+                if v.is_future() {
+                    return self.raise(Trap::FutureTouch { reg: s });
+                }
+                let n = (v.0 as i32) >> 2;
+                cost = self.cfg.fadd_cycles;
+                self.set_freg(fd, (n as f32).to_bits());
+            }
+            Instr::FToFix { fs, d } => {
+                let x = f32::from_bits(self.get_freg(fs));
+                cost = self.cfg.fadd_cycles;
+                self.set_reg(d, Word::fixnum(x as i32));
+            }
+            Instr::LdF { a, offset, fd } => {
+                let base = self.get_reg(a);
+                if base.is_future() {
+                    return self.raise(Trap::FutureAddr { reg: a });
+                }
+                let addr = base.0.wrapping_add(offset as u32);
+                if addr & 3 != 0 {
+                    return self.raise(Trap::Alignment { addr });
+                }
+                self.stats.mem_ops += 1;
+                match mem.load(addr, crate::isa::LoadFlavor::NORMAL, AccessCtx { frame: self.fp }) {
+                    LoadReply::Data { word, .. } => self.set_freg(fd, word.0),
+                    LoadReply::Stall { cycles } => {
+                        self.stats.mem_ops -= 1;
+                        self.stats.stall_cycles += cycles;
+                        return StepEvent::Stalled { cycles };
+                    }
+                    LoadReply::RemoteMiss => {
+                        return self.raise(Trap::RemoteMiss { addr, is_store: false });
+                    }
+                    LoadReply::FeViolation => {
+                        return self.raise(Trap::FullEmpty { addr, is_store: false });
+                    }
+                }
+            }
+            Instr::StF { fs, a, offset } => {
+                let base = self.get_reg(a);
+                if base.is_future() {
+                    return self.raise(Trap::FutureAddr { reg: a });
+                }
+                let addr = base.0.wrapping_add(offset as u32);
+                if addr & 3 != 0 {
+                    return self.raise(Trap::Alignment { addr });
+                }
+                let value = Word(self.get_freg(fs));
+                self.stats.mem_ops += 1;
+                match mem.store(addr, value, crate::isa::StoreFlavor::NORMAL, AccessCtx { frame: self.fp }) {
+                    StoreReply::Done { .. } => {}
+                    StoreReply::Stall { cycles } => {
+                        self.stats.mem_ops -= 1;
+                        self.stats.stall_cycles += cycles;
+                        return StepEvent::Stalled { cycles };
+                    }
+                    StoreReply::RemoteMiss => {
+                        return self.raise(Trap::RemoteMiss { addr, is_store: true });
+                    }
+                    StoreReply::FeViolation => {
+                        return self.raise(Trap::FullEmpty { addr, is_store: true });
+                    }
+                }
+            }
+            Instr::Halt => {
+                self.halted = true;
+                self.stats.instructions += 1;
+                self.stats.useful_cycles += 1;
+                return StepEvent::Halted;
+            }
+            Instr::Alu { op, s1, s2, d, tagged } => {
+                let a = self.get_reg(s1);
+                let b = match s2 {
+                    Operand::Reg(r) => self.get_reg(r),
+                    Operand::Imm(i) => Word(i as u32),
+                };
+                if tagged {
+                    // Strict operation: hardware future detection via
+                    // the non-zero least significant bit (Section 5).
+                    if a.is_future() {
+                        return self.raise(Trap::FutureTouch { reg: s1 });
+                    }
+                    if let Operand::Reg(r) = s2 {
+                        if b.is_future() {
+                            return self.raise(Trap::FutureTouch { reg: r });
+                        }
+                    }
+                }
+                let (result, cc) = match op {
+                    AluOp::Add => alu_add(a.0, b.0),
+                    AluOp::Sub => alu_sub(a.0, b.0),
+                    AluOp::And => logic_cc(a.0 & b.0),
+                    AluOp::Or => logic_cc(a.0 | b.0),
+                    AluOp::Xor => logic_cc(a.0 ^ b.0),
+                    AluOp::Sll => logic_cc(a.0.wrapping_shl(b.0 & 31)),
+                    AluOp::Srl => logic_cc(a.0.wrapping_shr(b.0 & 31)),
+                    AluOp::Sra => logic_cc(((a.0 as i32).wrapping_shr(b.0 & 31)) as u32),
+                    AluOp::Mul => {
+                        cost = self.cfg.mul_cycles;
+                        if tagged {
+                            let v = ((a.0 as i32) >> 2).wrapping_mul((b.0 as i32) >> 2);
+                            logic_cc((v as u32) << 2)
+                        } else {
+                            logic_cc(a.0.wrapping_mul(b.0))
+                        }
+                    }
+                    AluOp::Div | AluOp::Rem => {
+                        cost = self.cfg.div_cycles;
+                        let (x, y) = if tagged {
+                            ((a.0 as i32) >> 2, (b.0 as i32) >> 2)
+                        } else {
+                            (a.0 as i32, b.0 as i32)
+                        };
+                        if y == 0 {
+                            return self.raise(Trap::DivZero);
+                        }
+                        let v = if op == AluOp::Div {
+                            x.wrapping_div(y)
+                        } else {
+                            x.wrapping_rem(y)
+                        };
+                        logic_cc(if tagged { (v as u32) << 2 } else { v as u32 })
+                    }
+                };
+                self.set_reg(d, Word(result));
+                self.frames[self.fp].psr.cc = cc;
+            }
+            Instr::MovI { imm, d } => {
+                self.set_reg(d, Word(imm));
+            }
+            Instr::Branch { cond, offset } => {
+                if self.eval_cond(cond) {
+                    new_npc = (pc as i64 + offset as i64) as u32;
+                }
+            }
+            Instr::Jmpl { s1, s2, d } => {
+                let base = self.get_reg(s1).0;
+                let off = match s2 {
+                    Operand::Reg(r) => self.get_reg(r).0,
+                    Operand::Imm(i) => i as u32,
+                };
+                new_npc = base.wrapping_add(off);
+                // Link value: address of the instruction after the
+                // delay slot, stored raw.
+                self.set_reg(d, Word(pc + 2));
+            }
+            Instr::Load { flavor, a, offset, d } => {
+                let base = self.get_reg(a);
+                if base.is_future() {
+                    // Implicit touch: dereferencing a future pointer.
+                    return self.raise(Trap::FutureAddr { reg: a });
+                }
+                let addr = base.0.wrapping_add(offset as u32);
+                if addr & 3 != 0 {
+                    return self.raise(Trap::Alignment { addr });
+                }
+                self.stats.mem_ops += 1;
+                match mem.load(addr, flavor, AccessCtx { frame: self.fp }) {
+                    LoadReply::Data { word, fe } => {
+                        self.set_reg(d, word);
+                        if !flavor.fe_trap {
+                            self.frames[self.fp].psr.fe_cond = fe;
+                        }
+                    }
+                    LoadReply::Stall { cycles } => {
+                        self.stats.mem_ops -= 1; // will reissue
+                        self.stats.stall_cycles += cycles;
+                        return StepEvent::Stalled { cycles };
+                    }
+                    LoadReply::RemoteMiss => {
+                        return self.raise(Trap::RemoteMiss { addr, is_store: false });
+                    }
+                    LoadReply::FeViolation => {
+                        return self.raise(Trap::FullEmpty { addr, is_store: false });
+                    }
+                }
+            }
+            Instr::Store { flavor, a, offset, s } => {
+                let base = self.get_reg(a);
+                if base.is_future() {
+                    return self.raise(Trap::FutureAddr { reg: a });
+                }
+                let addr = base.0.wrapping_add(offset as u32);
+                if addr & 3 != 0 {
+                    return self.raise(Trap::Alignment { addr });
+                }
+                let value = self.get_reg(s);
+                self.stats.mem_ops += 1;
+                match mem.store(addr, value, flavor, AccessCtx { frame: self.fp }) {
+                    StoreReply::Done { fe } => {
+                        if !flavor.fe_trap {
+                            self.frames[self.fp].psr.fe_cond = fe;
+                        }
+                    }
+                    StoreReply::Stall { cycles } => {
+                        self.stats.mem_ops -= 1;
+                        self.stats.stall_cycles += cycles;
+                        return StepEvent::Stalled { cycles };
+                    }
+                    StoreReply::RemoteMiss => {
+                        return self.raise(Trap::RemoteMiss { addr, is_store: true });
+                    }
+                    StoreReply::FeViolation => {
+                        return self.raise(Trap::FullEmpty { addr, is_store: true });
+                    }
+                }
+            }
+            Instr::IncFp => {
+                let n = self.frames.len();
+                // Commit this frame's PC advance before switching.
+                self.frames[self.fp].pc = new_pc;
+                self.frames[self.fp].npc = new_npc;
+                self.fp = (self.fp + 1) % n;
+                self.stats.instructions += 1;
+                self.stats.useful_cycles += cost;
+                return StepEvent::Executed;
+            }
+            Instr::DecFp => {
+                let n = self.frames.len();
+                self.frames[self.fp].pc = new_pc;
+                self.frames[self.fp].npc = new_npc;
+                self.fp = (self.fp + n - 1) % n;
+                self.stats.instructions += 1;
+                self.stats.useful_cycles += cost;
+                return StepEvent::Executed;
+            }
+            Instr::RdFp { d } => {
+                let fp = self.fp;
+                self.set_reg(d, Word::fixnum(fp as i32));
+            }
+            Instr::StFp { s } => {
+                let v = self.get_reg(s).as_fixnum().unwrap_or(0).unsigned_abs() as usize;
+                let n = self.frames.len();
+                self.frames[self.fp].pc = new_pc;
+                self.frames[self.fp].npc = new_npc;
+                self.fp = v % n;
+                self.stats.instructions += 1;
+                self.stats.useful_cycles += cost;
+                return StepEvent::Executed;
+            }
+            Instr::RdPsr { d } => {
+                let w = self.frames[self.fp].psr.to_word();
+                self.set_reg(d, w);
+            }
+            Instr::WrPsr { s } => {
+                let w = self.get_reg(s);
+                self.frames[self.fp].psr = crate::psr::Psr::from_word(w);
+            }
+            Instr::RtCall { n } => {
+                rtcall = Some(n);
+            }
+            Instr::Flush { a, offset } => {
+                let base = self.get_reg(a);
+                if base.is_future() {
+                    return self.raise(Trap::FutureAddr { reg: a });
+                }
+                let addr = base.0.wrapping_add(offset as u32) & !3;
+                mem.flush(addr);
+                cost = self.cfg.flush_cycles;
+            }
+            Instr::Fence => {
+                if mem.fence_count() > 0 {
+                    self.stats.stall_cycles += 1;
+                    return StepEvent::Stalled { cycles: 1 };
+                }
+            }
+            Instr::Ldio { reg, d } => {
+                let w = mem.ldio(reg);
+                self.set_reg(d, w);
+                cost = self.cfg.io_cycles;
+            }
+            Instr::Stio { reg, s } => {
+                let w = self.get_reg(s);
+                mem.stio(reg, w);
+                cost = self.cfg.io_cycles;
+            }
+        }
+
+        // Commit.
+        let f = &mut self.frames[self.fp];
+        f.pc = new_pc;
+        f.npc = new_npc;
+        self.stats.instructions += 1;
+        self.stats.useful_cycles += cost;
+        match rtcall {
+            Some(n) => StepEvent::RtCall { n },
+            None => StepEvent::Executed,
+        }
+    }
+
+    fn eval_cond(&self, cond: Cond) -> bool {
+        let psr = &self.frames[self.fp].psr;
+        let cc = psr.cc;
+        match cond {
+            Cond::Always => true,
+            Cond::Never => false,
+            Cond::Eq => cc.z,
+            Cond::Ne => !cc.z,
+            Cond::Lt => cc.n != cc.v,
+            Cond::Le => cc.z || (cc.n != cc.v),
+            Cond::Gt => !(cc.z || (cc.n != cc.v)),
+            Cond::Ge => cc.n == cc.v,
+            Cond::Ltu => cc.c,
+            Cond::Geu => !cc.c,
+            Cond::Full => psr.fe_cond,
+            Cond::Empty => !psr.fe_cond,
+            Cond::FpEq => psr.fcc == FpCond::Eq,
+            Cond::FpLt => psr.fcc == FpCond::Lt,
+            Cond::FpGt => psr.fcc == FpCond::Gt,
+        }
+    }
+}
+
+fn alu_add(a: u32, b: u32) -> (u32, CondCodes) {
+    let (r, c) = a.overflowing_add(b);
+    let v = ((a ^ r) & (b ^ r)) >> 31 != 0;
+    (r, CondCodes { n: r >> 31 != 0, z: r == 0, v, c })
+}
+
+fn alu_sub(a: u32, b: u32) -> (u32, CondCodes) {
+    let (r, borrow) = a.overflowing_sub(b);
+    let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
+    (r, CondCodes { n: r >> 31 != 0, z: r == 0, v, c: borrow })
+}
+
+fn logic_cc(r: u32) -> (u32, CondCodes) {
+    (r, CondCodes { n: r >> 31 != 0, z: r == 0, v: false, c: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{LoadFlavor, StoreFlavor};
+    use crate::program::ProgramBuilder;
+
+    /// A flat, always-full test memory.
+    struct FlatMem {
+        words: Vec<Word>,
+        fe: Vec<bool>,
+    }
+
+    impl FlatMem {
+        fn new(nwords: usize) -> FlatMem {
+            FlatMem { words: vec![Word::ZERO; nwords], fe: vec![true; nwords] }
+        }
+    }
+
+    impl MemoryPort for FlatMem {
+        fn load(&mut self, addr: u32, flavor: LoadFlavor, _: AccessCtx) -> LoadReply {
+            let i = (addr / 4) as usize;
+            let fe = self.fe[i];
+            if flavor.fe_trap && !fe {
+                return LoadReply::FeViolation;
+            }
+            if flavor.reset_fe {
+                self.fe[i] = false;
+            }
+            LoadReply::Data { word: self.words[i], fe }
+        }
+        fn store(&mut self, addr: u32, value: Word, flavor: StoreFlavor, _: AccessCtx) -> StoreReply {
+            let i = (addr / 4) as usize;
+            let fe = self.fe[i];
+            if flavor.fe_trap && fe {
+                return StoreReply::FeViolation;
+            }
+            self.words[i] = value;
+            if flavor.set_fe {
+                self.fe[i] = true;
+            }
+            StoreReply::Done { fe }
+        }
+    }
+
+    fn run_until_halt(cpu: &mut Cpu, prog: &Program, mem: &mut FlatMem) {
+        for _ in 0..10_000 {
+            match cpu.step(prog, &mut *mem) {
+                StepEvent::Halted => return,
+                StepEvent::Trapped(t) => panic!("unexpected trap {t}"),
+                _ => {}
+            }
+        }
+        panic!("did not halt");
+    }
+
+    #[test]
+    fn arithmetic_and_branching() {
+        // Sum 1..=5 with a loop.
+        let mut b = ProgramBuilder::new();
+        let (acc, i) = (Reg::L(1), Reg::L(2));
+        b.emit(Instr::MovI { imm: 0, d: acc });
+        b.emit(Instr::MovI { imm: 5, d: i });
+        b.label("loop");
+        b.emit(Instr::Alu { op: AluOp::Add, s1: acc, s2: Operand::Reg(i), d: acc, tagged: false });
+        b.emit(Instr::Alu { op: AluOp::Sub, s1: i, s2: Operand::Imm(1), d: i, tagged: false });
+        b.branch_to(Cond::Ne, "loop");
+        b.emit(Instr::Nop); // delay slot
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(16);
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(1)), Word(15));
+    }
+
+    #[test]
+    fn delay_slot_executes_before_branch_target() {
+        let mut b = ProgramBuilder::new();
+        b.branch_to(Cond::Always, "out");
+        b.emit(Instr::MovI { imm: 7, d: Reg::L(1) }); // delay slot: must run
+        b.emit(Instr::MovI { imm: 9, d: Reg::L(1) }); // skipped
+        b.label("out");
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(1)), Word(7));
+    }
+
+    #[test]
+    fn jmpl_links_past_delay_slot() {
+        let mut b = ProgramBuilder::new();
+        b.movi_label("sub", Reg::L(5));
+        b.emit(Instr::Jmpl { s1: Reg::L(5), s2: Operand::Imm(0), d: Reg::L(7) });
+        b.emit(Instr::Nop); // delay slot
+        b.emit(Instr::MovI { imm: 1, d: Reg::L(2) }); // return lands here
+        b.emit(Instr::Halt);
+        b.label("sub");
+        b.emit(Instr::MovI { imm: 2, d: Reg::L(3) });
+        b.emit(Instr::Jmpl { s1: Reg::L(7), s2: Operand::Imm(0), d: Reg::ZERO });
+        b.emit(Instr::Nop);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(2)), Word(1));
+        assert_eq!(cpu.get_reg(Reg::L(3)), Word(2));
+    }
+
+    #[test]
+    fn tagged_op_traps_on_future_operand() {
+        let mut b = ProgramBuilder::new();
+        // r1 holds a future pointer; tagged add must trap.
+        b.emit(Instr::MovI { imm: Word::future_ptr(0x100).0, d: Reg::L(1) });
+        b.emit(Instr::Alu {
+            op: AluOp::Add,
+            s1: Reg::L(1),
+            s2: Operand::Imm(4),
+            d: Reg::L(2),
+            tagged: true,
+        });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Executed);
+        let ev = cpu.step(&prog, &mut mem);
+        assert_eq!(ev, StepEvent::Trapped(Trap::FutureTouch { reg: Reg::L(1) }));
+        // PC still addresses the trapping instruction (retry semantics).
+        assert_eq!(cpu.active_frame().pc, 1);
+        assert_eq!(cpu.stats.future_traps, 1);
+        assert_eq!(cpu.stats.trap_cycles, TRAP_ENTRY_CYCLES);
+    }
+
+    #[test]
+    fn untagged_op_ignores_future_tag() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::MovI { imm: Word::future_ptr(0x100).0, d: Reg::L(1) });
+        // Untagged ops are how the runtime manipulates tags.
+        b.emit(Instr::Alu {
+            op: AluOp::And,
+            s1: Reg::L(1),
+            s2: Operand::Imm(!0b11),
+            d: Reg::L(2),
+            tagged: false,
+        });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(2)), Word(0x100));
+    }
+
+    #[test]
+    fn load_through_future_pointer_traps() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::MovI { imm: Word::future_ptr(0x20).0, d: Reg::L(1) });
+        b.emit(Instr::Load { flavor: LoadFlavor::NORMAL, a: Reg::L(1), offset: 0, d: Reg::L(2) });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(64);
+        cpu.step(&prog, &mut mem);
+        assert_eq!(
+            cpu.step(&prog, &mut mem),
+            StepEvent::Trapped(Trap::FutureAddr { reg: Reg::L(1) })
+        );
+    }
+
+    #[test]
+    fn fe_trap_load_on_empty_location() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::MovI { imm: 0x10, d: Reg::L(1) });
+        b.emit(Instr::Load {
+            flavor: LoadFlavor::from_mnemonic("ldtw").unwrap(),
+            a: Reg::L(1),
+            offset: 0,
+            d: Reg::L(2),
+        });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(64);
+        mem.fe[4] = false; // 0x10 / 4
+        cpu.step(&prog, &mut mem);
+        assert_eq!(
+            cpu.step(&prog, &mut mem),
+            StepEvent::Trapped(Trap::FullEmpty { addr: 0x10, is_store: false })
+        );
+        assert_eq!(cpu.stats.fe_traps, 1);
+    }
+
+    #[test]
+    fn nontrapping_load_sets_fe_condition_for_jempty() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::MovI { imm: 0x10, d: Reg::L(1) });
+        b.emit(Instr::Load {
+            flavor: LoadFlavor::from_mnemonic("ldnw").unwrap(),
+            a: Reg::L(1),
+            offset: 0,
+            d: Reg::L(2),
+        });
+        b.branch_to(Cond::Empty, "was_empty");
+        b.emit(Instr::Nop);
+        b.emit(Instr::MovI { imm: 111, d: Reg::L(3) });
+        b.emit(Instr::Halt);
+        b.label("was_empty");
+        b.emit(Instr::MovI { imm: 222, d: Reg::L(3) });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+
+        // Empty location: branch taken.
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(64);
+        mem.fe[4] = false;
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(3)), Word(222));
+
+        // Full location: fall through.
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(64);
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(3)), Word(111));
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::MovI { imm: 0x12, d: Reg::L(1) });
+        b.emit(Instr::Load { flavor: LoadFlavor::NORMAL, a: Reg::L(1), offset: 0, d: Reg::L(2) });
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(64);
+        cpu.step(&prog, &mut mem);
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Trapped(Trap::Alignment { addr: 0x12 }));
+    }
+
+    #[test]
+    fn incfp_rotates_frames_modulo() {
+        let mut cpu = Cpu::default();
+        let mut b = ProgramBuilder::new();
+        for _ in 0..8 {
+            b.emit(Instr::IncFp);
+        }
+        let prog = b.finish().unwrap();
+        let mut mem = FlatMem::new(4);
+        // Make all frames runnable at the same PC chain.
+        for i in 0..cpu.nframes() {
+            cpu.frame_mut(i).reset_at(0);
+        }
+        // Each IncFp advances the old frame's PC and rotates.
+        for k in 1..=5 {
+            assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Executed);
+            assert_eq!(cpu.fp(), k % 4);
+        }
+    }
+
+    #[test]
+    fn rdfp_reads_frame_pointer_as_fixnum() {
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        cpu.set_fp(2);
+        cpu.frame_mut(2).reset_at(0);
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::RdFp { d: Reg::L(1) });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut mem = FlatMem::new(4);
+        cpu.step(&prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(1)).as_fixnum(), Some(2));
+    }
+
+    #[test]
+    fn psr_roundtrip_through_registers() {
+        let mut b = ProgramBuilder::new();
+        // Set Z by computing 0, read PSR, write it back.
+        b.emit(Instr::Alu { op: AluOp::Sub, s1: Reg::ZERO, s2: Operand::Imm(0), d: Reg::L(1), tagged: false });
+        b.emit(Instr::RdPsr { d: Reg::L(2) });
+        b.emit(Instr::WrPsr { s: Reg::L(2) });
+        b.branch_to(Cond::Eq, "z");
+        b.emit(Instr::Nop);
+        b.emit(Instr::Halt);
+        b.label("z");
+        b.emit(Instr::MovI { imm: 42, d: Reg::L(3) });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(3)), Word(42));
+    }
+
+    #[test]
+    fn g0_is_hardwired_zero() {
+        let mut cpu = Cpu::default();
+        cpu.set_reg(Reg::G(0), Word(99));
+        assert_eq!(cpu.get_reg(Reg::G(0)), Word::ZERO);
+        cpu.set_reg(Reg::G(1), Word(99));
+        assert_eq!(cpu.get_reg(Reg::G(1)), Word(99));
+    }
+
+    #[test]
+    fn globals_shared_across_frames() {
+        let mut cpu = Cpu::default();
+        cpu.set_reg(Reg::G(3), Word(17));
+        cpu.set_fp(2);
+        assert_eq!(cpu.get_reg(Reg::G(3)), Word(17));
+        cpu.set_reg(Reg::L(1), Word(5));
+        cpu.set_fp(0);
+        assert_eq!(cpu.get_reg(Reg::L(1)), Word::ZERO, "locals are per-frame");
+    }
+
+    #[test]
+    fn rtcall_retires_and_reports() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::RtCall { n: 7 });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::RtCall { n: 7 });
+        // PC advanced past the rtcall.
+        assert_eq!(cpu.active_frame().pc, 1);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::Alu { op: AluOp::Div, s1: Reg::ZERO, s2: Operand::Imm(0), d: Reg::L(1), tagged: false });
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Trapped(Trap::DivZero));
+    }
+
+    #[test]
+    fn tagged_mul_is_fixnum_mul() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::MovI { imm: Word::fixnum(6).0, d: Reg::L(1) });
+        b.emit(Instr::MovI { imm: Word::fixnum(7).0, d: Reg::L(2) });
+        b.emit(Instr::Alu { op: AluOp::Mul, s1: Reg::L(1), s2: Operand::Reg(Reg::L(2)), d: Reg::L(3), tagged: true });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        assert_eq!(cpu.get_reg(Reg::L(3)).as_fixnum(), Some(42));
+    }
+
+    #[test]
+    fn interrupt_taken_between_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::Nop);
+        b.emit(Instr::Nop);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        cpu.post_interrupt(3);
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Trapped(Trap::Interrupt { from: 3 }));
+        // Handler context: in_trap masks further IRQs.
+        cpu.post_interrupt(4);
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Executed);
+    }
+
+    #[test]
+    fn stats_account_useful_cycles() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::Nop);
+        b.emit(Instr::Alu { op: AluOp::Mul, s1: Reg::ZERO, s2: Operand::Imm(0), d: Reg::L(1), tagged: false });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlatMem::new(4);
+        run_until_halt(&mut cpu, &prog, &mut mem);
+        // nop (1) + mul (3) + halt (1)
+        assert_eq!(cpu.stats.useful_cycles, 5);
+        assert_eq!(cpu.stats.instructions, 3);
+    }
+
+    #[test]
+    fn no_ready_frame_reported() {
+        let mut cpu = Cpu::default();
+        // No boot: frame 0 is Empty.
+        let prog = Program::default();
+        let mut mem = FlatMem::new(4);
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::NoReadyFrame);
+    }
+
+    #[test]
+    fn next_ready_frame_search_order() {
+        let mut cpu = Cpu::default();
+        cpu.frame_mut(2).reset_at(0);
+        cpu.frame_mut(3).reset_at(0);
+        assert_eq!(cpu.next_ready_frame(), Some(2));
+        cpu.set_fp(2);
+        assert_eq!(cpu.next_ready_frame(), Some(3));
+        cpu.frame_mut(3).state = FrameState::WaitingRemote;
+        assert_eq!(cpu.next_ready_frame(), Some(2), "wraps to itself if ready");
+    }
+}

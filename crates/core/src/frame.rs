@@ -1,0 +1,119 @@
+//! Hardware task frames.
+//!
+//! A task frame is one register set together with a PC chain and a PSR
+//! (paper, Figure 2). APRIL holds four task frames; the frame pointer
+//! (FP) designates the active one, and a context switch is "achieved by
+//! changing the frame pointer and emptying the pipeline". The set of
+//! task frames "acts like a cache on the virtual threads".
+
+use crate::psr::Psr;
+use crate::word::Word;
+
+/// Number of frame-local registers per task frame.
+pub const REGS_PER_FRAME: usize = 32;
+
+/// Floating-point registers per task frame: the SPARC FPU's single
+/// 32-word register file is "divided into four sets of eight
+/// registers" so FP state context-switches with the frame pointer
+/// (paper, Section 5).
+pub const FREGS_PER_FRAME: usize = 8;
+
+/// Scheduling state of a hardware task frame, maintained jointly by
+/// the cache controller (which wakes frames when remote transactions
+/// complete) and the run-time system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrameState {
+    /// No thread loaded.
+    #[default]
+    Empty,
+    /// Thread loaded and runnable.
+    Ready,
+    /// Thread loaded but waiting for the controller to satisfy a remote
+    /// memory transaction; made `Ready` when the reply arrives.
+    WaitingRemote,
+}
+
+/// One hardware task frame: 32 registers, the PC chain, and a PSR.
+///
+/// # Examples
+///
+/// ```
+/// use april_core::frame::{FrameState, TaskFrame};
+/// use april_core::word::Word;
+///
+/// let mut f = TaskFrame::default();
+/// f.regs[1] = Word::fixnum(9);
+/// f.state = FrameState::Ready;
+/// assert_eq!(f.regs[1].as_fixnum(), Some(9));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFrame {
+    /// Frame-local registers `r0`–`r31`.
+    pub regs: [Word; REGS_PER_FRAME],
+    /// Frame-local floating-point registers `f0`–`f7` (raw IEEE-754
+    /// single-precision bit patterns).
+    pub fregs: [u32; FREGS_PER_FRAME],
+    /// Program counter (word index into the text segment).
+    pub pc: u32,
+    /// Next program counter (branch delay slot support).
+    pub npc: u32,
+    /// Processor state register.
+    pub psr: Psr,
+    /// Scheduling state.
+    pub state: FrameState,
+}
+
+impl Default for TaskFrame {
+    fn default() -> TaskFrame {
+        TaskFrame {
+            regs: [Word::ZERO; REGS_PER_FRAME],
+            fregs: [0; FREGS_PER_FRAME],
+            pc: 0,
+            npc: 1,
+            psr: Psr::user(),
+            state: FrameState::Empty,
+        }
+    }
+}
+
+impl TaskFrame {
+    /// Resets the frame to boot state with execution starting at `pc`.
+    pub fn reset_at(&mut self, pc: u32) {
+        *self = TaskFrame {
+            pc,
+            npc: pc + 1,
+            state: FrameState::Ready,
+            ..TaskFrame::default()
+        };
+    }
+
+    /// True if the frame holds a thread (loaded, in any wait state).
+    pub fn is_loaded(&self) -> bool {
+        self.state != FrameState::Empty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_frame_is_empty() {
+        let f = TaskFrame::default();
+        assert_eq!(f.state, FrameState::Empty);
+        assert!(!f.is_loaded());
+        assert_eq!(f.npc, f.pc + 1);
+    }
+
+    #[test]
+    fn reset_at_sets_pc_chain() {
+        let mut f = TaskFrame::default();
+        f.regs[5] = Word::fixnum(1);
+        f.reset_at(100);
+        assert_eq!(f.pc, 100);
+        assert_eq!(f.npc, 101);
+        assert_eq!(f.state, FrameState::Ready);
+        assert_eq!(f.regs[5], Word::ZERO);
+        assert!(f.is_loaded());
+    }
+}

@@ -1,0 +1,583 @@
+//! A small text assembler for APRIL.
+//!
+//! One instruction per line; `;` starts a comment; `label:` defines a
+//! label. The syntax mirrors the disassembler's output so listings
+//! round-trip. Example:
+//!
+//! ```text
+//! .entry main
+//! main:
+//!     movi 10, r1
+//! loop:
+//!     sub r1, 1, r1
+//!     jne loop
+//!     nop              ; branch delay slot
+//!     halt
+//! ```
+//!
+//! Pseudo-instructions:
+//! * `call @label, rD` — expands to `movi @label, g7; jmpl g7+0, rD; nop`
+//! * `movi @label, rD` — loads a code address.
+//!
+//! Directives:
+//! * `.entry label` — sets the entry point.
+//! * `.static ADDR` — begins a static data segment at byte address ADDR.
+//! * `.word VALUE [empty]` — appends a data word, full unless marked
+//!   `empty` (exercises the full/empty bits).
+
+use super::{AluOp, Cond, FpOp, Instr, LoadFlavor, Operand, Reg, StoreFlavor};
+use crate::program::{BuildError, Program, ProgramBuilder};
+use crate::word::Word;
+use std::fmt;
+
+/// Assembly failure with source line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<BuildError> for AsmError {
+    fn from(e: BuildError) -> AsmError {
+        AsmError { line: 0, msg: e.to_string() }
+    }
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first syntax error or
+/// unresolved label.
+///
+/// # Examples
+///
+/// ```
+/// use april_core::isa::asm::assemble;
+///
+/// let p = assemble("
+///     movi 3, r1
+///     add r1, 4, r2
+///     halt
+/// ")?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), april_core::isa::asm::AsmError>(())
+/// ```
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut static_base: Option<u32> = None;
+    let mut static_words: Vec<(Word, bool)> = Vec::new();
+    let mut static_refs: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let err = |msg: String| AsmError { line, msg };
+        let mut text = raw;
+        if let Some(i) = text.find(';') {
+            text = &text[..i];
+        }
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Labels (possibly several on one line before an instruction).
+        let mut rest = text;
+        while let Some(colon) = rest.find(':') {
+            let (name, after) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            {
+                break;
+            }
+            if b.has_label(name) {
+                return Err(err(format!("duplicate label `{name}`")));
+            }
+            b.label(name);
+            rest = after[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, args) = match rest.split_once(char::is_whitespace) {
+            Some((m, a)) => (m, a.trim()),
+            None => (rest, ""),
+        };
+        let argv: Vec<&str> = if args.is_empty() {
+            Vec::new()
+        } else {
+            args.split(',').map(str::trim).collect()
+        };
+
+        match mnemonic {
+            ".entry" => {
+                if argv.len() != 1 {
+                    return Err(err(".entry takes one label".into()));
+                }
+                b.entry(argv[0]);
+            }
+            ".static" => {
+                let base = parse_num(argv.first().copied().unwrap_or(""))
+                    .ok_or_else(|| err(".static needs a base address".into()))?;
+                static_base = Some(base as u32);
+            }
+            ".word" => {
+                if static_base.is_none() {
+                    return Err(err(".word before .static".into()));
+                }
+                // `.word VALUE [empty]` is whitespace-separated.
+                let argv: Vec<&str> = args.split_whitespace().collect();
+                let full = match argv.get(1).copied() {
+                    None | Some("full") => true,
+                    Some("empty") => false,
+                    Some(other) => return Err(err(format!("expected full/empty, got `{other}`"))),
+                };
+                let v = argv.first().copied().unwrap_or("");
+                if let Some(label) = v.strip_prefix('@') {
+                    static_refs.push((static_words.len(), label.to_string()));
+                    static_words.push((Word::ZERO, full));
+                } else {
+                    let n = parse_num(v).ok_or_else(|| err(format!("bad word value `{v}`")))?;
+                    static_words.push((Word(n as u32), full));
+                }
+            }
+            "nop" => {
+                b.emit(Instr::Nop);
+            }
+            "halt" => {
+                b.emit(Instr::Halt);
+            }
+            "incfp" => {
+                b.emit(Instr::IncFp);
+            }
+            "decfp" => {
+                b.emit(Instr::DecFp);
+            }
+            "fence" => {
+                b.emit(Instr::Fence);
+            }
+            "rdfp" => {
+                b.emit(Instr::RdFp { d: parse_reg(one(&argv).map_err(err)?).map_err(err)? });
+            }
+            "stfp" => {
+                b.emit(Instr::StFp { s: parse_reg(one(&argv).map_err(err)?).map_err(err)? });
+            }
+            "rdpsr" => {
+                b.emit(Instr::RdPsr { d: parse_reg(one(&argv).map_err(err)?).map_err(err)? });
+            }
+            "wrpsr" => {
+                b.emit(Instr::WrPsr { s: parse_reg(one(&argv).map_err(err)?).map_err(err)? });
+            }
+            "rtcall" => {
+                let n = parse_num(one(&argv).map_err(err)?)
+                    .ok_or_else(|| err("rtcall needs a number".into()))?;
+                b.emit(Instr::RtCall { n: n as u16 });
+            }
+            "fmovi" => {
+                if argv.len() != 2 {
+                    return Err(err("fmovi takes `value, freg`".into()));
+                }
+                let fd = parse_freg(argv[1]).map_err(err)?;
+                let bits = if let Some(hex) = argv[0].strip_prefix("0x") {
+                    u32::from_str_radix(hex, 16)
+                        .map_err(|_| err(format!("bad bits `{}`", argv[0])))?
+                } else {
+                    argv[0]
+                        .parse::<f32>()
+                        .map_err(|_| err(format!("bad float `{}`", argv[0])))?
+                        .to_bits()
+                };
+                b.emit(Instr::FMovI { bits, fd });
+            }
+            "fcmp" => {
+                if argv.len() != 2 {
+                    return Err(err("fcmp takes `f1, f2`".into()));
+                }
+                let fs1 = parse_freg(argv[0]).map_err(err)?;
+                let fs2 = parse_freg(argv[1]).map_err(err)?;
+                b.emit(Instr::Fcmp { fs1, fs2 });
+            }
+            "ldf" => {
+                if argv.len() != 2 {
+                    return Err(err("ldf takes `reg+off, freg`".into()));
+                }
+                let (a, offset) = parse_addr(argv[0]).map_err(err)?;
+                let fd = parse_freg(argv[1]).map_err(err)?;
+                b.emit(Instr::LdF { a, offset, fd });
+            }
+            "stf" => {
+                if argv.len() != 2 {
+                    return Err(err("stf takes `freg, reg+off`".into()));
+                }
+                let fs = parse_freg(argv[0]).map_err(err)?;
+                let (a, offset) = parse_addr(argv[1]).map_err(err)?;
+                b.emit(Instr::StF { fs, a, offset });
+            }
+            "fix2f" => {
+                if argv.len() != 2 {
+                    return Err(err("fix2f takes `reg, freg`".into()));
+                }
+                let s = parse_reg(argv[0]).map_err(err)?;
+                let fd = parse_freg(argv[1]).map_err(err)?;
+                b.emit(Instr::FixToF { s, fd });
+            }
+            "f2fix" => {
+                if argv.len() != 2 {
+                    return Err(err("f2fix takes `freg, reg`".into()));
+                }
+                let fs = parse_freg(argv[0]).map_err(err)?;
+                let d = parse_reg(argv[1]).map_err(err)?;
+                b.emit(Instr::FToFix { fs, d });
+            }
+            m if parse_fpop(m).is_some() => {
+                let op = parse_fpop(m).expect("checked");
+                if argv.len() != 3 {
+                    return Err(err(format!("{m} takes `f1, f2, fd`")));
+                }
+                let fs1 = parse_freg(argv[0]).map_err(err)?;
+                let fs2 = parse_freg(argv[1]).map_err(err)?;
+                let fd = parse_freg(argv[2]).map_err(err)?;
+                b.emit(Instr::Falu { op, fs1, fs2, fd });
+            }
+            "movi" => {
+                if argv.len() != 2 {
+                    return Err(err("movi takes `value, reg`".into()));
+                }
+                let d = parse_reg(argv[1]).map_err(err)?;
+                if let Some(label) = argv[0].strip_prefix('@') {
+                    b.movi_label(label, d);
+                } else {
+                    let imm = parse_num(argv[0])
+                        .ok_or_else(|| err(format!("bad immediate `{}`", argv[0])))?;
+                    b.emit(Instr::MovI { imm: imm as u32, d });
+                }
+            }
+            "call" => {
+                if argv.len() != 2 {
+                    return Err(err("call takes `@label, link-reg`".into()));
+                }
+                let label = argv[0]
+                    .strip_prefix('@')
+                    .ok_or_else(|| err("call target must be @label".into()))?;
+                let link = parse_reg(argv[1]).map_err(err)?;
+                b.call(label, link, Reg::G(7));
+            }
+            "jmpl" => {
+                if argv.len() != 2 {
+                    return Err(err("jmpl takes `reg+off, link-reg`".into()));
+                }
+                let (s1, off) = parse_addr(argv[0]).map_err(err)?;
+                let d = parse_reg(argv[1]).map_err(err)?;
+                b.emit(Instr::Jmpl { s1, s2: Operand::Imm(off), d });
+            }
+            "flush" => {
+                let (a, offset) = parse_addr(one(&argv).map_err(err)?).map_err(err)?;
+                b.emit(Instr::Flush { a, offset });
+            }
+            "ldio" => {
+                if argv.len() != 2 {
+                    return Err(err("ldio takes `ioreg, reg`".into()));
+                }
+                let reg = parse_num(argv[0]).ok_or_else(|| err("bad io register".into()))? as u16;
+                b.emit(Instr::Ldio { reg, d: parse_reg(argv[1]).map_err(err)? });
+            }
+            "stio" => {
+                if argv.len() != 2 {
+                    return Err(err("stio takes `reg, ioreg`".into()));
+                }
+                let reg = parse_num(argv[1]).ok_or_else(|| err("bad io register".into()))? as u16;
+                b.emit(Instr::Stio { reg, s: parse_reg(argv[0]).map_err(err)? });
+            }
+            m if parse_branch(m).is_some() => {
+                let cond = parse_branch(m).expect("checked");
+                let target = one(&argv).map_err(err)?;
+                if let Some(n) = parse_signed(target) {
+                    b.emit(Instr::Branch { cond, offset: n });
+                } else {
+                    b.branch_to(cond, target);
+                }
+            }
+            m if LoadFlavor::from_mnemonic(m).is_some() || m == "ld" => {
+                let flavor = LoadFlavor::from_mnemonic(m).unwrap_or(LoadFlavor::NORMAL);
+                if argv.len() != 2 {
+                    return Err(err("load takes `reg+off, reg`".into()));
+                }
+                let (a, offset) = parse_addr(argv[0]).map_err(err)?;
+                let d = parse_reg(argv[1]).map_err(err)?;
+                b.emit(Instr::Load { flavor, a, offset, d });
+            }
+            m if StoreFlavor::from_mnemonic(m).is_some() || m == "st" => {
+                let flavor = StoreFlavor::from_mnemonic(m).unwrap_or(StoreFlavor::NORMAL);
+                if argv.len() != 2 {
+                    return Err(err("store takes `reg, reg+off`".into()));
+                }
+                let s = parse_reg(argv[0]).map_err(err)?;
+                let (a, offset) = parse_addr(argv[1]).map_err(err)?;
+                b.emit(Instr::Store { flavor, a, offset, s });
+            }
+            m if parse_alu(m).is_some() => {
+                let (op, tagged) = parse_alu(m).expect("checked");
+                if argv.len() != 3 {
+                    return Err(err(format!("{m} takes `s1, s2, d`")));
+                }
+                let s1 = parse_reg(argv[0]).map_err(err)?;
+                let s2 = parse_operand(argv[1]).map_err(err)?;
+                let d = parse_reg(argv[2]).map_err(err)?;
+                b.emit(Instr::Alu { op, s1, s2, d, tagged });
+            }
+            other => return Err(err(format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    if let Some(base) = static_base {
+        b.static_segment(base, static_words);
+        for (idx, label) in static_refs {
+            b.static_code_ref(idx, &label);
+        }
+    }
+    b.finish().map_err(AsmError::from)
+}
+
+fn one<'a>(argv: &[&'a str]) -> Result<&'a str, String> {
+    if argv.len() == 1 {
+        Ok(argv[0])
+    } else {
+        Err("expected one operand".into())
+    }
+}
+
+fn parse_alu(m: &str) -> Option<(AluOp, bool)> {
+    let (m, tagged) = match m.strip_prefix('t') {
+        // `t`-prefixed strict variants; beware of plain ops that also
+        // start with t (none do in this ISA).
+        Some(rest) => (rest, true),
+        None => (m, false),
+    };
+    let op = AluOp::ALL.into_iter().find(|o| o.to_string() == m)?;
+    Some((op, tagged))
+}
+
+fn parse_fpop(m: &str) -> Option<FpOp> {
+    FpOp::ALL.into_iter().find(|o| o.to_string() == m)
+}
+
+fn parse_freg(s: &str) -> Result<u8, String> {
+    let i: u8 = s
+        .strip_prefix('f')
+        .ok_or_else(|| format!("bad FP register `{s}`"))?
+        .parse()
+        .map_err(|_| format!("bad FP register `{s}`"))?;
+    if i < 8 {
+        Ok(i)
+    } else {
+        Err(format!("FP register index out of range `{s}`"))
+    }
+}
+
+fn parse_branch(m: &str) -> Option<Cond> {
+    Cond::ALL.into_iter().find(|c| c.to_string() == m)
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let (kind, num) = s.split_at(1.min(s.len()));
+    let idx: u8 = num.parse().map_err(|_| format!("bad register `{s}`"))?;
+    let r = match kind {
+        "r" => Reg::L(idx),
+        "g" => Reg::G(idx),
+        _ => return Err(format!("bad register `{s}`")),
+    };
+    if r.is_valid() {
+        Ok(r)
+    } else {
+        Err(format!("register index out of range `{s}`"))
+    }
+}
+
+fn parse_operand(s: &str) -> Result<Operand, String> {
+    if let Some(n) = parse_signed(s) {
+        Ok(Operand::Imm(n))
+    } else {
+        parse_reg(s).map(Operand::Reg)
+    }
+}
+
+/// Parses `reg`, `reg+off` or `reg-off`.
+fn parse_addr(s: &str) -> Result<(Reg, i32), String> {
+    if let Some(i) = s[1..].find(['+', '-']).map(|i| i + 1) {
+        let r = parse_reg(&s[..i])?;
+        let off = parse_signed(&s[i..]).ok_or_else(|| format!("bad offset in `{s}`"))?;
+        Ok((r, off))
+    } else {
+        Ok((parse_reg(s)?, 0))
+    }
+}
+
+fn parse_num(s: &str) -> Option<i64> {
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s.strip_prefix('+').unwrap_or(s)),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        s.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_signed(s: &str) -> Option<i32> {
+    parse_num(s).and_then(|v| i32::try_from(v).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop_program() {
+        let p = assemble(
+            "
+            .entry main
+            main:
+                movi 10, r1
+                movi 0, r2
+            loop:
+                add r2, r1, r2
+                sub r1, 1, r1
+                jne loop
+                nop
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.entry, 0);
+        assert_eq!(p.label("loop"), Some(2));
+        assert_eq!(p.instrs[4], Instr::Branch { cond: Cond::Ne, offset: -2 });
+    }
+
+    #[test]
+    fn assembles_all_load_store_flavors() {
+        for f in LoadFlavor::ALL {
+            let src = format!("{} r1+4, r2", f.mnemonic());
+            let p = assemble(&src).unwrap();
+            assert_eq!(p.instrs[0], Instr::Load { flavor: f, a: Reg::L(1), offset: 4, d: Reg::L(2) });
+        }
+        for f in StoreFlavor::ALL {
+            let src = format!("{} r2, r1-6", f.mnemonic());
+            let p = assemble(&src).unwrap();
+            assert_eq!(
+                p.instrs[0],
+                Instr::Store { flavor: f, a: Reg::L(1), offset: -6, s: Reg::L(2) }
+            );
+        }
+    }
+
+    #[test]
+    fn tagged_alu_mnemonics() {
+        let p = assemble("tadd r1, r2, r3").unwrap();
+        assert_eq!(
+            p.instrs[0],
+            Instr::Alu {
+                op: AluOp::Add,
+                s1: Reg::L(1),
+                s2: Operand::Reg(Reg::L(2)),
+                d: Reg::L(3),
+                tagged: true
+            }
+        );
+    }
+
+    #[test]
+    fn call_pseudo_expands() {
+        let p = assemble(
+            "
+            call @f, r15
+            halt
+            f:  nop
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 5); // movi + jmpl + nop + halt + nop
+        assert_eq!(p.instrs[0], Instr::MovI { imm: 4, d: Reg::G(7) });
+    }
+
+    #[test]
+    fn static_data_with_full_empty() {
+        let p = assemble(
+            "
+            .static 0x100
+            .word 42
+            .word 0 empty
+            .word @f
+            f:  halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.static_base, 0x100);
+        assert_eq!(p.static_data[0], (Word(42), true));
+        assert_eq!(p.static_data[1], (Word(0), false));
+        assert_eq!(p.static_data[2], (Word(0), true)); // f == instr 0
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = assemble("nop\nbogus r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn error_on_bad_register() {
+        let e = assemble("add r1, r2, r99").unwrap_err();
+        assert!(e.msg.contains("out of range"));
+    }
+
+    #[test]
+    fn jfull_jempty_parse() {
+        let p = assemble(
+            "
+            top: ldnt r1+0, r2
+            jempty top
+            nop
+            jfull top
+            nop
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.instrs[1], Instr::Branch { cond: Cond::Empty, offset: -1 });
+        assert_eq!(p.instrs[3], Instr::Branch { cond: Cond::Full, offset: -3 });
+    }
+
+    #[test]
+    fn disassembly_reassembles() {
+        let src = "
+            movi 0x40, r1
+            ldett r1+0, r2
+            tadd r2, 4, r2
+            stftt r2, r1+0
+            jfull -3
+            nop
+            rdpsr g1
+            incfp
+            wrpsr g1
+            rtcall 3
+            fence
+            flush r1+0
+            halt
+        ";
+        let p1 = assemble(src).unwrap();
+        let text: String = p1.instrs.iter().map(|i| format!("{i}\n")).collect();
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+    }
+}

@@ -1,0 +1,108 @@
+//! Disassembly: `Display` for instructions in the assembler's syntax.
+//!
+//! The output of the disassembler re-assembles to the same instruction
+//! (round-trip property, tested in `tests/asm_roundtrip.rs`).
+
+use super::{Cond, Instr};
+use std::fmt;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Falu { op, fs1, fs2, fd } => write!(f, "{op} f{fs1}, f{fs2}, f{fd}"),
+            Instr::Fcmp { fs1, fs2 } => write!(f, "fcmp f{fs1}, f{fs2}"),
+            Instr::LdF { a, offset, fd } => write!(f, "ldf {a}{offset:+}, f{fd}"),
+            Instr::StF { fs, a, offset } => write!(f, "stf f{fs}, {a}{offset:+}"),
+            Instr::FMovI { bits, fd } => write!(f, "fmovi {:#x}, f{fd}", bits),
+            Instr::FixToF { s, fd } => write!(f, "fix2f {s}, f{fd}"),
+            Instr::FToFix { fs, d } => write!(f, "f2fix f{fs}, {d}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Alu { op, s1, s2, d, tagged } => {
+                write!(f, "{}{} {}, {}, {}", if tagged { "t" } else { "" }, op, s1, s2, d)
+            }
+            Instr::MovI { imm, d } => write!(f, "movi {:#x}, {}", imm, d),
+            Instr::Branch { cond, offset } => match cond {
+                Cond::Always => write!(f, "jmp {offset:+}"),
+                c => write!(f, "{c} {offset:+}"),
+            },
+            Instr::Jmpl { s1, s2, d } => write!(f, "jmpl {s1}+{s2}, {d}"),
+            Instr::Load { flavor, a, offset, d } => {
+                write!(f, "{} {}{:+}, {}", flavor.mnemonic(), a, offset, d)
+            }
+            Instr::Store { flavor, a, offset, s } => {
+                write!(f, "{} {}, {}{:+}", flavor.mnemonic(), s, a, offset)
+            }
+            Instr::IncFp => write!(f, "incfp"),
+            Instr::DecFp => write!(f, "decfp"),
+            Instr::RdFp { d } => write!(f, "rdfp {d}"),
+            Instr::StFp { s } => write!(f, "stfp {s}"),
+            Instr::RdPsr { d } => write!(f, "rdpsr {d}"),
+            Instr::WrPsr { s } => write!(f, "wrpsr {s}"),
+            Instr::RtCall { n } => write!(f, "rtcall {n}"),
+            Instr::Flush { a, offset } => write!(f, "flush {a}{offset:+}"),
+            Instr::Fence => write!(f, "fence"),
+            Instr::Ldio { reg, d } => write!(f, "ldio {reg}, {d}"),
+            Instr::Stio { reg, s } => write!(f, "stio {s}, {reg}"),
+        }
+    }
+}
+
+/// Formats a whole program listing with addresses and label comments.
+pub fn listing(prog: &crate::program::Program) -> String {
+    use std::fmt::Write as _;
+    let mut by_addr: std::collections::BTreeMap<u32, Vec<&str>> = Default::default();
+    for (name, &addr) in &prog.labels {
+        by_addr.entry(addr).or_default().push(name);
+    }
+    let mut out = String::new();
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        if let Some(names) = by_addr.get(&(i as u32)) {
+            for n in names {
+                let _ = writeln!(out, "{n}:");
+            }
+        }
+        let _ = writeln!(out, "  {i:5}  {instr}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, LoadFlavor, Operand, Reg, StoreFlavor};
+
+    #[test]
+    fn display_samples() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            s1: Reg::L(1),
+            s2: Operand::Imm(-3),
+            d: Reg::G(2),
+            tagged: true,
+        };
+        assert_eq!(i.to_string(), "tadd r1, -3, g2");
+        let l = Instr::Load { flavor: LoadFlavor::NORMAL, a: Reg::L(4), offset: 8, d: Reg::L(5) };
+        assert_eq!(l.to_string(), "ldnt r4+8, r5");
+        let s = Instr::Store {
+            flavor: StoreFlavor::from_mnemonic("stftt").unwrap(),
+            a: Reg::L(4),
+            offset: -6,
+            s: Reg::L(5),
+        };
+        assert_eq!(s.to_string(), "stftt r5, r4-6");
+        assert_eq!(Instr::Branch { cond: Cond::Empty, offset: -2 }.to_string(), "jempty -2");
+    }
+
+    #[test]
+    fn listing_includes_labels() {
+        use crate::program::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        b.label("main");
+        b.emit(Instr::Nop);
+        let p = b.finish().unwrap();
+        let l = listing(&p);
+        assert!(l.contains("main:"));
+        assert!(l.contains("nop"));
+    }
+}

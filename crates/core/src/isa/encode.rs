@@ -1,0 +1,406 @@
+//! Reference binary encoding of the APRIL instruction set.
+//!
+//! The paper's SPARC-based implementation reuses SPARC's encodings and
+//! distinguishes the load/store flavors through Alternate Space
+//! Indicator values (Section 5). This module defines a clean 32-bit
+//! reference encoding for a custom APRIL so programs can be stored and
+//! exchanged as machine words; [`decode`] inverts [`encode`] exactly.
+//!
+//! `MOVI` occupies two words (opcode word + 32-bit immediate word),
+//! standing for the SPARC `sethi`/`or` pair.
+
+use super::{AluOp, Cond, FpOp, Instr, LoadFlavor, Operand, Reg, StoreFlavor};
+use std::fmt;
+
+/// Encoding failure: an instruction field does not fit its format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Immediate out of the 13-bit signed range.
+    ImmOutOfRange(i32),
+    /// Load/store offset out of the 11-bit signed range.
+    OffsetOutOfRange(i32),
+    /// Branch offset out of the 22-bit signed range.
+    BranchOutOfRange(i32),
+    /// Register index out of range.
+    BadRegister,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange(i) => write!(f, "immediate {i} out of 13-bit range"),
+            EncodeError::OffsetOutOfRange(i) => write!(f, "offset {i} out of 11-bit range"),
+            EncodeError::BranchOutOfRange(i) => write!(f, "branch offset {i} out of 22-bit range"),
+            EncodeError::BadRegister => write!(f, "register index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Decoding failure: the word stream is not a valid encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode.
+    BadOpcode(u32),
+    /// Unknown sub-field (ALU op, condition, register).
+    BadField,
+    /// `MOVI` missing its immediate word.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            DecodeError::BadField => write!(f, "invalid instruction field"),
+            DecodeError::Truncated => write!(f, "truncated instruction stream"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_NOP: u32 = 0x00;
+const OP_HALT: u32 = 0x01;
+// ALU operations occupy two opcode banks: 0x20+i untagged, 0x30+i
+// tagged (strict), leaving 13 bits for a signed immediate.
+const OP_ALU_BASE: u32 = 0x20;
+const OP_TALU_BASE: u32 = 0x30;
+const OP_MOVI: u32 = 0x04;
+const OP_BRANCH: u32 = 0x05;
+const OP_JMPL: u32 = 0x06;
+const OP_LOAD: u32 = 0x07;
+const OP_STORE: u32 = 0x08;
+const OP_INCFP: u32 = 0x09;
+const OP_DECFP: u32 = 0x0a;
+const OP_RDFP: u32 = 0x0b;
+const OP_STFP: u32 = 0x0c;
+const OP_RDPSR: u32 = 0x0d;
+const OP_WRPSR: u32 = 0x0e;
+const OP_RTCALL: u32 = 0x0f;
+const OP_FLUSH: u32 = 0x10;
+const OP_FENCE: u32 = 0x11;
+const OP_LDIO: u32 = 0x12;
+const OP_STIO: u32 = 0x13;
+const OP_FALU: u32 = 0x14;
+const OP_FCMP: u32 = 0x15;
+const OP_LDF: u32 = 0x16;
+const OP_STF: u32 = 0x17;
+const OP_FMOVI: u32 = 0x18;
+const OP_FIX2F: u32 = 0x19;
+const OP_F2FIX: u32 = 0x1a;
+
+fn enc_reg(r: Reg) -> Result<u32, EncodeError> {
+    if !r.is_valid() {
+        return Err(EncodeError::BadRegister);
+    }
+    Ok(match r {
+        Reg::L(i) => i as u32,
+        Reg::G(i) => 0x20 | i as u32,
+    })
+}
+
+fn dec_reg(v: u32) -> Result<Reg, DecodeError> {
+    let v = v & 0x3f;
+    if v & 0x20 != 0 {
+        let i = (v & 0x1f) as u8;
+        if i < 8 {
+            Ok(Reg::G(i))
+        } else {
+            Err(DecodeError::BadField)
+        }
+    } else {
+        Ok(Reg::L(v as u8))
+    }
+}
+
+fn alu_index(op: AluOp) -> u32 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32
+}
+
+fn cond_index(c: Cond) -> u32 {
+    Cond::ALL.iter().position(|&o| o == c).expect("cond in ALL") as u32
+}
+
+fn load_flavor_index(f: LoadFlavor) -> u32 {
+    LoadFlavor::ALL.iter().position(|&o| o == f).expect("flavor in ALL") as u32
+}
+
+fn store_flavor_index(f: StoreFlavor) -> u32 {
+    StoreFlavor::ALL.iter().position(|&o| o == f).expect("flavor in ALL") as u32
+}
+
+fn field(v: u32, lo: u32, bits: u32) -> u32 {
+    (v >> lo) & ((1 << bits) - 1)
+}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Encodes one instruction, appending one or two words to `out`.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if a field exceeds its format width.
+pub fn encode(i: Instr, out: &mut Vec<u32>) -> Result<(), EncodeError> {
+    match i {
+        Instr::Nop => out.push(OP_NOP << 26),
+        Instr::Halt => out.push(OP_HALT << 26),
+        Instr::Alu { op, s1, s2, d, tagged } => {
+            let opc = if tagged { OP_TALU_BASE } else { OP_ALU_BASE } + alu_index(op);
+            let mut w = opc << 26 | enc_reg(d)? << 20 | enc_reg(s1)? << 14;
+            match s2 {
+                Operand::Reg(r) => w |= 1 << 13 | enc_reg(r)?,
+                Operand::Imm(imm) => {
+                    if !(Operand::IMM_MIN..=Operand::IMM_MAX).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange(imm));
+                    }
+                    w |= imm as u32 & 0x1fff;
+                }
+            }
+            out.push(w);
+        }
+        Instr::MovI { imm, d } => {
+            out.push(OP_MOVI << 26 | enc_reg(d)? << 20);
+            out.push(imm);
+        }
+        Instr::Branch { cond, offset } => {
+            if !(-(1 << 21)..(1 << 21)).contains(&offset) {
+                return Err(EncodeError::BranchOutOfRange(offset));
+            }
+            out.push(OP_BRANCH << 26 | cond_index(cond) << 22 | (offset as u32 & 0x3f_ffff));
+        }
+        Instr::Jmpl { s1, s2, d } => {
+            let mut w = OP_JMPL << 26 | enc_reg(d)? << 20 | enc_reg(s1)? << 14;
+            match s2 {
+                Operand::Reg(r) => w |= 1 << 13 | enc_reg(r)?,
+                Operand::Imm(imm) => {
+                    if !(-(1 << 12)..(1 << 12)).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange(imm));
+                    }
+                    w |= imm as u32 & 0x1fff;
+                }
+            }
+            out.push(w);
+        }
+        Instr::Load { flavor, a, offset, d } => {
+            if !(-(1 << 10)..(1 << 10)).contains(&offset) {
+                return Err(EncodeError::OffsetOutOfRange(offset));
+            }
+            out.push(
+                OP_LOAD << 26
+                    | enc_reg(d)? << 20
+                    | enc_reg(a)? << 14
+                    | load_flavor_index(flavor) << 11
+                    | (offset as u32 & 0x7ff),
+            );
+        }
+        Instr::Store { flavor, a, offset, s } => {
+            if !(-(1 << 10)..(1 << 10)).contains(&offset) {
+                return Err(EncodeError::OffsetOutOfRange(offset));
+            }
+            out.push(
+                OP_STORE << 26
+                    | enc_reg(s)? << 20
+                    | enc_reg(a)? << 14
+                    | store_flavor_index(flavor) << 11
+                    | (offset as u32 & 0x7ff),
+            );
+        }
+        Instr::Falu { op, fs1, fs2, fd } => {
+            let opi = FpOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32;
+            out.push(
+                OP_FALU << 26
+                    | (fd as u32 & 7) << 20
+                    | (fs1 as u32 & 7) << 14
+                    | opi << 9
+                    | (fs2 as u32 & 7),
+            );
+        }
+        Instr::Fcmp { fs1, fs2 } => {
+            out.push(OP_FCMP << 26 | (fs1 as u32 & 7) << 14 | (fs2 as u32 & 7));
+        }
+        Instr::LdF { a, offset, fd } => {
+            if !(-(1 << 10)..(1 << 10)).contains(&offset) {
+                return Err(EncodeError::OffsetOutOfRange(offset));
+            }
+            out.push(
+                OP_LDF << 26
+                    | (fd as u32 & 7) << 20
+                    | enc_reg(a)? << 14
+                    | (offset as u32 & 0x7ff),
+            );
+        }
+        Instr::StF { fs, a, offset } => {
+            if !(-(1 << 10)..(1 << 10)).contains(&offset) {
+                return Err(EncodeError::OffsetOutOfRange(offset));
+            }
+            out.push(
+                OP_STF << 26
+                    | (fs as u32 & 7) << 20
+                    | enc_reg(a)? << 14
+                    | (offset as u32 & 0x7ff),
+            );
+        }
+        Instr::FMovI { bits, fd } => {
+            out.push(OP_FMOVI << 26 | (fd as u32 & 7) << 20);
+            out.push(bits);
+        }
+        Instr::FixToF { s, fd } => {
+            out.push(OP_FIX2F << 26 | (fd as u32 & 7) << 20 | enc_reg(s)? << 14);
+        }
+        Instr::FToFix { fs, d } => {
+            out.push(OP_F2FIX << 26 | enc_reg(d)? << 20 | (fs as u32 & 7) << 14);
+        }
+        Instr::IncFp => out.push(OP_INCFP << 26),
+        Instr::DecFp => out.push(OP_DECFP << 26),
+        Instr::RdFp { d } => out.push(OP_RDFP << 26 | enc_reg(d)? << 20),
+        Instr::StFp { s } => out.push(OP_STFP << 26 | enc_reg(s)? << 20),
+        Instr::RdPsr { d } => out.push(OP_RDPSR << 26 | enc_reg(d)? << 20),
+        Instr::WrPsr { s } => out.push(OP_WRPSR << 26 | enc_reg(s)? << 20),
+        Instr::RtCall { n } => out.push(OP_RTCALL << 26 | n as u32),
+        Instr::Flush { a, offset } => {
+            if !(-(1 << 10)..(1 << 10)).contains(&offset) {
+                return Err(EncodeError::OffsetOutOfRange(offset));
+            }
+            out.push(OP_FLUSH << 26 | enc_reg(a)? << 14 | (offset as u32 & 0x7ff));
+        }
+        Instr::Fence => out.push(OP_FENCE << 26),
+        Instr::Ldio { reg, d } => out.push(OP_LDIO << 26 | enc_reg(d)? << 20 | reg as u32),
+        Instr::Stio { reg, s } => out.push(OP_STIO << 26 | enc_reg(s)? << 20 | reg as u32),
+    }
+    Ok(())
+}
+
+/// Decodes one instruction starting at `words[at]`, returning it and
+/// the number of words consumed.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on invalid opcodes, fields, or truncation.
+pub fn decode(words: &[u32], at: usize) -> Result<(Instr, usize), DecodeError> {
+    let w = *words.get(at).ok_or(DecodeError::Truncated)?;
+    let op = w >> 26;
+    let i = match op {
+        OP_NOP => Instr::Nop,
+        OP_HALT => Instr::Halt,
+        op if (OP_ALU_BASE..OP_ALU_BASE + AluOp::ALL.len() as u32).contains(&op)
+            || (OP_TALU_BASE..OP_TALU_BASE + AluOp::ALL.len() as u32).contains(&op) =>
+        {
+            let tagged = op >= OP_TALU_BASE;
+            let base = if tagged { OP_TALU_BASE } else { OP_ALU_BASE };
+            let alu = AluOp::ALL[(op - base) as usize];
+            let d = dec_reg(field(w, 20, 6))?;
+            let s1 = dec_reg(field(w, 14, 6))?;
+            let s2 = if field(w, 13, 1) != 0 {
+                Operand::Reg(dec_reg(field(w, 0, 6))?)
+            } else {
+                Operand::Imm(sext(field(w, 0, 13), 13))
+            };
+            Instr::Alu { op: alu, s1, s2, d, tagged }
+        }
+        OP_MOVI => {
+            let d = dec_reg(field(w, 20, 6))?;
+            let imm = *words.get(at + 1).ok_or(DecodeError::Truncated)?;
+            return Ok((Instr::MovI { imm, d }, 2));
+        }
+        OP_BRANCH => {
+            let cond = *Cond::ALL.get(field(w, 22, 4) as usize).ok_or(DecodeError::BadField)?;
+            Instr::Branch { cond, offset: sext(field(w, 0, 22), 22) }
+        }
+        OP_JMPL => {
+            let d = dec_reg(field(w, 20, 6))?;
+            let s1 = dec_reg(field(w, 14, 6))?;
+            let s2 = if field(w, 13, 1) != 0 {
+                Operand::Reg(dec_reg(field(w, 0, 6))?)
+            } else {
+                Operand::Imm(sext(field(w, 0, 13), 13))
+            };
+            Instr::Jmpl { s1, s2, d }
+        }
+        OP_LOAD => Instr::Load {
+            flavor: LoadFlavor::ALL[field(w, 11, 3) as usize],
+            a: dec_reg(field(w, 14, 6))?,
+            offset: sext(field(w, 0, 11), 11),
+            d: dec_reg(field(w, 20, 6))?,
+        },
+        OP_STORE => Instr::Store {
+            flavor: StoreFlavor::ALL[field(w, 11, 3) as usize],
+            a: dec_reg(field(w, 14, 6))?,
+            offset: sext(field(w, 0, 11), 11),
+            s: dec_reg(field(w, 20, 6))?,
+        },
+        OP_FALU => Instr::Falu {
+            op: *FpOp::ALL.get(field(w, 9, 5) as usize).ok_or(DecodeError::BadField)?,
+            fs1: field(w, 14, 3) as u8,
+            fs2: field(w, 0, 3) as u8,
+            fd: field(w, 20, 3) as u8,
+        },
+        OP_FCMP => Instr::Fcmp { fs1: field(w, 14, 3) as u8, fs2: field(w, 0, 3) as u8 },
+        OP_LDF => Instr::LdF {
+            a: dec_reg(field(w, 14, 6))?,
+            offset: sext(field(w, 0, 11), 11),
+            fd: field(w, 20, 3) as u8,
+        },
+        OP_STF => Instr::StF {
+            fs: field(w, 20, 3) as u8,
+            a: dec_reg(field(w, 14, 6))?,
+            offset: sext(field(w, 0, 11), 11),
+        },
+        OP_FMOVI => {
+            let fd = field(w, 20, 3) as u8;
+            let bits = *words.get(at + 1).ok_or(DecodeError::Truncated)?;
+            return Ok((Instr::FMovI { bits, fd }, 2));
+        }
+        OP_FIX2F => Instr::FixToF { s: dec_reg(field(w, 14, 6))?, fd: field(w, 20, 3) as u8 },
+        OP_F2FIX => Instr::FToFix { fs: field(w, 14, 3) as u8, d: dec_reg(field(w, 20, 6))? },
+        OP_INCFP => Instr::IncFp,
+        OP_DECFP => Instr::DecFp,
+        OP_RDFP => Instr::RdFp { d: dec_reg(field(w, 20, 6))? },
+        OP_STFP => Instr::StFp { s: dec_reg(field(w, 20, 6))? },
+        OP_RDPSR => Instr::RdPsr { d: dec_reg(field(w, 20, 6))? },
+        OP_WRPSR => Instr::WrPsr { s: dec_reg(field(w, 20, 6))? },
+        OP_RTCALL => Instr::RtCall { n: (w & 0xffff) as u16 },
+        OP_FLUSH => Instr::Flush {
+            a: dec_reg(field(w, 14, 6))?,
+            offset: sext(field(w, 0, 11), 11),
+        },
+        OP_FENCE => Instr::Fence,
+        OP_LDIO => Instr::Ldio { reg: (w & 0xffff) as u16, d: dec_reg(field(w, 20, 6))? },
+        OP_STIO => Instr::Stio { reg: (w & 0xffff) as u16, s: dec_reg(field(w, 20, 6))? },
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((i, 1))
+}
+
+/// Encodes a whole instruction sequence.
+///
+/// # Errors
+///
+/// Returns the first [`EncodeError`] encountered.
+pub fn encode_all(instrs: &[Instr]) -> Result<Vec<u32>, EncodeError> {
+    let mut out = Vec::with_capacity(instrs.len());
+    for &i in instrs {
+        encode(i, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Decodes a whole word stream.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_all(words: &[u32]) -> Result<Vec<Instr>, DecodeError> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < words.len() {
+        let (i, n) = decode(words, at)?;
+        out.push(i);
+        at += n;
+    }
+    Ok(out)
+}

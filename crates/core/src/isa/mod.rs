@@ -1,0 +1,680 @@
+//! The APRIL instruction set (paper, Section 4 and Tables 1–2).
+//!
+//! APRIL is "a basic RISC instruction set augmented with special memory
+//! instructions for full/empty bit operations, multithreading, and
+//! cache support". This module defines the instruction forms; sibling
+//! modules provide a binary encoding ([`encode`](crate::isa::encode)),
+//! a text assembler ([`asm`](crate::isa::asm)) and a disassembler
+//! ([`disasm`](crate::isa::disasm)).
+//!
+//! All register operands are addressed **relative to the current frame
+//! pointer** except the eight global registers, which are always
+//! accessible.
+
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+
+use std::fmt;
+
+/// A register operand: either one of the 8 globals or one of the 32
+/// registers of the active task frame.
+///
+/// Global register `g0` is hardwired to zero (writes are discarded),
+/// following the SPARC convention the implementation builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// Global register `g0`–`g7`, visible from every task frame.
+    G(u8),
+    /// Frame-local register `r0`–`r31` of the active task frame.
+    L(u8),
+}
+
+impl Reg {
+    /// The zero register (`g0`).
+    pub const ZERO: Reg = Reg::G(0);
+
+    /// Validates the register index range.
+    pub fn is_valid(self) -> bool {
+        match self {
+            Reg::G(i) => i < 8,
+            Reg::L(i) => i < 32,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::G(i) => write!(f, "g{i}"),
+            Reg::L(i) => write!(f, "r{i}"),
+        }
+    }
+}
+
+/// The second source of a compute instruction: a register or a 13-bit
+/// signed immediate (the SPARC-style `reg-or-imm` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register source.
+    Reg(Reg),
+    /// Signed immediate, range −4096…4095.
+    Imm(i32),
+}
+
+impl Operand {
+    /// Immediate range limit (13-bit signed).
+    pub const IMM_MIN: i32 = -4096;
+    /// Immediate range limit (13-bit signed).
+    pub const IMM_MAX: i32 = 4095;
+
+    /// True if the operand is representable in the encoding.
+    pub fn is_valid(self) -> bool {
+        match self {
+            Operand::Reg(r) => r.is_valid(),
+            Operand::Imm(i) => (Self::IMM_MIN..=Self::IMM_MAX).contains(&i),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(i: i32) -> Operand {
+        Operand::Imm(i)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Arithmetic/logic operations for 3-address compute instructions.
+///
+/// `Mul`, `Div` and `Rem` in *tagged* instructions operate on fixnum
+/// semantics (operands are interpreted as 30-bit tagged integers and
+/// the result is retagged); all other operations work on raw bits,
+/// which the `..00` fixnum tag makes equivalent to fixnum arithmetic
+/// for add/sub/compare/logical ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Integer add.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left (by `s2 & 31`).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Integer multiply (multi-cycle).
+    Mul,
+    /// Integer divide (multi-cycle); divide by zero traps.
+    Div,
+    /// Integer remainder (multi-cycle); divide by zero traps.
+    Rem,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 11] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+    ];
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Floating-point operations (single precision; the paper's node has
+/// an unmodified SPARC FPU whose instructions are modified in a
+/// context-dependent fashion as they are loaded — Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Floating add.
+    FAdd,
+    /// Floating subtract.
+    FSub,
+    /// Floating multiply.
+    FMul,
+    /// Floating divide.
+    FDiv,
+}
+
+impl FpOp {
+    /// All FP operations, in encoding order.
+    pub const ALL: [FpOp; 4] = [FpOp::FAdd, FpOp::FSub, FpOp::FMul, FpOp::FDiv];
+}
+
+impl fmt::Display for FpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpOp::FAdd => "fadd",
+            FpOp::FSub => "fsub",
+            FpOp::FMul => "fmul",
+            FpOp::FDiv => "fdiv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions. `Full`/`Empty` dispatch on the full/empty
+/// condition bit set by non-trapping memory instructions — these are
+/// the paper's `Jfull` and `Jempty` instructions, implemented on SPARC
+/// as coprocessor branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Unconditional.
+    Always,
+    /// Never (a nop with a branch encoding; useful for assemblers).
+    Never,
+    /// Result was zero (`Z`).
+    Eq,
+    /// Result was non-zero.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than (carry set).
+    Ltu,
+    /// Unsigned greater-or-equal (carry clear).
+    Geu,
+    /// Full/empty condition bit is *full* (`Jfull`).
+    Full,
+    /// Full/empty condition bit is *empty* (`Jempty`).
+    Empty,
+    /// Floating compare was equal (per-context `fcc`).
+    FpEq,
+    /// Floating compare was less-than.
+    FpLt,
+    /// Floating compare was greater-than.
+    FpGt,
+}
+
+impl Cond {
+    /// All conditions, in encoding order.
+    pub const ALL: [Cond; 15] = [
+        Cond::Always,
+        Cond::Never,
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::Ltu,
+        Cond::Geu,
+        Cond::Full,
+        Cond::Empty,
+        Cond::FpEq,
+        Cond::FpLt,
+        Cond::FpGt,
+    ];
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Always => "jmp",
+            Cond::Never => "jn",
+            Cond::Eq => "jeq",
+            Cond::Ne => "jne",
+            Cond::Lt => "jlt",
+            Cond::Le => "jle",
+            Cond::Gt => "jgt",
+            Cond::Ge => "jge",
+            Cond::Ltu => "jltu",
+            Cond::Geu => "jgeu",
+            Cond::Full => "jfull",
+            Cond::Empty => "jempty",
+            Cond::FpEq => "jfeq",
+            Cond::FpLt => "jflt",
+            Cond::FpGt => "jfgt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The behavior options of a load instruction (paper, Table 2).
+///
+/// Three independent choices give the 8 load flavors:
+/// * trap if the location is **empty** (`fe_trap`),
+/// * atomically **reset** the full/empty bit to empty (`reset_fe`),
+/// * on a cache miss, **trap** (context switch) or make the processor
+///   **wait** (`miss_wait`).
+///
+/// Non-trapping flavors record the word's full/empty state in the PSR
+/// condition bit for `Jfull`/`Jempty`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoadFlavor {
+    /// Reset the full/empty bit to *empty* after the load.
+    pub reset_fe: bool,
+    /// Trap if the location is empty (otherwise set the condition bit).
+    pub fe_trap: bool,
+    /// On a cache miss, wait for the controller instead of trapping.
+    pub miss_wait: bool,
+}
+
+impl LoadFlavor {
+    /// `ldnt`: plain load — no f/e trap, no reset, trap on (remote)
+    /// cache miss so the processor can switch contexts. This is the
+    /// flavor ordinary compiled code uses; the controller still makes
+    /// the processor wait for purely local fills.
+    pub const NORMAL: LoadFlavor = LoadFlavor {
+        reset_fe: false,
+        fe_trap: false,
+        miss_wait: false,
+    };
+
+    /// All 8 flavors in Table 2 order (ldtt, ldett, ldnt, ldent, ldnw,
+    /// ldenw, ldtw, ldetw).
+    pub const ALL: [LoadFlavor; 8] = [
+        LoadFlavor { reset_fe: false, fe_trap: true, miss_wait: false }, // ldtt
+        LoadFlavor { reset_fe: true, fe_trap: true, miss_wait: false },  // ldett
+        LoadFlavor { reset_fe: false, fe_trap: false, miss_wait: false }, // ldnt
+        LoadFlavor { reset_fe: true, fe_trap: false, miss_wait: false }, // ldent
+        LoadFlavor { reset_fe: false, fe_trap: false, miss_wait: true }, // ldnw
+        LoadFlavor { reset_fe: true, fe_trap: false, miss_wait: true },  // ldenw
+        LoadFlavor { reset_fe: false, fe_trap: true, miss_wait: true },  // ldtw
+        LoadFlavor { reset_fe: true, fe_trap: true, miss_wait: true },   // ldetw
+    ];
+
+    /// The paper's mnemonic for this flavor (`ld[e]{t|n}{t|w}`).
+    pub fn mnemonic(self) -> &'static str {
+        match (self.reset_fe, self.fe_trap, self.miss_wait) {
+            (false, true, false) => "ldtt",
+            (true, true, false) => "ldett",
+            (false, false, false) => "ldnt",
+            (true, false, false) => "ldent",
+            (false, false, true) => "ldnw",
+            (true, false, true) => "ldenw",
+            (false, true, true) => "ldtw",
+            (true, true, true) => "ldetw",
+        }
+    }
+
+    /// Parses a Table 2 mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<LoadFlavor> {
+        LoadFlavor::ALL.into_iter().find(|f| f.mnemonic() == s)
+    }
+}
+
+/// The behavior options of a store instruction.
+///
+/// "Store instructions are similar except that they trap on full
+/// locations instead of empty locations" (paper, Section 4), and their
+/// f/e option *sets* the bit to full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreFlavor {
+    /// Set the full/empty bit to *full* after the store.
+    pub set_fe: bool,
+    /// Trap if the location is already full.
+    pub fe_trap: bool,
+    /// On a cache miss, wait instead of trapping.
+    pub miss_wait: bool,
+}
+
+impl StoreFlavor {
+    /// `stnt`: plain store — no f/e trap, no set, trap on remote miss.
+    pub const NORMAL: StoreFlavor = StoreFlavor {
+        set_fe: false,
+        fe_trap: false,
+        miss_wait: false,
+    };
+
+    /// All 8 store flavors, mirroring Table 2.
+    pub const ALL: [StoreFlavor; 8] = [
+        StoreFlavor { set_fe: false, fe_trap: true, miss_wait: false }, // sttt
+        StoreFlavor { set_fe: true, fe_trap: true, miss_wait: false },  // stftt
+        StoreFlavor { set_fe: false, fe_trap: false, miss_wait: false }, // stnt
+        StoreFlavor { set_fe: true, fe_trap: false, miss_wait: false }, // stfnt
+        StoreFlavor { set_fe: false, fe_trap: false, miss_wait: true }, // stnw
+        StoreFlavor { set_fe: true, fe_trap: false, miss_wait: true },  // stfnw
+        StoreFlavor { set_fe: false, fe_trap: true, miss_wait: true },  // sttw
+        StoreFlavor { set_fe: true, fe_trap: true, miss_wait: true },   // stftw
+    ];
+
+    /// Mnemonic: `st[f]{t|n}{t|w}` where `f` marks "set full".
+    pub fn mnemonic(self) -> &'static str {
+        match (self.set_fe, self.fe_trap, self.miss_wait) {
+            (false, true, false) => "sttt",
+            (true, true, false) => "stftt",
+            (false, false, false) => "stnt",
+            (true, false, false) => "stfnt",
+            (false, false, true) => "stnw",
+            (true, false, true) => "stfnw",
+            (false, true, true) => "sttw",
+            (true, true, true) => "stftw",
+        }
+    }
+
+    /// Parses a store mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<StoreFlavor> {
+        StoreFlavor::ALL.into_iter().find(|f| f.mnemonic() == s)
+    }
+}
+
+/// One APRIL instruction.
+///
+/// Instruction addresses are word indices into the program's text
+/// segment; the PC chain (`PC`, `nPC`) gives every control transfer a
+/// single-cycle branch delay slot (paper, Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// 3-address compute instruction: `d = s1 op s2`. Sets the
+    /// condition codes. When `tagged`, the instruction is *strict*: it
+    /// traps with a future-touch trap if either operand has its least
+    /// significant bit set.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// First source register.
+        s1: Reg,
+        /// Second source (register or immediate).
+        s2: Operand,
+        /// Destination register.
+        d: Reg,
+        /// Strict (future-detecting) variant.
+        tagged: bool,
+    },
+    /// Load a 32-bit immediate into a register. (Stands for the
+    /// `sethi`+`or` pair of the SPARC implementation; costs 1 cycle in
+    /// the custom-APRIL timing model.)
+    MovI {
+        /// The immediate value.
+        imm: u32,
+        /// Destination register.
+        d: Reg,
+    },
+    /// Conditional branch, PC-relative, with one delay slot.
+    Branch {
+        /// Branch condition.
+        cond: Cond,
+        /// Signed word offset from the branch instruction.
+        offset: i32,
+    },
+    /// Jump-and-link: `d = return address; PC = s1 + s2`. Used for
+    /// calls (`d = link`) and returns (`d = g0`).
+    Jmpl {
+        /// Base register of the target.
+        s1: Reg,
+        /// Target offset (register or immediate).
+        s2: Operand,
+        /// Link destination; receives the address of the instruction
+        /// after the delay slot.
+        d: Reg,
+    },
+    /// Memory load: `d = mem[s1 + offset]`, with full/empty and
+    /// cache-miss behavior selected by the flavor. Traps if the base
+    /// register holds a future pointer (implicit touch on dereference).
+    Load {
+        /// Behavior flavor (Table 2).
+        flavor: LoadFlavor,
+        /// Base address register.
+        a: Reg,
+        /// Signed byte offset.
+        offset: i32,
+        /// Destination register.
+        d: Reg,
+    },
+    /// Memory store: `mem[s1 + offset] = s`.
+    Store {
+        /// Behavior flavor.
+        flavor: StoreFlavor,
+        /// Base address register.
+        a: Reg,
+        /// Signed byte offset.
+        offset: i32,
+        /// Source register.
+        s: Reg,
+    },
+    /// Increment the frame pointer to the next task frame (modulo the
+    /// number of frames).
+    IncFp,
+    /// Decrement the frame pointer (modulo the number of frames).
+    DecFp,
+    /// Read the frame pointer into a register (as a fixnum).
+    RdFp {
+        /// Destination register.
+        d: Reg,
+    },
+    /// Write the frame pointer from a register.
+    StFp {
+        /// Source register (fixnum, taken modulo the frame count).
+        s: Reg,
+    },
+    /// Read the active frame's PSR into a register.
+    RdPsr {
+        /// Destination register.
+        d: Reg,
+    },
+    /// Write the active frame's PSR from a register.
+    WrPsr {
+        /// Source register.
+        s: Reg,
+    },
+    /// Software trap into the run-time system (scheduler entry, future
+    /// creation, allocation, I/O). The immediate selects the service.
+    RtCall {
+        /// Run-time service number.
+        n: u16,
+    },
+    /// Flush the cache line containing `mem[a + offset]`, writing back
+    /// dirty data and incrementing the fence counter (an "out-of-band"
+    /// instruction of Section 3.4).
+    Flush {
+        /// Base address register.
+        a: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Stall until the fence counter drops to zero: all flushed
+    /// write-backs have been acknowledged by memory.
+    Fence,
+    /// Memory-mapped I/O load (`LDIO`): reaches controller registers
+    /// and the interprocessor-interrupt mechanism.
+    Ldio {
+        /// I/O register number.
+        reg: u16,
+        /// Destination register.
+        d: Reg,
+    },
+    /// Memory-mapped I/O store (`STIO`).
+    Stio {
+        /// I/O register number.
+        reg: u16,
+        /// Source register.
+        s: Reg,
+    },
+    /// Floating-point compute: `fd = fs1 op fs2` on the active frame's
+    /// FP register set.
+    Falu {
+        /// Operation.
+        op: FpOp,
+        /// First source FP register (0–7).
+        fs1: u8,
+        /// Second source FP register.
+        fs2: u8,
+        /// Destination FP register.
+        fd: u8,
+    },
+    /// Floating compare: sets the active frame's `fcc`.
+    Fcmp {
+        /// First source FP register.
+        fs1: u8,
+        /// Second source FP register.
+        fs2: u8,
+    },
+    /// Load a word into an FP register (raw bits, plain cache
+    /// semantics).
+    LdF {
+        /// Base address register.
+        a: Reg,
+        /// Signed byte offset.
+        offset: i32,
+        /// Destination FP register.
+        fd: u8,
+    },
+    /// Store an FP register to memory.
+    StF {
+        /// Source FP register.
+        fs: u8,
+        /// Base address register.
+        a: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Load an IEEE-754 bit pattern immediate into an FP register
+    /// (two words, like `MovI`).
+    FMovI {
+        /// Raw single-precision bits.
+        bits: u32,
+        /// Destination FP register.
+        fd: u8,
+    },
+    /// Convert a fixnum register to float.
+    FixToF {
+        /// Source integer register (fixnum).
+        s: Reg,
+        /// Destination FP register.
+        fd: u8,
+    },
+    /// Convert an FP register to a fixnum (truncating).
+    FToFix {
+        /// Source FP register.
+        fs: u8,
+        /// Destination integer register.
+        d: Reg,
+    },
+    /// No operation (fills branch delay slots).
+    Nop,
+    /// Stop the processor (simulation end for bare-metal programs).
+    Halt,
+}
+
+impl Instr {
+    /// True if this instruction is a control transfer (and therefore
+    /// followed by a delay slot).
+    pub fn is_control_transfer(self) -> bool {
+        matches!(self, Instr::Branch { .. } | Instr::Jmpl { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_load_flavors_match_table_2() {
+        // Table 2 names and properties, verbatim.
+        let expect = [
+            ("ldtt", false, true, false),
+            ("ldett", true, true, false),
+            ("ldnt", false, false, false),
+            ("ldent", true, false, false),
+            ("ldnw", false, false, true),
+            ("ldenw", true, false, true),
+            ("ldtw", false, true, true),
+            ("ldetw", true, true, true),
+        ];
+        for (i, (name, reset, trap, wait)) in expect.into_iter().enumerate() {
+            let f = LoadFlavor::ALL[i];
+            assert_eq!(f.mnemonic(), name);
+            assert_eq!(f.reset_fe, reset, "{name} reset");
+            assert_eq!(f.fe_trap, trap, "{name} trap");
+            assert_eq!(f.miss_wait, wait, "{name} wait");
+            assert_eq!(LoadFlavor::from_mnemonic(name), Some(f));
+        }
+    }
+
+    #[test]
+    fn flavors_are_distinct() {
+        for (i, a) in LoadFlavor::ALL.iter().enumerate() {
+            for b in &LoadFlavor::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        for (i, a) in StoreFlavor::ALL.iter().enumerate() {
+            for b in &StoreFlavor::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn store_mnemonics_roundtrip() {
+        for f in StoreFlavor::ALL {
+            assert_eq!(StoreFlavor::from_mnemonic(f.mnemonic()), Some(f));
+        }
+    }
+
+    #[test]
+    fn reg_validity() {
+        assert!(Reg::G(7).is_valid());
+        assert!(!Reg::G(8).is_valid());
+        assert!(Reg::L(31).is_valid());
+        assert!(!Reg::L(32).is_valid());
+    }
+
+    #[test]
+    fn operand_validity() {
+        assert!(Operand::Imm(4095).is_valid());
+        assert!(!Operand::Imm(4096).is_valid());
+        assert!(Operand::Imm(-4096).is_valid());
+        assert!(!Operand::Imm(-4097).is_valid());
+    }
+
+    #[test]
+    fn control_transfer_classification() {
+        assert!(Instr::Branch { cond: Cond::Always, offset: 0 }.is_control_transfer());
+        assert!(Instr::Jmpl { s1: Reg::ZERO, s2: Operand::Imm(0), d: Reg::ZERO }
+            .is_control_transfer());
+        assert!(!Instr::Nop.is_control_transfer());
+    }
+}

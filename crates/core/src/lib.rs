@@ -1,0 +1,88 @@
+//! # april-core — the APRIL processor
+//!
+//! A from-scratch reproduction of the processor described in *APRIL: A
+//! Processor Architecture for Multiprocessing* (Agarwal, Lim, Kranz,
+//! Kubiatowicz; ISCA 1990).
+//!
+//! APRIL is a **coarse-grain multithreaded** RISC processor for
+//! large-scale shared-memory multiprocessors. Unlike the cycle-by-cycle
+//! interleaving of the HEP, APRIL executes one thread at full speed
+//! until it suffers a remote cache miss or a failed synchronization
+//! attempt, then switches to another of its (up to four) hardware-
+//! resident threads in 4–11 cycles. Fine-grain synchronization uses a
+//! full/empty bit on every memory word, and Mul-T futures are supported
+//! by pointer tags that let strict operations trap in hardware.
+//!
+//! This crate contains everything that would be on the chip:
+//!
+//! * [`word`] — tagged 32-bit words (fixnum/other/cons/future).
+//! * [`isa`] — the instruction set, with the 8+8 load/store flavors of
+//!   Table 2, `Jfull`/`Jempty`, frame-pointer and out-of-band
+//!   instructions; an assembler, disassembler, and binary encoding.
+//! * [`frame`], [`psr`] — task frames (register set + PC chain + PSR).
+//! * [`cpu`] — the cycle-accounted execution engine.
+//! * [`trap`] — trap conditions (remote miss, full/empty, future touch).
+//! * [`memport`] — the processor↔memory-system interface.
+//! * [`program`] — program images and a label-resolving builder.
+//! * [`stats`] — the cycle ledger used for utilization measurements.
+//!
+//! The memory system, network, machine assembly, run-time system and
+//! compiler live in the sibling `april-*` crates.
+//!
+//! # Examples
+//!
+//! Assemble and run a program that sums 1..=10:
+//!
+//! ```
+//! use april_core::isa::asm::assemble;
+//! use april_core::cpu::{Cpu, CpuConfig, StepEvent};
+//! use april_core::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
+//! use april_core::word::Word;
+//! use april_core::isa::Reg;
+//!
+//! struct NullMem;
+//! impl MemoryPort for NullMem {
+//!     fn load(&mut self, _: u32, _: april_core::isa::LoadFlavor, _: AccessCtx) -> LoadReply {
+//!         LoadReply::Data { word: Word::ZERO, fe: true }
+//!     }
+//!     fn store(&mut self, _: u32, _: Word, _: april_core::isa::StoreFlavor, _: AccessCtx)
+//!         -> StoreReply {
+//!         StoreReply::Done { fe: false }
+//!     }
+//! }
+//!
+//! let prog = assemble("
+//!     movi 10, r1
+//!     movi 0, r2
+//! loop:
+//!     add r2, r1, r2
+//!     sub r1, 1, r1
+//!     jne loop
+//!     nop
+//!     halt
+//! ")?;
+//! let mut cpu = Cpu::new(CpuConfig::default());
+//! cpu.boot(prog.entry);
+//! while cpu.step(&prog, &mut NullMem) != StepEvent::Halted {}
+//! assert_eq!(cpu.get_reg(Reg::L(2)), Word(55));
+//! # Ok::<(), april_core::isa::asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod frame;
+pub mod isa;
+pub mod memport;
+pub mod program;
+pub mod psr;
+pub mod stats;
+pub mod trap;
+pub mod word;
+
+pub use cpu::{Cpu, CpuConfig, StepEvent};
+pub use frame::{FrameState, TaskFrame};
+pub use isa::Instr;
+pub use program::{Program, ProgramBuilder};
+pub use trap::Trap;
+pub use word::{Tag, Word};

@@ -1,0 +1,204 @@
+//! The Processor State Register (PSR).
+//!
+//! Each task frame owns one 32-bit PSR holding the condition codes set
+//! by compute instructions, the full/empty condition bit delivered by
+//! the cache controller for non-trapping memory instructions (used by
+//! `Jfull`/`Jempty`), and a supervisor/trap-enable bit. The PSR "can be
+//! read into and written from the general registers" (paper, Section 3),
+//! which the `RDPSR`/`WRPSR` instructions implement.
+
+use crate::word::Word;
+use std::fmt;
+
+/// Condition codes set as a side effect of compute instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct CondCodes {
+    /// Negative: result bit 31 set.
+    pub n: bool,
+    /// Zero: result was zero.
+    pub z: bool,
+    /// Overflow (signed).
+    pub v: bool,
+    /// Carry (unsigned overflow / borrow).
+    pub c: bool,
+}
+
+/// Floating-point comparison outcome, one per task frame — the paper
+/// maintains "four different sets of condition bits" so FP compares
+/// context-switch with the frame (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub enum FpCond {
+    /// Operands compared equal.
+    #[default]
+    Eq,
+    /// First operand less than second.
+    Lt,
+    /// First operand greater than second.
+    Gt,
+    /// At least one operand was NaN.
+    Unordered,
+}
+
+impl FpCond {
+    fn to_bits(self) -> u32 {
+        match self {
+            FpCond::Eq => 0,
+            FpCond::Lt => 1,
+            FpCond::Gt => 2,
+            FpCond::Unordered => 3,
+        }
+    }
+
+    fn from_bits(b: u32) -> FpCond {
+        match b & 3 {
+            0 => FpCond::Eq,
+            1 => FpCond::Lt,
+            2 => FpCond::Gt,
+            _ => FpCond::Unordered,
+        }
+    }
+}
+
+/// A task frame's Processor State Register.
+///
+/// # Examples
+///
+/// ```
+/// use april_core::psr::Psr;
+///
+/// let mut psr = Psr::default();
+/// psr.fe_cond = true;
+/// let w = psr.to_word();
+/// assert_eq!(Psr::from_word(w), psr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Psr {
+    /// Integer condition codes.
+    pub cc: CondCodes,
+    /// Full/empty condition bit: state of the last non-trapping memory
+    /// instruction's target word, tested by `Jfull`/`Jempty`. Delivered
+    /// on SPARC through the Coprocessor Condition bits (Section 5).
+    pub fe_cond: bool,
+    /// Set while executing in a trap handler (supervisor state).
+    pub in_trap: bool,
+    /// When clear, traps halt the processor instead of vectoring
+    /// (used during boot and inside handlers).
+    pub traps_enabled: bool,
+    /// Floating-point condition code (per-context, Section 5).
+    pub fcc: FpCond,
+}
+
+const N_BIT: u32 = 1 << 23;
+const Z_BIT: u32 = 1 << 22;
+const V_BIT: u32 = 1 << 21;
+const C_BIT: u32 = 1 << 20;
+const FE_BIT: u32 = 1 << 12;
+const FCC_SHIFT: u32 = 14;
+const TRAP_BIT: u32 = 1 << 7;
+const ET_BIT: u32 = 1 << 5;
+
+impl Psr {
+    /// A PSR in the reset state with traps enabled, as the boot code
+    /// leaves it before dispatching the first thread.
+    pub fn user() -> Psr {
+        Psr {
+            traps_enabled: true,
+            ..Psr::default()
+        }
+    }
+
+    /// Packs the PSR into a machine word (for `RDPSR`, and for the trap
+    /// window save slot used during context switches).
+    pub fn to_word(self) -> Word {
+        let mut v = 0;
+        if self.cc.n {
+            v |= N_BIT;
+        }
+        if self.cc.z {
+            v |= Z_BIT;
+        }
+        if self.cc.v {
+            v |= V_BIT;
+        }
+        if self.cc.c {
+            v |= C_BIT;
+        }
+        if self.fe_cond {
+            v |= FE_BIT;
+        }
+        if self.in_trap {
+            v |= TRAP_BIT;
+        }
+        if self.traps_enabled {
+            v |= ET_BIT;
+        }
+        v |= self.fcc.to_bits() << FCC_SHIFT;
+        Word(v)
+    }
+
+    /// Unpacks a machine word written by `WRPSR`.
+    pub fn from_word(w: Word) -> Psr {
+        Psr {
+            cc: CondCodes {
+                n: w.0 & N_BIT != 0,
+                z: w.0 & Z_BIT != 0,
+                v: w.0 & V_BIT != 0,
+                c: w.0 & C_BIT != 0,
+            },
+            fe_cond: w.0 & FE_BIT != 0,
+            in_trap: w.0 & TRAP_BIT != 0,
+            traps_enabled: w.0 & ET_BIT != 0,
+            fcc: FpCond::from_bits(w.0 >> FCC_SHIFT),
+        }
+    }
+}
+
+impl fmt::Display for Psr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}|fe={}{}]",
+            if self.cc.n { 'N' } else { '-' },
+            if self.cc.z { 'Z' } else { '-' },
+            if self.cc.v { 'V' } else { '-' },
+            if self.cc.c { 'C' } else { '-' },
+            if self.fe_cond { 'F' } else { 'E' },
+            if self.in_trap { "|T" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip_all_flags() {
+        for bits in 0..512u32 {
+            let psr = Psr {
+                cc: CondCodes {
+                    n: bits & 1 != 0,
+                    z: bits & 2 != 0,
+                    v: bits & 4 != 0,
+                    c: bits & 8 != 0,
+                },
+                fe_cond: bits & 16 != 0,
+                in_trap: bits & 32 != 0,
+                traps_enabled: bits & 64 != 0,
+                fcc: FpCond::from_bits(bits >> 7),
+            };
+            assert_eq!(Psr::from_word(psr.to_word()), psr);
+        }
+    }
+
+    #[test]
+    fn user_psr_has_traps_enabled() {
+        assert!(Psr::user().traps_enabled);
+        assert!(!Psr::user().in_trap);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Psr::default().to_string().is_empty());
+    }
+}

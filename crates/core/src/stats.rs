@@ -1,0 +1,128 @@
+//! Cycle accounting.
+//!
+//! The scalability analysis of Section 8 decomposes processor time into
+//! useful work, context-switch overhead, and memory/network waiting;
+//! the simulator keeps the same ledger so measured utilization can be
+//! compared directly against the analytical model (Figure 5).
+
+use std::fmt;
+
+/// Per-processor cycle ledger. Every simulated cycle lands in exactly
+/// one bucket, so `total()` equals elapsed processor time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Cycles spent executing user instructions (useful work).
+    pub useful_cycles: u64,
+    /// Cycles spent in trap entry (pipeline squash + vectoring).
+    pub trap_cycles: u64,
+    /// Cycles spent in run-time handlers, including the 6-cycle
+    /// context-switch handler body and future-touch resolution.
+    pub handler_cycles: u64,
+    /// Cycles stalled waiting on memory (local misses, MHOLD).
+    pub stall_cycles: u64,
+    /// Cycles with no runnable task frame (all loaded threads waiting).
+    pub idle_cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Traps taken, by any cause.
+    pub traps: u64,
+    /// Loads + stores issued.
+    pub mem_ops: u64,
+    /// Remote-miss traps (context-switch opportunities).
+    pub remote_misses: u64,
+    /// Full/empty synchronization traps.
+    pub fe_traps: u64,
+    /// Future-touch traps (strict op or address operand).
+    pub future_traps: u64,
+}
+
+impl CpuStats {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.useful_cycles
+            + self.trap_cycles
+            + self.handler_cycles
+            + self.stall_cycles
+            + self.idle_cycles
+    }
+
+    /// Processor utilization: fraction of cycles doing useful work —
+    /// the metric of Section 8.
+    pub fn utilization(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.useful_cycles as f64 / t as f64
+        }
+    }
+
+    /// Merges another ledger into this one (for machine-wide totals).
+    pub fn merge(&mut self, other: &CpuStats) {
+        self.useful_cycles += other.useful_cycles;
+        self.trap_cycles += other.trap_cycles;
+        self.handler_cycles += other.handler_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.idle_cycles += other.idle_cycles;
+        self.instructions += other.instructions;
+        self.context_switches += other.context_switches;
+        self.traps += other.traps;
+        self.mem_ops += other.mem_ops;
+        self.remote_misses += other.remote_misses;
+        self.fe_traps += other.fe_traps;
+        self.future_traps += other.future_traps;
+    }
+}
+
+impl fmt::Display for CpuStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} (useful={} trap={} handler={} stall={} idle={}) instrs={} cs={} util={:.3}",
+            self.total(),
+            self.useful_cycles,
+            self.trap_cycles,
+            self.handler_cycles,
+            self.stall_cycles,
+            self.idle_cycles,
+            self.instructions,
+            self.context_switches,
+            self.utilization(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_buckets() {
+        let s = CpuStats {
+            useful_cycles: 10,
+            trap_cycles: 5,
+            handler_cycles: 6,
+            stall_cycles: 3,
+            idle_cycles: 1,
+            ..CpuStats::default()
+        };
+        assert_eq!(s.total(), 25);
+        assert!((s.utilization() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_utilization_is_zero() {
+        assert_eq!(CpuStats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CpuStats { useful_cycles: 1, instructions: 2, ..CpuStats::default() };
+        let b = CpuStats { useful_cycles: 3, instructions: 4, ..CpuStats::default() };
+        a.merge(&b);
+        assert_eq!(a.useful_cycles, 4);
+        assert_eq!(a.instructions, 6);
+    }
+}

@@ -1,0 +1,151 @@
+//! Trap conditions.
+//!
+//! "When a trap is signalled in APRIL, the trap mechanism lets the
+//! pipeline empty and passes control to the trap handler. The trap
+//! handler executes in the same task frame as the thread that trapped
+//! so that it can access all of the thread's registers" (paper,
+//! Section 3). Entering a trap costs [`TRAP_ENTRY_CYCLES`] — the
+//! SPARC's minimum five cycles for squashing the pipeline and computing
+//! the trap vector (Section 5).
+//!
+//! In this reproduction the handlers themselves live in the
+//! `april-runtime` crate; the processor merely reports the trap and
+//! charges the entry cost, exactly as the hardware would vector to a
+//! software handler.
+
+use crate::isa::Reg;
+use std::fmt;
+
+/// Minimum trap overhead: pipeline squash plus trap-vector computation
+/// (paper, Sections 5 and 6.1).
+pub const TRAP_ENTRY_CYCLES: u64 = 5;
+
+/// A synchronous or controller-initiated trap condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trap {
+    /// Cache miss requiring a network (remote) transaction; the
+    /// controller traps the processor so it can switch contexts while
+    /// the transaction proceeds (Section 6.1).
+    RemoteMiss {
+        /// Faulting byte address.
+        addr: u32,
+        /// True for a store miss.
+        is_store: bool,
+    },
+    /// Full/empty synchronization exception: a trapping load found the
+    /// location empty, or a trapping store found it full.
+    FullEmpty {
+        /// Faulting byte address.
+        addr: u32,
+        /// True for a store.
+        is_store: bool,
+    },
+    /// A strict compute instruction found a future pointer in an
+    /// operand register (the modified non-fixnum trap of Section 5).
+    FutureTouch {
+        /// The register holding the future.
+        reg: Reg,
+    },
+    /// A memory instruction's address operand had its least significant
+    /// bit set — a future used as a pointer (the word-alignment trap of
+    /// Section 5, providing implicit touches for `car`-like operators).
+    FutureAddr {
+        /// The register holding the future.
+        reg: Reg,
+    },
+    /// Misaligned (non-word) effective address that is not a future.
+    Alignment {
+        /// Faulting byte address.
+        addr: u32,
+    },
+    /// Integer divide by zero.
+    DivZero,
+    /// Software trap: a run-time system call.
+    RtCall {
+        /// Service number.
+        n: u16,
+    },
+    /// Asynchronous interprocessor interrupt (Section 3.4), delivered
+    /// via the SPARC asynchronous trap lines.
+    Interrupt {
+        /// Originating node.
+        from: usize,
+    },
+}
+
+impl Trap {
+    /// The trap vector number, as the hardware would compute it.
+    pub fn vector(self) -> u8 {
+        match self {
+            Trap::RemoteMiss { .. } => 0x01,
+            Trap::FullEmpty { .. } => 0x02,
+            Trap::FutureTouch { .. } => 0x03,
+            Trap::FutureAddr { .. } => 0x04,
+            Trap::Alignment { .. } => 0x05,
+            Trap::DivZero => 0x06,
+            Trap::RtCall { .. } => 0x10,
+            Trap::Interrupt { .. } => 0x20,
+        }
+    }
+
+    /// True for traps caused by touching a future.
+    pub fn is_future_trap(self) -> bool {
+        matches!(self, Trap::FutureTouch { .. } | Trap::FutureAddr { .. })
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::RemoteMiss { addr, is_store } => {
+                write!(f, "remote-miss({}, {:#x})", if *is_store { "st" } else { "ld" }, addr)
+            }
+            Trap::FullEmpty { addr, is_store } => {
+                write!(f, "full/empty({}, {:#x})", if *is_store { "st" } else { "ld" }, addr)
+            }
+            Trap::FutureTouch { reg } => write!(f, "future-touch({reg})"),
+            Trap::FutureAddr { reg } => write!(f, "future-addr({reg})"),
+            Trap::Alignment { addr } => write!(f, "alignment({addr:#x})"),
+            Trap::DivZero => write!(f, "divide-by-zero"),
+            Trap::RtCall { n } => write!(f, "rtcall({n})"),
+            Trap::Interrupt { from } => write!(f, "ipi(from {from})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_distinct() {
+        let traps = [
+            Trap::RemoteMiss { addr: 0, is_store: false },
+            Trap::FullEmpty { addr: 0, is_store: false },
+            Trap::FutureTouch { reg: Reg::L(0) },
+            Trap::FutureAddr { reg: Reg::L(0) },
+            Trap::Alignment { addr: 0 },
+            Trap::DivZero,
+            Trap::RtCall { n: 0 },
+            Trap::Interrupt { from: 0 },
+        ];
+        for (i, a) in traps.iter().enumerate() {
+            for b in &traps[i + 1..] {
+                assert_ne!(a.vector(), b.vector());
+            }
+        }
+    }
+
+    #[test]
+    fn future_trap_classification() {
+        assert!(Trap::FutureTouch { reg: Reg::L(1) }.is_future_trap());
+        assert!(Trap::FutureAddr { reg: Reg::L(1) }.is_future_trap());
+        assert!(!Trap::DivZero.is_future_trap());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Trap::DivZero.to_string().is_empty());
+        assert!(Trap::RemoteMiss { addr: 64, is_store: true }.to_string().contains("st"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Tagged 32-bit machine words.
+//!
+//! APRIL encodes a data type in the low-order bits of every word
+//! (paper, Figure 3), in the style of the Berkeley SPUR processor:
+//!
+//! | type   | low bits | meaning                                   |
+//! |--------|----------|-------------------------------------------|
+//! | fixnum | `..00`   | 30-bit signed integer, value in bits 2–31 |
+//! | future | `..01`   | pointer to a future object                |
+//! | other  | `.010`   | pointer to a non-cons heap object         |
+//! | cons   | `.110`   | pointer to a cons cell                    |
+//!
+//! Future pointers are detected by their **non-zero least significant
+//! bit**, which is what lets a strict compute instruction or a memory
+//! dereference trap on an unresolved future without any extra cycles on
+//! the common path (paper, Sections 3.2 and 4).
+//!
+//! `other` and `cons` pointers carry a 3-bit tag and therefore require
+//! the pointed-to object to be 8-byte (2-word) aligned; future pointers
+//! only require word alignment.
+
+use std::fmt;
+
+/// Number of bytes per machine word.
+pub const WORD_BYTES: u32 = 4;
+
+/// A 32-bit APRIL machine word with a type tag in its low bits.
+///
+/// The associated full/empty synchronization bit is *not* part of the
+/// word; it lives beside each word in memory (see `april-mem`).
+///
+/// # Examples
+///
+/// ```
+/// use april_core::word::Word;
+///
+/// let w = Word::fixnum(-7);
+/// assert!(w.is_fixnum());
+/// assert_eq!(w.as_fixnum(), Some(-7));
+///
+/// let f = Word::future_ptr(0x100);
+/// assert!(f.is_future());
+/// assert_eq!(f.ptr_addr(), Some(0x100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Word(pub u32);
+
+/// The data type encoded in a word's low-order bits (paper, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// 30-bit signed integer (low bits `00`).
+    Fixnum,
+    /// Pointer to a future object (least significant bit set).
+    Future,
+    /// Pointer to a non-cons heap object (low bits `010`).
+    Other,
+    /// Pointer to a cons cell (low bits `110`).
+    Cons,
+}
+
+impl Tag {
+    /// The low-order tag bits used by this tag.
+    pub fn bits(self) -> u32 {
+        match self {
+            Tag::Fixnum => 0b00,
+            Tag::Future => 0b01,
+            Tag::Other => 0b010,
+            Tag::Cons => 0b110,
+        }
+    }
+
+    /// The mask that isolates this tag's bits within a word.
+    pub fn mask(self) -> u32 {
+        match self {
+            Tag::Fixnum | Tag::Future => 0b11,
+            Tag::Other | Tag::Cons => 0b111,
+        }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tag::Fixnum => "fixnum",
+            Tag::Future => "future",
+            Tag::Other => "other",
+            Tag::Cons => "cons",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Word {
+    /// The all-zero word: fixnum 0.
+    pub const ZERO: Word = Word(0);
+
+    /// Smallest representable fixnum (−2³⁰ … 2³⁰−1 fit in 30 bits).
+    pub const FIXNUM_MIN: i32 = -(1 << 29);
+    /// Largest representable fixnum.
+    pub const FIXNUM_MAX: i32 = (1 << 29) - 1;
+
+    /// Creates a fixnum word. The value is truncated to 30 bits
+    /// (wrapping), matching hardware behavior on overflow.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use april_core::word::Word;
+    /// assert_eq!(Word::fixnum(5).0, 20); // 5 << 2
+    /// ```
+    pub fn fixnum(n: i32) -> Word {
+        Word((n as u32) << 2)
+    }
+
+    /// Creates a future pointer to `addr` (must be word-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not word-aligned.
+    pub fn future_ptr(addr: u32) -> Word {
+        assert_eq!(addr & 0b11, 0, "future target must be word-aligned");
+        Word(addr | Tag::Future.bits())
+    }
+
+    /// Creates an `other` pointer to `addr` (must be 8-byte aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn other_ptr(addr: u32) -> Word {
+        assert_eq!(addr & 0b111, 0, "`other` target must be 8-byte aligned");
+        Word(addr | Tag::Other.bits())
+    }
+
+    /// Creates a cons pointer to `addr` (must be 8-byte aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn cons_ptr(addr: u32) -> Word {
+        assert_eq!(addr & 0b111, 0, "cons target must be 8-byte aligned");
+        Word(addr | Tag::Cons.bits())
+    }
+
+    /// Creates a pointer with the given tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not satisfy the tag's alignment, or if the
+    /// tag is [`Tag::Fixnum`] (fixnums are not pointers).
+    pub fn tagged_ptr(tag: Tag, addr: u32) -> Word {
+        match tag {
+            Tag::Future => Word::future_ptr(addr),
+            Tag::Other => Word::other_ptr(addr),
+            Tag::Cons => Word::cons_ptr(addr),
+            Tag::Fixnum => panic!("fixnum is not a pointer tag"),
+        }
+    }
+
+    /// Decodes this word's type tag.
+    pub fn tag(self) -> Tag {
+        if self.0 & 1 != 0 {
+            Tag::Future
+        } else if self.0 & 0b10 == 0 {
+            Tag::Fixnum
+        } else if self.0 & 0b100 == 0 {
+            Tag::Other
+        } else {
+            Tag::Cons
+        }
+    }
+
+    /// True if this word is a fixnum.
+    pub fn is_fixnum(self) -> bool {
+        self.0 & 0b11 == 0
+    }
+
+    /// True if this word is a future pointer — i.e. its least
+    /// significant bit is set, the hardware future-detection condition.
+    pub fn is_future(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True if this word is a cons pointer.
+    pub fn is_cons(self) -> bool {
+        self.tag() == Tag::Cons
+    }
+
+    /// True if this word is an `other` pointer.
+    pub fn is_other(self) -> bool {
+        self.tag() == Tag::Other
+    }
+
+    /// The fixnum value, if this word is a fixnum.
+    pub fn as_fixnum(self) -> Option<i32> {
+        if self.is_fixnum() {
+            Some((self.0 as i32) >> 2)
+        } else {
+            None
+        }
+    }
+
+    /// The byte address a pointer word refers to, with the tag bits
+    /// stripped; `None` for fixnums.
+    pub fn ptr_addr(self) -> Option<u32> {
+        match self.tag() {
+            Tag::Fixnum => None,
+            Tag::Future => Some(self.0 & !0b11),
+            Tag::Other | Tag::Cons => Some(self.0 & !0b111),
+        }
+    }
+
+    /// Raw bit pattern.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Word {
+    fn from(v: u32) -> Word {
+        Word(v)
+    }
+}
+
+impl From<Word> for u32 {
+    fn from(w: Word) -> u32 {
+        w.0
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tag() {
+            Tag::Fixnum => write!(f, "{}", (self.0 as i32) >> 2),
+            t => write!(f, "{}@{:#x}", t, self.ptr_addr().unwrap()),
+        }
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixnum_roundtrip() {
+        for n in [0, 1, -1, 42, -42, Word::FIXNUM_MAX, Word::FIXNUM_MIN] {
+            let w = Word::fixnum(n);
+            assert_eq!(w.tag(), Tag::Fixnum);
+            assert_eq!(w.as_fixnum(), Some(n), "n = {n}");
+            assert!(!w.is_future());
+        }
+    }
+
+    #[test]
+    fn fixnum_add_is_raw_add() {
+        // The tag scheme makes fixnum add/sub work on raw bits.
+        let a = Word::fixnum(20);
+        let b = Word::fixnum(-3);
+        let sum = Word(a.0.wrapping_add(b.0));
+        assert_eq!(sum.as_fixnum(), Some(17));
+    }
+
+    #[test]
+    fn future_detected_by_lsb() {
+        let f = Word::future_ptr(0x1000);
+        assert!(f.is_future());
+        assert_eq!(f.tag(), Tag::Future);
+        assert_eq!(f.ptr_addr(), Some(0x1000));
+        assert_eq!(f.as_fixnum(), None);
+    }
+
+    #[test]
+    fn cons_and_other_tags() {
+        let c = Word::cons_ptr(0x88);
+        assert_eq!(c.tag(), Tag::Cons);
+        assert_eq!(c.ptr_addr(), Some(0x88));
+        assert!(!c.is_future());
+
+        let o = Word::other_ptr(0x90);
+        assert_eq!(o.tag(), Tag::Other);
+        assert_eq!(o.ptr_addr(), Some(0x90));
+        assert!(!o.is_future());
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte aligned")]
+    fn cons_requires_alignment() {
+        let _ = Word::cons_ptr(0x4);
+    }
+
+    #[test]
+    fn tag_bits_match_figure_3() {
+        assert_eq!(Tag::Fixnum.bits(), 0b00);
+        assert_eq!(Tag::Future.bits() & 1, 1);
+        assert_eq!(Tag::Other.bits(), 0b010);
+        assert_eq!(Tag::Cons.bits(), 0b110);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Word::fixnum(-3).to_string(), "-3");
+        assert_eq!(Word::cons_ptr(8).to_string(), "cons@0x8");
+        assert_eq!(format!("{:x}", Word::fixnum(4)), "10");
+    }
+}

@@ -1,0 +1,186 @@
+//! FPU tests: per-context floating-point register sets and condition
+//! bits (paper, Section 5: the SPARC FPU's register file is divided
+//! into four sets of eight registers, with four sets of condition
+//! bits, so FP state context-switches with the frame pointer).
+
+use april_core::cpu::{Cpu, CpuConfig, StepEvent};
+use april_core::isa::asm::assemble;
+use april_core::isa::Reg;
+use april_core::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
+use april_core::psr::FpCond;
+use april_core::word::Word;
+
+struct FlatMem {
+    words: Vec<Word>,
+}
+
+impl MemoryPort for FlatMem {
+    fn load(&mut self, addr: u32, _: april_core::isa::LoadFlavor, _: AccessCtx) -> LoadReply {
+        LoadReply::Data { word: self.words[(addr / 4) as usize], fe: true }
+    }
+    fn store(&mut self, addr: u32, v: Word, _: april_core::isa::StoreFlavor, _: AccessCtx) -> StoreReply {
+        self.words[(addr / 4) as usize] = v;
+        StoreReply::Done { fe: true }
+    }
+}
+
+fn run(src: &str) -> (Cpu, FlatMem) {
+    let prog = assemble(src).unwrap_or_else(|e| panic!("{e}"));
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.boot(prog.entry);
+    let mut mem = FlatMem { words: vec![Word::ZERO; 256] };
+    for _ in 0..10_000 {
+        match cpu.step(&prog, &mut mem) {
+            StepEvent::Halted => return (cpu, mem),
+            StepEvent::Trapped(t) => panic!("trap: {t}"),
+            _ => {}
+        }
+    }
+    panic!("did not halt");
+}
+
+#[test]
+fn fp_arithmetic() {
+    let (cpu, _) = run("
+        fmovi 1.5, f0
+        fmovi 2.25, f1
+        fadd f0, f1, f2
+        fsub f1, f0, f3
+        fmul f0, f1, f4
+        fdiv f1, f0, f5
+        halt
+    ");
+    assert_eq!(f32::from_bits(cpu.get_freg(2)), 3.75);
+    assert_eq!(f32::from_bits(cpu.get_freg(3)), 0.75);
+    assert_eq!(f32::from_bits(cpu.get_freg(4)), 3.375);
+    assert_eq!(f32::from_bits(cpu.get_freg(5)), 1.5);
+}
+
+#[test]
+fn fp_compare_and_branches() {
+    let (cpu, _) = run("
+        fmovi 1.0, f0
+        fmovi 2.0, f1
+        fcmp f0, f1
+        jflt less
+        nop
+        movi 0, r1
+        halt
+    less:
+        movi 1, r1
+        fcmp f1, f1
+        jfeq eq
+        nop
+        movi 0, r2
+        halt
+    eq:
+        movi 1, r2
+        fcmp f1, f0
+        jfgt gt
+        nop
+        movi 0, r3
+        halt
+    gt:
+        movi 1, r3
+        halt
+    ");
+    assert_eq!(cpu.get_reg(Reg::L(1)), Word(1));
+    assert_eq!(cpu.get_reg(Reg::L(2)), Word(1));
+    assert_eq!(cpu.get_reg(Reg::L(3)), Word(1));
+}
+
+#[test]
+fn nan_compares_unordered() {
+    let (cpu, _) = run("
+        fmovi 0x7fc00000, f0   ; NaN
+        fmovi 1.0, f1
+        fcmp f0, f1
+        jfeq bad
+        nop
+        jflt bad
+        nop
+        jfgt bad
+        nop
+        movi 1, r1
+        halt
+    bad:
+        movi 0, r1
+        halt
+    ");
+    assert_eq!(cpu.get_reg(Reg::L(1)), Word(1));
+    assert_eq!(cpu.active_frame().psr.fcc, FpCond::Unordered);
+}
+
+#[test]
+fn fp_memory_roundtrip() {
+    let (cpu, mem) = run("
+        movi 0x80, r1
+        fmovi 6.5, f0
+        stf f0, r1+0
+        ldf r1+0, f3
+        halt
+    ");
+    assert_eq!(f32::from_bits(cpu.get_freg(3)), 6.5);
+    assert_eq!(f32::from_bits(mem.words[0x20].0), 6.5);
+}
+
+#[test]
+fn conversions() {
+    let (cpu, _) = run("
+        movi 28, r1        ; fixnum 7
+        fix2f r1, f0
+        fmovi 2.0, f1
+        fdiv f0, f1, f2    ; 3.5
+        f2fix f2, r2       ; truncates to 3
+        halt
+    ");
+    assert_eq!(f32::from_bits(cpu.get_freg(0)), 7.0);
+    assert_eq!(cpu.get_reg(Reg::L(2)).as_fixnum(), Some(3));
+}
+
+#[test]
+fn fp_registers_are_per_context() {
+    // Frame 0 and frame 1 own disjoint f-registers and condition bits:
+    // the Section 5 partitioning of the FPU register file.
+    let prog = assemble("
+        fmovi 1.0, f0      ; 0  frame 0
+        fmovi 9.0, f1      ; 1
+        fcmp f0, f1        ; 2  frame 0 context: Lt
+        incfp              ; 3  switch to frame 1 (frame 0 resumes at 4)
+        halt               ; 4  frame 0 halts after the round trip
+        nop                ; 5
+        fmovi 5.0, f0      ; 6  frame 1
+        fcmp f0, f0        ; 7  frame 1 context: Eq
+        decfp              ; 8  back to frame 0
+    ").unwrap();
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.boot(0);
+    cpu.frame_mut(1).reset_at(6);
+    let mut mem = FlatMem { words: vec![Word::ZERO; 64] };
+    for _ in 0..20 {
+        if let StepEvent::Halted = cpu.step(&prog, &mut mem) {
+            break;
+        }
+    }
+    assert_eq!(f32::from_bits(cpu.frame(0).fregs[0]), 1.0);
+    assert_eq!(f32::from_bits(cpu.frame(1).fregs[0]), 5.0, "f0 is per-frame");
+    assert_eq!(cpu.frame(0).psr.fcc, FpCond::Lt);
+    assert_eq!(cpu.frame(1).psr.fcc, FpCond::Eq, "fcc is per-frame");
+}
+
+#[test]
+fn fix2f_traps_on_future_operand() {
+    let prog = assemble("
+        movi 0x101, r1     ; a future pointer (LSB set)
+        fix2f r1, f0
+        halt
+    ").unwrap();
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.boot(0);
+    let mut mem = FlatMem { words: vec![Word::ZERO; 64] };
+    cpu.step(&prog, &mut mem);
+    match cpu.step(&prog, &mut mem) {
+        StepEvent::Trapped(april_core::trap::Trap::FutureTouch { .. }) => {}
+        other => panic!("expected future trap, got {other:?}"),
+    }
+}

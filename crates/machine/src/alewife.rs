@@ -1,0 +1,529 @@
+//! The full ALEWIFE machine: APRIL processors, coherent caches,
+//! distributed directories, and the direct network (paper, Figure 1).
+//!
+//! Each node couples a processor, a cache controller with its cache, a
+//! directory for the memory it is home to, and a network interface.
+//! Remote cache misses trap the processor (so the run-time can switch
+//! task frames) while the controller conducts the protocol transaction;
+//! when the reply arrives the waiting frame is made runnable again.
+//!
+//! Data words are functionally backed by a single global [`FeMemory`]
+//! (a standard timing-simulator shortcut): caches and directories carry
+//! tags and protocol state, messages carry realistic sizes, and all
+//! timing — local fills, remote round trips, invalidations,
+//! write-backs, contention — is simulated faithfully.
+
+use crate::config::MachineConfig;
+use crate::Machine;
+use april_core::cpu::{Cpu, StepEvent};
+use april_core::frame::FrameState;
+use april_core::isa::{LoadFlavor, StoreFlavor};
+use april_core::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
+use april_core::program::Program;
+use april_core::stats::CpuStats;
+use april_core::word::Word;
+use april_mem::controller::{CacheController, Outcome};
+use april_mem::directory::Directory;
+use april_mem::femem::FeMemory;
+use april_mem::msg::CohMsg;
+use april_net::network::Network;
+
+/// I/O register: reading returns this node's id (fixnum).
+pub const IO_NODE_ID: u16 = 1;
+/// I/O register: reading returns the fence counter (fixnum).
+pub const IO_FENCE: u16 = 2;
+/// I/O register: writing node id `n` sends an IPI to node `n`.
+pub const IO_IPI: u16 = 3;
+/// I/O register: block-transfer destination node.
+pub const IO_BXFER_NODE: u16 = 4;
+/// I/O register: block-transfer address; writing triggers the transfer.
+pub const IO_BXFER_ADDR: u16 = 5;
+/// I/O register: block-transfer length in words (set before address).
+pub const IO_BXFER_LEN: u16 = 6;
+
+/// One ALEWIFE node.
+#[derive(Debug)]
+pub struct Node {
+    /// The APRIL processor.
+    pub cpu: Cpu,
+    /// Requester-side cache controller.
+    pub ctl: CacheController,
+    /// Home-side directory for this node's memory region.
+    pub dir: Directory,
+    io_regs: [u32; 8],
+}
+
+/// A protocol message in flight.
+#[derive(Debug, Clone, Copy)]
+struct Env {
+    src: usize,
+    msg: CohMsg,
+}
+
+/// The ALEWIFE machine.
+#[derive(Debug)]
+pub struct Alewife {
+    /// Per-node state.
+    pub nodes: Vec<Node>,
+    mem: FeMemory,
+    net: Network<Env>,
+    prog: Program,
+    cfg: MachineConfig,
+    ready_at: Vec<u64>,
+    now: u64,
+}
+
+impl Alewife {
+    /// Builds the machine described by `cfg`, loading `prog`'s static
+    /// image into global memory.
+    pub fn new(cfg: MachineConfig, prog: Program) -> Alewife {
+        let n = cfg.num_nodes();
+        let mut mem = FeMemory::new(cfg.total_mem_bytes());
+        mem.load_image(&prog);
+        let nodes = (0..n)
+            .map(|i| Node {
+                cpu: Cpu::new(cfg.cpu),
+                ctl: CacheController::new(i, cfg.cache, cfg.ctl),
+                dir: Directory::new(),
+                io_regs: [0; 8],
+            })
+            .collect();
+        Alewife {
+            nodes,
+            mem,
+            net: Network::new(cfg.topology, cfg.net),
+            prog,
+            cfg,
+            ready_at: vec![0; n],
+            now: 0,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Network statistics so far.
+    pub fn net_stats(&self) -> april_net::network::NetStats {
+        self.net.stats
+    }
+
+    /// Sum of all processors' cycle ledgers.
+    pub fn total_stats(&self) -> CpuStats {
+        let mut s = CpuStats::default();
+        for n in &self.nodes {
+            s.merge(&n.cpu.stats);
+        }
+        s
+    }
+
+    /// Boots node 0 at the program entry (the run-time system
+    /// dispatches everything else).
+    pub fn boot(&mut self) {
+        let entry = self.prog.entry;
+        self.nodes[0].cpu.boot(entry);
+    }
+
+    fn dispatch_msg(&mut self, dst: usize, env: Env) {
+        let cfg = self.cfg;
+        let mut out: Vec<(usize, CohMsg)> = Vec::new();
+        let mut dir_out: Vec<(usize, CohMsg)> = Vec::new();
+        match env.msg {
+            CohMsg::RdReq { block } => {
+                dir_out = self.nodes[dst].dir.handle_request(env.src, block, false);
+            }
+            CohMsg::WrReq { block } => {
+                dir_out = self.nodes[dst].dir.handle_request(env.src, block, true);
+            }
+            CohMsg::InvAck { .. }
+            | CohMsg::DownAck { .. }
+            | CohMsg::WbInvalAck { .. }
+            | CohMsg::FlushData { .. } => {
+                dir_out = self.nodes[dst].dir.handle_ack(env.src, env.msg);
+            }
+            CohMsg::Ipi => {
+                self.nodes[dst].cpu.post_interrupt(env.src);
+            }
+            CohMsg::RdReply { .. }
+            | CohMsg::WrReply { .. }
+            | CohMsg::Inval { .. }
+            | CohMsg::DownReq { .. }
+            | CohMsg::WbInvalReq { .. }
+            | CohMsg::FlushAck { .. }
+            | CohMsg::BlockXfer { .. } => {
+                let node = &mut self.nodes[dst];
+                let woken =
+                    node.ctl.handle_msg(env.src, env.msg, |a| cfg.home_of(a), &mut out);
+                for f in woken {
+                    if node.cpu.frame(f).state == FrameState::WaitingRemote {
+                        node.cpu.frame_mut(f).state = FrameState::Ready;
+                    }
+                }
+            }
+        }
+        // Controller-originated messages leave immediately (the cache
+        // tags are SRAM); every directory-generated message pays the
+        // home memory latency — the directory lives in DRAM beside the
+        // data. The delay is uniform, which also keeps home→node
+        // message streams FIFO: a later-generated invalidation can
+        // never overtake an earlier data grant.
+        for (to, msg) in out {
+            let size = msg.size_flits(cfg.block_words()) as u64;
+            self.net.send(self.now, dst, to, size, Env { src: dst, msg });
+        }
+        for (to, msg) in dir_out {
+            let size = msg.size_flits(cfg.block_words()) as u64;
+            self.net.send(self.now + cfg.mem_latency, dst, to, size, Env { src: dst, msg });
+        }
+    }
+}
+
+/// The per-node memory port: routes processor accesses through the
+/// cache controller and, for home-local blocks, the local directory.
+struct NodePort<'a> {
+    node: usize,
+    ctl: &'a mut CacheController,
+    dir: &'a mut Directory,
+    io_regs: &'a mut [u32; 8],
+    mem: &'a mut FeMemory,
+    cfg: &'a MachineConfig,
+    /// Outgoing messages (drained into the network by the machine).
+    out: &'a mut Vec<(usize, CohMsg)>,
+    /// IPIs and block transfers triggered by STIO.
+    io_sends: &'a mut Vec<(usize, CohMsg)>,
+}
+
+impl NodePort<'_> {
+    fn access(&mut self, addr: u32, write_grade: bool, ctx: AccessCtx) -> Outcome {
+        let home = self.cfg.home_of(addr);
+        let cfg = self.cfg;
+        let dir = if home == self.node { Some(&mut *self.dir) } else { None };
+        self.ctl.cpu_access(addr, write_grade, ctx.frame, home, dir, |a| cfg.home_of(a), self.out)
+    }
+}
+
+impl MemoryPort for NodePort<'_> {
+    fn load(&mut self, addr: u32, flavor: LoadFlavor, ctx: AccessCtx) -> LoadReply {
+        // Loads that mutate the full/empty bit need write permission.
+        let write_grade = flavor.reset_fe;
+        match self.access(addr, write_grade, ctx) {
+            Outcome::Hit => match self.mem.apply_load(addr, flavor) {
+                Some((word, fe)) => LoadReply::Data { word, fe },
+                None => LoadReply::FeViolation,
+            },
+            Outcome::LocalFill { stall } => LoadReply::Stall { cycles: stall },
+            Outcome::Remote => {
+                if flavor.miss_wait {
+                    // MHOLD: poll until the transaction completes.
+                    LoadReply::Stall { cycles: 1 }
+                } else {
+                    LoadReply::RemoteMiss
+                }
+            }
+        }
+    }
+
+    fn store(&mut self, addr: u32, value: Word, flavor: StoreFlavor, ctx: AccessCtx) -> StoreReply {
+        match self.access(addr, true, ctx) {
+            Outcome::Hit => match self.mem.apply_store(addr, value, flavor) {
+                Some(fe) => StoreReply::Done { fe },
+                None => StoreReply::FeViolation,
+            },
+            Outcome::LocalFill { stall } => StoreReply::Stall { cycles: stall },
+            Outcome::Remote => {
+                if flavor.miss_wait {
+                    StoreReply::Stall { cycles: 1 }
+                } else {
+                    StoreReply::RemoteMiss
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, addr: u32) -> u32 {
+        let cfg = self.cfg;
+        self.ctl.flush(addr, |a| cfg.home_of(a), self.out)
+    }
+
+    fn fence_count(&self) -> u32 {
+        self.ctl.fence_count()
+    }
+
+    fn ldio(&mut self, reg: u16) -> Word {
+        match reg {
+            IO_NODE_ID => Word::fixnum(self.node as i32),
+            IO_FENCE => Word::fixnum(self.ctl.fence_count() as i32),
+            r if (r as usize) < self.io_regs.len() => Word(self.io_regs[r as usize]),
+            _ => Word::ZERO,
+        }
+    }
+
+    fn stio(&mut self, reg: u16, value: Word) {
+        match reg {
+            IO_IPI => {
+                let to = value.as_fixnum().unwrap_or(0).max(0) as usize;
+                self.io_sends.push((to, CohMsg::Ipi));
+            }
+            IO_BXFER_ADDR => {
+                let to = self.io_regs[IO_BXFER_NODE as usize] as usize;
+                let words = self.io_regs[IO_BXFER_LEN as usize].max(1);
+                self.io_sends.push((to, CohMsg::BlockXfer { block: value.0, words }));
+            }
+            r if (r as usize) < self.io_regs.len() => {
+                self.io_regs[r as usize] = value.0;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Machine for Alewife {
+    fn num_procs(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn advance(&mut self) -> Vec<(usize, StepEvent)> {
+        self.now += 1;
+        // Deliver network messages due this cycle.
+        for (dst, env) in self.net.poll(self.now) {
+            self.dispatch_msg(dst, env);
+        }
+        // Step processors.
+        let mut evs = Vec::new();
+        let cfg = self.cfg;
+        for i in 0..self.nodes.len() {
+            if self.ready_at[i] > self.now || self.nodes[i].cpu.is_halted() {
+                continue;
+            }
+            let mut out = Vec::new();
+            let mut io_sends = Vec::new();
+            let node = &mut self.nodes[i];
+            let before = node.cpu.stats.total();
+            let ev = {
+                let port = NodePort {
+                    node: i,
+                    ctl: &mut node.ctl,
+                    dir: &mut node.dir,
+                    io_regs: &mut node.io_regs,
+                    mem: &mut self.mem,
+                    cfg: &cfg,
+                    out: &mut out,
+                    io_sends: &mut io_sends,
+                };
+                node.cpu.step(&self.prog, port)
+            };
+            let cost = node.cpu.stats.total() - before;
+            self.ready_at[i] = self.now + cost;
+            for (to, msg) in out {
+                let size = msg.size_flits(cfg.block_words()) as u64;
+                self.net.send(self.now, i, to, size, Env { src: i, msg });
+            }
+            for (to, msg) in io_sends {
+                self.net.send(self.now, i, to, 2, Env { src: i, msg });
+            }
+            match ev {
+                StepEvent::Executed | StepEvent::Stalled { .. } => {}
+                other => evs.push((i, other)),
+            }
+        }
+        evs
+    }
+
+    fn cpu(&self, i: usize) -> &Cpu {
+        &self.nodes[i].cpu
+    }
+
+    fn cpu_mut(&mut self, i: usize) -> &mut Cpu {
+        &mut self.nodes[i].cpu
+    }
+
+    fn mem(&self) -> &FeMemory {
+        &self.mem
+    }
+
+    fn mem_mut(&mut self) -> &mut FeMemory {
+        &mut self.mem
+    }
+
+    fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    fn charge_handler(&mut self, i: usize, cycles: u64) {
+        self.nodes[i].cpu.charge_handler(cycles);
+        self.ready_at[i] += cycles;
+    }
+
+    fn charge_idle(&mut self, i: usize, cycles: u64) {
+        self.nodes[i].cpu.charge_idle(cycles);
+        self.ready_at[i] += cycles;
+    }
+
+    fn send_ipi(&mut self, from: usize, to: usize) {
+        self.net.send(self.now, from, to, 2, Env { src: from, msg: CohMsg::Ipi });
+    }
+
+    fn home_of(&self, addr: u32) -> usize {
+        self.cfg.home_of(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use april_core::isa::asm::assemble;
+    use april_core::isa::Reg;
+    use april_core::trap::Trap;
+    use april_net::topology::Topology;
+
+    fn tiny_cfg() -> MachineConfig {
+        MachineConfig {
+            topology: Topology::new(2, 2),
+            region_bytes: 0x10000,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Drives the machine with a trivial "runtime": on remote-miss
+    /// traps, mark the frame waiting and (with only one thread) idle.
+    fn run(m: &mut Alewife, max: u64) {
+        while !m.nodes[0].cpu.is_halted() {
+            assert!(m.now() < max, "timeout at cycle {}", m.now());
+            for (i, ev) in m.advance() {
+                match ev {
+                    StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                        let fp = m.nodes[i].cpu.fp();
+                        let f = m.nodes[i].cpu.frame_mut(fp);
+                        f.state = FrameState::WaitingRemote;
+                        f.psr.in_trap = false;
+                        m.charge_handler(i, 6);
+                        m.nodes[i].cpu.count_context_switch();
+                    }
+                    StepEvent::Trapped(t) => panic!("node {i} trapped: {t}"),
+                    StepEvent::NoReadyFrame => m.charge_idle(i, 1),
+                    StepEvent::RtCall { n } => panic!("rtcall {n}"),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_access_hits_after_fill() {
+        // Node 0 accesses its own region: local fill, then hits.
+        let prog = assemble(
+            "
+            movi 0x100, r1
+            st r1, r1+0
+            ld r1+0, r2
+            ld r1+4, r3
+            halt
+        ",
+        )
+        .unwrap();
+        let mut m = Alewife::new(tiny_cfg(), prog);
+        m.boot();
+        run(&mut m, 10_000);
+        assert_eq!(m.nodes[0].cpu.get_reg(Reg::L(2)), Word(0x100));
+        assert_eq!(m.nodes[0].ctl.stats.local_fills, 1);
+        assert!(m.nodes[0].cpu.stats.stall_cycles >= 10, "local fill stalls 10");
+        assert_eq!(m.nodes[0].cpu.stats.remote_misses, 0);
+    }
+
+    #[test]
+    fn remote_access_traps_and_completes() {
+        // Node 0 reads node 1's region (0x10000): remote miss, trap,
+        // wait for the reply, then retry succeeds.
+        let prog = assemble(
+            "
+            movi 0x10000, r1
+            movi 77, r2
+            st r2, r1+0
+            ld r1+0, r3
+            halt
+        ",
+        )
+        .unwrap();
+        let mut m = Alewife::new(tiny_cfg(), prog);
+        m.boot();
+        run(&mut m, 100_000);
+        assert_eq!(m.nodes[0].cpu.get_reg(Reg::L(3)), Word(77));
+        assert!(m.nodes[0].cpu.stats.remote_misses >= 1);
+        assert!(m.net_stats().delivered >= 2, "request and reply traveled");
+        assert_eq!(m.mem().read(0x10000), Word(77));
+    }
+
+    #[test]
+    fn wait_flavor_polls_instead_of_trapping() {
+        let prog = assemble(
+            "
+            movi 0x10000, r1
+            ldnw r1+0, r2
+            halt
+        ",
+        )
+        .unwrap();
+        let mut m = Alewife::new(tiny_cfg(), prog);
+        m.boot();
+        run(&mut m, 100_000);
+        assert_eq!(m.nodes[0].cpu.stats.remote_misses, 0, "no trap");
+        assert!(m.nodes[0].cpu.stats.stall_cycles > 10, "held while remote fill completed");
+    }
+
+    #[test]
+    fn flush_and_fence_complete() {
+        let prog = assemble(
+            "
+            movi 0x100, r1
+            st r1, r1+0     ; dirty the line (local, node 0 home)
+            flush r1+0
+            fence
+            ldio 2, r4      ; fence counter must be 0 now
+            halt
+        ",
+        )
+        .unwrap();
+        let mut m = Alewife::new(tiny_cfg(), prog);
+        m.boot();
+        run(&mut m, 100_000);
+        assert_eq!(m.nodes[0].cpu.get_reg(Reg::L(4)), Word::fixnum(0));
+        assert_eq!(m.nodes[0].ctl.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn node_id_io_register() {
+        let prog = assemble("ldio 1, r1\nhalt").unwrap();
+        let mut m = Alewife::new(tiny_cfg(), prog);
+        m.boot();
+        run(&mut m, 1_000);
+        assert_eq!(m.nodes[0].cpu.get_reg(Reg::L(1)), Word::fixnum(0));
+    }
+
+    #[test]
+    fn coherence_read_write_sequence_is_consistent() {
+        // One CPU writes its own region then reads a remote region;
+        // directory states must reflect the protocol.
+        let prog = assemble(
+            "
+            movi 0x100, r1
+            movi 5, r2
+            st r2, r1+0
+            movi 0x10000, r3
+            ld r3+0, r4
+            halt
+        ",
+        )
+        .unwrap();
+        let mut m = Alewife::new(tiny_cfg(), prog);
+        m.boot();
+        run(&mut m, 100_000);
+        use april_mem::directory::DirState;
+        assert_eq!(m.nodes[0].dir.state(0x100), DirState::Exclusive(0));
+        assert_eq!(m.nodes[1].dir.state(0x10000), DirState::Shared(vec![0]));
+    }
+}

@@ -1,0 +1,274 @@
+//! The ideal machine: P processors sharing a zero-latency memory.
+//!
+//! This reproduces the methodology of the paper's Table 3 scaling
+//! measurements: "Measurements for multiple processor executions on
+//! APRIL (2–16) used the processor simulator without the cache and
+//! network simulators, in effect simulating a shared-memory machine
+//! with no memory latency" (Section 7). Task-creation and
+//! synchronization overheads are fully modeled; memory is uniformly
+//! one-cycle.
+
+use crate::Machine;
+use april_core::cpu::{Cpu, CpuConfig, StepEvent};
+use april_core::program::Program;
+use april_core::stats::CpuStats;
+use april_mem::femem::FeMemory;
+
+/// P APRIL processors over an ideal shared memory.
+///
+/// # Examples
+///
+/// ```
+/// use april_machine::ideal::IdealMachine;
+/// use april_machine::Machine;
+/// use april_core::isa::asm::assemble;
+///
+/// let prog = assemble("movi 7, r1\nhalt")?;
+/// let mut m = IdealMachine::new(1, 4096, prog);
+/// m.boot_all();
+/// m.run_until_halt(1_000);
+/// assert!(m.cpu(0).is_halted());
+/// # Ok::<(), april_core::isa::asm::AsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct IdealMachine {
+    cpus: Vec<Cpu>,
+    mem: FeMemory,
+    prog: Program,
+    ready_at: Vec<u64>,
+    now: u64,
+}
+
+impl IdealMachine {
+    /// Creates a machine of `nprocs` processors with `mem_bytes` of
+    /// shared memory, loading `prog`'s static image.
+    pub fn new(nprocs: usize, mem_bytes: usize, prog: Program) -> IdealMachine {
+        IdealMachine::with_cpu_config(nprocs, mem_bytes, prog, CpuConfig::default())
+    }
+
+    /// Creates a machine with a custom processor configuration.
+    pub fn with_cpu_config(
+        nprocs: usize,
+        mem_bytes: usize,
+        prog: Program,
+        cpu: CpuConfig,
+    ) -> IdealMachine {
+        assert!(nprocs > 0);
+        let mut mem = FeMemory::new(mem_bytes);
+        mem.load_image(&prog);
+        IdealMachine {
+            cpus: (0..nprocs).map(|_| Cpu::new(cpu)).collect(),
+            mem,
+            prog,
+            ready_at: vec![0; nprocs],
+            now: 0,
+        }
+    }
+
+    /// Boots every processor at the program entry point (for raw
+    /// programs; the run-time system boots threads itself).
+    pub fn boot_all(&mut self) {
+        let entry = self.prog.entry;
+        for c in &mut self.cpus {
+            c.boot(entry);
+        }
+    }
+
+    /// Runs without a run-time system until all processors halt,
+    /// panicking on traps (convenience for bare-metal programs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any trap or if `max_cycles` elapses first.
+    pub fn run_until_halt(&mut self, max_cycles: u64) {
+        while self.cpus.iter().any(|c| !c.is_halted()) {
+            assert!(self.now < max_cycles, "exceeded {max_cycles} cycles");
+            for (i, ev) in self.advance() {
+                match ev {
+                    StepEvent::Trapped(t) => panic!("cpu {i} trapped: {t}"),
+                    StepEvent::RtCall { n } => panic!("cpu {i} rtcall {n} without runtime"),
+                    StepEvent::NoReadyFrame => self.charge_idle(i, 1),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Sum of all processors' cycle ledgers.
+    pub fn total_stats(&self) -> CpuStats {
+        let mut s = CpuStats::default();
+        for c in &self.cpus {
+            s.merge(&c.stats);
+        }
+        s
+    }
+}
+
+impl Machine for IdealMachine {
+    fn num_procs(&self) -> usize {
+        self.cpus.len()
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn advance(&mut self) -> Vec<(usize, StepEvent)> {
+        self.now += 1;
+        let mut evs = Vec::new();
+        for i in 0..self.cpus.len() {
+            if self.ready_at[i] > self.now || self.cpus[i].is_halted() {
+                continue;
+            }
+            let before = self.cpus[i].stats.total();
+            let ev = self.cpus[i].step(&self.prog, &mut self.mem);
+            let cost = self.cpus[i].stats.total() - before;
+            self.ready_at[i] = self.now + cost;
+            match ev {
+                StepEvent::Executed | StepEvent::Stalled { .. } => {}
+                other => evs.push((i, other)),
+            }
+        }
+        evs
+    }
+
+    fn cpu(&self, i: usize) -> &Cpu {
+        &self.cpus[i]
+    }
+
+    fn cpu_mut(&mut self, i: usize) -> &mut Cpu {
+        &mut self.cpus[i]
+    }
+
+    fn mem(&self) -> &FeMemory {
+        &self.mem
+    }
+
+    fn mem_mut(&mut self) -> &mut FeMemory {
+        &mut self.mem
+    }
+
+    fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    fn charge_handler(&mut self, i: usize, cycles: u64) {
+        self.cpus[i].charge_handler(cycles);
+        self.ready_at[i] += cycles;
+    }
+
+    fn charge_idle(&mut self, i: usize, cycles: u64) {
+        self.cpus[i].charge_idle(cycles);
+        self.ready_at[i] += cycles;
+    }
+
+    fn send_ipi(&mut self, _from: usize, to: usize) {
+        // Zero-latency machine: interrupt arrives immediately.
+        let from = _from;
+        self.cpus[to].post_interrupt(from);
+    }
+
+    fn home_of(&self, _addr: u32) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use april_core::isa::asm::assemble;
+    use april_core::isa::Reg;
+    use april_core::word::Word;
+
+    #[test]
+    fn single_cpu_program_runs() {
+        let prog = assemble(
+            "
+            movi 5, r1
+            movi 0, r2
+        loop:
+            add r2, r1, r2
+            sub r1, 1, r1
+            jne loop
+            nop
+            halt
+        ",
+        )
+        .unwrap();
+        let mut m = IdealMachine::new(1, 4096, prog);
+        m.boot_all();
+        m.run_until_halt(10_000);
+        assert_eq!(m.cpu(0).get_reg(Reg::L(2)), Word(15));
+    }
+
+    #[test]
+    fn cpus_share_memory() {
+        // CPU semantics are per-boot identical; both store to distinct
+        // addresses of the same memory.
+        let prog = assemble(
+            "
+            ldio 1, r3        ; node id (fixnum)
+            sra r3, 2, r3     ; untag
+            sll r3, 2, r3     ; byte offset = 4 * id
+            movi 0x100, r1
+            add r1, r3, r1
+            movi 99, r2
+            st r2, r1+0
+            halt
+        ",
+        )
+        .unwrap();
+        let mut m = IdealMachine::new(2, 4096, prog);
+        m.boot_all();
+        m.run_until_halt(1_000);
+        // ldio on the ideal machine returns ZERO for all nodes (no
+        // controller); both stored to 0x100.
+        assert_eq!(m.mem().read(0x100), Word(99));
+    }
+
+    #[test]
+    fn multicycle_instructions_delay_the_cpu() {
+        let prog = assemble("mul g0, g0, g0\nhalt").unwrap();
+        let mut m = IdealMachine::new(1, 1024, prog);
+        m.boot_all();
+        m.run_until_halt(100);
+        // mul costs 3, halt costs 1; elapsed now >= 4.
+        assert_eq!(m.cpu(0).stats.useful_cycles, 4);
+        assert!(m.now() >= 4);
+    }
+
+    #[test]
+    fn ipi_is_deliverable() {
+        let prog = assemble("nop\nnop\nnop\nhalt").unwrap();
+        let mut m = IdealMachine::new(2, 1024, prog);
+        m.boot_all();
+        m.send_ipi(0, 1);
+        let mut trapped = false;
+        for _ in 0..50 {
+            for (i, ev) in m.advance() {
+                if let StepEvent::Trapped(april_core::trap::Trap::Interrupt { from }) = ev {
+                    assert_eq!((i, from), (1, 0));
+                    trapped = true;
+                    // Ack: clear trap state and continue.
+                    m.cpu_mut(i).active_frame_mut().psr.in_trap = false;
+                }
+                if let StepEvent::NoReadyFrame = ev {
+                    m.charge_idle(i, 1);
+                }
+            }
+            if m.cpu(0).is_halted() && m.cpu(1).is_halted() {
+                break;
+            }
+        }
+        assert!(trapped);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let prog = assemble("nop\nhalt").unwrap();
+        let mut m = IdealMachine::new(3, 1024, prog);
+        m.boot_all();
+        m.run_until_halt(100);
+        assert_eq!(m.total_stats().instructions, 6);
+    }
+}

@@ -1,0 +1,81 @@
+//! # april-machine — the ALEWIFE machine
+//!
+//! Assembles the APRIL processor (`april-core`), the coherent memory
+//! substrate (`april-mem`) and the direct network (`april-net`) into
+//! runnable machines:
+//!
+//! * [`ideal::IdealMachine`] — P processors over a zero-latency shared
+//!   memory, the configuration the paper used for its Table 3
+//!   measurements.
+//! * [`alewife::Alewife`] — the full machine of Figure 1: per-node
+//!   caches, full-map directories, and a k-ary n-cube network; remote
+//!   misses trap the processor for coarse-grain context switching.
+//!
+//! Both implement the [`Machine`] trait, which the run-time system
+//! (`april-runtime`) drives: `advance()` moves simulated time forward
+//! one cycle and surfaces the events (traps, run-time calls, empty
+//! frames) that the software system must handle, exactly as ALEWIFE
+//! migrates scheduling and trap handling into software.
+
+#![warn(missing_docs)]
+
+pub mod alewife;
+pub mod config;
+pub mod ideal;
+
+use april_core::cpu::{Cpu, StepEvent};
+use april_core::program::Program;
+use april_mem::femem::FeMemory;
+
+pub use alewife::Alewife;
+pub use config::MachineConfig;
+pub use ideal::IdealMachine;
+
+/// A machine the run-time system can drive.
+///
+/// A machine owns processors, memory, and a loaded program; the
+/// run-time advances it cycle by cycle and services the events it
+/// reports. All mutation of processor state outside instruction
+/// execution (context switches, thread loads) goes through
+/// [`Machine::cpu_mut`] with cycle costs charged via
+/// [`Machine::charge_handler`], keeping the cycle ledger exact.
+pub trait Machine {
+    /// Number of processors.
+    fn num_procs(&self) -> usize;
+
+    /// Current simulated time in cycles.
+    fn now(&self) -> u64;
+
+    /// Advances time by one cycle, stepping every due processor, and
+    /// returns the events that need run-time attention.
+    fn advance(&mut self) -> Vec<(usize, StepEvent)>;
+
+    /// Processor `i`.
+    fn cpu(&self, i: usize) -> &Cpu;
+
+    /// Mutable processor `i` (for the run-time's context switching and
+    /// thread load/unload).
+    fn cpu_mut(&mut self, i: usize) -> &mut Cpu;
+
+    /// The shared (or global) data memory.
+    fn mem(&self) -> &FeMemory;
+
+    /// Mutable shared memory (run-time data structures live here).
+    fn mem_mut(&mut self) -> &mut FeMemory;
+
+    /// The loaded program.
+    fn program(&self) -> &Program;
+
+    /// Charges `cycles` of trap-handler time to processor `i` and
+    /// delays it accordingly.
+    fn charge_handler(&mut self, i: usize, cycles: u64);
+
+    /// Charges `cycles` of idle time to processor `i`.
+    fn charge_idle(&mut self, i: usize, cycles: u64);
+
+    /// Sends an interprocessor interrupt.
+    fn send_ipi(&mut self, from: usize, to: usize);
+
+    /// The home node of address `addr` (0 on centralized machines).
+    fn home_of(&self, addr: u32) -> usize;
+}

@@ -1,0 +1,215 @@
+//! Memory-model litmus tests: ALEWIFE "maintains strong cache
+//! coherence" (paper, Section 2.1) with blocking loads/stores per
+//! processor, so classic weak-ordering outcomes must be impossible.
+
+use april_core::cpu::StepEvent;
+use april_core::frame::FrameState;
+use april_core::isa::asm::assemble;
+use april_core::isa::Reg;
+use april_core::program::Program;
+use april_core::trap::Trap;
+use april_core::word::Word;
+use april_machine::alewife::Alewife;
+use april_machine::config::MachineConfig;
+use april_machine::Machine;
+use april_net::topology::Topology;
+
+fn machine(prog: Program) -> Alewife {
+    let cfg = MachineConfig {
+        topology: Topology::new(2, 2),
+        region_bytes: 1 << 20,
+        ..MachineConfig::default()
+    };
+    let mut m = Alewife::new(cfg, prog);
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    m
+}
+
+fn run(m: &mut Alewife, max: u64) {
+    loop {
+        assert!(m.now() < max, "timeout");
+        if (0..m.num_procs()).all(|i| m.cpu(i).is_halted()) {
+            return;
+        }
+        for (i, ev) in m.advance() {
+            match ev {
+                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                    let fp = m.cpu(i).fp();
+                    let fr = m.cpu_mut(i).frame_mut(fp);
+                    fr.state = FrameState::WaitingRemote;
+                    fr.psr.in_trap = false;
+                    m.charge_handler(i, 6);
+                }
+                StepEvent::Trapped(t) => panic!("node {i}: {t}"),
+                StepEvent::NoReadyFrame => {
+                    let cpu = m.cpu_mut(i);
+                    match cpu.next_ready_frame() {
+                        Some(f) => cpu.set_fp(f),
+                        None => m.charge_idle(i, 1),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// MP (message passing): node 0 writes data then flag; node 1 spins on
+/// the flag then reads data. Seeing the flag but stale data is the
+/// forbidden outcome.
+#[test]
+fn litmus_message_passing() {
+    // data at 0x200, flag at 0x240 (different cache blocks).
+    let prog = assemble(
+        "
+        .entry main
+        main:
+            ldio 1, r8
+            sub r8, 0, r8
+            jne reader
+            nop
+            movi 0x200, r1
+            movi 84, r2        ; data = 21
+            st r2, r1+0
+            movi 0x240, r1
+            movi 4, r2         ; flag = 1
+            st r2, r1+0
+            halt
+        reader:
+            movi 0x240, r1
+        spin:
+            ld r1+0, r2
+            sub r2, 0, r2
+            jeq spin
+            nop
+            movi 0x200, r1
+            ld r1+0, r3        ; must observe data = 21
+            halt
+        ",
+    )
+    .unwrap();
+    // Run the litmus many "virtual" times by checking all nodes >= 1
+    // read the written value (nodes 2 and 3 also run the reader).
+    let mut m = machine(prog);
+    run(&mut m, 1_000_000);
+    for i in 1..4 {
+        assert_eq!(
+            m.cpu(i).get_reg(Reg::L(3)),
+            Word::fixnum(21),
+            "node {i} saw the flag but stale data (MP violation)"
+        );
+    }
+}
+
+/// SB-like exclusivity: two nodes increment a shared counter with a
+/// full/empty lock word; the total must equal the sum of increments
+/// (the f/e bit is the mutual exclusion the paper's Section 3.3
+/// replaces test&set with).
+#[test]
+fn litmus_fe_lock_counts_exactly() {
+    // lock+counter at 0x300 (lock IS the counter: take with ldett,
+    // store back incremented with stfnw).
+    let prog = assemble(
+        "
+        .entry main
+        main:
+            movi 0x300, r1
+            movi 25, r10       ; 25 increments per node
+        loop:
+            ldetw r1+0, r2     ; take: trap while empty, reset to empty
+            add r2, 4, r2      ; +1 (fixnum)
+            stfnw r2, r1+0     ; put back: set full
+            sub r10, 1, r10
+            jne loop
+            nop
+            halt
+        ",
+    )
+    .unwrap();
+    let mut m = machine(prog);
+    // ldetw traps on empty; our harness treats FullEmpty as switch-spin
+    // (retry): emulate by marking nothing and retrying.
+    loop {
+        assert!(m.now() < 5_000_000, "timeout");
+        if (0..4).all(|i| m.cpu(i).is_halted()) {
+            break;
+        }
+        for (i, ev) in m.advance() {
+            match ev {
+                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                    let fp = m.cpu(i).fp();
+                    let fr = m.cpu_mut(i).frame_mut(fp);
+                    fr.state = FrameState::WaitingRemote;
+                    fr.psr.in_trap = false;
+                    m.charge_handler(i, 6);
+                }
+                StepEvent::Trapped(Trap::FullEmpty { .. }) => {
+                    // Switch-spin: retry the take later.
+                    let fp = m.cpu(i).fp();
+                    m.cpu_mut(i).frame_mut(fp).psr.in_trap = false;
+                    m.charge_handler(i, 6);
+                }
+                StepEvent::Trapped(t) => panic!("node {i}: {t}"),
+                StepEvent::NoReadyFrame => {
+                    let cpu = m.cpu_mut(i);
+                    match cpu.next_ready_frame() {
+                        Some(f) => cpu.set_fp(f),
+                        None => m.charge_idle(i, 1),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(
+        m.mem().read(0x300),
+        Word::fixnum(100),
+        "lost updates through the full/empty lock"
+    );
+    assert!(m.mem().fe(0x300), "lock must end full");
+}
+
+/// Coherence (single-location SC): concurrent writers to one word; a
+/// reader polling it must never see a value go backwards once writers
+/// finish, and the final value is one of the written ones.
+#[test]
+fn litmus_single_location_coherence() {
+    let prog = assemble(
+        "
+        .entry main
+        main:
+            ldio 1, r8
+            movi 0x380, r1
+            sra r8, 2, r9      ; node id, untagged
+            sub r9, 0, r9
+            jeq reader
+            nop
+            ; writers (nodes 1-3): write id 40 times
+            movi 40, r10
+        wloop:
+            sll r9, 2, r2
+            st r2, r1+0
+            sub r10, 1, r10
+            jne wloop
+            nop
+            halt
+        reader:
+            movi 60, r10
+            movi 0, r11
+        rloop:
+            ld r1+0, r2
+            add r11, r2, r11   ; accumulate observations
+            sub r10, 1, r10
+            jne rloop
+            nop
+            halt
+        ",
+    )
+    .unwrap();
+    let mut m = machine(prog);
+    run(&mut m, 2_000_000);
+    let v = m.mem().read(0x380).as_fixnum().unwrap();
+    assert!((1..=3).contains(&v), "final value {v} was never written");
+}

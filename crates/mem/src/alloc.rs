@@ -1,0 +1,132 @@
+//! Bump allocation of simulated memory regions.
+//!
+//! The run-time system carves the global address space into per-node
+//! heaps, stacks and queue areas. A [`BumpAllocator`] hands out aligned
+//! regions; Mul-T never frees (the paper's system had a garbage
+//! collector out of scope here, so heaps are sized generously and the
+//! benchmarks are sized to fit).
+
+use std::fmt;
+
+/// Allocation failure: the region is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u32,
+    /// Bytes remaining in the region.
+    pub remaining: u32,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulated heap exhausted: requested {} bytes, {} left", self.requested, self.remaining)
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A bump allocator over a byte-address range of simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use april_mem::alloc::BumpAllocator;
+///
+/// let mut heap = BumpAllocator::new(0x1000, 0x2000);
+/// let a = heap.alloc(12, 8)?;
+/// assert_eq!(a % 8, 0);
+/// # Ok::<(), april_mem::alloc::OutOfMemory>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BumpAllocator {
+    base: u32,
+    next: u32,
+    limit: u32,
+}
+
+impl BumpAllocator {
+    /// Creates an allocator over `[base, limit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base > limit` or `base` is not word-aligned.
+    pub fn new(base: u32, limit: u32) -> BumpAllocator {
+        assert!(base <= limit, "inverted region");
+        assert_eq!(base & 3, 0, "region must be word-aligned");
+        BumpAllocator { base, next: base, limit }
+    }
+
+    /// Allocates `bytes` with the given power-of-two `align`ment,
+    /// returning the byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the region cannot satisfy the
+    /// request.
+    pub fn alloc(&mut self, bytes: u32, align: u32) -> Result<u32, OutOfMemory> {
+        debug_assert!(align.is_power_of_two());
+        let start = (self.next + align - 1) & !(align - 1);
+        let end = start.checked_add(bytes).ok_or(OutOfMemory {
+            requested: bytes,
+            remaining: self.limit - self.next,
+        })?;
+        if end > self.limit {
+            return Err(OutOfMemory { requested: bytes, remaining: self.limit - self.next });
+        }
+        self.next = end;
+        Ok(start)
+    }
+
+    /// Bytes already allocated.
+    pub fn used(&self) -> u32 {
+        self.next - self.base
+    }
+
+    /// Bytes still available (ignoring alignment padding).
+    pub fn remaining(&self) -> u32 {
+        self.limit - self.next
+    }
+
+    /// Start of the region.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Resets the allocator, releasing everything.
+    pub fn reset(&mut self) {
+        self.next = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut a = BumpAllocator::new(0x100, 0x200);
+        let p = a.alloc(4, 4).unwrap();
+        assert_eq!(p, 0x100);
+        let q = a.alloc(8, 8).unwrap();
+        assert_eq!(q % 8, 0);
+        assert!(q >= p + 4);
+    }
+
+    #[test]
+    fn alloc_exhausts() {
+        let mut a = BumpAllocator::new(0, 16);
+        assert!(a.alloc(16, 4).is_ok());
+        let e = a.alloc(4, 4).unwrap_err();
+        assert_eq!(e.remaining, 0);
+    }
+
+    #[test]
+    fn used_and_remaining_track() {
+        let mut a = BumpAllocator::new(0, 100);
+        a.alloc(12, 4).unwrap();
+        assert_eq!(a.used(), 12);
+        assert_eq!(a.remaining(), 88);
+        a.reset();
+        assert_eq!(a.used(), 0);
+    }
+}

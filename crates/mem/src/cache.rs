@@ -1,0 +1,356 @@
+//! Set-associative processor cache (tags and coherence state).
+//!
+//! ALEWIFE caches are kept **strongly coherent** by the directory
+//! protocol (paper, Section 2.1). This model tracks tags and MSI state
+//! per line; data is functionally backed by the machine's global
+//! memory, a standard shortcut in timing simulators that preserves both
+//! the timing behavior (hit/miss/invalidate) and program results.
+//!
+//! The default geometry matches Table 4: 64-Kbyte cache, 16-byte
+//! blocks, direct-mapped (the paper's controller design); the
+//! associativity is parameterizable for the cache-interference studies
+//! of Section 8.
+
+use std::fmt;
+
+/// Coherence state of a cache line (MSI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Read-only copy, possibly shared with other caches.
+    Shared,
+    /// Exclusive read-write copy (dirty with respect to home memory).
+    Modified,
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (Table 4 default: 64 Kbytes).
+    pub size_bytes: u32,
+    /// Block (line) size in bytes (Table 4 default: 16).
+    pub block_bytes: u32,
+    /// Associativity (1 = direct mapped).
+    pub assoc: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig { size_bytes: 64 * 1024, block_bytes: 16, assoc: 1 }
+    }
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.size_bytes / (self.block_bytes * self.assoc)
+    }
+
+    /// The block-aligned address containing `addr`.
+    pub fn block_of(&self, addr: u32) -> u32 {
+        addr & !(self.block_bytes - 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: u32,
+    state: LineState,
+    lru: u64,
+}
+
+/// A replaced line: the evicted block and whether it was dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Block address of the evicted line.
+    pub block: u32,
+    /// True if the line was `Modified` (must be written back).
+    pub dirty: bool,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Read misses (including upgrades? no — reads absent from cache).
+    pub read_misses: u64,
+    /// Write misses (absent or present in `Shared` needing upgrade).
+    pub write_misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+    /// Invalidations received from the protocol.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Overall miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            (self.read_misses + self.write_misses) as f64 / a as f64
+        }
+    }
+}
+
+/// A set-associative, LRU-replacement cache directory (tags + state).
+///
+/// # Examples
+///
+/// ```
+/// use april_mem::cache::{Cache, CacheConfig, LineState};
+///
+/// let mut c = Cache::new(CacheConfig { size_bytes: 256, block_bytes: 16, assoc: 2 });
+/// assert!(!c.access(0x40, false)); // cold miss
+/// c.fill(0x40, LineState::Shared);
+/// assert!(c.access(0x40, false)); // hit
+/// assert!(!c.access(0x40, true)); // write to Shared: upgrade miss
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    /// Access counters.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are powers of two and consistent.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.block_bytes.is_power_of_two() && cfg.block_bytes >= 4);
+        assert!(cfg.assoc >= 1);
+        let sets = cfg.num_sets();
+        assert!(sets.is_power_of_two() && sets >= 1, "set count must be a power of two");
+        Cache { cfg, sets: vec![Vec::new(); sets as usize], clock: 0, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_index(&self, block: u32) -> usize {
+        ((block / self.cfg.block_bytes) & (self.cfg.num_sets() - 1)) as usize
+    }
+
+    /// Records an access and reports whether it hits: a read hits in
+    /// `Shared` or `Modified`; a write hits only in `Modified`.
+    pub fn access(&mut self, addr: u32, write: bool) -> bool {
+        let block = self.cfg.block_of(addr);
+        self.clock += 1;
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let clock = self.clock;
+        let si = self.set_index(block);
+        let hit = self.sets[si].iter_mut().find(|l| l.block == block).map(|l| {
+            l.lru = clock;
+            l.state
+        });
+        match (hit, write) {
+            (Some(_), false) | (Some(LineState::Modified), true) => true,
+            (Some(LineState::Shared), true) => {
+                self.stats.write_misses += 1;
+                false
+            }
+            (None, w) => {
+                if w {
+                    self.stats.write_misses += 1;
+                } else {
+                    self.stats.read_misses += 1;
+                }
+                false
+            }
+        }
+    }
+
+    /// Probes without updating statistics or LRU.
+    pub fn probe(&self, addr: u32) -> Option<LineState> {
+        let block = self.cfg.block_of(addr);
+        let si = self.set_index(block);
+        self.sets[si].iter().find(|l| l.block == block).map(|l| l.state)
+    }
+
+    /// Inserts (or upgrades) the line for `addr` in `state`, returning
+    /// the victim if a line had to be evicted.
+    pub fn fill(&mut self, addr: u32, state: LineState) -> Option<Victim> {
+        let block = self.cfg.block_of(addr);
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.cfg.assoc as usize;
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        if let Some(l) = set.iter_mut().find(|l| l.block == block) {
+            l.state = state;
+            l.lru = clock;
+            return None;
+        }
+        let victim = if set.len() >= assoc {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("nonempty set");
+            let v = set.swap_remove(vi);
+            self.stats.evictions += 1;
+            Some(Victim { block: v.block, dirty: v.state == LineState::Modified })
+        } else {
+            None
+        };
+        set.push(Line { block, state, lru: clock });
+        victim
+    }
+
+    /// Removes the line containing `addr` (protocol invalidation or
+    /// FLUSH), returning whether it existed and was dirty.
+    pub fn invalidate(&mut self, addr: u32) -> Option<bool> {
+        let block = self.cfg.block_of(addr);
+        let si = self.set_index(block);
+        let set = &mut self.sets[si];
+        let i = set.iter().position(|l| l.block == block)?;
+        let l = set.swap_remove(i);
+        self.stats.invalidations += 1;
+        Some(l.state == LineState::Modified)
+    }
+
+    /// Downgrades the line containing `addr` to `Shared` (directory
+    /// read request against a Modified owner). Returns true if the
+    /// line was present and dirty.
+    pub fn downgrade(&mut self, addr: u32) -> bool {
+        let block = self.cfg.block_of(addr);
+        let si = self.set_index(block);
+        if let Some(l) = self.sets[si].iter_mut().find(|l| l.block == block) {
+            let was = l.state == LineState::Modified;
+            l.state = LineState::Shared;
+            was
+        } else {
+            false
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}B/{}-way: {} lines, miss rate {:.4}",
+            self.cfg.size_bytes / 1024,
+            self.cfg.block_bytes,
+            self.cfg.assoc,
+            self.resident(),
+            self.stats.miss_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig { size_bytes: 128, block_bytes: 16, assoc: 2 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0, false));
+        c.fill(0, LineState::Shared);
+        assert!(c.access(0, false));
+        assert!(c.access(12, false), "same block");
+        assert!(!c.access(16, false), "next block");
+        assert_eq!(c.stats.read_misses, 2);
+    }
+
+    #[test]
+    fn write_needs_modified() {
+        let mut c = small();
+        c.fill(0, LineState::Shared);
+        assert!(!c.access(0, true), "upgrade miss");
+        c.fill(0, LineState::Modified);
+        assert!(c.access(0, true));
+        assert!(c.access(0, false), "reads hit in M");
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small(); // 4 sets × 2 ways, 16B blocks
+        let set_stride = 16 * 4; // blocks mapping to the same set
+        c.fill(0, LineState::Shared);
+        c.fill(set_stride, LineState::Modified);
+        // Touch block 0 so set_stride becomes LRU.
+        assert!(c.access(0, false));
+        let v = c.fill(2 * set_stride, LineState::Shared).expect("eviction");
+        assert_eq!(v.block, set_stride);
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.fill(32, LineState::Modified);
+        assert_eq!(c.invalidate(40), Some(true), "same block, dirty");
+        assert_eq!(c.invalidate(32), None, "already gone");
+        assert!(!c.access(32, false));
+    }
+
+    #[test]
+    fn downgrade_keeps_line_shared() {
+        let mut c = small();
+        c.fill(0, LineState::Modified);
+        assert!(c.downgrade(0));
+        assert_eq!(c.probe(0), Some(LineState::Shared));
+        assert!(!c.downgrade(0), "no longer dirty");
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 64, block_bytes: 16, assoc: 1 });
+        // 4 sets; blocks 0 and 64 conflict.
+        c.fill(0, LineState::Shared);
+        let v = c.fill(64, LineState::Shared).expect("conflict eviction");
+        assert_eq!(v.block, 0);
+        assert!(!v.dirty);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = small();
+        for i in 0..10 {
+            let addr = (i % 2) * 16;
+            if !c.access(addr, false) {
+                c.fill(addr, LineState::Shared);
+            }
+        }
+        // 2 cold misses out of 10.
+        assert!((c.stats.miss_rate() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_geometry_matches_table_4() {
+        let cfg = CacheConfig::default();
+        assert_eq!(cfg.size_bytes, 64 * 1024);
+        assert_eq!(cfg.block_bytes, 16);
+        assert_eq!(cfg.num_sets(), 4096);
+    }
+}

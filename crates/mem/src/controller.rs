@@ -1,0 +1,515 @@
+//! The requester-side cache controller.
+//!
+//! "On exception conditions, such as cache misses and failed
+//! synchronization attempts, the controller can choose to trap the
+//! processor or to make the processor wait" (paper, Section 2.1). This
+//! controller decides between the **local fast path** (fill from local
+//! memory while the processor waits out the 10-cycle memory latency)
+//! and a **remote transaction** (send a protocol request and trap the
+//! processor so it can switch to another task frame).
+//!
+//! It also implements the "multimodel support mechanisms" of Section
+//! 3.4 that the out-of-band instructions reach: FLUSH with the fence
+//! counter, and acknowledgment bookkeeping for software-enforced
+//! coherence.
+
+use crate::cache::{Cache, CacheConfig, LineState};
+use crate::directory::Directory;
+use crate::msg::CohMsg;
+use std::collections::HashMap;
+
+/// Controller timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtlConfig {
+    /// Cycles to fill a line from node-local memory (Table 4: 10).
+    pub local_mem_latency: u64,
+}
+
+impl Default for CtlConfig {
+    fn default() -> CtlConfig {
+        CtlConfig { local_mem_latency: 10 }
+    }
+}
+
+/// What the controller tells the processor about an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Cache hit: the access completes this cycle.
+    Hit,
+    /// Filled from local memory: stall the processor for the memory
+    /// latency, then reissue (it will hit).
+    LocalFill {
+        /// Hold duration.
+        stall: u64,
+    },
+    /// A remote transaction is (now) outstanding: trap and context
+    /// switch (trapping flavors) or hold the processor (wait flavors).
+    Remote,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Txn {
+    /// Waiting hardware contexts: `(frame, needs_write)`.
+    frames: Vec<(usize, bool)>,
+    /// A write-grade request has been issued.
+    write_issued: bool,
+}
+
+/// Controller event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtlStats {
+    /// Cache hits.
+    pub hits: u64,
+    /// Misses satisfied from local memory without a transaction.
+    pub local_fills: u64,
+    /// Remote transactions started.
+    pub remote_txns: u64,
+    /// Protocol invalidations applied to this cache.
+    pub invals: u64,
+    /// Downgrades applied to this cache.
+    pub downgrades: u64,
+    /// Dirty lines written back (evictions + flushes).
+    pub writebacks: u64,
+}
+
+/// A node's cache controller.
+#[derive(Debug, Clone)]
+pub struct CacheController {
+    node: usize,
+    /// The processor cache (tags + MSI state).
+    pub cache: Cache,
+    txns: HashMap<u32, Txn>,
+    /// Blocks filled for a waiting context but not yet accessed: the
+    /// controller guarantees the processor one access before
+    /// surrendering the line again, closing ALEWIFE's "window of
+    /// vulnerability" (a context whose fill is stolen before its retry
+    /// would otherwise livelock — the paper's Section 3.1 thrashing
+    /// problems, "addressed with appropriate hardware interlock
+    /// mechanisms").
+    pinned: std::collections::HashSet<u32>,
+    /// Protocol requests deferred while their block is pinned.
+    deferred: Vec<(usize, CohMsg)>,
+    fence: u32,
+    cfg: CtlConfig,
+    /// Event counters.
+    pub stats: CtlStats,
+}
+
+impl CacheController {
+    /// Creates the controller for `node`.
+    pub fn new(node: usize, cache_cfg: CacheConfig, cfg: CtlConfig) -> CacheController {
+        CacheController {
+            node,
+            cache: Cache::new(cache_cfg),
+            txns: HashMap::new(),
+            pinned: std::collections::HashSet::new(),
+            deferred: Vec::new(),
+            fence: 0,
+            cfg,
+            stats: CtlStats::default(),
+        }
+    }
+
+    /// This controller's node id.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Outstanding fenced write-backs (the FENCE instruction stalls
+    /// while this is non-zero).
+    pub fn fence_count(&self) -> u32 {
+        self.fence
+    }
+
+    /// Number of remote transactions currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Processes a processor data access.
+    ///
+    /// `home` is the block's home node; `dir` must be `Some` when this
+    /// node is the home (the machine splits the borrow); `home_of`
+    /// maps any block address to its home (needed for evictions);
+    /// outgoing messages are appended to `out`.
+    pub fn cpu_access(
+        &mut self,
+        addr: u32,
+        write: bool,
+        frame: usize,
+        home: usize,
+        mut dir: Option<&mut Directory>,
+        home_of: impl Fn(u32) -> usize,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) -> Outcome {
+        let block = self.cache.config().block_of(addr);
+        if self.cache.access(addr, write) {
+            self.stats.hits += 1;
+            if self.pinned.remove(&block) {
+                self.service_deferred(block, &home_of, out);
+            }
+            return Outcome::Hit;
+        }
+        // Already waiting on this block?
+        if let Some(txn) = self.txns.get_mut(&block) {
+            if !txn.frames.contains(&(frame, write)) {
+                txn.frames.push((frame, write));
+            }
+            if write && !txn.write_issued {
+                txn.write_issued = true;
+                out.push((home, CohMsg::WrReq { block }));
+            }
+            return Outcome::Remote;
+        }
+        // Local fast path: home is here and the block is quiet.
+        if home == self.node {
+            let dir = dir.as_deref_mut().expect("home node must pass its directory");
+            if dir.grantable_now(self.node, block, write) {
+                dir.grant_local(self.node, block, write);
+                self.fill(block, if write { LineState::Modified } else { LineState::Shared }, &home_of, out);
+                self.stats.local_fills += 1;
+                return Outcome::LocalFill { stall: self.cfg.local_mem_latency };
+            }
+        }
+        // Remote (or locally-contended) transaction.
+        self.txns.insert(block, Txn { frames: vec![(frame, write)], write_issued: write });
+        let msg = if write { CohMsg::WrReq { block } } else { CohMsg::RdReq { block } };
+        out.push((home, msg));
+        self.stats.remote_txns += 1;
+        Outcome::Remote
+    }
+
+    fn fill(
+        &mut self,
+        block: u32,
+        state: LineState,
+        home_of: &dyn Fn(u32) -> usize,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) {
+        if let Some(victim) = self.cache.fill(block, state) {
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                out.push((home_of(victim.block), CohMsg::FlushData { block: victim.block, fenced: false }));
+            }
+            if self.pinned.remove(&victim.block) {
+                self.service_deferred(victim.block, home_of, out);
+            }
+        }
+    }
+
+    /// Replays protocol requests that were deferred while `block` was
+    /// pinned for a waking context.
+    fn service_deferred(
+        &mut self,
+        block: u32,
+        home_of: &dyn Fn(u32) -> usize,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) {
+        let mut rest = Vec::new();
+        for (from, msg) in std::mem::take(&mut self.deferred) {
+            if msg.block() == Some(block) {
+                let woken = self.handle_msg_dyn(from, msg, home_of, out);
+                debug_assert!(woken.is_empty(), "deferred requests never wake frames");
+            } else {
+                rest.push((from, msg));
+            }
+        }
+        self.deferred = rest;
+    }
+
+    /// Handles a protocol message addressed to this cache (replies and
+    /// home-initiated requests). Returns the task frames to wake.
+    pub fn handle_msg(
+        &mut self,
+        from: usize,
+        msg: CohMsg,
+        home_of: impl Fn(u32) -> usize,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) -> Vec<usize> {
+        self.handle_msg_dyn(from, msg, &home_of, out)
+    }
+
+    fn handle_msg_dyn(
+        &mut self,
+        from: usize,
+        msg: CohMsg,
+        home_of: &dyn Fn(u32) -> usize,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) -> Vec<usize> {
+        match msg {
+            CohMsg::RdReply { block } => {
+                self.fill(block, LineState::Shared, home_of, out);
+                if let Some(txn) = self.txns.get_mut(&block) {
+                    let mut woken = Vec::new();
+                    txn.frames.retain(|&(f, w)| {
+                        if w {
+                            true
+                        } else {
+                            woken.push(f);
+                            false
+                        }
+                    });
+                    if txn.frames.is_empty() {
+                        self.txns.remove(&block);
+                    }
+                    if !woken.is_empty() {
+                        self.pinned.insert(block);
+                    }
+                    return woken;
+                }
+                Vec::new()
+            }
+            CohMsg::WrReply { block } => {
+                self.fill(block, LineState::Modified, home_of, out);
+                match self.txns.remove(&block) {
+                    Some(txn) => {
+                        let woken: Vec<usize> = txn.frames.into_iter().map(|(f, _)| f).collect();
+                        if !woken.is_empty() {
+                            self.pinned.insert(block);
+                        }
+                        woken
+                    }
+                    None => Vec::new(),
+                }
+            }
+            CohMsg::Inval { block } => {
+                if self.pinned.contains(&block) {
+                    self.deferred.push((from, msg));
+                    return Vec::new();
+                }
+                if self.cache.invalidate(block) == Some(true) {
+                    self.stats.writebacks += 1;
+                }
+                self.stats.invals += 1;
+                out.push((from, CohMsg::InvAck { block }));
+                Vec::new()
+            }
+            CohMsg::DownReq { block } => {
+                if self.pinned.contains(&block) {
+                    self.deferred.push((from, msg));
+                    return Vec::new();
+                }
+                self.cache.downgrade(block);
+                self.stats.downgrades += 1;
+                out.push((from, CohMsg::DownAck { block }));
+                Vec::new()
+            }
+            CohMsg::WbInvalReq { block } => {
+                if self.pinned.contains(&block) {
+                    self.deferred.push((from, msg));
+                    return Vec::new();
+                }
+                self.cache.invalidate(block);
+                self.stats.writebacks += 1;
+                out.push((from, CohMsg::WbInvalAck { block }));
+                Vec::new()
+            }
+            CohMsg::FlushAck { fenced, .. } => {
+                if fenced {
+                    self.fence = self.fence.saturating_sub(1);
+                }
+                Vec::new()
+            }
+            CohMsg::BlockXfer { .. } | CohMsg::Ipi => Vec::new(),
+            other => panic!("controller got home-side message {other:?}"),
+        }
+    }
+
+    /// Implements the FLUSH instruction: drops the line containing
+    /// `addr`; if dirty, writes it back and increments the fence
+    /// counter (Section 3.4).
+    pub fn flush(&mut self, addr: u32, home_of: impl Fn(u32) -> usize, out: &mut Vec<(usize, CohMsg)>) -> u32 {
+        let block = self.cache.config().block_of(addr);
+        match self.cache.invalidate(block) {
+            Some(true) => {
+                self.fence += 1;
+                self.stats.writebacks += 1;
+                out.push((home_of(block), CohMsg::FlushData { block, fenced: true }));
+                1
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::DirState;
+
+    fn ctl(node: usize) -> CacheController {
+        CacheController::new(
+            node,
+            CacheConfig { size_bytes: 1024, block_bytes: 16, assoc: 2 },
+            CtlConfig::default(),
+        )
+    }
+
+    #[test]
+    fn local_fast_path_fills_and_stalls() {
+        let mut c = ctl(0);
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        let o = c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        assert_eq!(o, Outcome::LocalFill { stall: 10 });
+        assert!(out.is_empty());
+        assert_eq!(dir.state(0x40), DirState::Shared(vec![0]));
+        // Reissue hits.
+        let o = c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        assert_eq!(o, Outcome::Hit);
+    }
+
+    #[test]
+    fn remote_miss_sends_request_and_wakes_frame() {
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        let o = c.cpu_access(0x40, false, 2, 5, None, |_| 5, &mut out);
+        assert_eq!(o, Outcome::Remote);
+        assert_eq!(out, vec![(5, CohMsg::RdReq { block: 0x40 })]);
+        out.clear();
+        let woken = c.handle_msg(5, CohMsg::RdReply { block: 0x40 }, |_| 5, &mut out);
+        assert_eq!(woken, vec![2]);
+        assert_eq!(c.outstanding(), 0);
+        // Now a hit.
+        let o = c.cpu_access(0x44, false, 2, 5, None, |_| 5, &mut out);
+        assert_eq!(o, Outcome::Hit);
+    }
+
+    #[test]
+    fn duplicate_requests_coalesce() {
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        c.cpu_access(0x40, false, 0, 5, None, |_| 5, &mut out);
+        c.cpu_access(0x40, false, 1, 5, None, |_| 5, &mut out);
+        assert_eq!(out.len(), 1, "one request for two frames");
+        let mut woken = c.handle_msg(5, CohMsg::RdReply { block: 0x40 }, |_| 5, &mut out);
+        woken.sort();
+        assert_eq!(woken, vec![0, 1]);
+    }
+
+    #[test]
+    fn read_then_write_upgrades_transaction() {
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        c.cpu_access(0x40, false, 0, 5, None, |_| 5, &mut out);
+        c.cpu_access(0x40, true, 1, 5, None, |_| 5, &mut out);
+        assert_eq!(
+            out,
+            vec![(5, CohMsg::RdReq { block: 0x40 }), (5, CohMsg::WrReq { block: 0x40 })]
+        );
+        out.clear();
+        // RdReply satisfies only the reader.
+        let woken = c.handle_msg(5, CohMsg::RdReply { block: 0x40 }, |_| 5, &mut out);
+        assert_eq!(woken, vec![0]);
+        assert_eq!(c.outstanding(), 1);
+        let woken = c.handle_msg(5, CohMsg::WrReply { block: 0x40 }, |_| 5, &mut out);
+        assert_eq!(woken, vec![1]);
+    }
+
+    #[test]
+    fn inval_acks_and_drops_line() {
+        let mut c = ctl(0);
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        let woken = c.handle_msg(3, CohMsg::Inval { block: 0x40 }, |_| 0, &mut out);
+        assert!(woken.is_empty());
+        assert_eq!(out, vec![(3, CohMsg::InvAck { block: 0x40 })]);
+        assert_eq!(c.cache.probe(0x40), None);
+    }
+
+    #[test]
+    fn inval_for_absent_line_still_acks() {
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        c.handle_msg(3, CohMsg::Inval { block: 0x80 }, |_| 0, &mut out);
+        assert_eq!(out, vec![(3, CohMsg::InvAck { block: 0x80 })]);
+    }
+
+    #[test]
+    fn downgrade_keeps_shared_copy() {
+        let mut c = ctl(0);
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        c.cpu_access(0x40, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        c.handle_msg(2, CohMsg::DownReq { block: 0x40 }, |_| 0, &mut out);
+        assert_eq!(out, vec![(2, CohMsg::DownAck { block: 0x40 })]);
+        assert_eq!(c.cache.probe(0x40), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn flush_raises_fence_until_acked() {
+        let mut c = ctl(0);
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        c.cpu_access(0x40, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        assert_eq!(c.flush(0x44, |_| 0, &mut out), 1);
+        assert_eq!(c.fence_count(), 1);
+        assert_eq!(out.last(), Some(&(0, CohMsg::FlushData { block: 0x40, fenced: true })));
+        c.handle_msg(0, CohMsg::FlushAck { block: 0x40, fenced: true }, |_| 0, &mut out);
+        assert_eq!(c.fence_count(), 0);
+    }
+
+    #[test]
+    fn clean_flush_is_free() {
+        let mut c = ctl(0);
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        out.clear();
+        assert_eq!(c.flush(0x40, |_| 0, &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(c.fence_count(), 0);
+    }
+
+    #[test]
+    fn pinned_fill_defers_requests_until_first_use() {
+        // Remote fill for a waiting frame: a DownReq arriving before
+        // the frame's retry is deferred (window of vulnerability),
+        // then serviced after the first access.
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        c.cpu_access(0x40, true, 1, 5, None, |_| 5, &mut out);
+        out.clear();
+        let woken = c.handle_msg(5, CohMsg::WrReply { block: 0x40 }, |_| 5, &mut out);
+        assert_eq!(woken, vec![1]);
+        // The steal attempt arrives before the retry: no ack yet.
+        let w = c.handle_msg(5, CohMsg::DownReq { block: 0x40 }, |_| 5, &mut out);
+        assert!(w.is_empty());
+        assert!(out.is_empty(), "DownReq must be deferred while pinned");
+        assert_eq!(c.cache.probe(0x40), Some(LineState::Modified));
+        // The woken frame's access consumes the pin and releases the
+        // deferred downgrade.
+        let o = c.cpu_access(0x44, true, 1, 5, None, |_| 5, &mut out);
+        assert_eq!(o, Outcome::Hit);
+        assert_eq!(out, vec![(5, CohMsg::DownAck { block: 0x40 })]);
+        assert_eq!(c.cache.probe(0x40), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn unpinned_blocks_ack_immediately() {
+        let mut c = ctl(0);
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        // Local fill (no waiting frame, no pin).
+        c.cpu_access(0x40, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        c.handle_msg(3, CohMsg::DownReq { block: 0x40 }, |_| 0, &mut out);
+        assert_eq!(out, vec![(3, CohMsg::DownAck { block: 0x40 })]);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = CacheController::new(
+            0,
+            CacheConfig { size_bytes: 64, block_bytes: 16, assoc: 1 },
+            CtlConfig::default(),
+        );
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        c.cpu_access(0x00, true, 0, 0, Some(&mut dir), |_| 7, &mut out);
+        // 0x40 conflicts with 0x00 in a 4-set direct-mapped cache.
+        c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 7, &mut out);
+        assert!(out.contains(&(7, CohMsg::FlushData { block: 0x00, fenced: false })));
+        assert_eq!(c.stats.writebacks, 1);
+    }
+}

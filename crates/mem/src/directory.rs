@@ -1,0 +1,393 @@
+//! The home-side directory protocol engine.
+//!
+//! Each node's directory tracks, for every memory block whose home is
+//! that node, the set of caches holding it — the full-map,
+//! invalidation-based scheme of Chaiken, Fields, Kurihara and Agarwal
+//! (the paper's reference [5]), which ALEWIFE distributes with the
+//! processing nodes (Section 2).
+//!
+//! The directory is a message transducer: [`Directory::handle_request`]
+//! and [`Directory::handle_ack`] consume protocol messages and return
+//! the messages to send in response. While a block is *busy* (waiting
+//! for invalidation or write-back acknowledgments), further requests
+//! queue in arrival order, guaranteeing freedom from protocol livelock.
+
+use crate::msg::CohMsg;
+use std::collections::{HashMap, VecDeque};
+
+/// Sharing state of one block at its home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the block.
+    Uncached,
+    /// Read-only copies at the listed nodes (full-map vector).
+    Shared(Vec<usize>),
+    /// One cache holds the block read-write.
+    Exclusive(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Busy {
+    requester: usize,
+    write: bool,
+    pending_acks: usize,
+}
+
+#[derive(Debug, Clone)]
+struct DirEntry {
+    state: DirState,
+    busy: Option<Busy>,
+    waiters: VecDeque<(usize, bool)>,
+}
+
+impl Default for DirEntry {
+    fn default() -> DirEntry {
+        DirEntry { state: DirState::Uncached, busy: None, waiters: VecDeque::new() }
+    }
+}
+
+/// Directory event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Read requests served.
+    pub read_reqs: u64,
+    /// Write requests served.
+    pub write_reqs: u64,
+    /// Invalidation messages sent.
+    pub invals_sent: u64,
+    /// Write-back / downgrade requests sent to owners.
+    pub wb_reqs_sent: u64,
+    /// Requests deferred behind a busy block.
+    pub deferred: u64,
+}
+
+/// A node's directory: protocol state for the blocks it is home to.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<u32, DirEntry>,
+    /// Event counters.
+    pub stats: DirStats,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Current sharing state of `block` (for tests and probes).
+    pub fn state(&self, block: u32) -> DirState {
+        self.entries.get(&block).map(|e| e.state.clone()).unwrap_or(DirState::Uncached)
+    }
+
+    /// True if `block` has a transaction in flight.
+    pub fn is_busy(&self, block: u32) -> bool {
+        self.entries.get(&block).is_some_and(|e| e.busy.is_some())
+    }
+
+    /// True if a request could be granted immediately, with no
+    /// invalidations — the controller's local fast path, where the
+    /// processor merely waits out the memory latency instead of
+    /// context switching.
+    pub fn grantable_now(&self, from: usize, block: u32, write: bool) -> bool {
+        let Some(e) = self.entries.get(&block) else { return true };
+        if e.busy.is_some() {
+            return false;
+        }
+        match (&e.state, write) {
+            (DirState::Uncached, _) => true,
+            (DirState::Shared(_), false) => true,
+            (DirState::Shared(s), true) => s.iter().all(|&n| n == from),
+            (DirState::Exclusive(o), _) => *o == from,
+        }
+    }
+
+    /// Immediately grants `block` to `from` without messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grant is not allowed (callers must check
+    /// [`Directory::grantable_now`] first).
+    pub fn grant_local(&mut self, from: usize, block: u32, write: bool) {
+        assert!(self.grantable_now(from, block, write), "local grant requires a quiet block");
+        if write {
+            self.stats.write_reqs += 1;
+        } else {
+            self.stats.read_reqs += 1;
+        }
+        let e = self.entries.entry(block).or_default();
+        if write {
+            e.state = DirState::Exclusive(from);
+        } else {
+            match &mut e.state {
+                DirState::Shared(s) => {
+                    if !s.contains(&from) {
+                        s.push(from);
+                    }
+                }
+                st @ (DirState::Uncached | DirState::Exclusive(_)) => {
+                    // Exclusive(from) re-reading after a silent flush race.
+                    *st = DirState::Shared(vec![from]);
+                }
+            }
+        }
+    }
+
+    /// Handles a `RdReq`/`WrReq` from `from`, returning messages to
+    /// send (each as `(destination, message)`).
+    pub fn handle_request(&mut self, from: usize, block: u32, write: bool) -> Vec<(usize, CohMsg)> {
+        if write {
+            self.stats.write_reqs += 1;
+        } else {
+            self.stats.read_reqs += 1;
+        }
+        let mut out = Vec::new();
+        self.request_inner(from, block, write, &mut out);
+        out
+    }
+
+    fn request_inner(&mut self, from: usize, block: u32, write: bool, out: &mut Vec<(usize, CohMsg)>) {
+        let e = self.entries.entry(block).or_default();
+        if e.busy.is_some() {
+            e.waiters.push_back((from, write));
+            self.stats.deferred += 1;
+            return;
+        }
+        match (&mut e.state, write) {
+            (DirState::Uncached, false) => {
+                e.state = DirState::Shared(vec![from]);
+                out.push((from, CohMsg::RdReply { block }));
+            }
+            (DirState::Shared(s), false) => {
+                if !s.contains(&from) {
+                    s.push(from);
+                }
+                out.push((from, CohMsg::RdReply { block }));
+            }
+            (DirState::Exclusive(o), false) if *o == from => {
+                // Owner re-reads (flush race); regrant as shared.
+                e.state = DirState::Shared(vec![from]);
+                out.push((from, CohMsg::RdReply { block }));
+            }
+            (DirState::Exclusive(o), false) => {
+                let owner = *o;
+                e.busy = Some(Busy { requester: from, write: false, pending_acks: 1 });
+                out.push((owner, CohMsg::DownReq { block }));
+                self.stats.wb_reqs_sent += 1;
+            }
+            (DirState::Uncached, true) => {
+                e.state = DirState::Exclusive(from);
+                out.push((from, CohMsg::WrReply { block }));
+            }
+            (DirState::Shared(s), true) => {
+                let targets: Vec<usize> = s.iter().copied().filter(|&n| n != from).collect();
+                if targets.is_empty() {
+                    e.state = DirState::Exclusive(from);
+                    out.push((from, CohMsg::WrReply { block }));
+                } else {
+                    e.busy = Some(Busy { requester: from, write: true, pending_acks: targets.len() });
+                    for t in targets {
+                        out.push((t, CohMsg::Inval { block }));
+                        self.stats.invals_sent += 1;
+                    }
+                }
+            }
+            (DirState::Exclusive(o), true) if *o == from => {
+                out.push((from, CohMsg::WrReply { block }));
+            }
+            (DirState::Exclusive(o), true) => {
+                let owner = *o;
+                e.busy = Some(Busy { requester: from, write: true, pending_acks: 1 });
+                out.push((owner, CohMsg::WbInvalReq { block }));
+                self.stats.wb_reqs_sent += 1;
+            }
+        }
+    }
+
+    /// Handles an acknowledgment (`InvAck`, `DownAck`, `WbInvalAck`) or
+    /// a voluntary `FlushData`, returning messages to send.
+    pub fn handle_ack(&mut self, from: usize, msg: CohMsg) -> Vec<(usize, CohMsg)> {
+        let mut out = Vec::new();
+        match msg {
+            CohMsg::FlushData { block, fenced } => {
+                out.push((from, CohMsg::FlushAck { block, fenced }));
+                let e = self.entries.entry(block).or_default();
+                if e.busy.is_none() {
+                    match &mut e.state {
+                        DirState::Exclusive(o) if *o == from => e.state = DirState::Uncached,
+                        DirState::Shared(s) => {
+                            s.retain(|&n| n != from);
+                            if s.is_empty() {
+                                e.state = DirState::Uncached;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // If busy, the outstanding DownReq/WbInvalReq/Inval will
+                // be acknowledged by `from` regardless (controllers ack
+                // requests for absent lines), so resolution happens on
+                // that path.
+            }
+            CohMsg::InvAck { block } | CohMsg::DownAck { block } | CohMsg::WbInvalAck { block } => {
+                let Some(e) = self.entries.get_mut(&block) else { return out };
+                let Some(busy) = &mut e.busy else { return out }; // stale ack
+                busy.pending_acks -= 1;
+                if busy.pending_acks == 0 {
+                    let Busy { requester, write, .. } = *busy;
+                    e.busy = None;
+                    if write {
+                        e.state = DirState::Exclusive(requester);
+                        out.push((requester, CohMsg::WrReply { block }));
+                    } else {
+                        // Downgrade: the old owner (the acker) stays a
+                        // sharer alongside the requester.
+                        e.state = DirState::Shared(vec![from, requester]);
+                        out.push((requester, CohMsg::RdReply { block }));
+                    }
+                    // Serve deferred requests now that the block is quiet.
+                    while let Some((f, w)) = {
+                        let e = self.entries.get_mut(&block).expect("entry exists");
+                        if e.busy.is_none() {
+                            e.waiters.pop_front()
+                        } else {
+                            None
+                        }
+                    } {
+                        self.request_inner(f, block, w, &mut out);
+                    }
+                }
+            }
+            other => panic!("directory got non-ack message {other:?}"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_from_uncached_grants_shared() {
+        let mut d = Directory::new();
+        let out = d.handle_request(1, 0x40, false);
+        assert_eq!(out, vec![(1, CohMsg::RdReply { block: 0x40 })]);
+        assert_eq!(d.state(0x40), DirState::Shared(vec![1]));
+    }
+
+    #[test]
+    fn multiple_readers_accumulate() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, false);
+        d.handle_request(2, 0, false);
+        let out = d.handle_request(3, 0, false);
+        assert_eq!(out, vec![(3, CohMsg::RdReply { block: 0 })]);
+        assert_eq!(d.state(0), DirState::Shared(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, false);
+        d.handle_request(2, 0, false);
+        let out = d.handle_request(3, 0, true);
+        assert_eq!(out, vec![(1, CohMsg::Inval { block: 0 }), (2, CohMsg::Inval { block: 0 })]);
+        assert!(d.is_busy(0));
+        assert!(d.handle_ack(1, CohMsg::InvAck { block: 0 }).is_empty());
+        let out = d.handle_ack(2, CohMsg::InvAck { block: 0 });
+        assert_eq!(out, vec![(3, CohMsg::WrReply { block: 0 })]);
+        assert_eq!(d.state(0), DirState::Exclusive(3));
+    }
+
+    #[test]
+    fn read_of_exclusive_downgrades_owner() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, true);
+        assert_eq!(d.state(0), DirState::Exclusive(1));
+        let out = d.handle_request(2, 0, false);
+        assert_eq!(out, vec![(1, CohMsg::DownReq { block: 0 })]);
+        let out = d.handle_ack(1, CohMsg::DownAck { block: 0 });
+        assert_eq!(out, vec![(2, CohMsg::RdReply { block: 0 })]);
+        assert_eq!(d.state(0), DirState::Shared(vec![1, 2]));
+    }
+
+    #[test]
+    fn write_of_exclusive_transfers_ownership() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, true);
+        let out = d.handle_request(2, 0, true);
+        assert_eq!(out, vec![(1, CohMsg::WbInvalReq { block: 0 })]);
+        let out = d.handle_ack(1, CohMsg::WbInvalAck { block: 0 });
+        assert_eq!(out, vec![(2, CohMsg::WrReply { block: 0 })]);
+        assert_eq!(d.state(0), DirState::Exclusive(2));
+    }
+
+    #[test]
+    fn requests_queue_behind_busy_block() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, true);
+        d.handle_request(2, 0, true); // busy: waiting on node 1
+        let deferred = d.handle_request(3, 0, false);
+        assert!(deferred.is_empty(), "request must queue");
+        assert_eq!(d.stats.deferred, 1);
+        // Node 1 gives up its copy; node 2 gets it; node 3's read then
+        // triggers a downgrade of node 2.
+        let out = d.handle_ack(1, CohMsg::WbInvalAck { block: 0 });
+        assert_eq!(
+            out,
+            vec![(2, CohMsg::WrReply { block: 0 }), (2, CohMsg::DownReq { block: 0 })]
+        );
+        let out = d.handle_ack(2, CohMsg::DownAck { block: 0 });
+        assert_eq!(out, vec![(3, CohMsg::RdReply { block: 0 })]);
+        assert_eq!(d.state(0), DirState::Shared(vec![2, 3]));
+    }
+
+    #[test]
+    fn flush_clears_ownership_and_acks() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, true);
+        let out = d.handle_ack(1, CohMsg::FlushData { block: 0, fenced: true });
+        assert_eq!(out, vec![(1, CohMsg::FlushAck { block: 0, fenced: true })]);
+        assert_eq!(d.state(0), DirState::Uncached);
+    }
+
+    #[test]
+    fn stale_ack_is_ignored() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, false);
+        let out = d.handle_ack(1, CohMsg::InvAck { block: 0 });
+        assert!(out.is_empty());
+        assert_eq!(d.state(0), DirState::Shared(vec![1]));
+    }
+
+    #[test]
+    fn local_fast_path_grants() {
+        let mut d = Directory::new();
+        assert!(d.grantable_now(0, 0, true));
+        d.grant_local(0, 0, true);
+        assert_eq!(d.state(0), DirState::Exclusive(0));
+        // Another node cannot fast-path a write now.
+        assert!(!d.grantable_now(1, 0, true));
+        assert!(!d.grantable_now(1, 0, false));
+        // The owner itself can.
+        assert!(d.grantable_now(0, 0, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "quiet block")]
+    fn bad_local_grant_panics() {
+        let mut d = Directory::new();
+        d.grant_local(0, 0, true);
+        d.grant_local(1, 0, true);
+    }
+
+    #[test]
+    fn shared_self_upgrade_needs_no_invals() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, false);
+        let out = d.handle_request(1, 0, true);
+        assert_eq!(out, vec![(1, CohMsg::WrReply { block: 0 })]);
+        assert_eq!(d.state(0), DirState::Exclusive(1));
+    }
+}

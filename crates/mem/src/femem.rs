@@ -1,0 +1,219 @@
+//! Word-addressed memory with full/empty bits.
+//!
+//! "Words in memory have a 32 bit data field, and have an additional
+//! synchronization bit called the full/empty bit" (paper, Section 3).
+//! [`FeMemory`] is the backing store used both as the ideal shared
+//! memory of the Table 3 experiments (it implements
+//! [`MemoryPort`] directly, with zero latency) and as the
+//! globally-addressed DRAM of the full ALEWIFE machine.
+
+use april_core::isa::{LoadFlavor, StoreFlavor};
+use april_core::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
+use april_core::program::Program;
+use april_core::word::Word;
+
+/// Flat memory of tagged words, each with a full/empty bit.
+///
+/// Addresses are byte addresses; all accesses are word-aligned (the
+/// processor traps on misalignment before reaching memory).
+///
+/// # Examples
+///
+/// ```
+/// use april_mem::femem::FeMemory;
+/// use april_core::word::Word;
+///
+/// let mut m = FeMemory::new(1024);
+/// m.write(0x10, Word::fixnum(5));
+/// m.set_fe(0x10, false); // mark empty
+/// assert_eq!(m.read(0x10), Word::fixnum(5));
+/// assert!(!m.fe(0x10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeMemory {
+    words: Vec<Word>,
+    fe: Vec<bool>,
+}
+
+impl FeMemory {
+    /// Creates a zeroed memory of `bytes` bytes (rounded up to a whole
+    /// word). All words start *full*, matching a freshly initialized
+    /// machine; synchronization structures are explicitly emptied.
+    pub fn new(bytes: usize) -> FeMemory {
+        let n = bytes.div_ceil(4);
+        FeMemory { words: vec![Word::ZERO; n], fe: vec![true; n] }
+    }
+
+    /// Memory size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    fn index(&self, addr: u32) -> usize {
+        debug_assert_eq!(addr & 3, 0, "unaligned access reached memory: {addr:#x}");
+        let i = (addr >> 2) as usize;
+        assert!(i < self.words.len(), "address {addr:#x} out of memory bounds");
+        i
+    }
+
+    /// Reads the word at `addr`.
+    pub fn read(&self, addr: u32) -> Word {
+        self.words[self.index(addr)]
+    }
+
+    /// Writes the word at `addr` (does not touch the full/empty bit).
+    pub fn write(&mut self, addr: u32, w: Word) {
+        let i = self.index(addr);
+        self.words[i] = w;
+    }
+
+    /// Reads the full/empty bit at `addr`.
+    pub fn fe(&self, addr: u32) -> bool {
+        self.fe[self.index(addr)]
+    }
+
+    /// Sets the full/empty bit at `addr`.
+    pub fn set_fe(&mut self, addr: u32, full: bool) {
+        let i = self.index(addr);
+        self.fe[i] = full;
+    }
+
+    /// Loads a program's static data image.
+    pub fn load_image(&mut self, prog: &Program) {
+        for (k, &(w, full)) in prog.static_data.iter().enumerate() {
+            let addr = prog.static_base + 4 * k as u32;
+            self.write(addr, w);
+            self.set_fe(addr, full);
+        }
+    }
+
+    /// Applies a load with full/empty-bit semantics at zero latency,
+    /// returning `None` if the flavor demands an empty-location trap.
+    pub fn apply_load(&mut self, addr: u32, flavor: LoadFlavor) -> Option<(Word, bool)> {
+        let i = self.index(addr);
+        let fe = self.fe[i];
+        if flavor.fe_trap && !fe {
+            return None;
+        }
+        if flavor.reset_fe {
+            self.fe[i] = false;
+        }
+        Some((self.words[i], fe))
+    }
+
+    /// Applies a store with full/empty-bit semantics, returning `None`
+    /// if the flavor demands a full-location trap.
+    pub fn apply_store(&mut self, addr: u32, value: Word, flavor: StoreFlavor) -> Option<bool> {
+        let i = self.index(addr);
+        let fe = self.fe[i];
+        if flavor.fe_trap && fe {
+            return None;
+        }
+        self.words[i] = value;
+        if flavor.set_fe {
+            self.fe[i] = true;
+        }
+        Some(fe)
+    }
+}
+
+/// The ideal memory port: every access hits with zero latency. This is
+/// the configuration the paper used for Table 3 ("the processor
+/// simulator without the cache and network simulators, in effect
+/// simulating a shared-memory machine with no memory latency").
+impl MemoryPort for FeMemory {
+    fn load(&mut self, addr: u32, flavor: LoadFlavor, _ctx: AccessCtx) -> LoadReply {
+        match self.apply_load(addr, flavor) {
+            Some((word, fe)) => LoadReply::Data { word, fe },
+            None => LoadReply::FeViolation,
+        }
+    }
+
+    fn store(&mut self, addr: u32, value: Word, flavor: StoreFlavor, _ctx: AccessCtx) -> StoreReply {
+        match self.apply_store(addr, value, flavor) {
+            Some(fe) => StoreReply::Done { fe },
+            None => StoreReply::FeViolation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = FeMemory::new(256);
+        m.write(0, Word::fixnum(1));
+        m.write(252, Word::cons_ptr(8));
+        assert_eq!(m.read(0), Word::fixnum(1));
+        assert_eq!(m.read(252), Word::cons_ptr(8));
+    }
+
+    #[test]
+    fn words_start_full() {
+        let m = FeMemory::new(64);
+        assert!(m.fe(0));
+        assert!(m.fe(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory bounds")]
+    fn out_of_bounds_panics() {
+        let m = FeMemory::new(64);
+        let _ = m.read(64);
+    }
+
+    #[test]
+    fn trapping_load_on_empty_returns_none() {
+        let mut m = FeMemory::new(64);
+        m.set_fe(8, false);
+        let f = LoadFlavor::from_mnemonic("ldtw").unwrap();
+        assert_eq!(m.apply_load(8, f), None);
+        // Non-trapping load reports the bit instead.
+        let n = LoadFlavor::from_mnemonic("ldnw").unwrap();
+        assert_eq!(m.apply_load(8, n), Some((Word::ZERO, false)));
+    }
+
+    #[test]
+    fn reset_load_takes_the_word() {
+        let mut m = FeMemory::new(64);
+        m.write(8, Word::fixnum(7));
+        let f = LoadFlavor::from_mnemonic("ldett").unwrap();
+        // First take succeeds and empties.
+        assert_eq!(m.apply_load(8, f), Some((Word::fixnum(7), true)));
+        assert!(!m.fe(8));
+        // Second take traps: mutual exclusion via full/empty bit.
+        assert_eq!(m.apply_load(8, f), None);
+    }
+
+    #[test]
+    fn setting_store_fills_and_traps_when_full() {
+        let mut m = FeMemory::new(64);
+        m.set_fe(8, false);
+        let f = StoreFlavor::from_mnemonic("stftt").unwrap();
+        assert_eq!(m.apply_store(8, Word::fixnum(3), f), Some(false));
+        assert!(m.fe(8));
+        // Producing into a full slot traps.
+        assert_eq!(m.apply_store(8, Word::fixnum(4), f), None);
+        assert_eq!(m.read(8), Word::fixnum(3), "trapped store must not write");
+    }
+
+    #[test]
+    fn plain_store_ignores_fe() {
+        let mut m = FeMemory::new(64);
+        assert_eq!(m.apply_store(8, Word::fixnum(3), StoreFlavor::NORMAL), Some(true));
+        assert!(m.fe(8), "plain store leaves the bit alone");
+    }
+
+    #[test]
+    fn load_image_places_static_data() {
+        let mut prog = Program::default();
+        prog.static_base = 0x20;
+        prog.static_data = vec![(Word::fixnum(1), true), (Word::fixnum(2), false)];
+        let mut m = FeMemory::new(256);
+        m.load_image(&prog);
+        assert_eq!(m.read(0x20), Word::fixnum(1));
+        assert!(!m.fe(0x24));
+    }
+}

@@ -1,0 +1,34 @@
+//! # april-mem — the ALEWIFE memory substrate
+//!
+//! Everything between the APRIL processor and the network: word-
+//! addressed memory with full/empty synchronization bits, the
+//! processor cache, the full-map directory coherence protocol, and the
+//! requester-side cache controller.
+//!
+//! * [`femem`] — memory with full/empty bits; doubles as the
+//!   zero-latency ideal shared memory used for the paper's Table 3.
+//! * [`alloc`] — bump allocation of simulated memory regions.
+//! * [`cache`] — set-associative MSI cache (tags + state).
+//! * [`msg`] — coherence protocol messages and their network sizes.
+//! * [`directory`] — the home-side protocol engine (full-map
+//!   invalidation directory, the paper's reference [5]).
+//! * [`controller`] — the requester-side controller: local fast path
+//!   vs. remote transaction, FLUSH and the fence counter.
+//!
+//! The multi-node machine that wires these together with the network
+//! lives in `april-machine`.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod cache;
+pub mod controller;
+pub mod directory;
+pub mod femem;
+pub mod msg;
+
+pub use cache::{Cache, CacheConfig, LineState};
+pub use controller::{CacheController, CtlConfig, Outcome};
+pub use directory::{DirState, Directory};
+pub use femem::FeMemory;
+pub use msg::CohMsg;

@@ -1,0 +1,65 @@
+//! The cache component of the multithreaded-processor model.
+//!
+//! "The private working sets of multiple contexts interfere in the
+//! cache" (paper, Section 8). The miss rate is "the sum of two
+//! components: one component independent of the number of threads p
+//! and the other linearly related to p (to first order)" — a form the
+//! paper validated through simulation (and which `validate_model`
+//! re-validates against this repository's cache simulator).
+
+use crate::params::SystemParams;
+
+/// Miss rate with `p` resident threads: the fixed component (cold
+/// fetches and coherence invalidations, Table 4's 2%) plus first-order
+/// interference proportional to the fraction of the cache each extra
+/// thread's working set displaces.
+pub fn miss_rate(params: &SystemParams, p: f64) -> f64 {
+    let occupancy = params.working_set_blocks / params.cache_blocks();
+    let slope = params.fixed_miss_rate * params.interference_coeff * occupancy;
+    params.fixed_miss_rate + slope * (p - 1.0).max(0.0)
+}
+
+/// The linear interference slope itself (per additional thread).
+pub fn interference_slope(params: &SystemParams) -> f64 {
+    params.fixed_miss_rate
+        * params.interference_coeff
+        * (params.working_set_blocks / params.cache_blocks())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_thread_sees_only_fixed_misses() {
+        let p = SystemParams::default();
+        assert_eq!(miss_rate(&p, 1.0), p.fixed_miss_rate);
+    }
+
+    #[test]
+    fn miss_rate_grows_linearly() {
+        let p = SystemParams::default();
+        let s = interference_slope(&p);
+        assert!(s > 0.0);
+        let d1 = miss_rate(&p, 4.0) - miss_rate(&p, 3.0);
+        let d2 = miss_rate(&p, 8.0) - miss_rate(&p, 7.0);
+        assert!((d1 - d2).abs() < 1e-12, "first order in p");
+        assert!((d1 - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_caches_interfere_less() {
+        let small = SystemParams::default();
+        let big = SystemParams { cache_bytes: 256.0 * 1024.0, ..small };
+        assert!(miss_rate(&big, 4.0) < miss_rate(&small, 4.0));
+    }
+
+    #[test]
+    fn four_working_sets_fit_a_64k_cache_comfortably() {
+        // Section 8: "caches greater than 64 Kbytes comfortably sustain
+        // the working sets of four processes".
+        let p = SystemParams::default();
+        assert!(4.0 * p.working_set_blocks < p.cache_blocks());
+        assert!(miss_rate(&p, 4.0) < 1.5 * p.fixed_miss_rate);
+    }
+}

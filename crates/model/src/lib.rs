@@ -1,0 +1,35 @@
+//! # april-model — scalability model for multithreaded processors
+//!
+//! The analytical model of the paper's Section 8 (detailed in Agarwal,
+//! *Performance Tradeoffs in Multithreaded Processors*, MIT VLSI Memo
+//! 89-566): processor utilization as a function of the number of
+//! resident threads, folding in cache interference, network contention
+//! and context-switch overhead.
+//!
+//! * [`params`] — Table 4's default system parameters.
+//! * [`cache_model`] — m(p): fixed + first-order interference.
+//! * [`net_model`] — T(p): unloaded latency + contention.
+//! * [`utilization`] — Equation 1, the self-consistent solver, and the
+//!   Figure 5 component decomposition.
+//!
+//! # Examples
+//!
+//! ```
+//! use april_model::params::SystemParams;
+//! use april_model::utilization::solve;
+//!
+//! // "close to 80% processor utilization with as few as three
+//! // resident threads per processor" (abstract).
+//! let u3 = solve(&SystemParams::default(), 3.0, true, true, 10.0);
+//! assert!(u3 > 0.75);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache_model;
+pub mod net_model;
+pub mod params;
+pub mod utilization;
+
+pub use params::SystemParams;
+pub use utilization::{equation_1, figure5_sweep, solve, UtilizationPoint};

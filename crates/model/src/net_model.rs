@@ -1,0 +1,66 @@
+//! The network component of the multithreaded-processor model.
+//!
+//! A k-ary n-cube with single-flit-per-cycle channels: each request
+//! and its reply cross `avg_hops` stages; contention adds a per-hop
+//! queueing delay that grows with channel utilization ρ. Channel
+//! utilization itself grows with the processors' useful issue rate —
+//! the feedback the paper summarizes as "available network bandwidth
+//! limits the maximum rate at which computation can proceed".
+
+use crate::params::SystemParams;
+
+/// Per-hop queueing wait for channel utilization `rho` and packet
+/// size `b`: an M/G/1-style `ρ·B / 2(1−ρ)` term, the standard
+/// first-order model for wormhole/cut-through k-ary n-cubes.
+pub fn hop_wait(rho: f64, b: f64) -> f64 {
+    let rho = rho.clamp(0.0, 0.98);
+    rho * b / (2.0 * (1.0 - rho))
+}
+
+/// Channel utilization when each processor does useful work a fraction
+/// `u` of the time and misses at rate `m`: every miss launches a
+/// request and a reply of `packet_size` flits across `avg_hops`
+/// channels, spread over the `2n` outgoing channels per node.
+pub fn channel_utilization(params: &SystemParams, u: f64, m: f64) -> f64 {
+    let pkts_per_cycle = 2.0 * u * m;
+    pkts_per_cycle * params.packet_size * params.avg_hops() / (2.0 * params.dim)
+}
+
+/// Round-trip latency at channel utilization `rho`: the unloaded
+/// 55-cycle base plus queueing on every hop of both trips.
+pub fn round_trip(params: &SystemParams, rho: f64) -> f64 {
+    params.base_round_trip() + 2.0 * params.avg_hops() * hop_wait(rho, params.packet_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_latency_matches_table_4() {
+        let p = SystemParams::default();
+        let t = round_trip(&p, 0.0);
+        assert!((54.0..=56.0).contains(&t), "T(0) = {t}");
+    }
+
+    #[test]
+    fn latency_increases_with_load() {
+        let p = SystemParams::default();
+        assert!(round_trip(&p, 0.5) > round_trip(&p, 0.1));
+        assert!(round_trip(&p, 0.9) > round_trip(&p, 0.5));
+    }
+
+    #[test]
+    fn utilization_scales_with_miss_rate() {
+        let p = SystemParams::default();
+        let lo = channel_utilization(&p, 0.8, 0.01);
+        let hi = channel_utilization(&p, 0.8, 0.04);
+        assert!((hi / lo - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hop_wait_is_zero_when_idle() {
+        assert_eq!(hop_wait(0.0, 4.0), 0.0);
+        assert!(hop_wait(0.97, 4.0) > 10.0, "near saturation waits explode");
+    }
+}

@@ -1,0 +1,108 @@
+//! Default system parameters (paper, Table 4).
+
+/// The system parameters of the Section 8 scalability analysis.
+///
+/// Defaults reproduce Table 4 exactly: an 8000-processor machine in a
+/// three-dimensional array of radix 20, 10-cycle memory latency, 2%
+/// fixed miss rate, 4-flit average packets, 16-byte cache blocks,
+/// 250-block per-thread working sets, 64-Kbyte caches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemParams {
+    /// Memory latency in cycles.
+    pub memory_latency: f64,
+    /// Network dimension n.
+    pub dim: f64,
+    /// Network radix k.
+    pub radix: f64,
+    /// Fixed miss rate (first-time fetches + coherence invalidations).
+    pub fixed_miss_rate: f64,
+    /// Average packet size in flits.
+    pub packet_size: f64,
+    /// Cache block size in bytes.
+    pub block_bytes: f64,
+    /// Per-thread working set in blocks.
+    pub working_set_blocks: f64,
+    /// Cache size in bytes.
+    pub cache_bytes: f64,
+    /// Context switch overhead C in cycles (trap entry + handler).
+    pub switch_overhead: f64,
+    /// First-order cache-interference coefficient (dimensionless; the
+    /// slope term the paper validates through simulation).
+    pub interference_coeff: f64,
+}
+
+impl Default for SystemParams {
+    fn default() -> SystemParams {
+        SystemParams {
+            memory_latency: 10.0,
+            dim: 3.0,
+            radix: 20.0,
+            fixed_miss_rate: 0.02,
+            packet_size: 4.0,
+            block_bytes: 16.0,
+            working_set_blocks: 250.0,
+            cache_bytes: 64.0 * 1024.0,
+            switch_overhead: 10.0,
+            interference_coeff: 0.9,
+        }
+    }
+}
+
+impl SystemParams {
+    /// Number of processors, kⁿ.
+    pub fn num_processors(&self) -> f64 {
+        self.radix.powf(self.dim)
+    }
+
+    /// Cache capacity in blocks.
+    pub fn cache_blocks(&self) -> f64 {
+        self.cache_bytes / self.block_bytes
+    }
+
+    /// Average hops between a random node pair: nk/3 (paper: 20).
+    pub fn avg_hops(&self) -> f64 {
+        self.dim * self.radix / 3.0
+    }
+
+    /// Unloaded round-trip latency: request and reply each cross
+    /// `avg_hops` single-cycle stages, the home memory adds its
+    /// latency, and the data packet's body adds its length — the
+    /// paper's "average round trip network latency of 55 cycles for an
+    /// unloaded network".
+    pub fn base_round_trip(&self) -> f64 {
+        2.0 * self.avg_hops() + self.memory_latency + self.packet_size + 1.0
+    }
+
+    /// Latency a processor with `p` resident threads can tolerate when
+    /// each thread runs `run_interval` cycles between misses: the other
+    /// p−1 threads cover the round trip. With 4 task frames and
+    /// context switches every 50–100 cycles this is the paper's
+    /// "latencies in the range of 150 to 300 cycles".
+    pub fn tolerated_latency(&self, p: f64, run_interval: f64) -> f64 {
+        (p - 1.0) * (run_interval + self.switch_overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_4_defaults() {
+        let p = SystemParams::default();
+        assert_eq!(p.num_processors(), 8000.0);
+        assert_eq!(p.avg_hops(), 20.0);
+        assert_eq!(p.cache_blocks(), 4096.0);
+        let rt = p.base_round_trip();
+        assert!((54.0..=56.0).contains(&rt), "base round trip {rt} should be ~55");
+    }
+
+    #[test]
+    fn four_frames_tolerate_150_to_300_cycles() {
+        let p = SystemParams::default();
+        let lo = p.tolerated_latency(4.0, 50.0);
+        let hi = p.tolerated_latency(4.0, 100.0);
+        assert!((150.0..=200.0).contains(&lo), "lo={lo}");
+        assert!((300.0..=340.0).contains(&hi), "hi={hi}");
+    }
+}

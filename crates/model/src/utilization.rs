@@ -1,0 +1,179 @@
+//! Processor utilization — Equation 1 of the paper and the Figure 5
+//! component decomposition.
+//!
+//! ```text
+//!          ⎧  p / (1 + T(p)·m(p))        for p < (1 + T(p)m(p)) / (1 + C·m(p))
+//!  U(p) =  ⎨
+//!          ⎩  1 / (1 + C·m(p))           otherwise
+//! ```
+//!
+//! With few threads, network latency cannot be fully overlapped; with
+//! enough threads, utilization is limited only by the context-switch
+//! overhead paid on every miss — and by the cache and network
+//! interference folded into m(p) and T(p).
+
+use crate::cache_model::miss_rate;
+use crate::net_model::{channel_utilization, round_trip};
+use crate::params::SystemParams;
+
+/// Equation 1 for given miss rate `m`, round-trip latency `t`, and
+/// switch overhead `c`.
+pub fn equation_1(p: f64, m: f64, t: f64, c: f64) -> f64 {
+    let saturation = (1.0 + t * m) / (1.0 + c * m);
+    if p < saturation {
+        p / (1.0 + t * m)
+    } else {
+        1.0 / (1.0 + c * m)
+    }
+}
+
+/// Solves the self-consistent utilization at `p` resident threads:
+/// utilization determines network load, network load determines
+/// latency, latency determines utilization. `degrade_cache`/
+/// `degrade_net` select which interference components apply (for the
+/// Figure 5 decomposition); `c` is the context-switch overhead.
+pub fn solve(params: &SystemParams, p: f64, degrade_cache: bool, degrade_net: bool, c: f64) -> f64 {
+    let m = if degrade_cache { miss_rate(params, p) } else { miss_rate(params, 1.0) };
+    let mut u = 0.5;
+    for _ in 0..200 {
+        let t = if degrade_net {
+            round_trip(params, channel_utilization(params, u, m))
+        } else {
+            params.base_round_trip()
+        };
+        let next = equation_1(p, m, t, c);
+        u = 0.5 * u + 0.5 * next;
+    }
+    u
+}
+
+/// One row of the Figure 5 data: utilization under successively more
+/// realistic assumptions, plus the stacked components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationPoint {
+    /// Resident threads p.
+    pub p: f64,
+    /// Ideal: single-thread miss rate and unloaded network, no switch
+    /// overhead cap below the 1/(1+Cm) bound — the paper's "Ideal".
+    pub ideal: f64,
+    /// With network contention only.
+    pub with_network: f64,
+    /// With network contention and cache interference.
+    pub with_cache_network: f64,
+    /// Full model (Equation 1 with C): the useful-work curve.
+    pub useful: f64,
+}
+
+impl UtilizationPoint {
+    /// The share lost to network contention.
+    pub fn network_loss(&self) -> f64 {
+        (self.ideal - self.with_network).max(0.0)
+    }
+
+    /// The share lost to cache interference.
+    pub fn cache_loss(&self) -> f64 {
+        (self.with_network - self.with_cache_network).max(0.0)
+    }
+
+    /// The share lost to context-switch overhead.
+    pub fn switch_loss(&self) -> f64 {
+        (self.with_cache_network - self.useful).max(0.0)
+    }
+}
+
+/// Computes the Figure 5 sweep for `p = 1..=max_p` with context-switch
+/// overhead `c`.
+pub fn figure5_sweep(params: &SystemParams, max_p: usize, c: f64) -> Vec<UtilizationPoint> {
+    (1..=max_p)
+        .map(|p| {
+            let p = p as f64;
+            // The ideal curve excludes every interference term *and*
+            // the switch overhead (it caps at the no-overhead bound).
+            let ideal = solve(params, p, false, false, 0.0);
+            let with_network = solve(params, p, false, true, 0.0);
+            let with_cache_network = solve(params, p, true, true, 0.0);
+            let useful = solve(params, p, true, true, c);
+            UtilizationPoint { p, ideal, with_network, with_cache_network, useful }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SystemParams {
+        SystemParams::default()
+    }
+
+    #[test]
+    fn single_thread_utilization_matches_closed_form() {
+        // U(1) = 1 / (1 + m·T) with T = 55, m = 0.02: ≈ 0.476.
+        let u = solve(&params(), 1.0, false, false, 10.0);
+        let expect = 1.0 / (1.0 + 0.02 * params().base_round_trip());
+        assert!((u - expect).abs() < 1e-6, "u={u} expect={expect}");
+        assert!((0.45..=0.50).contains(&u));
+    }
+
+    #[test]
+    fn three_threads_reach_about_80_percent() {
+        // The paper's headline: "as few as three processes yield close
+        // to 80% utilization for a ten-cycle context-switch overhead".
+        let u = solve(&params(), 3.0, true, true, 10.0);
+        assert!((0.75..=0.85).contains(&u), "U(3) = {u}");
+    }
+
+    #[test]
+    fn utilization_saturates_near_80_percent() {
+        let pts = figure5_sweep(&params(), 8, 10.0);
+        let peak = pts.iter().map(|x| x.useful).fold(0.0, f64::max);
+        assert!((0.75..=0.85).contains(&peak), "peak = {peak}");
+        // Marginal benefit of more threads decreases.
+        let u3 = pts[2].useful;
+        let u8 = pts[7].useful;
+        assert!(u8 <= u3 + 0.05, "U(8)={u8} should not much exceed U(3)={u3}");
+    }
+
+    #[test]
+    fn equation_1_branches() {
+        // Below saturation: linear in p. Above: flat.
+        let (m, t, c) = (0.02, 55.0, 10.0);
+        // Saturation point: (1 + 1.1) / (1 + 0.2) = 1.75 threads.
+        let u1 = equation_1(0.5, m, t, c);
+        let u2 = equation_1(1.0, m, t, c);
+        assert!((u2 / u1 - 2.0).abs() < 1e-9, "linear below saturation");
+        let u10 = equation_1(10.0, m, t, c);
+        let u20 = equation_1(20.0, m, t, c);
+        assert_eq!(u10, u20, "saturated region is flat");
+        assert!((u10 - 1.0 / (1.0 + c * m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_cycle_switch_overhead_is_cheap() {
+        // Section 8: "the relatively large ten-cycle context switch
+        // overhead does not significantly impact performance".
+        let with = solve(&params(), 4.0, true, true, 10.0);
+        let without = solve(&params(), 4.0, true, true, 0.0);
+        assert!(without - with < 0.2, "overhead costs {:.3}", without - with);
+        assert!(with / without > 0.8);
+    }
+
+    #[test]
+    fn components_are_nonnegative_and_stack() {
+        for pt in figure5_sweep(&params(), 8, 10.0) {
+            assert!(pt.network_loss() >= 0.0);
+            assert!(pt.cache_loss() >= 0.0);
+            assert!(pt.switch_loss() >= 0.0);
+            let stack = pt.useful + pt.switch_loss() + pt.cache_loss() + pt.network_loss();
+            assert!((stack - pt.ideal).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ideal_curve_rises_monotonically_to_its_cap() {
+        let pts = figure5_sweep(&params(), 8, 10.0);
+        for w in pts.windows(2) {
+            assert!(w[1].ideal >= w[0].ideal - 1e-9);
+        }
+    }
+}

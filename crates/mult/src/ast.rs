@@ -1,0 +1,392 @@
+//! Mul-T abstract syntax and lowering from s-expressions.
+//!
+//! The subset implemented is what the paper's benchmarks and run-time
+//! idioms need: fixnums, booleans, pairs, vectors, closures,
+//! `define`/`let`/`if`/`begin`/`and`/`or`, recursion, and the
+//! concurrency forms `future`, `future-on` and `touch` (Section 2.2).
+
+use crate::sexpr::{read_all, SExpr};
+use std::fmt;
+
+/// Primitive operations (strict unless noted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prim {
+    /// `(+ a b)`
+    Add,
+    /// `(- a b)`
+    Sub,
+    /// `(* a b)`
+    Mul,
+    /// `(quotient a b)`
+    Quotient,
+    /// `(remainder a b)`
+    Remainder,
+    /// `(< a b)`
+    Lt,
+    /// `(<= a b)`
+    Le,
+    /// `(> a b)`
+    Gt,
+    /// `(>= a b)`
+    Ge,
+    /// `(= a b)` (numeric equality)
+    NumEq,
+    /// `(eq? a b)` (identity; strict so futures compare by value)
+    Eq,
+    /// `(not a)` (non-strict: compares against `#f`)
+    Not,
+    /// `(cons a d)` (non-strict in both arguments)
+    Cons,
+    /// `(car p)` (strict in `p`)
+    Car,
+    /// `(cdr p)`
+    Cdr,
+    /// `(null? x)`
+    NullP,
+    /// `(pair? x)`
+    PairP,
+    /// `(make-vector n init)`
+    MakeVector,
+    /// `(vector-ref v i)`
+    VectorRef,
+    /// `(vector-set! v i x)`
+    VectorSet,
+    /// `(vector-length v)`
+    VectorLength,
+    /// `(print x)` — debug output via the run-time system.
+    Print,
+}
+
+impl Prim {
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            Prim::Not
+            | Prim::Car
+            | Prim::Cdr
+            | Prim::NullP
+            | Prim::PairP
+            | Prim::VectorLength
+            | Prim::Print => 1,
+            Prim::VectorSet => 3,
+            _ => 2,
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Prim> {
+        Some(match s {
+            "+" => Prim::Add,
+            "-" => Prim::Sub,
+            "*" => Prim::Mul,
+            "quotient" => Prim::Quotient,
+            "remainder" => Prim::Remainder,
+            "<" => Prim::Lt,
+            "<=" => Prim::Le,
+            ">" => Prim::Gt,
+            ">=" => Prim::Ge,
+            "=" => Prim::NumEq,
+            "eq?" => Prim::Eq,
+            "not" => Prim::Not,
+            "cons" => Prim::Cons,
+            "car" => Prim::Car,
+            "cdr" => Prim::Cdr,
+            "null?" => Prim::NullP,
+            "pair?" => Prim::PairP,
+            "make-vector" => Prim::MakeVector,
+            "vector-ref" => Prim::VectorRef,
+            "vector-set!" => Prim::VectorSet,
+            "vector-length" => Prim::VectorLength,
+            "print" => Prim::Print,
+            _ => return None,
+        })
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Fixnum literal.
+    Int(i32),
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// `'()`.
+    Nil,
+    /// Variable reference.
+    Var(String),
+    /// `(if c t e)`; a missing `e` is `#f`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `(let ((x e) ...) body...)`.
+    Let(Vec<(String, Expr)>, Vec<Expr>),
+    /// `(begin e ...)`.
+    Begin(Vec<Expr>),
+    /// `(lambda (x ...) body...)`.
+    Lambda(Vec<String>, Vec<Expr>),
+    /// Procedure call.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Primitive application.
+    Prim(Prim, Vec<Expr>),
+    /// `(and e ...)` (short-circuit).
+    And(Vec<Expr>),
+    /// `(or e ...)` (short-circuit).
+    Or(Vec<Expr>),
+    /// `(future e)` / `(future-on node e)`; the optional expression is
+    /// the placement node.
+    Future(Box<Expr>, Option<Box<Expr>>),
+    /// `(touch e)`.
+    Touch(Box<Expr>),
+}
+
+/// A toplevel `(define (name args...) body...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Definition {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body expressions.
+    pub body: Vec<Expr>,
+}
+
+/// A whole program: definitions, one of which must be `main`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgramAst {
+    /// All toplevel definitions.
+    pub defs: Vec<Definition>,
+}
+
+/// Front-end failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Parses and lowers Mul-T source to the AST.
+///
+/// # Errors
+///
+/// Returns [`LowerError`] on syntax errors or unknown forms.
+pub fn parse_program(src: &str) -> Result<ProgramAst, LowerError> {
+    let forms = read_all(src).map_err(|e| LowerError(e.to_string()))?;
+    let mut defs = Vec::new();
+    for f in forms {
+        defs.push(lower_define(&f)?);
+    }
+    Ok(ProgramAst { defs })
+}
+
+fn lower_define(s: &SExpr) -> Result<Definition, LowerError> {
+    let items = s.list().ok_or_else(|| LowerError(format!("expected (define ...), got {s}")))?;
+    match items {
+        [SExpr::Atom(d), SExpr::List(sig), body @ ..] if d == "define" && !body.is_empty() => {
+            let mut names = sig.iter().map(|x| {
+                x.atom()
+                    .map(str::to_string)
+                    .ok_or_else(|| LowerError(format!("bad parameter in {s}")))
+            });
+            let name = names.next().ok_or_else(|| LowerError("empty define signature".into()))??;
+            let params = names.collect::<Result<Vec<_>, _>>()?;
+            let body = body.iter().map(lower).collect::<Result<Vec<_>, _>>()?;
+            Ok(Definition { name, params, body })
+        }
+        _ => Err(LowerError(format!("only (define (name args...) body...) allowed at toplevel, got {s}"))),
+    }
+}
+
+fn lower_all(xs: &[SExpr]) -> Result<Vec<Expr>, LowerError> {
+    xs.iter().map(lower).collect()
+}
+
+fn lower(s: &SExpr) -> Result<Expr, LowerError> {
+    match s {
+        SExpr::Atom(a) => lower_atom(a),
+        SExpr::List(items) => {
+            let Some(head) = items.first() else {
+                return Ok(Expr::Nil); // bare ()
+            };
+            if let Some(name) = head.atom() {
+                match name {
+                    "quote" => {
+                        return match &items[1..] {
+                            [SExpr::List(l)] if l.is_empty() => Ok(Expr::Nil),
+                            other => Err(LowerError(format!("only '() is quotable, got {other:?}"))),
+                        }
+                    }
+                    "if" => {
+                        return match &items[1..] {
+                            [c, t] => Ok(Expr::If(
+                                Box::new(lower(c)?),
+                                Box::new(lower(t)?),
+                                Box::new(Expr::Bool(false)),
+                            )),
+                            [c, t, e] => Ok(Expr::If(
+                                Box::new(lower(c)?),
+                                Box::new(lower(t)?),
+                                Box::new(lower(e)?),
+                            )),
+                            _ => Err(LowerError(format!("bad if: {s}"))),
+                        }
+                    }
+                    "let" => {
+                        let [SExpr::List(binds), body @ ..] = &items[1..] else {
+                            return Err(LowerError(format!("bad let: {s}")));
+                        };
+                        if body.is_empty() {
+                            return Err(LowerError(format!("empty let body: {s}")));
+                        }
+                        let mut bs = Vec::new();
+                        for b in binds {
+                            let Some([SExpr::Atom(n), init]) = b.list() else {
+                                return Err(LowerError(format!("bad binding {b} in {s}")));
+                            };
+                            bs.push((n.clone(), lower(init)?));
+                        }
+                        return Ok(Expr::Let(bs, lower_all(body)?));
+                    }
+                    "begin" => return Ok(Expr::Begin(lower_all(&items[1..])?)),
+                    "lambda" => {
+                        let [SExpr::List(ps), body @ ..] = &items[1..] else {
+                            return Err(LowerError(format!("bad lambda: {s}")));
+                        };
+                        let params = ps
+                            .iter()
+                            .map(|p| {
+                                p.atom()
+                                    .map(str::to_string)
+                                    .ok_or_else(|| LowerError(format!("bad lambda param in {s}")))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        return Ok(Expr::Lambda(params, lower_all(body)?));
+                    }
+                    "and" => return Ok(Expr::And(lower_all(&items[1..])?)),
+                    "or" => return Ok(Expr::Or(lower_all(&items[1..])?)),
+                    "future" => {
+                        let [e] = &items[1..] else {
+                            return Err(LowerError(format!("bad future: {s}")));
+                        };
+                        return Ok(Expr::Future(Box::new(lower(e)?), None));
+                    }
+                    "future-on" => {
+                        let [node, e] = &items[1..] else {
+                            return Err(LowerError(format!("bad future-on: {s}")));
+                        };
+                        return Ok(Expr::Future(Box::new(lower(e)?), Some(Box::new(lower(node)?))));
+                    }
+                    "touch" => {
+                        let [e] = &items[1..] else {
+                            return Err(LowerError(format!("bad touch: {s}")));
+                        };
+                        return Ok(Expr::Touch(Box::new(lower(e)?)));
+                    }
+                    _ => {
+                        if let Some(p) = Prim::from_name(name) {
+                            let args = lower_all(&items[1..])?;
+                            if args.len() != p.arity() {
+                                return Err(LowerError(format!(
+                                    "{name} expects {} args, got {} in {s}",
+                                    p.arity(),
+                                    args.len()
+                                )));
+                            }
+                            return Ok(Expr::Prim(p, args));
+                        }
+                    }
+                }
+            }
+            // General call.
+            let f = lower(head)?;
+            Ok(Expr::Call(Box::new(f), lower_all(&items[1..])?))
+        }
+    }
+}
+
+fn lower_atom(a: &str) -> Result<Expr, LowerError> {
+    match a {
+        "#t" => Ok(Expr::Bool(true)),
+        "#f" => Ok(Expr::Bool(false)),
+        _ => {
+            if let Ok(n) = a.parse::<i32>() {
+                Ok(Expr::Int(n))
+            } else {
+                Ok(Expr::Var(a.to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowers_fib() {
+        let p = parse_program(
+            "(define (fib n) (if (< n 2) n (+ (touch (future (fib (- n 1)))) (fib (- n 2)))))
+             (define (main) (fib 10))",
+        )
+        .unwrap();
+        assert_eq!(p.defs.len(), 2);
+        assert_eq!(p.defs[0].name, "fib");
+        assert_eq!(p.defs[0].params, vec!["n"]);
+    }
+
+    #[test]
+    fn literals() {
+        let p = parse_program("(define (main) (if #t 1 #f))").unwrap();
+        match &p.defs[0].body[0] {
+            Expr::If(c, t, e) => {
+                assert_eq!(**c, Expr::Bool(true));
+                assert_eq!(**t, Expr::Int(1));
+                assert_eq!(**e, Expr::Bool(false));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quote_nil() {
+        let p = parse_program("(define (main) (cons 1 '()))").unwrap();
+        match &p.defs[0].body[0] {
+            Expr::Prim(Prim::Cons, args) => assert_eq!(args[1], Expr::Nil),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_on_placement() {
+        let p = parse_program("(define (main) (future-on 3 (+ 1 2)))").unwrap();
+        match &p.defs[0].body[0] {
+            Expr::Future(_, Some(node)) => assert_eq!(**node, Expr::Int(3)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_checked() {
+        let e = parse_program("(define (main) (car 1 2))").unwrap_err();
+        assert!(e.0.contains("expects 1 args"));
+    }
+
+    #[test]
+    fn toplevel_must_be_define() {
+        assert!(parse_program("(+ 1 2)").is_err());
+    }
+
+    #[test]
+    fn let_and_lambda() {
+        let p = parse_program("(define (main) (let ((f (lambda (x) (* x x)))) (f 4)))").unwrap();
+        match &p.defs[0].body[0] {
+            Expr::Let(binds, body) => {
+                assert_eq!(binds[0].0, "f");
+                assert!(matches!(binds[0].1, Expr::Lambda(..)));
+                assert!(matches!(body[0], Expr::Call(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

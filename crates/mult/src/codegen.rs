@@ -1,0 +1,1000 @@
+//! Code generation: AST → APRIL machine code.
+//!
+//! A simple accumulator-style compiler: every expression leaves its
+//! value in `r1`, with intermediate values on the thread's stack
+//! (`r29`, growing upward). Closures are flat records
+//! `[code, free₁, free₂, …]` tagged `other`; heap allocation is an
+//! inline bump of the per-processor `g5`/`g6` registers with an
+//! `RT_HEAP_MORE` refill path — the cheap allocation Mul-T's fine
+//! grain tasking needs.
+//!
+//! Strict operations compile per the target:
+//! * `Hardware` — tagged instructions (`tadd` …) that trap on a future
+//!   operand at zero cost otherwise, and memory instructions whose
+//!   address-operand tag check gives implicit touches for `car`-style
+//!   dereferences (paper, Section 4).
+//! * `Software` — an explicit 3-instruction test-and-branch per strict
+//!   operand (the Encore baseline; the measured ~2× sequential
+//!   overhead of Table 3).
+//! * `None` — no checks (the sequential T compiler).
+
+use crate::ast::{Expr, Prim, ProgramAst};
+use crate::target::{CheckMode, CompileOptions, FutureMode};
+use april_core::isa::{AluOp, Cond, Instr, Operand, Reg};
+use april_core::program::{BuildError, Program, ProgramBuilder};
+use april_core::word::Word;
+use april_runtime::abi;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<BuildError> for CompileError {
+    fn from(e: BuildError) -> CompileError {
+        CompileError(e.to_string())
+    }
+}
+
+const ACC: Reg = Reg::L(1); // accumulator == first arg == return value
+const SP: Reg = abi::REG_SP;
+const LINK: Reg = abi::REG_LINK;
+const CLO: Reg = abi::REG_CLOSURE;
+// Code-generator temporaries live in frame-local registers: unlike
+// the globals, they are saved and restored when the run-time unloads a
+// thread or another task frame runs, so values stay live across
+// blocking touches and context switches. Only the heap pointer pair
+// (`g5`/`g6`) is deliberately per-processor.
+const T1: Reg = Reg::L(20);
+const T2: Reg = Reg::L(21);
+const T3: Reg = Reg::L(22);
+const T4: Reg = Reg::L(23);
+
+/// Base byte address of the static segment (inside node 0's reserved
+/// page, above the singletons).
+pub const STATIC_BASE: u32 = 0x1000;
+
+/// Maximum procedure arity (arguments are passed in `r1`–`r6`).
+pub const MAX_ARGS: usize = 6;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Binding {
+    /// Stack slot index within the current frame (words from base).
+    Slot(u32),
+    /// Index into the closure's free-variable fields.
+    Free(usize),
+}
+
+struct PendingLambda {
+    label: String,
+    params: Vec<String>,
+    body: Vec<Expr>,
+    free: Vec<String>,
+}
+
+struct Ctx {
+    env: Vec<(String, Binding)>,
+    depth: u32,
+}
+
+impl Ctx {
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.env.iter().rev().find(|(n, _)| n == name).map(|&(_, b)| b)
+    }
+}
+
+/// The code generator.
+struct Gen {
+    b: ProgramBuilder,
+    opts: CompileOptions,
+    globals: HashMap<String, String>, // name -> code label
+    global_closures: HashMap<String, u32>, // name -> static closure addr
+    pending: Vec<PendingLambda>,
+    fresh: usize,
+}
+
+/// Compiles a Mul-T program.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on front-end errors, unbound variables,
+/// missing `main`, or arity overflow.
+///
+/// # Examples
+///
+/// ```
+/// use april_mult::{compile, CompileOptions};
+/// let prog = compile("(define (main) (+ 1 2))", &CompileOptions::april())?;
+/// assert!(prog.label("__task_entry").is_some());
+/// # Ok::<(), april_mult::CompileError>(())
+/// ```
+pub fn compile(src: &str, opts: &CompileOptions) -> Result<Program, CompileError> {
+    let ast = crate::ast::parse_program(src).map_err(|e| CompileError(e.to_string()))?;
+    compile_ast(&ast, opts)
+}
+
+/// Compiles an already-parsed program.
+///
+/// # Errors
+///
+/// As for [`compile`].
+pub fn compile_ast(ast: &ProgramAst, opts: &CompileOptions) -> Result<Program, CompileError> {
+    let mut g = Gen {
+        b: ProgramBuilder::new(),
+        opts: *opts,
+        globals: HashMap::new(),
+        global_closures: HashMap::new(),
+        pending: Vec::new(),
+        fresh: 0,
+    };
+    for d in &ast.defs {
+        if d.params.len() > MAX_ARGS {
+            return Err(CompileError(format!("{} takes too many parameters", d.name)));
+        }
+        let label = format!("fn_{}", mangle(&d.name));
+        if g.globals.insert(d.name.clone(), label).is_some() {
+            return Err(CompileError(format!("duplicate definition of {}", d.name)));
+        }
+    }
+    if !g.globals.contains_key("main") {
+        return Err(CompileError("no (define (main) ...)".into()));
+    }
+    g.b.static_segment(STATIC_BASE, Vec::new());
+
+    // Boot code at the entry point.
+    g.b.label("__boot");
+    g.b.entry("__boot");
+    g.emit_direct_call("fn_main");
+    g.b.emit(Instr::RtCall { n: abi::RT_MAIN_DONE });
+
+    g.emit_stubs();
+    g.emit_make_vector();
+
+    for d in &ast.defs {
+        let label = g.globals[&d.name].clone();
+        g.compile_function(&label, &d.params, &d.body, &[])?;
+    }
+    while let Some(l) = g.pending.pop() {
+        g.compile_function(&l.label, &l.params, &l.body, &l.free)?;
+    }
+    Ok(g.b.finish()?)
+}
+
+fn mangle(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+impl Gen {
+    fn fresh_label(&mut self, what: &str) -> String {
+        self.fresh += 1;
+        format!("{}_{}", what, self.fresh)
+    }
+
+    fn alu(&mut self, op: AluOp, s1: Reg, s2: impl Into<Operand>, d: Reg, tagged: bool) {
+        self.b.emit(Instr::Alu { op, s1, s2: s2.into(), d, tagged });
+    }
+
+    fn movi(&mut self, imm: u32, d: Reg) {
+        self.b.emit(Instr::MovI { imm, d });
+    }
+
+    fn load(&mut self, a: Reg, offset: i32, d: Reg) {
+        self.b.emit(Instr::Load {
+            flavor: april_core::isa::LoadFlavor::NORMAL,
+            a,
+            offset,
+            d,
+        });
+    }
+
+    fn store(&mut self, s: Reg, a: Reg, offset: i32) {
+        self.b.emit(Instr::Store {
+            flavor: april_core::isa::StoreFlavor::NORMAL,
+            a,
+            offset,
+            s,
+        });
+    }
+
+    fn branch(&mut self, cond: Cond, target: &str) {
+        self.b.branch_to(cond, target);
+        self.b.emit(Instr::Nop); // delay slot
+    }
+
+    /// Pushes `r` (1 word) onto the stack.
+    fn push(&mut self, ctx: &mut Ctx, r: Reg) {
+        self.store(r, SP, 0);
+        self.alu(AluOp::Add, SP, 4, SP, false);
+        ctx.depth += 1;
+    }
+
+    /// Pops the top of stack into `r`.
+    fn pop(&mut self, ctx: &mut Ctx, r: Reg) {
+        self.alu(AluOp::Sub, SP, 4, SP, false);
+        self.load(SP, 0, r);
+        ctx.depth -= 1;
+    }
+
+    /// Loads the frame slot `k` into `d`.
+    fn load_slot(&mut self, ctx: &Ctx, k: u32, d: Reg) {
+        let off = (k as i32 - ctx.depth as i32) * 4;
+        self.load(SP, off, d);
+    }
+
+    /// Loads a variable into `d` (may clobber `g4` for free vars).
+    fn load_var(&mut self, ctx: &Ctx, name: &str, d: Reg) -> Result<(), CompileError> {
+        match ctx.lookup(name) {
+            Some(Binding::Slot(k)) => {
+                self.load_slot(ctx, k, d);
+                Ok(())
+            }
+            Some(Binding::Free(i)) => {
+                // Reload our closure from frame slot 1 (r0 may have
+                // been clobbered by a call), then the captured value.
+                self.load_slot(ctx, 1, T4);
+                self.load(T4, 4 * (i as i32 + 1) - 2, d);
+                Ok(())
+            }
+            None => {
+                if self.globals.contains_key(name) {
+                    let addr = self.global_closure(name);
+                    self.movi(Word::other_ptr(addr).0, d);
+                    Ok(())
+                } else {
+                    Err(CompileError(format!("unbound variable `{name}`")))
+                }
+            }
+        }
+    }
+
+    /// A static closure record for a global used as a value.
+    fn global_closure(&mut self, name: &str) -> u32 {
+        if let Some(&a) = self.global_closures.get(name) {
+            return a;
+        }
+        let label = self.globals[name].clone();
+        let addr = self.b.push_static(Word::ZERO, true);
+        let idx = ((addr - STATIC_BASE) / 4) as usize;
+        self.b.static_code_ref(idx, &label);
+        self.b.push_static(Word::ZERO, true); // pad to 8 bytes
+        debug_assert_eq!(addr % 8, 0);
+        self.global_closures.insert(name.to_string(), addr);
+        addr
+    }
+
+    /// Emits the software future check of the Encore target: if `r`'s
+    /// low bit is set, call the run-time touch service.
+    fn sw_check(&mut self, r: Reg) {
+        let ok = self.fresh_label("ck");
+        // Scratch is the dedicated REG_TMP so checks never clobber a
+        // live temporary of the surrounding sequence. Without tag
+        // hardware the fast path must extract and compare the low tag
+        // bits itself (the Encore has no free ride on fixnums either).
+        self.alu(AluOp::And, r, 3, abi::REG_TMP, false);
+        self.alu(AluOp::Sub, abi::REG_TMP, 1, abi::REG_TMP, false);
+        self.branch(Cond::Ne, &ok);
+        self.alu(AluOp::Or, r, 0, abi::REG_SW_TOUCH, false);
+        self.b.emit(Instr::RtCall { n: abi::RT_TOUCH_SW });
+        self.alu(AluOp::Or, abi::REG_SW_TOUCH, 0, r, false);
+        self.b.label(&ok);
+    }
+
+    /// Makes `r` strict (touched) per the check mode. `tagged_ops`
+    /// callers skip this: the tagged instruction itself checks.
+    fn touch_reg(&mut self, r: Reg) {
+        match self.opts.checks {
+            CheckMode::Hardware => self.alu(AluOp::Add, r, 0, r, true),
+            CheckMode::Software => self.sw_check(r),
+            CheckMode::None => {}
+        }
+    }
+
+    /// True if strict ALU ops should use tagged instructions.
+    fn hw(&self) -> bool {
+        self.opts.checks == CheckMode::Hardware
+    }
+
+    /// Emits an inline heap allocation of `bytes` (multiple of 8);
+    /// base address left raw in `g3`. Clobbers `g1`, `g2`.
+    fn alloc(&mut self, bytes: u32) {
+        debug_assert_eq!(bytes % 8, 0);
+        let retry = self.fresh_label("al");
+        let fit = self.fresh_label("alf");
+        self.b.label(&retry);
+        self.alu(AluOp::Add, abi::REG_HEAP, bytes as i32, T1, false);
+        self.alu(AluOp::Sub, abi::REG_HEAP_LIM, T1, T2, false);
+        self.branch(Cond::Geu, &fit);
+        self.b.emit(Instr::RtCall { n: abi::RT_HEAP_MORE });
+        self.branch(Cond::Always, &retry);
+        self.b.label(&fit);
+        self.alu(AluOp::Or, abi::REG_HEAP, 0, T3, false);
+        self.alu(AluOp::Or, T1, 0, abi::REG_HEAP, false);
+    }
+
+    /// Emits a direct call to a known code label.
+    fn emit_direct_call(&mut self, label: &str) {
+        self.b.movi_label(label, T1);
+        self.b.emit(Instr::Jmpl { s1: T1, s2: Operand::Imm(0), d: LINK });
+        self.b.emit(Instr::Nop);
+    }
+
+    // -----------------------------------------------------------------
+    // Runtime stubs (shared with `april_runtime::abi::entry_stubs_asm`)
+    // -----------------------------------------------------------------
+
+    fn emit_stubs(&mut self) {
+        // __task_entry: call closure in r0, determine r25 with r1, exit.
+        self.b.label(abi::TASK_ENTRY_LABEL);
+        self.load(CLO, -2, Reg::G(7));
+        self.b.emit(Instr::Jmpl { s1: Reg::G(7), s2: Operand::Imm(0), d: LINK });
+        self.b.emit(Instr::Nop);
+        self.b.emit(Instr::RtCall { n: abi::RT_DETERMINE });
+        self.b.emit(Instr::RtCall { n: abi::RT_EXIT });
+        // __inline_entry: same but resumes the interrupted frame.
+        self.b.label(abi::INLINE_ENTRY_LABEL);
+        self.load(CLO, -2, Reg::G(7));
+        self.b.emit(Instr::Jmpl { s1: Reg::G(7), s2: Operand::Imm(0), d: LINK });
+        self.b.emit(Instr::Nop);
+        self.b.emit(Instr::RtCall { n: abi::RT_DETERMINE });
+        self.b.emit(Instr::RtCall { n: abi::RT_RESUME });
+    }
+
+    /// `__make_vector(n, init)`: allocates and fills a vector record
+    /// `[length, e0, e1, …]`, tagged `other`.
+    fn emit_make_vector(&mut self) {
+        self.b.label("__make_vector");
+        // bytes = round8((n+1)*4): g1 = untagged n
+        self.alu(AluOp::Sra, ACC, 2, T1, false);
+        self.alu(AluOp::Add, T1, 2, T2, false);
+        self.alu(AluOp::And, T2, -2, T2, false);
+        self.alu(AluOp::Sll, T2, 2, T2, false);
+        let retry = "mv_retry";
+        let fit = "mv_fit";
+        self.b.label(retry);
+        self.alu(AluOp::Add, abi::REG_HEAP, Operand::Reg(T2), T3, false);
+        self.alu(AluOp::Sub, abi::REG_HEAP_LIM, T3, T4, false);
+        self.branch(Cond::Geu, fit);
+        self.b.emit(Instr::RtCall { n: abi::RT_HEAP_MORE });
+        self.branch(Cond::Always, retry);
+        self.b.label(fit);
+        self.alu(AluOp::Or, abi::REG_HEAP, 0, T4, false); // base
+        self.alu(AluOp::Or, T3, 0, abi::REG_HEAP, false);
+        self.store(ACC, T4, 0); // length (tagged fixnum)
+        // init loop
+        self.alu(AluOp::Or, T1, 0, T2, false); // counter
+        self.alu(AluOp::Add, T4, 4, T3, false); // element pointer
+        self.b.label("mv_loop");
+        self.alu(AluOp::Sub, T2, 0, T2, false); // set cc
+        self.branch(Cond::Eq, "mv_done");
+        self.store(Reg::L(2), T3, 0);
+        self.alu(AluOp::Add, T3, 4, T3, false);
+        self.alu(AluOp::Sub, T2, 1, T2, false);
+        self.branch(Cond::Always, "mv_loop");
+        self.b.label("mv_done");
+        self.alu(AluOp::Or, T4, 2, ACC, false);
+        self.b.emit(Instr::Jmpl { s1: LINK, s2: Operand::Imm(0), d: Reg::ZERO });
+        self.b.emit(Instr::Nop);
+    }
+
+    // -----------------------------------------------------------------
+    // Functions
+    // -----------------------------------------------------------------
+
+    fn compile_function(
+        &mut self,
+        label: &str,
+        params: &[String],
+        body: &[Expr],
+        free: &[String],
+    ) -> Result<(), CompileError> {
+        if params.len() > MAX_ARGS {
+            return Err(CompileError(format!("lambda takes too many parameters at {label}")));
+        }
+        self.b.label(label);
+        let n = params.len() as u32;
+        // Prologue: save return address, closure, arguments.
+        self.store(LINK, SP, 0);
+        self.store(CLO, SP, 4);
+        for (i, _) in params.iter().enumerate() {
+            self.store(Reg::L(1 + i as u8), SP, 8 + 4 * i as i32);
+        }
+        self.alu(AluOp::Add, SP, (4 * (2 + n)) as i32, SP, false);
+
+        let mut env: Vec<(String, Binding)> = Vec::new();
+        for (i, f) in free.iter().enumerate() {
+            env.push((f.clone(), Binding::Free(i)));
+        }
+        for (i, p) in params.iter().enumerate() {
+            env.push((p.clone(), Binding::Slot(2 + i as u32)));
+        }
+        let mut ctx = Ctx { env, depth: 2 + n };
+        for (i, e) in body.iter().enumerate() {
+            let tail = i + 1 == body.len();
+            self.compile_expr_t(e, &mut ctx, tail)?;
+        }
+        debug_assert_eq!(ctx.depth, 2 + n, "unbalanced stack in {label}");
+        // Epilogue.
+        let frame = (4 * ctx.depth) as i32;
+        self.load(SP, -frame, LINK);
+        self.alu(AluOp::Sub, SP, frame, SP, false);
+        self.b.emit(Instr::Jmpl { s1: LINK, s2: Operand::Imm(0), d: Reg::ZERO });
+        self.b.emit(Instr::Nop);
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions (result in ACC, depth-neutral)
+    // -----------------------------------------------------------------
+
+    fn compile_expr(&mut self, e: &Expr, ctx: &mut Ctx) -> Result<(), CompileError> {
+        self.compile_expr_t(e, ctx, false)
+    }
+
+    /// Compiles `e`; when `tail` is set and `e` ends in a procedure
+    /// call, the call reuses the current frame (proper tail calls, so
+    /// the recursive loops Mul-T style favors run in constant stack).
+    fn compile_expr_t(&mut self, e: &Expr, ctx: &mut Ctx, tail: bool) -> Result<(), CompileError> {
+        match e {
+            Expr::Int(n) => self.movi(Word::fixnum(*n).0, ACC),
+            Expr::Bool(true) => self.movi(abi::truth().0, ACC),
+            Expr::Bool(false) => self.movi(abi::falsity().0, ACC),
+            Expr::Nil => self.movi(abi::nil().0, ACC),
+            Expr::Var(name) => self.load_var(ctx, name, ACC)?,
+            Expr::Begin(es) => {
+                if es.is_empty() {
+                    self.movi(abi::falsity().0, ACC);
+                }
+                for (i, e) in es.iter().enumerate() {
+                    self.compile_expr_t(e, ctx, tail && i + 1 == es.len())?;
+                }
+            }
+            Expr::If(c, t, f) => {
+                let lelse = self.fresh_label("else");
+                let lend = self.fresh_label("endif");
+                self.compile_expr(c, ctx)?;
+                self.movi(abi::falsity().0, T1);
+                self.alu(AluOp::Sub, ACC, Operand::Reg(T1), T2, false);
+                self.branch(Cond::Eq, &lelse);
+                self.compile_expr_t(t, ctx, tail)?;
+                self.branch(Cond::Always, &lend);
+                self.b.label(&lelse);
+                self.compile_expr_t(f, ctx, tail)?;
+                self.b.label(&lend);
+            }
+            Expr::And(es) => {
+                let lend = self.fresh_label("andend");
+                if es.is_empty() {
+                    self.movi(abi::truth().0, ACC);
+                }
+                for (i, e) in es.iter().enumerate() {
+                    self.compile_expr(e, ctx)?;
+                    if i + 1 < es.len() {
+                        self.movi(abi::falsity().0, T1);
+                        self.alu(AluOp::Sub, ACC, Operand::Reg(T1), T2, false);
+                        self.branch(Cond::Eq, &lend);
+                    }
+                }
+                self.b.label(&lend);
+            }
+            Expr::Or(es) => {
+                let lend = self.fresh_label("orend");
+                if es.is_empty() {
+                    self.movi(abi::falsity().0, ACC);
+                }
+                for (i, e) in es.iter().enumerate() {
+                    self.compile_expr(e, ctx)?;
+                    if i + 1 < es.len() {
+                        self.movi(abi::falsity().0, T1);
+                        self.alu(AluOp::Sub, ACC, Operand::Reg(T1), T2, false);
+                        self.branch(Cond::Ne, &lend);
+                    }
+                }
+                self.b.label(&lend);
+            }
+            Expr::Let(binds, body) => {
+                let base = ctx.env.len();
+                for (name, init) in binds {
+                    self.compile_expr(init, ctx)?;
+                    let slot = ctx.depth;
+                    self.push(ctx, ACC);
+                    ctx.env.push((name.clone(), Binding::Slot(slot)));
+                }
+                for (i, e) in body.iter().enumerate() {
+                    // A tail call deallocates the whole frame itself,
+                    // including these let slots.
+                    self.compile_expr_t(e, ctx, tail && i + 1 == body.len())?;
+                }
+                let k = binds.len() as u32;
+                self.alu(AluOp::Sub, SP, (4 * k) as i32, SP, false);
+                ctx.depth -= k;
+                ctx.env.truncate(base);
+            }
+            Expr::Lambda(params, body) => {
+                self.compile_closure(params.clone(), body.clone(), ctx)?;
+            }
+            Expr::Call(f, args) => self.compile_call(f, args, ctx, tail)?,
+            Expr::Prim(p, args) => self.compile_prim(*p, args, ctx)?,
+            Expr::Touch(e) => {
+                self.compile_expr(e, ctx)?;
+                self.touch_reg(ACC);
+            }
+            Expr::Future(e, on) => self.compile_future(e, on.as_deref(), ctx)?,
+        }
+        Ok(())
+    }
+
+    /// Builds a closure for `(lambda params body)` into ACC.
+    fn compile_closure(
+        &mut self,
+        params: Vec<String>,
+        body: Vec<Expr>,
+        ctx: &mut Ctx,
+    ) -> Result<(), CompileError> {
+        // Free variables: referenced, not bound inside, not global.
+        let mut free = BTreeSet::new();
+        {
+            let mut bound: BTreeSet<String> = params.iter().cloned().collect();
+            for e in &body {
+                collect_free(e, &mut bound, &mut free);
+            }
+            free.retain(|v| !self.globals.contains_key(v));
+            // Only variables visible here can be captured; anything
+            // else is unbound and will error when loaded below.
+        }
+        let free: Vec<String> = free.into_iter().collect();
+        let label = self.fresh_label("lambda");
+        let words = 1 + free.len() as u32;
+        let bytes = (words * 4).div_ceil(8) * 8;
+        self.alloc(bytes); // base in g3
+        self.b.movi_label(&label, T2);
+        self.store(T2, T3, 0);
+        for (i, v) in free.iter().enumerate() {
+            self.load_var(ctx, v, T2)?;
+            self.store(T2, T3, 4 * (i as i32 + 1));
+        }
+        self.alu(AluOp::Or, T3, 2, ACC, false);
+        self.pending.push(PendingLambda { label, params, body, free });
+        Ok(())
+    }
+
+    fn compile_call(
+        &mut self,
+        f: &Expr,
+        args: &[Expr],
+        ctx: &mut Ctx,
+        tail: bool,
+    ) -> Result<(), CompileError> {
+        if args.len() > MAX_ARGS {
+            return Err(CompileError("too many arguments in call".into()));
+        }
+        // Direct call to a known global not shadowed locally.
+        let direct = match f {
+            Expr::Var(name) if ctx.lookup(name).is_none() => self.globals.get(name).cloned(),
+            _ => None,
+        };
+        let n = args.len();
+        if direct.is_none() {
+            self.compile_expr(f, ctx)?;
+            self.push(ctx, ACC);
+        }
+        for a in args {
+            self.compile_expr(a, ctx)?;
+            self.push(ctx, ACC);
+        }
+        // Pop arguments into r1..rn (they are the top n words).
+        for i in 0..n {
+            let off = -4 * (n as i32 - i as i32);
+            self.load(SP, off, Reg::L(1 + i as u8));
+        }
+        if tail {
+            // Proper tail call: reload the caller's return address,
+            // deallocate the entire frame (args, temporaries, let
+            // slots, prologue), and jump; the callee's prologue saves
+            // our caller's link again. ctx.depth is left untouched —
+            // the code after this point in this function is dead.
+            let extra: u32 = if direct.is_none() {
+                self.load(SP, -4 * (n as i32 + 1), CLO);
+                1
+            } else {
+                0
+            };
+            // ctx.depth already counts the pushed args (and closure).
+            let depth_now = ctx.depth;
+            self.load(SP, -4 * depth_now as i32, LINK);
+            self.alu(AluOp::Sub, SP, (4 * depth_now) as i32, SP, false);
+            ctx.depth -= n as u32 + extra;
+            match direct {
+                Some(label) => {
+                    self.b.movi_label(&label, T1);
+                }
+                None => {
+                    self.touch_reg(CLO);
+                    self.load(CLO, -2, T1);
+                }
+            }
+            self.b.emit(Instr::Jmpl { s1: T1, s2: Operand::Imm(0), d: Reg::ZERO });
+            self.b.emit(Instr::Nop);
+            return Ok(());
+        }
+        match direct {
+            Some(label) => {
+                self.alu(AluOp::Sub, SP, 4 * n as i32, SP, false);
+                ctx.depth -= n as u32;
+                self.emit_direct_call(&label);
+            }
+            None => {
+                self.load(SP, -4 * (n as i32 + 1), CLO);
+                self.alu(AluOp::Sub, SP, 4 * (n as i32 + 1), SP, false);
+                ctx.depth -= n as u32 + 1;
+                self.touch_reg(CLO); // calling a future resolves it
+                self.load(CLO, -2, T1);
+                self.b.emit(Instr::Jmpl { s1: T1, s2: Operand::Imm(0), d: LINK });
+                self.b.emit(Instr::Nop);
+            }
+        }
+        Ok(())
+    }
+
+    fn compile_future(
+        &mut self,
+        e: &Expr,
+        on: Option<&Expr>,
+        ctx: &mut Ctx,
+    ) -> Result<(), CompileError> {
+        if self.opts.future_mode == FutureMode::None {
+            // Sequential: evaluate the placement expression for effect,
+            // then the body in place.
+            if let Some(node) = on {
+                self.compile_expr(node, ctx)?;
+            }
+            return self.compile_expr(e, ctx);
+        }
+        if let Some(node) = on {
+            self.compile_expr(node, ctx)?;
+            self.push(ctx, ACC);
+        }
+        // Thunk closure for the body.
+        self.compile_closure(Vec::new(), vec![e.clone()], ctx)?;
+        if on.is_some() {
+            self.pop(ctx, Reg::L(2)); // placement node in r2
+        }
+        let svc = match (self.opts.future_mode, self.opts.checks, on.is_some()) {
+            (FutureMode::Lazy, _, _) => abi::RT_LAZY_FUTURE,
+            (_, _, true) => abi::RT_FUTURE_ON,
+            (_, CheckMode::Software, false) => abi::RT_FUTURE_SW,
+            (_, _, false) => abi::RT_FUTURE,
+        };
+        self.b.emit(Instr::RtCall { n: svc });
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Primitives
+    // -----------------------------------------------------------------
+
+    /// True for expressions that compile to a pure register load and
+    /// can therefore be rematerialized into any register without a
+    /// stack round trip.
+    fn is_leaf(&self, e: &Expr, ctx: &Ctx) -> bool {
+        match e {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Nil => true,
+            Expr::Var(n) => ctx.lookup(n).is_some() || self.globals.contains_key(n),
+            _ => false,
+        }
+    }
+
+    /// Loads a leaf expression directly into `d`.
+    fn load_leaf(&mut self, e: &Expr, ctx: &Ctx, d: Reg) -> Result<(), CompileError> {
+        match e {
+            Expr::Int(n) => self.movi(Word::fixnum(*n).0, d),
+            Expr::Bool(true) => self.movi(abi::truth().0, d),
+            Expr::Bool(false) => self.movi(abi::falsity().0, d),
+            Expr::Nil => self.movi(abi::nil().0, d),
+            Expr::Var(name) => self.load_var(ctx, name, d)?,
+            other => unreachable!("not a leaf: {other:?}"),
+        }
+        Ok(())
+    }
+
+    /// Compiles a two-operand primitive's operands: first into `g1`,
+    /// second into ACC. Leaf first operands skip the stack round trip.
+    fn two_args(&mut self, args: &[Expr], ctx: &mut Ctx) -> Result<(), CompileError> {
+        if self.is_leaf(&args[0], ctx) {
+            self.compile_expr(&args[1], ctx)?;
+            self.load_leaf(&args[0], ctx, T1)?;
+        } else {
+            self.compile_expr(&args[0], ctx)?;
+            self.push(ctx, ACC);
+            self.compile_expr(&args[1], ctx)?;
+            self.pop(ctx, T1);
+        }
+        Ok(())
+    }
+
+    /// Emits software checks (if enabled) on `g1` and ACC.
+    fn sw_check_two(&mut self) {
+        if self.opts.checks == CheckMode::Software {
+            self.sw_check(T1);
+            self.sw_check(ACC);
+        }
+    }
+
+    fn bool_from_cond(&mut self, cond: Cond) {
+        let lt = self.fresh_label("bt");
+        let le = self.fresh_label("be");
+        self.branch(cond, &lt);
+        self.movi(abi::falsity().0, ACC);
+        self.branch(Cond::Always, &le);
+        self.b.label(&lt);
+        self.movi(abi::truth().0, ACC);
+        self.b.label(&le);
+    }
+
+    fn compile_prim(&mut self, p: Prim, args: &[Expr], ctx: &mut Ctx) -> Result<(), CompileError> {
+        match p {
+            Prim::Add | Prim::Sub => {
+                self.two_args(args, ctx)?;
+                self.sw_check_two();
+                let op = if p == Prim::Add { AluOp::Add } else { AluOp::Sub };
+                self.alu(op, T1, Operand::Reg(ACC), ACC, self.hw());
+            }
+            Prim::Mul => {
+                self.two_args(args, ctx)?;
+                if self.hw() {
+                    self.alu(AluOp::Mul, T1, Operand::Reg(ACC), ACC, true);
+                } else {
+                    self.sw_check_two();
+                    self.alu(AluOp::Sra, T1, 2, T1, false);
+                    self.alu(AluOp::Mul, T1, Operand::Reg(ACC), ACC, false);
+                }
+            }
+            Prim::Quotient | Prim::Remainder => {
+                self.two_args(args, ctx)?;
+                let op = if p == Prim::Quotient { AluOp::Div } else { AluOp::Rem };
+                if self.hw() {
+                    self.alu(op, T1, Operand::Reg(ACC), ACC, true);
+                } else {
+                    self.sw_check_two();
+                    self.alu(AluOp::Sra, T1, 2, T1, false);
+                    self.alu(AluOp::Sra, ACC, 2, ACC, false);
+                    self.alu(op, T1, Operand::Reg(ACC), ACC, false);
+                    self.alu(AluOp::Sll, ACC, 2, ACC, false);
+                }
+            }
+            Prim::Lt | Prim::Le | Prim::Gt | Prim::Ge | Prim::NumEq | Prim::Eq => {
+                self.two_args(args, ctx)?;
+                self.sw_check_two();
+                self.alu(AluOp::Sub, T1, Operand::Reg(ACC), T2, self.hw());
+                let cond = match p {
+                    Prim::Lt => Cond::Lt,
+                    Prim::Le => Cond::Le,
+                    Prim::Gt => Cond::Gt,
+                    Prim::Ge => Cond::Ge,
+                    _ => Cond::Eq,
+                };
+                self.bool_from_cond(cond);
+            }
+            Prim::Not => {
+                self.compile_expr(&args[0], ctx)?;
+                self.movi(abi::falsity().0, T1);
+                self.alu(AluOp::Sub, ACC, Operand::Reg(T1), T2, false);
+                self.bool_from_cond(Cond::Eq);
+            }
+            Prim::Cons => {
+                self.two_args(args, ctx)?; // g1 = car, ACC = cdr
+                self.push(ctx, ACC);
+                self.push(ctx, T1);
+                self.alloc(8);
+                self.pop(ctx, T1);
+                self.pop(ctx, T2);
+                self.store(T1, T3, 0);
+                self.store(T2, T3, 4);
+                self.alu(AluOp::Or, T3, 6, ACC, false);
+            }
+            Prim::Car | Prim::Cdr => {
+                self.compile_expr(&args[0], ctx)?;
+                if self.opts.checks == CheckMode::Software {
+                    self.sw_check(ACC);
+                }
+                // The memory instruction's address tag check provides
+                // the implicit touch on APRIL (Section 4).
+                let off = if p == Prim::Car { -6 } else { -2 };
+                self.load(ACC, off, ACC);
+            }
+            Prim::NullP => {
+                self.compile_expr(&args[0], ctx)?;
+                self.touch_reg(ACC);
+                self.movi(abi::nil().0, T1);
+                self.alu(AluOp::Sub, ACC, Operand::Reg(T1), T2, false);
+                self.bool_from_cond(Cond::Eq);
+            }
+            Prim::PairP => {
+                self.compile_expr(&args[0], ctx)?;
+                self.touch_reg(ACC);
+                self.alu(AluOp::And, ACC, 7, T1, false);
+                self.alu(AluOp::Sub, T1, 6, T2, false);
+                self.bool_from_cond(Cond::Eq);
+            }
+            Prim::MakeVector => {
+                self.compile_expr(&args[0], ctx)?;
+                self.push(ctx, ACC);
+                self.compile_expr(&args[1], ctx)?;
+                self.alu(AluOp::Or, ACC, 0, Reg::L(2), false);
+                self.pop(ctx, ACC);
+                self.touch_reg(ACC);
+                self.emit_direct_call("__make_vector");
+            }
+            Prim::VectorRef => {
+                self.two_args(args, ctx)?; // g1 = v, ACC = i
+                self.sw_check_two();
+                // A fixnum index is already a byte offset; `other` tag
+                // is +2, length word skipped with +4.
+                self.alu(AluOp::Add, T1, Operand::Reg(ACC), T2, self.hw());
+                self.load(T2, 2, ACC);
+            }
+            Prim::VectorSet => {
+                self.compile_expr(&args[0], ctx)?;
+                self.push(ctx, ACC);
+                self.compile_expr(&args[1], ctx)?;
+                self.push(ctx, ACC);
+                self.compile_expr(&args[2], ctx)?;
+                self.pop(ctx, T2); // i
+                self.pop(ctx, T1); // v
+                if self.opts.checks == CheckMode::Software {
+                    self.sw_check(T1);
+                    self.sw_check(T2);
+                }
+                self.alu(AluOp::Add, T1, Operand::Reg(T2), T3, self.hw());
+                self.store(ACC, T3, 2);
+            }
+            Prim::VectorLength => {
+                self.compile_expr(&args[0], ctx)?;
+                if self.opts.checks == CheckMode::Software {
+                    self.sw_check(ACC);
+                }
+                self.load(ACC, -2, ACC);
+            }
+            Prim::Print => {
+                self.compile_expr(&args[0], ctx)?;
+                self.b.emit(Instr::RtCall { n: abi::RT_PRINT });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Collects variables referenced in `e` that are not in `bound`.
+fn collect_free(e: &Expr, bound: &mut BTreeSet<String>, free: &mut BTreeSet<String>) {
+    match e {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Nil => {}
+        Expr::Var(v) => {
+            if !bound.contains(v) {
+                free.insert(v.clone());
+            }
+        }
+        Expr::If(a, b, c) => {
+            collect_free(a, bound, free);
+            collect_free(b, bound, free);
+            collect_free(c, bound, free);
+        }
+        Expr::Let(binds, body) => {
+            let mut added = Vec::new();
+            for (n, init) in binds {
+                collect_free(init, bound, free);
+                if bound.insert(n.clone()) {
+                    added.push(n.clone());
+                }
+            }
+            for b in body {
+                collect_free(b, bound, free);
+            }
+            for n in added {
+                bound.remove(&n);
+            }
+        }
+        Expr::Begin(es) | Expr::And(es) | Expr::Or(es) => {
+            for e in es {
+                collect_free(e, bound, free);
+            }
+        }
+        Expr::Lambda(params, body) => {
+            let mut added = Vec::new();
+            for p in params {
+                if bound.insert(p.clone()) {
+                    added.push(p.clone());
+                }
+            }
+            for b in body {
+                collect_free(b, bound, free);
+            }
+            for p in added {
+                bound.remove(&p);
+            }
+        }
+        Expr::Call(f, args) => {
+            collect_free(f, bound, free);
+            for a in args {
+                collect_free(a, bound, free);
+            }
+        }
+        Expr::Prim(_, args) => {
+            for a in args {
+                collect_free(a, bound, free);
+            }
+        }
+        Expr::Future(e, on) => {
+            collect_free(e, bound, free);
+            if let Some(n) = on {
+                collect_free(n, bound, free);
+            }
+        }
+        Expr::Touch(e) => collect_free(e, bound, free),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_arith() {
+        let p = compile("(define (main) (+ 1 (* 2 3)))", &CompileOptions::april()).unwrap();
+        assert!(p.label("fn_main").is_some());
+        assert!(p.len() > 10);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = compile("(define (main) x)", &CompileOptions::april()).unwrap_err();
+        assert!(e.0.contains("unbound"));
+    }
+
+    #[test]
+    fn missing_main_errors() {
+        let e = compile("(define (f) 1)", &CompileOptions::april()).unwrap_err();
+        assert!(e.0.contains("main"));
+    }
+
+    #[test]
+    fn software_checks_add_instructions() {
+        let src = "(define (main) (+ 1 2))";
+        let hw = compile(src, &CompileOptions::april()).unwrap();
+        let sw = compile(src, &CompileOptions::encore_seq()).unwrap();
+        assert!(sw.len() > hw.len(), "software checks must cost instructions");
+    }
+
+    #[test]
+    fn futures_elided_in_seq_mode() {
+        let src = "(define (main) (touch (future 5)))";
+        let seq = compile(src, &CompileOptions::t_seq()).unwrap();
+        let par = compile(src, &CompileOptions::april()).unwrap();
+        assert!(par.len() > seq.len());
+        // No rtcalls for futures in seq mode.
+        let has_future_call = seq
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::RtCall { n } if *n == abi::RT_FUTURE));
+        assert!(!has_future_call);
+    }
+
+    #[test]
+    fn lazy_mode_uses_lazy_service() {
+        let src = "(define (main) (touch (future 5)))";
+        let p = compile(src, &CompileOptions::april_lazy()).unwrap();
+        assert!(p
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::RtCall { n } if *n == abi::RT_LAZY_FUTURE)));
+    }
+}

@@ -1,0 +1,259 @@
+//! The post-mortem scheduler — the right half of the paper's Figure 4
+//! trace-driven path: replay a recorded [`ParallelTrace`] onto P
+//! abstract processors and predict the parallel execution time.
+//!
+//! The paper notes the execution-driven APRIL simulator "provides more
+//! accurate results than a trace driven simulation"; the `postmortem`
+//! bench binary quantifies exactly that gap on the same programs.
+
+use crate::trace::{ParallelTrace, TraceEvent};
+use std::collections::VecDeque;
+
+/// Cost parameters of the abstract machine, in the trace's work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmConfig {
+    /// Cost charged to the spawning processor per task created.
+    pub spawn_overhead: u64,
+    /// Cost of a touch that finds its task complete.
+    pub touch_overhead: u64,
+    /// Cost of suspending on an incomplete task (unload + later wake).
+    pub block_overhead: u64,
+}
+
+impl Default for PmConfig {
+    fn default() -> PmConfig {
+        PmConfig { spawn_overhead: 10, touch_overhead: 2, block_overhead: 10 }
+    }
+}
+
+/// The predicted outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmResult {
+    /// Predicted makespan in work units.
+    pub makespan: u64,
+    /// Work units actually executed (excluding idle).
+    pub busy: u64,
+    /// Number of processors simulated.
+    pub procs: usize,
+}
+
+impl PmResult {
+    /// Mean processor utilization.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / (self.makespan as f64 * self.procs as f64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    NotSpawned,
+    Ready,
+    Running,
+    /// Blocked waiting for another task to finish.
+    Blocked,
+    Done,
+}
+
+struct Sim<'t> {
+    trace: &'t ParallelTrace,
+    cfg: PmConfig,
+    state: Vec<TaskState>,
+    /// Next (segment, event) position per task.
+    pos: Vec<usize>,
+    /// Tasks blocked on task `k`.
+    waiters: Vec<Vec<usize>>,
+    ready: VecDeque<usize>,
+}
+
+/// Schedules `trace` onto `procs` processors (greedy FIFO list
+/// scheduling, one context per processor — the idealized machine the
+/// paper's post-mortem scheduler models).
+///
+/// # Panics
+///
+/// Panics if the trace is malformed (touch of a never-spawned task).
+pub fn schedule(trace: &ParallelTrace, procs: usize, cfg: PmConfig) -> PmResult {
+    assert!(procs > 0);
+    let n = trace.len();
+    let mut sim = Sim {
+        trace,
+        cfg,
+        state: vec![TaskState::NotSpawned; n],
+        pos: vec![0; n],
+        waiters: vec![Vec::new(); n],
+        ready: VecDeque::new(),
+    };
+    if n == 0 {
+        return PmResult { makespan: 0, busy: 0, procs };
+    }
+    sim.state[0] = TaskState::Ready;
+    sim.ready.push_back(0);
+
+    // Each processor: (busy_until, current task).
+    let mut proc_task: Vec<Option<usize>> = vec![None; procs];
+    let mut proc_time: Vec<u64> = vec![0; procs];
+    let mut busy: u64 = 0;
+    let mut makespan: u64 = 0;
+
+    // Event loop: repeatedly give the earliest-free processor work.
+    loop {
+        // Find the earliest-available processor.
+        let p = (0..procs).min_by_key(|&i| proc_time[i]).expect("procs > 0");
+        // If it has no task, dispatch one.
+        if proc_task[p].is_none() {
+            match sim.ready.pop_front() {
+                Some(t) => {
+                    sim.state[t] = TaskState::Running;
+                    proc_task[p] = Some(t);
+                }
+                None => {
+                    // No work for the earliest processor: advance its
+                    // clock to the next busy processor's time so a
+                    // completion can release work.
+                    let next = (0..procs)
+                        .filter(|&i| proc_task[i].is_some())
+                        .map(|i| proc_time[i])
+                        .min();
+                    match next {
+                        Some(t) if t > proc_time[p] => {
+                            proc_time[p] = t;
+                            continue;
+                        }
+                        Some(_) => {
+                            // Another processor finishes "now": run it.
+                            let q = (0..procs)
+                                .filter(|&i| proc_task[i].is_some())
+                                .min_by_key(|&i| proc_time[i])
+                                .expect("some busy");
+                            step_task(&mut sim, &mut proc_task, &mut proc_time, &mut busy, q);
+                            makespan = makespan.max(proc_time[q]);
+                            continue;
+                        }
+                        None => break, // nothing running, nothing ready: done
+                    }
+                }
+            }
+        }
+        step_task(&mut sim, &mut proc_task, &mut proc_time, &mut busy, p);
+        makespan = makespan.max(proc_time[p]);
+    }
+    PmResult { makespan, busy, procs }
+}
+
+/// Runs processor `p`'s current task up to its next event.
+fn step_task(
+    sim: &mut Sim<'_>,
+    proc_task: &mut [Option<usize>],
+    proc_time: &mut [u64],
+    busy: &mut u64,
+    p: usize,
+) {
+    let t = proc_task[p].expect("processor has a task");
+    let tt = &sim.trace.tasks[t];
+    let i = sim.pos[t];
+    // Run the segment.
+    let seg = tt.segments.get(i).copied().unwrap_or(0);
+    proc_time[p] += seg;
+    *busy += seg;
+    if i >= tt.events.len() {
+        // Final segment: task completes.
+        sim.state[t] = TaskState::Done;
+        proc_task[p] = None;
+        for w in std::mem::take(&mut sim.waiters[t]) {
+            sim.state[w] = TaskState::Ready;
+            sim.ready.push_back(w);
+        }
+        return;
+    }
+    sim.pos[t] = i + 1;
+    match tt.events[i] {
+        TraceEvent::Spawn(c) => {
+            proc_time[p] += sim.cfg.spawn_overhead;
+            *busy += sim.cfg.spawn_overhead;
+            sim.state[c] = TaskState::Ready;
+            sim.ready.push_back(c);
+            // The parent keeps running on this processor.
+        }
+        TraceEvent::Touch(c) => {
+            if sim.state[c] == TaskState::Done {
+                proc_time[p] += sim.cfg.touch_overhead;
+                *busy += sim.cfg.touch_overhead;
+            } else {
+                assert!(
+                    sim.state[c] != TaskState::NotSpawned,
+                    "touch of never-spawned task {c}"
+                );
+                proc_time[p] += sim.cfg.block_overhead;
+                *busy += sim.cfg.block_overhead;
+                sim.state[t] = TaskState::Blocked;
+                sim.waiters[c].push(t);
+                proc_task[p] = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_program;
+
+    fn fib_trace(n: u32) -> ParallelTrace {
+        trace_program(&crate::programs::fib(n)).unwrap().0
+    }
+
+    #[test]
+    fn one_processor_equals_total_work_plus_overheads() {
+        let t = fib_trace(6);
+        let r = schedule(&t, 1, PmConfig { spawn_overhead: 0, touch_overhead: 0, block_overhead: 0 });
+        assert_eq!(r.makespan, t.total_work());
+        assert_eq!(r.busy, t.total_work());
+        assert!((r.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_processors_never_slow_it_down() {
+        let t = fib_trace(8);
+        let cfg = PmConfig::default();
+        let mut prev = u64::MAX;
+        for p in [1, 2, 4, 8, 16] {
+            let r = schedule(&t, p, cfg);
+            assert!(r.makespan <= prev, "p={p} regressed");
+            prev = r.makespan;
+        }
+    }
+
+    #[test]
+    fn speedup_approaches_parallelism() {
+        let t = fib_trace(10);
+        let cfg = PmConfig { spawn_overhead: 2, touch_overhead: 1, block_overhead: 2 };
+        let s1 = schedule(&t, 1, cfg).makespan;
+        let s8 = schedule(&t, 8, cfg).makespan;
+        let speedup = s1 as f64 / s8 as f64;
+        assert!(speedup > 4.0, "8 procs gave only {speedup:.2}x");
+    }
+
+    #[test]
+    fn sequential_trace_does_not_scale() {
+        let t = trace_program(
+            "(define (f n) (if (= n 0) 0 (f (- n 1)))) (define (main) (f 50))",
+        )
+        .unwrap()
+        .0;
+        let cfg = PmConfig::default();
+        let s1 = schedule(&t, 1, cfg).makespan;
+        let s8 = schedule(&t, 8, cfg).makespan;
+        assert_eq!(s1, s8, "no parallelism to exploit");
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = fib_trace(9);
+        let a = schedule(&t, 4, PmConfig::default());
+        let b = schedule(&t, 4, PmConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,225 @@
+//! The paper's benchmark programs (Section 7), in Mul-T.
+//!
+//! * `fib` — "the ubiquitous doubly recursive Fibonacci program with
+//!   `future`s around each of its recursive calls" — the finest grain.
+//! * `factor` — "finds the largest prime factor of each number in a
+//!   range of numbers and sums them up", parallelized over the range
+//!   by divide and conquer.
+//! * `queens` — "finds all solutions to the n-queens chess problem",
+//!   futures over the first-row branches.
+//! * `speech` — a stand-in for the paper's modified Viterbi lattice
+//!   search from the MIT SUMMIT recognizer: a time-synchronous
+//!   relaxation over a synthetic layered lattice, futures over the
+//!   per-node relaxations within a layer (see DESIGN.md substitution
+//!   #3).
+//!
+//! Each source uses plain `future`s; compiling with
+//! [`FutureMode::None`](crate::target::FutureMode::None) elides them,
+//! which is how the sequential baselines are produced.
+
+/// Doubly recursive Fibonacci with futures on both recursive calls.
+/// The implicit touch happens at the strict `+`.
+pub fn fib(n: u32) -> String {
+    format!(
+        "
+(define (fib n)
+  (if (< n 2)
+      n
+      (+ (future (fib (- n 1)))
+         (future (fib (- n 2))))))
+
+(define (main) (fib {n}))
+"
+    )
+}
+
+/// Sum of the largest prime factor of every number in `[2, hi]`,
+/// divide-and-conquer over the range with a future on the left half.
+pub fn factor(hi: u32) -> String {
+    format!(
+        "
+(define (largest-factor n)
+  (lpf n 2 1))
+
+;; largest prime factor of n, trying divisors from d up.
+(define (lpf n d best)
+  (if (> (* d d) n)
+      (if (> n 1) n best)
+      (if (= (remainder n d) 0)
+          (lpf (quotient n d) d d)
+          (lpf n (+ d 1) best))))
+
+(define (sum-range lo hi)
+  (if (= lo hi)
+      (largest-factor lo)
+      (let ((mid (quotient (+ lo hi) 2)))
+        (+ (future (sum-range lo mid))
+           (sum-range (+ mid 1) hi)))))
+
+(define (main) (sum-range 2 {hi}))
+"
+    )
+}
+
+/// n-queens solution count, with a future on every consistent board
+/// extension (fine-grain tasks throughout the search tree).
+pub fn queens(n: u32) -> String {
+    format!(
+        "
+;; ok? tests column c against the placed queens (list of (col . dist)).
+(define (ok? c placed dist)
+  (if (null? placed)
+      #t
+      (let ((q (car placed)))
+        (if (= q c)
+            #f
+            (if (= (- q c) dist)
+                #f
+                (if (= (- c q) dist)
+                    #f
+                    (ok? c (cdr placed) (+ dist 1))))))))
+
+(define (count-from row col n placed)
+  (if (= col n)
+      0
+      (+ (if (ok? col placed 1)
+             (future (place (+ row 1) n (cons col placed)))
+             0)
+         (count-from row (+ col 1) n placed))))
+
+(define (place row n placed)
+  (if (= row n)
+      1
+      (count-from row 0 n placed)))
+
+(define (main) (place 0 {n} '()))
+"
+    )
+}
+
+/// Synthetic Viterbi lattice relaxation (the `speech` stand-in):
+/// `layers` time steps over `width` lattice nodes; each node's score
+/// is the max over predecessors plus a synthetic arc weight. Futures
+/// parallelize the per-node relaxations within a layer.
+pub fn speech(layers: u32, width: u32) -> String {
+    format!(
+        "
+(define (arc-weight t j k)
+  ;; deterministic synthetic weight in [0, 16)
+  (remainder (+ (* 7 j) (+ (* 3 k) t)) 16))
+
+(define (max2 a b) (if (> a b) a b))
+
+;; best score reaching node j at layer t, given previous layer vector.
+(define (relax prev j k t width best)
+  (if (= k width)
+      best
+      (relax prev j (+ k 1) t width
+             (max2 best (+ (vector-ref prev k) (arc-weight t j k))))))
+
+;; compute layer t into vector cur (one future per lattice node).
+(define (do-layer prev cur j width t)
+  (if (= j width)
+      #t
+      (begin
+        (vector-set! cur j (future (relax prev j 0 t width 0)))
+        (do-layer prev cur (+ j 1) width t))))
+
+;; touch every node of a layer and write the resolved values back
+;; (barrier before the next time step).
+(define (touch-layer cur j width)
+  (if (= j width)
+      #t
+      (begin
+        (vector-set! cur j (touch (vector-ref cur j)))
+        (touch-layer cur (+ j 1) width))))
+
+(define (run-layers prev t layers width)
+  (if (= t layers)
+      (best-of prev 0 width 0)
+      (let ((cur (make-vector width 0)))
+        (do-layer prev cur 0 width t)
+        (touch-layer cur 0 width)
+        (run-layers cur (+ t 1) layers width))))
+
+(define (best-of v j width best)
+  (if (= j width)
+      best
+      (best-of v (+ j 1) width (max2 best (vector-ref v j)))))
+
+(define (main)
+  (run-layers (make-vector {width} 0) 0 {layers} {width}))
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::parse_program;
+
+    #[test]
+    fn all_benchmarks_parse() {
+        for src in [super::fib(10), super::factor(50), super::queens(6), super::speech(4, 6)] {
+            parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
+}
+
+/// A data-level-parallelism library in Mul-T itself — the direction
+/// Section 2.2 sketches ("we are augmenting Mul-T with constructs for
+/// data-level parallelism"): parallel map and reduction over vectors,
+/// built from `future`s with divide-and-conquer grain control, plus
+/// `future-on` placement. Prepend to a program that uses `pmap!` or
+/// `preduce`.
+pub fn data_parallel_lib() -> &'static str {
+    "
+;; Apply f to v[lo..hi) in parallel, writing results in place.
+(define (pmap-range! f v lo hi grain)
+  (if (<= (- hi lo) grain)
+      (pmap-seq! f v lo hi)
+      (let ((mid (quotient (+ lo hi) 2)))
+        (let ((left (future (pmap-range! f v lo mid grain))))
+          (pmap-range! f v mid hi grain)
+          (touch left)))))
+
+(define (pmap-seq! f v lo hi)
+  (if (>= lo hi)
+      #t
+      (begin
+        (vector-set! v lo (f (vector-ref v lo)))
+        (pmap-seq! f v (+ lo 1) hi))))
+
+;; Parallel in-place map over a whole vector.
+(define (pmap! f v grain)
+  (pmap-range! f v 0 (vector-length v) grain))
+
+;; Parallel reduction: (op e (op v[0] (op v[1] ...))).
+(define (preduce op e v lo hi grain)
+  (if (<= (- hi lo) grain)
+      (reduce-seq op e v lo hi)
+      (let ((mid (quotient (+ lo hi) 2)))
+        (let ((left (future (preduce op e v lo mid grain))))
+          (op (preduce op e v mid hi grain) (touch left))))))
+
+(define (reduce-seq op e v lo hi)
+  (if (>= lo hi)
+      e
+      (op (vector-ref v lo) (reduce-seq op e v (+ lo 1) hi))))
+
+;; Fill v[i] = (f i) in parallel.
+(define (ptabulate! f v lo hi grain)
+  (if (<= (- hi lo) grain)
+      (tab-seq! f v lo hi)
+      (let ((mid (quotient (+ lo hi) 2)))
+        (let ((left (future (ptabulate! f v lo mid grain))))
+          (ptabulate! f v mid hi grain)
+          (touch left)))))
+
+(define (tab-seq! f v lo hi)
+  (if (>= lo hi)
+      #t
+      (begin
+        (vector-set! v lo (f lo))
+        (tab-seq! f v (+ lo 1) hi))))
+"
+}

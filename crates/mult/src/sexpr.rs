@@ -1,0 +1,217 @@
+//! S-expression reader for Mul-T source.
+
+use std::fmt;
+
+/// A parsed s-expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SExpr {
+    /// Symbol or literal token.
+    Atom(String),
+    /// Parenthesized list.
+    List(Vec<SExpr>),
+}
+
+impl SExpr {
+    /// The atom's text, if this is an atom.
+    pub fn atom(&self) -> Option<&str> {
+        match self {
+            SExpr::Atom(s) => Some(s),
+            SExpr::List(_) => None,
+        }
+    }
+
+    /// The list's items, if this is a list.
+    pub fn list(&self) -> Option<&[SExpr]> {
+        match self {
+            SExpr::List(v) => Some(v),
+            SExpr::Atom(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for SExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SExpr::Atom(a) => f.write_str(a),
+            SExpr::List(items) => {
+                f.write_str("(")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Reader failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Reads all toplevel s-expressions from `src`. Comments run from `;`
+/// to end of line. `'x` reads as `(quote x)`.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on unbalanced parentheses or stray tokens.
+///
+/// # Examples
+///
+/// ```
+/// use april_mult::sexpr::read_all;
+/// let forms = read_all("(+ 1 2) ; comment\n(f)")?;
+/// assert_eq!(forms.len(), 2);
+/// assert_eq!(forms[0].to_string(), "(+ 1 2)");
+/// # Ok::<(), april_mult::sexpr::ReadError>(())
+/// ```
+pub fn read_all(src: &str) -> Result<Vec<SExpr>, ReadError> {
+    let mut tokens = tokenize(src);
+    let mut out = Vec::new();
+    while !tokens.is_empty() {
+        out.push(read_one(&mut tokens)?);
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Open(usize),
+    Close(usize),
+    Quote(usize),
+    Atom(String, usize),
+}
+
+fn tokenize(src: &str) -> std::collections::VecDeque<Tok> {
+    let mut toks = std::collections::VecDeque::new();
+    let mut line = 1;
+    let mut cur = String::new();
+    let flush = |cur: &mut String, toks: &mut std::collections::VecDeque<Tok>, line: usize| {
+        if !cur.is_empty() {
+            toks.push_back(Tok::Atom(std::mem::take(cur), line));
+        }
+    };
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => {
+                flush(&mut cur, &mut toks, line);
+                line += 1;
+            }
+            ';' => {
+                flush(&mut cur, &mut toks, line);
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' | '[' => {
+                flush(&mut cur, &mut toks, line);
+                toks.push_back(Tok::Open(line));
+            }
+            ')' | ']' => {
+                flush(&mut cur, &mut toks, line);
+                toks.push_back(Tok::Close(line));
+            }
+            '\'' => {
+                flush(&mut cur, &mut toks, line);
+                toks.push_back(Tok::Quote(line));
+            }
+            c if c.is_whitespace() => flush(&mut cur, &mut toks, line),
+            c => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut toks, line);
+    toks
+}
+
+fn read_one(toks: &mut std::collections::VecDeque<Tok>) -> Result<SExpr, ReadError> {
+    match toks.pop_front() {
+        None => Err(ReadError { line: 0, msg: "unexpected end of input".into() }),
+        Some(Tok::Atom(a, _)) => Ok(SExpr::Atom(a)),
+        Some(Tok::Quote(line)) => {
+            let inner = read_one(toks).map_err(|mut e| {
+                if e.line == 0 {
+                    e.line = line;
+                }
+                e
+            })?;
+            Ok(SExpr::List(vec![SExpr::Atom("quote".into()), inner]))
+        }
+        Some(Tok::Open(line)) => {
+            let mut items = Vec::new();
+            loop {
+                match toks.front() {
+                    None => {
+                        return Err(ReadError { line, msg: "unclosed parenthesis".into() })
+                    }
+                    Some(Tok::Close(_)) => {
+                        toks.pop_front();
+                        return Ok(SExpr::List(items));
+                    }
+                    _ => items.push(read_one(toks)?),
+                }
+            }
+        }
+        Some(Tok::Close(line)) => {
+            Err(ReadError { line, msg: "unexpected `)`".into() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_nested_lists() {
+        let f = read_all("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+            .unwrap();
+        assert_eq!(f.len(), 1);
+        assert!(f[0].to_string().contains("(fib (- n 1))"));
+    }
+
+    #[test]
+    fn comments_and_brackets() {
+        let f = read_all("; header\n(f [a b] ; tail\n 1)").unwrap();
+        assert_eq!(f[0].to_string(), "(f (a b) 1)");
+    }
+
+    #[test]
+    fn quote_sugar() {
+        let f = read_all("'()").unwrap();
+        assert_eq!(f[0].to_string(), "(quote ())");
+    }
+
+    #[test]
+    fn unbalanced_errors() {
+        assert!(read_all("(a (b)").is_err());
+        let e = read_all(")").unwrap_err();
+        assert!(e.msg.contains("unexpected"));
+    }
+
+    #[test]
+    fn accessors() {
+        let f = read_all("(a 1)").unwrap();
+        let l = f[0].list().unwrap();
+        assert_eq!(l[0].atom(), Some("a"));
+        assert_eq!(f[0].atom(), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Compilation targets.
+//!
+//! The same Mul-T source compiles for three systems (paper, Section 7):
+//!
+//! * **T seq** — an optimizing sequential compiler: futures elided, no
+//!   operand checks.
+//! * **Encore Multimax** — no tag hardware: futures are created by
+//!   software task primitives and every strict operation carries an
+//!   explicit software operand check (the source of the Encore's ~2×
+//!   sequential overhead in Table 3).
+//! * **APRIL** — futures detected by hardware tag traps (zero cost on
+//!   the non-future fast path) with eager or lazy task creation.
+
+/// How `(future e)` compiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FutureMode {
+    /// Futures elided: evaluate `e` in place (sequential code).
+    #[default]
+    None,
+    /// Normal task creation: every future makes a task (Section 7's
+    /// "APRIL using normal task creation").
+    Eager,
+    /// Lazy task creation (Section 3.2): a stealable descriptor,
+    /// evaluated like a procedure call unless stolen.
+    Lazy,
+}
+
+/// How strict operations detect futures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// APRIL: tagged instructions trap in hardware; no extra cycles
+    /// when no future appears.
+    #[default]
+    Hardware,
+    /// Encore: explicit test-and-branch before every strict use.
+    Software,
+    /// T-seq: no checks at all (only valid with `FutureMode::None`).
+    None,
+}
+
+/// A complete compilation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompileOptions {
+    /// Future compilation mode.
+    pub future_mode: FutureMode,
+    /// Strict-operand check mode.
+    pub checks: CheckMode,
+}
+
+impl CompileOptions {
+    /// The optimizing sequential T compiler (Table 3 column "T seq").
+    pub fn t_seq() -> CompileOptions {
+        CompileOptions { future_mode: FutureMode::None, checks: CheckMode::None }
+    }
+
+    /// Mul-T sequential code on the Encore ("Mul-T seq" on Encore).
+    pub fn encore_seq() -> CompileOptions {
+        CompileOptions { future_mode: FutureMode::None, checks: CheckMode::Software }
+    }
+
+    /// Parallel Mul-T on the Encore.
+    pub fn encore() -> CompileOptions {
+        CompileOptions { future_mode: FutureMode::Eager, checks: CheckMode::Software }
+    }
+
+    /// Mul-T sequential code on APRIL (tag support makes it free).
+    pub fn april_seq() -> CompileOptions {
+        CompileOptions { future_mode: FutureMode::None, checks: CheckMode::Hardware }
+    }
+
+    /// Parallel Mul-T on APRIL with normal task creation.
+    pub fn april() -> CompileOptions {
+        CompileOptions { future_mode: FutureMode::Eager, checks: CheckMode::Hardware }
+    }
+
+    /// Parallel Mul-T on APRIL with lazy task creation ("Apr-lazy").
+    pub fn april_lazy() -> CompileOptions {
+        CompileOptions { future_mode: FutureMode::Lazy, checks: CheckMode::Hardware }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        assert_eq!(CompileOptions::t_seq().future_mode, FutureMode::None);
+        assert_eq!(CompileOptions::encore().checks, CheckMode::Software);
+        assert_eq!(CompileOptions::april_lazy().future_mode, FutureMode::Lazy);
+        assert_eq!(CompileOptions::april().checks, CheckMode::Hardware);
+    }
+}

@@ -1,0 +1,359 @@
+//! End-to-end: Mul-T source → APRIL code → run-time system → result.
+
+use april_machine::IdealMachine;
+use april_mult::{compile, programs, CompileOptions};
+use april_runtime::{RtConfig, Runtime};
+
+const MEM: usize = 96 << 20;
+const REGION: u32 = 8 << 20;
+
+fn rt_cfg() -> RtConfig {
+    RtConfig { region_bytes: REGION, max_cycles: 500_000_000, ..RtConfig::default() }
+}
+
+fn run(src: &str, opts: &CompileOptions, nprocs: usize) -> april_runtime::RunResult {
+    let prog = compile(src, opts).unwrap_or_else(|e| panic!("compile error: {e}\n{src}"));
+    let m = IdealMachine::new(nprocs, MEM, prog);
+    let mut rt = Runtime::new(m, rt_cfg());
+    rt.run().unwrap_or_else(|e| panic!("run error: {e}\n{src}"))
+}
+
+fn eval(src: &str) -> i32 {
+    run(src, &CompileOptions::april(), 1).value.as_fixnum().expect("fixnum result")
+}
+
+#[test]
+fn arithmetic() {
+    assert_eq!(eval("(define (main) (+ 1 2))"), 3);
+    assert_eq!(eval("(define (main) (- 10 42))"), -32);
+    assert_eq!(eval("(define (main) (* 6 7))"), 42);
+    assert_eq!(eval("(define (main) (quotient 17 5))"), 3);
+    assert_eq!(eval("(define (main) (remainder 17 5))"), 2);
+    assert_eq!(eval("(define (main) (* -3 (+ 2 2)))"), -12);
+}
+
+#[test]
+fn comparisons_and_if() {
+    assert_eq!(eval("(define (main) (if (< 1 2) 10 20))"), 10);
+    assert_eq!(eval("(define (main) (if (> 1 2) 10 20))"), 20);
+    assert_eq!(eval("(define (main) (if (= 3 3) 1 0))"), 1);
+    assert_eq!(eval("(define (main) (if (<= 3 3) 1 0))"), 1);
+    assert_eq!(eval("(define (main) (if (>= 2 3) 1 0))"), 0);
+    assert_eq!(eval("(define (main) (if (not #f) 1 0))"), 1);
+    assert_eq!(eval("(define (main) (if 0 1 2))"), 1, "0 is truthy in Scheme");
+}
+
+#[test]
+fn and_or_short_circuit() {
+    assert_eq!(eval("(define (main) (if (and #t #t) 1 0))"), 1);
+    assert_eq!(eval("(define (main) (if (and #t #f) 1 0))"), 0);
+    assert_eq!(eval("(define (main) (if (or #f #t) 1 0))"), 1);
+    // Short circuit: the divide-by-zero is never evaluated.
+    assert_eq!(eval("(define (main) (if (or #t (quotient 1 0)) 1 0))"), 1);
+    assert_eq!(eval("(define (main) (if (and #f (quotient 1 0)) 1 0))"), 0);
+}
+
+#[test]
+fn let_and_shadowing() {
+    assert_eq!(eval("(define (main) (let ((x 3) (y 4)) (+ x y)))"), 7);
+    assert_eq!(eval("(define (main) (let ((x 1)) (let ((x 2)) x)))"), 2);
+    assert_eq!(eval("(define (main) (let ((x 1)) (+ (let ((x 2)) x) x)))"), 3);
+}
+
+#[test]
+fn lists() {
+    assert_eq!(eval("(define (main) (car (cons 1 2)))"), 1);
+    assert_eq!(eval("(define (main) (cdr (cons 1 2)))"), 2);
+    assert_eq!(eval("(define (main) (if (null? '()) 1 0))"), 1);
+    assert_eq!(eval("(define (main) (if (null? (cons 1 '())) 1 0))"), 0);
+    assert_eq!(eval("(define (main) (if (pair? (cons 1 2)) 1 0))"), 1);
+    assert_eq!(eval("(define (main) (if (pair? 5) 1 0))"), 0);
+    assert_eq!(
+        eval(
+            "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+             (define (main) (len (cons 1 (cons 2 (cons 3 '())))))"
+        ),
+        3
+    );
+}
+
+#[test]
+fn vectors() {
+    assert_eq!(eval("(define (main) (vector-length (make-vector 5 0)))"), 5);
+    assert_eq!(eval("(define (main) (vector-ref (make-vector 5 9) 3))"), 9);
+    assert_eq!(
+        eval(
+            "(define (main)
+               (let ((v (make-vector 4 0)))
+                 (vector-set! v 2 42)
+                 (+ (vector-ref v 2) (vector-ref v 0))))"
+        ),
+        42
+    );
+}
+
+#[test]
+fn recursion_and_calls() {
+    assert_eq!(
+        eval("(define (fact n) (if (= n 0) 1 (* n (fact (- n 1))))) (define (main) (fact 10))"),
+        3_628_800
+    );
+    assert_eq!(
+        eval("(define (add a b) (+ a b)) (define (main) (add (add 1 2) (add 3 4)))"),
+        10
+    );
+}
+
+#[test]
+fn lambdas_and_closures() {
+    assert_eq!(eval("(define (main) ((lambda (x) (* x x)) 7))"), 49);
+    assert_eq!(
+        eval("(define (main) (let ((k 10)) ((lambda (x) (+ x k)) 5)))"),
+        15,
+        "free variable capture"
+    );
+    assert_eq!(
+        eval(
+            "(define (make-adder n) (lambda (x) (+ x n)))
+             (define (main) ((make-adder 3) 4))"
+        ),
+        7,
+        "closure escapes its creator"
+    );
+    assert_eq!(
+        eval(
+            "(define (twice f x) (f (f x)))
+             (define (inc x) (+ x 1))
+             (define (main) (twice inc 5))"
+        ),
+        7,
+        "global used as a value"
+    );
+}
+
+#[test]
+fn eager_futures_on_one_and_four_processors() {
+    let src = programs::fib(10);
+    for procs in [1, 4] {
+        let r = run(&src, &CompileOptions::april(), procs);
+        assert_eq!(r.value.as_fixnum(), Some(55), "fib(10) on {procs} procs");
+        assert!(r.sched.threads_created > 0);
+    }
+}
+
+#[test]
+fn lazy_futures_match_eager_results() {
+    let src = programs::fib(10);
+    let eager = run(&src, &CompileOptions::april(), 2);
+    let lazy = run(&src, &CompileOptions::april_lazy(), 2);
+    assert_eq!(eager.value, lazy.value);
+    assert!(lazy.sched.lazy_created > 0);
+    assert!(
+        lazy.sched.threads_created < eager.sched.threads_created,
+        "lazy must create fewer threads ({} vs {})",
+        lazy.sched.threads_created,
+        eager.sched.threads_created
+    );
+}
+
+#[test]
+fn encore_software_checks_compute_same_values() {
+    let src = programs::fib(9);
+    let april = run(&src, &CompileOptions::april(), 2);
+    let encore = run(&src, &CompileOptions::encore(), 2);
+    assert_eq!(april.value.as_fixnum(), Some(34));
+    assert_eq!(encore.value.as_fixnum(), Some(34));
+    assert!(
+        encore.total.instructions > april.total.instructions,
+        "software future detection costs instructions"
+    );
+}
+
+#[test]
+fn sequential_modes_elide_futures() {
+    let src = programs::fib(10);
+    let t = run(&src, &CompileOptions::t_seq(), 1);
+    assert_eq!(t.value.as_fixnum(), Some(55));
+    assert_eq!(t.sched.threads_created, 0);
+    assert_eq!(t.sched.lazy_created, 0);
+}
+
+fn largest_prime_factor(mut n: u32) -> u32 {
+    let mut best = 1;
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            best = d;
+            n /= d;
+        } else {
+            d += 1;
+        }
+    }
+    if n > 1 {
+        n
+    } else {
+        best
+    }
+}
+
+#[test]
+fn factor_benchmark_is_correct() {
+    let expect: u32 = (2..=40).map(largest_prime_factor).sum();
+    let src = programs::factor(40);
+    let r = run(&src, &CompileOptions::april(), 4);
+    assert_eq!(r.value.as_fixnum(), Some(expect as i32));
+    let seq = run(&src, &CompileOptions::t_seq(), 1);
+    assert_eq!(seq.value.as_fixnum(), Some(expect as i32));
+}
+
+#[test]
+fn queens_benchmark_is_correct() {
+    // 6-queens has 4 solutions.
+    let src = programs::queens(6);
+    let r = run(&src, &CompileOptions::april(), 4);
+    assert_eq!(r.value.as_fixnum(), Some(4));
+    let lazy = run(&src, &CompileOptions::april_lazy(), 4);
+    assert_eq!(lazy.value.as_fixnum(), Some(4));
+}
+
+#[test]
+fn speech_benchmark_agrees_across_targets() {
+    let src = programs::speech(4, 6);
+    let seq = run(&src, &CompileOptions::t_seq(), 1);
+    let par = run(&src, &CompileOptions::april(), 4);
+    let lazy = run(&src, &CompileOptions::april_lazy(), 2);
+    let enc = run(&src, &CompileOptions::encore(), 2);
+    assert_eq!(seq.value, par.value);
+    assert_eq!(seq.value, lazy.value);
+    assert_eq!(seq.value, enc.value);
+    assert!(seq.value.as_fixnum().unwrap() > 0);
+}
+
+#[test]
+fn parallel_speedup_on_fib() {
+    let src = programs::fib(13);
+    let p1 = run(&src, &CompileOptions::april(), 1);
+    let p8 = run(&src, &CompileOptions::april(), 8);
+    assert_eq!(p1.value, p8.value);
+    let speedup = p1.cycles as f64 / p8.cycles as f64;
+    assert!(speedup > 3.0, "8 procs gave only {speedup:.2}x over 1");
+}
+
+#[test]
+fn future_on_places_tasks() {
+    let src = "
+        (define (work n) (* n n))
+        (define (main) (+ (touch (future-on 1 (work 5)))
+                          (touch (future-on 2 (work 6)))))";
+    let r = run(src, &CompileOptions::april(), 4);
+    assert_eq!(r.value.as_fixnum(), Some(61));
+}
+
+#[test]
+fn print_collects_output() {
+    let src = "(define (main) (begin (print 1) (print 2) (print 3) 0))";
+    let r = run(src, &CompileOptions::april(), 1);
+    let vals: Vec<i32> = r.prints.iter().map(|w| w.as_fixnum().unwrap()).collect();
+    assert_eq!(vals, vec![1, 2, 3]);
+}
+
+#[test]
+fn deterministic_cycle_counts() {
+    let src = programs::fib(9);
+    let a = run(&src, &CompileOptions::april(), 4);
+    let b = run(&src, &CompileOptions::april(), 4);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn tail_calls_run_in_constant_stack() {
+    // 100k-deep tail recursion would smash any fixed stack without
+    // proper tail calls; with them it is a loop.
+    let src = "
+        (define (count n acc)
+          (if (= n 0) acc (count (- n 1) (+ acc 1))))
+        (define (main) (count 100000 0))";
+    let r = run(src, &CompileOptions::april(), 1);
+    assert_eq!(r.value.as_fixnum(), Some(100_000));
+}
+
+#[test]
+fn mutual_tail_recursion() {
+    let src = "
+        (define (even? n) (if (= n 0) #t (odd? (- n 1))))
+        (define (odd? n) (if (= n 0) #f (even? (- n 1))))
+        (define (main) (if (even? 50001) 1 0))";
+    assert_eq!(run(src, &CompileOptions::april(), 1).value.as_fixnum(), Some(0));
+}
+
+#[test]
+fn tail_call_through_closure() {
+    let src = "
+        (define (loop f n) (if (= n 0) 99 (f f (- n 1))))
+        (define (main)
+          (let ((g (lambda (self n) (if (= n 0) 42 (self self (- n 1))))))
+            (g g 60000)))";
+    assert_eq!(run(src, &CompileOptions::april(), 1).value.as_fixnum(), Some(42));
+}
+
+#[test]
+fn tail_call_inside_let_deallocates_bindings() {
+    let src = "
+        (define (go n acc)
+          (if (= n 0)
+              acc
+              (let ((x (+ acc 2)) (y 1))
+                (go (- n 1) (- x y)))))
+        (define (main) (go 50000 0))";
+    assert_eq!(run(src, &CompileOptions::april(), 1).value.as_fixnum(), Some(50_000));
+}
+
+#[test]
+fn data_parallel_map_and_reduce() {
+    // Square 0..32 in parallel, then sum in parallel.
+    let src = format!(
+        "{lib}
+        (define (sq x) (* x x))
+        (define (add a b) (+ a b))
+        (define (main)
+          (let ((v (make-vector 32 0)))
+            (ptabulate! (lambda (i) i) v 0 32 4)
+            (pmap! sq v 4)
+            (preduce add 0 v 0 32 4)))",
+        lib = programs::data_parallel_lib()
+    );
+    let expect: i32 = (0..32).map(|i| i * i).sum();
+    for procs in [1, 4] {
+        let r = run(&src, &CompileOptions::april(), procs);
+        assert_eq!(r.value.as_fixnum(), Some(expect), "{procs} procs");
+        assert!(r.sched.threads_created > 0, "must actually parallelize");
+    }
+    // Lazy mode agrees and inlines most of the tree on 1 proc.
+    let lazy = run(&src, &CompileOptions::april_lazy(), 1);
+    assert_eq!(lazy.value.as_fixnum(), Some(expect));
+    assert!(lazy.sched.inline_evals > 0);
+}
+
+#[test]
+fn data_parallel_grain_controls_task_count() {
+    let mk = |grain: u32| {
+        format!(
+            "{lib}
+            (define (add a b) (+ a b))
+            (define (main)
+              (let ((v (make-vector 64 1)))
+                (preduce add 0 v 0 64 {grain})))",
+            lib = programs::data_parallel_lib()
+        )
+    };
+    let fine = run(&mk(2), &CompileOptions::april(), 4);
+    let coarse = run(&mk(32), &CompileOptions::april(), 4);
+    assert_eq!(fine.value.as_fixnum(), Some(64));
+    assert_eq!(coarse.value.as_fixnum(), Some(64));
+    assert!(
+        fine.sched.threads_created > coarse.sched.threads_created,
+        "finer grain must spawn more tasks ({} vs {})",
+        fine.sched.threads_created,
+        coarse.sched.threads_created
+    );
+}

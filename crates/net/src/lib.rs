@@ -1,0 +1,20 @@
+//! # april-net — the ALEWIFE interconnection network
+//!
+//! A deterministic simulator for the low-dimension direct network of
+//! the ALEWIFE machine (paper, Section 2.1): a k-ary n-cube with
+//! bidirectional channels, dimension-order routing, virtual-cut-through
+//! switching, and finite channel bandwidth (so contention emerges as
+//! queueing for busy channels).
+//!
+//! * [`topology`] — coordinates, distances, dimension-order routing.
+//! * [`network`] — the packet-level event simulator and its statistics
+//!   (average latency, hops, channel utilization), used to validate the
+//!   analytical network model of Section 8.
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod topology;
+
+pub use network::{NetConfig, NetStats, Network};
+pub use topology::{Channel, Topology};

@@ -1,0 +1,181 @@
+//! k-ary n-cube topology and dimension-order routing.
+//!
+//! "The ALEWIFE system uses a low-dimension direct network. Such
+//! networks scale easily and maintain high nearest-neighbor bandwidth"
+//! (paper, Section 2.1). The scalability analysis of Section 8 assumes
+//! 8000 processors in a three-dimensional array of radix 20, giving an
+//! average of nk/3 = 20 hops between a random pair of nodes.
+
+use std::fmt;
+
+/// A k-ary n-cube (n-dimensional array of radix k) with bidirectional
+/// channels and no wraparound (a mesh, matching the paper's "array").
+///
+/// # Examples
+///
+/// ```
+/// use april_net::topology::Topology;
+///
+/// let t = Topology::new(3, 20);
+/// assert_eq!(t.num_nodes(), 8000);
+/// assert_eq!(t.distance(0, t.num_nodes() - 1), 3 * 19);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Dimensionality `n`.
+    pub dim: usize,
+    /// Radix `k` (nodes per dimension).
+    pub radix: usize,
+}
+
+/// One directed channel: from `node` along `dim` in direction `plus`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Channel {
+    /// Source node of the channel.
+    pub node: usize,
+    /// Dimension index.
+    pub dim: usize,
+    /// True for the increasing direction.
+    pub plus: bool,
+}
+
+impl Topology {
+    /// Creates a topology with `dim` dimensions of `radix` nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(dim: usize, radix: usize) -> Topology {
+        assert!(dim > 0 && radix > 0, "degenerate topology");
+        Topology { dim, radix }
+    }
+
+    /// Total number of nodes, k^n.
+    pub fn num_nodes(&self) -> usize {
+        self.radix.pow(self.dim as u32)
+    }
+
+    /// Total number of directed channels.
+    pub fn num_channels(&self) -> usize {
+        // Per dimension: (k-1) internal links per row, 2 directions,
+        // k^(n-1) rows.
+        self.dim * 2 * (self.radix - 1) * self.radix.pow(self.dim as u32 - 1)
+    }
+
+    /// The coordinates of `node`.
+    pub fn coords(&self, node: usize) -> Vec<usize> {
+        let mut c = Vec::with_capacity(self.dim);
+        let mut v = node;
+        for _ in 0..self.dim {
+            c.push(v % self.radix);
+            v /= self.radix;
+        }
+        c
+    }
+
+    /// The node at the given coordinates.
+    pub fn node_at(&self, coords: &[usize]) -> usize {
+        coords.iter().rev().fold(0, |acc, &c| acc * self.radix + c)
+    }
+
+    /// Manhattan distance (number of hops) between two nodes.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let (ca, cb) = (self.coords(a), self.coords(b));
+        ca.iter().zip(&cb).map(|(&x, &y)| x.abs_diff(y)).sum()
+    }
+
+    /// Dimension-order routing: the channel and next node for a packet
+    /// at `cur` heading to `dst`, or `None` if already there.
+    pub fn next_hop(&self, cur: usize, dst: usize) -> Option<(Channel, usize)> {
+        if cur == dst {
+            return None;
+        }
+        let (cc, cd) = (self.coords(cur), self.coords(dst));
+        let stride: Vec<usize> =
+            (0..self.dim).map(|d| self.radix.pow(d as u32)).collect();
+        for d in 0..self.dim {
+            if cc[d] != cd[d] {
+                let plus = cd[d] > cc[d];
+                let next = if plus { cur + stride[d] } else { cur - stride[d] };
+                return Some((Channel { node: cur, dim: d, plus }, next));
+            }
+        }
+        unreachable!("coords equal but nodes differ");
+    }
+
+    /// Average hop count between uniformly random node pairs, which the
+    /// paper approximates as nk/3.
+    pub fn avg_distance_estimate(&self) -> f64 {
+        self.dim as f64 * self.radix as f64 / 3.0
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-ary {}-cube ({} nodes)", self.radix, self.dim, self.num_nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Topology::new(3, 4);
+        for n in 0..t.num_nodes() {
+            assert_eq!(t.node_at(&t.coords(n)), n);
+        }
+    }
+
+    #[test]
+    fn paper_configuration() {
+        let t = Topology::new(3, 20);
+        assert_eq!(t.num_nodes(), 8000);
+        assert!((t.avg_distance_estimate() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_order_route_reaches_destination() {
+        let t = Topology::new(2, 4);
+        let (src, dst) = (0, 15); // (0,0) -> (3,3)
+        let mut cur = src;
+        let mut hops = 0;
+        while let Some((ch, next)) = t.next_hop(cur, dst) {
+            assert_eq!(ch.node, cur);
+            cur = next;
+            hops += 1;
+            assert!(hops <= 6, "route too long");
+        }
+        assert_eq!(cur, dst);
+        assert_eq!(hops, t.distance(src, dst));
+    }
+
+    #[test]
+    fn routing_is_dimension_ordered() {
+        let t = Topology::new(2, 4);
+        // From (1,1)=5 to (3,3)=15: x first.
+        let (ch, next) = t.next_hop(5, 15).unwrap();
+        assert_eq!(ch.dim, 0);
+        assert!(ch.plus);
+        assert_eq!(next, 6);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangle() {
+        let t = Topology::new(3, 3);
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+            }
+        }
+        assert_eq!(t.distance(0, 0), 0);
+    }
+
+    #[test]
+    fn channel_count() {
+        let t = Topology::new(2, 3);
+        // 2 dims * 2 dirs * 2 links/row * 3 rows = 24.
+        assert_eq!(t.num_channels(), 24);
+    }
+}

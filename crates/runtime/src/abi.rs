@@ -1,0 +1,194 @@
+//! The software ABI shared by the run-time system and the Mul-T
+//! compiler.
+//!
+//! "By taking a systems-level design approach that considers not only
+//! the processor, but also the compiler and run-time system, we were
+//! able to migrate several non-critical operations into the software
+//! system" (paper, Section 1). This module is that contract: register
+//! conventions, run-time service numbers, the data-representation
+//! singletons, and the entry-stub labels the compiler must emit.
+
+use april_core::isa::Reg;
+use april_core::word::Word;
+
+// ---------------------------------------------------------------------
+// Register conventions
+// ---------------------------------------------------------------------
+
+/// Closure (environment) pointer of the executing procedure.
+pub const REG_CLOSURE: Reg = Reg::L(0);
+/// First argument / return value.
+pub const REG_RET: Reg = Reg::L(1);
+/// Argument registers `r1`–`r6`.
+pub const ARG_REGS: [Reg; 6] =
+    [Reg::L(1), Reg::L(2), Reg::L(3), Reg::L(4), Reg::L(5), Reg::L(6)];
+/// The task's own future pointer inside the task/inline entry stubs.
+pub const REG_FUT: Reg = Reg::L(25);
+/// Software (Encore-style) touch operand register.
+pub const REG_SW_TOUCH: Reg = Reg::L(24);
+/// Stack pointer (stacks grow upward).
+pub const REG_SP: Reg = Reg::L(29);
+/// Compiler scratch register.
+pub const REG_TMP: Reg = Reg::L(30);
+/// Link register (return address).
+pub const REG_LINK: Reg = Reg::L(31);
+/// Heap allocation pointer (per-processor bump allocator).
+pub const REG_HEAP: Reg = Reg::G(5);
+/// Heap allocation limit.
+pub const REG_HEAP_LIM: Reg = Reg::G(6);
+/// Assembler/linker scratch (clobbered by the `call` pseudo-op).
+pub const REG_ASM_TMP: Reg = Reg::G(7);
+
+// ---------------------------------------------------------------------
+// Run-time services (RTCALL numbers)
+// ---------------------------------------------------------------------
+
+/// Current task finished (task bodies end here after determining).
+pub const RT_EXIT: u16 = 0;
+/// Root thread finished; `r1` holds the program result.
+pub const RT_MAIN_DONE: u16 = 1;
+/// Eager future: `r1` = closure → `r1` = future pointer. Creates a
+/// task (Section 3.2, "normal task creation").
+pub const RT_FUTURE: u16 = 2;
+/// `future-on`: like [`RT_FUTURE`] with `r2` = target node (fixnum).
+pub const RT_FUTURE_ON: u16 = 3;
+/// Lazy future: `r1` = closure → `r1` = future pointer. Pushes a
+/// stealable task descriptor instead of creating a thread
+/// (Section 3.2, "lazy task creation").
+pub const RT_LAZY_FUTURE: u16 = 4;
+/// Determine: `r25` = future, `r1` = value. Resolves the future and
+/// wakes waiters.
+pub const RT_DETERMINE: u16 = 5;
+/// Return from an inline (lazy) thunk evaluation; `r1` = value.
+pub const RT_RESUME: u16 = 6;
+/// Software task creation for the Encore baseline (no tag hardware).
+pub const RT_FUTURE_SW: u16 = 7;
+/// Software touch for the Encore baseline: `r24` = maybe-future →
+/// `r24` = value (may block).
+pub const RT_TOUCH_SW: u16 = 8;
+/// Heap chunk refill: resets `g5`/`g6` to a fresh chunk.
+pub const RT_HEAP_MORE: u16 = 9;
+/// Debug print of `r1` (collected by the harness).
+pub const RT_PRINT: u16 = 10;
+/// Voluntary yield (used by synthetic workloads).
+pub const RT_YIELD: u16 = 11;
+
+// ---------------------------------------------------------------------
+// Data representation singletons
+// ---------------------------------------------------------------------
+
+/// Byte address of the `'()` (nil) singleton in node 0's reserved page.
+pub const NIL_ADDR: u32 = 8;
+/// Byte address of the `#t` singleton.
+pub const TRUE_ADDR: u32 = 16;
+/// Byte address of the `#f` singleton.
+pub const FALSE_ADDR: u32 = 24;
+
+/// The nil word (`other`-tagged pointer to the nil singleton).
+pub fn nil() -> Word {
+    Word::other_ptr(NIL_ADDR)
+}
+
+/// The true word.
+pub fn truth() -> Word {
+    Word::other_ptr(TRUE_ADDR)
+}
+
+/// The false word.
+pub fn falsity() -> Word {
+    Word::other_ptr(FALSE_ADDR)
+}
+
+/// Scheme truthiness: everything except `#f` is true.
+pub fn is_truthy(w: Word) -> bool {
+    w != falsity()
+}
+
+// ---------------------------------------------------------------------
+// Entry-stub labels the compiler must emit
+// ---------------------------------------------------------------------
+
+/// Entry stub for a spawned task: expects `r0` = closure and `r25` =
+/// future; calls the closure, determines the future with the result,
+/// and exits.
+pub const TASK_ENTRY_LABEL: &str = "__task_entry";
+/// Entry stub for inline (lazy) thunk evaluation inside a touching
+/// thread: like [`TASK_ENTRY_LABEL`] but ends with [`RT_RESUME`].
+pub const INLINE_ENTRY_LABEL: &str = "__inline_entry";
+/// Entry stub for the root thread: calls `main`'s closure and raises
+/// [`RT_MAIN_DONE`].
+pub const MAIN_ENTRY_LABEL: &str = "__main_entry";
+
+/// The assembly text of the three entry stubs, in the form both the
+/// compiler and hand-written test programs include.
+///
+/// Closure layout: word 0 of an `other`-tagged closure record is the
+/// raw code address; the call sequence loads it and `jmpl`s.
+pub fn entry_stubs_asm() -> String {
+    format!(
+        "
+{TASK_ENTRY_LABEL}:
+    ld r0-2, g7        ; code address from closure
+    jmpl g7+0, r31
+    nop
+    rtcall {RT_DETERMINE}
+    rtcall {RT_EXIT}
+{INLINE_ENTRY_LABEL}:
+    ld r0-2, g7
+    jmpl g7+0, r31
+    nop
+    rtcall {RT_DETERMINE}
+    rtcall {RT_RESUME}
+{MAIN_ENTRY_LABEL}:
+    ld r0-2, g7
+    jmpl g7+0, r31
+    nop
+    rtcall {RT_MAIN_DONE}
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct_other_pointers() {
+        assert!(nil().is_other());
+        assert!(truth().is_other());
+        assert!(falsity().is_other());
+        assert_ne!(nil(), truth());
+        assert_ne!(truth(), falsity());
+        assert_ne!(nil(), falsity());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(is_truthy(truth()));
+        assert!(is_truthy(nil()), "nil is truthy in Scheme");
+        assert!(is_truthy(Word::fixnum(0)), "0 is truthy in Scheme");
+        assert!(!is_truthy(falsity()));
+    }
+
+    #[test]
+    fn stubs_assemble() {
+        let src = entry_stubs_asm();
+        let prog = april_core::isa::asm::assemble(&src).expect("stubs must assemble");
+        assert!(prog.label(TASK_ENTRY_LABEL).is_some());
+        assert!(prog.label(INLINE_ENTRY_LABEL).is_some());
+        assert!(prog.label(MAIN_ENTRY_LABEL).is_some());
+    }
+
+    #[test]
+    fn service_numbers_are_distinct() {
+        let all = [
+            RT_EXIT, RT_MAIN_DONE, RT_FUTURE, RT_FUTURE_ON, RT_LAZY_FUTURE, RT_DETERMINE,
+            RT_RESUME, RT_FUTURE_SW, RT_TOUCH_SW, RT_HEAP_MORE, RT_PRINT, RT_YIELD,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Run-time system configuration: handler policies and cycle costs.
+//!
+//! The paper gives exact costs for the critical software paths: the
+//! context-switch trap handler body is 6 cycles on top of the 5-cycle
+//! trap entry (Section 6.1, 11 cycles total; 4 in a custom APRIL), and
+//! the future-touch handler takes 23 cycles when the future is
+//! resolved (Section 6.2). Other costs are derived from the work the
+//! routines do (loads/stores of thread state, queue manipulation) and
+//! are configurable for ablation studies.
+
+/// Response to a full/empty synchronization trap (paper, Section 3:
+/// spinning / switch spinning / blocking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FePolicy {
+    /// Immediately retry the trapping instruction.
+    Spin,
+    /// Context switch to the next loaded thread without unloading the
+    /// trapped one (the paper's default implementation).
+    #[default]
+    SwitchSpin,
+    /// Switch-spin up to the given number of consecutive faults on the
+    /// same word, then unload the thread until the word changes state
+    /// — the mechanism Section 3.1 proposes against starvation ("a
+    /// special controller initiated trap on certain failed
+    /// synchronization tests, whose handler unloads the thread").
+    BlockAfterSpins(u32),
+}
+
+/// Response to touching an unresolved future.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TouchPolicy {
+    /// Unload the thread and queue it on the future (frees the frame;
+    /// avoids the starvation problem of Section 3.1).
+    #[default]
+    Block,
+    /// Context switch without unloading (can starve if all frames
+    /// spin on futures owned by unloaded threads).
+    SwitchSpin,
+}
+
+/// Cycle costs and policies of the run-time software system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtConfig {
+    /// Context-switch handler body (6 on SPARC-APRIL: rdpsr, save,
+    /// save, wrpsr, jmpl, rett; the 5-cycle trap entry is charged by
+    /// the processor). Use 2 to model the 4-cycle custom APRIL
+    /// (2-cycle entry + 2-cycle switch).
+    pub switch_handler_cycles: u64,
+    /// Future-touch handler when the future is resolved (Section 6.2:
+    /// 23 cycles: decode the trapping instruction, test the value
+    /// slot's full/empty bit, substitute the value).
+    pub touch_resolved_cycles: u64,
+    /// Eager task creation: allocate the future and thread record,
+    /// initialize the register image, enqueue (Section 7's "normal
+    /// task creation").
+    pub thread_create_cycles: u64,
+    /// Extra cost of *software* task creation on the Encore baseline
+    /// (lock-based queues, no tag hardware).
+    pub sw_create_extra_cycles: u64,
+    /// Software touch check service on the Encore baseline.
+    pub sw_touch_cycles: u64,
+    /// Lazy future creation: allocate the future, push the task
+    /// descriptor on the lazy queue.
+    pub lazy_create_cycles: u64,
+    /// Handler work to redirect a thread into an inline thunk
+    /// evaluation (beyond trap entry).
+    pub lazy_inline_cycles: u64,
+    /// Loading a previously unloaded thread into a task frame
+    /// (32 registers + PC chain + PSR from memory).
+    pub thread_load_cycles: u64,
+    /// Unloading a thread from a task frame to memory.
+    pub thread_unload_cycles: u64,
+    /// Loading a *fresh* task (arguments only, no saved state).
+    pub fresh_load_cycles: u64,
+    /// Determine: store the value, set the full/empty bit, schedule
+    /// waiters.
+    pub determine_cycles: u64,
+    /// Task exit bookkeeping.
+    pub exit_cycles: u64,
+    /// Dequeue from the local ready queue.
+    pub dequeue_cycles: u64,
+    /// Stealing work from another node (remote queue access).
+    pub steal_cycles: u64,
+    /// Full/empty trap policy.
+    pub fe_policy: FePolicy,
+    /// Future-touch policy for unresolved, non-inlinable futures.
+    pub touch_policy: TouchPolicy,
+    /// Per-node region size in bytes (must match the machine).
+    pub region_bytes: u32,
+    /// Stack size per thread in bytes.
+    pub stack_bytes: u32,
+    /// Simulation fuse: abort after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for RtConfig {
+    fn default() -> RtConfig {
+        RtConfig {
+            switch_handler_cycles: 6,
+            touch_resolved_cycles: 23,
+            thread_create_cycles: 90,
+            sw_create_extra_cycles: 330,
+            sw_touch_cycles: 12,
+            lazy_create_cycles: 8,
+            lazy_inline_cycles: 4,
+            thread_load_cycles: 40,
+            thread_unload_cycles: 40,
+            fresh_load_cycles: 12,
+            determine_cycles: 10,
+            exit_cycles: 10,
+            dequeue_cycles: 10,
+            steal_cycles: 40,
+            fe_policy: FePolicy::default(),
+            touch_policy: TouchPolicy::default(),
+            region_bytes: 1 << 20,
+            stack_bytes: 4 * 1024,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl RtConfig {
+    /// The custom-APRIL timing variant: a 4-cycle context switch
+    /// (Section 6.1's "allowing a four-cycle context switch"); pair
+    /// with a `CpuConfig` whose `trap_entry_cycles` is 2.
+    pub fn custom_april(mut self) -> RtConfig {
+        self.switch_handler_cycles = 2;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparc_context_switch_is_eleven_cycles() {
+        let c = RtConfig::default();
+        // 5-cycle trap entry (processor) + 6-cycle handler = 11.
+        assert_eq!(april_core::trap::TRAP_ENTRY_CYCLES + c.switch_handler_cycles, 11);
+    }
+
+    #[test]
+    fn touch_handler_matches_section_6_2() {
+        assert_eq!(RtConfig::default().touch_resolved_cycles, 23);
+    }
+
+    #[test]
+    fn custom_april_is_four_cycles_with_fast_trap() {
+        let c = RtConfig::default().custom_april();
+        assert_eq!(2 + c.switch_handler_cycles, 4);
+    }
+}

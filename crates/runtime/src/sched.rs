@@ -1,0 +1,204 @@
+//! Thread scheduling queues.
+//!
+//! "In APRIL, thread scheduling is done in software, and unlimited
+//! virtual dynamic threads are supported" (paper, Section 1). Each
+//! node keeps a ready queue of unloaded threads and a lazy-task queue
+//! of stealable thunk descriptors; idle processors first drain their
+//! own queues, then steal — ready threads or, preferentially for
+//! granularity, the *oldest* lazy thunk of a victim (Mohr-style lazy
+//! task creation steals outermost work).
+
+use crate::thread::ThreadId;
+use std::collections::VecDeque;
+
+/// Scheduler event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Eager threads created.
+    pub threads_created: u64,
+    /// Lazy futures created.
+    pub lazy_created: u64,
+    /// Lazy thunks evaluated inline by their creator.
+    pub inline_evals: u64,
+    /// Lazy thunks stolen and promoted to threads.
+    pub lazy_steals: u64,
+    /// Ready threads stolen from other nodes.
+    pub ready_steals: u64,
+    /// Threads blocked on futures.
+    pub blocks: u64,
+    /// Threads woken by future resolution.
+    pub wakes: u64,
+    /// Threads loaded into task frames.
+    pub loads: u64,
+    /// Threads unloaded from task frames.
+    pub unloads: u64,
+}
+
+/// One node's queues.
+#[derive(Debug, Clone, Default)]
+struct NodeQueues {
+    ready: VecDeque<ThreadId>,
+    lazy: VecDeque<u32>, // future addresses with unstolen thunks
+}
+
+/// The distributed scheduler state.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    nodes: Vec<NodeQueues>,
+    spawn_rr: usize,
+    /// Event counters.
+    pub stats: SchedStats,
+}
+
+impl Scheduler {
+    /// Creates queues for `n` nodes.
+    pub fn new(n: usize) -> Scheduler {
+        Scheduler {
+            nodes: vec![NodeQueues::default(); n],
+            spawn_rr: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Picks the node for the next eager spawn (round robin, the
+    /// default placement when `future-on` is not used).
+    pub fn next_spawn_node(&mut self) -> usize {
+        let n = self.spawn_rr;
+        self.spawn_rr = (self.spawn_rr + 1) % self.nodes.len();
+        n
+    }
+
+    /// Enqueues a ready thread on `node`.
+    pub fn enqueue_ready(&mut self, node: usize, t: ThreadId) {
+        self.nodes[node].ready.push_back(t);
+    }
+
+    /// Dequeues a ready thread from `node`'s own queue.
+    pub fn dequeue_ready(&mut self, node: usize) -> Option<ThreadId> {
+        self.nodes[node].ready.pop_front()
+    }
+
+    /// Steals a ready thread from the fullest other node.
+    pub fn steal_ready(&mut self, thief: usize) -> Option<(ThreadId, usize)> {
+        let victim = (0..self.nodes.len())
+            .filter(|&v| v != thief && !self.nodes[v].ready.is_empty())
+            .max_by_key(|&v| self.nodes[v].ready.len())?;
+        let t = self.nodes[victim].ready.pop_front().expect("nonempty");
+        self.stats.ready_steals += 1;
+        Some((t, victim))
+    }
+
+    /// Pushes a lazy thunk descriptor (newest at the back).
+    pub fn push_lazy(&mut self, node: usize, future: u32) {
+        self.nodes[node].lazy.push_back(future);
+    }
+
+    /// Removes a specific lazy descriptor from `node`'s queue (the
+    /// creator claiming its own thunk at touch time). Returns false if
+    /// it was already stolen.
+    pub fn remove_lazy(&mut self, node: usize, future: u32) -> bool {
+        let q = &mut self.nodes[node].lazy;
+        match q.iter().position(|&f| f == future) {
+            Some(i) => {
+                q.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Steals the *oldest* lazy thunk from the victim with the longest
+    /// lazy queue (oldest = outermost = coarsest grain).
+    pub fn steal_lazy(&mut self, thief: usize) -> Option<(u32, usize)> {
+        let victim = (0..self.nodes.len())
+            .filter(|&v| v != thief && !self.nodes[v].lazy.is_empty())
+            .max_by_key(|&v| self.nodes[v].lazy.len())?;
+        let f = self.nodes[victim].lazy.pop_front().expect("nonempty");
+        self.stats.lazy_steals += 1;
+        Some((f, victim))
+    }
+
+    /// Steals the oldest lazy thunk from the thief's *own* queue (used
+    /// when a processor goes idle with local lazy work pending).
+    pub fn pop_own_lazy(&mut self, node: usize) -> Option<u32> {
+        self.nodes[node].lazy.pop_front()
+    }
+
+    /// Total ready threads across all nodes.
+    pub fn total_ready(&self) -> usize {
+        self.nodes.iter().map(|n| n.ready.len()).sum()
+    }
+
+    /// Total unstolen lazy thunks across all nodes.
+    pub fn total_lazy(&self) -> usize {
+        self.nodes.iter().map(|n| n.lazy.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_spawn_placement() {
+        let mut s = Scheduler::new(3);
+        assert_eq!(
+            (0..7).map(|_| s.next_spawn_node()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn ready_queue_fifo() {
+        let mut s = Scheduler::new(2);
+        s.enqueue_ready(0, ThreadId(1));
+        s.enqueue_ready(0, ThreadId(2));
+        assert_eq!(s.dequeue_ready(0), Some(ThreadId(1)));
+        assert_eq!(s.dequeue_ready(0), Some(ThreadId(2)));
+        assert_eq!(s.dequeue_ready(0), None);
+    }
+
+    #[test]
+    fn steal_takes_from_fullest_victim() {
+        let mut s = Scheduler::new(3);
+        s.enqueue_ready(1, ThreadId(1));
+        s.enqueue_ready(2, ThreadId(2));
+        s.enqueue_ready(2, ThreadId(3));
+        let (t, v) = s.steal_ready(0).unwrap();
+        assert_eq!((t, v), (ThreadId(2), 2));
+        assert_eq!(s.stats.ready_steals, 1);
+    }
+
+    #[test]
+    fn lazy_steal_takes_oldest() {
+        let mut s = Scheduler::new(2);
+        s.push_lazy(0, 0x10);
+        s.push_lazy(0, 0x20);
+        let (f, v) = s.steal_lazy(1).unwrap();
+        assert_eq!((f, v), (0x10, 0), "oldest thunk is the coarsest grain");
+    }
+
+    #[test]
+    fn creator_claims_specific_thunk() {
+        let mut s = Scheduler::new(1);
+        s.push_lazy(0, 0x10);
+        s.push_lazy(0, 0x20);
+        assert!(s.remove_lazy(0, 0x20));
+        assert!(!s.remove_lazy(0, 0x20), "already claimed");
+        assert_eq!(s.total_lazy(), 1);
+    }
+
+    #[test]
+    fn no_self_steal() {
+        let mut s = Scheduler::new(2);
+        s.enqueue_ready(0, ThreadId(1));
+        assert!(s.steal_ready(0).is_none());
+        s.push_lazy(0, 0x10);
+        assert!(s.steal_lazy(0).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! The floating-point unit: a dot-product kernel using the
+//! per-context FP register file (paper, Section 5: an unmodified SPARC
+//! FPU whose 32-register file is split into four per-frame sets of
+//! eight, with per-frame condition bits).
+//!
+//! Run with: `cargo run --release --example fpu_kernel`
+
+use april::core::cpu::{Cpu, CpuConfig, StepEvent};
+use april::core::isa::asm::assemble;
+use april::core::isa::Reg;
+use april::mem::femem::FeMemory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // a = [1.5, 2.0, 0.5, 4.0], b = [2.0, 0.25, 8.0, 0.5]
+    // dot(a,b) = 3.0 + 0.5 + 4.0 + 2.0 = 9.5
+    let prog = assemble(
+        "
+        .entry main
+        main:
+            movi 0x100, r1     ; a
+            movi 0x140, r2     ; b
+            movi 4, r10        ; n
+            fmovi 0.0, f7      ; acc
+        loop:
+            ldf r1+0, f0
+            ldf r2+0, f1
+            fmul f0, f1, f2
+            fadd f7, f2, f7
+            add r1, 4, r1
+            add r2, 4, r2
+            sub r10, 1, r10
+            jne loop
+            nop
+            ; mean = dot / n
+            movi 16, r3        ; fixnum 4
+            fix2f r3, f3
+            fdiv f7, f3, f6
+            ; compare dot against 9.0: expect greater
+            fmovi 9.0, f4
+            fcmp f7, f4
+            jfgt bigger
+            nop
+            movi 0, r9
+            halt
+        bigger:
+            movi 1, r9
+            f2fix f7, r11      ; truncated dot = 9
+            halt
+        ",
+    )?;
+
+    let mut mem = FeMemory::new(4096);
+    let a = [1.5f32, 2.0, 0.5, 4.0];
+    let b = [2.0f32, 0.25, 8.0, 0.5];
+    for i in 0..4 {
+        mem.write(0x100 + 4 * i as u32, april::core::word::Word(a[i].to_bits()));
+        mem.write(0x140 + 4 * i as u32, april::core::word::Word(b[i].to_bits()));
+    }
+
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.boot(prog.entry);
+    loop {
+        match cpu.step(&prog, &mut mem) {
+            StepEvent::Halted => break,
+            StepEvent::Trapped(t) => panic!("trap: {t}"),
+            _ => {}
+        }
+    }
+
+    let dot = f32::from_bits(cpu.get_freg(7));
+    let mean = f32::from_bits(cpu.get_freg(6));
+    println!("dot(a, b) = {dot}   mean = {mean}");
+    println!("fcmp dot > 9.0 taken: {}", cpu.get_reg(Reg::L(9)).0 == 1);
+    println!("f2fix dot -> {}", cpu.get_reg(Reg::L(11)).as_fixnum().unwrap());
+    println!("cycles: {}", cpu.stats.useful_cycles);
+    assert_eq!(dot, 9.5);
+    assert_eq!(mean, 2.375);
+    Ok(())
+}

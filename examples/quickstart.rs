@@ -1,0 +1,64 @@
+//! Quickstart: assemble an APRIL program that uses the full/empty
+//! bits and `Jfull`/`Jempty`, run it on one processor, and inspect the
+//! cycle ledger.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use april::core::cpu::{Cpu, CpuConfig, StepEvent};
+use april::core::isa::asm::assemble;
+use april::core::isa::disasm::listing;
+use april::core::isa::Reg;
+use april::mem::femem::FeMemory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny producer/consumer in one thread: the producer half fills
+    // a mailbox with stfnt (store + set full); the consumer half polls
+    // with a non-trapping load and Jempty, then takes the value with
+    // ldett (load + reset to empty), emptying the slot for reuse.
+    let prog = assemble(
+        "
+        .entry main
+        .static 0x100
+        .word 0 empty          ; the mailbox
+        main:
+            movi 0x100, r1
+            movi 0, r10        ; sum
+            movi 5, r11        ; rounds
+        round:
+            ; produce: mailbox := rounds (as fixnum)
+            sll r11, 2, r2
+            stfnt r2, r1+0     ; store, set full
+        poll:
+            ldnt r1+0, r3      ; non-trapping load, sets f/e condition
+            jempty poll        ; spin until full
+            nop
+            ldett r1+0, r3     ; take: load and reset to empty
+            add r10, r3, r10
+            sub r11, 1, r11
+            jne round
+            nop
+            halt
+        ",
+    )?;
+
+    println!("Program listing:");
+    println!("{}", listing(&prog));
+
+    let mut mem = FeMemory::new(4096);
+    mem.load_image(&prog);
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.boot(prog.entry);
+    loop {
+        match cpu.step(&prog, &mut mem) {
+            StepEvent::Halted => break,
+            StepEvent::Trapped(t) => panic!("unexpected trap: {t}"),
+            _ => {}
+        }
+    }
+
+    let sum = cpu.get_reg(Reg::L(10)).as_fixnum().unwrap();
+    println!("sum of 1..=5 via the mailbox = {sum}");
+    println!("cycle ledger: {}", cpu.stats);
+    assert_eq!(sum, 15);
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The Section 8 scalability model as a library: sweep the design
+//! space the paper discusses — context-switch overhead, cache size,
+//! and network latency — and print utilization curves.
+//!
+//! Run with: `cargo run --release --example utilization_model`
+
+use april::model::params::SystemParams;
+use april::model::utilization::{figure5_sweep, solve};
+
+fn bar(u: f64) -> String {
+    let n = (u * 40.0).round() as usize;
+    format!("{:.3} {}", u, "#".repeat(n))
+}
+
+fn main() {
+    let base = SystemParams::default();
+
+    println!("U(p) for the Table 4 machine (C = 10):");
+    for pt in figure5_sweep(&base, 8, base.switch_overhead) {
+        println!("  p={} {}", pt.p as u32, bar(pt.useful));
+    }
+
+    println!("\nContext-switch overhead ablation, p = 4 (Section 8: \"the relatively");
+    println!("large ten-cycle context switch overhead does not significantly impact");
+    println!("performance ... switching frequency is expected to be small\"):");
+    for c in [0.0, 4.0, 10.0, 16.0, 32.0, 64.0, 128.0] {
+        let u = solve(&base, 4.0, true, true, c);
+        println!("  C = {c:>5.0}  {}", bar(u));
+    }
+
+    println!("\nCache size ablation, p = 4 (Section 8: \"smaller caches suffer more");
+    println!("interference and reduce the benefits of multithreading\"):");
+    for kb in [16.0, 32.0, 64.0, 128.0, 256.0] {
+        let params = SystemParams { cache_bytes: kb * 1024.0, ..base };
+        let u = solve(&params, 4.0, true, true, 10.0);
+        println!("  {kb:>4.0} KB  {}", bar(u));
+    }
+
+    println!("\nBase network latency ablation, p = 4 (what latency can 4 frames hide?):");
+    for radix in [8.0, 12.0, 16.0, 20.0, 28.0, 40.0] {
+        let params = SystemParams { radix, ..base };
+        let u = solve(&params, 4.0, true, true, 10.0);
+        println!(
+            "  k = {radix:>3.0} (T0 = {:>3.0})  {}",
+            params.base_round_trip(),
+            bar(u)
+        );
+    }
+
+    println!("\nLatency tolerance of p resident threads (run length R between misses):");
+    for p in [2.0, 3.0, 4.0] {
+        println!(
+            "  p = {p}: R=50 -> {:>4.0} cycles, R=100 -> {:>4.0} cycles",
+            base.tolerated_latency(p, 50.0),
+            base.tolerated_latency(p, 100.0)
+        );
+    }
+    println!("(paper: 4 frames tolerate latencies of 150-300 cycles)");
+}
