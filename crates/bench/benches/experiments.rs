@@ -1,4 +1,4 @@
-//! Criterion wrappers around scaled-down versions of each paper
+//! Timed wrappers around scaled-down versions of each paper
 //! experiment, so `cargo bench` continuously exercises every
 //! reproduction path (the full-size runs are the `table3`, `figure5`,
 //! `microbench`, `validate_model` and `utilization` binaries).
@@ -7,41 +7,50 @@ use april_bench::run_ideal;
 use april_model::params::SystemParams;
 use april_model::utilization::figure5_sweep;
 use april_mult::{programs, CompileOptions};
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_table3_cells(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
+/// Times `f` once (these are whole-experiment runs, not micro-ops).
+fn bench(name: &str, mut f: impl FnMut()) {
+    f(); // warm up
+    let t0 = Instant::now();
+    f();
+    println!("{name:<28} {:>10.2} ms", t0.elapsed().as_secs_f64() * 1e3);
+}
+
+fn bench_table3_cells() {
     let fib = programs::fib(8);
-    group.bench_function("fib8_tseq_1p", |b| {
-        b.iter(|| run_ideal(&fib, &CompileOptions::t_seq(), 1))
+    bench("table3/fib8_tseq_1p", || {
+        black_box(run_ideal(&fib, &CompileOptions::t_seq(), 1));
     });
-    group.bench_function("fib8_april_eager_2p", |b| {
-        b.iter(|| run_ideal(&fib, &CompileOptions::april(), 2))
+    bench("table3/fib8_april_eager_2p", || {
+        black_box(run_ideal(&fib, &CompileOptions::april(), 2));
     });
-    group.bench_function("fib8_april_lazy_2p", |b| {
-        b.iter(|| run_ideal(&fib, &CompileOptions::april_lazy(), 2))
+    bench("table3/fib8_april_lazy_2p", || {
+        black_box(run_ideal(&fib, &CompileOptions::april_lazy(), 2));
     });
-    group.bench_function("fib8_encore_2p", |b| {
-        b.iter(|| run_ideal(&fib, &CompileOptions::encore(), 2))
+    bench("table3/fib8_encore_2p", || {
+        black_box(run_ideal(&fib, &CompileOptions::encore(), 2));
     });
     let queens = programs::queens(5);
-    group.bench_function("queens5_april_4p", |b| {
-        b.iter(|| run_ideal(&queens, &CompileOptions::april(), 4))
+    bench("table3/queens5_april_4p", || {
+        black_box(run_ideal(&queens, &CompileOptions::april(), 4));
     });
     let speech = programs::speech(3, 5);
-    group.bench_function("speech3x5_april_2p", |b| {
-        b.iter(|| run_ideal(&speech, &CompileOptions::april(), 2))
-    });
-    group.finish();
-}
-
-fn bench_figure5(c: &mut Criterion) {
-    c.bench_function("figure5/sweep_p8", |b| {
-        let params = SystemParams::default();
-        b.iter(|| figure5_sweep(criterion::black_box(&params), 8, 10.0))
+    bench("table3/speech3x5_april_2p", || {
+        black_box(run_ideal(&speech, &CompileOptions::april(), 2));
     });
 }
 
-criterion_group!(benches, bench_table3_cells, bench_figure5);
-criterion_main!(benches);
+fn bench_figure5() {
+    let params = SystemParams::default();
+    bench("figure5/sweep_p8", || {
+        black_box(figure5_sweep(black_box(&params), 8, 10.0));
+    });
+}
+
+fn main() {
+    println!("experiments (single-run wall times)");
+    bench_table3_cells();
+    bench_figure5();
+}

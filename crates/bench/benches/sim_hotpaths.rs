@@ -1,5 +1,9 @@
-//! Criterion benchmarks of the simulator's hot paths: these bound how
-//! big an APRIL workload the repository can simulate per second.
+//! Benchmarks of the simulator's hot paths: these bound how big an
+//! APRIL workload the repository can simulate per second.
+//!
+//! Self-contained timing harness (no external bench framework): each
+//! benchmark runs its body in batches until ~0.2 s has elapsed and
+//! reports the best per-iteration time. Run with `cargo bench`.
 
 use april_core::cpu::{Cpu, CpuConfig};
 use april_core::isa::asm::assemble;
@@ -10,19 +14,45 @@ use april_mem::directory::Directory;
 use april_mem::femem::FeMemory;
 use april_net::network::{NetConfig, Network};
 use april_net::topology::Topology;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` (which performs `elems` logical operations per call) and
+/// prints a `name: ns/op` line.
+fn bench(name: &str, elems: u64, mut f: impl FnMut()) {
+    // Warm up.
+    f();
+    let mut best = f64::INFINITY;
+    let deadline = Instant::now() + std::time::Duration::from_millis(200);
+    while Instant::now() < deadline {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt / elems as f64);
+    }
+    println!("{name:<28} {:>10.1} ns/op", best * 1e9);
+}
 
 struct NullMem;
 impl MemoryPort for NullMem {
     fn load(&mut self, _: u32, _: april_core::isa::LoadFlavor, _: AccessCtx) -> LoadReply {
-        LoadReply::Data { word: Word::ZERO, fe: true }
+        LoadReply::Data {
+            word: Word::ZERO,
+            fe: true,
+        }
     }
-    fn store(&mut self, _: u32, _: Word, _: april_core::isa::StoreFlavor, _: AccessCtx) -> StoreReply {
+    fn store(
+        &mut self,
+        _: u32,
+        _: Word,
+        _: april_core::isa::StoreFlavor,
+        _: AccessCtx,
+    ) -> StoreReply {
         StoreReply::Done { fe: false }
     }
 }
 
-fn bench_cpu_step(c: &mut Criterion) {
+fn bench_cpu_step() {
     let prog = assemble(
         "
         top:
@@ -34,129 +64,100 @@ fn bench_cpu_step(c: &mut Criterion) {
         ",
     )
     .unwrap();
-    let mut group = c.benchmark_group("cpu");
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("step_1000_alu", |b| {
-        let mut cpu = Cpu::new(CpuConfig::default());
-        cpu.boot(0);
-        b.iter(|| {
-            for _ in 0..1000 {
-                cpu.step(&prog, &mut NullMem);
-            }
-        });
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.boot(0);
+    bench("cpu/step_alu", 1000, || {
+        for _ in 0..1000 {
+            cpu.step(&prog, &mut NullMem);
+        }
     });
-    group.finish();
 }
 
-fn bench_memory(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mem");
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("cache_hit_1000", |b| {
+fn bench_memory() {
+    let mut cache = Cache::new(CacheConfig::default());
+    cache.fill(0x40, LineState::Modified);
+    bench("mem/cache_hit", 1000, || {
+        for i in 0..1000u32 {
+            black_box(cache.access(0x40 + (i & 3) * 4, i & 1 == 0));
+        }
+    });
+    bench("mem/cache_miss_fill", 1000, || {
         let mut cache = Cache::new(CacheConfig::default());
-        cache.fill(0x40, LineState::Modified);
-        b.iter(|| {
-            for i in 0..1000u32 {
-                criterion::black_box(cache.access(0x40 + (i & 3) * 4, i & 1 == 0));
+        for i in 0..1000u32 {
+            let a = i * 16;
+            if !cache.access(a, false) {
+                cache.fill(a, LineState::Shared);
             }
-        });
+        }
     });
-    group.bench_function("cache_miss_fill_1000", |b| {
-        b.iter_batched(
-            || Cache::new(CacheConfig::default()),
-            |mut cache| {
-                for i in 0..1000u32 {
-                    let a = i * 16;
-                    if !cache.access(a, false) {
-                        cache.fill(a, LineState::Shared);
-                    }
-                }
-            },
-            BatchSize::SmallInput,
-        );
+    let mut mem = FeMemory::new(64 * 1024);
+    let f = april_core::isa::LoadFlavor::from_mnemonic("ldett").unwrap();
+    bench("mem/femem_fe_load", 1000, || {
+        for i in 0..1000u32 {
+            let a = (i % 1024) * 4;
+            black_box(mem.apply_load(a, f));
+            mem.set_fe(a, true);
+        }
     });
-    group.bench_function("femem_fe_load_1000", |b| {
-        let mut mem = FeMemory::new(64 * 1024);
-        let f = april_core::isa::LoadFlavor::from_mnemonic("ldett").unwrap();
-        b.iter(|| {
-            for i in 0..1000u32 {
-                let a = (i % 1024) * 4;
-                criterion::black_box(mem.apply_load(a, f));
-                mem.set_fe(a, true);
+}
+
+fn bench_directory() {
+    bench("directory/rd_wr_inval", 64, || {
+        let mut d = Directory::new();
+        for block in (0..64u32).map(|i| i * 16) {
+            d.handle_request(1, block, false, 1);
+            d.handle_request(2, block, false, 2);
+            let out = d.handle_request(3, block, true, 3);
+            for (dst, msg) in out {
+                let ack = april_mem::msg::CohMsg::InvAck {
+                    block: msg.block().unwrap(),
+                    xid: msg.xid().unwrap(),
+                };
+                d.handle_ack(dst, ack).unwrap();
             }
-        });
-    });
-    group.finish();
-}
-
-fn bench_directory(c: &mut Criterion) {
-    c.bench_function("directory/rd_wr_inval_cycle", |b| {
-        b.iter_batched(
-            Directory::new,
-            |mut d| {
-                for block in (0..64u32).map(|i| i * 16) {
-                    d.handle_request(1, block, false);
-                    d.handle_request(2, block, false);
-                    let out = d.handle_request(3, block, true);
-                    for (dst, _) in out {
-                        d.handle_ack(dst, april_mem::msg::CohMsg::InvAck { block });
-                    }
-                }
-            },
-            BatchSize::SmallInput,
-        );
+        }
     });
 }
 
-fn bench_network(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net");
-    group.throughput(Throughput::Elements(256));
-    group.bench_function("send_deliver_256", |b| {
-        b.iter_batched(
-            || Network::<u32>::new(Topology::new(3, 6), NetConfig::default()),
-            |mut net| {
-                let n = net.topology().num_nodes();
-                for i in 0..256usize {
-                    net.send(0, i % n, (i * 37 + 5) % n, 4, i as u32);
-                }
-                let mut t = 0;
-                while !net.is_idle() {
-                    t += 1;
-                    criterion::black_box(net.poll(t));
-                }
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_network() {
+    bench("net/send_deliver_256", 256, || {
+        let mut net = Network::<u32>::new(Topology::new(3, 6), NetConfig::default());
+        let n = net.topology().num_nodes();
+        for i in 0..256usize {
+            net.send(0, i % n, (i * 37 + 5) % n, 4, i as u32);
+        }
+        let mut t = 0;
+        while !net.is_idle() {
+            t += 1;
+            black_box(net.poll(t));
+        }
     });
-    group.finish();
 }
 
-fn bench_toolchain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("toolchain");
-    group.bench_function("assemble_loop", |b| {
-        let src = "
-            movi 10, r1
-        loop:
-            sub r1, 1, r1
-            jne loop
-            nop
-            halt
-        ";
-        b.iter(|| assemble(criterion::black_box(src)).unwrap());
+fn bench_toolchain() {
+    let src = "
+        movi 10, r1
+    loop:
+        sub r1, 1, r1
+        jne loop
+        nop
+        halt
+    ";
+    bench("toolchain/assemble_loop", 1, || {
+        black_box(assemble(black_box(src)).unwrap());
     });
-    group.bench_function("compile_fib", |b| {
-        let src = april_mult::programs::fib(10);
-        let opts = april_mult::CompileOptions::april();
-        b.iter(|| april_mult::compile(criterion::black_box(&src), &opts).unwrap());
+    let fib = april_mult::programs::fib(10);
+    let opts = april_mult::CompileOptions::april();
+    bench("toolchain/compile_fib", 1, || {
+        black_box(april_mult::compile(black_box(&fib), &opts).unwrap());
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cpu_step,
-    bench_memory,
-    bench_directory,
-    bench_network,
-    bench_toolchain
-);
-criterion_main!(benches);
+fn main() {
+    println!("sim_hotpaths (best-of per-iteration times)");
+    bench_cpu_step();
+    bench_memory();
+    bench_directory();
+    bench_network();
+    bench_toolchain();
+}

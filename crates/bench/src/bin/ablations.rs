@@ -32,7 +32,11 @@ fn run_with(
 }
 
 fn rt_cfg() -> RtConfig {
-    RtConfig { region_bytes: REGION, max_cycles: 20_000_000_000, ..RtConfig::default() }
+    RtConfig {
+        region_bytes: REGION,
+        max_cycles: 20_000_000_000,
+        ..RtConfig::default()
+    }
 }
 
 fn main() {
@@ -61,9 +65,18 @@ fn switch_cost_ablation(n: u32) {
     let results: Vec<(&str, u64)> = configs
         .iter()
         .map(|&(label, entry, handler)| {
-            let cpu = CpuConfig { trap_entry_cycles: entry, ..CpuConfig::default() };
-            let rt = RtConfig { switch_handler_cycles: handler, ..rt_cfg() };
-            (label, run_with(&programs::fib(n), &CompileOptions::april(), 8, cpu, rt).cycles)
+            let cpu = CpuConfig {
+                trap_entry_cycles: entry,
+                ..CpuConfig::default()
+            };
+            let rt = RtConfig {
+                switch_handler_cycles: handler,
+                ..rt_cfg()
+            };
+            (
+                label,
+                run_with(&programs::fib(n), &CompileOptions::april(), 8, cpu, rt).cycles,
+            )
         })
         .collect();
     let base = results[1].1; // the SPARC configuration
@@ -84,7 +97,10 @@ fn switch_cost_ablation(n: u32) {
 /// cycles for a producer on another processor.
 fn fe_policy_ablation() {
     println!("Full/empty trap policy ablation (consumer waits ~2000 cycles):");
-    println!("{:>24} {:>10} {:>10} {:>9} {:>8}", "policy", "cycles", "fe traps", "switches", "blocks");
+    println!(
+        "{:>24} {:>10} {:>10} {:>9} {:>8}",
+        "policy", "cycles", "fe traps", "switches", "blocks"
+    );
     let body = format!(
         "
         .entry main
@@ -127,7 +143,13 @@ fn fe_policy_ablation() {
         ("block after 3 spins", FePolicy::BlockAfterSpins(3)),
     ] {
         let m = IdealMachine::new(2, 2 * REGION as usize, prog.clone());
-        let mut rt = Runtime::new(m, RtConfig { fe_policy: policy, ..rt_cfg() });
+        let mut rt = Runtime::new(
+            m,
+            RtConfig {
+                fe_policy: policy,
+                ..rt_cfg()
+            },
+        );
         let r = rt.run().expect("completes");
         println!(
             "{:>24} {:>10} {:>10} {:>9} {:>8}",
@@ -142,7 +164,10 @@ fn fe_policy_ablation() {
 /// ~2^k/2^n of the root; smaller n = finer grain = worse eager ratio.
 fn grain_size_ablation(max_n: u32) {
     println!("Task grain vs future overhead (1 processor, normalized to sequential):");
-    println!("{:>6} {:>10} {:>12} {:>12} {:>8}", "fib(n)", "seq cyc", "eager", "lazy", "e/l");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>8}",
+        "fib(n)", "seq cyc", "eager", "lazy", "e/l"
+    );
     for n in [max_n - 4, max_n - 2, max_n] {
         let src = programs::fib(n);
         let cpu = CpuConfig::default();
@@ -153,7 +178,11 @@ fn grain_size_ablation(max_n: u32) {
         let l = lazy.cycles as f64 / seq.cycles as f64;
         println!(
             "{:>6} {:>10} {:>11.2}x {:>11.2}x {:>7.2}x",
-            n, seq.cycles, e, l, e / l
+            n,
+            seq.cycles,
+            e,
+            l,
+            e / l
         );
     }
     println!("(The overhead ratio is constant per-future, so the relative cost is");

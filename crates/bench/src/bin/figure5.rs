@@ -59,16 +59,28 @@ fn print_table4(p: &SystemParams) {
     println!("  Memory latency          {:>8.0} cycles", p.memory_latency);
     println!("  Network dimension n     {:>8.0}", p.dim);
     println!("  Network radix k         {:>8.0}", p.radix);
-    println!("  Fixed miss rate         {:>8.1} %", p.fixed_miss_rate * 100.0);
+    println!(
+        "  Fixed miss rate         {:>8.1} %",
+        p.fixed_miss_rate * 100.0
+    );
     println!("  Average packet size     {:>8.0}", p.packet_size);
     println!("  Cache block size        {:>8.0} bytes", p.block_bytes);
-    println!("  Thread working set size {:>8.0} blocks", p.working_set_blocks);
-    println!("  Cache size              {:>8.0} Kbytes", p.cache_bytes / 1024.0);
+    println!(
+        "  Thread working set size {:>8.0} blocks",
+        p.working_set_blocks
+    );
+    println!(
+        "  Cache size              {:>8.0} Kbytes",
+        p.cache_bytes / 1024.0
+    );
     println!();
     println!("Derived:");
     println!("  processors (k^n)        {:>8.0}", p.num_processors());
     println!("  average hops (nk/3)     {:>8.0}", p.avg_hops());
-    println!("  unloaded round trip     {:>8.0} cycles (paper: 55)", p.base_round_trip());
+    println!(
+        "  unloaded round trip     {:>8.0} cycles (paper: 55)",
+        p.base_round_trip()
+    );
     println!(
         "  latency tolerated by 4 frames, 50-100 cycle run lengths: {:.0}-{:.0} cycles",
         p.tolerated_latency(4.0, 50.0),

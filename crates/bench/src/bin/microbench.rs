@@ -13,9 +13,16 @@ use april_machine::IdealMachine;
 use april_runtime::{abi, RtConfig, Runtime};
 
 fn main() {
-    context_switch_cost(CpuConfig::default(), RtConfig::default(), "SPARC-based APRIL");
     context_switch_cost(
-        CpuConfig { trap_entry_cycles: 2, ..CpuConfig::default() },
+        CpuConfig::default(),
+        RtConfig::default(),
+        "SPARC-based APRIL",
+    );
+    context_switch_cost(
+        CpuConfig {
+            trap_entry_cycles: 2,
+            ..CpuConfig::default()
+        },
         RtConfig::default().custom_april(),
         "custom APRIL",
     );
@@ -68,7 +75,11 @@ fn context_switch_cost(cpu_cfg: CpuConfig, rt_cfg: RtConfig, label: &str) {
     let m = IdealMachine::with_cpu_config(2, 8 << 20, prog, cpu_cfg);
     let mut rt = Runtime::new(
         m,
-        RtConfig { region_bytes: 4 << 20, max_cycles: 10_000_000, ..rt_cfg },
+        RtConfig {
+            region_bytes: 4 << 20,
+            max_cycles: 10_000_000,
+            ..rt_cfg
+        },
     );
     let r = rt.run().expect("completes");
     let s = &r.per_cpu[0];
@@ -77,8 +88,7 @@ fn context_switch_cost(cpu_cfg: CpuConfig, rt_cfg: RtConfig, label: &str) {
     // and context-switch counters.
     let fe_switches = s.fe_traps;
     assert!(fe_switches > 5, "consumer must have spun ({fe_switches})");
-    let per_switch =
-        cpu_cfg.trap_entry_cycles + rt_cfg.switch_handler_cycles;
+    let per_switch = cpu_cfg.trap_entry_cycles + rt_cfg.switch_handler_cycles;
     println!(
         "{label}: context switch = {} + {} = {} cycles ({} switch-spins observed, \
          trap+handler cycles = {})",
@@ -123,7 +133,11 @@ fn touch_cost() {
     let m = IdealMachine::new(2, 8 << 20, prog);
     let mut rt = Runtime::new(
         m,
-        RtConfig { region_bytes: 4 << 20, max_cycles: 10_000_000, ..RtConfig::default() },
+        RtConfig {
+            region_bytes: 4 << 20,
+            max_cycles: 10_000_000,
+            ..RtConfig::default()
+        },
     );
     let r = rt.run().expect("completes");
     assert_eq!(r.value.as_fixnum(), Some(5));
@@ -165,7 +179,10 @@ fn handler_body_instruction_count() {
             _: april_core::isa::LoadFlavor,
             _: april_core::memport::AccessCtx,
         ) -> april_core::memport::LoadReply {
-            april_core::memport::LoadReply::Data { word: april_core::word::Word::ZERO, fe: true }
+            april_core::memport::LoadReply::Data {
+                word: april_core::word::Word::ZERO,
+                fe: true,
+            }
         }
         fn store(
             &mut self,

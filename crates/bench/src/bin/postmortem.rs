@@ -42,7 +42,11 @@ fn main() {
         );
         // Calibrate overheads to the runtime's eager-task costs in
         // work units (1 work unit ~ 10 cycles of compiled code).
-        let cfg = PmConfig { spawn_overhead: 10, touch_overhead: 2, block_overhead: 10 };
+        let cfg = PmConfig {
+            spawn_overhead: 10,
+            touch_overhead: 2,
+            block_overhead: 10,
+        };
         let pm1 = schedule(&trace, 1, cfg).makespan as f64;
         let ex1 = run_ideal(&src, &CompileOptions::april(), 1).cycles as f64;
         for &p in &procs {

@@ -27,16 +27,31 @@ struct Row {
 
 fn rows() -> Vec<Row> {
     vec![
-        Row { system: "Encore", opts: CompileOptions::encore(), seq_opts: CompileOptions::encore_seq() },
-        Row { system: "APRIL", opts: CompileOptions::april(), seq_opts: CompileOptions::april_seq() },
-        Row { system: "Apr-lazy", opts: CompileOptions::april_lazy(), seq_opts: CompileOptions::april_seq() },
+        Row {
+            system: "Encore",
+            opts: CompileOptions::encore(),
+            seq_opts: CompileOptions::encore_seq(),
+        },
+        Row {
+            system: "APRIL",
+            opts: CompileOptions::april(),
+            seq_opts: CompileOptions::april_seq(),
+        },
+        Row {
+            system: "Apr-lazy",
+            opts: CompileOptions::april_lazy(),
+            seq_opts: CompileOptions::april_seq(),
+        },
     ]
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (fib_n, factor_hi, queens_n, sp_layers, sp_width) =
-        if quick { (12, 200, 6, 6, 8) } else { (15, 1200, 8, 10, 16) };
+    let (fib_n, factor_hi, queens_n, sp_layers, sp_width) = if quick {
+        (12, 200, 6, 6, 8)
+    } else {
+        (15, 1200, 8, 10, 16)
+    };
 
     let benches: Vec<(&str, String)> = vec![
         ("fib", programs::fib(fib_n)),
@@ -71,10 +86,18 @@ fn main() {
             }
             for &p in &procs {
                 let r = run_ideal(src, &row.opts, p);
-                assert_eq!(r.value, tseq.value, "{name}/{}/{p} wrong answer", row.system);
+                assert_eq!(
+                    r.value, tseq.value,
+                    "{name}/{}/{p} wrong answer",
+                    row.system
+                );
                 cols.push(r.cycles as f64 / base);
             }
-            print!("{:8} {:9}", if row.system == "Encore" { name } else { "" }, row.system);
+            print!(
+                "{:8} {:9}",
+                if row.system == "Encore" { name } else { "" },
+                row.system
+            );
             for c in cols {
                 print!(" {:>7}", fmt_norm(c));
             }

@@ -34,11 +34,18 @@ fn latency_sweep(frames: usize, run_length: u32) {
     println!("Latency tolerance with {frames} task frames, run length ~{run_length}+7 cycles");
     println!("(paper, Sections 3 and 8: 4 frames tolerate 150-300 cycle latencies)");
     println!();
-    println!("{:>12} {:>10} {:>10} {:>11}", "mem latency", "avg T", "U(p=max)", "(p-1)(R+C)");
+    println!(
+        "{:>12} {:>10} {:>10} {:>11}",
+        "mem latency", "avg T", "U(p=max)", "(p-1)(R+C)"
+    );
     let budget = (frames as f64 - 1.0) * (run_length as f64 + 7.0 + 11.0);
     for mem in [10u64, 40, 80, 120, 180, 260, 400] {
         let (u, _m, t) = measure_lat(frames, frames, run_length, 60_000, mem);
-        let mark = if t <= budget { "within budget" } else { "beyond budget" };
+        let mark = if t <= budget {
+            "within budget"
+        } else {
+            "beyond budget"
+        };
         println!("{mem:>12} {t:>10.0} {u:>10.3}  {budget:>10.0} {mark}");
     }
     println!();
@@ -87,9 +94,15 @@ fn measure_lat(
     let cfg = MachineConfig {
         topology: Topology::new(2, 20),
         region_bytes: REGION,
-        cpu: CpuConfig { nframes: frames, ..CpuConfig::default() },
+        cpu: CpuConfig {
+            nframes: frames,
+            ..CpuConfig::default()
+        },
         mem_latency,
-        ctl: april_mem::controller::CtlConfig { local_mem_latency: mem_latency },
+        ctl: april_mem::controller::CtlConfig {
+            local_mem_latency: mem_latency,
+            ..april_mem::controller::CtlConfig::default()
+        },
         ..MachineConfig::default()
     };
     let n = cfg.num_nodes();

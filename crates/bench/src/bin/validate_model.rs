@@ -17,8 +17,7 @@ use april_model::net_model::{hop_wait, round_trip};
 use april_model::params::SystemParams;
 use april_net::network::{NetConfig, Network};
 use april_net::topology::Topology;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use april_util::Rng;
 
 fn main() {
     validate_cache();
@@ -28,7 +27,7 @@ fn main() {
 
 /// Steady-state miss rate of `p` threads time-sharing `cache_kb`, each
 /// with a 250-block scattered working set and a 2% cold-churn rate.
-fn measured_miss_rate(p: usize, cache_kb: u32, rng: &mut SmallRng) -> f64 {
+fn measured_miss_rate(p: usize, cache_kb: u32, rng: &mut Rng) -> f64 {
     let params = SystemParams::default();
     let mut cache = Cache::new(CacheConfig {
         size_bytes: cache_kb * 1024,
@@ -41,21 +40,21 @@ fn measured_miss_rate(p: usize, cache_kb: u32, rng: &mut SmallRng) -> f64 {
     let sets: Vec<Vec<u32>> = (0..p)
         .map(|_| {
             (0..params.working_set_blocks as usize)
-                .map(|_| rng.gen_range(0..0x40_0000u32) * block)
+                .map(|_| rng.gen_below(0x40_0000) as u32 * block)
                 .collect()
         })
         .collect();
     let mut cold_ptr: u32 = 0x4000_0000;
     let quantum = 100;
-    let mut pass = |cache: &mut Cache, rng: &mut SmallRng| {
+    let mut pass = |cache: &mut Cache, rng: &mut Rng| {
         for round in 0..2000 {
             let ws = &sets[round % p];
             for _ in 0..quantum {
-                let addr = if rng.gen::<f64>() < params.fixed_miss_rate {
+                let addr = if rng.gen_bool(params.fixed_miss_rate) {
                     cold_ptr += block;
                     cold_ptr
                 } else {
-                    ws[rng.gen_range(0..ws.len())]
+                    ws[rng.gen_index(ws.len())]
                 };
                 if !cache.access(addr, false) {
                     cache.fill(addr, LineState::Shared);
@@ -77,7 +76,7 @@ fn validate_cache() {
         "p", "sim 64KB", "model 64KB", "sim 16KB"
     );
     let params = SystemParams::default();
-    let mut rng = SmallRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from(42);
     let mut sim64 = Vec::new();
     for p in 1..=8 {
         let m64 = measured_miss_rate(p, 64, &mut rng);
@@ -108,13 +107,13 @@ fn validate_cache() {
 fn network_point(lambda: f64, cycles: u64) -> (f64, f64, f64) {
     let topo = Topology::new(3, 6); // 216 nodes: same model, tractable size
     let mut net: Network<u64> = Network::new(topo, NetConfig::default());
-    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from(7);
     let n = topo.num_nodes();
     let size = 4u64;
     for t in 0..cycles {
         for src in 0..n {
-            if rng.gen::<f64>() < lambda {
-                let dst = rng.gen_range(0..n);
+            if rng.gen_bool(lambda) {
+                let dst = rng.gen_index(n);
                 net.send(t, src, dst, size, t);
             }
         }
@@ -138,7 +137,10 @@ fn validate_network() {
         "lambda", "rho", "sim latency", "model latency"
     );
     // Model configured for the same small machine.
-    let params = SystemParams { radix: 6.0, ..SystemParams::default() };
+    let params = SystemParams {
+        radix: 6.0,
+        ..SystemParams::default()
+    };
     // One-way model latency: hops + packet + per-hop contention.
     for lambda in [0.005, 0.01, 0.02, 0.04, 0.08] {
         let (_, sim, rho) = network_point(lambda, 4000);

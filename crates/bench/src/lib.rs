@@ -33,7 +33,11 @@ pub fn run_ideal(src: &str, opts: &CompileOptions, procs: usize) -> RunResult {
     let m = IdealMachine::new(procs, procs * REGION as usize, prog);
     let mut rt = Runtime::new(
         m,
-        RtConfig { region_bytes: REGION, max_cycles: 20_000_000_000, ..RtConfig::default() },
+        RtConfig {
+            region_bytes: REGION,
+            max_cycles: 20_000_000_000,
+            ..RtConfig::default()
+        },
     );
     rt.run().expect("benchmark completes")
 }

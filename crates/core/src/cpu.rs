@@ -396,7 +396,11 @@ impl Cpu {
                     return self.raise(Trap::Alignment { addr });
                 }
                 self.stats.mem_ops += 1;
-                match mem.load(addr, crate::isa::LoadFlavor::NORMAL, AccessCtx { frame: self.fp }) {
+                match mem.load(
+                    addr,
+                    crate::isa::LoadFlavor::NORMAL,
+                    AccessCtx { frame: self.fp },
+                ) {
                     LoadReply::Data { word, .. } => self.set_freg(fd, word.0),
                     LoadReply::Stall { cycles } => {
                         self.stats.mem_ops -= 1;
@@ -404,10 +408,16 @@ impl Cpu {
                         return StepEvent::Stalled { cycles };
                     }
                     LoadReply::RemoteMiss => {
-                        return self.raise(Trap::RemoteMiss { addr, is_store: false });
+                        return self.raise(Trap::RemoteMiss {
+                            addr,
+                            is_store: false,
+                        });
                     }
                     LoadReply::FeViolation => {
-                        return self.raise(Trap::FullEmpty { addr, is_store: false });
+                        return self.raise(Trap::FullEmpty {
+                            addr,
+                            is_store: false,
+                        });
                     }
                 }
             }
@@ -422,7 +432,12 @@ impl Cpu {
                 }
                 let value = Word(self.get_freg(fs));
                 self.stats.mem_ops += 1;
-                match mem.store(addr, value, crate::isa::StoreFlavor::NORMAL, AccessCtx { frame: self.fp }) {
+                match mem.store(
+                    addr,
+                    value,
+                    crate::isa::StoreFlavor::NORMAL,
+                    AccessCtx { frame: self.fp },
+                ) {
                     StoreReply::Done { .. } => {}
                     StoreReply::Stall { cycles } => {
                         self.stats.mem_ops -= 1;
@@ -430,10 +445,16 @@ impl Cpu {
                         return StepEvent::Stalled { cycles };
                     }
                     StoreReply::RemoteMiss => {
-                        return self.raise(Trap::RemoteMiss { addr, is_store: true });
+                        return self.raise(Trap::RemoteMiss {
+                            addr,
+                            is_store: true,
+                        });
                     }
                     StoreReply::FeViolation => {
-                        return self.raise(Trap::FullEmpty { addr, is_store: true });
+                        return self.raise(Trap::FullEmpty {
+                            addr,
+                            is_store: true,
+                        });
                     }
                 }
             }
@@ -443,7 +464,13 @@ impl Cpu {
                 self.stats.useful_cycles += 1;
                 return StepEvent::Halted;
             }
-            Instr::Alu { op, s1, s2, d, tagged } => {
+            Instr::Alu {
+                op,
+                s1,
+                s2,
+                d,
+                tagged,
+            } => {
                 let a = self.get_reg(s1);
                 let b = match s2 {
                     Operand::Reg(r) => self.get_reg(r),
@@ -519,7 +546,12 @@ impl Cpu {
                 // delay slot, stored raw.
                 self.set_reg(d, Word(pc + 2));
             }
-            Instr::Load { flavor, a, offset, d } => {
+            Instr::Load {
+                flavor,
+                a,
+                offset,
+                d,
+            } => {
                 let base = self.get_reg(a);
                 if base.is_future() {
                     // Implicit touch: dereferencing a future pointer.
@@ -543,14 +575,25 @@ impl Cpu {
                         return StepEvent::Stalled { cycles };
                     }
                     LoadReply::RemoteMiss => {
-                        return self.raise(Trap::RemoteMiss { addr, is_store: false });
+                        return self.raise(Trap::RemoteMiss {
+                            addr,
+                            is_store: false,
+                        });
                     }
                     LoadReply::FeViolation => {
-                        return self.raise(Trap::FullEmpty { addr, is_store: false });
+                        return self.raise(Trap::FullEmpty {
+                            addr,
+                            is_store: false,
+                        });
                     }
                 }
             }
-            Instr::Store { flavor, a, offset, s } => {
+            Instr::Store {
+                flavor,
+                a,
+                offset,
+                s,
+            } => {
                 let base = self.get_reg(a);
                 if base.is_future() {
                     return self.raise(Trap::FutureAddr { reg: a });
@@ -573,10 +616,16 @@ impl Cpu {
                         return StepEvent::Stalled { cycles };
                     }
                     StoreReply::RemoteMiss => {
-                        return self.raise(Trap::RemoteMiss { addr, is_store: true });
+                        return self.raise(Trap::RemoteMiss {
+                            addr,
+                            is_store: true,
+                        });
                     }
                     StoreReply::FeViolation => {
-                        return self.raise(Trap::FullEmpty { addr, is_store: true });
+                        return self.raise(Trap::FullEmpty {
+                            addr,
+                            is_store: true,
+                        });
                     }
                 }
             }
@@ -689,17 +738,41 @@ impl Cpu {
 fn alu_add(a: u32, b: u32) -> (u32, CondCodes) {
     let (r, c) = a.overflowing_add(b);
     let v = ((a ^ r) & (b ^ r)) >> 31 != 0;
-    (r, CondCodes { n: r >> 31 != 0, z: r == 0, v, c })
+    (
+        r,
+        CondCodes {
+            n: r >> 31 != 0,
+            z: r == 0,
+            v,
+            c,
+        },
+    )
 }
 
 fn alu_sub(a: u32, b: u32) -> (u32, CondCodes) {
     let (r, borrow) = a.overflowing_sub(b);
     let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
-    (r, CondCodes { n: r >> 31 != 0, z: r == 0, v, c: borrow })
+    (
+        r,
+        CondCodes {
+            n: r >> 31 != 0,
+            z: r == 0,
+            v,
+            c: borrow,
+        },
+    )
 }
 
 fn logic_cc(r: u32) -> (u32, CondCodes) {
-    (r, CondCodes { n: r >> 31 != 0, z: r == 0, v: false, c: false })
+    (
+        r,
+        CondCodes {
+            n: r >> 31 != 0,
+            z: r == 0,
+            v: false,
+            c: false,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -716,7 +789,10 @@ mod tests {
 
     impl FlatMem {
         fn new(nwords: usize) -> FlatMem {
-            FlatMem { words: vec![Word::ZERO; nwords], fe: vec![true; nwords] }
+            FlatMem {
+                words: vec![Word::ZERO; nwords],
+                fe: vec![true; nwords],
+            }
         }
     }
 
@@ -730,9 +806,18 @@ mod tests {
             if flavor.reset_fe {
                 self.fe[i] = false;
             }
-            LoadReply::Data { word: self.words[i], fe }
+            LoadReply::Data {
+                word: self.words[i],
+                fe,
+            }
         }
-        fn store(&mut self, addr: u32, value: Word, flavor: StoreFlavor, _: AccessCtx) -> StoreReply {
+        fn store(
+            &mut self,
+            addr: u32,
+            value: Word,
+            flavor: StoreFlavor,
+            _: AccessCtx,
+        ) -> StoreReply {
             let i = (addr / 4) as usize;
             let fe = self.fe[i];
             if flavor.fe_trap && fe {
@@ -765,8 +850,20 @@ mod tests {
         b.emit(Instr::MovI { imm: 0, d: acc });
         b.emit(Instr::MovI { imm: 5, d: i });
         b.label("loop");
-        b.emit(Instr::Alu { op: AluOp::Add, s1: acc, s2: Operand::Reg(i), d: acc, tagged: false });
-        b.emit(Instr::Alu { op: AluOp::Sub, s1: i, s2: Operand::Imm(1), d: i, tagged: false });
+        b.emit(Instr::Alu {
+            op: AluOp::Add,
+            s1: acc,
+            s2: Operand::Reg(i),
+            d: acc,
+            tagged: false,
+        });
+        b.emit(Instr::Alu {
+            op: AluOp::Sub,
+            s1: i,
+            s2: Operand::Imm(1),
+            d: i,
+            tagged: false,
+        });
         b.branch_to(Cond::Ne, "loop");
         b.emit(Instr::Nop); // delay slot
         b.emit(Instr::Halt);
@@ -782,8 +879,14 @@ mod tests {
     fn delay_slot_executes_before_branch_target() {
         let mut b = ProgramBuilder::new();
         b.branch_to(Cond::Always, "out");
-        b.emit(Instr::MovI { imm: 7, d: Reg::L(1) }); // delay slot: must run
-        b.emit(Instr::MovI { imm: 9, d: Reg::L(1) }); // skipped
+        b.emit(Instr::MovI {
+            imm: 7,
+            d: Reg::L(1),
+        }); // delay slot: must run
+        b.emit(Instr::MovI {
+            imm: 9,
+            d: Reg::L(1),
+        }); // skipped
         b.label("out");
         b.emit(Instr::Halt);
         let prog = b.finish().unwrap();
@@ -798,13 +901,27 @@ mod tests {
     fn jmpl_links_past_delay_slot() {
         let mut b = ProgramBuilder::new();
         b.movi_label("sub", Reg::L(5));
-        b.emit(Instr::Jmpl { s1: Reg::L(5), s2: Operand::Imm(0), d: Reg::L(7) });
+        b.emit(Instr::Jmpl {
+            s1: Reg::L(5),
+            s2: Operand::Imm(0),
+            d: Reg::L(7),
+        });
         b.emit(Instr::Nop); // delay slot
-        b.emit(Instr::MovI { imm: 1, d: Reg::L(2) }); // return lands here
+        b.emit(Instr::MovI {
+            imm: 1,
+            d: Reg::L(2),
+        }); // return lands here
         b.emit(Instr::Halt);
         b.label("sub");
-        b.emit(Instr::MovI { imm: 2, d: Reg::L(3) });
-        b.emit(Instr::Jmpl { s1: Reg::L(7), s2: Operand::Imm(0), d: Reg::ZERO });
+        b.emit(Instr::MovI {
+            imm: 2,
+            d: Reg::L(3),
+        });
+        b.emit(Instr::Jmpl {
+            s1: Reg::L(7),
+            s2: Operand::Imm(0),
+            d: Reg::ZERO,
+        });
         b.emit(Instr::Nop);
         let prog = b.finish().unwrap();
         let mut cpu = Cpu::default();
@@ -819,7 +936,10 @@ mod tests {
     fn tagged_op_traps_on_future_operand() {
         let mut b = ProgramBuilder::new();
         // r1 holds a future pointer; tagged add must trap.
-        b.emit(Instr::MovI { imm: Word::future_ptr(0x100).0, d: Reg::L(1) });
+        b.emit(Instr::MovI {
+            imm: Word::future_ptr(0x100).0,
+            d: Reg::L(1),
+        });
         b.emit(Instr::Alu {
             op: AluOp::Add,
             s1: Reg::L(1),
@@ -844,7 +964,10 @@ mod tests {
     #[test]
     fn untagged_op_ignores_future_tag() {
         let mut b = ProgramBuilder::new();
-        b.emit(Instr::MovI { imm: Word::future_ptr(0x100).0, d: Reg::L(1) });
+        b.emit(Instr::MovI {
+            imm: Word::future_ptr(0x100).0,
+            d: Reg::L(1),
+        });
         // Untagged ops are how the runtime manipulates tags.
         b.emit(Instr::Alu {
             op: AluOp::And,
@@ -865,8 +988,16 @@ mod tests {
     #[test]
     fn load_through_future_pointer_traps() {
         let mut b = ProgramBuilder::new();
-        b.emit(Instr::MovI { imm: Word::future_ptr(0x20).0, d: Reg::L(1) });
-        b.emit(Instr::Load { flavor: LoadFlavor::NORMAL, a: Reg::L(1), offset: 0, d: Reg::L(2) });
+        b.emit(Instr::MovI {
+            imm: Word::future_ptr(0x20).0,
+            d: Reg::L(1),
+        });
+        b.emit(Instr::Load {
+            flavor: LoadFlavor::NORMAL,
+            a: Reg::L(1),
+            offset: 0,
+            d: Reg::L(2),
+        });
         b.emit(Instr::Halt);
         let prog = b.finish().unwrap();
         let mut cpu = Cpu::default();
@@ -882,7 +1013,10 @@ mod tests {
     #[test]
     fn fe_trap_load_on_empty_location() {
         let mut b = ProgramBuilder::new();
-        b.emit(Instr::MovI { imm: 0x10, d: Reg::L(1) });
+        b.emit(Instr::MovI {
+            imm: 0x10,
+            d: Reg::L(1),
+        });
         b.emit(Instr::Load {
             flavor: LoadFlavor::from_mnemonic("ldtw").unwrap(),
             a: Reg::L(1),
@@ -898,7 +1032,10 @@ mod tests {
         cpu.step(&prog, &mut mem);
         assert_eq!(
             cpu.step(&prog, &mut mem),
-            StepEvent::Trapped(Trap::FullEmpty { addr: 0x10, is_store: false })
+            StepEvent::Trapped(Trap::FullEmpty {
+                addr: 0x10,
+                is_store: false
+            })
         );
         assert_eq!(cpu.stats.fe_traps, 1);
     }
@@ -906,7 +1043,10 @@ mod tests {
     #[test]
     fn nontrapping_load_sets_fe_condition_for_jempty() {
         let mut b = ProgramBuilder::new();
-        b.emit(Instr::MovI { imm: 0x10, d: Reg::L(1) });
+        b.emit(Instr::MovI {
+            imm: 0x10,
+            d: Reg::L(1),
+        });
         b.emit(Instr::Load {
             flavor: LoadFlavor::from_mnemonic("ldnw").unwrap(),
             a: Reg::L(1),
@@ -915,10 +1055,16 @@ mod tests {
         });
         b.branch_to(Cond::Empty, "was_empty");
         b.emit(Instr::Nop);
-        b.emit(Instr::MovI { imm: 111, d: Reg::L(3) });
+        b.emit(Instr::MovI {
+            imm: 111,
+            d: Reg::L(3),
+        });
         b.emit(Instr::Halt);
         b.label("was_empty");
-        b.emit(Instr::MovI { imm: 222, d: Reg::L(3) });
+        b.emit(Instr::MovI {
+            imm: 222,
+            d: Reg::L(3),
+        });
         b.emit(Instr::Halt);
         let prog = b.finish().unwrap();
 
@@ -941,14 +1087,25 @@ mod tests {
     #[test]
     fn misaligned_access_traps() {
         let mut b = ProgramBuilder::new();
-        b.emit(Instr::MovI { imm: 0x12, d: Reg::L(1) });
-        b.emit(Instr::Load { flavor: LoadFlavor::NORMAL, a: Reg::L(1), offset: 0, d: Reg::L(2) });
+        b.emit(Instr::MovI {
+            imm: 0x12,
+            d: Reg::L(1),
+        });
+        b.emit(Instr::Load {
+            flavor: LoadFlavor::NORMAL,
+            a: Reg::L(1),
+            offset: 0,
+            d: Reg::L(2),
+        });
         let prog = b.finish().unwrap();
         let mut cpu = Cpu::default();
         cpu.boot(0);
         let mut mem = FlatMem::new(64);
         cpu.step(&prog, &mut mem);
-        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Trapped(Trap::Alignment { addr: 0x12 }));
+        assert_eq!(
+            cpu.step(&prog, &mut mem),
+            StepEvent::Trapped(Trap::Alignment { addr: 0x12 })
+        );
     }
 
     #[test]
@@ -990,14 +1147,23 @@ mod tests {
     fn psr_roundtrip_through_registers() {
         let mut b = ProgramBuilder::new();
         // Set Z by computing 0, read PSR, write it back.
-        b.emit(Instr::Alu { op: AluOp::Sub, s1: Reg::ZERO, s2: Operand::Imm(0), d: Reg::L(1), tagged: false });
+        b.emit(Instr::Alu {
+            op: AluOp::Sub,
+            s1: Reg::ZERO,
+            s2: Operand::Imm(0),
+            d: Reg::L(1),
+            tagged: false,
+        });
         b.emit(Instr::RdPsr { d: Reg::L(2) });
         b.emit(Instr::WrPsr { s: Reg::L(2) });
         b.branch_to(Cond::Eq, "z");
         b.emit(Instr::Nop);
         b.emit(Instr::Halt);
         b.label("z");
-        b.emit(Instr::MovI { imm: 42, d: Reg::L(3) });
+        b.emit(Instr::MovI {
+            imm: 42,
+            d: Reg::L(3),
+        });
         b.emit(Instr::Halt);
         let prog = b.finish().unwrap();
         let mut cpu = Cpu::default();
@@ -1044,7 +1210,13 @@ mod tests {
     #[test]
     fn div_by_zero_traps() {
         let mut b = ProgramBuilder::new();
-        b.emit(Instr::Alu { op: AluOp::Div, s1: Reg::ZERO, s2: Operand::Imm(0), d: Reg::L(1), tagged: false });
+        b.emit(Instr::Alu {
+            op: AluOp::Div,
+            s1: Reg::ZERO,
+            s2: Operand::Imm(0),
+            d: Reg::L(1),
+            tagged: false,
+        });
         let prog = b.finish().unwrap();
         let mut cpu = Cpu::default();
         cpu.boot(0);
@@ -1055,9 +1227,21 @@ mod tests {
     #[test]
     fn tagged_mul_is_fixnum_mul() {
         let mut b = ProgramBuilder::new();
-        b.emit(Instr::MovI { imm: Word::fixnum(6).0, d: Reg::L(1) });
-        b.emit(Instr::MovI { imm: Word::fixnum(7).0, d: Reg::L(2) });
-        b.emit(Instr::Alu { op: AluOp::Mul, s1: Reg::L(1), s2: Operand::Reg(Reg::L(2)), d: Reg::L(3), tagged: true });
+        b.emit(Instr::MovI {
+            imm: Word::fixnum(6).0,
+            d: Reg::L(1),
+        });
+        b.emit(Instr::MovI {
+            imm: Word::fixnum(7).0,
+            d: Reg::L(2),
+        });
+        b.emit(Instr::Alu {
+            op: AluOp::Mul,
+            s1: Reg::L(1),
+            s2: Operand::Reg(Reg::L(2)),
+            d: Reg::L(3),
+            tagged: true,
+        });
         b.emit(Instr::Halt);
         let prog = b.finish().unwrap();
         let mut cpu = Cpu::default();
@@ -1077,7 +1261,10 @@ mod tests {
         cpu.boot(0);
         let mut mem = FlatMem::new(4);
         cpu.post_interrupt(3);
-        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Trapped(Trap::Interrupt { from: 3 }));
+        assert_eq!(
+            cpu.step(&prog, &mut mem),
+            StepEvent::Trapped(Trap::Interrupt { from: 3 })
+        );
         // Handler context: in_trap masks further IRQs.
         cpu.post_interrupt(4);
         assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Executed);
@@ -1087,7 +1274,13 @@ mod tests {
     fn stats_account_useful_cycles() {
         let mut b = ProgramBuilder::new();
         b.emit(Instr::Nop);
-        b.emit(Instr::Alu { op: AluOp::Mul, s1: Reg::ZERO, s2: Operand::Imm(0), d: Reg::L(1), tagged: false });
+        b.emit(Instr::Alu {
+            op: AluOp::Mul,
+            s1: Reg::ZERO,
+            s2: Operand::Imm(0),
+            d: Reg::L(1),
+            tagged: false,
+        });
         b.emit(Instr::Halt);
         let prog = b.finish().unwrap();
         let mut cpu = Cpu::default();

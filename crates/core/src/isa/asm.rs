@@ -49,7 +49,10 @@ impl std::error::Error for AsmError {}
 
 impl From<BuildError> for AsmError {
     fn from(e: BuildError) -> AsmError {
-        AsmError { line: 0, msg: e.to_string() }
+        AsmError {
+            line: 0,
+            msg: e.to_string(),
+        }
     }
 }
 
@@ -95,7 +98,10 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
         while let Some(colon) = rest.find(':') {
             let (name, after) = rest.split_at(colon);
             let name = name.trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
             {
                 break;
             }
@@ -167,16 +173,24 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 b.emit(Instr::Fence);
             }
             "rdfp" => {
-                b.emit(Instr::RdFp { d: parse_reg(one(&argv).map_err(err)?).map_err(err)? });
+                b.emit(Instr::RdFp {
+                    d: parse_reg(one(&argv).map_err(err)?).map_err(err)?,
+                });
             }
             "stfp" => {
-                b.emit(Instr::StFp { s: parse_reg(one(&argv).map_err(err)?).map_err(err)? });
+                b.emit(Instr::StFp {
+                    s: parse_reg(one(&argv).map_err(err)?).map_err(err)?,
+                });
             }
             "rdpsr" => {
-                b.emit(Instr::RdPsr { d: parse_reg(one(&argv).map_err(err)?).map_err(err)? });
+                b.emit(Instr::RdPsr {
+                    d: parse_reg(one(&argv).map_err(err)?).map_err(err)?,
+                });
             }
             "wrpsr" => {
-                b.emit(Instr::WrPsr { s: parse_reg(one(&argv).map_err(err)?).map_err(err)? });
+                b.emit(Instr::WrPsr {
+                    s: parse_reg(one(&argv).map_err(err)?).map_err(err)?,
+                });
             }
             "rtcall" => {
                 let n = parse_num(one(&argv).map_err(err)?)
@@ -278,7 +292,11 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 }
                 let (s1, off) = parse_addr(argv[0]).map_err(err)?;
                 let d = parse_reg(argv[1]).map_err(err)?;
-                b.emit(Instr::Jmpl { s1, s2: Operand::Imm(off), d });
+                b.emit(Instr::Jmpl {
+                    s1,
+                    s2: Operand::Imm(off),
+                    d,
+                });
             }
             "flush" => {
                 let (a, offset) = parse_addr(one(&argv).map_err(err)?).map_err(err)?;
@@ -289,14 +307,20 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                     return Err(err("ldio takes `ioreg, reg`".into()));
                 }
                 let reg = parse_num(argv[0]).ok_or_else(|| err("bad io register".into()))? as u16;
-                b.emit(Instr::Ldio { reg, d: parse_reg(argv[1]).map_err(err)? });
+                b.emit(Instr::Ldio {
+                    reg,
+                    d: parse_reg(argv[1]).map_err(err)?,
+                });
             }
             "stio" => {
                 if argv.len() != 2 {
                     return Err(err("stio takes `reg, ioreg`".into()));
                 }
                 let reg = parse_num(argv[1]).ok_or_else(|| err("bad io register".into()))? as u16;
-                b.emit(Instr::Stio { reg, s: parse_reg(argv[0]).map_err(err)? });
+                b.emit(Instr::Stio {
+                    reg,
+                    s: parse_reg(argv[0]).map_err(err)?,
+                });
             }
             m if parse_branch(m).is_some() => {
                 let cond = parse_branch(m).expect("checked");
@@ -314,7 +338,12 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 }
                 let (a, offset) = parse_addr(argv[0]).map_err(err)?;
                 let d = parse_reg(argv[1]).map_err(err)?;
-                b.emit(Instr::Load { flavor, a, offset, d });
+                b.emit(Instr::Load {
+                    flavor,
+                    a,
+                    offset,
+                    d,
+                });
             }
             m if StoreFlavor::from_mnemonic(m).is_some() || m == "st" => {
                 let flavor = StoreFlavor::from_mnemonic(m).unwrap_or(StoreFlavor::NORMAL);
@@ -323,7 +352,12 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 }
                 let s = parse_reg(argv[0]).map_err(err)?;
                 let (a, offset) = parse_addr(argv[1]).map_err(err)?;
-                b.emit(Instr::Store { flavor, a, offset, s });
+                b.emit(Instr::Store {
+                    flavor,
+                    a,
+                    offset,
+                    s,
+                });
             }
             m if parse_alu(m).is_some() => {
                 let (op, tagged) = parse_alu(m).expect("checked");
@@ -333,7 +367,13 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 let s1 = parse_reg(argv[0]).map_err(err)?;
                 let s2 = parse_operand(argv[1]).map_err(err)?;
                 let d = parse_reg(argv[2]).map_err(err)?;
-                b.emit(Instr::Alu { op, s1, s2, d, tagged });
+                b.emit(Instr::Alu {
+                    op,
+                    s1,
+                    s2,
+                    d,
+                    tagged,
+                });
             }
             other => return Err(err(format!("unknown mnemonic `{other}`"))),
         }
@@ -462,7 +502,13 @@ mod tests {
         .unwrap();
         assert_eq!(p.entry, 0);
         assert_eq!(p.label("loop"), Some(2));
-        assert_eq!(p.instrs[4], Instr::Branch { cond: Cond::Ne, offset: -2 });
+        assert_eq!(
+            p.instrs[4],
+            Instr::Branch {
+                cond: Cond::Ne,
+                offset: -2
+            }
+        );
     }
 
     #[test]
@@ -470,14 +516,27 @@ mod tests {
         for f in LoadFlavor::ALL {
             let src = format!("{} r1+4, r2", f.mnemonic());
             let p = assemble(&src).unwrap();
-            assert_eq!(p.instrs[0], Instr::Load { flavor: f, a: Reg::L(1), offset: 4, d: Reg::L(2) });
+            assert_eq!(
+                p.instrs[0],
+                Instr::Load {
+                    flavor: f,
+                    a: Reg::L(1),
+                    offset: 4,
+                    d: Reg::L(2)
+                }
+            );
         }
         for f in StoreFlavor::ALL {
             let src = format!("{} r2, r1-6", f.mnemonic());
             let p = assemble(&src).unwrap();
             assert_eq!(
                 p.instrs[0],
-                Instr::Store { flavor: f, a: Reg::L(1), offset: -6, s: Reg::L(2) }
+                Instr::Store {
+                    flavor: f,
+                    a: Reg::L(1),
+                    offset: -6,
+                    s: Reg::L(2)
+                }
             );
         }
     }
@@ -508,7 +567,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.len(), 5); // movi + jmpl + nop + halt + nop
-        assert_eq!(p.instrs[0], Instr::MovI { imm: 4, d: Reg::G(7) });
+        assert_eq!(
+            p.instrs[0],
+            Instr::MovI {
+                imm: 4,
+                d: Reg::G(7)
+            }
+        );
     }
 
     #[test]
@@ -554,8 +619,20 @@ mod tests {
             ",
         )
         .unwrap();
-        assert_eq!(p.instrs[1], Instr::Branch { cond: Cond::Empty, offset: -1 });
-        assert_eq!(p.instrs[3], Instr::Branch { cond: Cond::Full, offset: -3 });
+        assert_eq!(
+            p.instrs[1],
+            Instr::Branch {
+                cond: Cond::Empty,
+                offset: -1
+            }
+        );
+        assert_eq!(
+            p.instrs[3],
+            Instr::Branch {
+                cond: Cond::Full,
+                offset: -3
+            }
+        );
     }
 
     #[test]

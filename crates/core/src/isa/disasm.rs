@@ -18,8 +18,22 @@ impl fmt::Display for Instr {
             Instr::FixToF { s, fd } => write!(f, "fix2f {s}, f{fd}"),
             Instr::FToFix { fs, d } => write!(f, "f2fix f{fs}, {d}"),
             Instr::Halt => write!(f, "halt"),
-            Instr::Alu { op, s1, s2, d, tagged } => {
-                write!(f, "{}{} {}, {}, {}", if tagged { "t" } else { "" }, op, s1, s2, d)
+            Instr::Alu {
+                op,
+                s1,
+                s2,
+                d,
+                tagged,
+            } => {
+                write!(
+                    f,
+                    "{}{} {}, {}, {}",
+                    if tagged { "t" } else { "" },
+                    op,
+                    s1,
+                    s2,
+                    d
+                )
             }
             Instr::MovI { imm, d } => write!(f, "movi {:#x}, {}", imm, d),
             Instr::Branch { cond, offset } => match cond {
@@ -27,10 +41,20 @@ impl fmt::Display for Instr {
                 c => write!(f, "{c} {offset:+}"),
             },
             Instr::Jmpl { s1, s2, d } => write!(f, "jmpl {s1}+{s2}, {d}"),
-            Instr::Load { flavor, a, offset, d } => {
+            Instr::Load {
+                flavor,
+                a,
+                offset,
+                d,
+            } => {
                 write!(f, "{} {}{:+}, {}", flavor.mnemonic(), a, offset, d)
             }
-            Instr::Store { flavor, a, offset, s } => {
+            Instr::Store {
+                flavor,
+                a,
+                offset,
+                s,
+            } => {
                 write!(f, "{} {}, {}{:+}", flavor.mnemonic(), s, a, offset)
             }
             Instr::IncFp => write!(f, "incfp"),
@@ -82,7 +106,12 @@ mod tests {
             tagged: true,
         };
         assert_eq!(i.to_string(), "tadd r1, -3, g2");
-        let l = Instr::Load { flavor: LoadFlavor::NORMAL, a: Reg::L(4), offset: 8, d: Reg::L(5) };
+        let l = Instr::Load {
+            flavor: LoadFlavor::NORMAL,
+            a: Reg::L(4),
+            offset: 8,
+            d: Reg::L(5),
+        };
         assert_eq!(l.to_string(), "ldnt r4+8, r5");
         let s = Instr::Store {
             flavor: StoreFlavor::from_mnemonic("stftt").unwrap(),
@@ -91,7 +120,14 @@ mod tests {
             s: Reg::L(5),
         };
         assert_eq!(s.to_string(), "stftt r5, r4-6");
-        assert_eq!(Instr::Branch { cond: Cond::Empty, offset: -2 }.to_string(), "jempty -2");
+        assert_eq!(
+            Instr::Branch {
+                cond: Cond::Empty,
+                offset: -2
+            }
+            .to_string(),
+            "jempty -2"
+        );
     }
 
     #[test]

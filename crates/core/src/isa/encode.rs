@@ -124,11 +124,17 @@ fn cond_index(c: Cond) -> u32 {
 }
 
 fn load_flavor_index(f: LoadFlavor) -> u32 {
-    LoadFlavor::ALL.iter().position(|&o| o == f).expect("flavor in ALL") as u32
+    LoadFlavor::ALL
+        .iter()
+        .position(|&o| o == f)
+        .expect("flavor in ALL") as u32
 }
 
 fn store_flavor_index(f: StoreFlavor) -> u32 {
-    StoreFlavor::ALL.iter().position(|&o| o == f).expect("flavor in ALL") as u32
+    StoreFlavor::ALL
+        .iter()
+        .position(|&o| o == f)
+        .expect("flavor in ALL") as u32
 }
 
 fn field(v: u32, lo: u32, bits: u32) -> u32 {
@@ -149,7 +155,13 @@ pub fn encode(i: Instr, out: &mut Vec<u32>) -> Result<(), EncodeError> {
     match i {
         Instr::Nop => out.push(OP_NOP << 26),
         Instr::Halt => out.push(OP_HALT << 26),
-        Instr::Alu { op, s1, s2, d, tagged } => {
+        Instr::Alu {
+            op,
+            s1,
+            s2,
+            d,
+            tagged,
+        } => {
             let opc = if tagged { OP_TALU_BASE } else { OP_ALU_BASE } + alu_index(op);
             let mut w = opc << 26 | enc_reg(d)? << 20 | enc_reg(s1)? << 14;
             match s2 {
@@ -186,7 +198,12 @@ pub fn encode(i: Instr, out: &mut Vec<u32>) -> Result<(), EncodeError> {
             }
             out.push(w);
         }
-        Instr::Load { flavor, a, offset, d } => {
+        Instr::Load {
+            flavor,
+            a,
+            offset,
+            d,
+        } => {
             if !(-(1 << 10)..(1 << 10)).contains(&offset) {
                 return Err(EncodeError::OffsetOutOfRange(offset));
             }
@@ -198,7 +215,12 @@ pub fn encode(i: Instr, out: &mut Vec<u32>) -> Result<(), EncodeError> {
                     | (offset as u32 & 0x7ff),
             );
         }
-        Instr::Store { flavor, a, offset, s } => {
+        Instr::Store {
+            flavor,
+            a,
+            offset,
+            s,
+        } => {
             if !(-(1 << 10)..(1 << 10)).contains(&offset) {
                 return Err(EncodeError::OffsetOutOfRange(offset));
             }
@@ -228,10 +250,7 @@ pub fn encode(i: Instr, out: &mut Vec<u32>) -> Result<(), EncodeError> {
                 return Err(EncodeError::OffsetOutOfRange(offset));
             }
             out.push(
-                OP_LDF << 26
-                    | (fd as u32 & 7) << 20
-                    | enc_reg(a)? << 14
-                    | (offset as u32 & 0x7ff),
+                OP_LDF << 26 | (fd as u32 & 7) << 20 | enc_reg(a)? << 14 | (offset as u32 & 0x7ff),
             );
         }
         Instr::StF { fs, a, offset } => {
@@ -239,10 +258,7 @@ pub fn encode(i: Instr, out: &mut Vec<u32>) -> Result<(), EncodeError> {
                 return Err(EncodeError::OffsetOutOfRange(offset));
             }
             out.push(
-                OP_STF << 26
-                    | (fs as u32 & 7) << 20
-                    | enc_reg(a)? << 14
-                    | (offset as u32 & 0x7ff),
+                OP_STF << 26 | (fs as u32 & 7) << 20 | enc_reg(a)? << 14 | (offset as u32 & 0x7ff),
             );
         }
         Instr::FMovI { bits, fd } => {
@@ -300,7 +316,13 @@ pub fn decode(words: &[u32], at: usize) -> Result<(Instr, usize), DecodeError> {
             } else {
                 Operand::Imm(sext(field(w, 0, 13), 13))
             };
-            Instr::Alu { op: alu, s1, s2, d, tagged }
+            Instr::Alu {
+                op: alu,
+                s1,
+                s2,
+                d,
+                tagged,
+            }
         }
         OP_MOVI => {
             let d = dec_reg(field(w, 20, 6))?;
@@ -308,8 +330,13 @@ pub fn decode(words: &[u32], at: usize) -> Result<(Instr, usize), DecodeError> {
             return Ok((Instr::MovI { imm, d }, 2));
         }
         OP_BRANCH => {
-            let cond = *Cond::ALL.get(field(w, 22, 4) as usize).ok_or(DecodeError::BadField)?;
-            Instr::Branch { cond, offset: sext(field(w, 0, 22), 22) }
+            let cond = *Cond::ALL
+                .get(field(w, 22, 4) as usize)
+                .ok_or(DecodeError::BadField)?;
+            Instr::Branch {
+                cond,
+                offset: sext(field(w, 0, 22), 22),
+            }
         }
         OP_JMPL => {
             let d = dec_reg(field(w, 20, 6))?;
@@ -334,12 +361,17 @@ pub fn decode(words: &[u32], at: usize) -> Result<(Instr, usize), DecodeError> {
             s: dec_reg(field(w, 20, 6))?,
         },
         OP_FALU => Instr::Falu {
-            op: *FpOp::ALL.get(field(w, 9, 5) as usize).ok_or(DecodeError::BadField)?,
+            op: *FpOp::ALL
+                .get(field(w, 9, 5) as usize)
+                .ok_or(DecodeError::BadField)?,
             fs1: field(w, 14, 3) as u8,
             fs2: field(w, 0, 3) as u8,
             fd: field(w, 20, 3) as u8,
         },
-        OP_FCMP => Instr::Fcmp { fs1: field(w, 14, 3) as u8, fs2: field(w, 0, 3) as u8 },
+        OP_FCMP => Instr::Fcmp {
+            fs1: field(w, 14, 3) as u8,
+            fs2: field(w, 0, 3) as u8,
+        },
         OP_LDF => Instr::LdF {
             a: dec_reg(field(w, 14, 6))?,
             offset: sext(field(w, 0, 11), 11),
@@ -355,22 +387,44 @@ pub fn decode(words: &[u32], at: usize) -> Result<(Instr, usize), DecodeError> {
             let bits = *words.get(at + 1).ok_or(DecodeError::Truncated)?;
             return Ok((Instr::FMovI { bits, fd }, 2));
         }
-        OP_FIX2F => Instr::FixToF { s: dec_reg(field(w, 14, 6))?, fd: field(w, 20, 3) as u8 },
-        OP_F2FIX => Instr::FToFix { fs: field(w, 14, 3) as u8, d: dec_reg(field(w, 20, 6))? },
+        OP_FIX2F => Instr::FixToF {
+            s: dec_reg(field(w, 14, 6))?,
+            fd: field(w, 20, 3) as u8,
+        },
+        OP_F2FIX => Instr::FToFix {
+            fs: field(w, 14, 3) as u8,
+            d: dec_reg(field(w, 20, 6))?,
+        },
         OP_INCFP => Instr::IncFp,
         OP_DECFP => Instr::DecFp,
-        OP_RDFP => Instr::RdFp { d: dec_reg(field(w, 20, 6))? },
-        OP_STFP => Instr::StFp { s: dec_reg(field(w, 20, 6))? },
-        OP_RDPSR => Instr::RdPsr { d: dec_reg(field(w, 20, 6))? },
-        OP_WRPSR => Instr::WrPsr { s: dec_reg(field(w, 20, 6))? },
-        OP_RTCALL => Instr::RtCall { n: (w & 0xffff) as u16 },
+        OP_RDFP => Instr::RdFp {
+            d: dec_reg(field(w, 20, 6))?,
+        },
+        OP_STFP => Instr::StFp {
+            s: dec_reg(field(w, 20, 6))?,
+        },
+        OP_RDPSR => Instr::RdPsr {
+            d: dec_reg(field(w, 20, 6))?,
+        },
+        OP_WRPSR => Instr::WrPsr {
+            s: dec_reg(field(w, 20, 6))?,
+        },
+        OP_RTCALL => Instr::RtCall {
+            n: (w & 0xffff) as u16,
+        },
         OP_FLUSH => Instr::Flush {
             a: dec_reg(field(w, 14, 6))?,
             offset: sext(field(w, 0, 11), 11),
         },
         OP_FENCE => Instr::Fence,
-        OP_LDIO => Instr::Ldio { reg: (w & 0xffff) as u16, d: dec_reg(field(w, 20, 6))? },
-        OP_STIO => Instr::Stio { reg: (w & 0xffff) as u16, s: dec_reg(field(w, 20, 6))? },
+        OP_LDIO => Instr::Ldio {
+            reg: (w & 0xffff) as u16,
+            d: dec_reg(field(w, 20, 6))?,
+        },
+        OP_STIO => Instr::Stio {
+            reg: (w & 0xffff) as u16,
+            s: dec_reg(field(w, 20, 6))?,
+        },
         other => return Err(DecodeError::BadOpcode(other)),
     };
     Ok((i, 1))

@@ -315,14 +315,46 @@ impl LoadFlavor {
     /// All 8 flavors in Table 2 order (ldtt, ldett, ldnt, ldent, ldnw,
     /// ldenw, ldtw, ldetw).
     pub const ALL: [LoadFlavor; 8] = [
-        LoadFlavor { reset_fe: false, fe_trap: true, miss_wait: false }, // ldtt
-        LoadFlavor { reset_fe: true, fe_trap: true, miss_wait: false },  // ldett
-        LoadFlavor { reset_fe: false, fe_trap: false, miss_wait: false }, // ldnt
-        LoadFlavor { reset_fe: true, fe_trap: false, miss_wait: false }, // ldent
-        LoadFlavor { reset_fe: false, fe_trap: false, miss_wait: true }, // ldnw
-        LoadFlavor { reset_fe: true, fe_trap: false, miss_wait: true },  // ldenw
-        LoadFlavor { reset_fe: false, fe_trap: true, miss_wait: true },  // ldtw
-        LoadFlavor { reset_fe: true, fe_trap: true, miss_wait: true },   // ldetw
+        LoadFlavor {
+            reset_fe: false,
+            fe_trap: true,
+            miss_wait: false,
+        }, // ldtt
+        LoadFlavor {
+            reset_fe: true,
+            fe_trap: true,
+            miss_wait: false,
+        }, // ldett
+        LoadFlavor {
+            reset_fe: false,
+            fe_trap: false,
+            miss_wait: false,
+        }, // ldnt
+        LoadFlavor {
+            reset_fe: true,
+            fe_trap: false,
+            miss_wait: false,
+        }, // ldent
+        LoadFlavor {
+            reset_fe: false,
+            fe_trap: false,
+            miss_wait: true,
+        }, // ldnw
+        LoadFlavor {
+            reset_fe: true,
+            fe_trap: false,
+            miss_wait: true,
+        }, // ldenw
+        LoadFlavor {
+            reset_fe: false,
+            fe_trap: true,
+            miss_wait: true,
+        }, // ldtw
+        LoadFlavor {
+            reset_fe: true,
+            fe_trap: true,
+            miss_wait: true,
+        }, // ldetw
     ];
 
     /// The paper's mnemonic for this flavor (`ld[e]{t|n}{t|w}`).
@@ -370,14 +402,46 @@ impl StoreFlavor {
 
     /// All 8 store flavors, mirroring Table 2.
     pub const ALL: [StoreFlavor; 8] = [
-        StoreFlavor { set_fe: false, fe_trap: true, miss_wait: false }, // sttt
-        StoreFlavor { set_fe: true, fe_trap: true, miss_wait: false },  // stftt
-        StoreFlavor { set_fe: false, fe_trap: false, miss_wait: false }, // stnt
-        StoreFlavor { set_fe: true, fe_trap: false, miss_wait: false }, // stfnt
-        StoreFlavor { set_fe: false, fe_trap: false, miss_wait: true }, // stnw
-        StoreFlavor { set_fe: true, fe_trap: false, miss_wait: true },  // stfnw
-        StoreFlavor { set_fe: false, fe_trap: true, miss_wait: true },  // sttw
-        StoreFlavor { set_fe: true, fe_trap: true, miss_wait: true },   // stftw
+        StoreFlavor {
+            set_fe: false,
+            fe_trap: true,
+            miss_wait: false,
+        }, // sttt
+        StoreFlavor {
+            set_fe: true,
+            fe_trap: true,
+            miss_wait: false,
+        }, // stftt
+        StoreFlavor {
+            set_fe: false,
+            fe_trap: false,
+            miss_wait: false,
+        }, // stnt
+        StoreFlavor {
+            set_fe: true,
+            fe_trap: false,
+            miss_wait: false,
+        }, // stfnt
+        StoreFlavor {
+            set_fe: false,
+            fe_trap: false,
+            miss_wait: true,
+        }, // stnw
+        StoreFlavor {
+            set_fe: true,
+            fe_trap: false,
+            miss_wait: true,
+        }, // stfnw
+        StoreFlavor {
+            set_fe: false,
+            fe_trap: true,
+            miss_wait: true,
+        }, // sttw
+        StoreFlavor {
+            set_fe: true,
+            fe_trap: true,
+            miss_wait: true,
+        }, // stftw
     ];
 
     /// Mnemonic: `st[f]{t|n}{t|w}` where `f` marks "set full".
@@ -672,9 +736,17 @@ mod tests {
 
     #[test]
     fn control_transfer_classification() {
-        assert!(Instr::Branch { cond: Cond::Always, offset: 0 }.is_control_transfer());
-        assert!(Instr::Jmpl { s1: Reg::ZERO, s2: Operand::Imm(0), d: Reg::ZERO }
-            .is_control_transfer());
+        assert!(Instr::Branch {
+            cond: Cond::Always,
+            offset: 0
+        }
+        .is_control_transfer());
+        assert!(Instr::Jmpl {
+            s1: Reg::ZERO,
+            s2: Operand::Imm(0),
+            d: Reg::ZERO
+        }
+        .is_control_transfer());
         assert!(!Instr::Nop.is_control_transfer());
     }
 }

@@ -155,7 +155,8 @@ impl ProgramBuilder {
     /// The caller must emit the delay-slot instruction next.
     pub fn branch_to(&mut self, cond: Cond, target: &str) -> u32 {
         let at = self.emit(Instr::Branch { cond, offset: 0 });
-        self.fixups.push((at, target.to_string(), FixupKind::Branch));
+        self.fixups
+            .push((at, target.to_string(), FixupKind::Branch));
         at
     }
 
@@ -170,14 +171,19 @@ impl ProgramBuilder {
     /// in `link`. Uses `scratch` for the target address.
     pub fn call(&mut self, target: &str, link: Reg, scratch: Reg) {
         self.movi_label(target, scratch);
-        self.emit(Instr::Jmpl { s1: scratch, s2: Operand::Imm(0), d: link });
+        self.emit(Instr::Jmpl {
+            s1: scratch,
+            s2: Operand::Imm(0),
+            d: link,
+        });
         self.emit(Instr::Nop);
     }
 
     /// Sets the entry point to a label (resolved at `finish`).
     pub fn entry(&mut self, label: &str) {
         // Stored as a pseudo-fixup by name; resolved in finish().
-        self.fixups.push((u32::MAX, label.to_string(), FixupKind::MovI));
+        self.fixups
+            .push((u32::MAX, label.to_string(), FixupKind::MovI));
         self.entry = u32::MAX;
     }
 
@@ -191,7 +197,6 @@ impl ProgramBuilder {
     /// Appends one word to the static segment, returning its byte
     /// address. The segment base must already be set.
     pub fn push_static(&mut self, w: Word, full: bool) -> u32 {
-        assert!(self.static_base != 0 || !self.static_data.is_empty() || self.static_base == 0);
         let addr = self.static_base + 4 * self.static_data.len() as u32;
         self.static_data.push((w, full));
         addr
@@ -200,7 +205,8 @@ impl ProgramBuilder {
     /// Stores the address of `label` into static data slot `index`
     /// (for code pointers in closure templates).
     pub fn static_code_ref(&mut self, index: usize, label: &str) {
-        self.fixups.push((0, label.to_string(), FixupKind::DataWord(index)));
+        self.fixups
+            .push((0, label.to_string(), FixupKind::DataWord(index)));
     }
 
     /// Resolves all fixups and produces the program.
@@ -210,7 +216,11 @@ impl ProgramBuilder {
     /// Returns [`BuildError::UndefinedLabel`] if a referenced label was
     /// never defined.
     pub fn finish(mut self) -> Result<Program, BuildError> {
-        let mut entry = if self.entry == u32::MAX { None } else { Some(self.entry) };
+        let mut entry = if self.entry == u32::MAX {
+            None
+        } else {
+            Some(self.entry)
+        };
         for (at, name, kind) in std::mem::take(&mut self.fixups) {
             let target = *self
                 .labels
@@ -267,8 +277,20 @@ mod tests {
         b.label("bottom");
         b.emit(Instr::Halt);
         let p = b.finish().unwrap();
-        assert_eq!(p.instrs[1], Instr::Branch { cond: Cond::Always, offset: 4 });
-        assert_eq!(p.instrs[3], Instr::Branch { cond: Cond::Eq, offset: -3 });
+        assert_eq!(
+            p.instrs[1],
+            Instr::Branch {
+                cond: Cond::Always,
+                offset: 4
+            }
+        );
+        assert_eq!(
+            p.instrs[3],
+            Instr::Branch {
+                cond: Cond::Eq,
+                offset: -3
+            }
+        );
     }
 
     #[test]
@@ -314,7 +336,13 @@ mod tests {
         b.label("f");
         b.emit(Instr::Nop);
         let p = b.finish().unwrap();
-        assert_eq!(p.instrs[0], Instr::MovI { imm: 2, d: Reg::L(2) });
+        assert_eq!(
+            p.instrs[0],
+            Instr::MovI {
+                imm: 2,
+                d: Reg::L(2)
+            }
+        );
     }
 
     #[test]

@@ -119,8 +119,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = CpuStats { useful_cycles: 1, instructions: 2, ..CpuStats::default() };
-        let b = CpuStats { useful_cycles: 3, instructions: 4, ..CpuStats::default() };
+        let mut a = CpuStats {
+            useful_cycles: 1,
+            instructions: 2,
+            ..CpuStats::default()
+        };
+        let b = CpuStats {
+            useful_cycles: 3,
+            instructions: 4,
+            ..CpuStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.useful_cycles, 4);
         assert_eq!(a.instructions, 6);

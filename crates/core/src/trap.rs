@@ -98,10 +98,20 @@ impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Trap::RemoteMiss { addr, is_store } => {
-                write!(f, "remote-miss({}, {:#x})", if *is_store { "st" } else { "ld" }, addr)
+                write!(
+                    f,
+                    "remote-miss({}, {:#x})",
+                    if *is_store { "st" } else { "ld" },
+                    addr
+                )
             }
             Trap::FullEmpty { addr, is_store } => {
-                write!(f, "full/empty({}, {:#x})", if *is_store { "st" } else { "ld" }, addr)
+                write!(
+                    f,
+                    "full/empty({}, {:#x})",
+                    if *is_store { "st" } else { "ld" },
+                    addr
+                )
             }
             Trap::FutureTouch { reg } => write!(f, "future-touch({reg})"),
             Trap::FutureAddr { reg } => write!(f, "future-addr({reg})"),
@@ -120,8 +130,14 @@ mod tests {
     #[test]
     fn vectors_are_distinct() {
         let traps = [
-            Trap::RemoteMiss { addr: 0, is_store: false },
-            Trap::FullEmpty { addr: 0, is_store: false },
+            Trap::RemoteMiss {
+                addr: 0,
+                is_store: false,
+            },
+            Trap::FullEmpty {
+                addr: 0,
+                is_store: false,
+            },
             Trap::FutureTouch { reg: Reg::L(0) },
             Trap::FutureAddr { reg: Reg::L(0) },
             Trap::Alignment { addr: 0 },
@@ -146,6 +162,11 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!Trap::DivZero.to_string().is_empty());
-        assert!(Trap::RemoteMiss { addr: 64, is_store: true }.to_string().contains("st"));
+        assert!(Trap::RemoteMiss {
+            addr: 64,
+            is_store: true
+        }
+        .to_string()
+        .contains("st"));
     }
 }

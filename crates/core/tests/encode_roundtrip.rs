@@ -1,130 +1,206 @@
-//! Property tests: the reference binary encoding and the assembler
-//! syntax are exact inverses of decoding/disassembly.
+//! Randomized tests: the reference binary encoding and the assembler
+//! syntax are exact inverses of decoding/disassembly. Driven by the
+//! vendored deterministic PRNG, so every run checks the same cases.
 
 use april_core::isa::encode::{decode_all, encode_all};
 use april_core::isa::{AluOp, Cond, FpOp, Instr, LoadFlavor, Operand, Reg, StoreFlavor};
-use proptest::prelude::*;
+use april_util::Rng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    prop_oneof![(0u8..8).prop_map(Reg::G), (0u8..32).prop_map(Reg::L)]
+fn arb_reg(r: &mut Rng) -> Reg {
+    if r.gen_bool(0.5) {
+        Reg::G(r.gen_index(8) as u8)
+    } else {
+        Reg::L(r.gen_index(32) as u8)
+    }
 }
 
-fn arb_operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        (Operand::IMM_MIN..=Operand::IMM_MAX).prop_map(Operand::Imm),
-    ]
+fn arb_operand(r: &mut Rng) -> Operand {
+    if r.gen_bool(0.5) {
+        Operand::Reg(arb_reg(r))
+    } else {
+        Operand::Imm(r.gen_range(Operand::IMM_MIN as i64, Operand::IMM_MAX as i64 + 1) as i32)
+    }
 }
 
-fn arb_aluop() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(AluOp::ALL.to_vec())
+fn arb_instr(r: &mut Rng) -> Instr {
+    match r.gen_index(25) {
+        0 => Instr::Nop,
+        1 => Instr::Halt,
+        2 => Instr::IncFp,
+        3 => Instr::DecFp,
+        4 => Instr::Fence,
+        5 => Instr::Alu {
+            op: *r.choose(&AluOp::ALL),
+            s1: arb_reg(r),
+            s2: arb_operand(r),
+            d: arb_reg(r),
+            tagged: r.gen_bool(0.5),
+        },
+        6 => Instr::MovI {
+            imm: r.next_u32(),
+            d: arb_reg(r),
+        },
+        7 => Instr::Branch {
+            cond: *r.choose(&Cond::ALL),
+            offset: r.gen_range(-(1 << 21), 1 << 21) as i32,
+        },
+        8 => Instr::Jmpl {
+            s1: arb_reg(r),
+            s2: arb_operand(r),
+            d: arb_reg(r),
+        },
+        9 => Instr::Load {
+            flavor: *r.choose(&LoadFlavor::ALL),
+            a: arb_reg(r),
+            offset: r.gen_range(-1024, 1024) as i32,
+            d: arb_reg(r),
+        },
+        10 => Instr::Store {
+            flavor: *r.choose(&StoreFlavor::ALL),
+            a: arb_reg(r),
+            offset: r.gen_range(-1024, 1024) as i32,
+            s: arb_reg(r),
+        },
+        11 => Instr::RdFp { d: arb_reg(r) },
+        12 => Instr::StFp { s: arb_reg(r) },
+        13 => Instr::RdPsr { d: arb_reg(r) },
+        14 => Instr::WrPsr { s: arb_reg(r) },
+        15 => Instr::RtCall {
+            n: r.next_u32() as u16,
+        },
+        16 => Instr::Flush {
+            a: arb_reg(r),
+            offset: r.gen_range(-1024, 1024) as i32,
+        },
+        17 => Instr::Ldio {
+            reg: r.next_u32() as u16,
+            d: arb_reg(r),
+        },
+        18 => Instr::Stio {
+            reg: r.next_u32() as u16,
+            s: arb_reg(r),
+        },
+        19 => Instr::Falu {
+            op: *r.choose(&FpOp::ALL),
+            fs1: r.gen_index(8) as u8,
+            fs2: r.gen_index(8) as u8,
+            fd: r.gen_index(8) as u8,
+        },
+        20 => Instr::Fcmp {
+            fs1: r.gen_index(8) as u8,
+            fs2: r.gen_index(8) as u8,
+        },
+        21 => Instr::LdF {
+            a: arb_reg(r),
+            offset: r.gen_range(-1024, 1024) as i32,
+            fd: r.gen_index(8) as u8,
+        },
+        22 => Instr::StF {
+            fs: r.gen_index(8) as u8,
+            a: arb_reg(r),
+            offset: r.gen_range(-1024, 1024) as i32,
+        },
+        23 => Instr::FMovI {
+            bits: r.next_u32(),
+            fd: r.gen_index(8) as u8,
+        },
+        24 => {
+            if r.gen_bool(0.5) {
+                Instr::FixToF {
+                    s: arb_reg(r),
+                    fd: r.gen_index(8) as u8,
+                }
+            } else {
+                Instr::FToFix {
+                    fs: r.gen_index(8) as u8,
+                    d: arb_reg(r),
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    prop::sample::select(Cond::ALL.to_vec())
+fn arb_program(r: &mut Rng, max_len: usize) -> Vec<Instr> {
+    (0..r.gen_index(max_len)).map(|_| arb_instr(r)).collect()
 }
 
-fn arb_load_flavor() -> impl Strategy<Value = LoadFlavor> {
-    prop::sample::select(LoadFlavor::ALL.to_vec())
-}
-
-fn arb_store_flavor() -> impl Strategy<Value = StoreFlavor> {
-    prop::sample::select(StoreFlavor::ALL.to_vec())
-}
-
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Halt),
-        Just(Instr::IncFp),
-        Just(Instr::DecFp),
-        Just(Instr::Fence),
-        (arb_aluop(), arb_reg(), arb_operand(), arb_reg(), any::<bool>()).prop_map(
-            |(op, s1, s2, d, tagged)| Instr::Alu { op, s1, s2, d, tagged }
-        ),
-        (any::<u32>(), arb_reg()).prop_map(|(imm, d)| Instr::MovI { imm, d }),
-        (arb_cond(), -(1 << 21)..(1 << 21)).prop_map(|(cond, offset)| Instr::Branch {
-            cond,
-            offset
-        }),
-        (arb_reg(), arb_operand(), arb_reg())
-            .prop_map(|(s1, s2, d)| Instr::Jmpl { s1, s2, d }),
-        (arb_load_flavor(), arb_reg(), -1024i32..1024, arb_reg())
-            .prop_map(|(flavor, a, offset, d)| Instr::Load { flavor, a, offset, d }),
-        (arb_store_flavor(), arb_reg(), -1024i32..1024, arb_reg())
-            .prop_map(|(flavor, a, offset, s)| Instr::Store { flavor, a, offset, s }),
-        arb_reg().prop_map(|d| Instr::RdFp { d }),
-        arb_reg().prop_map(|s| Instr::StFp { s }),
-        arb_reg().prop_map(|d| Instr::RdPsr { d }),
-        arb_reg().prop_map(|s| Instr::WrPsr { s }),
-        any::<u16>().prop_map(|n| Instr::RtCall { n }),
-        (arb_reg(), -1024i32..1024).prop_map(|(a, offset)| Instr::Flush { a, offset }),
-        (any::<u16>(), arb_reg()).prop_map(|(reg, d)| Instr::Ldio { reg, d }),
-        (any::<u16>(), arb_reg()).prop_map(|(reg, s)| Instr::Stio { reg, s }),
-        (prop::sample::select(FpOp::ALL.to_vec()), 0u8..8, 0u8..8, 0u8..8)
-            .prop_map(|(op, fs1, fs2, fd)| Instr::Falu { op, fs1, fs2, fd }),
-        (0u8..8, 0u8..8).prop_map(|(fs1, fs2)| Instr::Fcmp { fs1, fs2 }),
-        (arb_reg(), -1024i32..1024, 0u8..8)
-            .prop_map(|(a, offset, fd)| Instr::LdF { a, offset, fd }),
-        (0u8..8, arb_reg(), -1024i32..1024)
-            .prop_map(|(fs, a, offset)| Instr::StF { fs, a, offset }),
-        (any::<u32>(), 0u8..8).prop_map(|(bits, fd)| Instr::FMovI { bits, fd }),
-        (arb_reg(), 0u8..8).prop_map(|(s, fd)| Instr::FixToF { s, fd }),
-        (0u8..8, arb_reg()).prop_map(|(fs, d)| Instr::FToFix { fs, d }),
-    ]
-}
-
-proptest! {
-    /// encode → decode is the identity on every representable program.
-    #[test]
-    fn binary_roundtrip(instrs in prop::collection::vec(arb_instr(), 0..64)) {
+/// encode → decode is the identity on every representable program.
+#[test]
+fn binary_roundtrip() {
+    let mut r = Rng::seed_from(0x0401);
+    for _ in 0..512 {
+        let instrs = arb_program(&mut r, 64);
         let words = encode_all(&instrs).expect("all generated fields are in range");
         let back = decode_all(&words).expect("own encoding must decode");
-        prop_assert_eq!(back, instrs);
+        assert_eq!(back, instrs);
     }
+}
 
-    /// Jmpl immediates outside 13 bits are rejected, never mangled.
-    #[test]
-    fn jmpl_imm_range_enforced(imm in 4096i32..100_000) {
+/// Jmpl immediates outside 13 bits are rejected, never mangled.
+#[test]
+fn jmpl_imm_range_enforced() {
+    let mut r = Rng::seed_from(0x0402);
+    for _ in 0..256 {
+        let imm = r.gen_range(4096, 100_000) as i32;
         let mut out = Vec::new();
-        let r = april_core::isa::encode::encode(
-            Instr::Jmpl { s1: Reg::ZERO, s2: Operand::Imm(imm), d: Reg::ZERO },
+        let res = april_core::isa::encode::encode(
+            Instr::Jmpl {
+                s1: Reg::ZERO,
+                s2: Operand::Imm(imm),
+                d: Reg::ZERO,
+            },
             &mut out,
         );
-        prop_assert!(r.is_err());
+        assert!(res.is_err(), "imm {imm} must be rejected");
     }
+}
 
-    /// Every decoded instruction re-encodes to the same words
-    /// (canonical encoding).
-    #[test]
-    fn canonical_encoding(instrs in prop::collection::vec(arb_instr(), 0..32)) {
+/// Every decoded instruction re-encodes to the same words (canonical
+/// encoding).
+#[test]
+fn canonical_encoding() {
+    let mut r = Rng::seed_from(0x0403);
+    for _ in 0..512 {
+        let instrs = arb_program(&mut r, 32);
         let words = encode_all(&instrs).unwrap();
         let back = decode_all(&words).unwrap();
         let words2 = encode_all(&back).unwrap();
-        prop_assert_eq!(words, words2);
+        assert_eq!(words, words2);
     }
 }
 
-proptest! {
-    /// Disassembly text re-assembles to the identical instruction, for
-    /// the instruction forms the assembler supports (everything except
-    /// register-indexed jmpl).
-    #[test]
-    fn asm_roundtrip(instrs in prop::collection::vec(arb_instr(), 1..32)) {
-        use std::fmt::Write as _;
+/// Disassembly text re-assembles to the identical instruction, for the
+/// instruction forms the assembler supports (everything except
+/// register-indexed jmpl).
+#[test]
+fn asm_roundtrip() {
+    use std::fmt::Write as _;
+    let mut r = Rng::seed_from(0x0404);
+    for _ in 0..256 {
         // The text assembler expresses jmpl offsets as immediates only,
         // and branches by numeric offset (labels are a convenience).
-        let printable: Vec<Instr> = instrs
+        let printable: Vec<Instr> = arb_program(&mut r, 32)
             .into_iter()
-            .filter(|i| !matches!(i, Instr::Jmpl { s2: Operand::Reg(_), .. }))
+            .filter(|i| {
+                !matches!(
+                    i,
+                    Instr::Jmpl {
+                        s2: Operand::Reg(_),
+                        ..
+                    }
+                )
+            })
             .collect();
-        prop_assume!(!printable.is_empty());
+        if printable.is_empty() {
+            continue;
+        }
         let mut text = String::new();
         for i in &printable {
             writeln!(text, "{i}").unwrap();
         }
         let prog = april_core::isa::asm::assemble(&text)
             .unwrap_or_else(|e| panic!("disassembly must reassemble: {e}\n{text}"));
-        prop_assert_eq!(prog.instrs, printable);
+        assert_eq!(prog.instrs, printable);
     }
 }

@@ -16,9 +16,18 @@ struct FlatMem {
 
 impl MemoryPort for FlatMem {
     fn load(&mut self, addr: u32, _: april_core::isa::LoadFlavor, _: AccessCtx) -> LoadReply {
-        LoadReply::Data { word: self.words[(addr / 4) as usize], fe: true }
+        LoadReply::Data {
+            word: self.words[(addr / 4) as usize],
+            fe: true,
+        }
     }
-    fn store(&mut self, addr: u32, v: Word, _: april_core::isa::StoreFlavor, _: AccessCtx) -> StoreReply {
+    fn store(
+        &mut self,
+        addr: u32,
+        v: Word,
+        _: april_core::isa::StoreFlavor,
+        _: AccessCtx,
+    ) -> StoreReply {
         self.words[(addr / 4) as usize] = v;
         StoreReply::Done { fe: true }
     }
@@ -28,7 +37,9 @@ fn run(src: &str) -> (Cpu, FlatMem) {
     let prog = assemble(src).unwrap_or_else(|e| panic!("{e}"));
     let mut cpu = Cpu::new(CpuConfig::default());
     cpu.boot(prog.entry);
-    let mut mem = FlatMem { words: vec![Word::ZERO; 256] };
+    let mut mem = FlatMem {
+        words: vec![Word::ZERO; 256],
+    };
     for _ in 0..10_000 {
         match cpu.step(&prog, &mut mem) {
             StepEvent::Halted => return (cpu, mem),
@@ -142,7 +153,8 @@ fn conversions() {
 fn fp_registers_are_per_context() {
     // Frame 0 and frame 1 own disjoint f-registers and condition bits:
     // the Section 5 partitioning of the FPU register file.
-    let prog = assemble("
+    let prog = assemble(
+        "
         fmovi 1.0, f0      ; 0  frame 0
         fmovi 9.0, f1      ; 1
         fcmp f0, f1        ; 2  frame 0 context: Lt
@@ -152,32 +164,45 @@ fn fp_registers_are_per_context() {
         fmovi 5.0, f0      ; 6  frame 1
         fcmp f0, f0        ; 7  frame 1 context: Eq
         decfp              ; 8  back to frame 0
-    ").unwrap();
+    ",
+    )
+    .unwrap();
     let mut cpu = Cpu::new(CpuConfig::default());
     cpu.boot(0);
     cpu.frame_mut(1).reset_at(6);
-    let mut mem = FlatMem { words: vec![Word::ZERO; 64] };
+    let mut mem = FlatMem {
+        words: vec![Word::ZERO; 64],
+    };
     for _ in 0..20 {
         if let StepEvent::Halted = cpu.step(&prog, &mut mem) {
             break;
         }
     }
     assert_eq!(f32::from_bits(cpu.frame(0).fregs[0]), 1.0);
-    assert_eq!(f32::from_bits(cpu.frame(1).fregs[0]), 5.0, "f0 is per-frame");
+    assert_eq!(
+        f32::from_bits(cpu.frame(1).fregs[0]),
+        5.0,
+        "f0 is per-frame"
+    );
     assert_eq!(cpu.frame(0).psr.fcc, FpCond::Lt);
     assert_eq!(cpu.frame(1).psr.fcc, FpCond::Eq, "fcc is per-frame");
 }
 
 #[test]
 fn fix2f_traps_on_future_operand() {
-    let prog = assemble("
+    let prog = assemble(
+        "
         movi 0x101, r1     ; a future pointer (LSB set)
         fix2f r1, f0
         halt
-    ").unwrap();
+    ",
+    )
+    .unwrap();
     let mut cpu = Cpu::new(CpuConfig::default());
     cpu.boot(0);
-    let mut mem = FlatMem { words: vec![Word::ZERO; 64] };
+    let mut mem = FlatMem {
+        words: vec![Word::ZERO; 64],
+    };
     cpu.step(&prog, &mut mem);
     match cpu.step(&prog, &mut mem) {
         StepEvent::Trapped(april_core::trap::Trap::FutureTouch { .. }) => {}

@@ -14,6 +14,9 @@
 //! write-backs, contention — is simulated faithfully.
 
 use crate::config::MachineConfig;
+use crate::watchdog::{
+    BusyEntry, FrameStall, InFlightMsg, MachineFault, OutstandingTxn, PostMortem, Watchdog,
+};
 use crate::Machine;
 use april_core::cpu::{Cpu, StepEvent};
 use april_core::frame::FrameState;
@@ -26,6 +29,7 @@ use april_mem::controller::{CacheController, Outcome};
 use april_mem::directory::Directory;
 use april_mem::femem::FeMemory;
 use april_mem::msg::CohMsg;
+use april_net::fault::{FaultPlan, FaultStats};
 use april_net::network::Network;
 
 /// I/O register: reading returns this node's id (fixnum).
@@ -71,6 +75,8 @@ pub struct Alewife {
     cfg: MachineConfig,
     ready_at: Vec<u64>,
     now: u64,
+    watchdog: Watchdog,
+    fault: Option<MachineFault>,
 }
 
 impl Alewife {
@@ -84,7 +90,7 @@ impl Alewife {
             .map(|i| Node {
                 cpu: Cpu::new(cfg.cpu),
                 ctl: CacheController::new(i, cfg.cache, cfg.ctl),
-                dir: Directory::new(),
+                dir: Directory::with_config(cfg.dir),
                 io_regs: [0; 8],
             })
             .collect();
@@ -96,7 +102,21 @@ impl Alewife {
             cfg,
             ready_at: vec![0; n],
             now: 0,
+            watchdog: Watchdog::default(),
+            fault: None,
         }
+    }
+
+    /// Installs a fault-injection plan on the network. The run stays
+    /// exactly reproducible from the plan's seed and the machine's
+    /// schedule.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.net.set_fault_plan(Some(plan));
+    }
+
+    /// Counts of faults the network has injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.net.fault_stats
     }
 
     /// The machine configuration.
@@ -125,39 +145,71 @@ impl Alewife {
         self.nodes[0].cpu.boot(entry);
     }
 
+    /// Records the first fatal fault; later ones are dropped (the
+    /// run-time aborts on the first anyway).
+    fn set_fault(&mut self, fault: MachineFault) {
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
     fn dispatch_msg(&mut self, dst: usize, env: Env) {
         let cfg = self.cfg;
         let mut out: Vec<(usize, CohMsg)> = Vec::new();
         let mut dir_out: Vec<(usize, CohMsg)> = Vec::new();
         match env.msg {
-            CohMsg::RdReq { block } => {
-                dir_out = self.nodes[dst].dir.handle_request(env.src, block, false);
+            CohMsg::RdReq { block, xid } => {
+                dir_out = self.nodes[dst]
+                    .dir
+                    .handle_request(env.src, block, false, xid);
             }
-            CohMsg::WrReq { block } => {
-                dir_out = self.nodes[dst].dir.handle_request(env.src, block, true);
+            CohMsg::WrReq { block, xid } => {
+                dir_out = self.nodes[dst]
+                    .dir
+                    .handle_request(env.src, block, true, xid);
             }
             CohMsg::InvAck { .. }
             | CohMsg::DownAck { .. }
             | CohMsg::WbInvalAck { .. }
-            | CohMsg::FlushData { .. } => {
-                dir_out = self.nodes[dst].dir.handle_ack(env.src, env.msg);
-            }
+            | CohMsg::FlushData { .. } => match self.nodes[dst].dir.handle_ack(env.src, env.msg) {
+                Ok(o) => dir_out = o,
+                Err(e) => {
+                    self.set_fault(MachineFault::Protocol {
+                        node: dst,
+                        error: e,
+                    });
+                    return;
+                }
+            },
             CohMsg::Ipi => {
                 self.nodes[dst].cpu.post_interrupt(env.src);
             }
             CohMsg::RdReply { .. }
             | CohMsg::WrReply { .. }
+            | CohMsg::Nack { .. }
             | CohMsg::Inval { .. }
             | CohMsg::DownReq { .. }
             | CohMsg::WbInvalReq { .. }
             | CohMsg::FlushAck { .. }
             | CohMsg::BlockXfer { .. } => {
                 let node = &mut self.nodes[dst];
-                let woken =
-                    node.ctl.handle_msg(env.src, env.msg, |a| cfg.home_of(a), &mut out);
-                for f in woken {
-                    if node.cpu.frame(f).state == FrameState::WaitingRemote {
-                        node.cpu.frame_mut(f).state = FrameState::Ready;
+                match node
+                    .ctl
+                    .handle_msg(env.src, env.msg, |a| cfg.home_of(a), &mut out)
+                {
+                    Ok(woken) => {
+                        for f in woken {
+                            if node.cpu.frame(f).state == FrameState::WaitingRemote {
+                                node.cpu.frame_mut(f).state = FrameState::Ready;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        self.set_fault(MachineFault::Protocol {
+                            node: dst,
+                            error: e,
+                        });
+                        return;
                     }
                 }
             }
@@ -170,11 +222,108 @@ impl Alewife {
         // never overtake an earlier data grant.
         for (to, msg) in out {
             let size = msg.size_flits(cfg.block_words()) as u64;
-            self.net.send(self.now, dst, to, size, Env { src: dst, msg });
+            self.net
+                .send(self.now, dst, to, size, Env { src: dst, msg });
         }
         for (to, msg) in dir_out {
             let size = msg.size_flits(cfg.block_words()) as u64;
-            self.net.send(self.now + cfg.mem_latency, dst, to, size, Env { src: dst, msg });
+            self.net.send(
+                self.now + cfg.mem_latency,
+                dst,
+                to,
+                size,
+                Env { src: dst, msg },
+            );
+        }
+    }
+
+    /// The forward-progress signature: instructions retired, packets
+    /// delivered, and protocol events at directories and controllers.
+    /// Retransmissions count as progress — while an endpoint is still
+    /// retrying, its bounded retry budget (not the watchdog) decides
+    /// when to give up.
+    fn progress_sig(&self) -> (u64, u64, u64, u64) {
+        let instrs = self.nodes.iter().map(|n| n.cpu.stats.instructions).sum();
+        let dir_events = self.nodes.iter().map(|n| n.dir.stats.total()).sum();
+        let ctl_events = self.nodes.iter().map(|n| n.ctl.stats.total()).sum();
+        (instrs, self.net.stats.delivered, dir_events, ctl_events)
+    }
+
+    /// Whether the machine still owes anyone an answer. With no
+    /// pending work a stable signature means quiescence, not deadlock.
+    fn has_pending_work(&self) -> bool {
+        self.net.in_flight_count() > 0
+            || self.nodes.iter().any(|n| {
+                n.ctl.outstanding() > 0
+                    || n.ctl.fence_count() > 0
+                    || n.dir.busy_count() > 0
+                    || (0..n.cpu.nframes())
+                        .any(|f| n.cpu.frame(f).state == FrameState::WaitingRemote)
+            })
+    }
+
+    /// Captures the machine's stuck state for a watchdog report.
+    pub fn post_mortem(&self) -> PostMortem {
+        let in_flight = self
+            .net
+            .in_flight_packets()
+            .into_iter()
+            .map(|(id, dst, sent_at, _, env)| InFlightMsg {
+                id,
+                src: env.src,
+                dst,
+                sent_at,
+                msg: env.msg,
+            })
+            .collect();
+        let mut busy_blocks = Vec::new();
+        let mut outstanding = Vec::new();
+        let mut stalled_frames = Vec::new();
+        let mut fences = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for (block, requester, write, epoch, awaiting) in n.dir.busy_entries() {
+                busy_blocks.push(BusyEntry {
+                    home: i,
+                    block,
+                    requester,
+                    write,
+                    epoch,
+                    awaiting,
+                });
+            }
+            for (block, xid, write_issued, frames) in n.ctl.outstanding_txns() {
+                outstanding.push(OutstandingTxn {
+                    node: i,
+                    block,
+                    xid,
+                    write_issued,
+                    frames,
+                });
+            }
+            for f in 0..n.cpu.nframes() {
+                let frame = n.cpu.frame(f);
+                if frame.state == FrameState::WaitingRemote {
+                    stalled_frames.push(FrameStall {
+                        node: i,
+                        frame: f,
+                        state: frame.state,
+                        pc: frame.pc,
+                    });
+                }
+            }
+            if n.ctl.fence_count() > 0 {
+                fences.push((i, n.ctl.fence_count()));
+            }
+        }
+        PostMortem {
+            cycle: self.now,
+            horizon: self.cfg.watchdog.horizon,
+            in_flight,
+            busy_blocks,
+            outstanding,
+            stalled_frames,
+            fences,
+            fault_stats: self.net.fault_stats,
         }
     }
 }
@@ -198,8 +347,20 @@ impl NodePort<'_> {
     fn access(&mut self, addr: u32, write_grade: bool, ctx: AccessCtx) -> Outcome {
         let home = self.cfg.home_of(addr);
         let cfg = self.cfg;
-        let dir = if home == self.node { Some(&mut *self.dir) } else { None };
-        self.ctl.cpu_access(addr, write_grade, ctx.frame, home, dir, |a| cfg.home_of(a), self.out)
+        let dir = if home == self.node {
+            Some(&mut *self.dir)
+        } else {
+            None
+        };
+        self.ctl.cpu_access(
+            addr,
+            write_grade,
+            ctx.frame,
+            home,
+            dir,
+            |a| cfg.home_of(a),
+            self.out,
+        )
     }
 }
 
@@ -268,7 +429,13 @@ impl MemoryPort for NodePort<'_> {
             IO_BXFER_ADDR => {
                 let to = self.io_regs[IO_BXFER_NODE as usize] as usize;
                 let words = self.io_regs[IO_BXFER_LEN as usize].max(1);
-                self.io_sends.push((to, CohMsg::BlockXfer { block: value.0, words }));
+                self.io_sends.push((
+                    to,
+                    CohMsg::BlockXfer {
+                        block: value.0,
+                        words,
+                    },
+                ));
             }
             r if (r as usize) < self.io_regs.len() => {
                 self.io_regs[r as usize] = value.0;
@@ -331,6 +498,46 @@ impl Machine for Alewife {
                 other => evs.push((i, other)),
             }
         }
+        // Advance the protocol clocks: retransmit overdue requests
+        // (controller side) and overdue demands (directory side).
+        for i in 0..self.nodes.len() {
+            let mut out = Vec::new();
+            match self.nodes[i]
+                .ctl
+                .tick(self.now, |a| cfg.home_of(a), &mut out)
+            {
+                Ok(()) => {
+                    for (to, msg) in out {
+                        let size = msg.size_flits(cfg.block_words()) as u64;
+                        self.net.send(self.now, i, to, size, Env { src: i, msg });
+                    }
+                }
+                Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
+            }
+            match self.nodes[i].dir.tick(self.now) {
+                Ok(dir_out) => {
+                    for (to, msg) in dir_out {
+                        let size = msg.size_flits(cfg.block_words()) as u64;
+                        self.net
+                            .send(self.now + cfg.mem_latency, i, to, size, Env { src: i, msg });
+                    }
+                }
+                Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
+            }
+        }
+        // Forward-progress watchdog: fire only when work is pending —
+        // a stable signature on an idle machine is quiescence.
+        if self.cfg.watchdog.enabled && self.fault.is_none() {
+            let sig = self.progress_sig();
+            if self
+                .watchdog
+                .observe(self.now, sig, self.cfg.watchdog.horizon)
+                && self.has_pending_work()
+            {
+                let pm = self.post_mortem();
+                self.set_fault(MachineFault::NoForwardProgress(Box::new(pm)));
+            }
+        }
         evs
     }
 
@@ -365,11 +572,24 @@ impl Machine for Alewife {
     }
 
     fn send_ipi(&mut self, from: usize, to: usize) {
-        self.net.send(self.now, from, to, 2, Env { src: from, msg: CohMsg::Ipi });
+        self.net.send(
+            self.now,
+            from,
+            to,
+            2,
+            Env {
+                src: from,
+                msg: CohMsg::Ipi,
+            },
+        );
     }
 
     fn home_of(&self, addr: u32) -> usize {
         self.cfg.home_of(addr)
+    }
+
+    fn fault(&self) -> Option<&MachineFault> {
+        self.fault.as_ref()
     }
 }
 
@@ -431,7 +651,10 @@ mod tests {
         run(&mut m, 10_000);
         assert_eq!(m.nodes[0].cpu.get_reg(Reg::L(2)), Word(0x100));
         assert_eq!(m.nodes[0].ctl.stats.local_fills, 1);
-        assert!(m.nodes[0].cpu.stats.stall_cycles >= 10, "local fill stalls 10");
+        assert!(
+            m.nodes[0].cpu.stats.stall_cycles >= 10,
+            "local fill stalls 10"
+        );
         assert_eq!(m.nodes[0].cpu.stats.remote_misses, 0);
     }
 
@@ -472,7 +695,10 @@ mod tests {
         m.boot();
         run(&mut m, 100_000);
         assert_eq!(m.nodes[0].cpu.stats.remote_misses, 0, "no trap");
-        assert!(m.nodes[0].cpu.stats.stall_cycles > 10, "held while remote fill completed");
+        assert!(
+            m.nodes[0].cpu.stats.stall_cycles > 10,
+            "held while remote fill completed"
+        );
     }
 
     #[test]

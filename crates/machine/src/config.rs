@@ -1,8 +1,10 @@
 //! Machine configuration.
 
+use crate::watchdog::WatchdogConfig;
 use april_core::cpu::CpuConfig;
 use april_mem::cache::CacheConfig;
 use april_mem::controller::CtlConfig;
+use april_mem::directory::DirConfig;
 use april_net::network::NetConfig;
 use april_net::topology::Topology;
 
@@ -15,10 +17,14 @@ pub struct MachineConfig {
     pub cpu: CpuConfig,
     /// Per-node cache geometry.
     pub cache: CacheConfig,
-    /// Controller timing.
+    /// Controller timing and retransmission policy.
     pub ctl: CtlConfig,
+    /// Directory policy (waiter queue bound, retransmission).
+    pub dir: DirConfig,
     /// Network timing.
     pub net: NetConfig,
+    /// Forward-progress watchdog policy.
+    pub watchdog: WatchdogConfig,
     /// Bytes of globally shared memory owned by each node; global
     /// addresses are region-partitioned, so address `a`'s home is
     /// `a / region_bytes`.
@@ -35,7 +41,9 @@ impl Default for MachineConfig {
             cpu: CpuConfig::default(),
             cache: CacheConfig::default(),
             ctl: CtlConfig::default(),
+            dir: DirConfig::default(),
             net: NetConfig::default(),
+            watchdog: WatchdogConfig::default(),
             region_bytes: 1 << 20,
             mem_latency: 10,
         }
@@ -75,7 +83,10 @@ mod tests {
 
     #[test]
     fn home_partitioning() {
-        let cfg = MachineConfig { region_bytes: 0x1000, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            region_bytes: 0x1000,
+            ..MachineConfig::default()
+        };
         assert_eq!(cfg.home_of(0), 0);
         assert_eq!(cfg.home_of(0xfff), 0);
         assert_eq!(cfg.home_of(0x1000), 1);
@@ -84,7 +95,10 @@ mod tests {
 
     #[test]
     fn home_clamps_to_last_node() {
-        let cfg = MachineConfig { region_bytes: 0x1000, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            region_bytes: 0x1000,
+            ..MachineConfig::default()
+        };
         assert_eq!(cfg.home_of(u32::MAX), cfg.num_nodes() - 1);
     }
 }

@@ -22,6 +22,7 @@
 pub mod alewife;
 pub mod config;
 pub mod ideal;
+pub mod watchdog;
 
 use april_core::cpu::{Cpu, StepEvent};
 use april_core::program::Program;
@@ -30,6 +31,7 @@ use april_mem::femem::FeMemory;
 pub use alewife::Alewife;
 pub use config::MachineConfig;
 pub use ideal::IdealMachine;
+pub use watchdog::{MachineFault, PostMortem, WatchdogConfig};
 
 /// A machine the run-time system can drive.
 ///
@@ -78,4 +80,12 @@ pub trait Machine {
 
     /// The home node of address `addr` (0 on centralized machines).
     fn home_of(&self, addr: u32) -> usize;
+
+    /// A fatal machine-level fault (protocol failure or watchdog
+    /// firing), if one has been detected. The run-time aborts the run
+    /// when this becomes `Some`. Machines without fault detection
+    /// (e.g. the ideal machine) report `None` forever.
+    fn fault(&self) -> Option<&MachineFault> {
+        None
+    }
 }

@@ -91,9 +91,16 @@ fn false_sharing_increments_are_not_lost() {
         assert_eq!(v, Word::fixnum(50), "node {i}'s count corrupted: {v}");
     }
     // The block really did ping-pong: plenty of ownership transfers.
-    let invals: u64 = m.nodes.iter().map(|n| n.ctl.stats.invals + n.ctl.stats.downgrades).sum();
+    let invals: u64 = m
+        .nodes
+        .iter()
+        .map(|n| n.ctl.stats.invals + n.ctl.stats.downgrades)
+        .sum();
     let wb: u64 = m.nodes.iter().map(|n| n.ctl.stats.writebacks).sum();
-    assert!(invals + wb > 50, "expected an invalidation storm, saw {invals}+{wb}");
+    assert!(
+        invals + wb > 50,
+        "expected an invalidation storm, saw {invals}+{wb}"
+    );
     assert!(m.total_stats().remote_misses > 20);
 }
 

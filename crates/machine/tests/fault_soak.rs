@@ -1,0 +1,335 @@
+//! Fault-injection soaks: the coherence protocol must survive an
+//! unreliable network. Under seeded drop/duplicate/delay schedules the
+//! false-sharing stress must still terminate and produce a final
+//! memory image bit-identical to the fault-free run; with recovery
+//! disabled, the forward-progress watchdog must catch the induced
+//! deadlock and produce a structured post-mortem.
+
+use april_core::cpu::StepEvent;
+use april_core::frame::FrameState;
+use april_core::isa::asm::assemble;
+use april_core::program::Program;
+use april_core::trap::Trap;
+use april_core::word::Word;
+use april_machine::alewife::Alewife;
+use april_machine::config::MachineConfig;
+use april_machine::watchdog::{MachineFault, WatchdogConfig};
+use april_machine::Machine;
+use april_mem::{ProtocolError, RetryConfig};
+use april_net::fault::{FaultPlan, FaultRule};
+use april_net::topology::{Channel, Topology};
+
+/// Drives the machine with a switch-spin-only handler until all CPUs
+/// halt or the machine reports a fault (the caller decides which
+/// outcome it expects).
+fn run(m: &mut Alewife, max: u64) {
+    loop {
+        assert!(m.now() < max, "timeout at cycle {}", m.now());
+        if m.fault().is_some() {
+            return;
+        }
+        if (0..m.num_procs()).all(|i| m.cpu(i).is_halted()) {
+            return;
+        }
+        for (i, ev) in m.advance() {
+            match ev {
+                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                    let fp = m.cpu(i).fp();
+                    let fr = m.cpu_mut(i).frame_mut(fp);
+                    fr.state = FrameState::WaitingRemote;
+                    fr.psr.in_trap = false;
+                    m.charge_handler(i, 6);
+                }
+                StepEvent::Trapped(t) => panic!("node {i}: {t}"),
+                StepEvent::NoReadyFrame => {
+                    let cpu = m.cpu_mut(i);
+                    match cpu.next_ready_frame() {
+                        Some(f) => cpu.set_fp(f),
+                        None => m.charge_idle(i, 1),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The false-sharing increment stress of `coherence_stress.rs`: four
+/// nodes each increment their own word of one shared block 50 times.
+fn stress_program() -> Program {
+    assemble(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            movi 0x200, r9
+            add r9, r8, r9     ; my word within the shared block
+            movi 50, r10
+        loop:
+            ld r9+0, r11
+            add r11, 4, r11    ; increment (fixnum +1)
+            st r11, r9+0
+            sub r10, 1, r10
+            jne loop
+            nop
+            halt
+        ",
+    )
+    .unwrap()
+}
+
+fn stress_cfg() -> MachineConfig {
+    MachineConfig {
+        topology: Topology::new(2, 2),
+        region_bytes: 1 << 20,
+        ..MachineConfig::default()
+    }
+}
+
+/// Runs the stress to completion and returns the machine.
+fn run_stress(plan: Option<FaultPlan>, max: u64) -> Alewife {
+    let mut m = Alewife::new(stress_cfg(), stress_program());
+    if let Some(plan) = plan {
+        m.set_fault_plan(plan);
+    }
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    run(&mut m, max);
+    if let Some(f) = m.fault() {
+        panic!("machine fault under soak:\n{f}");
+    }
+    m
+}
+
+/// Asserts two machines ended with bit-identical memory over the
+/// stressed region (program image + the shared block + slack).
+fn assert_memory_identical(a: &Alewife, b: &Alewife) {
+    for addr in (0..0x1000u32).step_by(4) {
+        assert_eq!(
+            a.mem().read(addr),
+            b.mem().read(addr),
+            "memory diverged at {addr:#x}"
+        );
+    }
+}
+
+#[test]
+fn soak_with_drops_and_dups_is_bit_identical_to_fault_free() {
+    let clean = run_stress(None, 3_000_000);
+    let mut dropped = 0;
+    let mut duplicated = 0;
+    for seed in [0x50a1_u64, 2, 3] {
+        // ≥1% loss and duplication plus jitter that reorders packets.
+        let plan = FaultPlan::new(seed).with_default_rule(FaultRule {
+            drop: 0.02,
+            dup: 0.02,
+            delay: 0.04,
+            max_delay: 40,
+        });
+        let faulty = run_stress(Some(plan), 30_000_000);
+        let stats = faulty.fault_stats();
+        assert!(
+            stats.total() > 0,
+            "seed {seed:#x}: soak injected no faults at all"
+        );
+        dropped += stats.dropped;
+        duplicated += stats.duplicated;
+        for i in 0..4u32 {
+            assert_eq!(
+                faulty.mem().read(0x200 + 4 * i),
+                Word::fixnum(50),
+                "node {i}'s count corrupted under faults (seed {seed:#x})"
+            );
+        }
+        assert_memory_identical(&clean, &faulty);
+    }
+    assert!(dropped > 0, "no seed ever dropped a packet");
+    assert!(duplicated > 0, "no seed ever duplicated a packet");
+}
+
+#[test]
+fn duplicate_and_reorder_storm_preserves_coherence() {
+    // No losses: every fault is a duplicated or delayed (reordered)
+    // message, so any corruption here is a dedup/ordering bug.
+    let clean = run_stress(None, 3_000_000);
+    let plan = FaultPlan::new(0xd0b1).with_default_rule(FaultRule {
+        drop: 0.0,
+        dup: 0.2,
+        delay: 0.15,
+        max_delay: 120,
+    });
+    let faulty = run_stress(Some(plan), 30_000_000);
+    assert!(
+        faulty.fault_stats().duplicated > 20,
+        "storm too mild to mean anything"
+    );
+    assert_memory_identical(&clean, &faulty);
+    let stale: u64 = faulty.nodes.iter().map(|n| n.ctl.stats.stale_replies).sum();
+    let stale_acks: u64 = faulty.nodes.iter().map(|n| n.dir.stats.stale_acks).sum();
+    assert!(
+        stale + stale_acks > 0,
+        "duplicates never reached the dedup paths"
+    );
+}
+
+/// A 2-node machine where every packet leaving node 0 is dropped.
+fn dead_link_machine(retry: RetryConfig, watchdog: WatchdogConfig) -> Alewife {
+    let cfg = MachineConfig {
+        topology: Topology::new(1, 2),
+        region_bytes: 1 << 20,
+        ctl: april_mem::CtlConfig {
+            retry,
+            ..april_mem::CtlConfig::default()
+        },
+        dir: april_mem::DirConfig {
+            retry,
+            ..april_mem::DirConfig::default()
+        },
+        watchdog,
+        ..MachineConfig::default()
+    };
+    // Node 0 reads node 1's region: the request dies on node 0's link.
+    let prog = assemble(
+        "
+        movi 0x100000, r1
+        ld r1+0, r2
+        halt
+        ",
+    )
+    .unwrap();
+    let mut m = Alewife::new(cfg, prog);
+    let plan = FaultPlan::new(0xdead)
+        .with_channel_rule(
+            Channel {
+                node: 0,
+                dim: 0,
+                plus: true,
+            },
+            FaultRule::drop(1.0),
+        )
+        .with_channel_rule(
+            Channel {
+                node: 0,
+                dim: 0,
+                plus: false,
+            },
+            FaultRule::drop(1.0),
+        );
+    m.set_fault_plan(plan);
+    m.boot();
+    m
+}
+
+/// Advances until the machine faults (or panics at `max`).
+fn run_until_fault(m: &mut Alewife, max: u64) {
+    while m.fault().is_none() {
+        assert!(m.now() < max, "no fault by cycle {}", m.now());
+        for (i, ev) in m.advance() {
+            match ev {
+                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                    let fp = m.cpu(i).fp();
+                    let fr = m.cpu_mut(i).frame_mut(fp);
+                    fr.state = FrameState::WaitingRemote;
+                    fr.psr.in_trap = false;
+                    m.charge_handler(i, 6);
+                }
+                StepEvent::NoReadyFrame => m.charge_idle(i, 1),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn dead_link_without_retries_trips_the_watchdog() {
+    let wd = WatchdogConfig {
+        enabled: true,
+        horizon: 3_000,
+    };
+    let mut m = dead_link_machine(RetryConfig::disabled(), wd);
+    run_until_fault(&mut m, 200_000);
+    let Some(MachineFault::NoForwardProgress(pm)) = m.fault() else {
+        panic!("expected a watchdog fault, got {:?}", m.fault());
+    };
+    // The post-mortem names the stuck transaction and the parked frame.
+    assert_eq!(pm.horizon, 3_000);
+    assert!(
+        pm.outstanding
+            .iter()
+            .any(|t| t.node == 0 && t.block == 0x100000),
+        "post-mortem lost the stuck transaction: {pm}"
+    );
+    assert!(
+        pm.stalled_frames
+            .iter()
+            .any(|f| f.node == 0 && f.state == FrameState::WaitingRemote),
+        "post-mortem lost the waiting frame: {pm}"
+    );
+    assert!(pm.fault_stats.dropped >= 1);
+    let report = pm.to_string();
+    assert!(report.contains("no forward progress"));
+    assert!(report.contains("outstanding transactions"));
+}
+
+#[test]
+fn dead_link_with_retries_exhausts_into_protocol_fault() {
+    // With retransmission enabled the controller keeps resending into
+    // the dead link and gives up with a typed error before the (large)
+    // watchdog horizon elapses.
+    let retry = RetryConfig {
+        enabled: true,
+        timeout: 50,
+        backoff_cap: 200,
+        max_retries: 5,
+    };
+    let mut m = dead_link_machine(
+        retry,
+        WatchdogConfig {
+            enabled: true,
+            horizon: 100_000,
+        },
+    );
+    run_until_fault(&mut m, 500_000);
+    match m.fault() {
+        Some(MachineFault::Protocol {
+            node: 0,
+            error:
+                ProtocolError::RetriesExhausted {
+                    block: 0x100000,
+                    retries: 5,
+                    ..
+                },
+        }) => {}
+        other => panic!("expected retries-exhausted on node 0, got {other:?}"),
+    }
+    assert!(
+        m.fault_stats().dropped >= 5,
+        "each retransmission must have been dropped"
+    );
+}
+
+#[test]
+fn quiescent_machine_never_trips_the_watchdog() {
+    // A machine that halts immediately sits still forever — with no
+    // pending work the stable signature is quiescence, not deadlock.
+    let cfg = MachineConfig {
+        topology: Topology::new(1, 2),
+        region_bytes: 1 << 20,
+        watchdog: WatchdogConfig {
+            enabled: true,
+            horizon: 500,
+        },
+        ..MachineConfig::default()
+    };
+    let mut m = Alewife::new(cfg, assemble("halt").unwrap());
+    m.boot();
+    for _ in 0..5_000 {
+        m.advance();
+    }
+    assert!(
+        m.fault().is_none(),
+        "watchdog fired on an idle machine: {:?}",
+        m.fault()
+    );
+}

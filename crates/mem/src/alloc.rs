@@ -19,7 +19,11 @@ pub struct OutOfMemory {
 
 impl fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "simulated heap exhausted: requested {} bytes, {} left", self.requested, self.remaining)
+        write!(
+            f,
+            "simulated heap exhausted: requested {} bytes, {} left",
+            self.requested, self.remaining
+        )
     }
 }
 
@@ -53,7 +57,11 @@ impl BumpAllocator {
     pub fn new(base: u32, limit: u32) -> BumpAllocator {
         assert!(base <= limit, "inverted region");
         assert_eq!(base & 3, 0, "region must be word-aligned");
-        BumpAllocator { base, next: base, limit }
+        BumpAllocator {
+            base,
+            next: base,
+            limit,
+        }
     }
 
     /// Allocates `bytes` with the given power-of-two `align`ment,
@@ -71,7 +79,10 @@ impl BumpAllocator {
             remaining: self.limit - self.next,
         })?;
         if end > self.limit {
-            return Err(OutOfMemory { requested: bytes, remaining: self.limit - self.next });
+            return Err(OutOfMemory {
+                requested: bytes,
+                remaining: self.limit - self.next,
+            });
         }
         self.next = end;
         Ok(start)

@@ -35,7 +35,11 @@ pub struct CacheConfig {
 
 impl Default for CacheConfig {
     fn default() -> CacheConfig {
-        CacheConfig { size_bytes: 64 * 1024, block_bytes: 16, assoc: 1 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            block_bytes: 16,
+            assoc: 1,
+        }
     }
 }
 
@@ -133,8 +137,16 @@ impl Cache {
         assert!(cfg.block_bytes.is_power_of_two() && cfg.block_bytes >= 4);
         assert!(cfg.assoc >= 1);
         let sets = cfg.num_sets();
-        assert!(sets.is_power_of_two() && sets >= 1, "set count must be a power of two");
-        Cache { cfg, sets: vec![Vec::new(); sets as usize], clock: 0, stats: CacheStats::default() }
+        assert!(
+            sets.is_power_of_two() && sets >= 1,
+            "set count must be a power of two"
+        );
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); sets as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -158,10 +170,13 @@ impl Cache {
         }
         let clock = self.clock;
         let si = self.set_index(block);
-        let hit = self.sets[si].iter_mut().find(|l| l.block == block).map(|l| {
-            l.lru = clock;
-            l.state
-        });
+        let hit = self.sets[si]
+            .iter_mut()
+            .find(|l| l.block == block)
+            .map(|l| {
+                l.lru = clock;
+                l.state
+            });
         match (hit, write) {
             (Some(_), false) | (Some(LineState::Modified), true) => true,
             (Some(LineState::Shared), true) => {
@@ -183,7 +198,10 @@ impl Cache {
     pub fn probe(&self, addr: u32) -> Option<LineState> {
         let block = self.cfg.block_of(addr);
         let si = self.set_index(block);
-        self.sets[si].iter().find(|l| l.block == block).map(|l| l.state)
+        self.sets[si]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| l.state)
     }
 
     /// Inserts (or upgrades) the line for `addr` in `state`, returning
@@ -208,11 +226,18 @@ impl Cache {
                 .expect("nonempty set");
             let v = set.swap_remove(vi);
             self.stats.evictions += 1;
-            Some(Victim { block: v.block, dirty: v.state == LineState::Modified })
+            Some(Victim {
+                block: v.block,
+                dirty: v.state == LineState::Modified,
+            })
         } else {
             None
         };
-        set.push(Line { block, state, lru: clock });
+        set.push(Line {
+            block,
+            state,
+            lru: clock,
+        });
         victim
     }
 
@@ -268,7 +293,11 @@ mod tests {
     use super::*;
 
     fn small() -> Cache {
-        Cache::new(CacheConfig { size_bytes: 128, block_bytes: 16, assoc: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            block_bytes: 16,
+            assoc: 2,
+        })
     }
 
     #[test]
@@ -325,7 +354,11 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 64, block_bytes: 16, assoc: 1 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64,
+            block_bytes: 16,
+            assoc: 1,
+        });
         // 4 sets; blocks 0 and 64 conflict.
         c.fill(0, LineState::Shared);
         let v = c.fill(64, LineState::Shared).expect("conflict eviction");

@@ -12,9 +12,24 @@
 //! 3.4 that the out-of-band instructions reach: FLUSH with the fence
 //! counter, and acknowledgment bookkeeping for software-enforced
 //! coherence.
+//!
+//! The controller is hardened against an unreliable network: every
+//! transaction carries a sequence number (`xid`) that replies must
+//! echo — a reply for a retired or superseded transaction is ignored
+//! rather than filled into the cache — and unanswered requests are
+//! retransmitted with bounded exponential backoff from
+//! [`CacheController::tick`]. A [`CohMsg::Nack`] from an overloaded
+//! home reschedules the retransmission instead of spinning.
 
+// Protocol hot path: failures must surface as typed errors, not tear
+// down the simulator on the first injected fault.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 use crate::cache::{Cache, CacheConfig, LineState};
 use crate::directory::Directory;
+use crate::error::{ProtocolError, RetryConfig};
 use crate::msg::CohMsg;
 use std::collections::HashMap;
 
@@ -23,11 +38,17 @@ use std::collections::HashMap;
 pub struct CtlConfig {
     /// Cycles to fill a line from node-local memory (Table 4: 10).
     pub local_mem_latency: u64,
+    /// Retransmission policy for unanswered requests and fenced
+    /// flushes.
+    pub retry: RetryConfig,
 }
 
 impl Default for CtlConfig {
     fn default() -> CtlConfig {
-        CtlConfig { local_mem_latency: 10 }
+        CtlConfig {
+            local_mem_latency: 10,
+            retry: RetryConfig::default(),
+        }
     }
 }
 
@@ -49,10 +70,23 @@ pub enum Outcome {
 
 #[derive(Debug, Clone, Default)]
 struct Txn {
+    /// This transaction's sequence number; replies must echo it.
+    xid: u32,
     /// Waiting hardware contexts: `(frame, needs_write)`.
     frames: Vec<(usize, bool)>,
     /// A write-grade request has been issued.
     write_issued: bool,
+    /// Retransmissions so far.
+    retries: u32,
+    /// When the next retransmission fires.
+    next_retry: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FenceFlush {
+    block: u32,
+    retries: u32,
+    next_retry: u64,
 }
 
 /// Controller event counters.
@@ -70,6 +104,28 @@ pub struct CtlStats {
     pub downgrades: u64,
     /// Dirty lines written back (evictions + flushes).
     pub writebacks: u64,
+    /// Requests or fenced flushes retransmitted.
+    pub retransmits: u64,
+    /// NACKs received from overloaded homes.
+    pub nacks: u64,
+    /// Stale or duplicate replies ignored.
+    pub stale_replies: u64,
+}
+
+impl CtlStats {
+    /// Sum of all counters — a cheap progress signature for the
+    /// machine's forward-progress watchdog.
+    pub fn total(&self) -> u64 {
+        self.hits
+            + self.local_fills
+            + self.remote_txns
+            + self.invals
+            + self.downgrades
+            + self.writebacks
+            + self.retransmits
+            + self.nacks
+            + self.stale_replies
+    }
 }
 
 /// A node's cache controller.
@@ -79,6 +135,10 @@ pub struct CacheController {
     /// The processor cache (tags + MSI state).
     pub cache: Cache,
     txns: HashMap<u32, Txn>,
+    /// Outstanding fenced flushes by flush id (awaiting `FlushAck`).
+    flushes: HashMap<u32, FenceFlush>,
+    next_xid: u32,
+    clock: u64,
     /// Blocks filled for a waiting context but not yet accessed: the
     /// controller guarantees the processor one access before
     /// surrendering the line again, closing ALEWIFE's "window of
@@ -102,6 +162,9 @@ impl CacheController {
             node,
             cache: Cache::new(cache_cfg),
             txns: HashMap::new(),
+            flushes: HashMap::new(),
+            next_xid: 0,
+            clock: 0,
             pinned: std::collections::HashSet::new(),
             deferred: Vec::new(),
             fence: 0,
@@ -126,19 +189,45 @@ impl CacheController {
         self.txns.len()
     }
 
+    /// Outstanding transactions as `(block, xid, write_issued,
+    /// waiting_frames)`, sorted by block — the requester slice of a
+    /// deadlock post-mortem.
+    pub fn outstanding_txns(&self) -> Vec<(u32, u32, bool, Vec<usize>)> {
+        let mut v: Vec<_> = self
+            .txns
+            .iter()
+            .map(|(&b, t)| {
+                (
+                    b,
+                    t.xid,
+                    t.write_issued,
+                    t.frames.iter().map(|&(f, _)| f).collect(),
+                )
+            })
+            .collect();
+        v.sort_by_key(|&(b, ..)| b);
+        v
+    }
+
+    fn fresh_xid(&mut self) -> u32 {
+        self.next_xid = self.next_xid.wrapping_add(1);
+        self.next_xid
+    }
+
     /// Processes a processor data access.
     ///
     /// `home` is the block's home node; `dir` must be `Some` when this
     /// node is the home (the machine splits the borrow); `home_of`
     /// maps any block address to its home (needed for evictions);
     /// outgoing messages are appended to `out`.
+    #[allow(clippy::too_many_arguments)]
     pub fn cpu_access(
         &mut self,
         addr: u32,
         write: bool,
         frame: usize,
         home: usize,
-        mut dir: Option<&mut Directory>,
+        dir: Option<&mut Directory>,
         home_of: impl Fn(u32) -> usize,
         out: &mut Vec<(usize, CohMsg)>,
     ) -> Outcome {
@@ -157,23 +246,55 @@ impl CacheController {
             }
             if write && !txn.write_issued {
                 txn.write_issued = true;
-                out.push((home, CohMsg::WrReq { block }));
+                out.push((
+                    home,
+                    CohMsg::WrReq {
+                        block,
+                        xid: txn.xid,
+                    },
+                ));
             }
             return Outcome::Remote;
         }
-        // Local fast path: home is here and the block is quiet.
+        // Local fast path: home is here, the machine passed the local
+        // directory, and the block is quiet.
         if home == self.node {
-            let dir = dir.as_deref_mut().expect("home node must pass its directory");
-            if dir.grantable_now(self.node, block, write) {
-                dir.grant_local(self.node, block, write);
-                self.fill(block, if write { LineState::Modified } else { LineState::Shared }, &home_of, out);
-                self.stats.local_fills += 1;
-                return Outcome::LocalFill { stall: self.cfg.local_mem_latency };
+            if let Some(dir) = dir {
+                if dir.grant_local(self.node, block, write) {
+                    self.fill(
+                        block,
+                        if write {
+                            LineState::Modified
+                        } else {
+                            LineState::Shared
+                        },
+                        &home_of,
+                        out,
+                    );
+                    self.stats.local_fills += 1;
+                    return Outcome::LocalFill {
+                        stall: self.cfg.local_mem_latency,
+                    };
+                }
             }
         }
         // Remote (or locally-contended) transaction.
-        self.txns.insert(block, Txn { frames: vec![(frame, write)], write_issued: write });
-        let msg = if write { CohMsg::WrReq { block } } else { CohMsg::RdReq { block } };
+        let xid = self.fresh_xid();
+        self.txns.insert(
+            block,
+            Txn {
+                xid,
+                frames: vec![(frame, write)],
+                write_issued: write,
+                retries: 0,
+                next_retry: self.clock + self.cfg.retry.timeout,
+            },
+        );
+        let msg = if write {
+            CohMsg::WrReq { block, xid }
+        } else {
+            CohMsg::RdReq { block, xid }
+        };
         out.push((home, msg));
         self.stats.remote_txns += 1;
         Outcome::Remote
@@ -189,7 +310,14 @@ impl CacheController {
         if let Some(victim) = self.cache.fill(block, state) {
             if victim.dirty {
                 self.stats.writebacks += 1;
-                out.push((home_of(victim.block), CohMsg::FlushData { block: victim.block, fenced: false }));
+                out.push((
+                    home_of(victim.block),
+                    CohMsg::FlushData {
+                        block: victim.block,
+                        fenced: false,
+                        xid: 0,
+                    },
+                ));
             }
             if self.pinned.remove(&victim.block) {
                 self.service_deferred(victim.block, home_of, out);
@@ -208,8 +336,13 @@ impl CacheController {
         let mut rest = Vec::new();
         for (from, msg) in std::mem::take(&mut self.deferred) {
             if msg.block() == Some(block) {
+                // Only home-initiated demands are ever deferred, and
+                // those never fail or wake frames.
                 let woken = self.handle_msg_dyn(from, msg, home_of, out);
-                debug_assert!(woken.is_empty(), "deferred requests never wake frames");
+                debug_assert!(
+                    matches!(woken.as_deref(), Ok([])),
+                    "deferred requests never wake frames or fail"
+                );
             } else {
                 rest.push((from, msg));
             }
@@ -218,14 +351,16 @@ impl CacheController {
     }
 
     /// Handles a protocol message addressed to this cache (replies and
-    /// home-initiated requests). Returns the task frames to wake.
+    /// home-initiated requests). Returns the task frames to wake, or a
+    /// [`ProtocolError`] if the message is of a kind this endpoint
+    /// never handles.
     pub fn handle_msg(
         &mut self,
         from: usize,
         msg: CohMsg,
         home_of: impl Fn(u32) -> usize,
         out: &mut Vec<(usize, CohMsg)>,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, ProtocolError> {
         self.handle_msg_dyn(from, msg, &home_of, out)
     }
 
@@ -235,31 +370,51 @@ impl CacheController {
         msg: CohMsg,
         home_of: &dyn Fn(u32) -> usize,
         out: &mut Vec<(usize, CohMsg)>,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, ProtocolError> {
         match msg {
-            CohMsg::RdReply { block } => {
-                self.fill(block, LineState::Shared, home_of, out);
-                if let Some(txn) = self.txns.get_mut(&block) {
-                    let mut woken = Vec::new();
-                    txn.frames.retain(|&(f, w)| {
-                        if w {
-                            true
-                        } else {
-                            woken.push(f);
-                            false
-                        }
-                    });
-                    if txn.frames.is_empty() {
-                        self.txns.remove(&block);
+            CohMsg::RdReply { block, xid } => {
+                // Accept only if it answers the live transaction; a
+                // duplicated or stale reply must not touch the cache.
+                match self.txns.get_mut(&block) {
+                    Some(txn) if txn.xid == xid => {}
+                    _ => {
+                        self.stats.stale_replies += 1;
+                        return Ok(Vec::new());
                     }
-                    if !woken.is_empty() {
-                        self.pinned.insert(block);
-                    }
-                    return woken;
                 }
-                Vec::new()
+                self.fill(block, LineState::Shared, home_of, out);
+                let Some(txn) = self.txns.get_mut(&block) else {
+                    return Ok(Vec::new());
+                };
+                let mut woken = Vec::new();
+                txn.frames.retain(|&(f, w)| {
+                    if w {
+                        true
+                    } else {
+                        woken.push(f);
+                        false
+                    }
+                });
+                // The request was answered; retransmission timing
+                // restarts for any still-pending write upgrade.
+                txn.retries = 0;
+                txn.next_retry = self.clock + self.cfg.retry.timeout;
+                if txn.frames.is_empty() {
+                    self.txns.remove(&block);
+                }
+                if !woken.is_empty() {
+                    self.pinned.insert(block);
+                }
+                Ok(woken)
             }
-            CohMsg::WrReply { block } => {
+            CohMsg::WrReply { block, xid } => {
+                match self.txns.get(&block) {
+                    Some(txn) if txn.xid == xid => {}
+                    _ => {
+                        self.stats.stale_replies += 1;
+                        return Ok(Vec::new());
+                    }
+                }
                 self.fill(block, LineState::Modified, home_of, out);
                 match self.txns.remove(&block) {
                     Some(txn) => {
@@ -267,64 +422,174 @@ impl CacheController {
                         if !woken.is_empty() {
                             self.pinned.insert(block);
                         }
-                        woken
+                        Ok(woken)
                     }
-                    None => Vec::new(),
+                    None => Ok(Vec::new()),
                 }
             }
-            CohMsg::Inval { block } => {
+            CohMsg::Nack { block, xid } => {
+                // The home's waiter queue was full: back off and retry.
+                if let Some(txn) = self.txns.get_mut(&block) {
+                    if txn.xid == xid {
+                        self.stats.nacks += 1;
+                        txn.next_retry = self.clock + self.cfg.retry.backoff(txn.retries);
+                    }
+                }
+                Ok(Vec::new())
+            }
+            CohMsg::Inval { block, xid } => {
                 if self.pinned.contains(&block) {
                     self.deferred.push((from, msg));
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
                 if self.cache.invalidate(block) == Some(true) {
                     self.stats.writebacks += 1;
                 }
                 self.stats.invals += 1;
-                out.push((from, CohMsg::InvAck { block }));
-                Vec::new()
+                out.push((from, CohMsg::InvAck { block, xid }));
+                Ok(Vec::new())
             }
-            CohMsg::DownReq { block } => {
+            CohMsg::DownReq { block, xid } => {
                 if self.pinned.contains(&block) {
                     self.deferred.push((from, msg));
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
                 self.cache.downgrade(block);
                 self.stats.downgrades += 1;
-                out.push((from, CohMsg::DownAck { block }));
-                Vec::new()
+                out.push((from, CohMsg::DownAck { block, xid }));
+                Ok(Vec::new())
             }
-            CohMsg::WbInvalReq { block } => {
+            CohMsg::WbInvalReq { block, xid } => {
                 if self.pinned.contains(&block) {
                     self.deferred.push((from, msg));
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
                 self.cache.invalidate(block);
                 self.stats.writebacks += 1;
-                out.push((from, CohMsg::WbInvalAck { block }));
-                Vec::new()
+                out.push((from, CohMsg::WbInvalAck { block, xid }));
+                Ok(Vec::new())
             }
-            CohMsg::FlushAck { fenced, .. } => {
-                if fenced {
+            CohMsg::FlushAck { fenced, xid, .. } => {
+                // Only the first ack for a tracked fenced flush lowers
+                // the fence; duplicates are ignored.
+                if fenced && self.flushes.remove(&xid).is_some() {
                     self.fence = self.fence.saturating_sub(1);
                 }
-                Vec::new()
+                Ok(Vec::new())
             }
-            CohMsg::BlockXfer { .. } | CohMsg::Ipi => Vec::new(),
-            other => panic!("controller got home-side message {other:?}"),
+            CohMsg::BlockXfer { .. } | CohMsg::Ipi => Ok(Vec::new()),
+            other => Err(ProtocolError::UnexpectedMessage {
+                node: self.node,
+                from,
+                msg: other,
+            }),
         }
+    }
+
+    /// Advances the controller's clock to `now` and retransmits
+    /// overdue requests and fenced flushes with bounded exponential
+    /// backoff, or reports [`ProtocolError::RetriesExhausted`].
+    pub fn tick(
+        &mut self,
+        now: u64,
+        home_of: impl Fn(u32) -> usize,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) -> Result<(), ProtocolError> {
+        self.clock = now;
+        if !self.cfg.retry.enabled {
+            return Ok(());
+        }
+        let retry = self.cfg.retry;
+        let node = self.node;
+        let mut resend = Vec::new();
+        for (&block, txn) in &mut self.txns {
+            if txn.next_retry > now {
+                continue;
+            }
+            if txn.retries >= retry.max_retries {
+                return Err(ProtocolError::RetriesExhausted {
+                    node,
+                    block,
+                    xid: txn.xid,
+                    retries: txn.retries,
+                });
+            }
+            let msg = if txn.write_issued {
+                CohMsg::WrReq {
+                    block,
+                    xid: txn.xid,
+                }
+            } else {
+                CohMsg::RdReq {
+                    block,
+                    xid: txn.xid,
+                }
+            };
+            resend.push((home_of(block), msg));
+            txn.retries += 1;
+            txn.next_retry = now + retry.backoff(txn.retries);
+        }
+        for (&xid, fl) in &mut self.flushes {
+            if fl.next_retry > now {
+                continue;
+            }
+            if fl.retries >= retry.max_retries {
+                return Err(ProtocolError::RetriesExhausted {
+                    node,
+                    block: fl.block,
+                    xid,
+                    retries: fl.retries,
+                });
+            }
+            resend.push((
+                home_of(fl.block),
+                CohMsg::FlushData {
+                    block: fl.block,
+                    fenced: true,
+                    xid,
+                },
+            ));
+            fl.retries += 1;
+            fl.next_retry = now + retry.backoff(fl.retries);
+        }
+        self.stats.retransmits += resend.len() as u64;
+        // Deterministic send order regardless of hash-map iteration.
+        resend.sort_by_key(|&(to, msg)| (msg.block(), msg.xid(), to));
+        out.append(&mut resend);
+        Ok(())
     }
 
     /// Implements the FLUSH instruction: drops the line containing
     /// `addr`; if dirty, writes it back and increments the fence
     /// counter (Section 3.4).
-    pub fn flush(&mut self, addr: u32, home_of: impl Fn(u32) -> usize, out: &mut Vec<(usize, CohMsg)>) -> u32 {
+    pub fn flush(
+        &mut self,
+        addr: u32,
+        home_of: impl Fn(u32) -> usize,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) -> u32 {
         let block = self.cache.config().block_of(addr);
         match self.cache.invalidate(block) {
             Some(true) => {
                 self.fence += 1;
                 self.stats.writebacks += 1;
-                out.push((home_of(block), CohMsg::FlushData { block, fenced: true }));
+                let xid = self.fresh_xid();
+                self.flushes.insert(
+                    xid,
+                    FenceFlush {
+                        block,
+                        retries: 0,
+                        next_retry: self.clock + self.cfg.retry.timeout,
+                    },
+                );
+                out.push((
+                    home_of(block),
+                    CohMsg::FlushData {
+                        block,
+                        fenced: true,
+                        xid,
+                    },
+                ));
                 1
             }
             _ => 0,
@@ -340,9 +605,22 @@ mod tests {
     fn ctl(node: usize) -> CacheController {
         CacheController::new(
             node,
-            CacheConfig { size_bytes: 1024, block_bytes: 16, assoc: 2 },
+            CacheConfig {
+                size_bytes: 1024,
+                block_bytes: 16,
+                assoc: 2,
+            },
             CtlConfig::default(),
         )
+    }
+
+    /// The xid of the controller's outstanding transaction on `block`.
+    fn xid_of(c: &CacheController, block: u32) -> u32 {
+        c.outstanding_txns()
+            .into_iter()
+            .find(|&(b, ..)| b == block)
+            .map(|(_, x, ..)| x)
+            .expect("transaction outstanding")
     }
 
     #[test]
@@ -365,9 +643,12 @@ mod tests {
         let mut out = Vec::new();
         let o = c.cpu_access(0x40, false, 2, 5, None, |_| 5, &mut out);
         assert_eq!(o, Outcome::Remote);
-        assert_eq!(out, vec![(5, CohMsg::RdReq { block: 0x40 })]);
+        let xid = xid_of(&c, 0x40);
+        assert_eq!(out, vec![(5, CohMsg::RdReq { block: 0x40, xid })]);
         out.clear();
-        let woken = c.handle_msg(5, CohMsg::RdReply { block: 0x40 }, |_| 5, &mut out);
+        let woken = c
+            .handle_msg(5, CohMsg::RdReply { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
         assert_eq!(woken, vec![2]);
         assert_eq!(c.outstanding(), 0);
         // Now a hit.
@@ -382,7 +663,10 @@ mod tests {
         c.cpu_access(0x40, false, 0, 5, None, |_| 5, &mut out);
         c.cpu_access(0x40, false, 1, 5, None, |_| 5, &mut out);
         assert_eq!(out.len(), 1, "one request for two frames");
-        let mut woken = c.handle_msg(5, CohMsg::RdReply { block: 0x40 }, |_| 5, &mut out);
+        let xid = xid_of(&c, 0x40);
+        let mut woken = c
+            .handle_msg(5, CohMsg::RdReply { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
         woken.sort();
         assert_eq!(woken, vec![0, 1]);
     }
@@ -393,17 +677,142 @@ mod tests {
         let mut out = Vec::new();
         c.cpu_access(0x40, false, 0, 5, None, |_| 5, &mut out);
         c.cpu_access(0x40, true, 1, 5, None, |_| 5, &mut out);
+        let xid = xid_of(&c, 0x40);
         assert_eq!(
             out,
-            vec![(5, CohMsg::RdReq { block: 0x40 }), (5, CohMsg::WrReq { block: 0x40 })]
+            vec![
+                (5, CohMsg::RdReq { block: 0x40, xid }),
+                (5, CohMsg::WrReq { block: 0x40, xid })
+            ]
         );
         out.clear();
         // RdReply satisfies only the reader.
-        let woken = c.handle_msg(5, CohMsg::RdReply { block: 0x40 }, |_| 5, &mut out);
+        let woken = c
+            .handle_msg(5, CohMsg::RdReply { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
         assert_eq!(woken, vec![0]);
         assert_eq!(c.outstanding(), 1);
-        let woken = c.handle_msg(5, CohMsg::WrReply { block: 0x40 }, |_| 5, &mut out);
+        let woken = c
+            .handle_msg(5, CohMsg::WrReply { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
         assert_eq!(woken, vec![1]);
+    }
+
+    #[test]
+    fn stale_reply_is_ignored_and_does_not_fill() {
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        c.cpu_access(0x40, true, 0, 5, None, |_| 5, &mut out);
+        let xid = xid_of(&c, 0x40);
+        // A reply with the wrong xid (stale from an earlier incarnation)
+        // must neither fill the cache nor wake the frame.
+        let woken = c
+            .handle_msg(
+                5,
+                CohMsg::WrReply {
+                    block: 0x40,
+                    xid: xid.wrapping_add(9),
+                },
+                |_| 5,
+                &mut out,
+            )
+            .unwrap();
+        assert!(woken.is_empty());
+        assert_eq!(c.cache.probe(0x40), None, "stale reply must not fill");
+        assert_eq!(c.outstanding(), 1);
+        assert_eq!(c.stats.stale_replies, 1);
+        // The real reply still lands.
+        let woken = c
+            .handle_msg(5, CohMsg::WrReply { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
+        assert_eq!(woken, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_reply_after_retirement_is_ignored() {
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        c.cpu_access(0x40, true, 0, 5, None, |_| 5, &mut out);
+        let xid = xid_of(&c, 0x40);
+        c.handle_msg(5, CohMsg::WrReply { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
+        // Consume the pin, downgrade the line away, then replay the
+        // reply: it must not resurrect the Modified copy.
+        c.cpu_access(0x40, true, 0, 5, None, |_| 5, &mut out);
+        c.handle_msg(
+            5,
+            CohMsg::Inval {
+                block: 0x40,
+                xid: 77,
+            },
+            |_| 5,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(c.cache.probe(0x40), None);
+        let woken = c
+            .handle_msg(5, CohMsg::WrReply { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
+        assert!(woken.is_empty());
+        assert_eq!(c.cache.probe(0x40), None, "duplicate reply must not refill");
+        assert_eq!(c.stats.stale_replies, 1);
+    }
+
+    #[test]
+    fn overdue_request_is_retransmitted_then_exhausts() {
+        let mut c = CacheController::new(
+            0,
+            CacheConfig {
+                size_bytes: 1024,
+                block_bytes: 16,
+                assoc: 2,
+            },
+            CtlConfig {
+                local_mem_latency: 10,
+                retry: RetryConfig {
+                    enabled: true,
+                    timeout: 50,
+                    backoff_cap: 50,
+                    max_retries: 2,
+                },
+            },
+        );
+        let mut out = Vec::new();
+        c.cpu_access(0x40, false, 0, 5, None, |_| 5, &mut out);
+        let xid = xid_of(&c, 0x40);
+        out.clear();
+        c.tick(49, |_| 5, &mut out).unwrap();
+        assert!(out.is_empty(), "not overdue yet");
+        c.tick(50, |_| 5, &mut out).unwrap();
+        assert_eq!(out, vec![(5, CohMsg::RdReq { block: 0x40, xid })]);
+        out.clear();
+        c.tick(100, |_| 5, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        let err = c.tick(150, |_| 5, &mut out).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::RetriesExhausted {
+                node: 0,
+                block: 0x40,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn nack_backs_off_the_retry() {
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        c.cpu_access(0x40, false, 0, 5, None, |_| 5, &mut out);
+        let xid = xid_of(&c, 0x40);
+        c.handle_msg(5, CohMsg::Nack { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
+        assert_eq!(c.stats.nacks, 1);
+        assert_eq!(c.outstanding(), 1, "NACK keeps the transaction alive");
+        out.clear();
+        // The retransmission still happens, just later.
+        c.tick(10_000_000, |_| 5, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
     }
 
     #[test]
@@ -412,18 +821,55 @@ mod tests {
         let mut dir = Directory::new();
         let mut out = Vec::new();
         c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 0, &mut out);
-        let woken = c.handle_msg(3, CohMsg::Inval { block: 0x40 }, |_| 0, &mut out);
+        let woken = c
+            .handle_msg(
+                3,
+                CohMsg::Inval {
+                    block: 0x40,
+                    xid: 4,
+                },
+                |_| 0,
+                &mut out,
+            )
+            .unwrap();
         assert!(woken.is_empty());
-        assert_eq!(out, vec![(3, CohMsg::InvAck { block: 0x40 })]);
+        assert_eq!(
+            out,
+            vec![(
+                3,
+                CohMsg::InvAck {
+                    block: 0x40,
+                    xid: 4
+                }
+            )]
+        );
         assert_eq!(c.cache.probe(0x40), None);
     }
 
     #[test]
-    fn inval_for_absent_line_still_acks() {
+    fn inval_for_absent_line_still_acks_with_epoch() {
         let mut c = ctl(0);
         let mut out = Vec::new();
-        c.handle_msg(3, CohMsg::Inval { block: 0x80 }, |_| 0, &mut out);
-        assert_eq!(out, vec![(3, CohMsg::InvAck { block: 0x80 })]);
+        c.handle_msg(
+            3,
+            CohMsg::Inval {
+                block: 0x80,
+                xid: 9,
+            },
+            |_| 0,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![(
+                3,
+                CohMsg::InvAck {
+                    block: 0x80,
+                    xid: 9
+                }
+            )]
+        );
     }
 
     #[test]
@@ -432,8 +878,26 @@ mod tests {
         let mut dir = Directory::new();
         let mut out = Vec::new();
         c.cpu_access(0x40, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
-        c.handle_msg(2, CohMsg::DownReq { block: 0x40 }, |_| 0, &mut out);
-        assert_eq!(out, vec![(2, CohMsg::DownAck { block: 0x40 })]);
+        c.handle_msg(
+            2,
+            CohMsg::DownReq {
+                block: 0x40,
+                xid: 6,
+            },
+            |_| 0,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![(
+                2,
+                CohMsg::DownAck {
+                    block: 0x40,
+                    xid: 6
+                }
+            )]
+        );
         assert_eq!(c.cache.probe(0x40), Some(LineState::Shared));
     }
 
@@ -445,9 +909,95 @@ mod tests {
         c.cpu_access(0x40, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
         assert_eq!(c.flush(0x44, |_| 0, &mut out), 1);
         assert_eq!(c.fence_count(), 1);
-        assert_eq!(out.last(), Some(&(0, CohMsg::FlushData { block: 0x40, fenced: true })));
-        c.handle_msg(0, CohMsg::FlushAck { block: 0x40, fenced: true }, |_| 0, &mut out);
+        let Some(&(
+            0,
+            CohMsg::FlushData {
+                block: 0x40,
+                fenced: true,
+                xid,
+            },
+        )) = out.last()
+        else {
+            panic!("expected a fenced FlushData, got {:?}", out.last());
+        };
+        c.handle_msg(
+            0,
+            CohMsg::FlushAck {
+                block: 0x40,
+                fenced: true,
+                xid,
+            },
+            |_| 0,
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(c.fence_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_flush_ack_does_not_double_decrement() {
+        let mut c = ctl(0);
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        c.cpu_access(0x40, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        c.cpu_access(0x80, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        c.flush(0x40, |_| 0, &mut out);
+        c.flush(0x80, |_| 0, &mut out);
+        assert_eq!(c.fence_count(), 2);
+        let acks: Vec<CohMsg> = out
+            .iter()
+            .filter_map(|&(_, m)| match m {
+                CohMsg::FlushData {
+                    block,
+                    fenced: true,
+                    xid,
+                } => Some(CohMsg::FlushAck {
+                    block,
+                    fenced: true,
+                    xid,
+                }),
+                _ => None,
+            })
+            .collect();
+        // The first flush's ack arrives twice (network duplicate).
+        c.handle_msg(0, acks[0], |_| 0, &mut out).unwrap();
+        c.handle_msg(0, acks[0], |_| 0, &mut out).unwrap();
+        assert_eq!(
+            c.fence_count(),
+            1,
+            "duplicate ack must not unblock the fence early"
+        );
+        c.handle_msg(0, acks[1], |_| 0, &mut out).unwrap();
+        assert_eq!(c.fence_count(), 0);
+    }
+
+    #[test]
+    fn lost_fenced_flush_is_retransmitted() {
+        let mut c = ctl(0);
+        let mut dir = Directory::new();
+        let mut out = Vec::new();
+        c.cpu_access(0x40, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
+        c.flush(0x40, |_| 0, &mut out);
+        out.clear();
+        let t = CtlConfig::default().retry.timeout;
+        c.tick(t, |_| 0, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(
+            matches!(
+                out[0],
+                (
+                    0,
+                    CohMsg::FlushData {
+                        block: 0x40,
+                        fenced: true,
+                        ..
+                    }
+                )
+            ),
+            "got {:?}",
+            out[0]
+        );
+        assert_eq!(c.stats.retransmits, 1);
     }
 
     #[test]
@@ -470,11 +1020,24 @@ mod tests {
         let mut c = ctl(0);
         let mut out = Vec::new();
         c.cpu_access(0x40, true, 1, 5, None, |_| 5, &mut out);
+        let xid = xid_of(&c, 0x40);
         out.clear();
-        let woken = c.handle_msg(5, CohMsg::WrReply { block: 0x40 }, |_| 5, &mut out);
+        let woken = c
+            .handle_msg(5, CohMsg::WrReply { block: 0x40, xid }, |_| 5, &mut out)
+            .unwrap();
         assert_eq!(woken, vec![1]);
         // The steal attempt arrives before the retry: no ack yet.
-        let w = c.handle_msg(5, CohMsg::DownReq { block: 0x40 }, |_| 5, &mut out);
+        let w = c
+            .handle_msg(
+                5,
+                CohMsg::DownReq {
+                    block: 0x40,
+                    xid: 3,
+                },
+                |_| 5,
+                &mut out,
+            )
+            .unwrap();
         assert!(w.is_empty());
         assert!(out.is_empty(), "DownReq must be deferred while pinned");
         assert_eq!(c.cache.probe(0x40), Some(LineState::Modified));
@@ -482,7 +1045,16 @@ mod tests {
         // deferred downgrade.
         let o = c.cpu_access(0x44, true, 1, 5, None, |_| 5, &mut out);
         assert_eq!(o, Outcome::Hit);
-        assert_eq!(out, vec![(5, CohMsg::DownAck { block: 0x40 })]);
+        assert_eq!(
+            out,
+            vec![(
+                5,
+                CohMsg::DownAck {
+                    block: 0x40,
+                    xid: 3
+                }
+            )]
+        );
         assert_eq!(c.cache.probe(0x40), Some(LineState::Shared));
     }
 
@@ -493,15 +1065,37 @@ mod tests {
         let mut out = Vec::new();
         // Local fill (no waiting frame, no pin).
         c.cpu_access(0x40, true, 0, 0, Some(&mut dir), |_| 0, &mut out);
-        c.handle_msg(3, CohMsg::DownReq { block: 0x40 }, |_| 0, &mut out);
-        assert_eq!(out, vec![(3, CohMsg::DownAck { block: 0x40 })]);
+        c.handle_msg(
+            3,
+            CohMsg::DownReq {
+                block: 0x40,
+                xid: 2,
+            },
+            |_| 0,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![(
+                3,
+                CohMsg::DownAck {
+                    block: 0x40,
+                    xid: 2
+                }
+            )]
+        );
     }
 
     #[test]
     fn dirty_eviction_writes_back() {
         let mut c = CacheController::new(
             0,
-            CacheConfig { size_bytes: 64, block_bytes: 16, assoc: 1 },
+            CacheConfig {
+                size_bytes: 64,
+                block_bytes: 16,
+                assoc: 1,
+            },
             CtlConfig::default(),
         );
         let mut dir = Directory::new();
@@ -509,7 +1103,31 @@ mod tests {
         c.cpu_access(0x00, true, 0, 0, Some(&mut dir), |_| 7, &mut out);
         // 0x40 conflicts with 0x00 in a 4-set direct-mapped cache.
         c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 7, &mut out);
-        assert!(out.contains(&(7, CohMsg::FlushData { block: 0x00, fenced: false })));
+        assert!(out.contains(&(
+            7,
+            CohMsg::FlushData {
+                block: 0x00,
+                fenced: false,
+                xid: 0
+            }
+        )));
         assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn request_kind_message_to_controller_errors() {
+        let mut c = ctl(0);
+        let mut out = Vec::new();
+        let err = c
+            .handle_msg(3, CohMsg::RdReq { block: 0, xid: 1 }, |_| 0, &mut out)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::UnexpectedMessage {
+                node: 0,
+                from: 3,
+                ..
+            }
+        ));
     }
 }

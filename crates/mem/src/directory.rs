@@ -10,8 +10,28 @@
 //! and [`Directory::handle_ack`] consume protocol messages and return
 //! the messages to send in response. While a block is *busy* (waiting
 //! for invalidation or write-back acknowledgments), further requests
-//! queue in arrival order, guaranteeing freedom from protocol livelock.
+//! queue in arrival order, guaranteeing freedom from protocol livelock;
+//! the queue is bounded, and overflowing requests are refused with a
+//! [`CohMsg::Nack`] so the requester retries with backoff.
+//!
+//! The engine is hardened against an unreliable network:
+//!
+//! * each busy episode gets a fresh *epoch*, carried by the
+//!   invalidation/write-back demands it sends and echoed by their acks,
+//!   so delayed duplicate acks from an earlier episode are ignored;
+//! * outstanding acks are tracked per target node (not as a bare
+//!   count), so a duplicated ack cannot be counted twice;
+//! * unanswered demands are retransmitted with bounded exponential
+//!   backoff from [`Directory::tick`] (controllers acknowledge demands
+//!   for lines they no longer hold, so retransmission is idempotent).
 
+// Protocol hot path: failures must surface as typed errors, not tear
+// down the simulator on the first injected fault.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+use crate::error::{ProtocolError, RetryConfig};
 use crate::msg::CohMsg;
 use std::collections::{HashMap, VecDeque};
 
@@ -26,23 +46,71 @@ pub enum DirState {
     Exclusive(usize),
 }
 
+/// Which demand message a busy episode is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusyKind {
+    Inval,
+    Down,
+    WbInval,
+}
+
+impl BusyKind {
+    fn message(self, block: u32, epoch: u32) -> CohMsg {
+        match self {
+            BusyKind::Inval => CohMsg::Inval { block, xid: epoch },
+            BusyKind::Down => CohMsg::DownReq { block, xid: epoch },
+            BusyKind::WbInval => CohMsg::WbInvalReq { block, xid: epoch },
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Busy {
     requester: usize,
+    /// The requester's transaction id, echoed in the eventual reply.
+    req_xid: u32,
     write: bool,
-    pending_acks: usize,
+    kind: BusyKind,
+    /// This episode's epoch: demands carry it, acks must echo it.
+    epoch: u32,
+    /// Nodes whose acknowledgment is still outstanding.
+    pending: Vec<usize>,
+    retries: u32,
+    next_retry: u64,
 }
 
 #[derive(Debug, Clone)]
 struct DirEntry {
     state: DirState,
     busy: Option<Busy>,
-    waiters: VecDeque<(usize, bool)>,
+    waiters: VecDeque<(usize, bool, u32)>,
 }
 
 impl Default for DirEntry {
     fn default() -> DirEntry {
-        DirEntry { state: DirState::Uncached, busy: None, waiters: VecDeque::new() }
+        DirEntry {
+            state: DirState::Uncached,
+            busy: None,
+            waiters: VecDeque::new(),
+        }
+    }
+}
+
+/// Directory policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirConfig {
+    /// Requests queued behind a busy block before newcomers are NACKed.
+    pub max_waiters: usize,
+    /// Retransmission policy for unanswered demands.
+    pub retry: RetryConfig,
+}
+
+impl Default for DirConfig {
+    fn default() -> DirConfig {
+        DirConfig {
+            max_waiters: 64,
+            retry: RetryConfig::default(),
+        }
     }
 }
 
@@ -59,25 +127,60 @@ pub struct DirStats {
     pub wb_reqs_sent: u64,
     /// Requests deferred behind a busy block.
     pub deferred: u64,
+    /// Requests refused because the waiter queue was full.
+    pub nacks: u64,
+    /// Demand messages retransmitted.
+    pub retransmits: u64,
+    /// Duplicate or stale acknowledgments ignored.
+    pub stale_acks: u64,
+}
+
+impl DirStats {
+    /// Sum of all counters — a cheap progress signature for the
+    /// machine's forward-progress watchdog.
+    pub fn total(&self) -> u64 {
+        self.read_reqs
+            + self.write_reqs
+            + self.invals_sent
+            + self.wb_reqs_sent
+            + self.deferred
+            + self.nacks
+            + self.retransmits
+            + self.stale_acks
+    }
 }
 
 /// A node's directory: protocol state for the blocks it is home to.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
     entries: HashMap<u32, DirEntry>,
+    cfg: DirConfig,
+    epoch_counter: u32,
+    clock: u64,
     /// Event counters.
     pub stats: DirStats,
 }
 
 impl Directory {
-    /// Creates an empty directory.
+    /// Creates an empty directory with default policy.
     pub fn new() -> Directory {
         Directory::default()
     }
 
+    /// Creates an empty directory with the given policy.
+    pub fn with_config(cfg: DirConfig) -> Directory {
+        Directory {
+            cfg,
+            ..Directory::default()
+        }
+    }
+
     /// Current sharing state of `block` (for tests and probes).
     pub fn state(&self, block: u32) -> DirState {
-        self.entries.get(&block).map(|e| e.state.clone()).unwrap_or(DirState::Uncached)
+        self.entries
+            .get(&block)
+            .map(|e| e.state.clone())
+            .unwrap_or(DirState::Uncached)
     }
 
     /// True if `block` has a transaction in flight.
@@ -85,12 +188,35 @@ impl Directory {
         self.entries.get(&block).is_some_and(|e| e.busy.is_some())
     }
 
+    /// Number of blocks with a transaction in flight.
+    pub fn busy_count(&self) -> usize {
+        self.entries.values().filter(|e| e.busy.is_some()).count()
+    }
+
+    /// Busy entries as `(block, requester, write, epoch, pending)`,
+    /// sorted by block — the directory slice of a deadlock post-mortem.
+    pub fn busy_entries(&self) -> Vec<(u32, usize, bool, u32, Vec<usize>)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter_map(|(&b, e)| {
+                e.busy
+                    .as_ref()
+                    .map(|bu| (b, bu.requester, bu.write, bu.epoch, bu.pending.clone()))
+            })
+            .collect();
+        v.sort_by_key(|&(b, ..)| b);
+        v
+    }
+
     /// True if a request could be granted immediately, with no
     /// invalidations — the controller's local fast path, where the
     /// processor merely waits out the memory latency instead of
     /// context switching.
     pub fn grantable_now(&self, from: usize, block: u32, write: bool) -> bool {
-        let Some(e) = self.entries.get(&block) else { return true };
+        let Some(e) = self.entries.get(&block) else {
+            return true;
+        };
         if e.busy.is_some() {
             return false;
         }
@@ -102,14 +228,13 @@ impl Directory {
         }
     }
 
-    /// Immediately grants `block` to `from` without messages.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the grant is not allowed (callers must check
-    /// [`Directory::grantable_now`] first).
-    pub fn grant_local(&mut self, from: usize, block: u32, write: bool) {
-        assert!(self.grantable_now(from, block, write), "local grant requires a quiet block");
+    /// Immediately grants `block` to `from` without messages, if the
+    /// block is quiet (see [`Directory::grantable_now`]); returns
+    /// whether the grant happened.
+    pub fn grant_local(&mut self, from: usize, block: u32, write: bool) -> bool {
+        if !self.grantable_now(from, block, write) {
+            return false;
+        }
         if write {
             self.stats.write_reqs += 1;
         } else {
@@ -131,74 +256,138 @@ impl Directory {
                 }
             }
         }
+        true
     }
 
-    /// Handles a `RdReq`/`WrReq` from `from`, returning messages to
-    /// send (each as `(destination, message)`).
-    pub fn handle_request(&mut self, from: usize, block: u32, write: bool) -> Vec<(usize, CohMsg)> {
+    /// Handles a `RdReq`/`WrReq` from `from` carrying transaction id
+    /// `xid`, returning messages to send (each as `(destination,
+    /// message)`).
+    pub fn handle_request(
+        &mut self,
+        from: usize,
+        block: u32,
+        write: bool,
+        xid: u32,
+    ) -> Vec<(usize, CohMsg)> {
         if write {
             self.stats.write_reqs += 1;
         } else {
             self.stats.read_reqs += 1;
         }
         let mut out = Vec::new();
-        self.request_inner(from, block, write, &mut out);
+        self.request_inner(from, block, write, xid, &mut out);
         out
     }
 
-    fn request_inner(&mut self, from: usize, block: u32, write: bool, out: &mut Vec<(usize, CohMsg)>) {
+    fn request_inner(
+        &mut self,
+        from: usize,
+        block: u32,
+        write: bool,
+        xid: u32,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) {
+        let next_epoch = self.epoch_counter.wrapping_add(1);
+        let retry_at = self.clock + self.cfg.retry.timeout;
+        let max_waiters = self.cfg.max_waiters;
         let e = self.entries.entry(block).or_default();
-        if e.busy.is_some() {
-            e.waiters.push_back((from, write));
+        if let Some(busy) = &e.busy {
+            // A retransmission of the request currently being serviced,
+            // or one already queued, must not queue again.
+            if (busy.requester, busy.req_xid) == (from, xid)
+                || e.waiters.contains(&(from, write, xid))
+            {
+                return;
+            }
+            if e.waiters.len() >= max_waiters {
+                self.stats.nacks += 1;
+                out.push((from, CohMsg::Nack { block, xid }));
+                return;
+            }
+            e.waiters.push_back((from, write, xid));
             self.stats.deferred += 1;
             return;
         }
+        let begin_busy = |kind: BusyKind, targets: Vec<usize>| -> Busy {
+            Busy {
+                requester: from,
+                req_xid: xid,
+                write,
+                kind,
+                epoch: next_epoch,
+                pending: targets,
+                retries: 0,
+                next_retry: retry_at,
+            }
+        };
         match (&mut e.state, write) {
             (DirState::Uncached, false) => {
                 e.state = DirState::Shared(vec![from]);
-                out.push((from, CohMsg::RdReply { block }));
+                out.push((from, CohMsg::RdReply { block, xid }));
             }
             (DirState::Shared(s), false) => {
                 if !s.contains(&from) {
                     s.push(from);
                 }
-                out.push((from, CohMsg::RdReply { block }));
+                out.push((from, CohMsg::RdReply { block, xid }));
             }
             (DirState::Exclusive(o), false) if *o == from => {
                 // Owner re-reads (flush race); regrant as shared.
                 e.state = DirState::Shared(vec![from]);
-                out.push((from, CohMsg::RdReply { block }));
+                out.push((from, CohMsg::RdReply { block, xid }));
             }
             (DirState::Exclusive(o), false) => {
                 let owner = *o;
-                e.busy = Some(Busy { requester: from, write: false, pending_acks: 1 });
-                out.push((owner, CohMsg::DownReq { block }));
+                e.busy = Some(begin_busy(BusyKind::Down, vec![owner]));
+                self.epoch_counter = next_epoch;
+                out.push((
+                    owner,
+                    CohMsg::DownReq {
+                        block,
+                        xid: next_epoch,
+                    },
+                ));
                 self.stats.wb_reqs_sent += 1;
             }
             (DirState::Uncached, true) => {
                 e.state = DirState::Exclusive(from);
-                out.push((from, CohMsg::WrReply { block }));
+                out.push((from, CohMsg::WrReply { block, xid }));
             }
             (DirState::Shared(s), true) => {
                 let targets: Vec<usize> = s.iter().copied().filter(|&n| n != from).collect();
                 if targets.is_empty() {
                     e.state = DirState::Exclusive(from);
-                    out.push((from, CohMsg::WrReply { block }));
+                    out.push((from, CohMsg::WrReply { block, xid }));
                 } else {
-                    e.busy = Some(Busy { requester: from, write: true, pending_acks: targets.len() });
+                    let n = targets.len();
+                    e.busy = Some(begin_busy(BusyKind::Inval, targets.clone()));
+                    self.epoch_counter = next_epoch;
                     for t in targets {
-                        out.push((t, CohMsg::Inval { block }));
-                        self.stats.invals_sent += 1;
+                        out.push((
+                            t,
+                            CohMsg::Inval {
+                                block,
+                                xid: next_epoch,
+                            },
+                        ));
                     }
+                    self.stats.invals_sent += n as u64;
                 }
             }
             (DirState::Exclusive(o), true) if *o == from => {
-                out.push((from, CohMsg::WrReply { block }));
+                out.push((from, CohMsg::WrReply { block, xid }));
             }
             (DirState::Exclusive(o), true) => {
                 let owner = *o;
-                e.busy = Some(Busy { requester: from, write: true, pending_acks: 1 });
-                out.push((owner, CohMsg::WbInvalReq { block }));
+                e.busy = Some(begin_busy(BusyKind::WbInval, vec![owner]));
+                self.epoch_counter = next_epoch;
+                out.push((
+                    owner,
+                    CohMsg::WbInvalReq {
+                        block,
+                        xid: next_epoch,
+                    },
+                ));
                 self.stats.wb_reqs_sent += 1;
             }
         }
@@ -206,11 +395,18 @@ impl Directory {
 
     /// Handles an acknowledgment (`InvAck`, `DownAck`, `WbInvalAck`) or
     /// a voluntary `FlushData`, returning messages to send.
-    pub fn handle_ack(&mut self, from: usize, msg: CohMsg) -> Vec<(usize, CohMsg)> {
+    ///
+    /// Stale acknowledgments — wrong epoch, unknown block, or a
+    /// duplicate from a node already accounted for — are ignored.
+    pub fn handle_ack(
+        &mut self,
+        from: usize,
+        msg: CohMsg,
+    ) -> Result<Vec<(usize, CohMsg)>, ProtocolError> {
         let mut out = Vec::new();
         match msg {
-            CohMsg::FlushData { block, fenced } => {
-                out.push((from, CohMsg::FlushAck { block, fenced }));
+            CohMsg::FlushData { block, fenced, xid } => {
+                out.push((from, CohMsg::FlushAck { block, fenced, xid }));
                 let e = self.entries.entry(block).or_default();
                 if e.busy.is_none() {
                     match &mut e.state {
@@ -229,38 +425,118 @@ impl Directory {
                 // requests for absent lines), so resolution happens on
                 // that path.
             }
-            CohMsg::InvAck { block } | CohMsg::DownAck { block } | CohMsg::WbInvalAck { block } => {
-                let Some(e) = self.entries.get_mut(&block) else { return out };
-                let Some(busy) = &mut e.busy else { return out }; // stale ack
-                busy.pending_acks -= 1;
-                if busy.pending_acks == 0 {
-                    let Busy { requester, write, .. } = *busy;
+            CohMsg::InvAck { block, xid }
+            | CohMsg::DownAck { block, xid }
+            | CohMsg::WbInvalAck { block, xid } => {
+                let Some(e) = self.entries.get_mut(&block) else {
+                    self.stats.stale_acks += 1;
+                    return Ok(out);
+                };
+                let Some(busy) = &mut e.busy else {
+                    self.stats.stale_acks += 1;
+                    return Ok(out);
+                };
+                if busy.epoch != xid {
+                    // An ack from an earlier busy episode, delivered
+                    // late (or duplicated across episodes).
+                    self.stats.stale_acks += 1;
+                    return Ok(out);
+                }
+                let Some(i) = busy.pending.iter().position(|&n| n == from) else {
+                    // Duplicate ack within the episode.
+                    self.stats.stale_acks += 1;
+                    return Ok(out);
+                };
+                busy.pending.swap_remove(i);
+                if busy.pending.is_empty() {
+                    let Busy {
+                        requester,
+                        req_xid,
+                        write,
+                        ..
+                    } = *busy;
                     e.busy = None;
                     if write {
                         e.state = DirState::Exclusive(requester);
-                        out.push((requester, CohMsg::WrReply { block }));
+                        out.push((
+                            requester,
+                            CohMsg::WrReply {
+                                block,
+                                xid: req_xid,
+                            },
+                        ));
                     } else {
                         // Downgrade: the old owner (the acker) stays a
                         // sharer alongside the requester.
                         e.state = DirState::Shared(vec![from, requester]);
-                        out.push((requester, CohMsg::RdReply { block }));
+                        out.push((
+                            requester,
+                            CohMsg::RdReply {
+                                block,
+                                xid: req_xid,
+                            },
+                        ));
                     }
                     // Serve deferred requests now that the block is quiet.
-                    while let Some((f, w)) = {
-                        let e = self.entries.get_mut(&block).expect("entry exists");
-                        if e.busy.is_none() {
-                            e.waiters.pop_front()
-                        } else {
-                            None
+                    while let Some((f, w, x)) = {
+                        let e = self.entries.get_mut(&block);
+                        match e {
+                            Some(e) if e.busy.is_none() => e.waiters.pop_front(),
+                            _ => None,
                         }
                     } {
-                        self.request_inner(f, block, w, &mut out);
+                        self.request_inner(f, block, w, x, &mut out);
                     }
                 }
             }
-            other => panic!("directory got non-ack message {other:?}"),
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    node: usize::MAX,
+                    from,
+                    msg: other,
+                })
+            }
         }
-        out
+        Ok(out)
+    }
+
+    /// Advances the directory's clock to `now` and retransmits demands
+    /// whose acknowledgments are overdue, with bounded exponential
+    /// backoff. Returns the messages to send, or
+    /// [`ProtocolError::RetriesExhausted`] once an episode exceeds the
+    /// retry limit.
+    pub fn tick(&mut self, now: u64) -> Result<Vec<(usize, CohMsg)>, ProtocolError> {
+        self.clock = now;
+        if !self.cfg.retry.enabled {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let retry = self.cfg.retry;
+        let mut retransmits = 0;
+        for (&block, e) in &mut self.entries {
+            let Some(busy) = &mut e.busy else { continue };
+            if busy.next_retry > now || busy.pending.is_empty() {
+                continue;
+            }
+            if busy.retries >= retry.max_retries {
+                return Err(ProtocolError::RetriesExhausted {
+                    node: usize::MAX,
+                    block,
+                    xid: busy.epoch,
+                    retries: busy.retries,
+                });
+            }
+            for &t in &busy.pending {
+                out.push((t, busy.kind.message(block, busy.epoch)));
+                retransmits += 1;
+            }
+            busy.retries += 1;
+            busy.next_retry = now + retry.backoff(busy.retries);
+        }
+        self.stats.retransmits += retransmits;
+        // Deterministic send order regardless of hash-map iteration.
+        out.sort_by_key(|&(to, msg)| (msg.block(), to));
+        Ok(out)
     }
 }
 
@@ -271,101 +547,435 @@ mod tests {
     #[test]
     fn read_from_uncached_grants_shared() {
         let mut d = Directory::new();
-        let out = d.handle_request(1, 0x40, false);
-        assert_eq!(out, vec![(1, CohMsg::RdReply { block: 0x40 })]);
+        let out = d.handle_request(1, 0x40, false, 1);
+        assert_eq!(
+            out,
+            vec![(
+                1,
+                CohMsg::RdReply {
+                    block: 0x40,
+                    xid: 1
+                }
+            )]
+        );
         assert_eq!(d.state(0x40), DirState::Shared(vec![1]));
     }
 
     #[test]
     fn multiple_readers_accumulate() {
         let mut d = Directory::new();
-        d.handle_request(1, 0, false);
-        d.handle_request(2, 0, false);
-        let out = d.handle_request(3, 0, false);
-        assert_eq!(out, vec![(3, CohMsg::RdReply { block: 0 })]);
+        d.handle_request(1, 0, false, 1);
+        d.handle_request(2, 0, false, 2);
+        let out = d.handle_request(3, 0, false, 3);
+        assert_eq!(out, vec![(3, CohMsg::RdReply { block: 0, xid: 3 })]);
         assert_eq!(d.state(0), DirState::Shared(vec![1, 2, 3]));
     }
 
     #[test]
     fn write_invalidates_sharers() {
         let mut d = Directory::new();
-        d.handle_request(1, 0, false);
-        d.handle_request(2, 0, false);
-        let out = d.handle_request(3, 0, true);
-        assert_eq!(out, vec![(1, CohMsg::Inval { block: 0 }), (2, CohMsg::Inval { block: 0 })]);
+        d.handle_request(1, 0, false, 1);
+        d.handle_request(2, 0, false, 2);
+        let out = d.handle_request(3, 0, true, 3);
+        let epoch = out[0].1.xid().unwrap();
+        assert_eq!(
+            out,
+            vec![
+                (
+                    1,
+                    CohMsg::Inval {
+                        block: 0,
+                        xid: epoch
+                    }
+                ),
+                (
+                    2,
+                    CohMsg::Inval {
+                        block: 0,
+                        xid: epoch
+                    }
+                )
+            ]
+        );
         assert!(d.is_busy(0));
-        assert!(d.handle_ack(1, CohMsg::InvAck { block: 0 }).is_empty());
-        let out = d.handle_ack(2, CohMsg::InvAck { block: 0 });
-        assert_eq!(out, vec![(3, CohMsg::WrReply { block: 0 })]);
+        assert!(d
+            .handle_ack(
+                1,
+                CohMsg::InvAck {
+                    block: 0,
+                    xid: epoch
+                }
+            )
+            .unwrap()
+            .is_empty());
+        let out = d
+            .handle_ack(
+                2,
+                CohMsg::InvAck {
+                    block: 0,
+                    xid: epoch,
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(3, CohMsg::WrReply { block: 0, xid: 3 })]);
         assert_eq!(d.state(0), DirState::Exclusive(3));
     }
 
     #[test]
     fn read_of_exclusive_downgrades_owner() {
         let mut d = Directory::new();
-        d.handle_request(1, 0, true);
+        d.handle_request(1, 0, true, 1);
         assert_eq!(d.state(0), DirState::Exclusive(1));
-        let out = d.handle_request(2, 0, false);
-        assert_eq!(out, vec![(1, CohMsg::DownReq { block: 0 })]);
-        let out = d.handle_ack(1, CohMsg::DownAck { block: 0 });
-        assert_eq!(out, vec![(2, CohMsg::RdReply { block: 0 })]);
+        let out = d.handle_request(2, 0, false, 2);
+        let epoch = out[0].1.xid().unwrap();
+        assert_eq!(
+            out,
+            vec![(
+                1,
+                CohMsg::DownReq {
+                    block: 0,
+                    xid: epoch
+                }
+            )]
+        );
+        let out = d
+            .handle_ack(
+                1,
+                CohMsg::DownAck {
+                    block: 0,
+                    xid: epoch,
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(2, CohMsg::RdReply { block: 0, xid: 2 })]);
         assert_eq!(d.state(0), DirState::Shared(vec![1, 2]));
     }
 
     #[test]
     fn write_of_exclusive_transfers_ownership() {
         let mut d = Directory::new();
-        d.handle_request(1, 0, true);
-        let out = d.handle_request(2, 0, true);
-        assert_eq!(out, vec![(1, CohMsg::WbInvalReq { block: 0 })]);
-        let out = d.handle_ack(1, CohMsg::WbInvalAck { block: 0 });
-        assert_eq!(out, vec![(2, CohMsg::WrReply { block: 0 })]);
+        d.handle_request(1, 0, true, 1);
+        let out = d.handle_request(2, 0, true, 2);
+        let epoch = out[0].1.xid().unwrap();
+        assert_eq!(
+            out,
+            vec![(
+                1,
+                CohMsg::WbInvalReq {
+                    block: 0,
+                    xid: epoch
+                }
+            )]
+        );
+        let out = d
+            .handle_ack(
+                1,
+                CohMsg::WbInvalAck {
+                    block: 0,
+                    xid: epoch,
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(2, CohMsg::WrReply { block: 0, xid: 2 })]);
         assert_eq!(d.state(0), DirState::Exclusive(2));
     }
 
     #[test]
     fn requests_queue_behind_busy_block() {
         let mut d = Directory::new();
-        d.handle_request(1, 0, true);
-        d.handle_request(2, 0, true); // busy: waiting on node 1
-        let deferred = d.handle_request(3, 0, false);
+        d.handle_request(1, 0, true, 1);
+        let out = d.handle_request(2, 0, true, 2); // busy: waiting on node 1
+        let epoch = out[0].1.xid().unwrap();
+        let deferred = d.handle_request(3, 0, false, 3);
         assert!(deferred.is_empty(), "request must queue");
         assert_eq!(d.stats.deferred, 1);
         // Node 1 gives up its copy; node 2 gets it; node 3's read then
         // triggers a downgrade of node 2.
-        let out = d.handle_ack(1, CohMsg::WbInvalAck { block: 0 });
+        let out = d
+            .handle_ack(
+                1,
+                CohMsg::WbInvalAck {
+                    block: 0,
+                    xid: epoch,
+                },
+            )
+            .unwrap();
+        let epoch2 = out[1].1.xid().unwrap();
         assert_eq!(
             out,
-            vec![(2, CohMsg::WrReply { block: 0 }), (2, CohMsg::DownReq { block: 0 })]
+            vec![
+                (2, CohMsg::WrReply { block: 0, xid: 2 }),
+                (
+                    2,
+                    CohMsg::DownReq {
+                        block: 0,
+                        xid: epoch2
+                    }
+                )
+            ]
         );
-        let out = d.handle_ack(2, CohMsg::DownAck { block: 0 });
-        assert_eq!(out, vec![(3, CohMsg::RdReply { block: 0 })]);
+        let out = d
+            .handle_ack(
+                2,
+                CohMsg::DownAck {
+                    block: 0,
+                    xid: epoch2,
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(3, CohMsg::RdReply { block: 0, xid: 3 })]);
         assert_eq!(d.state(0), DirState::Shared(vec![2, 3]));
     }
 
     #[test]
     fn flush_clears_ownership_and_acks() {
         let mut d = Directory::new();
-        d.handle_request(1, 0, true);
-        let out = d.handle_ack(1, CohMsg::FlushData { block: 0, fenced: true });
-        assert_eq!(out, vec![(1, CohMsg::FlushAck { block: 0, fenced: true })]);
+        d.handle_request(1, 0, true, 1);
+        let out = d
+            .handle_ack(
+                1,
+                CohMsg::FlushData {
+                    block: 0,
+                    fenced: true,
+                    xid: 5,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![(
+                1,
+                CohMsg::FlushAck {
+                    block: 0,
+                    fenced: true,
+                    xid: 5
+                }
+            )]
+        );
         assert_eq!(d.state(0), DirState::Uncached);
     }
 
     #[test]
     fn stale_ack_is_ignored() {
         let mut d = Directory::new();
-        d.handle_request(1, 0, false);
-        let out = d.handle_ack(1, CohMsg::InvAck { block: 0 });
+        d.handle_request(1, 0, false, 1);
+        let out = d
+            .handle_ack(1, CohMsg::InvAck { block: 0, xid: 0 })
+            .unwrap();
         assert!(out.is_empty());
         assert_eq!(d.state(0), DirState::Shared(vec![1]));
+        assert_eq!(d.stats.stale_acks, 1);
+    }
+
+    #[test]
+    fn duplicate_ack_cannot_complete_an_episode_twice() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, false, 1);
+        d.handle_request(2, 0, false, 2);
+        let out = d.handle_request(3, 0, true, 3);
+        let epoch = out[0].1.xid().unwrap();
+        // Node 1's ack, duplicated by the network: the second copy must
+        // not count for node 2.
+        assert!(d
+            .handle_ack(
+                1,
+                CohMsg::InvAck {
+                    block: 0,
+                    xid: epoch
+                }
+            )
+            .unwrap()
+            .is_empty());
+        assert!(d
+            .handle_ack(
+                1,
+                CohMsg::InvAck {
+                    block: 0,
+                    xid: epoch
+                }
+            )
+            .unwrap()
+            .is_empty());
+        assert!(d.is_busy(0), "duplicate ack must not complete the episode");
+        let out = d
+            .handle_ack(
+                2,
+                CohMsg::InvAck {
+                    block: 0,
+                    xid: epoch,
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(3, CohMsg::WrReply { block: 0, xid: 3 })]);
+    }
+
+    #[test]
+    fn cross_epoch_ack_is_ignored() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, false, 1);
+        let out = d.handle_request(2, 0, true, 2);
+        let epoch1 = out[0].1.xid().unwrap();
+        d.handle_ack(
+            1,
+            CohMsg::InvAck {
+                block: 0,
+                xid: epoch1,
+            },
+        )
+        .unwrap();
+        // Episode 2: node 2 owns; node 3 wants it.
+        let out = d.handle_request(3, 0, true, 3);
+        let epoch2 = out[0].1.xid().unwrap();
+        assert_ne!(epoch1, epoch2);
+        // A late duplicate of node 1's old ack arrives: wrong epoch.
+        assert!(d
+            .handle_ack(
+                1,
+                CohMsg::InvAck {
+                    block: 0,
+                    xid: epoch1
+                }
+            )
+            .unwrap()
+            .is_empty());
+        assert!(
+            d.is_busy(0),
+            "old-epoch ack must not complete the new episode"
+        );
+        let out = d
+            .handle_ack(
+                2,
+                CohMsg::WbInvalAck {
+                    block: 0,
+                    xid: epoch2,
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(3, CohMsg::WrReply { block: 0, xid: 3 })]);
+    }
+
+    #[test]
+    fn retransmitted_request_does_not_queue_twice() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, true, 1);
+        let out = d.handle_request(2, 0, true, 2);
+        let epoch = out[0].1.xid().unwrap();
+        // Requester 2 retransmits while its own request is in service;
+        // requester 3 queues, then retransmits.
+        assert!(d.handle_request(2, 0, true, 2).is_empty());
+        assert!(d.handle_request(3, 0, false, 3).is_empty());
+        assert!(d.handle_request(3, 0, false, 3).is_empty());
+        let out = d
+            .handle_ack(
+                1,
+                CohMsg::WbInvalAck {
+                    block: 0,
+                    xid: epoch,
+                },
+            )
+            .unwrap();
+        // Exactly one WrReply for 2, then one DownReq for 3's read.
+        assert_eq!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, CohMsg::WrReply { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, CohMsg::DownReq { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn waiter_overflow_is_nacked() {
+        let mut d = Directory::with_config(DirConfig {
+            max_waiters: 1,
+            retry: RetryConfig::default(),
+        });
+        d.handle_request(1, 0, true, 1); // granted instantly (uncached)
+        d.handle_request(2, 0, true, 2); // goes busy: WbInvalReq to 1
+        let out = d.handle_request(3, 0, true, 3); // fills the 1-deep waiter queue
+        assert!(out.is_empty());
+        let out = d.handle_request(4, 0, true, 4);
+        assert_eq!(out, vec![(4, CohMsg::Nack { block: 0, xid: 4 })]);
+        assert_eq!(d.stats.nacks, 1);
+    }
+
+    #[test]
+    fn overdue_demands_are_retransmitted_with_backoff() {
+        let mut d = Directory::new();
+        d.handle_request(1, 0, false, 1);
+        let out = d.handle_request(2, 0, true, 2);
+        let epoch = out[0].1.xid().unwrap();
+        let t0 = d.cfg.retry.timeout;
+        assert!(d.tick(t0 - 1).unwrap().is_empty(), "not overdue yet");
+        let out = d.tick(t0).unwrap();
+        assert_eq!(
+            out,
+            vec![(
+                1,
+                CohMsg::Inval {
+                    block: 0,
+                    xid: epoch
+                }
+            )]
+        );
+        assert_eq!(d.stats.retransmits, 1);
+        // Backed off: the next retransmission is 2*timeout later.
+        assert!(d.tick(t0 + d.cfg.retry.timeout).unwrap().is_empty());
+        let out = d.tick(t0 + 2 * d.cfg.retry.timeout).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn retries_exhaust_into_an_error() {
+        let cfg = DirConfig {
+            max_waiters: 4,
+            retry: RetryConfig {
+                enabled: true,
+                timeout: 10,
+                backoff_cap: 10,
+                max_retries: 3,
+            },
+        };
+        let mut d = Directory::with_config(cfg);
+        d.handle_request(1, 0, false, 1);
+        d.handle_request(2, 0, true, 2);
+        let mut now = 0;
+        let err = loop {
+            now += 10;
+            match d.tick(now) {
+                Ok(_) => assert!(now < 1000, "must exhaust retries"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(
+            err,
+            ProtocolError::RetriesExhausted { block: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn disabled_retries_never_retransmit() {
+        let mut d = Directory::with_config(DirConfig {
+            max_waiters: 4,
+            retry: RetryConfig::disabled(),
+        });
+        d.handle_request(1, 0, false, 1);
+        d.handle_request(2, 0, true, 2);
+        for now in [1_000, 1_000_000] {
+            assert!(d.tick(now).unwrap().is_empty());
+        }
     }
 
     #[test]
     fn local_fast_path_grants() {
         let mut d = Directory::new();
         assert!(d.grantable_now(0, 0, true));
-        d.grant_local(0, 0, true);
+        assert!(d.grant_local(0, 0, true));
         assert_eq!(d.state(0), DirState::Exclusive(0));
         // Another node cannot fast-path a write now.
         assert!(!d.grantable_now(1, 0, true));
@@ -375,19 +985,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quiet block")]
-    fn bad_local_grant_panics() {
+    fn bad_local_grant_is_refused() {
         let mut d = Directory::new();
-        d.grant_local(0, 0, true);
-        d.grant_local(1, 0, true);
+        assert!(d.grant_local(0, 0, true));
+        assert!(
+            !d.grant_local(1, 0, true),
+            "contended local grant must be refused"
+        );
+        assert_eq!(d.state(0), DirState::Exclusive(0));
     }
 
     #[test]
     fn shared_self_upgrade_needs_no_invals() {
         let mut d = Directory::new();
-        d.handle_request(1, 0, false);
-        let out = d.handle_request(1, 0, true);
-        assert_eq!(out, vec![(1, CohMsg::WrReply { block: 0 })]);
+        d.handle_request(1, 0, false, 1);
+        let out = d.handle_request(1, 0, true, 2);
+        assert_eq!(out, vec![(1, CohMsg::WrReply { block: 0, xid: 2 })]);
         assert_eq!(d.state(0), DirState::Exclusive(1));
+    }
+
+    #[test]
+    fn request_to_directory_of_wrong_kind_errors() {
+        let mut d = Directory::new();
+        let err = d
+            .handle_ack(1, CohMsg::RdReq { block: 0, xid: 1 })
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::UnexpectedMessage { .. }));
     }
 }

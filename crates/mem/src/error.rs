@@ -1,0 +1,144 @@
+//! Typed protocol errors.
+//!
+//! The protocol engines never panic on malformed or hostile traffic:
+//! every hot-path failure is reported as a [`ProtocolError`] so the
+//! machine above can abort the run with a structured fault instead of
+//! tearing down the process.
+
+// Protocol hot path: failures must surface as typed errors, not tear
+// down the simulator on the first injected fault.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+use crate::msg::CohMsg;
+use std::fmt;
+
+/// A fatal condition detected by a protocol engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A message of a kind this endpoint never handles was delivered to
+    /// it (e.g. a request arriving at a requester-side controller).
+    UnexpectedMessage {
+        /// The node that received the message.
+        node: usize,
+        /// The node the message came from.
+        from: usize,
+        /// The offending message.
+        msg: CohMsg,
+    },
+    /// A transaction was retransmitted up to the retry limit without an
+    /// answer; the network or the peer is presumed dead.
+    RetriesExhausted {
+        /// The node that gave up.
+        node: usize,
+        /// The block the transaction concerns.
+        block: u32,
+        /// The transaction id (or busy epoch) that went unanswered.
+        xid: u32,
+        /// How many retransmissions were attempted.
+        retries: u32,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnexpectedMessage { node, from, msg } => {
+                write!(
+                    f,
+                    "node {node}: unexpected protocol message {msg:?} from node {from}"
+                )
+            }
+            ProtocolError::RetriesExhausted {
+                node,
+                block,
+                xid,
+                retries,
+            } => {
+                write!(
+                    f,
+                    "node {node}: gave up on block {block:#x} xid {xid} after {retries} retries"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Retransmission policy for unanswered protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Master switch: with retries disabled a lost message simply
+    /// stalls its transaction forever (the machine watchdog then
+    /// reports the deadlock).
+    pub enabled: bool,
+    /// Cycles to wait for an answer before the first retransmission.
+    pub timeout: u64,
+    /// Upper bound on the backed-off timeout.
+    pub backoff_cap: u64,
+    /// Retransmissions before the endpoint reports
+    /// [`ProtocolError::RetriesExhausted`].
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            enabled: true,
+            timeout: 400,
+            backoff_cap: 8192,
+            max_retries: 16,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// A policy that never retransmits.
+    pub fn disabled() -> RetryConfig {
+        RetryConfig {
+            enabled: false,
+            ..RetryConfig::default()
+        }
+    }
+
+    /// The bounded-exponential backoff after `retries` retransmissions:
+    /// `timeout * 2^retries`, capped at `backoff_cap`.
+    pub fn backoff(&self, retries: u32) -> u64 {
+        self.timeout
+            .saturating_mul(1 << retries.min(16))
+            .min(self.backoff_cap.max(self.timeout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let r = RetryConfig {
+            enabled: true,
+            timeout: 100,
+            backoff_cap: 350,
+            max_retries: 8,
+        };
+        assert_eq!(r.backoff(0), 100);
+        assert_eq!(r.backoff(1), 200);
+        assert_eq!(r.backoff(2), 350);
+        assert_eq!(r.backoff(30), 350);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ProtocolError::RetriesExhausted {
+            node: 3,
+            block: 0x40,
+            xid: 7,
+            retries: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 3") && s.contains("0x40") && s.contains("5 retries"));
+    }
+}

@@ -41,7 +41,10 @@ impl FeMemory {
     /// machine; synchronization structures are explicitly emptied.
     pub fn new(bytes: usize) -> FeMemory {
         let n = bytes.div_ceil(4);
-        FeMemory { words: vec![Word::ZERO; n], fe: vec![true; n] }
+        FeMemory {
+            words: vec![Word::ZERO; n],
+            fe: vec![true; n],
+        }
     }
 
     /// Memory size in bytes.
@@ -52,7 +55,10 @@ impl FeMemory {
     fn index(&self, addr: u32) -> usize {
         debug_assert_eq!(addr & 3, 0, "unaligned access reached memory: {addr:#x}");
         let i = (addr >> 2) as usize;
-        assert!(i < self.words.len(), "address {addr:#x} out of memory bounds");
+        assert!(
+            i < self.words.len(),
+            "address {addr:#x} out of memory bounds"
+        );
         i
     }
 
@@ -129,7 +135,13 @@ impl MemoryPort for FeMemory {
         }
     }
 
-    fn store(&mut self, addr: u32, value: Word, flavor: StoreFlavor, _ctx: AccessCtx) -> StoreReply {
+    fn store(
+        &mut self,
+        addr: u32,
+        value: Word,
+        flavor: StoreFlavor,
+        _ctx: AccessCtx,
+    ) -> StoreReply {
         match self.apply_store(addr, value, flavor) {
             Some(fe) => StoreReply::Done { fe },
             None => StoreReply::FeViolation,
@@ -202,15 +214,20 @@ mod tests {
     #[test]
     fn plain_store_ignores_fe() {
         let mut m = FeMemory::new(64);
-        assert_eq!(m.apply_store(8, Word::fixnum(3), StoreFlavor::NORMAL), Some(true));
+        assert_eq!(
+            m.apply_store(8, Word::fixnum(3), StoreFlavor::NORMAL),
+            Some(true)
+        );
         assert!(m.fe(8), "plain store leaves the bit alone");
     }
 
     #[test]
     fn load_image_places_static_data() {
-        let mut prog = Program::default();
-        prog.static_base = 0x20;
-        prog.static_data = vec![(Word::fixnum(1), true), (Word::fixnum(2), false)];
+        let prog = Program {
+            static_base: 0x20,
+            static_data: vec![(Word::fixnum(1), true), (Word::fixnum(2), false)],
+            ..Program::default()
+        };
         let mut m = FeMemory::new(256);
         m.load_image(&prog);
         assert_eq!(m.read(0x20), Word::fixnum(1));

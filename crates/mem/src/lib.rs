@@ -14,6 +14,13 @@
 //!   invalidation directory, the paper's reference [5]).
 //! * [`controller`] — the requester-side controller: local fast path
 //!   vs. remote transaction, FLUSH and the fence counter.
+//! * [`error`] — typed protocol errors and the retransmission policy.
+//!
+//! The protocol engines tolerate an unreliable network: requests and
+//! replies carry transaction sequence numbers, demands and their acks
+//! carry busy epochs, lost messages are retransmitted with bounded
+//! exponential backoff, and hot-path failures surface as
+//! [`error::ProtocolError`] values instead of panics.
 //!
 //! The multi-node machine that wires these together with the network
 //! lives in `april-machine`.
@@ -24,11 +31,13 @@ pub mod alloc;
 pub mod cache;
 pub mod controller;
 pub mod directory;
+pub mod error;
 pub mod femem;
 pub mod msg;
 
 pub use cache::{Cache, CacheConfig, LineState};
 pub use controller::{CacheController, CtlConfig, Outcome};
-pub use directory::{DirState, Directory};
+pub use directory::{DirConfig, DirState, Directory};
+pub use error::{ProtocolError, RetryConfig};
 pub use femem::FeMemory;
 pub use msg::CohMsg;

@@ -1,10 +1,12 @@
-//! Property-based soak of the directory protocol: random request
+//! Randomized soak of the directory protocol: random request
 //! streams with adversarially delayed acknowledgments must preserve
-//! the coherence invariants and always quiesce.
+//! the coherence invariants and always quiesce. Driven by the
+//! vendored deterministic PRNG (seeded loops), so failures reproduce
+//! exactly.
 
 use april_mem::directory::{DirState, Directory};
 use april_mem::msg::CohMsg;
-use proptest::prelude::*;
+use april_util::Rng;
 use std::collections::VecDeque;
 
 const NODES: usize = 4;
@@ -14,17 +16,25 @@ const BLOCKS: [u32; 3] = [0x00, 0x40, 0x80];
 #[derive(Debug, Clone, Copy)]
 enum Op {
     /// Node issues a read or write request for a block.
-    Request { node: usize, block_idx: usize, write: bool },
+    Request {
+        node: usize,
+        block_idx: usize,
+        write: bool,
+    },
     /// Deliver the k-th pending protocol message (mod queue length).
     Deliver(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..NODES, 0..BLOCKS.len(), any::<bool>())
-            .prop_map(|(node, block_idx, write)| Op::Request { node, block_idx, write }),
-        (0usize..64).prop_map(Op::Deliver),
-    ]
+fn arb_op(r: &mut Rng) -> Op {
+    if r.gen_bool(0.5) {
+        Op::Request {
+            node: r.gen_index(NODES),
+            block_idx: r.gen_index(BLOCKS.len()),
+            write: r.gen_bool(0.5),
+        }
+    } else {
+        Op::Deliver(r.gen_index(64))
+    }
 }
 
 /// A tiny closed-loop harness: caches modeled as grant bookkeeping;
@@ -42,6 +52,8 @@ struct Harness {
     /// their transaction tables, so the harness only issues request
     /// streams a controller could produce.
     outstanding: [[(bool, bool); BLOCKS.len()]; NODES],
+    /// Next transaction id to stamp on an injected request.
+    next_xid: u32,
 }
 
 impl Harness {
@@ -52,11 +64,15 @@ impl Harness {
             owner: [None; BLOCKS.len()],
             sharers: Default::default(),
             outstanding: [[(false, false); BLOCKS.len()]; NODES],
+            next_xid: 1,
         }
     }
 
     fn block_idx(block: u32) -> usize {
-        BLOCKS.iter().position(|&b| b == block).expect("known block")
+        BLOCKS
+            .iter()
+            .position(|&b| b == block)
+            .expect("known block")
     }
 
     fn send_all(&mut self, msgs: Vec<(usize, CohMsg)>) {
@@ -84,7 +100,9 @@ impl Harness {
         } else {
             self.outstanding[node][bi].0 = true;
         }
-        let out = self.dir.handle_request(node, BLOCKS[bi], write);
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        let out = self.dir.handle_request(node, BLOCKS[bi], write, xid);
         self.send_all(out);
     }
 
@@ -108,7 +126,7 @@ impl Harness {
         let k = eligible[k % eligible.len()];
         let (dst, msg) = self.wire.remove(k).expect("index in range");
         match msg {
-            CohMsg::RdReply { block } => {
+            CohMsg::RdReply { block, .. } => {
                 let bi = Self::block_idx(block);
                 self.outstanding[dst][bi].0 = false;
                 // The owner itself may be re-granted a shared copy
@@ -116,12 +134,15 @@ impl Harness {
                 if self.owner[bi] == Some(dst) {
                     self.owner[bi] = None;
                 }
-                assert_eq!(self.owner[bi], None, "read grant while a writer holds the block");
+                assert_eq!(
+                    self.owner[bi], None,
+                    "read grant while a writer holds the block"
+                );
                 if !self.sharers[bi].contains(&dst) {
                     self.sharers[bi].push(dst);
                 }
             }
-            CohMsg::WrReply { block } => {
+            CohMsg::WrReply { block, .. } => {
                 let bi = Self::block_idx(block);
                 self.outstanding[dst][bi] = (false, false);
                 // A re-grant to the current owner is legal (lost-copy
@@ -139,37 +160,49 @@ impl Harness {
                 self.sharers[bi].clear();
                 self.owner[bi] = Some(dst);
             }
-            CohMsg::Inval { block } => {
+            CohMsg::Inval { block, xid } => {
                 let bi = Self::block_idx(block);
                 self.sharers[bi].retain(|&s| s != dst);
-                let out = self.dir.handle_ack(dst, CohMsg::InvAck { block });
+                let out = self
+                    .dir
+                    .handle_ack(dst, CohMsg::InvAck { block, xid })
+                    .unwrap();
                 self.send_all(out);
             }
-            CohMsg::DownReq { block } => {
+            CohMsg::DownReq { block, xid } => {
                 let bi = Self::block_idx(block);
                 if self.owner[bi] == Some(dst) {
                     self.owner[bi] = None;
                     self.sharers[bi].push(dst);
                 }
-                let out = self.dir.handle_ack(dst, CohMsg::DownAck { block });
+                let out = self
+                    .dir
+                    .handle_ack(dst, CohMsg::DownAck { block, xid })
+                    .unwrap();
                 self.send_all(out);
             }
-            CohMsg::WbInvalReq { block } => {
+            CohMsg::WbInvalReq { block, xid } => {
                 let bi = Self::block_idx(block);
                 if self.owner[bi] == Some(dst) {
                     self.owner[bi] = None;
                 }
-                let out = self.dir.handle_ack(dst, CohMsg::WbInvalAck { block });
+                let out = self
+                    .dir
+                    .handle_ack(dst, CohMsg::WbInvalAck { block, xid })
+                    .unwrap();
                 self.send_all(out);
             }
             CohMsg::InvAck { .. }
             | CohMsg::DownAck { .. }
             | CohMsg::WbInvalAck { .. }
             | CohMsg::FlushData { .. } => {
-                let out = self.dir.handle_ack(dst, msg);
+                let out = self.dir.handle_ack(dst, msg).unwrap();
                 self.send_all(out);
             }
-            CohMsg::FlushAck { .. } | CohMsg::Ipi | CohMsg::BlockXfer { .. } => {}
+            CohMsg::Nack { .. }
+            | CohMsg::FlushAck { .. }
+            | CohMsg::Ipi
+            | CohMsg::BlockXfer { .. } => {}
             CohMsg::RdReq { .. } | CohMsg::WrReq { .. } => {
                 unreachable!("requests are injected directly, never on the wire")
             }
@@ -189,7 +222,10 @@ impl Harness {
     /// Invariants that must hold at quiescence.
     fn check_quiescent(&self) {
         for (bi, &block) in BLOCKS.iter().enumerate() {
-            assert!(!self.dir.is_busy(block), "block {block:#x} still busy after drain");
+            assert!(
+                !self.dir.is_busy(block),
+                "block {block:#x} still busy after drain"
+            );
             match self.dir.state(block) {
                 DirState::Exclusive(o) => {
                     assert_eq!(self.owner[bi], Some(o), "directory/owner mismatch");
@@ -208,35 +244,48 @@ impl Harness {
                 }
                 DirState::Uncached => {
                     assert_eq!(self.owner[bi], None);
-                    assert!(self.sharers[bi].is_empty(), "copies outlive an Uncached block");
+                    assert!(
+                        self.sharers[bi].is_empty(),
+                        "copies outlive an Uncached block"
+                    );
                 }
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Random request/delivery interleavings never grant conflicting
-    /// copies and always quiesce into a consistent directory state.
-    #[test]
-    fn directory_soak(ops in prop::collection::vec(arb_op(), 1..120)) {
+/// Random request/delivery interleavings never grant conflicting
+/// copies and always quiesce into a consistent directory state.
+#[test]
+fn directory_soak() {
+    let mut r = Rng::seed_from(0x50a4);
+    for _case in 0..256 {
         let mut h = Harness::new();
-        for op in ops {
-            match op {
-                Op::Request { node, block_idx, write } => h.request(node, block_idx, write),
+        let n_ops = 1 + r.gen_index(119);
+        for _ in 0..n_ops {
+            match arb_op(&mut r) {
+                Op::Request {
+                    node,
+                    block_idx,
+                    write,
+                } => h.request(node, block_idx, write),
                 Op::Deliver(k) => h.deliver(k),
             }
         }
         h.quiesce();
         h.check_quiescent();
     }
+}
 
-    /// Write storms on a single block serialize: after any storm, the
-    /// block has exactly the last granted writer.
-    #[test]
-    fn write_storm_serializes(writers in prop::collection::vec(0..NODES, 1..24)) {
+/// Write storms on a single block serialize: after any storm, the
+/// block has exactly the last granted writer.
+#[test]
+fn write_storm_serializes() {
+    let mut r = Rng::seed_from(0x50a5);
+    for _case in 0..256 {
+        let writers: Vec<usize> = (0..1 + r.gen_index(23))
+            .map(|_| r.gen_index(NODES))
+            .collect();
         let mut h = Harness::new();
         for &w in &writers {
             h.request(w, 0, true);
@@ -244,8 +293,8 @@ proptest! {
         h.quiesce();
         h.check_quiescent();
         match h.dir.state(BLOCKS[0]) {
-            DirState::Exclusive(o) => prop_assert!(writers.contains(&o)),
-            other => prop_assert!(false, "expected an owner, got {other:?}"),
+            DirState::Exclusive(o) => assert!(writers.contains(&o)),
+            other => panic!("expected an owner, got {other:?}"),
         }
     }
 }

@@ -50,7 +50,10 @@ mod tests {
     #[test]
     fn bigger_caches_interfere_less() {
         let small = SystemParams::default();
-        let big = SystemParams { cache_bytes: 256.0 * 1024.0, ..small };
+        let big = SystemParams {
+            cache_bytes: 256.0 * 1024.0,
+            ..small
+        };
         assert!(miss_rate(&big, 4.0) < miss_rate(&small, 4.0));
     }
 

@@ -94,7 +94,10 @@ mod tests {
         assert_eq!(p.avg_hops(), 20.0);
         assert_eq!(p.cache_blocks(), 4096.0);
         let rt = p.base_round_trip();
-        assert!((54.0..=56.0).contains(&rt), "base round trip {rt} should be ~55");
+        assert!(
+            (54.0..=56.0).contains(&rt),
+            "base round trip {rt} should be ~55"
+        );
     }
 
     #[test]

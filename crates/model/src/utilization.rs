@@ -33,7 +33,11 @@ pub fn equation_1(p: f64, m: f64, t: f64, c: f64) -> f64 {
 /// `degrade_net` select which interference components apply (for the
 /// Figure 5 decomposition); `c` is the context-switch overhead.
 pub fn solve(params: &SystemParams, p: f64, degrade_cache: bool, degrade_net: bool, c: f64) -> f64 {
-    let m = if degrade_cache { miss_rate(params, p) } else { miss_rate(params, 1.0) };
+    let m = if degrade_cache {
+        miss_rate(params, p)
+    } else {
+        miss_rate(params, 1.0)
+    };
     let mut u = 0.5;
     for _ in 0..200 {
         let t = if degrade_net {
@@ -93,7 +97,13 @@ pub fn figure5_sweep(params: &SystemParams, max_p: usize, c: f64) -> Vec<Utiliza
             let with_network = solve(params, p, false, true, 0.0);
             let with_cache_network = solve(params, p, true, true, 0.0);
             let useful = solve(params, p, true, true, c);
-            UtilizationPoint { p, ideal, with_network, with_cache_network, useful }
+            UtilizationPoint {
+                p,
+                ideal,
+                with_network,
+                with_cache_network,
+                useful,
+            }
         })
         .collect()
 }
@@ -131,7 +141,10 @@ mod tests {
         // Marginal benefit of more threads decreases.
         let u3 = pts[2].useful;
         let u8 = pts[7].useful;
-        assert!(u8 <= u3 + 0.05, "U(8)={u8} should not much exceed U(3)={u3}");
+        assert!(
+            u8 <= u3 + 0.05,
+            "U(8)={u8} should not much exceed U(3)={u3}"
+        );
     }
 
     #[test]

@@ -181,7 +181,9 @@ pub fn parse_program(src: &str) -> Result<ProgramAst, LowerError> {
 }
 
 fn lower_define(s: &SExpr) -> Result<Definition, LowerError> {
-    let items = s.list().ok_or_else(|| LowerError(format!("expected (define ...), got {s}")))?;
+    let items = s
+        .list()
+        .ok_or_else(|| LowerError(format!("expected (define ...), got {s}")))?;
     match items {
         [SExpr::Atom(d), SExpr::List(sig), body @ ..] if d == "define" && !body.is_empty() => {
             let mut names = sig.iter().map(|x| {
@@ -189,12 +191,16 @@ fn lower_define(s: &SExpr) -> Result<Definition, LowerError> {
                     .map(str::to_string)
                     .ok_or_else(|| LowerError(format!("bad parameter in {s}")))
             });
-            let name = names.next().ok_or_else(|| LowerError("empty define signature".into()))??;
+            let name = names
+                .next()
+                .ok_or_else(|| LowerError("empty define signature".into()))??;
             let params = names.collect::<Result<Vec<_>, _>>()?;
             let body = body.iter().map(lower).collect::<Result<Vec<_>, _>>()?;
             Ok(Definition { name, params, body })
         }
-        _ => Err(LowerError(format!("only (define (name args...) body...) allowed at toplevel, got {s}"))),
+        _ => Err(LowerError(format!(
+            "only (define (name args...) body...) allowed at toplevel, got {s}"
+        ))),
     }
 }
 
@@ -214,7 +220,9 @@ fn lower(s: &SExpr) -> Result<Expr, LowerError> {
                     "quote" => {
                         return match &items[1..] {
                             [SExpr::List(l)] if l.is_empty() => Ok(Expr::Nil),
-                            other => Err(LowerError(format!("only '() is quotable, got {other:?}"))),
+                            other => {
+                                Err(LowerError(format!("only '() is quotable, got {other:?}")))
+                            }
                         }
                     }
                     "if" => {
@@ -275,7 +283,10 @@ fn lower(s: &SExpr) -> Result<Expr, LowerError> {
                         let [node, e] = &items[1..] else {
                             return Err(LowerError(format!("bad future-on: {s}")));
                         };
-                        return Ok(Expr::Future(Box::new(lower(e)?), Some(Box::new(lower(node)?))));
+                        return Ok(Expr::Future(
+                            Box::new(lower(e)?),
+                            Some(Box::new(lower(node)?)),
+                        ));
                     }
                     "touch" => {
                         let [e] = &items[1..] else {

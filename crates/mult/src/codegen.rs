@@ -88,7 +88,11 @@ struct Ctx {
 
 impl Ctx {
     fn lookup(&self, name: &str) -> Option<Binding> {
-        self.env.iter().rev().find(|(n, _)| n == name).map(|&(_, b)| b)
+        self.env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, b)| b)
     }
 }
 
@@ -96,7 +100,7 @@ impl Ctx {
 struct Gen {
     b: ProgramBuilder,
     opts: CompileOptions,
-    globals: HashMap<String, String>, // name -> code label
+    globals: HashMap<String, String>,      // name -> code label
     global_closures: HashMap<String, u32>, // name -> static closure addr
     pending: Vec<PendingLambda>,
     fresh: usize,
@@ -138,7 +142,10 @@ pub fn compile_ast(ast: &ProgramAst, opts: &CompileOptions) -> Result<Program, C
     };
     for d in &ast.defs {
         if d.params.len() > MAX_ARGS {
-            return Err(CompileError(format!("{} takes too many parameters", d.name)));
+            return Err(CompileError(format!(
+                "{} takes too many parameters",
+                d.name
+            )));
         }
         let label = format!("fn_{}", mangle(&d.name));
         if g.globals.insert(d.name.clone(), label).is_some() {
@@ -154,7 +161,9 @@ pub fn compile_ast(ast: &ProgramAst, opts: &CompileOptions) -> Result<Program, C
     g.b.label("__boot");
     g.b.entry("__boot");
     g.emit_direct_call("fn_main");
-    g.b.emit(Instr::RtCall { n: abi::RT_MAIN_DONE });
+    g.b.emit(Instr::RtCall {
+        n: abi::RT_MAIN_DONE,
+    });
 
     g.emit_stubs();
     g.emit_make_vector();
@@ -171,7 +180,13 @@ pub fn compile_ast(ast: &ProgramAst, opts: &CompileOptions) -> Result<Program, C
 
 fn mangle(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -182,7 +197,13 @@ impl Gen {
     }
 
     fn alu(&mut self, op: AluOp, s1: Reg, s2: impl Into<Operand>, d: Reg, tagged: bool) {
-        self.b.emit(Instr::Alu { op, s1, s2: s2.into(), d, tagged });
+        self.b.emit(Instr::Alu {
+            op,
+            s1,
+            s2: s2.into(),
+            d,
+            tagged,
+        });
     }
 
     fn movi(&mut self, imm: u32, d: Reg) {
@@ -285,7 +306,9 @@ impl Gen {
         self.alu(AluOp::Sub, abi::REG_TMP, 1, abi::REG_TMP, false);
         self.branch(Cond::Ne, &ok);
         self.alu(AluOp::Or, r, 0, abi::REG_SW_TOUCH, false);
-        self.b.emit(Instr::RtCall { n: abi::RT_TOUCH_SW });
+        self.b.emit(Instr::RtCall {
+            n: abi::RT_TOUCH_SW,
+        });
         self.alu(AluOp::Or, abi::REG_SW_TOUCH, 0, r, false);
         self.b.label(&ok);
     }
@@ -315,7 +338,9 @@ impl Gen {
         self.alu(AluOp::Add, abi::REG_HEAP, bytes as i32, T1, false);
         self.alu(AluOp::Sub, abi::REG_HEAP_LIM, T1, T2, false);
         self.branch(Cond::Geu, &fit);
-        self.b.emit(Instr::RtCall { n: abi::RT_HEAP_MORE });
+        self.b.emit(Instr::RtCall {
+            n: abi::RT_HEAP_MORE,
+        });
         self.branch(Cond::Always, &retry);
         self.b.label(&fit);
         self.alu(AluOp::Or, abi::REG_HEAP, 0, T3, false);
@@ -325,7 +350,11 @@ impl Gen {
     /// Emits a direct call to a known code label.
     fn emit_direct_call(&mut self, label: &str) {
         self.b.movi_label(label, T1);
-        self.b.emit(Instr::Jmpl { s1: T1, s2: Operand::Imm(0), d: LINK });
+        self.b.emit(Instr::Jmpl {
+            s1: T1,
+            s2: Operand::Imm(0),
+            d: LINK,
+        });
         self.b.emit(Instr::Nop);
     }
 
@@ -337,16 +366,28 @@ impl Gen {
         // __task_entry: call closure in r0, determine r25 with r1, exit.
         self.b.label(abi::TASK_ENTRY_LABEL);
         self.load(CLO, -2, Reg::G(7));
-        self.b.emit(Instr::Jmpl { s1: Reg::G(7), s2: Operand::Imm(0), d: LINK });
+        self.b.emit(Instr::Jmpl {
+            s1: Reg::G(7),
+            s2: Operand::Imm(0),
+            d: LINK,
+        });
         self.b.emit(Instr::Nop);
-        self.b.emit(Instr::RtCall { n: abi::RT_DETERMINE });
+        self.b.emit(Instr::RtCall {
+            n: abi::RT_DETERMINE,
+        });
         self.b.emit(Instr::RtCall { n: abi::RT_EXIT });
         // __inline_entry: same but resumes the interrupted frame.
         self.b.label(abi::INLINE_ENTRY_LABEL);
         self.load(CLO, -2, Reg::G(7));
-        self.b.emit(Instr::Jmpl { s1: Reg::G(7), s2: Operand::Imm(0), d: LINK });
+        self.b.emit(Instr::Jmpl {
+            s1: Reg::G(7),
+            s2: Operand::Imm(0),
+            d: LINK,
+        });
         self.b.emit(Instr::Nop);
-        self.b.emit(Instr::RtCall { n: abi::RT_DETERMINE });
+        self.b.emit(Instr::RtCall {
+            n: abi::RT_DETERMINE,
+        });
         self.b.emit(Instr::RtCall { n: abi::RT_RESUME });
     }
 
@@ -365,13 +406,15 @@ impl Gen {
         self.alu(AluOp::Add, abi::REG_HEAP, Operand::Reg(T2), T3, false);
         self.alu(AluOp::Sub, abi::REG_HEAP_LIM, T3, T4, false);
         self.branch(Cond::Geu, fit);
-        self.b.emit(Instr::RtCall { n: abi::RT_HEAP_MORE });
+        self.b.emit(Instr::RtCall {
+            n: abi::RT_HEAP_MORE,
+        });
         self.branch(Cond::Always, retry);
         self.b.label(fit);
         self.alu(AluOp::Or, abi::REG_HEAP, 0, T4, false); // base
         self.alu(AluOp::Or, T3, 0, abi::REG_HEAP, false);
         self.store(ACC, T4, 0); // length (tagged fixnum)
-        // init loop
+                                // init loop
         self.alu(AluOp::Or, T1, 0, T2, false); // counter
         self.alu(AluOp::Add, T4, 4, T3, false); // element pointer
         self.b.label("mv_loop");
@@ -383,7 +426,11 @@ impl Gen {
         self.branch(Cond::Always, "mv_loop");
         self.b.label("mv_done");
         self.alu(AluOp::Or, T4, 2, ACC, false);
-        self.b.emit(Instr::Jmpl { s1: LINK, s2: Operand::Imm(0), d: Reg::ZERO });
+        self.b.emit(Instr::Jmpl {
+            s1: LINK,
+            s2: Operand::Imm(0),
+            d: Reg::ZERO,
+        });
         self.b.emit(Instr::Nop);
     }
 
@@ -399,7 +446,9 @@ impl Gen {
         free: &[String],
     ) -> Result<(), CompileError> {
         if params.len() > MAX_ARGS {
-            return Err(CompileError(format!("lambda takes too many parameters at {label}")));
+            return Err(CompileError(format!(
+                "lambda takes too many parameters at {label}"
+            )));
         }
         self.b.label(label);
         let n = params.len() as u32;
@@ -428,7 +477,11 @@ impl Gen {
         let frame = (4 * ctx.depth) as i32;
         self.load(SP, -frame, LINK);
         self.alu(AluOp::Sub, SP, frame, SP, false);
-        self.b.emit(Instr::Jmpl { s1: LINK, s2: Operand::Imm(0), d: Reg::ZERO });
+        self.b.emit(Instr::Jmpl {
+            s1: LINK,
+            s2: Operand::Imm(0),
+            d: Reg::ZERO,
+        });
         self.b.emit(Instr::Nop);
         Ok(())
     }
@@ -564,7 +617,12 @@ impl Gen {
             self.store(T2, T3, 4 * (i as i32 + 1));
         }
         self.alu(AluOp::Or, T3, 2, ACC, false);
-        self.pending.push(PendingLambda { label, params, body, free });
+        self.pending.push(PendingLambda {
+            label,
+            params,
+            body,
+            free,
+        });
         Ok(())
     }
 
@@ -623,7 +681,11 @@ impl Gen {
                     self.load(CLO, -2, T1);
                 }
             }
-            self.b.emit(Instr::Jmpl { s1: T1, s2: Operand::Imm(0), d: Reg::ZERO });
+            self.b.emit(Instr::Jmpl {
+                s1: T1,
+                s2: Operand::Imm(0),
+                d: Reg::ZERO,
+            });
             self.b.emit(Instr::Nop);
             return Ok(());
         }
@@ -639,7 +701,11 @@ impl Gen {
                 ctx.depth -= n as u32 + 1;
                 self.touch_reg(CLO); // calling a future resolves it
                 self.load(CLO, -2, T1);
-                self.b.emit(Instr::Jmpl { s1: T1, s2: Operand::Imm(0), d: LINK });
+                self.b.emit(Instr::Jmpl {
+                    s1: T1,
+                    s2: Operand::Imm(0),
+                    d: LINK,
+                });
                 self.b.emit(Instr::Nop);
             }
         }
@@ -746,7 +812,11 @@ impl Gen {
             Prim::Add | Prim::Sub => {
                 self.two_args(args, ctx)?;
                 self.sw_check_two();
-                let op = if p == Prim::Add { AluOp::Add } else { AluOp::Sub };
+                let op = if p == Prim::Add {
+                    AluOp::Add
+                } else {
+                    AluOp::Sub
+                };
                 self.alu(op, T1, Operand::Reg(ACC), ACC, self.hw());
             }
             Prim::Mul => {
@@ -761,7 +831,11 @@ impl Gen {
             }
             Prim::Quotient | Prim::Remainder => {
                 self.two_args(args, ctx)?;
-                let op = if p == Prim::Quotient { AluOp::Div } else { AluOp::Rem };
+                let op = if p == Prim::Quotient {
+                    AluOp::Div
+                } else {
+                    AluOp::Rem
+                };
                 if self.hw() {
                     self.alu(op, T1, Operand::Reg(ACC), ACC, true);
                 } else {
@@ -971,7 +1045,10 @@ mod tests {
         let src = "(define (main) (+ 1 2))";
         let hw = compile(src, &CompileOptions::april()).unwrap();
         let sw = compile(src, &CompileOptions::encore_seq()).unwrap();
-        assert!(sw.len() > hw.len(), "software checks must cost instructions");
+        assert!(
+            sw.len() > hw.len(),
+            "software checks must cost instructions"
+        );
     }
 
     #[test]

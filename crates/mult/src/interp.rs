@@ -67,7 +67,11 @@ fn lookup(env: &Env, name: &str) -> Option<Value> {
 }
 
 fn bind(env: &Env, name: &str, v: Value) -> Env {
-    Rc::new(EnvNode::Bind(name.to_string(), RefCell::new(v), env.clone()))
+    Rc::new(EnvNode::Bind(
+        name.to_string(),
+        RefCell::new(v),
+        env.clone(),
+    ))
 }
 
 impl Value {
@@ -137,7 +141,11 @@ impl Interp {
     /// Prepares to run `ast`.
     pub fn new(ast: &ProgramAst) -> Interp {
         Interp {
-            globals: ast.defs.iter().map(|d| (d.name.clone(), d.clone())).collect(),
+            globals: ast
+                .defs
+                .iter()
+                .map(|d| (d.name.clone(), d.clone()))
+                .collect(),
             prints: Vec::new(),
             fuel: 200_000_000,
             depth: 0,
@@ -160,7 +168,11 @@ impl Interp {
 
     fn call_def(&mut self, d: &Definition, args: Vec<Value>) -> Result<Value, InterpError> {
         if d.params.len() != args.len() {
-            return Err(InterpError(format!("{} expects {} args", d.name, d.params.len())));
+            return Err(InterpError(format!(
+                "{} expects {} args",
+                d.name,
+                d.params.len()
+            )));
         }
         let mut env: Env = Rc::new(EnvNode::Empty);
         for (p, a) in d.params.iter().zip(args) {
@@ -265,8 +277,10 @@ impl Interp {
                     }
                 }
                 let fv = self.eval(f, env)?;
-                let args =
-                    args.iter().map(|a| self.eval(a, env)).collect::<Result<Vec<_>, _>>()?;
+                let args = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
                 match fv {
                     Value::Closure(c) => {
                         if c.params.len() != args.len() {
@@ -282,8 +296,10 @@ impl Interp {
                 }
             }
             Expr::Prim(p, args) => {
-                let args =
-                    args.iter().map(|a| self.eval(a, env)).collect::<Result<Vec<_>, _>>()?;
+                let args = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
                 self.prim(*p, args)
             }
             // Sequential future semantics: evaluate in place.
@@ -299,7 +315,8 @@ impl Interp {
 
     fn prim(&mut self, p: Prim, args: Vec<Value>) -> Result<Value, InterpError> {
         let int = |v: &Value| {
-            v.as_int().ok_or_else(|| InterpError(format!("expected fixnum, got {v}")))
+            v.as_int()
+                .ok_or_else(|| InterpError(format!("expected fixnum, got {v}")))
         };
         Ok(match p {
             Prim::Add => Value::Int(wrap30(int(&args[0])? as i64 + int(&args[1])? as i64)),
@@ -414,7 +431,8 @@ mod tests {
 
     #[test]
     fn fib_matches_closed_form() {
-        let src = "(define (fib n) (if (< n 2) n (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+        let src =
+            "(define (fib n) (if (< n 2) n (+ (future (fib (- n 1))) (future (fib (- n 2))))))
                    (define (main) (fib 12))";
         assert_eq!(ev(src), Value::Int(144));
     }
@@ -451,10 +469,9 @@ mod tests {
 
     #[test]
     fn prints_collect() {
-        let ast = crate::ast::parse_program(
-            "(define (main) (begin (print 1) (print (cons 1 2)) 0))",
-        )
-        .unwrap();
+        let ast =
+            crate::ast::parse_program("(define (main) (begin (print 1) (print (cons 1 2)) 0))")
+                .unwrap();
         let mut i = Interp::new(&ast);
         i.run().unwrap();
         assert_eq!(i.prints.len(), 2);

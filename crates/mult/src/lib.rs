@@ -36,10 +36,10 @@ pub mod ast;
 pub mod codegen;
 pub mod interp;
 pub mod postmortem;
-pub mod trace;
 pub mod programs;
 pub mod sexpr;
 pub mod target;
+pub mod trace;
 
 pub use codegen::{compile, compile_ast, CompileError};
 pub use target::{CheckMode, CompileOptions, FutureMode};

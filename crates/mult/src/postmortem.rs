@@ -22,7 +22,11 @@ pub struct PmConfig {
 
 impl Default for PmConfig {
     fn default() -> PmConfig {
-        PmConfig { spawn_overhead: 10, touch_overhead: 2, block_overhead: 10 }
+        PmConfig {
+            spawn_overhead: 10,
+            touch_overhead: 2,
+            block_overhead: 10,
+        }
     }
 }
 
@@ -87,7 +91,11 @@ pub fn schedule(trace: &ParallelTrace, procs: usize, cfg: PmConfig) -> PmResult 
         ready: VecDeque::new(),
     };
     if n == 0 {
-        return PmResult { makespan: 0, busy: 0, procs };
+        return PmResult {
+            makespan: 0,
+            busy: 0,
+            procs,
+        };
     }
     sim.state[0] = TaskState::Ready;
     sim.ready.push_back(0);
@@ -140,7 +148,11 @@ pub fn schedule(trace: &ParallelTrace, procs: usize, cfg: PmConfig) -> PmResult 
         step_task(&mut sim, &mut proc_task, &mut proc_time, &mut busy, p);
         makespan = makespan.max(proc_time[p]);
     }
-    PmResult { makespan, busy, procs }
+    PmResult {
+        makespan,
+        busy,
+        procs,
+    }
 }
 
 /// Runs processor `p`'s current task up to its next event.
@@ -208,7 +220,15 @@ mod tests {
     #[test]
     fn one_processor_equals_total_work_plus_overheads() {
         let t = fib_trace(6);
-        let r = schedule(&t, 1, PmConfig { spawn_overhead: 0, touch_overhead: 0, block_overhead: 0 });
+        let r = schedule(
+            &t,
+            1,
+            PmConfig {
+                spawn_overhead: 0,
+                touch_overhead: 0,
+                block_overhead: 0,
+            },
+        );
         assert_eq!(r.makespan, t.total_work());
         assert_eq!(r.busy, t.total_work());
         assert!((r.utilization() - 1.0).abs() < 1e-9);
@@ -229,7 +249,11 @@ mod tests {
     #[test]
     fn speedup_approaches_parallelism() {
         let t = fib_trace(10);
-        let cfg = PmConfig { spawn_overhead: 2, touch_overhead: 1, block_overhead: 2 };
+        let cfg = PmConfig {
+            spawn_overhead: 2,
+            touch_overhead: 1,
+            block_overhead: 2,
+        };
         let s1 = schedule(&t, 1, cfg).makespan;
         let s8 = schedule(&t, 8, cfg).makespan;
         let speedup = s1 as f64 / s8 as f64;
@@ -238,11 +262,9 @@ mod tests {
 
     #[test]
     fn sequential_trace_does_not_scale() {
-        let t = trace_program(
-            "(define (f n) (if (= n 0) 0 (f (- n 1)))) (define (main) (f 50))",
-        )
-        .unwrap()
-        .0;
+        let t = trace_program("(define (f n) (if (= n 0) 0 (f (- n 1)))) (define (main) (f 50))")
+            .unwrap()
+            .0;
         let cfg = PmConfig::default();
         let s1 = schedule(&t, 1, cfg).makespan;
         let s8 = schedule(&t, 8, cfg).makespan;

@@ -153,18 +153,6 @@ pub fn speech(layers: u32, width: u32) -> String {
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use crate::ast::parse_program;
-
-    #[test]
-    fn all_benchmarks_parse() {
-        for src in [super::fib(10), super::factor(50), super::queens(6), super::speech(4, 6)] {
-            parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
-        }
-    }
-}
-
 /// A data-level-parallelism library in Mul-T itself — the direction
 /// Section 2.2 sketches ("we are augmenting Mul-T with constructs for
 /// data-level parallelism"): parallel map and reduction over vectors,
@@ -222,4 +210,21 @@ pub fn data_parallel_lib() -> &'static str {
         (vector-set! v lo (f lo))
         (tab-seq! f v (+ lo 1) hi))))
 "
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::parse_program;
+
+    #[test]
+    fn all_benchmarks_parse() {
+        for src in [
+            super::fib(10),
+            super::factor(50),
+            super::queens(6),
+            super::speech(4, 6),
+        ] {
+            parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
 }

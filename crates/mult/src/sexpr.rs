@@ -144,7 +144,10 @@ fn tokenize(src: &str) -> std::collections::VecDeque<Tok> {
 
 fn read_one(toks: &mut std::collections::VecDeque<Tok>) -> Result<SExpr, ReadError> {
     match toks.pop_front() {
-        None => Err(ReadError { line: 0, msg: "unexpected end of input".into() }),
+        None => Err(ReadError {
+            line: 0,
+            msg: "unexpected end of input".into(),
+        }),
         Some(Tok::Atom(a, _)) => Ok(SExpr::Atom(a)),
         Some(Tok::Quote(line)) => {
             let inner = read_one(toks).map_err(|mut e| {
@@ -160,7 +163,10 @@ fn read_one(toks: &mut std::collections::VecDeque<Tok>) -> Result<SExpr, ReadErr
             loop {
                 match toks.front() {
                     None => {
-                        return Err(ReadError { line, msg: "unclosed parenthesis".into() })
+                        return Err(ReadError {
+                            line,
+                            msg: "unclosed parenthesis".into(),
+                        })
                     }
                     Some(Tok::Close(_)) => {
                         toks.pop_front();
@@ -170,9 +176,10 @@ fn read_one(toks: &mut std::collections::VecDeque<Tok>) -> Result<SExpr, ReadErr
                 }
             }
         }
-        Some(Tok::Close(line)) => {
-            Err(ReadError { line, msg: "unexpected `)`".into() })
-        }
+        Some(Tok::Close(line)) => Err(ReadError {
+            line,
+            msg: "unexpected `)`".into(),
+        }),
     }
 }
 
@@ -182,8 +189,8 @@ mod tests {
 
     #[test]
     fn reads_nested_lists() {
-        let f = read_all("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
-            .unwrap();
+        let f =
+            read_all("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
         assert_eq!(f.len(), 1);
         assert!(f[0].to_string().contains("(fib (- n 1))"));
     }

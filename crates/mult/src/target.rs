@@ -50,32 +50,50 @@ pub struct CompileOptions {
 impl CompileOptions {
     /// The optimizing sequential T compiler (Table 3 column "T seq").
     pub fn t_seq() -> CompileOptions {
-        CompileOptions { future_mode: FutureMode::None, checks: CheckMode::None }
+        CompileOptions {
+            future_mode: FutureMode::None,
+            checks: CheckMode::None,
+        }
     }
 
     /// Mul-T sequential code on the Encore ("Mul-T seq" on Encore).
     pub fn encore_seq() -> CompileOptions {
-        CompileOptions { future_mode: FutureMode::None, checks: CheckMode::Software }
+        CompileOptions {
+            future_mode: FutureMode::None,
+            checks: CheckMode::Software,
+        }
     }
 
     /// Parallel Mul-T on the Encore.
     pub fn encore() -> CompileOptions {
-        CompileOptions { future_mode: FutureMode::Eager, checks: CheckMode::Software }
+        CompileOptions {
+            future_mode: FutureMode::Eager,
+            checks: CheckMode::Software,
+        }
     }
 
     /// Mul-T sequential code on APRIL (tag support makes it free).
     pub fn april_seq() -> CompileOptions {
-        CompileOptions { future_mode: FutureMode::None, checks: CheckMode::Hardware }
+        CompileOptions {
+            future_mode: FutureMode::None,
+            checks: CheckMode::Hardware,
+        }
     }
 
     /// Parallel Mul-T on APRIL with normal task creation.
     pub fn april() -> CompileOptions {
-        CompileOptions { future_mode: FutureMode::Eager, checks: CheckMode::Hardware }
+        CompileOptions {
+            future_mode: FutureMode::Eager,
+            checks: CheckMode::Hardware,
+        }
     }
 
     /// Parallel Mul-T on APRIL with lazy task creation ("Apr-lazy").
     pub fn april_lazy() -> CompileOptions {
-        CompileOptions { future_mode: FutureMode::Lazy, checks: CheckMode::Hardware }
+        CompileOptions {
+            future_mode: FutureMode::Lazy,
+            checks: CheckMode::Hardware,
+        }
     }
 }
 

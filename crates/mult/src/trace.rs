@@ -119,8 +119,14 @@ pub fn trace_program(src: &str) -> Result<(ParallelTrace, Value), TraceError> {
 /// As for [`trace_program`].
 pub fn trace_ast(ast: &ProgramAst) -> Result<(ParallelTrace, Value), TraceError> {
     let mut t = Tracer {
-        globals: ast.defs.iter().map(|d| (d.name.clone(), d.clone())).collect(),
-        trace: ParallelTrace { tasks: vec![TaskTrace::default()] },
+        globals: ast
+            .defs
+            .iter()
+            .map(|d| (d.name.clone(), d.clone()))
+            .collect(),
+        trace: ParallelTrace {
+            tasks: vec![TaskTrace::default()],
+        },
         cur: 0,
         work: 0,
         fuel: 100_000_000,
@@ -193,7 +199,10 @@ impl Tracer {
 
     fn eval(&mut self, e: &Expr, env: &Env) -> Result<TVal, TraceError> {
         self.work += 1;
-        self.fuel = self.fuel.checked_sub(1).ok_or_else(|| TraceError("fuel".into()))?;
+        self.fuel = self
+            .fuel
+            .checked_sub(1)
+            .ok_or_else(|| TraceError("fuel".into()))?;
         Ok(match e {
             Expr::Int(n) => TVal::Plain(Value::Int(*n)),
             Expr::Bool(b) => TVal::Plain(Value::Bool(*b)),
@@ -275,13 +284,17 @@ impl Tracer {
                     .get(name)
                     .cloned()
                     .ok_or_else(|| TraceError(format!("unknown procedure {name}")))?;
-                let args =
-                    args.iter().map(|a| self.eval(a, env)).collect::<Result<Vec<_>, _>>()?;
+                let args = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
                 self.call_def(&d, args)?
             }
             Expr::Prim(p, args) => {
-                let args =
-                    args.iter().map(|a| self.eval(a, env)).collect::<Result<Vec<_>, _>>()?;
+                let args = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
                 self.prim(*p, args)?
             }
             Expr::Future(e, on) => {
@@ -298,7 +311,10 @@ impl Tracer {
                 let v = self.strictly(v);
                 self.close_segment();
                 self.cur = parent;
-                TVal::Future(Rc::new(FutureVal { task: child, value: v }))
+                TVal::Future(Rc::new(FutureVal {
+                    task: child,
+                    value: v,
+                }))
             }
             Expr::Touch(e) => {
                 let v = self.eval(e, env)?;
@@ -314,7 +330,10 @@ impl Tracer {
             Prim::Cons => Vec::new(), // non-strict
             _ => args.iter().map(|a| self.strictly(a.clone())).collect(),
         };
-        let int = |v: &Value| v.as_int().ok_or_else(|| TraceError(format!("fixnum, got {v}")));
+        let int = |v: &Value| {
+            v.as_int()
+                .ok_or_else(|| TraceError(format!("fixnum, got {v}")))
+        };
         let out = match p {
             Prim::Add => Value::Int(int(&strict[0])? + int(&strict[1])?),
             Prim::Sub => Value::Int(int(&strict[0])? - int(&strict[1])?),
@@ -389,7 +408,8 @@ mod tests {
 
     #[test]
     fn fib_trace_has_one_task_per_future() {
-        let src = "(define (fib n) (if (< n 2) n (+ (future (fib (- n 1))) (future (fib (- n 2))))))
+        let src =
+            "(define (fib n) (if (< n 2) n (+ (future (fib (- n 1))) (future (fib (- n 2))))))
                    (define (main) (fib 6))";
         let (trace, v) = trace_program(src).unwrap();
         assert_eq!(v, Value::Int(8));
@@ -409,8 +429,7 @@ mod tests {
 
     #[test]
     fn sequential_program_is_one_task() {
-        let (trace, v) =
-            trace_program("(define (main) (+ 1 2))").unwrap();
+        let (trace, v) = trace_program("(define (main) (+ 1 2))").unwrap();
         assert_eq!(v, Value::Int(3));
         assert_eq!(trace.len(), 1);
         assert!(trace.tasks[0].events.is_empty());
@@ -419,8 +438,7 @@ mod tests {
 
     #[test]
     fn segments_bracket_events() {
-        let (trace, _) =
-            trace_program("(define (main) (touch (future 5)))").unwrap();
+        let (trace, _) = trace_program("(define (main) (touch (future 5)))").unwrap();
         for t in &trace.tasks {
             assert_eq!(t.segments.len(), t.events.len() + 1);
         }
@@ -431,11 +449,10 @@ mod tests {
     fn work_is_conserved_across_spawning() {
         // The same computation with and without futures does the same
         // total work (futures only move work between tasks).
-        let seq = trace_program(
-            "(define (f n) (if (= n 0) 0 (+ n (f (- n 1))))) (define (main) (f 10))",
-        )
-        .unwrap()
-        .0;
+        let seq =
+            trace_program("(define (f n) (if (= n 0) 0 (+ n (f (- n 1))))) (define (main) (f 10))")
+                .unwrap()
+                .0;
         let par = trace_program(
             "(define (f n) (if (= n 0) 0 (+ n (touch (future (f (- n 1))))))) (define (main) (f 10))",
         )

@@ -8,29 +8,47 @@ use april_machine::IdealMachine;
 use april_mult::interp::{interpret, Value};
 use april_mult::{compile, CompileOptions};
 use april_runtime::{RtConfig, Runtime};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use april_util::Rng;
 
 /// Generates a deterministic random integer-valued expression using
 /// `nvars` in-scope integer variables `v0..`.
-fn gen_expr(rng: &mut SmallRng, depth: u32, nvars: u32) -> String {
+fn gen_expr(rng: &mut Rng, depth: u32, nvars: u32) -> String {
     if depth == 0 {
         return if nvars > 0 && rng.gen_bool(0.5) {
-            format!("v{}", rng.gen_range(0..nvars))
+            format!("v{}", rng.gen_below(nvars as u64))
         } else {
-            format!("{}", rng.gen_range(-9..100))
+            format!("{}", rng.gen_range(-9, 100))
         };
     }
     let d = depth - 1;
-    match rng.gen_range(0..14u32) {
-        0 => format!("(+ {} {})", gen_expr(rng, d, nvars), gen_expr(rng, d, nvars)),
-        1 => format!("(- {} {})", gen_expr(rng, d, nvars), gen_expr(rng, d, nvars)),
-        2 => format!("(* {} {})", gen_expr(rng, d, nvars), gen_expr(rng, d, nvars)),
-        3 => format!("(quotient {} {})", gen_expr(rng, d, nvars), rng.gen_range(1..9)),
-        4 => format!("(remainder {} {})", gen_expr(rng, d, nvars), rng.gen_range(1..9)),
+    match rng.gen_below(14) {
+        0 => format!(
+            "(+ {} {})",
+            gen_expr(rng, d, nvars),
+            gen_expr(rng, d, nvars)
+        ),
+        1 => format!(
+            "(- {} {})",
+            gen_expr(rng, d, nvars),
+            gen_expr(rng, d, nvars)
+        ),
+        2 => format!(
+            "(* {} {})",
+            gen_expr(rng, d, nvars),
+            gen_expr(rng, d, nvars)
+        ),
+        3 => format!(
+            "(quotient {} {})",
+            gen_expr(rng, d, nvars),
+            rng.gen_range(1, 9)
+        ),
+        4 => format!(
+            "(remainder {} {})",
+            gen_expr(rng, d, nvars),
+            rng.gen_range(1, 9)
+        ),
         5 => {
-            let cmp = ["<", "<=", ">", ">=", "="][rng.gen_range(0..5)];
+            let cmp = ["<", "<=", ">", ">=", "="][rng.gen_index(5)];
             format!(
                 "(if ({cmp} {} {}) {} {})",
                 gen_expr(rng, d, nvars),
@@ -49,14 +67,29 @@ fn gen_expr(rng: &mut SmallRng, depth: u32, nvars: u32) -> String {
             gen_expr(rng, d, nvars + 1),
             gen_expr(rng, d, nvars)
         ),
-        8 => format!("(car (cons {} {}))", gen_expr(rng, d, nvars), gen_expr(rng, d, nvars)),
-        9 => format!("(cdr (cons {} {}))", gen_expr(rng, d, nvars), gen_expr(rng, d, nvars)),
+        8 => format!(
+            "(car (cons {} {}))",
+            gen_expr(rng, d, nvars),
+            gen_expr(rng, d, nvars)
+        ),
+        9 => format!(
+            "(cdr (cons {} {}))",
+            gen_expr(rng, d, nvars),
+            gen_expr(rng, d, nvars)
+        ),
         10 => {
-            let i = rng.gen_range(0..4);
-            format!("(vector-ref (make-vector 4 {}) {i})", gen_expr(rng, d, nvars))
+            let i = rng.gen_below(4);
+            format!(
+                "(vector-ref (make-vector 4 {}) {i})",
+                gen_expr(rng, d, nvars)
+            )
         }
         11 => format!("(touch (future {}))", gen_expr(rng, d, nvars)),
-        12 => format!("(begin {} {})", gen_expr(rng, d, nvars), gen_expr(rng, d, nvars)),
+        12 => format!(
+            "(begin {} {})",
+            gen_expr(rng, d, nvars),
+            gen_expr(rng, d, nvars)
+        ),
         _ => format!(
             "(if (not (= {} 0)) {} {})",
             gen_expr(rng, d, nvars),
@@ -71,19 +104,23 @@ fn run_pipeline(src: &str, opts: &CompileOptions, procs: usize) -> i32 {
     let m = IdealMachine::new(procs, procs * (4 << 20), prog);
     let mut rt = Runtime::new(
         m,
-        RtConfig { region_bytes: 4 << 20, max_cycles: 100_000_000, ..RtConfig::default() },
+        RtConfig {
+            region_bytes: 4 << 20,
+            max_cycles: 100_000_000,
+            ..RtConfig::default()
+        },
     );
     let r = rt.run().unwrap_or_else(|e| panic!("run: {e}\n{src}"));
-    r.value.as_fixnum().unwrap_or_else(|| panic!("non-fixnum result {} for\n{src}", r.value))
+    r.value
+        .as_fixnum()
+        .unwrap_or_else(|| panic!("non-fixnum result {} for\n{src}", r.value))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every target and machine size computes what the oracle computes.
-    #[test]
-    fn all_targets_match_the_oracle(seed in any::<u64>()) {
-        let mut rng = SmallRng::seed_from_u64(seed);
+/// Every target and machine size computes what the oracle computes.
+#[test]
+fn all_targets_match_the_oracle() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from(0xd1ff ^ case);
         let expr = gen_expr(&mut rng, 4, 0);
         let src = format!("(define (main) {expr})");
         let expected = match interpret(&src) {
@@ -99,31 +136,31 @@ proptest! {
             ("encore/2", CompileOptions::encore(), 2),
         ] {
             let got = run_pipeline(&src, &opts, procs);
-            prop_assert_eq!(
+            assert_eq!(
                 got, expected,
-                "target {} diverged from oracle on\n{}", label, &src
+                "target {label} diverged from oracle on\n{src}"
             );
         }
     }
+}
 
-    /// Deeper, future-heavy expressions on more processors.
-    #[test]
-    fn future_heavy_expressions_are_deterministic(seed in any::<u64>()) {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfu64);
+/// Deeper, future-heavy expressions on more processors.
+#[test]
+fn future_heavy_expressions_are_deterministic() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from(0xfu64 ^ (case << 8));
         // Wrap three futures around independent subtrees and join them.
         let a = gen_expr(&mut rng, 3, 0);
         let b = gen_expr(&mut rng, 3, 0);
         let c = gen_expr(&mut rng, 3, 0);
-        let src = format!(
-            "(define (main) (+ (future {a}) (+ (future {b}) (future {c}))))"
-        );
+        let src = format!("(define (main) (+ (future {a}) (+ (future {b}) (future {c}))))");
         let expected = match interpret(&src) {
             Ok(Value::Int(n)) => n,
             other => panic!("oracle: {other:?} on\n{src}"),
         };
         let eager = run_pipeline(&src, &CompileOptions::april(), 4);
         let lazy = run_pipeline(&src, &CompileOptions::april_lazy(), 4);
-        prop_assert_eq!(eager, expected);
-        prop_assert_eq!(lazy, expected);
+        assert_eq!(eager, expected);
+        assert_eq!(lazy, expected);
     }
 }

@@ -8,7 +8,11 @@ const MEM: usize = 96 << 20;
 const REGION: u32 = 8 << 20;
 
 fn rt_cfg() -> RtConfig {
-    RtConfig { region_bytes: REGION, max_cycles: 500_000_000, ..RtConfig::default() }
+    RtConfig {
+        region_bytes: REGION,
+        max_cycles: 500_000_000,
+        ..RtConfig::default()
+    }
 }
 
 fn run(src: &str, opts: &CompileOptions, nprocs: usize) -> april_runtime::RunResult {
@@ -19,7 +23,10 @@ fn run(src: &str, opts: &CompileOptions, nprocs: usize) -> april_runtime::RunRes
 }
 
 fn eval(src: &str) -> i32 {
-    run(src, &CompileOptions::april(), 1).value.as_fixnum().expect("fixnum result")
+    run(src, &CompileOptions::april(), 1)
+        .value
+        .as_fixnum()
+        .expect("fixnum result")
 }
 
 #[test]
@@ -40,7 +47,11 @@ fn comparisons_and_if() {
     assert_eq!(eval("(define (main) (if (<= 3 3) 1 0))"), 1);
     assert_eq!(eval("(define (main) (if (>= 2 3) 1 0))"), 0);
     assert_eq!(eval("(define (main) (if (not #f) 1 0))"), 1);
-    assert_eq!(eval("(define (main) (if 0 1 2))"), 1, "0 is truthy in Scheme");
+    assert_eq!(
+        eval("(define (main) (if 0 1 2))"),
+        1,
+        "0 is truthy in Scheme"
+    );
 }
 
 #[test]
@@ -57,7 +68,10 @@ fn and_or_short_circuit() {
 fn let_and_shadowing() {
     assert_eq!(eval("(define (main) (let ((x 3) (y 4)) (+ x y)))"), 7);
     assert_eq!(eval("(define (main) (let ((x 1)) (let ((x 2)) x)))"), 2);
-    assert_eq!(eval("(define (main) (let ((x 1)) (+ (let ((x 2)) x) x)))"), 3);
+    assert_eq!(
+        eval("(define (main) (let ((x 1)) (+ (let ((x 2)) x) x)))"),
+        3
+    );
 }
 
 #[test]
@@ -182,7 +196,7 @@ fn largest_prime_factor(mut n: u32) -> u32 {
     let mut best = 1;
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             best = d;
             n /= d;
         } else {
@@ -283,7 +297,10 @@ fn mutual_tail_recursion() {
         (define (even? n) (if (= n 0) #t (odd? (- n 1))))
         (define (odd? n) (if (= n 0) #f (even? (- n 1))))
         (define (main) (if (even? 50001) 1 0))";
-    assert_eq!(run(src, &CompileOptions::april(), 1).value.as_fixnum(), Some(0));
+    assert_eq!(
+        run(src, &CompileOptions::april(), 1).value.as_fixnum(),
+        Some(0)
+    );
 }
 
 #[test]
@@ -293,7 +310,10 @@ fn tail_call_through_closure() {
         (define (main)
           (let ((g (lambda (self n) (if (= n 0) 42 (self self (- n 1))))))
             (g g 60000)))";
-    assert_eq!(run(src, &CompileOptions::april(), 1).value.as_fixnum(), Some(42));
+    assert_eq!(
+        run(src, &CompileOptions::april(), 1).value.as_fixnum(),
+        Some(42)
+    );
 }
 
 #[test]
@@ -305,7 +325,10 @@ fn tail_call_inside_let_deallocates_bindings() {
               (let ((x (+ acc 2)) (y 1))
                 (go (- n 1) (- x y)))))
         (define (main) (go 50000 0))";
-    assert_eq!(run(src, &CompileOptions::april(), 1).value.as_fixnum(), Some(50_000));
+    assert_eq!(
+        run(src, &CompileOptions::april(), 1).value.as_fixnum(),
+        Some(50_000)
+    );
 }
 
 #[test]

@@ -10,11 +10,16 @@
 //! * [`network`] — the packet-level event simulator and its statistics
 //!   (average latency, hops, channel utilization), used to validate the
 //!   analytical network model of Section 8.
+//! * [`fault`] — deterministic seeded fault injection (packet drop,
+//!   duplication, delay, transient link outages) for robustness testing
+//!   of the coherence protocol and run-time system above.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod network;
 pub mod topology;
 
+pub use fault::{FaultPlan, FaultRule, FaultStats, Outage};
 pub use network::{NetConfig, NetStats, Network};
 pub use topology::{Channel, Topology};

@@ -11,9 +11,16 @@
 //! The simulator is deterministic: events are ordered by (time,
 //! sequence number), and ties resolve in send order.
 
+use crate::fault::{FaultPlan, FaultStats, Verdict};
 use crate::topology::{Channel, Topology};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Packet ids with this bit set are fault-injected duplicates; they
+/// draw from a separate counter so primary ids (and therefore primary
+/// fault decisions) depend only on send order, and so duplicates never
+/// themselves duplicate.
+const DUP_BIT: u64 = 1 << 63;
 
 /// Network timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +34,10 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     fn default() -> NetConfig {
-        NetConfig { hop_latency: 1, loopback_latency: 1 }
+        NetConfig {
+            hop_latency: 1,
+            loopback_latency: 1,
+        }
     }
 }
 
@@ -123,9 +133,13 @@ pub struct Network<P> {
     channel_free: HashMap<Channel, u64>,
     ready: VecDeque<(u64, usize, u64)>, // (deliver_time, dst, id)
     next_id: u64,
+    next_dup_id: u64,
     seq: u64,
+    fault: Option<FaultPlan>,
     /// Aggregate statistics.
     pub stats: NetStats,
+    /// Counts of injected faults (all zero without a fault plan).
+    pub fault_stats: FaultStats,
 }
 
 impl<P> Network<P> {
@@ -139,14 +153,51 @@ impl<P> Network<P> {
             channel_free: HashMap::new(),
             ready: VecDeque::new(),
             next_id: 0,
+            next_dup_id: 0,
             seq: 0,
+            fault: None,
             stats: NetStats::default(),
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Creates an idle network with a fault-injection plan installed.
+    pub fn with_faults(topo: Topology, cfg: NetConfig, plan: FaultPlan) -> Network<P> {
+        let mut net = Network::new(topo, cfg);
+        net.fault = Some(plan);
+        net
+    }
+
+    /// Installs (or, with `None`, removes) a fault plan mid-run.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The network topology.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Number of packets currently in flight.
+    pub fn in_flight_count(&self) -> usize {
+        self.flights.len()
+    }
+
+    /// In-flight packets as `(id, dst, sent_at, hops, payload)`,
+    /// sorted by packet id. Used for deadlock post-mortems.
+    pub fn in_flight_packets(&self) -> Vec<(u64, usize, u64, u64, &P)> {
+        let mut v: Vec<_> = self
+            .flights
+            .iter()
+            .map(|(&id, f)| (id, f.dst, f.sent_at, f.hops, &f.payload))
+            .collect();
+        v.sort_by_key(|&(id, ..)| id);
+        v
     }
 
     /// Injects a packet of `size` flits at time `now`.
@@ -159,18 +210,38 @@ impl<P> Network<P> {
         assert!(size > 0, "empty packet");
         let id = self.next_id;
         self.next_id += 1;
-        self.flights.insert(id, Flight { dst, size, sent_at: now, hops: 0, payload });
+        self.flights.insert(
+            id,
+            Flight {
+                dst,
+                size,
+                sent_at: now,
+                hops: 0,
+                payload,
+            },
+        );
         self.push_event(now, id, src);
     }
 
     fn push_event(&mut self, time: u64, id: u64, node: usize) {
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq: self.seq, id, node }));
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            id,
+            node,
+        }));
     }
 
     /// Advances the simulation to `now` and returns packets delivered
     /// by then, in deterministic order.
-    pub fn poll(&mut self, now: u64) -> Vec<(usize, P)> {
+    ///
+    /// Requires `P: Clone` so a fault plan can fork duplicate packets;
+    /// without a plan no clone ever happens.
+    pub fn poll(&mut self, now: u64) -> Vec<(usize, P)>
+    where
+        P: Clone,
+    {
         while let Some(&Reverse(ev)) = self.events.peek() {
             if ev.time > now {
                 break;
@@ -190,34 +261,85 @@ impl<P> Network<P> {
         out
     }
 
-    fn advance(&mut self, ev: Event) {
-        let flight = self.flights.get_mut(&ev.id).expect("flight exists");
-        if ev.node == flight.dst {
+    fn advance(&mut self, ev: Event)
+    where
+        P: Clone,
+    {
+        let flight = self.flights.get(&ev.id).expect("flight exists");
+        let (dst, size, hops, sent_at) = (flight.dst, flight.size, flight.hops, flight.sent_at);
+        if ev.node == dst {
             // Header arrived; the tail needs size-1 more cycles (or
             // loopback latency for self-sends that never hopped).
-            let tail = if flight.hops == 0 {
+            let tail = if hops == 0 {
                 ev.time + self.cfg.loopback_latency
             } else {
-                ev.time + flight.size.saturating_sub(1)
+                ev.time + size.saturating_sub(1)
             };
             self.stats.delivered += 1;
-            self.stats.total_latency += tail - flight.sent_at;
-            self.stats.total_hops += flight.hops;
-            let dst = flight.dst;
+            self.stats.total_latency += tail - sent_at;
+            self.stats.total_hops += hops;
             // Insert keeping deliver-time order (events are processed
             // in time order, so tails are nearly sorted; fix up local
             // inversions caused by differing sizes).
-            let pos = self.ready.iter().position(|&(t, _, _)| t > tail).unwrap_or(self.ready.len());
+            let pos = self
+                .ready
+                .iter()
+                .position(|&(t, _, _)| t > tail)
+                .unwrap_or(self.ready.len());
             self.ready.insert(pos, (tail, dst, ev.id));
             return;
         }
-        let (ch, next) = self.topo.next_hop(ev.node, flight.dst).expect("not at dst");
+        let (ch, next) = self.topo.next_hop(ev.node, dst).expect("not at dst");
+        let mut extra = 0;
+        if let Some(plan) = &self.fault {
+            match plan.decide(ev.id, hops, ch, ev.time, ev.id & DUP_BIT == 0) {
+                Verdict::Pass => {}
+                Verdict::Drop => {
+                    self.flights.remove(&ev.id);
+                    self.fault_stats.dropped += 1;
+                    return;
+                }
+                Verdict::StallUntil(t) => {
+                    // The link is down; retry the crossing when the
+                    // outage window closes.
+                    self.fault_stats.outage_stalls += 1;
+                    self.push_event(t, ev.id, ev.node);
+                    return;
+                }
+                Verdict::Duplicate => {
+                    self.fault_stats.duplicated += 1;
+                    let dup_id = DUP_BIT | self.next_dup_id;
+                    self.next_dup_id += 1;
+                    let payload = self
+                        .flights
+                        .get(&ev.id)
+                        .expect("flight exists")
+                        .payload
+                        .clone();
+                    self.flights.insert(
+                        dup_id,
+                        Flight {
+                            dst,
+                            size,
+                            sent_at: ev.time,
+                            hops,
+                            payload,
+                        },
+                    );
+                    self.push_event(ev.time, dup_id, ev.node);
+                }
+                Verdict::Delay(d) => {
+                    self.fault_stats.delayed += 1;
+                    extra = d;
+                }
+            }
+        }
         let free = self.channel_free.get(&ch).copied().unwrap_or(0);
         let start = ev.time.max(free);
-        self.channel_free.insert(ch, start + flight.size);
-        self.stats.busy_flit_cycles += flight.size;
-        flight.hops += 1;
-        let arrive = start + self.cfg.hop_latency;
+        self.channel_free.insert(ch, start + size);
+        self.stats.busy_flit_cycles += size;
+        self.flights.get_mut(&ev.id).expect("flight exists").hops += 1;
+        let arrive = start + self.cfg.hop_latency + extra;
         self.push_event(arrive, ev.id, next);
     }
 
@@ -319,7 +441,9 @@ mod tests {
         net.send(0, 0, 1, 10, 1);
         drain(&mut net, 100);
         // One channel of two carried 10 flit-cycles.
-        let u = net.stats.channel_utilization(net.topology().num_channels(), 100);
+        let u = net
+            .stats
+            .channel_utilization(net.topology().num_channels(), 100);
         assert!((u - 10.0 / 200.0).abs() < 1e-9);
     }
 
@@ -333,5 +457,100 @@ mod tests {
             drain(&mut net, 1000)
         };
         assert_eq!(run(), run());
+    }
+
+    use crate::fault::{FaultPlan, FaultRule};
+
+    fn faulty(plan: FaultPlan) -> Network<usize> {
+        Network::with_faults(Topology::new(2, 4), NetConfig::default(), plan)
+    }
+
+    fn spray(net: &mut Network<usize>, n: usize) -> Vec<(u64, usize, usize)> {
+        let nodes = net.topology().num_nodes();
+        for i in 0..n {
+            net.send((i % 11) as u64, i % nodes, (i * 7 + 3) % nodes, 4, i);
+        }
+        drain(net, 1_000_000)
+    }
+
+    #[test]
+    fn drops_lose_packets_and_are_counted() {
+        let mut net = faulty(FaultPlan::new(0xd0).with_default_rule(FaultRule::drop(0.2)));
+        let got = spray(&mut net, 400);
+        assert!(
+            net.fault_stats.dropped > 0,
+            "0.2 drop over 400 packets must drop some"
+        );
+        assert_eq!(got.len() as u64 + net.fault_stats.dropped, 400);
+        assert!(net.is_idle(), "dropped packets must not linger in flight");
+    }
+
+    #[test]
+    fn duplicates_arrive_twice_and_are_counted() {
+        let mut net = faulty(FaultPlan::new(0xdb).with_default_rule(FaultRule::dup(0.2)));
+        let got = spray(&mut net, 400);
+        assert!(net.fault_stats.duplicated > 0);
+        assert_eq!(got.len() as u64, 400 + net.fault_stats.duplicated);
+        // Every duplicate is a bit-exact copy of some original.
+        for &(_, dst, p) in &got {
+            assert_eq!(dst, (p * 7 + 3) % net.topology().num_nodes());
+        }
+    }
+
+    #[test]
+    fn delays_slow_but_do_not_lose() {
+        let mut clean = faulty(FaultPlan::new(1));
+        let base = spray(&mut clean, 200);
+        let mut net = faulty(FaultPlan::new(1).with_default_rule(FaultRule::delay(0.5, 32)));
+        let got = spray(&mut net, 200);
+        assert_eq!(got.len(), 200);
+        assert!(net.fault_stats.delayed > 0);
+        let sum = |v: &[(u64, usize, usize)]| v.iter().map(|&(t, ..)| t).sum::<u64>();
+        assert!(sum(&got) > sum(&base), "jitter must increase total latency");
+    }
+
+    #[test]
+    fn outage_stalls_crossing_until_window_ends() {
+        let (ch, _) = Topology::new(1, 4).next_hop(0, 1).expect("hop exists");
+        let mut net: Network<u32> = Network::with_faults(
+            Topology::new(1, 4),
+            NetConfig::default(),
+            FaultPlan::new(7).with_outage(ch, 0, 50),
+        );
+        net.send(0, 0, 1, 4, 9);
+        let got = drain(&mut net, 1000);
+        assert_eq!(got.len(), 1);
+        assert!(
+            got[0].0 >= 50,
+            "delivered at {} despite outage until 50",
+            got[0].0
+        );
+        assert_eq!(net.fault_stats.outage_stalls, 1);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let run = || {
+            let plan = FaultPlan::new(0x5eed).with_default_rule(FaultRule {
+                drop: 0.1,
+                dup: 0.1,
+                delay: 0.2,
+                max_delay: 16,
+            });
+            let mut net = faulty(plan);
+            let got = spray(&mut net, 300);
+            (got, net.fault_stats)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inert_plan_is_bit_identical_to_no_plan() {
+        let mut plain: Network<usize> = Network::new(Topology::new(2, 4), NetConfig::default());
+        let a = spray(&mut plain, 200);
+        let mut inert = faulty(FaultPlan::new(42));
+        let b = spray(&mut inert, 200);
+        assert_eq!(a, b);
+        assert_eq!(inert.fault_stats.total(), 0);
     }
 }

@@ -91,13 +91,23 @@ impl Topology {
             return None;
         }
         let (cc, cd) = (self.coords(cur), self.coords(dst));
-        let stride: Vec<usize> =
-            (0..self.dim).map(|d| self.radix.pow(d as u32)).collect();
+        let stride: Vec<usize> = (0..self.dim).map(|d| self.radix.pow(d as u32)).collect();
         for d in 0..self.dim {
             if cc[d] != cd[d] {
                 let plus = cd[d] > cc[d];
-                let next = if plus { cur + stride[d] } else { cur - stride[d] };
-                return Some((Channel { node: cur, dim: d, plus }, next));
+                let next = if plus {
+                    cur + stride[d]
+                } else {
+                    cur - stride[d]
+                };
+                return Some((
+                    Channel {
+                        node: cur,
+                        dim: d,
+                        plus,
+                    },
+                    next,
+                ));
             }
         }
         unreachable!("coords equal but nodes differ");
@@ -112,7 +122,13 @@ impl Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}-ary {}-cube ({} nodes)", self.radix, self.dim, self.num_nodes())
+        write!(
+            f,
+            "{}-ary {}-cube ({} nodes)",
+            self.radix,
+            self.dim,
+            self.num_nodes()
+        )
     }
 }
 

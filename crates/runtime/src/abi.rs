@@ -20,8 +20,14 @@ pub const REG_CLOSURE: Reg = Reg::L(0);
 /// First argument / return value.
 pub const REG_RET: Reg = Reg::L(1);
 /// Argument registers `r1`–`r6`.
-pub const ARG_REGS: [Reg; 6] =
-    [Reg::L(1), Reg::L(2), Reg::L(3), Reg::L(4), Reg::L(5), Reg::L(6)];
+pub const ARG_REGS: [Reg; 6] = [
+    Reg::L(1),
+    Reg::L(2),
+    Reg::L(3),
+    Reg::L(4),
+    Reg::L(5),
+    Reg::L(6),
+];
 /// The task's own future pointer inside the task/inline entry stubs.
 pub const REG_FUT: Reg = Reg::L(25);
 /// Software (Encore-style) touch operand register.
@@ -182,8 +188,18 @@ mod tests {
     #[test]
     fn service_numbers_are_distinct() {
         let all = [
-            RT_EXIT, RT_MAIN_DONE, RT_FUTURE, RT_FUTURE_ON, RT_LAZY_FUTURE, RT_DETERMINE,
-            RT_RESUME, RT_FUTURE_SW, RT_TOUCH_SW, RT_HEAP_MORE, RT_PRINT, RT_YIELD,
+            RT_EXIT,
+            RT_MAIN_DONE,
+            RT_FUTURE,
+            RT_FUTURE_ON,
+            RT_LAZY_FUTURE,
+            RT_DETERMINE,
+            RT_RESUME,
+            RT_FUTURE_SW,
+            RT_TOUCH_SW,
+            RT_HEAP_MORE,
+            RT_PRINT,
+            RT_YIELD,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

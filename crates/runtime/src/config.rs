@@ -137,7 +137,10 @@ mod tests {
     fn sparc_context_switch_is_eleven_cycles() {
         let c = RtConfig::default();
         // 5-cycle trap entry (processor) + 6-cycle handler = 11.
-        assert_eq!(april_core::trap::TRAP_ENTRY_CYCLES + c.switch_handler_cycles, 11);
+        assert_eq!(
+            april_core::trap::TRAP_ENTRY_CYCLES + c.switch_handler_cycles,
+            11
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl FutureTable {
     /// Registers a freshly allocated future.
     pub fn create(&mut self, addr: u32) {
         let prev = self.map.insert(addr, FutureInfo::default());
-        debug_assert!(prev.is_none(), "future address reused while live: {addr:#x}");
+        debug_assert!(
+            prev.is_none(),
+            "future address reused while live: {addr:#x}"
+        );
     }
 
     /// Attaches a lazy thunk descriptor.
@@ -76,7 +79,10 @@ impl FutureTable {
     /// Resolves the future's metadata, returning the waiters to wake
     /// and removing the entry.
     pub fn resolve(&mut self, addr: u32) -> Vec<ThreadId> {
-        self.map.remove(&addr).map(|i| i.waiters).unwrap_or_default()
+        self.map
+            .remove(&addr)
+            .map(|i| i.waiters)
+            .unwrap_or_default()
     }
 
     /// Number of live (unresolved) futures.
@@ -93,7 +99,13 @@ mod tests {
     fn lazy_thunk_claimed_exactly_once() {
         let mut t = FutureTable::new();
         t.create(0x100);
-        t.set_lazy(0x100, LazyThunk { closure: Word::other_ptr(0x200), owner: 1 });
+        t.set_lazy(
+            0x100,
+            LazyThunk {
+                closure: Word::other_ptr(0x200),
+                owner: 1,
+            },
+        );
         assert!(t.has_lazy(0x100));
         assert!(t.take_lazy(0x100).is_some());
         assert!(t.take_lazy(0x100).is_none(), "second claim loses the race");

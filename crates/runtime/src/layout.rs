@@ -9,9 +9,9 @@
 
 use crate::abi;
 use crate::config::RtConfig;
+use april_core::word::Word;
 use april_mem::alloc::BumpAllocator;
 use april_mem::femem::FeMemory;
-use april_core::word::Word;
 
 /// Bytes reserved at the bottom of node 0's region for singletons and
 /// static data.
@@ -36,7 +36,11 @@ impl NodeLayout {
     pub fn new(node: usize, cfg: &RtConfig) -> NodeLayout {
         let base = node as u32 * cfg.region_bytes;
         let end = base + cfg.region_bytes;
-        let heap_base = if node == 0 { base + RESERVED_BYTES } else { base };
+        let heap_base = if node == 0 {
+            base + RESERVED_BYTES
+        } else {
+            base
+        };
         // Half heap, half stacks: eager fine-grain programs hold a
         // stack per live task, so the pool must be deep.
         let stack_base = base + cfg.region_bytes / 2;
@@ -69,7 +73,9 @@ impl NodeLayout {
     ///
     /// Panics on simulated OOM.
     pub fn alloc(&mut self, bytes: u32) -> u32 {
-        self.heap.alloc(bytes, 8).unwrap_or_else(|e| panic!("node heap exhausted: {e}"))
+        self.heap
+            .alloc(bytes, 8)
+            .unwrap_or_else(|e| panic!("node heap exhausted: {e}"))
     }
 
     /// Takes a stack segment (recycled if available), returning its
@@ -107,7 +113,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> RtConfig {
-        RtConfig { region_bytes: 1 << 20, stack_bytes: 4096, ..RtConfig::default() }
+        RtConfig {
+            region_bytes: 1 << 20,
+            stack_bytes: 4096,
+            ..RtConfig::default()
+        }
     }
 
     #[test]

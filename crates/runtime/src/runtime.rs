@@ -108,18 +108,26 @@ pub enum RunError {
         /// Program counter.
         pc: u32,
     },
+    /// The machine itself failed: a protocol engine reported a fatal
+    /// error or the forward-progress watchdog fired. Carries the full
+    /// structured post-mortem.
+    MachineFault(Box<april_machine::MachineFault>),
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Deadlock { at, blocked, ready } => {
-                write!(f, "deadlock at cycle {at}: {blocked} blocked, {ready} ready")
+                write!(
+                    f,
+                    "deadlock at cycle {at}: {blocked} blocked, {ready} ready"
+                )
             }
             RunError::CycleLimit(n) => write!(f, "exceeded cycle limit {n}"),
             RunError::Fault { what, node, pc } => {
                 write!(f, "fault on node {node} at pc {pc}: {what}")
             }
+            RunError::MachineFault(fault) => write!(f, "machine fault: {fault}"),
         }
     }
 }
@@ -206,9 +214,13 @@ impl<M: Machine> Runtime<M> {
             for (node, ev) in self.machine.advance() {
                 self.handle(node, ev)?;
             }
+            if let Some(fault) = self.machine.fault() {
+                return Err(RunError::MachineFault(Box::new(fault.clone())));
+            }
             if let Some(value) = self.result {
-                let per_cpu: Vec<CpuStats> =
-                    (0..self.machine.num_procs()).map(|i| self.machine.cpu(i).stats).collect();
+                let per_cpu: Vec<CpuStats> = (0..self.machine.num_procs())
+                    .map(|i| self.machine.cpu(i).stats)
+                    .collect();
                 let mut total = CpuStats::default();
                 for s in &per_cpu {
                     total.merge(s);
@@ -224,8 +236,9 @@ impl<M: Machine> Runtime<M> {
             }
             // Liveness check every 4096 cycles.
             if self.machine.now() & 0xfff == 0 {
-                let instrs: u64 =
-                    (0..self.machine.num_procs()).map(|i| self.machine.cpu(i).stats.instructions).sum();
+                let instrs: u64 = (0..self.machine.num_procs())
+                    .map(|i| self.machine.cpu(i).stats.instructions)
+                    .sum();
                 if instrs == last_progress.1 && self.machine.now() - last_progress.0 > 200_000 {
                     let blocked = self
                         .threads
@@ -327,7 +340,8 @@ impl<M: Machine> Runtime<M> {
     /// The context-switch trap handler: rotate to the next ready frame
     /// (6 cycles on top of the 5-cycle trap entry; Section 6.1).
     fn switch_spin(&mut self, node: usize) {
-        self.machine.charge_handler(node, self.cfg.switch_handler_cycles);
+        self.machine
+            .charge_handler(node, self.cfg.switch_handler_cycles);
         let cpu = self.machine.cpu_mut(node);
         cpu.count_context_switch();
         if let Some(next) = cpu.next_ready_frame() {
@@ -366,7 +380,8 @@ impl<M: Machine> Runtime<M> {
                 let cpu = self.machine.cpu_mut(node);
                 cpu.set_reg(reg, value);
                 cpu.frame_mut(fp).psr.in_trap = false;
-                self.machine.charge_handler(node, self.cfg.touch_resolved_cycles);
+                self.machine
+                    .charge_handler(node, self.cfg.touch_resolved_cycles);
             }
             Err(addr) => self.unresolved_touch(node, addr),
         }
@@ -432,7 +447,8 @@ impl<M: Machine> Runtime<M> {
         cpu.set_reg(abi::REG_FUT, Word::future_ptr(fut_addr));
         // Near procedure-call cost: lazy task creation replaces thread
         // creation with (almost) a call (Section 3.2).
-        self.machine.charge_handler(node, self.cfg.lazy_inline_cycles);
+        self.machine
+            .charge_handler(node, self.cfg.lazy_inline_cycles);
     }
 
     /// Resolves `addr` with `value`, waking waiters onto their home
@@ -507,12 +523,18 @@ impl<M: Machine> Runtime<M> {
         self.loaded[node][frame] = Some(tid);
         self.fe_spins.remove(&(node, frame));
         self.sched.stats.loads += 1;
-        let cost = if fresh { self.cfg.fresh_load_cycles } else { self.cfg.thread_load_cycles };
+        let cost = if fresh {
+            self.cfg.fresh_load_cycles
+        } else {
+            self.cfg.thread_load_cycles
+        };
         self.machine.charge_handler(node, cost);
     }
 
     fn unload_thread(&mut self, node: usize, frame: usize, into: ThreadState) {
-        let tid = self.loaded[node][frame].take().expect("unload of empty frame");
+        let tid = self.loaded[node][frame]
+            .take()
+            .expect("unload of empty frame");
         let f = self.machine.cpu(node).frame(frame);
         let (regs, fregs, pc, npc, mut psr) = (f.regs, f.fregs, f.pc, f.npc, f.psr);
         psr.in_trap = false;
@@ -525,7 +547,8 @@ impl<M: Machine> Runtime<M> {
         t.state = into;
         self.machine.cpu_mut(node).frame_mut(frame).state = FrameState::Empty;
         self.sched.stats.unloads += 1;
-        self.machine.charge_handler(node, self.cfg.thread_unload_cycles);
+        self.machine
+            .charge_handler(node, self.cfg.thread_unload_cycles);
     }
 
     /// Fills `frame` on `node` with work, if any exists anywhere.
@@ -559,7 +582,10 @@ impl<M: Machine> Runtime<M> {
     /// `frame` (deferred thread creation: the cost the lazy scheme
     /// avoids until parallelism is actually needed).
     fn promote_lazy(&mut self, node: usize, frame: usize, fut: u32, access_cost: u64) {
-        let thunk = self.futures.take_lazy(fut).expect("queued thunk has a descriptor");
+        let thunk = self
+            .futures
+            .take_lazy(fut)
+            .expect("queued thunk has a descriptor");
         self.machine
             .charge_handler(node, access_cost + self.cfg.thread_create_cycles);
         let tid = self.new_thread(self.task_entry, node);
@@ -609,8 +635,7 @@ impl<M: Machine> Runtime<M> {
             return;
         }
         // An empty frame to fill?
-        if let Some(frame) = (0..cpu.nframes()).find(|&i| cpu.frame(i).state == FrameState::Empty)
-        {
+        if let Some(frame) = (0..cpu.nframes()).find(|&i| cpu.frame(i).state == FrameState::Empty) {
             // Local lazy work first (cheapest locality), then the
             // generic fill path.
             if let Some(fut) = self.sched.pop_own_lazy(node) {
@@ -645,7 +670,12 @@ impl<M: Machine> Runtime<M> {
                 self.svc_future(node, target, self.cfg.thread_create_cycles);
             }
             abi::RT_FUTURE_ON => {
-                let t = self.machine.cpu(node).get_reg(Reg::L(2)).as_fixnum().unwrap_or(0);
+                let t = self
+                    .machine
+                    .cpu(node)
+                    .get_reg(Reg::L(2))
+                    .as_fixnum()
+                    .unwrap_or(0);
                 let target = (t.max(0) as usize) % self.machine.num_procs();
                 self.svc_future(node, target, self.cfg.thread_create_cycles);
             }
@@ -657,11 +687,20 @@ impl<M: Machine> Runtime<M> {
             abi::RT_LAZY_FUTURE => {
                 let closure = self.machine.cpu(node).get_reg(abi::REG_RET);
                 let fut = self.alloc_future(node);
-                self.futures.set_lazy(fut, LazyThunk { closure, owner: node });
+                self.futures.set_lazy(
+                    fut,
+                    LazyThunk {
+                        closure,
+                        owner: node,
+                    },
+                );
                 self.sched.push_lazy(node, fut);
                 self.sched.stats.lazy_created += 1;
-                self.machine.cpu_mut(node).set_reg(abi::REG_RET, Word::future_ptr(fut));
-                self.machine.charge_handler(node, self.cfg.lazy_create_cycles);
+                self.machine
+                    .cpu_mut(node)
+                    .set_reg(abi::REG_RET, Word::future_ptr(fut));
+                self.machine
+                    .charge_handler(node, self.cfg.lazy_create_cycles);
             }
             abi::RT_DETERMINE => {
                 let fut = self.machine.cpu(node).get_reg(abi::REG_FUT);
@@ -728,13 +767,17 @@ impl<M: Machine> Runtime<M> {
         let closure = self.machine.cpu(node).get_reg(abi::REG_RET);
         let fut = self.alloc_future(node);
         self.spawn_task(closure, fut, target);
-        self.machine.cpu_mut(node).set_reg(abi::REG_RET, Word::future_ptr(fut));
+        self.machine
+            .cpu_mut(node)
+            .set_reg(abi::REG_RET, Word::future_ptr(fut));
         self.machine.charge_handler(node, cost);
     }
 
     fn svc_exit(&mut self, node: usize) {
         let fp = self.machine.cpu(node).fp();
-        let tid = self.loaded[node][fp].take().expect("exit from loaded frame");
+        let tid = self.loaded[node][fp]
+            .take()
+            .expect("exit from loaded frame");
         let t = &mut self.threads[tid.0 as usize];
         t.state = ThreadState::Exited;
         let stack = t.stack_base;
@@ -759,7 +802,8 @@ impl<M: Machine> Runtime<M> {
         match self.chase(w) {
             Ok(value) => {
                 self.machine.cpu_mut(node).set_reg(abi::REG_SW_TOUCH, value);
-                self.machine.charge_handler(node, self.cfg.sw_touch_cycles + 8);
+                self.machine
+                    .charge_handler(node, self.cfg.sw_touch_cycles + 8);
             }
             Err(addr) => {
                 // Rewind to the rtcall instruction (it is never placed

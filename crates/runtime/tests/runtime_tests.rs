@@ -11,7 +11,12 @@ const MEM: usize = 4 << 20;
 const REGION: u32 = 1 << 20;
 
 fn cfg() -> RtConfig {
-    RtConfig { region_bytes: REGION, stack_bytes: 4096, max_cycles: 10_000_000, ..RtConfig::default() }
+    RtConfig {
+        region_bytes: REGION,
+        stack_bytes: 4096,
+        max_cycles: 10_000_000,
+        ..RtConfig::default()
+    }
 }
 
 /// Assembles a program with the runtime entry stubs appended.
@@ -29,13 +34,16 @@ fn run_on(nprocs: usize, body: &str) -> april_runtime::RunResult {
 
 #[test]
 fn main_done_returns_value() {
-    let r = run_on(1, "
+    let r = run_on(
+        1,
+        "
         .entry main
         main:
             movi 164, r1       ; fixnum 41
             add r1, 4, r1      ; fixnum 42
             rtcall 1           ; RT_MAIN_DONE
-    ");
+    ",
+    );
     assert_eq!(r.value.as_fixnum(), Some(42));
     assert!(r.cycles > 0);
     assert!(r.total.instructions >= 3);
@@ -109,7 +117,10 @@ fn touch_of_resolved_future_costs_23_cycles() {
     let mut rt = Runtime::new(m, cfg());
     let r = rt.run().unwrap();
     assert_eq!(r.value.as_fixnum(), Some(42));
-    assert_eq!(r.sched.blocks, 0, "no blocking: future resolved before the touch");
+    assert_eq!(
+        r.sched.blocks, 0,
+        "no blocking: future resolved before the touch"
+    );
     // Handler cycles on cpu 0 include exactly one 23-cycle resolved
     // touch (plus spawn/exit bookkeeping).
     assert!(r.per_cpu[0].future_traps >= 1);
@@ -171,7 +182,10 @@ fn lazy_future_stolen_by_idle_processor() {
     assert_eq!(r.value.as_fixnum(), Some(42));
     assert_eq!(r.sched.lazy_steals, 1, "idle processor stole the thunk");
     assert_eq!(r.sched.inline_evals, 0);
-    assert_eq!(r.sched.threads_created, 1, "thread creation deferred to steal time");
+    assert_eq!(
+        r.sched.threads_created, 1,
+        "thread creation deferred to steal time"
+    );
 }
 
 #[test]
@@ -266,7 +280,13 @@ fn undetermined_future_deadlocks_cleanly() {
     );
     let prog = program(&recursive);
     let m = IdealMachine::new(1, MEM, prog);
-    let mut rt = Runtime::new(m, RtConfig { max_cycles: 5_000_000, ..cfg() });
+    let mut rt = Runtime::new(
+        m,
+        RtConfig {
+            max_cycles: 5_000_000,
+            ..cfg()
+        },
+    );
     match rt.run() {
         Err(RunError::Deadlock { blocked, .. }) => assert!(blocked >= 2),
         other => panic!("expected deadlock, got {other:?}"),
@@ -275,7 +295,9 @@ fn undetermined_future_deadlocks_cleanly() {
 
 #[test]
 fn print_service_collects_values() {
-    let r = run_on(1, "
+    let r = run_on(
+        1,
+        "
         .entry main
         main:
             movi 4, r1
@@ -283,7 +305,8 @@ fn print_service_collects_values() {
             movi 8, r1
             rtcall 10
             rtcall 1
-    ");
+    ",
+    );
     assert_eq!(r.prints.len(), 2);
     assert_eq!(r.prints[0].as_fixnum(), Some(1));
     assert_eq!(r.prints[1].as_fixnum(), Some(2));
@@ -293,14 +316,17 @@ fn print_service_collects_values() {
 fn heap_refill_service() {
     // Exhaust g5..g6 artificially by bumping close to the limit, then
     // rtcall RT_HEAP_MORE and allocate again.
-    let r = run_on(1, "
+    let r = run_on(
+        1,
+        "
         .entry main
         main:
             or g6, 0, g5       ; pretend the chunk is full
             rtcall 9           ; RT_HEAP_MORE
             sub g6, g5, r1     ; fresh chunk is non-empty
             rtcall 1
-    ");
+    ",
+    );
     assert!(r.value.0 > 0);
 }
 
@@ -341,7 +367,10 @@ fn fe_producer_consumer_across_processors() {
     let mut rt = Runtime::new(m, cfg());
     let r = rt.run().unwrap();
     assert_eq!(r.value.as_fixnum(), Some(7));
-    assert!(r.total.fe_traps >= 1, "consumer trapped at least once on the empty word");
+    assert!(
+        r.total.fe_traps >= 1,
+        "consumer trapped at least once on the empty word"
+    );
 }
 
 #[test]
@@ -397,7 +426,10 @@ fn block_after_spins_unloads_and_wakes_on_state_change() {
     let m = IdealMachine::new(2, MEM, prog);
     let mut rt = Runtime::new(
         m,
-        RtConfig { fe_policy: FePolicy::BlockAfterSpins(3), ..cfg() },
+        RtConfig {
+            fe_policy: FePolicy::BlockAfterSpins(3),
+            ..cfg()
+        },
     );
     let r = rt.run().unwrap();
     assert_eq!(r.value.as_fixnum(), Some(7));
@@ -441,7 +473,13 @@ fn spin_policy_retries_in_place() {
     );
     let prog = program(&body);
     let m = IdealMachine::new(2, MEM, prog);
-    let mut rt = Runtime::new(m, RtConfig { fe_policy: FePolicy::Spin, ..cfg() });
+    let mut rt = Runtime::new(
+        m,
+        RtConfig {
+            fe_policy: FePolicy::Spin,
+            ..cfg()
+        },
+    );
     let r = rt.run().unwrap();
     assert_eq!(r.value.as_fixnum(), Some(7));
     assert!(r.total.fe_traps > 10, "pure spinning retries constantly");

@@ -1,0 +1,14 @@
+//! # april-util — workspace utilities
+//!
+//! Small, dependency-free helpers shared across the workspace. Today
+//! that is [`rng`]: vendored deterministic pseudo-random number
+//! generators (splitmix64 and xoshiro256\*\*) used by the network
+//! fault-injection layer, the experiment binaries, and the randomized
+//! test suites, so the workspace builds and tests with no network
+//! access and every "random" run is exactly reproducible from a seed.
+
+#![warn(missing_docs)]
+
+pub mod rng;
+
+pub use rng::{splitmix64, Rng};

@@ -25,7 +25,10 @@ fn main() {
     let machine = Alewife::new(cfg, prog);
     let mut rt = Runtime::new(
         machine,
-        RtConfig { region_bytes: REGION, ..RtConfig::default() },
+        RtConfig {
+            region_bytes: REGION,
+            ..RtConfig::default()
+        },
     );
     let r = rt.run().expect("completes");
 

@@ -16,7 +16,13 @@ const REGION: u32 = 16 << 20;
 fn run(src: &str, opts: &CompileOptions, procs: usize) -> april::runtime::RunResult {
     let prog = compile(src, opts).expect("compiles");
     let m = IdealMachine::new(procs, procs * REGION as usize, prog);
-    let mut rt = Runtime::new(m, RtConfig { region_bytes: REGION, ..RtConfig::default() });
+    let mut rt = Runtime::new(
+        m,
+        RtConfig {
+            region_bytes: REGION,
+            ..RtConfig::default()
+        },
+    );
     rt.run().expect("completes")
 }
 
@@ -37,7 +43,7 @@ fn main() {
             (preduce add 0 a 0 {n} {grain})))",
         lib = programs::data_parallel_lib()
     );
-    let expect: i32 = (1..=n as i32).map(|i| 2 * i).sum();
+    let expect: i32 = (1..=n).map(|i| 2 * i).sum();
 
     println!("parallel dot product of [1..{n}] . [2,2,...], grain {grain}\n");
     let mut base = 0u64;

@@ -13,7 +13,13 @@ const REGION: u32 = 16 << 20;
 fn run(src: &str, opts: &CompileOptions, procs: usize) -> april::runtime::RunResult {
     let prog = compile(src, opts).expect("compiles");
     let m = IdealMachine::new(procs, procs * REGION as usize, prog);
-    let mut rt = Runtime::new(m, RtConfig { region_bytes: REGION, ..RtConfig::default() });
+    let mut rt = Runtime::new(
+        m,
+        RtConfig {
+            region_bytes: REGION,
+            ..RtConfig::default()
+        },
+    );
     rt.run().expect("completes")
 }
 

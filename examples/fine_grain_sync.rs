@@ -80,15 +80,24 @@ fn main() {
     let m = IdealMachine::new(2, 8 << 20, prog);
     let mut rt = Runtime::new(
         m,
-        RtConfig { region_bytes: 4 << 20, ..RtConfig::default() },
+        RtConfig {
+            region_bytes: 4 << 20,
+            ..RtConfig::default()
+        },
     );
     let r = rt.run().expect("completes");
 
     let expect: i32 = (0..20).sum();
     println!("producer/consumer over an 8-slot full/empty ring:");
-    println!("  sum of 20 produced values = {} (expect {expect})", r.value);
+    println!(
+        "  sum of 20 produced values = {} (expect {expect})",
+        r.value
+    );
     println!("  full/empty synchronization traps: {}", r.total.fe_traps);
-    println!("  context switches (switch-spinning): {}", r.total.context_switches);
+    println!(
+        "  context switches (switch-spinning): {}",
+        r.total.context_switches
+    );
     println!("  total cycles: {}", r.cycles);
     println!();
     println!("No test&set lock, no separate lock word: the synchronization state");

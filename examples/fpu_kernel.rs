@@ -53,8 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = [1.5f32, 2.0, 0.5, 4.0];
     let b = [2.0f32, 0.25, 8.0, 0.5];
     for i in 0..4 {
-        mem.write(0x100 + 4 * i as u32, april::core::word::Word(a[i].to_bits()));
-        mem.write(0x140 + 4 * i as u32, april::core::word::Word(b[i].to_bits()));
+        mem.write(
+            0x100 + 4 * i as u32,
+            april::core::word::Word(a[i].to_bits()),
+        );
+        mem.write(
+            0x140 + 4 * i as u32,
+            april::core::word::Word(b[i].to_bits()),
+        );
     }
 
     let mut cpu = Cpu::new(CpuConfig::default());
@@ -71,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mean = f32::from_bits(cpu.get_freg(6));
     println!("dot(a, b) = {dot}   mean = {mean}");
     println!("fcmp dot > 9.0 taken: {}", cpu.get_reg(Reg::L(9)).0 == 1);
-    println!("f2fix dot -> {}", cpu.get_reg(Reg::L(11)).as_fixnum().unwrap());
+    println!(
+        "f2fix dot -> {}",
+        cpu.get_reg(Reg::L(11)).as_fixnum().unwrap()
+    );
     println!("cycles: {}", cpu.stats.useful_cycles);
     assert_eq!(dot, 9.5);
     assert_eq!(mean, 2.375);

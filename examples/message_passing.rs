@@ -84,7 +84,10 @@ fn main() {
         for (i, ev) in m.advance() {
             match ev {
                 StepEvent::Trapped(Trap::Interrupt { from }) => {
-                    println!("cycle {:>5}: node {i} took an IPI from node {from}", m.now());
+                    println!(
+                        "cycle {:>5}: node {i} took an IPI from node {from}",
+                        m.now()
+                    );
                     ipi_seen = true;
                     // The "interrupt handler": note the message arrival
                     // (sets the flag register) and return.
@@ -122,7 +125,10 @@ fn main() {
     let sum = m.cpu(1).get_reg(Reg::L(12)).as_fixnum().unwrap();
     println!();
     println!("node 1 received and summed the payload: {sum} (expect 33)");
-    println!("fence counter after flush round trip: {}", m.nodes[0].ctl.fence_count());
+    println!(
+        "fence counter after flush round trip: {}",
+        m.nodes[0].ctl.fence_count()
+    );
     println!(
         "network carried {} packets ({} flit-cycles)",
         m.net_stats().delivered,

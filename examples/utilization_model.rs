@@ -31,7 +31,10 @@ fn main() {
     println!("\nCache size ablation, p = 4 (Section 8: \"smaller caches suffer more");
     println!("interference and reduce the benefits of multithreading\"):");
     for kb in [16.0, 32.0, 64.0, 128.0, 256.0] {
-        let params = SystemParams { cache_bytes: kb * 1024.0, ..base };
+        let params = SystemParams {
+            cache_bytes: kb * 1024.0,
+            ..base
+        };
         let u = solve(&params, 4.0, true, true, 10.0);
         println!("  {kb:>4.0} KB  {}", bar(u));
     }

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Full local CI: build, test, formatting, and lints for the whole
+# workspace. Everything runs offline — the workspace has no external
+# dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

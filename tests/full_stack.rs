@@ -12,10 +12,19 @@ use april::runtime::{RtConfig, Runtime};
 const REGION: u32 = 4 << 20;
 
 fn rt_cfg() -> RtConfig {
-    RtConfig { region_bytes: REGION, max_cycles: 400_000_000, ..RtConfig::default() }
+    RtConfig {
+        region_bytes: REGION,
+        max_cycles: 400_000_000,
+        ..RtConfig::default()
+    }
 }
 
-fn alewife(nodes_dim: usize, radix: usize, src: &str, opts: &CompileOptions) -> april::runtime::RunResult {
+fn alewife(
+    nodes_dim: usize,
+    radix: usize,
+    src: &str,
+    opts: &CompileOptions,
+) -> april::runtime::RunResult {
     let prog = compile(src, opts).expect("compiles");
     let cfg = MachineConfig {
         topology: Topology::new(nodes_dim, radix),
@@ -24,7 +33,8 @@ fn alewife(nodes_dim: usize, radix: usize, src: &str, opts: &CompileOptions) -> 
     };
     let m = Alewife::new(cfg, prog);
     let mut rt = Runtime::new(m, rt_cfg());
-    rt.run().unwrap_or_else(|e| panic!("alewife run failed: {e}"))
+    rt.run()
+        .unwrap_or_else(|e| panic!("alewife run failed: {e}"))
 }
 
 fn ideal(procs: usize, src: &str, opts: &CompileOptions) -> april::runtime::RunResult {
