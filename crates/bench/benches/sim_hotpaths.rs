@@ -5,13 +5,20 @@
 //! benchmark runs its body in batches until ~0.2 s has elapsed and
 //! reports the best per-iteration time. Run with `cargo bench`.
 
-use april_core::cpu::{Cpu, CpuConfig};
+use april_core::cpu::{Cpu, CpuConfig, StepEvent};
+use april_core::frame::FrameState;
 use april_core::isa::asm::assemble;
 use april_core::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
+use april_core::program::Program;
+use april_core::trap::Trap;
 use april_core::word::Word;
+use april_machine::alewife::Alewife;
+use april_machine::config::MachineConfig;
+use april_machine::Machine;
 use april_mem::cache::{Cache, CacheConfig, LineState};
 use april_mem::directory::Directory;
 use april_mem::femem::FeMemory;
+use april_net::fault::{FaultPlan, FaultRule};
 use april_net::network::{NetConfig, Network};
 use april_net::topology::Topology;
 use std::hint::black_box;
@@ -153,6 +160,251 @@ fn bench_toolchain() {
     });
 }
 
+// ---------------------------------------------------------------------
+// Whole-machine workloads: simulated cycles per wall-second, lockstep
+// versus event-driven, emitted as BENCH_hotpaths.json so the perf
+// trajectory is tracked from PR to PR.
+// ---------------------------------------------------------------------
+
+/// The switch-spin driver the machine test suites use. Returns the
+/// number of `advance()` calls — the cycles actually visited, which is
+/// what the event-driven skip reduces.
+fn drive(m: &mut Alewife, max: u64) -> u64 {
+    let mut advances = 0;
+    loop {
+        assert!(m.now() < max, "bench workload timed out at {}", m.now());
+        if m.fault().is_some() {
+            return advances;
+        }
+        if (0..m.num_procs()).all(|i| m.cpu(i).is_halted()) {
+            return advances;
+        }
+        advances += 1;
+        for (i, ev) in m.advance() {
+            match ev {
+                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                    let fp = m.cpu(i).fp();
+                    let fr = m.cpu_mut(i).frame_mut(fp);
+                    fr.state = FrameState::WaitingRemote;
+                    fr.psr.in_trap = false;
+                    m.charge_handler(i, 6);
+                }
+                StepEvent::Trapped(t) => panic!("node {i}: {t}"),
+                StepEvent::NoReadyFrame => {
+                    let cpu = m.cpu_mut(i);
+                    match cpu.next_ready_frame() {
+                        Some(f) => cpu.set_fp(f),
+                        None => m.charge_idle(i, 1),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// All nodes increment their own word of one block homed at node 0,
+/// flushing the line after every store: each iteration is a remote
+/// read miss plus a write-upgrade miss, both full protocol round trips
+/// serialized through node 0's directory, so every processor spends
+/// nearly all of its time switched out waiting — the stall-dominated
+/// regime the event-driven skip targets.
+fn stall_heavy_program(iters: u32) -> Program {
+    assemble(&format!(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            movi 0x200, r9
+            add r9, r8, r9     ; my word within the shared block
+            movi {iters}, r10
+        loop:
+            ld r9+0, r11       ; remote read miss
+            add r11, 4, r11    ; increment (fixnum +1)
+            st r11, r9+0       ; write-upgrade miss
+            flush r9+0         ; evict: the next ld misses again
+            sub r10, 1, r10
+            jne loop
+            nop
+            halt
+        ",
+    ))
+    .unwrap()
+}
+
+/// Runs one workload in one mode; returns (simulated cycles, wall s,
+/// cycles actually visited).
+fn run_mode(
+    mut cfg: MachineConfig,
+    prog: &Program,
+    plan: Option<&FaultPlan>,
+    lockstep: bool,
+    max: u64,
+) -> (u64, f64, u64) {
+    cfg.lockstep = lockstep;
+    let mut m = Alewife::new(cfg, prog.clone());
+    if let Some(plan) = plan {
+        m.set_fault_plan(plan.clone());
+    }
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    let t0 = Instant::now();
+    let advances = drive(&mut m, max);
+    (m.now(), t0.elapsed().as_secs_f64(), advances)
+}
+
+struct MachineBench {
+    name: &'static str,
+    cycles: u64,
+    /// Cycles the event-driven path actually visited (advance calls).
+    visited: u64,
+    lockstep_wall: f64,
+    event_wall: f64,
+}
+
+impl MachineBench {
+    fn lockstep_cps(&self) -> f64 {
+        self.cycles as f64 / self.lockstep_wall
+    }
+    fn event_cps(&self) -> f64 {
+        self.cycles as f64 / self.event_wall
+    }
+    fn speedup(&self) -> f64 {
+        self.lockstep_wall / self.event_wall
+    }
+}
+
+fn run_machine_workload(
+    name: &'static str,
+    cfg: MachineConfig,
+    prog: Program,
+    plan: Option<FaultPlan>,
+    max: u64,
+) -> MachineBench {
+    // Best-of-3 per mode: machine time is deterministic, wall time is
+    // not (shared hardware), and a quotient of two noisy walls is worse.
+    let mut t_lock = f64::INFINITY;
+    let mut t_evt = f64::INFINITY;
+    let mut c_lock = 0;
+    let mut c_evt = 0;
+    let mut visited = 0;
+    for _ in 0..3 {
+        let (c, t, _) = run_mode(cfg, &prog, plan.as_ref(), true, max);
+        c_lock = c;
+        t_lock = t_lock.min(t);
+        let (c, t, v) = run_mode(cfg, &prog, plan.as_ref(), false, max);
+        c_evt = c;
+        visited = v;
+        t_evt = t_evt.min(t);
+    }
+    assert_eq!(
+        c_lock, c_evt,
+        "{name}: lockstep and event-driven disagree on the final cycle"
+    );
+    MachineBench {
+        name,
+        cycles: c_lock,
+        visited,
+        lockstep_wall: t_lock,
+        event_wall: t_evt,
+    }
+}
+
+fn machine_workloads(smoke: bool) -> Vec<MachineBench> {
+    // Smoke mode (CI) shrinks the iteration counts, not the shapes.
+    let iters = if smoke { 20 } else { 200 };
+    vec![
+        // 16 nodes (a 4x4 mesh), remote-miss-dominated: the acceptance
+        // workload. Memory and hop latencies model the long-latency regime
+        // APRIL targets — a machine whose remote references cost hundreds
+        // of cycles (§1 motivates context switching precisely to cover
+        // such latencies): every processor spends nearly all its time
+        // switched out waiting, which is when cycle-skipping pays.
+        run_machine_workload(
+            "stall_heavy_16node",
+            MachineConfig {
+                topology: Topology::new(2, 4),
+                region_bytes: 1 << 20,
+                mem_latency: 250,
+                net: NetConfig {
+                    hop_latency: 16,
+                    loopback_latency: 1,
+                },
+                ..MachineConfig::default()
+            },
+            stall_heavy_program(iters),
+            None,
+            1_000_000_000,
+        ),
+        // Same contention with an unreliable network: retransmit deadlines
+        // keep the event-driven path honest (and busy).
+        run_machine_workload(
+            "fault_soak_4node",
+            MachineConfig {
+                topology: Topology::new(2, 2),
+                region_bytes: 1 << 20,
+                ..MachineConfig::default()
+            },
+            stall_heavy_program(iters),
+            Some(FaultPlan::new(0x50a1).with_default_rule(FaultRule {
+                drop: 0.02,
+                dup: 0.02,
+                delay: 0.04,
+                max_delay: 40,
+            })),
+            1_000_000_000,
+        ),
+    ]
+}
+
+fn emit_json(results: &[MachineBench]) {
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_hotpaths.json".into());
+    let mut body = String::from("{\n  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"cycles\": {}, ",
+                "\"lockstep_wall_s\": {:.6}, \"event_wall_s\": {:.6}, ",
+                "\"lockstep_cycles_per_sec\": {:.0}, ",
+                "\"event_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n"
+            ),
+            r.name,
+            r.cycles,
+            r.lockstep_wall,
+            r.event_wall,
+            r.lockstep_cps(),
+            r.event_cps(),
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, &body) {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_machine() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let results = machine_workloads(smoke);
+    println!("\nmachine workloads (simulated cycles per wall-second)");
+    for r in &results {
+        println!(
+            "{:<24} {:>12} cycles  visited {:>5.1}%  lockstep {:>12.0} c/s  event {:>12.0} c/s  speedup {:>5.2}x",
+            r.name,
+            r.cycles,
+            100.0 * r.visited as f64 / r.cycles as f64,
+            r.lockstep_cps(),
+            r.event_cps(),
+            r.speedup(),
+        );
+    }
+    emit_json(&results);
+}
+
 fn main() {
     println!("sim_hotpaths (best-of per-iteration times)");
     bench_cpu_step();
@@ -160,4 +412,5 @@ fn main() {
     bench_directory();
     bench_network();
     bench_toolchain();
+    bench_machine();
 }

@@ -77,6 +77,22 @@ pub struct Alewife {
     now: u64,
     watchdog: Watchdog,
     fault: Option<MachineFault>,
+    /// `parked[i]`: stepping CPU `i` is known to yield `NoReadyFrame`,
+    /// which every driver answers with exactly `charge_idle(i, 1)` and
+    /// nothing else. A parked CPU does not hold the event-driven skip
+    /// back; the skipped idle cycles are bulk-charged when the clock
+    /// jumps, reproducing the lockstep ledger bit for bit. The flag is
+    /// cleared aggressively — on any delivery, any driver mutation, or
+    /// any non-idle step event — because a stale `true` could skip real
+    /// work while a spurious `false` only costs a smaller skip.
+    parked: Vec<bool>,
+    /// Scratch buffers reused across cycles so the hot loop allocates
+    /// nothing: network deliveries, controller/directory sends, I/O
+    /// sends.
+    scratch_deliveries: Vec<(usize, Env)>,
+    scratch_out: Vec<(usize, CohMsg)>,
+    scratch_dir: Vec<(usize, CohMsg)>,
+    scratch_io: Vec<(usize, CohMsg)>,
 }
 
 impl Alewife {
@@ -104,6 +120,11 @@ impl Alewife {
             now: 0,
             watchdog: Watchdog::default(),
             fault: None,
+            parked: vec![false; n],
+            scratch_deliveries: Vec::new(),
+            scratch_out: Vec::new(),
+            scratch_dir: Vec::new(),
+            scratch_io: Vec::new(),
         }
     }
 
@@ -155,32 +176,38 @@ impl Alewife {
 
     fn dispatch_msg(&mut self, dst: usize, env: Env) {
         let cfg = self.cfg;
-        let mut out: Vec<(usize, CohMsg)> = Vec::new();
-        let mut dir_out: Vec<(usize, CohMsg)> = Vec::new();
+        // Reusable scratch buffers: restored (cleared) on every path.
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut dir_out = std::mem::take(&mut self.scratch_dir);
+        out.clear();
+        dir_out.clear();
+        let mut failed = false;
         match env.msg {
             CohMsg::RdReq { block, xid } => {
-                dir_out = self.nodes[dst]
+                self.nodes[dst]
                     .dir
-                    .handle_request(env.src, block, false, xid);
+                    .handle_request_into(env.src, block, false, xid, &mut dir_out);
             }
             CohMsg::WrReq { block, xid } => {
-                dir_out = self.nodes[dst]
+                self.nodes[dst]
                     .dir
-                    .handle_request(env.src, block, true, xid);
+                    .handle_request_into(env.src, block, true, xid, &mut dir_out);
             }
             CohMsg::InvAck { .. }
             | CohMsg::DownAck { .. }
             | CohMsg::WbInvalAck { .. }
-            | CohMsg::FlushData { .. } => match self.nodes[dst].dir.handle_ack(env.src, env.msg) {
-                Ok(o) => dir_out = o,
-                Err(e) => {
+            | CohMsg::FlushData { .. } => {
+                if let Err(e) = self.nodes[dst]
+                    .dir
+                    .handle_ack_into(env.src, env.msg, &mut dir_out)
+                {
                     self.set_fault(MachineFault::Protocol {
                         node: dst,
                         error: e,
                     });
-                    return;
+                    failed = true;
                 }
-            },
+            }
             CohMsg::Ipi => {
                 self.nodes[dst].cpu.post_interrupt(env.src);
             }
@@ -209,7 +236,7 @@ impl Alewife {
                             node: dst,
                             error: e,
                         });
-                        return;
+                        failed = true;
                     }
                 }
             }
@@ -220,21 +247,27 @@ impl Alewife {
         // data. The delay is uniform, which also keeps home→node
         // message streams FIFO: a later-generated invalidation can
         // never overtake an earlier data grant.
-        for (to, msg) in out {
-            let size = msg.size_flits(cfg.block_words()) as u64;
-            self.net
-                .send(self.now, dst, to, size, Env { src: dst, msg });
+        if !failed {
+            for &(to, msg) in &out {
+                let size = msg.size_flits(cfg.block_words()) as u64;
+                self.net
+                    .send(self.now, dst, to, size, Env { src: dst, msg });
+            }
+            for &(to, msg) in &dir_out {
+                let size = msg.size_flits(cfg.block_words()) as u64;
+                self.net.send(
+                    self.now + cfg.mem_latency,
+                    dst,
+                    to,
+                    size,
+                    Env { src: dst, msg },
+                );
+            }
         }
-        for (to, msg) in dir_out {
-            let size = msg.size_flits(cfg.block_words()) as u64;
-            self.net.send(
-                self.now + cfg.mem_latency,
-                dst,
-                to,
-                size,
-                Env { src: dst, msg },
-            );
-        }
+        out.clear();
+        dir_out.clear();
+        self.scratch_out = out;
+        self.scratch_dir = dir_out;
     }
 
     /// The forward-progress signature: instructions retired, packets
@@ -262,12 +295,74 @@ impl Alewife {
             })
     }
 
+    /// The next cycle at which anything can happen: the min over
+    /// runnable CPUs' `ready_at`, every node's earliest controller/
+    /// directory retransmission deadline, the network's earliest
+    /// delivery, and — with work pending — the watchdog's firing cycle.
+    /// Never less than `now + 1`; returns `now + 1` when the machine is
+    /// quiescent so a driver polling `advance()` sees time still move.
+    ///
+    /// Retransmit deadlines must participate: on a lossy network the
+    /// only future event may be a controller deciding a request is
+    /// overdue, and skipping past that moment would retransmit late (or
+    /// miss a `RetriesExhausted` fault) relative to the lockstep path.
+    ///
+    /// The network is consulted after the CPUs and protocol deadlines,
+    /// with their min as the bound: that min is the earliest cycle any
+    /// non-network component can act, i.e. the earliest new traffic can
+    /// enter the network, which is exactly the guarantee
+    /// [`Network::earliest_delivery`] needs to route in-flight packets
+    /// ahead and see past its per-hop internal events.
+    fn next_event(&mut self) -> u64 {
+        let floor = self.now + 1;
+        let mut t = u64::MAX;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].cpu.is_halted() || self.parked[i] {
+                continue;
+            }
+            let r = self.ready_at[i].max(floor);
+            if r == floor {
+                // A CPU is runnable right away: nothing to skip.
+                return floor;
+            }
+            t = t.min(r);
+        }
+        for n in &self.nodes {
+            t = t.min(n.ctl.next_deadline().max(floor));
+            t = t.min(n.dir.next_deadline().max(floor));
+        }
+        // `t` is now the earliest cycle any traffic source can act, the
+        // bound `earliest_delivery` needs (the watchdog, below, sends
+        // nothing, so it does not constrain the bound).
+        if let Some(d) = self.net.earliest_delivery(t) {
+            t = t.min(d.max(floor));
+        }
+        if self.cfg.watchdog.enabled {
+            let wd = self.watchdog.deadline(self.cfg.watchdog.horizon).max(floor);
+            // `has_pending_work` walks every frame of every node; only
+            // pay for it when the skip would actually jump the firing
+            // cycle (idle machines must not be woken by the watchdog,
+            // and busy ones are checked only on the rare advance whose
+            // every other event is past the horizon).
+            if wd < t && self.has_pending_work() {
+                t = wd;
+            }
+        }
+        if t == u64::MAX {
+            floor
+        } else {
+            t
+        }
+    }
+
     /// Captures the machine's stuck state for a watchdog report.
     pub fn post_mortem(&self) -> PostMortem {
-        let in_flight = self
+        // The network hands packets over unsorted (keeping its hot-path
+        // accessor cheap); order the owned snapshot here, where a
+        // post-mortem is actually being built.
+        let mut in_flight: Vec<InFlightMsg> = self
             .net
             .in_flight_packets()
-            .into_iter()
             .map(|(id, dst, sent_at, _, env)| InFlightMsg {
                 id,
                 src: env.src,
@@ -276,6 +371,7 @@ impl Alewife {
                 msg: env.msg,
             })
             .collect();
+        in_flight.sort_by_key(|m| m.id);
         let mut busy_blocks = Vec::new();
         let mut outstanding = Vec::new();
         let mut stalled_frames = Vec::new();
@@ -455,20 +551,64 @@ impl Machine for Alewife {
     }
 
     fn advance(&mut self) -> Vec<(usize, StepEvent)> {
-        self.now += 1;
-        // Deliver network messages due this cycle.
-        for (dst, env) in self.net.poll(self.now) {
+        // Event-driven skip: jump straight to the next cycle at which
+        // anything can happen. Cycle-exact with the lockstep path (see
+        // DESIGN.md §8): every skipped cycle is one in which lockstep
+        // would only have stepped parked CPUs into `NoReadyFrame` and
+        // charged them one idle cycle each — replayed in bulk below.
+        let target = if self.cfg.lockstep || self.fault.is_some() {
+            self.now + 1
+        } else {
+            self.next_event()
+        };
+        // Bulk-charge parked CPUs the idle cycles lockstep would have
+        // charged one at a time over the skipped window. A parked CPU
+        // has `ready_at[i] <= now + 1 <= target`; lockstep would step
+        // it (yielding `NoReadyFrame`, +1 idle from the driver) at each
+        // of `ready_at[i] .. target`, leaving `ready_at[i] == target`.
+        for i in 0..self.nodes.len() {
+            if self.parked[i] && !self.nodes[i].cpu.is_halted() {
+                let add = target - self.ready_at[i];
+                if add > 0 {
+                    self.nodes[i].cpu.charge_idle(add);
+                    self.ready_at[i] = target;
+                }
+            }
+        }
+        self.now = target;
+        // Protocol engines stamp fresh transactions `clock + timeout`;
+        // after a jump their clocks must be current *before* deliveries
+        // are dispatched, not after the post-step tick. Done in both
+        // modes so lockstep and event-driven stay bit-identical.
+        for n in &mut self.nodes {
+            n.ctl.set_clock(self.now);
+            n.dir.set_clock(self.now);
+        }
+        // Deliver network messages due this cycle. Any delivery can
+        // make a CPU runnable (reply wakes a frame, IPI posts an
+        // interrupt), so all parked flags are conservatively cleared.
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        deliveries.clear();
+        self.net.poll_into(self.now, &mut deliveries);
+        if !deliveries.is_empty() {
+            self.parked.fill(false);
+        }
+        for &(dst, env) in &deliveries {
             self.dispatch_msg(dst, env);
         }
+        deliveries.clear();
+        self.scratch_deliveries = deliveries;
         // Step processors.
         let mut evs = Vec::new();
         let cfg = self.cfg;
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut io_sends = std::mem::take(&mut self.scratch_io);
         for i in 0..self.nodes.len() {
             if self.ready_at[i] > self.now || self.nodes[i].cpu.is_halted() {
                 continue;
             }
-            let mut out = Vec::new();
-            let mut io_sends = Vec::new();
+            out.clear();
+            io_sends.clear();
             let node = &mut self.nodes[i];
             let before = node.cpu.stats.total();
             let ev = {
@@ -486,11 +626,15 @@ impl Machine for Alewife {
             };
             let cost = node.cpu.stats.total() - before;
             self.ready_at[i] = self.now + cost;
-            for (to, msg) in out {
+            if !matches!(ev, StepEvent::NoReadyFrame) {
+                // The CPU did something: it is no longer known-idle.
+                self.parked[i] = false;
+            }
+            for &(to, msg) in &out {
                 let size = msg.size_flits(cfg.block_words()) as u64;
                 self.net.send(self.now, i, to, size, Env { src: i, msg });
             }
-            for (to, msg) in io_sends {
+            for &(to, msg) in &io_sends {
                 self.net.send(self.now, i, to, 2, Env { src: i, msg });
             }
             match ev {
@@ -500,23 +644,25 @@ impl Machine for Alewife {
         }
         // Advance the protocol clocks: retransmit overdue requests
         // (controller side) and overdue demands (directory side).
+        // O(1) per node between deadlines thanks to `next_deadline`.
         for i in 0..self.nodes.len() {
-            let mut out = Vec::new();
+            out.clear();
             match self.nodes[i]
                 .ctl
                 .tick(self.now, |a| cfg.home_of(a), &mut out)
             {
                 Ok(()) => {
-                    for (to, msg) in out {
+                    for &(to, msg) in &out {
                         let size = msg.size_flits(cfg.block_words()) as u64;
                         self.net.send(self.now, i, to, size, Env { src: i, msg });
                     }
                 }
                 Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
             }
-            match self.nodes[i].dir.tick(self.now) {
-                Ok(dir_out) => {
-                    for (to, msg) in dir_out {
+            out.clear();
+            match self.nodes[i].dir.tick(self.now, &mut out) {
+                Ok(()) => {
+                    for &(to, msg) in &out {
                         let size = msg.size_flits(cfg.block_words()) as u64;
                         self.net
                             .send(self.now + cfg.mem_latency, i, to, size, Env { src: i, msg });
@@ -525,6 +671,10 @@ impl Machine for Alewife {
                 Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
             }
         }
+        out.clear();
+        io_sends.clear();
+        self.scratch_out = out;
+        self.scratch_io = io_sends;
         // Forward-progress watchdog: fire only when work is pending —
         // a stable signature on an idle machine is quiescence.
         if self.cfg.watchdog.enabled && self.fault.is_none() {
@@ -546,6 +696,9 @@ impl Machine for Alewife {
     }
 
     fn cpu_mut(&mut self, i: usize) -> &mut Cpu {
+        // The driver may make this CPU runnable (assign a frame, wake a
+        // waiter): it can no longer be assumed idle.
+        self.parked[i] = false;
         &mut self.nodes[i].cpu
     }
 
@@ -554,6 +707,10 @@ impl Machine for Alewife {
     }
 
     fn mem_mut(&mut self) -> &mut FeMemory {
+        // A memory write (e.g. setting a full/empty bit) can unblock
+        // any node; clear every parked flag rather than reason about
+        // which.
+        self.parked.fill(false);
         &mut self.mem
     }
 
@@ -564,11 +721,23 @@ impl Machine for Alewife {
     fn charge_handler(&mut self, i: usize, cycles: u64) {
         self.nodes[i].cpu.charge_handler(cycles);
         self.ready_at[i] += cycles;
+        // A handler may publish work other nodes' schedulers can see
+        // (the run-time enqueues spawned threads, which idle nodes
+        // steal): every parked node's idle promise is void, not just
+        // this node's. Lockstep would let each of them poll next
+        // cycle; unparking them all reproduces that.
+        self.parked.fill(false);
     }
 
     fn charge_idle(&mut self, i: usize, cycles: u64) {
         self.nodes[i].cpu.charge_idle(cycles);
         self.ready_at[i] += cycles;
+        // `charge_idle(i, 1)` is the universal driver response to
+        // `NoReadyFrame` — the signal that node `i` will stay idle
+        // until some machine-visible event, which lets the event-driven
+        // advance skip its dead cycles. Any other amount is a custom
+        // charge that carries no such promise.
+        self.parked[i] = cycles == 1;
     }
 
     fn send_ipi(&mut self, from: usize, to: usize) {

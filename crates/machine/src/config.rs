@@ -32,6 +32,11 @@ pub struct MachineConfig {
     /// Memory access latency charged at the home node before a
     /// data-bearing protocol reply is injected (Table 4: 10 cycles).
     pub mem_latency: u64,
+    /// Force the strict cycle-by-cycle advance loop instead of the
+    /// event-driven skip. The two are cycle-exact equivalents (see
+    /// DESIGN.md §8); this flag exists so the equivalence is testable
+    /// and so anomalies can be bisected against the reference path.
+    pub lockstep: bool,
 }
 
 impl Default for MachineConfig {
@@ -46,6 +51,7 @@ impl Default for MachineConfig {
             watchdog: WatchdogConfig::default(),
             region_bytes: 1 << 20,
             mem_latency: 10,
+            lockstep: false,
         }
     }
 }

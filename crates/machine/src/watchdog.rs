@@ -245,6 +245,14 @@ impl Watchdog {
         }
         now.saturating_sub(self.last_change) >= horizon
     }
+
+    /// The cycle at which [`Watchdog::observe`] would first fire if the
+    /// signature never changes again. An event-driven machine must not
+    /// skip past this: with pending work and no other events, the
+    /// watchdog firing *is* the next event.
+    pub fn deadline(&self, horizon: u64) -> u64 {
+        self.last_change.saturating_add(horizon)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,326 @@
+//! Lockstep-vs-skip equivalence: the event-driven `advance()` must be
+//! *cycle-exact* with the strict cycle-by-cycle reference path. Every
+//! workload here runs twice — once with `MachineConfig::lockstep` set,
+//! once with the default event-driven skip — under an identical driver,
+//! and the two machines must end in bit-identical states: the same
+//! final memory image, the same per-node `CpuStats`/`CtlStats`/
+//! `DirStats`, the same network and fault-injection counters, the same
+//! halt (or fault) cycle, and, for the watchdog workloads, the same
+//! structured fault — post-mortem included.
+
+use april_core::cpu::StepEvent;
+use april_core::frame::FrameState;
+use april_core::isa::asm::assemble;
+use april_core::program::Program;
+use april_core::trap::Trap;
+use april_machine::alewife::Alewife;
+use april_machine::config::MachineConfig;
+use april_machine::watchdog::{MachineFault, WatchdogConfig};
+use april_machine::Machine;
+use april_mem::{ProtocolError, RetryConfig};
+use april_net::fault::{FaultPlan, FaultRule};
+use april_net::topology::{Channel, Topology};
+
+/// The switch-spin driver shared by the stress and soak suites: on a
+/// remote miss, park the frame and charge the trap handler; with no
+/// ready frame, rotate to one or idle one cycle.
+fn drive(m: &mut Alewife, max: u64) {
+    loop {
+        assert!(m.now() < max, "timeout at cycle {}", m.now());
+        if m.fault().is_some() {
+            return;
+        }
+        if (0..m.num_procs()).all(|i| m.cpu(i).is_halted()) {
+            return;
+        }
+        for (i, ev) in m.advance() {
+            match ev {
+                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                    let fp = m.cpu(i).fp();
+                    let fr = m.cpu_mut(i).frame_mut(fp);
+                    fr.state = FrameState::WaitingRemote;
+                    fr.psr.in_trap = false;
+                    m.charge_handler(i, 6);
+                }
+                StepEvent::Trapped(t) => panic!("node {i}: {t}"),
+                StepEvent::NoReadyFrame => {
+                    let cpu = m.cpu_mut(i);
+                    match cpu.next_ready_frame() {
+                        Some(f) => cpu.set_fp(f),
+                        None => m.charge_idle(i, 1),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Builds, boots (all nodes), and drives one machine.
+fn run_one(
+    mut cfg: MachineConfig,
+    prog: Program,
+    plan: Option<FaultPlan>,
+    lockstep: bool,
+    max: u64,
+) -> Alewife {
+    cfg.lockstep = lockstep;
+    let mut m = Alewife::new(cfg, prog);
+    if let Some(plan) = plan {
+        m.set_fault_plan(plan);
+    }
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    drive(&mut m, max);
+    m
+}
+
+/// Runs `prog` under both paths and asserts bit-exact equivalence.
+fn assert_equivalent(cfg: MachineConfig, prog: Program, plan: Option<FaultPlan>, max: u64) {
+    let reference = run_one(cfg, prog.clone(), plan.clone(), true, max);
+    let skipping = run_one(cfg, prog, plan, false, max);
+
+    assert_eq!(
+        reference.now(),
+        skipping.now(),
+        "halt/fault cycle diverged (lockstep {} vs skip {})",
+        reference.now(),
+        skipping.now()
+    );
+    assert_eq!(
+        reference.fault(),
+        skipping.fault(),
+        "fault outcome diverged"
+    );
+    for i in 0..reference.num_procs() {
+        assert_eq!(
+            reference.nodes[i].cpu.stats, skipping.nodes[i].cpu.stats,
+            "node {i}: CpuStats diverged"
+        );
+        assert_eq!(
+            reference.nodes[i].ctl.stats, skipping.nodes[i].ctl.stats,
+            "node {i}: CtlStats diverged"
+        );
+        assert_eq!(
+            reference.nodes[i].dir.stats, skipping.nodes[i].dir.stats,
+            "node {i}: DirStats diverged"
+        );
+    }
+    assert_eq!(
+        reference.net_stats(),
+        skipping.net_stats(),
+        "network stats diverged"
+    );
+    assert_eq!(
+        reference.fault_stats(),
+        skipping.fault_stats(),
+        "fault-injection stats diverged"
+    );
+    for addr in (0..0x1000u32).step_by(4) {
+        assert_eq!(
+            reference.mem().read(addr),
+            skipping.mem().read(addr),
+            "memory diverged at {addr:#x}"
+        );
+    }
+}
+
+/// The false-sharing increment stress of `coherence_stress.rs`.
+fn stress_program() -> Program {
+    assemble(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            movi 0x200, r9
+            add r9, r8, r9     ; my word within the shared block
+            movi 50, r10
+        loop:
+            ld r9+0, r11
+            add r11, 4, r11    ; increment (fixnum +1)
+            st r11, r9+0
+            sub r10, 1, r10
+            jne loop
+            nop
+            halt
+        ",
+    )
+    .unwrap()
+}
+
+fn stress_cfg() -> MachineConfig {
+    MachineConfig {
+        topology: Topology::new(2, 2),
+        region_bytes: 1 << 20,
+        ..MachineConfig::default()
+    }
+}
+
+#[test]
+fn coherence_stress_is_cycle_exact() {
+    assert_equivalent(stress_cfg(), stress_program(), None, 3_000_000);
+}
+
+#[test]
+fn coherence_stress_is_cycle_exact_on_a_larger_mesh() {
+    // More nodes, longer remote-miss stalls: the regime where the
+    // event-driven skip actually earns its keep.
+    let cfg = MachineConfig {
+        topology: Topology::new(2, 8),
+        region_bytes: 1 << 20,
+        ..MachineConfig::default()
+    };
+    assert_equivalent(cfg, stress_program(), None, 10_000_000);
+}
+
+#[test]
+fn fault_soak_is_cycle_exact() {
+    // Drops force controller retransmissions, dups exercise the dedup
+    // paths, delays reorder packets: the event-driven path must track
+    // every retransmit deadline and fault verdict cycle for cycle.
+    for seed in [0x50a1_u64, 2, 3] {
+        let plan = FaultPlan::new(seed).with_default_rule(FaultRule {
+            drop: 0.02,
+            dup: 0.02,
+            delay: 0.04,
+            max_delay: 40,
+        });
+        assert_equivalent(stress_cfg(), stress_program(), Some(plan), 30_000_000);
+    }
+}
+
+/// A 2-node machine where every packet leaving node 0 is dropped (as in
+/// `fault_soak.rs`), parameterized by retry/watchdog policy.
+fn dead_link(retry: RetryConfig, watchdog: WatchdogConfig) -> (MachineConfig, Program, FaultPlan) {
+    let cfg = MachineConfig {
+        topology: Topology::new(1, 2),
+        region_bytes: 1 << 20,
+        ctl: april_mem::CtlConfig {
+            retry,
+            ..april_mem::CtlConfig::default()
+        },
+        dir: april_mem::DirConfig {
+            retry,
+            ..april_mem::DirConfig::default()
+        },
+        watchdog,
+        ..MachineConfig::default()
+    };
+    let prog = assemble(
+        "
+        movi 0x100000, r1
+        ld r1+0, r2
+        halt
+        ",
+    )
+    .unwrap();
+    let plan = FaultPlan::new(0xdead)
+        .with_channel_rule(
+            Channel {
+                node: 0,
+                dim: 0,
+                plus: true,
+            },
+            FaultRule::drop(1.0),
+        )
+        .with_channel_rule(
+            Channel {
+                node: 0,
+                dim: 0,
+                plus: false,
+            },
+            FaultRule::drop(1.0),
+        );
+    (cfg, prog, plan)
+}
+
+#[test]
+fn watchdog_fires_at_the_identical_cycle() {
+    // With no retries, the only future event on the dead link is the
+    // watchdog itself: its deadline must participate in `next_event()`
+    // or the skip would sail past the firing cycle. The equivalence
+    // check covers the fault (including the post-mortem's cycle).
+    let wd = WatchdogConfig {
+        enabled: true,
+        horizon: 3_000,
+    };
+    let (cfg, prog, plan) = dead_link(RetryConfig::disabled(), wd);
+    assert_equivalent(cfg, prog.clone(), Some(plan.clone()), 200_000);
+    // And the fault really is the watchdog, on both paths.
+    let m = run_one(cfg, prog, Some(plan), false, 200_000);
+    assert!(
+        matches!(m.fault(), Some(MachineFault::NoForwardProgress(_))),
+        "expected a watchdog fault, got {:?}",
+        m.fault()
+    );
+}
+
+#[test]
+fn retries_exhaust_at_the_identical_cycle() {
+    // With retries enabled, the controller's retransmit deadlines are
+    // the machine's only heartbeat: the skip must stop at each backoff
+    // expiry so the RetriesExhausted fault lands on the same cycle.
+    let retry = RetryConfig {
+        enabled: true,
+        timeout: 50,
+        backoff_cap: 200,
+        max_retries: 5,
+    };
+    let wd = WatchdogConfig {
+        enabled: true,
+        horizon: 100_000,
+    };
+    let (cfg, prog, plan) = dead_link(retry, wd);
+    assert_equivalent(cfg, prog.clone(), Some(plan.clone()), 500_000);
+    let m = run_one(cfg, prog, Some(plan), false, 500_000);
+    assert!(
+        matches!(
+            m.fault(),
+            Some(MachineFault::Protocol {
+                node: 0,
+                error: ProtocolError::RetriesExhausted {
+                    block: 0x100000,
+                    retries: 5,
+                    ..
+                },
+            })
+        ),
+        "expected retries-exhausted on node 0, got {:?}",
+        m.fault()
+    );
+}
+
+#[test]
+fn quiescent_machine_skips_without_diverging() {
+    // A machine that halts immediately: both paths must sit still,
+    // never fire the watchdog, and agree on every counter.
+    let cfg = MachineConfig {
+        topology: Topology::new(1, 2),
+        region_bytes: 1 << 20,
+        watchdog: WatchdogConfig {
+            enabled: true,
+            horizon: 500,
+        },
+        ..MachineConfig::default()
+    };
+    let prog = assemble("halt").unwrap();
+    let mut lockstep = Alewife::new(
+        MachineConfig {
+            lockstep: true,
+            ..cfg
+        },
+        prog.clone(),
+    );
+    let mut skipping = Alewife::new(cfg, prog);
+    lockstep.boot();
+    skipping.boot();
+    for _ in 0..5_000 {
+        lockstep.advance();
+        skipping.advance();
+    }
+    assert_eq!(lockstep.fault(), None);
+    assert_eq!(skipping.fault(), None);
+    assert_eq!(lockstep.nodes[0].cpu.stats, skipping.nodes[0].cpu.stats);
+    assert_eq!(lockstep.nodes[1].cpu.stats, skipping.nodes[1].cpu.stats);
+}

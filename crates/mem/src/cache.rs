@@ -55,11 +55,27 @@ impl CacheConfig {
     }
 }
 
+/// Sentinel block address marking an empty way. Real blocks are
+/// block-aligned (block size ≥ 4), so they can never equal `u32::MAX`.
+const INVALID_BLOCK: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Copy)]
 struct Line {
     block: u32,
     state: LineState,
     lru: u64,
+}
+
+impl Line {
+    const EMPTY: Line = Line {
+        block: INVALID_BLOCK,
+        state: LineState::Shared,
+        lru: 0,
+    };
+
+    fn valid(&self) -> bool {
+        self.block != INVALID_BLOCK
+    }
 }
 
 /// A replaced line: the evicted block and whether it was dirty.
@@ -121,7 +137,13 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All ways of all sets in one flat allocation: set `s` occupies
+    /// `lines[s * assoc .. (s + 1) * assoc]`. Empty ways carry
+    /// [`INVALID_BLOCK`], which no real (block-aligned) address can
+    /// match, so lookups need no separate validity check.
+    lines: Vec<Line>,
+    set_mask: u32,
+    assoc: usize,
     clock: u64,
     /// Access counters.
     pub stats: CacheStats,
@@ -143,7 +165,9 @@ impl Cache {
         );
         Cache {
             cfg,
-            sets: vec![Vec::new(); sets as usize],
+            lines: vec![Line::EMPTY; (sets * cfg.assoc) as usize],
+            set_mask: sets - 1,
+            assoc: cfg.assoc as usize,
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -154,8 +178,10 @@ impl Cache {
         &self.cfg
     }
 
-    fn set_index(&self, block: u32) -> usize {
-        ((block / self.cfg.block_bytes) & (self.cfg.num_sets() - 1)) as usize
+    /// The flat-array range holding the ways of `block`'s set.
+    fn set_range(&self, block: u32) -> std::ops::Range<usize> {
+        let si = ((block / self.cfg.block_bytes) & self.set_mask) as usize;
+        si * self.assoc..(si + 1) * self.assoc
     }
 
     /// Records an access and reports whether it hits: a read hits in
@@ -169,8 +195,8 @@ impl Cache {
             self.stats.reads += 1;
         }
         let clock = self.clock;
-        let si = self.set_index(block);
-        let hit = self.sets[si]
+        let range = self.set_range(block);
+        let hit = self.lines[range]
             .iter_mut()
             .find(|l| l.block == block)
             .map(|l| {
@@ -197,8 +223,7 @@ impl Cache {
     /// Probes without updating statistics or LRU.
     pub fn probe(&self, addr: u32) -> Option<LineState> {
         let block = self.cfg.block_of(addr);
-        let si = self.set_index(block);
-        self.sets[si]
+        self.lines[self.set_range(block)]
             .iter()
             .find(|l| l.block == block)
             .map(|l| l.state)
@@ -210,34 +235,36 @@ impl Cache {
         let block = self.cfg.block_of(addr);
         self.clock += 1;
         let clock = self.clock;
-        let assoc = self.cfg.assoc as usize;
-        let si = self.set_index(block);
-        let set = &mut self.sets[si];
+        let range = self.set_range(block);
+        let set = &mut self.lines[range];
         if let Some(l) = set.iter_mut().find(|l| l.block == block) {
             l.state = state;
             l.lru = clock;
             return None;
         }
-        let victim = if set.len() >= assoc {
-            let (vi, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .expect("nonempty set");
-            let v = set.swap_remove(vi);
-            self.stats.evictions += 1;
-            Some(Victim {
-                block: v.block,
-                dirty: v.state == LineState::Modified,
-            })
-        } else {
-            None
+        // Prefer an empty way; otherwise evict the least recently used
+        // (lru stamps are unique, so the victim is deterministic).
+        let (slot, victim) = match set.iter().position(|l| !l.valid()) {
+            Some(i) => (i, None),
+            None => {
+                let (vi, v) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, l)| l.lru)
+                    .expect("nonempty set");
+                let victim = Victim {
+                    block: v.block,
+                    dirty: v.state == LineState::Modified,
+                };
+                self.stats.evictions += 1;
+                (vi, Some(victim))
+            }
         };
-        set.push(Line {
+        set[slot] = Line {
             block,
             state,
             lru: clock,
-        });
+        };
         victim
     }
 
@@ -245,12 +272,13 @@ impl Cache {
     /// FLUSH), returning whether it existed and was dirty.
     pub fn invalidate(&mut self, addr: u32) -> Option<bool> {
         let block = self.cfg.block_of(addr);
-        let si = self.set_index(block);
-        let set = &mut self.sets[si];
-        let i = set.iter().position(|l| l.block == block)?;
-        let l = set.swap_remove(i);
+        let range = self.set_range(block);
+        let set = &mut self.lines[range];
+        let l = set.iter_mut().find(|l| l.block == block)?;
+        let dirty = l.state == LineState::Modified;
+        *l = Line::EMPTY;
         self.stats.invalidations += 1;
-        Some(l.state == LineState::Modified)
+        Some(dirty)
     }
 
     /// Downgrades the line containing `addr` to `Shared` (directory
@@ -258,8 +286,8 @@ impl Cache {
     /// line was present and dirty.
     pub fn downgrade(&mut self, addr: u32) -> bool {
         let block = self.cfg.block_of(addr);
-        let si = self.set_index(block);
-        if let Some(l) = self.sets[si].iter_mut().find(|l| l.block == block) {
+        let range = self.set_range(block);
+        if let Some(l) = self.lines[range].iter_mut().find(|l| l.block == block) {
             let was = l.state == LineState::Modified;
             l.state = LineState::Shared;
             was
@@ -270,7 +298,7 @@ impl Cache {
 
     /// Number of resident lines.
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lines.iter().filter(|l| l.valid()).count()
     }
 }
 

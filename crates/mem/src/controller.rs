@@ -139,6 +139,12 @@ pub struct CacheController {
     flushes: HashMap<u32, FenceFlush>,
     next_xid: u32,
     clock: u64,
+    /// Lower bound on the earliest `next_retry` over all outstanding
+    /// transactions and fenced flushes. Min-updated when a deadline is
+    /// scheduled; never raised on removal (a stale bound costs one
+    /// wasted scan, which recomputes the exact minimum), so
+    /// [`CacheController::tick`] is O(1) between deadlines.
+    next_deadline: u64,
     /// Blocks filled for a waiting context but not yet accessed: the
     /// controller guarantees the processor one access before
     /// surrendering the line again, closing ALEWIFE's "window of
@@ -165,6 +171,7 @@ impl CacheController {
             flushes: HashMap::new(),
             next_xid: 0,
             clock: 0,
+            next_deadline: u64::MAX,
             pinned: std::collections::HashSet::new(),
             deferred: Vec::new(),
             fence: 0,
@@ -212,6 +219,33 @@ impl CacheController {
     fn fresh_xid(&mut self) -> u32 {
         self.next_xid = self.next_xid.wrapping_add(1);
         self.next_xid
+    }
+
+    /// The earliest cycle at which [`CacheController::tick`] may need
+    /// to retransmit — a lower bound (`u64::MAX` when nothing is
+    /// scheduled or retries are disabled), letting an event-driven
+    /// machine skip quiet cycles without missing a deadline.
+    pub fn next_deadline(&self) -> u64 {
+        if self.cfg.retry.enabled {
+            self.next_deadline
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn note_deadline(&mut self, at: u64) {
+        if at < self.next_deadline {
+            self.next_deadline = at;
+        }
+    }
+
+    /// Advances the controller's notion of the current cycle without
+    /// scanning for overdue work (that is [`CacheController::tick`]'s
+    /// job). The machine calls this at the top of every cycle so
+    /// backoff deadlines computed mid-cycle use the cycle they are
+    /// scheduled in.
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = now;
     }
 
     /// Processes a processor data access.
@@ -280,6 +314,8 @@ impl CacheController {
         }
         // Remote (or locally-contended) transaction.
         let xid = self.fresh_xid();
+        let retry_at = self.clock + self.cfg.retry.timeout;
+        self.note_deadline(retry_at);
         self.txns.insert(
             block,
             Txn {
@@ -287,7 +323,7 @@ impl CacheController {
                 frames: vec![(frame, write)],
                 write_issued: write,
                 retries: 0,
-                next_retry: self.clock + self.cfg.retry.timeout,
+                next_retry: retry_at,
             },
         );
         let msg = if write {
@@ -383,6 +419,7 @@ impl CacheController {
                     }
                 }
                 self.fill(block, LineState::Shared, home_of, out);
+                let retry_at = self.clock + self.cfg.retry.timeout;
                 let Some(txn) = self.txns.get_mut(&block) else {
                     return Ok(Vec::new());
                 };
@@ -398,9 +435,11 @@ impl CacheController {
                 // The request was answered; retransmission timing
                 // restarts for any still-pending write upgrade.
                 txn.retries = 0;
-                txn.next_retry = self.clock + self.cfg.retry.timeout;
+                txn.next_retry = retry_at;
                 if txn.frames.is_empty() {
                     self.txns.remove(&block);
+                } else {
+                    self.note_deadline(retry_at);
                 }
                 if !woken.is_empty() {
                     self.pinned.insert(block);
@@ -429,11 +468,17 @@ impl CacheController {
             }
             CohMsg::Nack { block, xid } => {
                 // The home's waiter queue was full: back off and retry.
+                let mut rescheduled = None;
                 if let Some(txn) = self.txns.get_mut(&block) {
                     if txn.xid == xid {
                         self.stats.nacks += 1;
-                        txn.next_retry = self.clock + self.cfg.retry.backoff(txn.retries);
+                        let at = self.clock + self.cfg.retry.backoff(txn.retries);
+                        txn.next_retry = at;
+                        rescheduled = Some(at);
                     }
+                }
+                if let Some(at) = rescheduled {
+                    self.note_deadline(at);
                 }
                 Ok(Vec::new())
             }
@@ -499,11 +544,19 @@ impl CacheController {
         if !self.cfg.retry.enabled {
             return Ok(());
         }
+        if self.next_deadline > now {
+            return Ok(());
+        }
         let retry = self.cfg.retry;
         let node = self.node;
         let mut resend = Vec::new();
+        // Recompute the exact earliest deadline while scanning: not-due
+        // entries contribute their existing `next_retry`, retransmitted
+        // entries their freshly scheduled one.
+        let mut min_next = u64::MAX;
         for (&block, txn) in &mut self.txns {
             if txn.next_retry > now {
+                min_next = min_next.min(txn.next_retry);
                 continue;
             }
             if txn.retries >= retry.max_retries {
@@ -528,9 +581,11 @@ impl CacheController {
             resend.push((home_of(block), msg));
             txn.retries += 1;
             txn.next_retry = now + retry.backoff(txn.retries);
+            min_next = min_next.min(txn.next_retry);
         }
         for (&xid, fl) in &mut self.flushes {
             if fl.next_retry > now {
+                min_next = min_next.min(fl.next_retry);
                 continue;
             }
             if fl.retries >= retry.max_retries {
@@ -551,7 +606,9 @@ impl CacheController {
             ));
             fl.retries += 1;
             fl.next_retry = now + retry.backoff(fl.retries);
+            min_next = min_next.min(fl.next_retry);
         }
+        self.next_deadline = min_next;
         self.stats.retransmits += resend.len() as u64;
         // Deterministic send order regardless of hash-map iteration.
         resend.sort_by_key(|&(to, msg)| (msg.block(), msg.xid(), to));
@@ -574,12 +631,14 @@ impl CacheController {
                 self.fence += 1;
                 self.stats.writebacks += 1;
                 let xid = self.fresh_xid();
+                let retry_at = self.clock + self.cfg.retry.timeout;
+                self.note_deadline(retry_at);
                 self.flushes.insert(
                     xid,
                     FenceFlush {
                         block,
                         retries: 0,
-                        next_retry: self.clock + self.cfg.retry.timeout,
+                        next_retry: retry_at,
                     },
                 );
                 out.push((

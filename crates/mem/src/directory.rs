@@ -151,14 +151,37 @@ impl DirStats {
 }
 
 /// A node's directory: protocol state for the blocks it is home to.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Directory {
     entries: HashMap<u32, DirEntry>,
     cfg: DirConfig,
     epoch_counter: u32,
     clock: u64,
+    /// Lower bound on the earliest `next_retry` over all busy episodes.
+    /// Maintained incrementally when an episode begins and never raised
+    /// on completion (a stale bound costs at most one wasted scan);
+    /// [`Directory::tick`] recomputes the exact minimum whenever it
+    /// scans, so between deadlines it is O(1).
+    next_deadline: u64,
+    /// Number of blocks with a busy episode in flight, kept in sync so
+    /// the machine's per-cycle pending-work probe is O(1).
+    busy_ct: usize,
     /// Event counters.
     pub stats: DirStats,
+}
+
+impl Default for Directory {
+    fn default() -> Directory {
+        Directory {
+            entries: HashMap::new(),
+            cfg: DirConfig::default(),
+            epoch_counter: 0,
+            clock: 0,
+            next_deadline: u64::MAX,
+            busy_ct: 0,
+            stats: DirStats::default(),
+        }
+    }
 }
 
 impl Directory {
@@ -175,7 +198,8 @@ impl Directory {
         }
     }
 
-    /// Current sharing state of `block` (for tests and probes).
+    /// Current sharing state of `block`. Clones the sharer vector, so
+    /// this is for tests, probes and post-mortems — not the hot path.
     pub fn state(&self, block: u32) -> DirState {
         self.entries
             .get(&block)
@@ -188,9 +212,31 @@ impl Directory {
         self.entries.get(&block).is_some_and(|e| e.busy.is_some())
     }
 
-    /// Number of blocks with a transaction in flight.
+    /// Number of blocks with a transaction in flight. O(1): maintained
+    /// as a counter, not scanned, because the machine asks every cycle.
     pub fn busy_count(&self) -> usize {
-        self.entries.values().filter(|e| e.busy.is_some()).count()
+        self.busy_ct
+    }
+
+    /// Earliest cycle at which [`Directory::tick`] could need to
+    /// retransmit a demand, or `u64::MAX` if nothing is (or can become)
+    /// overdue. A conservative lower bound: the event-driven scheduler
+    /// may stop here and find nothing due, but it will never skip past
+    /// a real retransmission deadline.
+    pub fn next_deadline(&self) -> u64 {
+        if !self.cfg.retry.enabled || self.busy_ct == 0 {
+            u64::MAX
+        } else {
+            self.next_deadline
+        }
+    }
+
+    /// Advances the directory's notion of time without retransmitting.
+    /// The machine calls this before delivering messages so that busy
+    /// episodes started mid-skip schedule their first retransmission
+    /// relative to the current cycle, not a stale one.
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = now;
     }
 
     /// Busy entries as `(block, requester, write, epoch, pending)`,
@@ -269,14 +315,27 @@ impl Directory {
         write: bool,
         xid: u32,
     ) -> Vec<(usize, CohMsg)> {
+        let mut out = Vec::new();
+        self.handle_request_into(from, block, write, xid, &mut out);
+        out
+    }
+
+    /// [`Directory::handle_request`], appending into a caller-supplied
+    /// buffer so the machine's dispatch loop can reuse scratch storage.
+    pub fn handle_request_into(
+        &mut self,
+        from: usize,
+        block: u32,
+        write: bool,
+        xid: u32,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) {
         if write {
             self.stats.write_reqs += 1;
         } else {
             self.stats.read_reqs += 1;
         }
-        let mut out = Vec::new();
-        self.request_inner(from, block, write, xid, &mut out);
-        out
+        self.request_inner(from, block, write, xid, out);
     }
 
     fn request_inner(
@@ -340,6 +399,10 @@ impl Directory {
                 let owner = *o;
                 e.busy = Some(begin_busy(BusyKind::Down, vec![owner]));
                 self.epoch_counter = next_epoch;
+                self.busy_ct += 1;
+                if retry_at < self.next_deadline {
+                    self.next_deadline = retry_at;
+                }
                 out.push((
                     owner,
                     CohMsg::DownReq {
@@ -362,6 +425,10 @@ impl Directory {
                     let n = targets.len();
                     e.busy = Some(begin_busy(BusyKind::Inval, targets.clone()));
                     self.epoch_counter = next_epoch;
+                    self.busy_ct += 1;
+                    if retry_at < self.next_deadline {
+                        self.next_deadline = retry_at;
+                    }
                     for t in targets {
                         out.push((
                             t,
@@ -381,6 +448,10 @@ impl Directory {
                 let owner = *o;
                 e.busy = Some(begin_busy(BusyKind::WbInval, vec![owner]));
                 self.epoch_counter = next_epoch;
+                self.busy_ct += 1;
+                if retry_at < self.next_deadline {
+                    self.next_deadline = retry_at;
+                }
                 out.push((
                     owner,
                     CohMsg::WbInvalReq {
@@ -404,6 +475,18 @@ impl Directory {
         msg: CohMsg,
     ) -> Result<Vec<(usize, CohMsg)>, ProtocolError> {
         let mut out = Vec::new();
+        self.handle_ack_into(from, msg, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Directory::handle_ack`], appending into a caller-supplied
+    /// buffer so the machine's dispatch loop can reuse scratch storage.
+    pub fn handle_ack_into(
+        &mut self,
+        from: usize,
+        msg: CohMsg,
+        out: &mut Vec<(usize, CohMsg)>,
+    ) -> Result<(), ProtocolError> {
         match msg {
             CohMsg::FlushData { block, fenced, xid } => {
                 out.push((from, CohMsg::FlushAck { block, fenced, xid }));
@@ -430,22 +513,22 @@ impl Directory {
             | CohMsg::WbInvalAck { block, xid } => {
                 let Some(e) = self.entries.get_mut(&block) else {
                     self.stats.stale_acks += 1;
-                    return Ok(out);
+                    return Ok(());
                 };
                 let Some(busy) = &mut e.busy else {
                     self.stats.stale_acks += 1;
-                    return Ok(out);
+                    return Ok(());
                 };
                 if busy.epoch != xid {
                     // An ack from an earlier busy episode, delivered
                     // late (or duplicated across episodes).
                     self.stats.stale_acks += 1;
-                    return Ok(out);
+                    return Ok(());
                 }
                 let Some(i) = busy.pending.iter().position(|&n| n == from) else {
                     // Duplicate ack within the episode.
                     self.stats.stale_acks += 1;
-                    return Ok(out);
+                    return Ok(());
                 };
                 busy.pending.swap_remove(i);
                 if busy.pending.is_empty() {
@@ -456,6 +539,7 @@ impl Directory {
                         ..
                     } = *busy;
                     e.busy = None;
+                    self.busy_ct -= 1;
                     if write {
                         e.state = DirState::Exclusive(requester);
                         out.push((
@@ -485,7 +569,7 @@ impl Directory {
                             _ => None,
                         }
                     } {
-                        self.request_inner(f, block, w, x, &mut out);
+                        self.request_inner(f, block, w, x, out);
                     }
                 }
             }
@@ -497,25 +581,36 @@ impl Directory {
                 })
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Advances the directory's clock to `now` and retransmits demands
     /// whose acknowledgments are overdue, with bounded exponential
-    /// backoff. Returns the messages to send, or
+    /// backoff, appending the messages to send onto `out`. Reports
     /// [`ProtocolError::RetriesExhausted`] once an episode exceeds the
-    /// retry limit.
-    pub fn tick(&mut self, now: u64) -> Result<Vec<(usize, CohMsg)>, ProtocolError> {
+    /// retry limit. O(1) while `now` is short of the earliest deadline.
+    pub fn tick(&mut self, now: u64, out: &mut Vec<(usize, CohMsg)>) -> Result<(), ProtocolError> {
         self.clock = now;
         if !self.cfg.retry.enabled {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut out = Vec::new();
+        if self.next_deadline > now {
+            return Ok(());
+        }
+        let mut resend = Vec::new();
         let retry = self.cfg.retry;
         let mut retransmits = 0;
+        // Recompute the exact earliest deadline while scanning: not-due
+        // episodes contribute their existing `next_retry`, retransmitted
+        // ones their freshly scheduled one.
+        let mut min_next = u64::MAX;
         for (&block, e) in &mut self.entries {
             let Some(busy) = &mut e.busy else { continue };
-            if busy.next_retry > now || busy.pending.is_empty() {
+            if busy.pending.is_empty() {
+                continue;
+            }
+            if busy.next_retry > now {
+                min_next = min_next.min(busy.next_retry);
                 continue;
             }
             if busy.retries >= retry.max_retries {
@@ -527,16 +622,19 @@ impl Directory {
                 });
             }
             for &t in &busy.pending {
-                out.push((t, busy.kind.message(block, busy.epoch)));
+                resend.push((t, busy.kind.message(block, busy.epoch)));
                 retransmits += 1;
             }
             busy.retries += 1;
             busy.next_retry = now + retry.backoff(busy.retries);
+            min_next = min_next.min(busy.next_retry);
         }
+        self.next_deadline = min_next;
         self.stats.retransmits += retransmits;
         // Deterministic send order regardless of hash-map iteration.
-        out.sort_by_key(|&(to, msg)| (msg.block(), to));
-        Ok(out)
+        resend.sort_by_key(|&(to, msg)| (msg.block(), to));
+        out.append(&mut resend);
+        Ok(())
     }
 }
 
@@ -911,8 +1009,10 @@ mod tests {
         let out = d.handle_request(2, 0, true, 2);
         let epoch = out[0].1.xid().unwrap();
         let t0 = d.cfg.retry.timeout;
-        assert!(d.tick(t0 - 1).unwrap().is_empty(), "not overdue yet");
-        let out = d.tick(t0).unwrap();
+        let mut out = Vec::new();
+        d.tick(t0 - 1, &mut out).unwrap();
+        assert!(out.is_empty(), "not overdue yet");
+        d.tick(t0, &mut out).unwrap();
         assert_eq!(
             out,
             vec![(
@@ -925,8 +1025,10 @@ mod tests {
         );
         assert_eq!(d.stats.retransmits, 1);
         // Backed off: the next retransmission is 2*timeout later.
-        assert!(d.tick(t0 + d.cfg.retry.timeout).unwrap().is_empty());
-        let out = d.tick(t0 + 2 * d.cfg.retry.timeout).unwrap();
+        out.clear();
+        d.tick(t0 + d.cfg.retry.timeout, &mut out).unwrap();
+        assert!(out.is_empty());
+        d.tick(t0 + 2 * d.cfg.retry.timeout, &mut out).unwrap();
         assert_eq!(out.len(), 1);
     }
 
@@ -945,10 +1047,11 @@ mod tests {
         d.handle_request(1, 0, false, 1);
         d.handle_request(2, 0, true, 2);
         let mut now = 0;
+        let mut out = Vec::new();
         let err = loop {
             now += 10;
-            match d.tick(now) {
-                Ok(_) => assert!(now < 1000, "must exhaust retries"),
+            match d.tick(now, &mut out) {
+                Ok(()) => assert!(now < 1000, "must exhaust retries"),
                 Err(e) => break e,
             }
         };
@@ -966,8 +1069,10 @@ mod tests {
         });
         d.handle_request(1, 0, false, 1);
         d.handle_request(2, 0, true, 2);
+        let mut out = Vec::new();
         for now in [1_000, 1_000_000] {
-            assert!(d.tick(now).unwrap().is_empty());
+            d.tick(now, &mut out).unwrap();
+            assert!(out.is_empty());
         }
     }
 

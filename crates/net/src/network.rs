@@ -188,16 +188,14 @@ impl<P> Network<P> {
         self.flights.len()
     }
 
-    /// In-flight packets as `(id, dst, sent_at, hops, payload)`,
-    /// sorted by packet id. Used for deadlock post-mortems.
-    pub fn in_flight_packets(&self) -> Vec<(u64, usize, u64, u64, &P)> {
-        let mut v: Vec<_> = self
-            .flights
+    /// In-flight packets as `(id, dst, sent_at, hops, payload)`, in
+    /// arbitrary order. Callers building a post-mortem sort the owned
+    /// snapshot themselves; nothing is rebuilt or sorted here, so the
+    /// accessor is safe to call on hot paths.
+    pub fn in_flight_packets(&self) -> impl Iterator<Item = (u64, usize, u64, u64, &P)> + '_ {
+        self.flights
             .iter()
             .map(|(&id, f)| (id, f.dst, f.sent_at, f.hops, &f.payload))
-            .collect();
-        v.sort_by_key(|&(id, ..)| id);
-        v
     }
 
     /// Injects a packet of `size` flits at time `now`.
@@ -242,6 +240,17 @@ impl<P> Network<P> {
     where
         P: Clone,
     {
+        let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`Network::poll`], appending deliveries onto a caller-supplied
+    /// buffer so a machine's cycle loop can reuse scratch storage.
+    pub fn poll_into(&mut self, now: u64, out: &mut Vec<(usize, P)>)
+    where
+        P: Clone,
+    {
         while let Some(&Reverse(ev)) = self.events.peek() {
             if ev.time > now {
                 break;
@@ -249,7 +258,6 @@ impl<P> Network<P> {
             self.events.pop();
             self.advance(ev);
         }
-        let mut out = Vec::new();
         while let Some(&(t, _, _)) = self.ready.front() {
             if t > now {
                 break;
@@ -258,7 +266,6 @@ impl<P> Network<P> {
             let flight = self.flights.remove(&id).expect("flight exists");
             out.push((dst, flight.payload));
         }
-        out
     }
 
     fn advance(&mut self, ev: Event)
@@ -363,6 +370,52 @@ impl<P> Network<P> {
             (a, b) => a.or(b),
         }
     }
+
+    /// The earliest cycle at which a packet will be handed to its
+    /// destination, routing in-flight packets forward as far as needed
+    /// to find out.
+    ///
+    /// Hop traversal is simulated with one internal event per channel
+    /// crossing, so [`Network::next_event_time`] can never see past the
+    /// next hop — an event-driven machine stepping by it crawls through
+    /// transit cycle by cycle. This accessor instead *processes* those
+    /// internal events (in the same deterministic `(time, seq)` order
+    /// `poll` would) until the earliest pending delivery time is known,
+    /// and returns it without delivering anything.
+    ///
+    /// # Safety contract (logical, not memory)
+    ///
+    /// The caller must guarantee that no `send` will be issued before
+    /// `min(bound, returned time)` — routing decisions (channel
+    /// occupancy, fault verdicts) are made in event order, so traffic
+    /// injected earlier than an already-routed hop would be reordered
+    /// against it. The ALEWIFE machine guarantees this by passing the
+    /// earliest cycle any non-network component can act as `bound`:
+    /// while every processor is stalled and every retransmit deadline
+    /// is in the future, only a delivery (which this accessor stops at)
+    /// can trigger new traffic. Events beyond `bound` are left queued.
+    pub fn earliest_delivery(&mut self, bound: u64) -> Option<u64>
+    where
+        P: Clone,
+    {
+        loop {
+            if let Some(&(t, _, _)) = self.ready.front() {
+                // Tails are never earlier than the event that created
+                // them, so once the front-of-queue delivery is at or
+                // before the next unrouted event nothing can beat it.
+                if self.events.peek().is_none_or(|&Reverse(e)| t <= e.time) {
+                    return Some(t);
+                }
+            }
+            match self.events.peek() {
+                Some(&Reverse(ev)) if ev.time <= bound => {
+                    self.events.pop();
+                    self.advance(ev);
+                }
+                _ => return self.ready.front().map(|&(t, _, _)| t),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +510,32 @@ mod tests {
             drain(&mut net, 1000)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn earliest_delivery_sees_past_hop_events() {
+        let mut net: Network<u32> = Network::new(Topology::new(1, 8), NetConfig::default());
+        // 0 -> 7: 7 hops + 3 tail cycles = delivered at 10, but the
+        // next *internal* event is the first hop at cycle 0.
+        net.send(0, 0, 7, 4, 42);
+        assert_eq!(net.next_event_time(), Some(0));
+        assert_eq!(net.earliest_delivery(u64::MAX), Some(10));
+        // Routing ahead must not change what poll delivers, or when.
+        assert!(net.poll(9).is_empty());
+        assert_eq!(net.poll(10), vec![(7, 42)]);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn earliest_delivery_respects_bound() {
+        let mut net: Network<u32> = Network::new(Topology::new(1, 8), NetConfig::default());
+        net.send(0, 0, 7, 4, 42);
+        // Nothing is deliverable by cycle 3; events past the bound must
+        // stay queued so traffic injected at 4 still orders correctly.
+        assert_eq!(net.earliest_delivery(3), None);
+        assert!(net.next_event_time().expect("hops remain") >= 3);
+        let got = drain(&mut net, 100);
+        assert_eq!(got, vec![(10, 7, 42)]);
     }
 
     use crate::fault::{FaultPlan, FaultRule};

@@ -207,6 +207,11 @@ impl<M: Machine> Runtime<M> {
             self.boot();
         }
         let mut last_progress = (0u64, 0u64); // (cycle, instructions)
+                                              // Threshold, not a mask test: the event-driven machine can jump
+                                              // the clock several cycles per advance, and `now & 0xfff == 0`
+                                              // would land only by luck. Crossing the threshold triggers the
+                                              // same check lockstep runs at each 4096-cycle boundary.
+        let mut next_liveness = 4096u64;
         loop {
             if self.machine.now() > self.cfg.max_cycles {
                 return Err(RunError::CycleLimit(self.cfg.max_cycles));
@@ -234,8 +239,9 @@ impl<M: Machine> Runtime<M> {
                     prints: std::mem::take(&mut self.prints),
                 });
             }
-            // Liveness check every 4096 cycles.
-            if self.machine.now() & 0xfff == 0 {
+            // Liveness check every ~4096 cycles.
+            if self.machine.now() >= next_liveness {
+                next_liveness = (self.machine.now() / 4096 + 1) * 4096;
                 let instrs: u64 = (0..self.machine.num_procs())
                     .map(|i| self.machine.cpu(i).stats.instructions)
                     .sum();

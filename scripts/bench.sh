@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Runs the sim_hotpaths benchmark harness and leaves BENCH_hotpaths.json
+# at the repository root: simulated cycles per wall-second for each
+# whole-machine workload, under both the lockstep reference path and the
+# event-driven scheduler, plus the speedup between them.
+#
+# BENCH_SMOKE=1 shrinks the workloads for a fast CI smoke run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH_OUT="$(pwd)/BENCH_hotpaths.json" cargo bench -p april-bench --bench sim_hotpaths

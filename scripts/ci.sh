@@ -16,6 +16,12 @@ echo "== rustfmt =="
 cargo fmt --all -- --check
 
 echo "== clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
+
+echo "== bench smoke (non-gating) =="
+# Shrunken whole-machine workloads: proves the harness runs and the
+# lockstep/event-driven cycle counts agree, but perf numbers from CI
+# hardware are not trusted, so a failure here does not gate.
+BENCH_SMOKE=1 sh scripts/bench.sh || echo "bench smoke failed (non-gating)"
 
 echo "CI green."
