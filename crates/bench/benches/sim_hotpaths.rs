@@ -134,9 +134,12 @@ fn bench_network() {
             net.send(0, i % n, (i * 37 + 5) % n, 4, i as u32);
         }
         let mut t = 0;
+        let mut delivered = Vec::new();
         while !net.is_idle() {
             t += 1;
-            black_box(net.poll(t));
+            delivered.clear();
+            net.poll_into(t, &mut delivered);
+            black_box(&delivered);
         }
     });
 }

@@ -1,0 +1,214 @@
+//! Multi-run sweep harness: farms *independent* simulations across
+//! host threads. Where [`ParallelAlewife`](april_machine::parallel)
+//! parallelizes one run deterministically, this harness parallelizes a
+//! grid of whole runs — fault-seed soaks and utilization points — each
+//! of which is sequential and reproducible on its own, so the sweep is
+//! trivially deterministic: jobs are indexed up front, claimed by an
+//! atomic cursor, and reported in job order no matter which thread
+//! finished first.
+//!
+//! `SWEEP_THREADS` overrides the worker count (default: host
+//! parallelism); `SWEEP_SMOKE=1` shrinks the grid for CI.
+
+use april_core::isa::asm::assemble;
+use april_core::program::Program;
+use april_machine::config::MachineConfig;
+use april_machine::driver::{drive_sequential, SwitchSpin};
+use april_machine::{Alewife, Machine};
+use april_net::fault::{FaultPlan, FaultRule};
+use april_net::topology::Topology;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One independent simulation in the grid.
+struct Job {
+    name: String,
+    cfg: MachineConfig,
+    prog: Program,
+    plan: Option<FaultPlan>,
+    max: u64,
+}
+
+/// What one run reports.
+struct Row {
+    name: String,
+    cycles: u64,
+    instrs: u64,
+    utilization: f64,
+    drops: u64,
+    dups: u64,
+    delays: u64,
+    fault: String,
+}
+
+/// All nodes hammer one falsely-shared block region homed at node 0,
+/// with `inner` ALU cycles of local compute between remote accesses —
+/// `inner = 0` is pure contention, large `inner` is compute-bound.
+fn workload(outer: u32, inner: u32) -> Program {
+    let compute = if inner > 0 {
+        format!(
+            "
+            movi {inner}, r12
+        inner:
+            add r13, 4, r13
+            sub r12, 1, r12
+            jne inner
+            nop"
+        )
+    } else {
+        String::new()
+    };
+    assemble(&format!(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            movi 0x200, r9
+            add r9, r8, r9     ; my word, homed at node 0
+            movi {outer}, r10
+        outer:{compute}
+            ld r9+0, r11       ; remote read miss
+            add r11, 4, r11
+            st r11, r9+0       ; write-upgrade miss
+            flush r9+0
+            sub r10, 1, r10
+            jne outer
+            nop
+            halt
+        ",
+    ))
+    .unwrap()
+}
+
+fn run_job(job: &Job) -> Row {
+    let mut m = Alewife::new(job.cfg, job.prog.clone());
+    if let Some(plan) = &job.plan {
+        m.set_fault_plan(plan.clone());
+    }
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    let fault = drive_sequential(&mut m, &SwitchSpin::default(), job.max);
+    let stats = m.total_stats();
+    let fs = m.fault_stats();
+    Row {
+        name: job.name.clone(),
+        cycles: m.now(),
+        instrs: stats.instructions,
+        utilization: stats.instructions as f64 / (stats.total() as f64).max(1.0),
+        drops: fs.dropped,
+        dups: fs.duplicated,
+        delays: fs.delayed,
+        fault: match fault {
+            None => "-".into(),
+            Some(f) => format!("{f}"),
+        },
+    }
+}
+
+fn build_jobs(smoke: bool) -> Vec<Job> {
+    let cfg = MachineConfig {
+        topology: Topology::new(2, 2),
+        region_bytes: 1 << 20,
+        ..MachineConfig::default()
+    };
+    let outer = if smoke { 10 } else { 50 };
+    let mut jobs = Vec::new();
+    // Fault-seed soak grid: the same contended workload under
+    // increasingly lossy networks, several seeds each.
+    let seeds: &[u64] = if smoke { &[1, 2] } else { &[1, 2, 3, 4] };
+    let drops: &[f64] = if smoke {
+        &[0.0, 0.02]
+    } else {
+        &[0.0, 0.01, 0.02, 0.05]
+    };
+    for &drop in drops {
+        if drop == 0.0 {
+            // The lossless point is seed-independent: one run suffices.
+            jobs.push(Job {
+                name: "soak/lossless".into(),
+                cfg,
+                prog: workload(outer, 0),
+                plan: None,
+                max: 50_000_000,
+            });
+            continue;
+        }
+        for &seed in seeds {
+            jobs.push(Job {
+                name: format!("soak/drop{drop:.2}/seed{seed}"),
+                cfg,
+                prog: workload(outer, 0),
+                plan: Some(FaultPlan::new(seed).with_default_rule(FaultRule {
+                    drop,
+                    dup: drop,
+                    delay: 2.0 * drop,
+                    max_delay: 40,
+                })),
+                max: 50_000_000,
+            });
+        }
+    }
+    // Utilization curve: compute per remote access from zero to heavy.
+    let inners: &[u32] = if smoke { &[0, 100] } else { &[0, 25, 100, 400] };
+    for &inner in inners {
+        jobs.push(Job {
+            name: format!("util/inner{inner}"),
+            cfg,
+            prog: workload(outer, inner),
+            plan: None,
+            max: 50_000_000,
+        });
+    }
+    jobs
+}
+
+fn main() {
+    let smoke = std::env::var("SWEEP_SMOKE").is_ok();
+    let jobs = build_jobs(smoke);
+    let threads = std::env::var("SWEEP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+        .max(1);
+
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Row>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { return };
+                *results[i].lock().expect("result slot poisoned") = Some(run_job(job));
+            });
+        }
+    });
+
+    println!(
+        "sweep: {} independent runs on {} thread(s)",
+        jobs.len(),
+        threads.min(jobs.len())
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>6} {:>6} {:>6} {:>7}  fault",
+        "run", "cycles", "instrs", "util", "drops", "dups", "delays"
+    );
+    for slot in &results {
+        let row = slot
+            .lock()
+            .expect("result slot poisoned")
+            .take()
+            .expect("job ran");
+        println!(
+            "{:<24} {:>10} {:>10} {:>5.1}% {:>6} {:>6} {:>7}  {}",
+            row.name,
+            row.cycles,
+            row.instrs,
+            100.0 * row.utilization,
+            row.drops,
+            row.dups,
+            row.delays,
+            row.fault,
+        );
+    }
+}

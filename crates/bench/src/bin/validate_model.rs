@@ -110,6 +110,7 @@ fn network_point(lambda: f64, cycles: u64) -> (f64, f64, f64) {
     let mut rng = Rng::seed_from(7);
     let n = topo.num_nodes();
     let size = 4u64;
+    let mut delivered = Vec::new();
     for t in 0..cycles {
         for src in 0..n {
             if rng.gen_bool(lambda) {
@@ -117,13 +118,15 @@ fn network_point(lambda: f64, cycles: u64) -> (f64, f64, f64) {
                 net.send(t, src, dst, size, t);
             }
         }
-        net.poll(t);
+        net.poll_into(t, &mut delivered);
+        delivered.clear();
     }
     // Drain.
     let mut t = cycles;
     while !net.is_idle() && t < cycles * 20 {
         t += 1;
-        net.poll(t);
+        net.poll_into(t, &mut delivered);
+        delivered.clear();
     }
     let avg = net.stats.avg_latency();
     let rho = net.stats.channel_utilization(topo.num_channels(), t);

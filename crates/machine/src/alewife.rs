@@ -54,14 +54,20 @@ pub struct Node {
     pub ctl: CacheController,
     /// Home-side directory for this node's memory region.
     pub dir: Directory,
-    io_regs: [u32; 8],
+    pub(crate) io_regs: [u32; 8],
 }
+
+// The parallel machine moves whole nodes across worker threads; any
+// future non-`Send` field must be caught at compile time, not at the
+// first 4-worker run (DESIGN.md §9).
+const _: () = april_util::assert_send::<Node>();
+const _: () = april_util::assert_send::<Env>();
 
 /// A protocol message in flight.
 #[derive(Debug, Clone, Copy)]
-struct Env {
-    src: usize,
-    msg: CohMsg,
+pub(crate) struct Env {
+    pub(crate) src: usize,
+    pub(crate) msg: CohMsg,
 }
 
 /// The ALEWIFE machine.
@@ -77,6 +83,9 @@ pub struct Alewife {
     now: u64,
     watchdog: Watchdog,
     fault: Option<MachineFault>,
+    /// `halted_at[i]`: the cycle at which node `i`'s CPU executed
+    /// `halt`, once it has.
+    halted_at: Vec<Option<u64>>,
     /// `parked[i]`: stepping CPU `i` is known to yield `NoReadyFrame`,
     /// which every driver answers with exactly `charge_idle(i, 1)` and
     /// nothing else. A parked CPU does not hold the event-driven skip
@@ -120,6 +129,7 @@ impl Alewife {
             now: 0,
             watchdog: Watchdog::default(),
             fault: None,
+            halted_at: vec![None; n],
             parked: vec![false; n],
             scratch_deliveries: Vec::new(),
             scratch_out: Vec::new(),
@@ -181,88 +191,32 @@ impl Alewife {
         let mut dir_out = std::mem::take(&mut self.scratch_dir);
         out.clear();
         dir_out.clear();
-        let mut failed = false;
-        match env.msg {
-            CohMsg::RdReq { block, xid } => {
-                self.nodes[dst]
-                    .dir
-                    .handle_request_into(env.src, block, false, xid, &mut dir_out);
-            }
-            CohMsg::WrReq { block, xid } => {
-                self.nodes[dst]
-                    .dir
-                    .handle_request_into(env.src, block, true, xid, &mut dir_out);
-            }
-            CohMsg::InvAck { .. }
-            | CohMsg::DownAck { .. }
-            | CohMsg::WbInvalAck { .. }
-            | CohMsg::FlushData { .. } => {
-                if let Err(e) = self.nodes[dst]
-                    .dir
-                    .handle_ack_into(env.src, env.msg, &mut dir_out)
-                {
-                    self.set_fault(MachineFault::Protocol {
-                        node: dst,
-                        error: e,
-                    });
-                    failed = true;
+        match dispatch_to_node(dst, &mut self.nodes[dst], env, &cfg, &mut out, &mut dir_out) {
+            Ok(()) => {
+                // Controller-originated messages leave immediately (the
+                // cache tags are SRAM); every directory-generated
+                // message pays the home memory latency — the directory
+                // lives in DRAM beside the data. The delay is uniform,
+                // which also keeps home→node message streams FIFO: a
+                // later-generated invalidation can never overtake an
+                // earlier data grant.
+                for &(to, msg) in &out {
+                    let size = msg.size_flits(cfg.block_words()) as u64;
+                    self.net
+                        .send(self.now, dst, to, size, Env { src: dst, msg });
+                }
+                for &(to, msg) in &dir_out {
+                    let size = msg.size_flits(cfg.block_words()) as u64;
+                    self.net.send(
+                        self.now + cfg.mem_latency,
+                        dst,
+                        to,
+                        size,
+                        Env { src: dst, msg },
+                    );
                 }
             }
-            CohMsg::Ipi => {
-                self.nodes[dst].cpu.post_interrupt(env.src);
-            }
-            CohMsg::RdReply { .. }
-            | CohMsg::WrReply { .. }
-            | CohMsg::Nack { .. }
-            | CohMsg::Inval { .. }
-            | CohMsg::DownReq { .. }
-            | CohMsg::WbInvalReq { .. }
-            | CohMsg::FlushAck { .. }
-            | CohMsg::BlockXfer { .. } => {
-                let node = &mut self.nodes[dst];
-                match node
-                    .ctl
-                    .handle_msg(env.src, env.msg, |a| cfg.home_of(a), &mut out)
-                {
-                    Ok(woken) => {
-                        for f in woken {
-                            if node.cpu.frame(f).state == FrameState::WaitingRemote {
-                                node.cpu.frame_mut(f).state = FrameState::Ready;
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        self.set_fault(MachineFault::Protocol {
-                            node: dst,
-                            error: e,
-                        });
-                        failed = true;
-                    }
-                }
-            }
-        }
-        // Controller-originated messages leave immediately (the cache
-        // tags are SRAM); every directory-generated message pays the
-        // home memory latency — the directory lives in DRAM beside the
-        // data. The delay is uniform, which also keeps home→node
-        // message streams FIFO: a later-generated invalidation can
-        // never overtake an earlier data grant.
-        if !failed {
-            for &(to, msg) in &out {
-                let size = msg.size_flits(cfg.block_words()) as u64;
-                self.net
-                    .send(self.now, dst, to, size, Env { src: dst, msg });
-            }
-            for &(to, msg) in &dir_out {
-                let size = msg.size_flits(cfg.block_words()) as u64;
-                self.net.send(
-                    self.now + cfg.mem_latency,
-                    dst,
-                    to,
-                    size,
-                    Env { src: dst, msg },
-                );
-            }
+            Err(fault) => self.set_fault(fault),
         }
         out.clear();
         dir_out.clear();
@@ -285,14 +239,26 @@ impl Alewife {
     /// Whether the machine still owes anyone an answer. With no
     /// pending work a stable signature means quiescence, not deadlock.
     fn has_pending_work(&self) -> bool {
-        self.net.in_flight_count() > 0
-            || self.nodes.iter().any(|n| {
-                n.ctl.outstanding() > 0
-                    || n.ctl.fence_count() > 0
-                    || n.dir.busy_count() > 0
-                    || (0..n.cpu.nframes())
-                        .any(|f| n.cpu.frame(f).state == FrameState::WaitingRemote)
-            })
+        self.net.in_flight_count() > 0 || nodes_pending_work(&self.nodes)
+    }
+
+    /// Public probe of [`Self::has_pending_work`], used by drivers that
+    /// stop at quiescence rather than at a single node's halt.
+    pub fn pending_work(&self) -> bool {
+        self.has_pending_work()
+    }
+
+    /// Whether every processor has executed `halt`.
+    pub fn all_halted(&self) -> bool {
+        self.nodes.iter().all(|n| n.cpu.is_halted())
+    }
+
+    /// Per-node halt cycles: `Some(c)` once the node's CPU executed
+    /// `halt` at cycle `c`, else `None`. Part of the cross-mode
+    /// equivalence contract — `now` itself can differ across schedulers
+    /// once the machine is quiescent, but halt cycles cannot.
+    pub fn halted_cycles(&self) -> &[Option<u64>] {
+        &self.halted_at
     }
 
     /// The next cycle at which anything can happen: the min over
@@ -376,41 +342,14 @@ impl Alewife {
         let mut outstanding = Vec::new();
         let mut stalled_frames = Vec::new();
         let mut fences = Vec::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            for (block, requester, write, epoch, awaiting) in n.dir.busy_entries() {
-                busy_blocks.push(BusyEntry {
-                    home: i,
-                    block,
-                    requester,
-                    write,
-                    epoch,
-                    awaiting,
-                });
-            }
-            for (block, xid, write_issued, frames) in n.ctl.outstanding_txns() {
-                outstanding.push(OutstandingTxn {
-                    node: i,
-                    block,
-                    xid,
-                    write_issued,
-                    frames,
-                });
-            }
-            for f in 0..n.cpu.nframes() {
-                let frame = n.cpu.frame(f);
-                if frame.state == FrameState::WaitingRemote {
-                    stalled_frames.push(FrameStall {
-                        node: i,
-                        frame: f,
-                        state: frame.state,
-                        pc: frame.pc,
-                    });
-                }
-            }
-            if n.ctl.fence_count() > 0 {
-                fences.push((i, n.ctl.fence_count()));
-            }
-        }
+        node_post_mortem_fragments(
+            0,
+            &self.nodes,
+            &mut busy_blocks,
+            &mut outstanding,
+            &mut stalled_frames,
+            &mut fences,
+        );
         PostMortem {
             cycle: self.now,
             horizon: self.cfg.watchdog.horizon,
@@ -424,19 +363,159 @@ impl Alewife {
     }
 }
 
+/// Hands one delivered protocol message to its destination node,
+/// collecting the node's responses: controller-originated messages into
+/// `out` (sent at the current cycle) and directory-originated messages
+/// into `dir_out` (sent after the home memory latency). Shared by the
+/// sequential machine and the parallel shard workers so both dispatch
+/// with identical semantics. On a protocol error the node's response
+/// messages are suppressed (the fault aborts the run before they could
+/// matter) and the fault is returned for the caller to record.
+pub(crate) fn dispatch_to_node(
+    dst: usize,
+    node: &mut Node,
+    env: Env,
+    cfg: &MachineConfig,
+    out: &mut Vec<(usize, CohMsg)>,
+    dir_out: &mut Vec<(usize, CohMsg)>,
+) -> Result<(), MachineFault> {
+    match env.msg {
+        CohMsg::RdReq { block, xid } => {
+            node.dir
+                .handle_request_into(env.src, block, false, xid, dir_out);
+        }
+        CohMsg::WrReq { block, xid } => {
+            node.dir
+                .handle_request_into(env.src, block, true, xid, dir_out);
+        }
+        CohMsg::InvAck { .. }
+        | CohMsg::DownAck { .. }
+        | CohMsg::WbInvalAck { .. }
+        | CohMsg::FlushData { .. } => {
+            if let Err(e) = node.dir.handle_ack_into(env.src, env.msg, dir_out) {
+                return Err(MachineFault::Protocol {
+                    node: dst,
+                    error: e,
+                });
+            }
+        }
+        CohMsg::Ipi => {
+            node.cpu.post_interrupt(env.src);
+        }
+        CohMsg::RdReply { .. }
+        | CohMsg::WrReply { .. }
+        | CohMsg::Nack { .. }
+        | CohMsg::Inval { .. }
+        | CohMsg::DownReq { .. }
+        | CohMsg::WbInvalReq { .. }
+        | CohMsg::FlushAck { .. }
+        | CohMsg::BlockXfer { .. } => {
+            match node
+                .ctl
+                .handle_msg(env.src, env.msg, |a| cfg.home_of(a), out)
+            {
+                Ok(woken) => {
+                    for f in woken {
+                        if node.cpu.frame(f).state == FrameState::WaitingRemote {
+                            node.cpu.frame_mut(f).state = FrameState::Ready;
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(MachineFault::Protocol {
+                        node: dst,
+                        error: e,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether any node in the slice still owes anyone an answer (the
+/// node-local half of the machine-wide pending-work predicate; the
+/// network's in-flight count is the other half).
+pub(crate) fn nodes_pending_work(nodes: &[Node]) -> bool {
+    nodes.iter().any(|n| {
+        n.ctl.outstanding() > 0
+            || n.ctl.fence_count() > 0
+            || n.dir.busy_count() > 0
+            || (0..n.cpu.nframes()).any(|f| n.cpu.frame(f).state == FrameState::WaitingRemote)
+    })
+}
+
+/// Collects one node slice's contribution to a [`PostMortem`]: busy
+/// directory blocks, outstanding controller transactions, remotely
+/// stalled frames, and pending fences. `base` is the global id of
+/// `nodes[0]`, so parallel shards report correct node numbers.
+pub(crate) fn node_post_mortem_fragments(
+    base: usize,
+    nodes: &[Node],
+    busy_blocks: &mut Vec<BusyEntry>,
+    outstanding: &mut Vec<OutstandingTxn>,
+    stalled_frames: &mut Vec<FrameStall>,
+    fences: &mut Vec<(usize, u32)>,
+) {
+    for (k, n) in nodes.iter().enumerate() {
+        let i = base + k;
+        for (block, requester, write, epoch, awaiting) in n.dir.busy_entries() {
+            busy_blocks.push(BusyEntry {
+                home: i,
+                block,
+                requester,
+                write,
+                epoch,
+                awaiting,
+            });
+        }
+        for (block, xid, write_issued, frames) in n.ctl.outstanding_txns() {
+            outstanding.push(OutstandingTxn {
+                node: i,
+                block,
+                xid,
+                write_issued,
+                frames,
+            });
+        }
+        for f in 0..n.cpu.nframes() {
+            let frame = n.cpu.frame(f);
+            if frame.state == FrameState::WaitingRemote {
+                stalled_frames.push(FrameStall {
+                    node: i,
+                    frame: f,
+                    state: frame.state,
+                    pc: frame.pc,
+                });
+            }
+        }
+        if n.ctl.fence_count() > 0 {
+            fences.push((i, n.ctl.fence_count()));
+        }
+    }
+}
+
 /// The per-node memory port: routes processor accesses through the
 /// cache controller and, for home-local blocks, the local directory.
-struct NodePort<'a> {
-    node: usize,
-    ctl: &'a mut CacheController,
-    dir: &'a mut Directory,
-    io_regs: &'a mut [u32; 8],
-    mem: &'a mut FeMemory,
-    cfg: &'a MachineConfig,
+pub(crate) struct NodePort<'a> {
+    pub(crate) node: usize,
+    pub(crate) ctl: &'a mut CacheController,
+    pub(crate) dir: &'a mut Directory,
+    pub(crate) io_regs: &'a mut [u32; 8],
+    pub(crate) mem: &'a mut FeMemory,
+    pub(crate) cfg: &'a MachineConfig,
     /// Outgoing messages (drained into the network by the machine).
-    out: &'a mut Vec<(usize, CohMsg)>,
+    pub(crate) out: &'a mut Vec<(usize, CohMsg)>,
     /// IPIs and block transfers triggered by STIO.
-    io_sends: &'a mut Vec<(usize, CohMsg)>,
+    pub(crate) io_sends: &'a mut Vec<(usize, CohMsg)>,
+    /// When present, every address this port's accesses mutate in
+    /// memory (data word or full/empty bit) is appended here. The
+    /// parallel shards run against memory replicas and replay these
+    /// logs into the canonical image at window barriers; the coherence
+    /// protocol guarantees one writer per word per window, so replay
+    /// order across shards does not matter. The sequential machine
+    /// passes `None`.
+    pub(crate) write_log: Option<&'a mut Vec<u32>>,
 }
 
 impl NodePort<'_> {
@@ -466,7 +545,14 @@ impl MemoryPort for NodePort<'_> {
         let write_grade = flavor.reset_fe;
         match self.access(addr, write_grade, ctx) {
             Outcome::Hit => match self.mem.apply_load(addr, flavor) {
-                Some((word, fe)) => LoadReply::Data { word, fe },
+                Some((word, fe)) => {
+                    if flavor.reset_fe {
+                        if let Some(log) = self.write_log.as_deref_mut() {
+                            log.push(addr);
+                        }
+                    }
+                    LoadReply::Data { word, fe }
+                }
                 None => LoadReply::FeViolation,
             },
             Outcome::LocalFill { stall } => LoadReply::Stall { cycles: stall },
@@ -484,7 +570,12 @@ impl MemoryPort for NodePort<'_> {
     fn store(&mut self, addr: u32, value: Word, flavor: StoreFlavor, ctx: AccessCtx) -> StoreReply {
         match self.access(addr, true, ctx) {
             Outcome::Hit => match self.mem.apply_store(addr, value, flavor) {
-                Some(fe) => StoreReply::Done { fe },
+                Some(fe) => {
+                    if let Some(log) = self.write_log.as_deref_mut() {
+                        log.push(addr);
+                    }
+                    StoreReply::Done { fe }
+                }
                 None => StoreReply::FeViolation,
             },
             Outcome::LocalFill { stall } => StoreReply::Stall { cycles: stall },
@@ -621,11 +712,15 @@ impl Machine for Alewife {
                     cfg: &cfg,
                     out: &mut out,
                     io_sends: &mut io_sends,
+                    write_log: None,
                 };
                 node.cpu.step(&self.prog, port)
             };
             let cost = node.cpu.stats.total() - before;
             self.ready_at[i] = self.now + cost;
+            if node.cpu.is_halted() && self.halted_at[i].is_none() {
+                self.halted_at[i] = Some(self.now);
+            }
             if !matches!(ev, StepEvent::NoReadyFrame) {
                 // The CPU did something: it is no longer known-idle.
                 self.parked[i] = false;

@@ -37,6 +37,16 @@ pub struct MachineConfig {
     /// DESIGN.md §8); this flag exists so the equivalence is testable
     /// and so anomalies can be bisected against the reference path.
     pub lockstep: bool,
+    /// Worker threads for the parallel machine
+    /// ([`crate::parallel::ParallelAlewife`]); clamped to the node
+    /// count, and ignored by the sequential [`crate::Alewife`]. All
+    /// worker counts produce bit-identical runs (DESIGN.md §9).
+    pub workers: usize,
+    /// Conservative-window width override for the parallel machine:
+    /// 0 picks the network's lookahead bound automatically; a nonzero
+    /// value may only *narrow* the window (it is clamped to the
+    /// lookahead, never widened past it — wider would be unsound).
+    pub window_override: u64,
 }
 
 impl Default for MachineConfig {
@@ -52,6 +62,8 @@ impl Default for MachineConfig {
             region_bytes: 1 << 20,
             mem_latency: 10,
             lockstep: false,
+            workers: 1,
+            window_override: 0,
         }
     }
 }

@@ -1,0 +1,137 @@
+//! Embeddable run-time drivers.
+//!
+//! The sequential [`Machine`](crate::Machine) loop surfaces step events
+//! to its caller, who answers them through `cpu_mut`/`charge_handler`/
+//! `charge_idle`. The parallel machine cannot do that — events arise on
+//! worker threads mid-window, and shipping them to the coordinator and
+//! back would serialize every cycle. Instead the run-time policy is
+//! expressed as a [`NodeDriver`]: a `Sync` value the scheduler invokes
+//! *in place*, on whichever thread owns the node, against an
+//! [`EventCtx`] that scopes mutation to that node. One driver value
+//! then drives the lockstep, event-skipping, and parallel schedulers
+//! identically, which is what makes the three-way equivalence suite
+//! (and DESIGN.md §9's determinism argument) meaningful.
+
+use crate::alewife::Alewife;
+use crate::watchdog::MachineFault;
+use crate::Machine;
+use april_core::cpu::{Cpu, StepEvent};
+use april_core::frame::FrameState;
+use april_core::trap::Trap;
+
+/// What a driver may touch while answering one node's step event: that
+/// node's processor, plus the cycle ledger. Charging delays the node;
+/// the scheduler behind the context keeps `ready_at` and any
+/// idle-tracking bookkeeping consistent.
+pub trait EventCtx {
+    /// The event's processor, for context switching and frame surgery.
+    fn cpu(&mut self) -> &mut Cpu;
+    /// Charges trap-handler cycles and delays the node by as many.
+    fn charge_handler(&mut self, cycles: u64);
+    /// Charges idle cycles and delays the node by as many.
+    fn charge_idle(&mut self, cycles: u64);
+}
+
+/// A run-time policy invoked for every step event a node reports.
+///
+/// `Sync` because the parallel scheduler calls it concurrently from all
+/// worker threads; drivers therefore hold only shared immutable policy
+/// (per-run mutable state would also break bit-exactness across worker
+/// counts).
+pub trait NodeDriver: Sync {
+    /// Answers one step event on node `node`.
+    fn on_event(&self, node: usize, ev: StepEvent, ctx: &mut dyn EventCtx);
+}
+
+/// The switch-spin run-time used throughout the equivalence and bench
+/// suites: on a remote-miss trap, park the frame as `WaitingRemote` and
+/// pay the context-switch handler; with no ready frame, rotate to the
+/// next ready one or spin one idle cycle. Traps it cannot service are
+/// programming errors and panic.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchSpin {
+    /// Cycles charged for the remote-miss trap handler (the paper's
+    /// coarse-grain context switch costs about 10 cycles; the
+    /// equivalence suite historically charges 6).
+    pub handler_cycles: u64,
+}
+
+impl Default for SwitchSpin {
+    fn default() -> SwitchSpin {
+        SwitchSpin { handler_cycles: 6 }
+    }
+}
+
+impl NodeDriver for SwitchSpin {
+    fn on_event(&self, node: usize, ev: StepEvent, ctx: &mut dyn EventCtx) {
+        match ev {
+            StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                let cpu = ctx.cpu();
+                let fp = cpu.fp();
+                let fr = cpu.frame_mut(fp);
+                fr.state = FrameState::WaitingRemote;
+                fr.psr.in_trap = false;
+                ctx.charge_handler(self.handler_cycles);
+            }
+            StepEvent::Trapped(t) => panic!("node {node}: {t}"),
+            StepEvent::NoReadyFrame => {
+                let cpu = ctx.cpu();
+                match cpu.next_ready_frame() {
+                    Some(f) => cpu.set_fp(f),
+                    None => ctx.charge_idle(1),
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Adapts the sequential [`Machine`] surface to an [`EventCtx`], so the
+/// same driver value can serve `advance()`-style loops. Routing through
+/// the trait methods (not the node directly) preserves the event-driven
+/// scheduler's parked-CPU bookkeeping.
+struct MachineCtx<'a, M: Machine> {
+    m: &'a mut M,
+    node: usize,
+}
+
+impl<M: Machine> EventCtx for MachineCtx<'_, M> {
+    fn cpu(&mut self) -> &mut Cpu {
+        self.m.cpu_mut(self.node)
+    }
+
+    fn charge_handler(&mut self, cycles: u64) {
+        self.m.charge_handler(self.node, cycles);
+    }
+
+    fn charge_idle(&mut self, cycles: u64) {
+        self.m.charge_idle(self.node, cycles);
+    }
+}
+
+/// Drives a sequential machine with `driver` until it faults or goes
+/// fully quiescent: every processor halted *and* no protocol work
+/// pending (in-flight packets, outstanding transactions, busy
+/// directory entries, waiting frames). Draining to quiescence — rather
+/// than stopping at the last `halt` — is what makes final machine
+/// states comparable across schedulers whose clocks stop at different
+/// points. Returns the fault, if any. Panics past `max` cycles.
+pub fn drive_sequential(
+    m: &mut Alewife,
+    driver: &dyn NodeDriver,
+    max: u64,
+) -> Option<MachineFault> {
+    loop {
+        assert!(m.now() < max, "timeout at cycle {}", m.now());
+        if m.fault().is_some() {
+            return m.fault().cloned();
+        }
+        if m.all_halted() && !m.pending_work() {
+            return None;
+        }
+        for (i, ev) in m.advance() {
+            let mut ctx = MachineCtx { m, node: i };
+            driver.on_event(i, ev, &mut ctx);
+        }
+    }
+}

@@ -21,7 +21,9 @@
 
 pub mod alewife;
 pub mod config;
+pub mod driver;
 pub mod ideal;
+pub mod parallel;
 pub mod watchdog;
 
 use april_core::cpu::{Cpu, StepEvent};
@@ -30,7 +32,9 @@ use april_mem::femem::FeMemory;
 
 pub use alewife::Alewife;
 pub use config::MachineConfig;
+pub use driver::{drive_sequential, EventCtx, NodeDriver, SwitchSpin};
 pub use ideal::IdealMachine;
+pub use parallel::ParallelAlewife;
 pub use watchdog::{MachineFault, PostMortem, WatchdogConfig};
 
 /// A machine the run-time system can drive.

@@ -1,0 +1,1029 @@
+//! Deterministic parallel execution of the ALEWIFE machine.
+//!
+//! [`ParallelAlewife`] shards nodes (CPU + cache controller + home
+//! directory slice) across worker threads and advances them
+//! concurrently inside *conservative time windows* (classic
+//! conservative-PDES): the window width never exceeds the network's
+//! [lookahead](april_net::network::Network::lookahead) — the minimum
+//! cross-node message latency — so no worker can observe a message
+//! another worker has not yet staged. Cross-node sends produced inside
+//! a window are staged into per-worker outboxes and merged at the
+//! window barrier in a fixed deterministic order (send cycle, then
+//! machine phase, then source index, then sequence number) that
+//! replays the sequential machine's injection order exactly. Parallel
+//! runs are therefore **bit-exact** with the sequential lockstep path
+//! — and, transitively, with the event-driven skip — for any worker
+//! count. DESIGN.md §9 walks through the full argument.
+
+use crate::alewife::{
+    dispatch_to_node, node_post_mortem_fragments, nodes_pending_work, Env, Node, NodePort,
+};
+use crate::config::MachineConfig;
+use crate::driver::{EventCtx, NodeDriver};
+use crate::watchdog::{
+    BusyEntry, FrameStall, InFlightMsg, MachineFault, OutstandingTxn, PostMortem, Watchdog,
+};
+use april_core::cpu::{Cpu, StepEvent};
+use april_core::program::Program;
+use april_core::stats::CpuStats;
+use april_core::word::Word;
+use april_mem::controller::CacheController;
+use april_mem::directory::Directory;
+use april_mem::femem::FeMemory;
+use april_mem::msg::CohMsg;
+use april_net::fault::{FaultPlan, FaultStats};
+use april_net::network::Network;
+use std::sync::{Condvar, Mutex};
+
+/// The smallest protocol packet in flits (header + address); the
+/// lookahead bound is computed against it. `CohMsg::size_flits` never
+/// reports less.
+const MIN_FLITS: u64 = 2;
+
+/// One window's staged network injection, keyed for the deterministic
+/// merge. The key replicates the sequential machine's within-cycle
+/// injection order: phase 0 is delivery dispatch (indexed by global
+/// hand-over order), phase 1 is the CPU step loop (indexed by node),
+/// phase 2 is the controller/directory tick loop (indexed by node);
+/// `seq` orders the sends of one unit. Packet ids — and therefore
+/// fault-injection verdicts and event tie-breaks — depend only on
+/// injection order, so replaying this order makes the network
+/// evolution bit-identical to the sequential run's.
+#[derive(Debug, Clone, Copy)]
+struct StagedSend {
+    key: (u64, u8, u64, u32),
+    at: u64,
+    src: usize,
+    dst: usize,
+    size: u64,
+    env: Env,
+}
+
+/// A fatal fault raised inside a shard, positioned by the same
+/// (cycle, phase, index, sub-unit) order the sequential machine records
+/// faults in, so the coordinator keeps the globally *first* one.
+#[derive(Debug, Clone)]
+struct ShardFault {
+    key: (u64, u8, u64, u8),
+    fault: MachineFault,
+}
+
+/// A shard's contribution to a watchdog post-mortem, captured at the
+/// window's last cycle after the protocol ticks but before driver
+/// events — the exact point the sequential machine captures its own.
+#[derive(Debug, Default)]
+struct PmFragment {
+    busy_blocks: Vec<BusyEntry>,
+    outstanding: Vec<OutstandingTxn>,
+    stalled_frames: Vec<FrameStall>,
+    fences: Vec<(usize, u32)>,
+    /// `nodes_pending_work` over the shard at capture time; the
+    /// watchdog only faults when some shard (or the network) still has
+    /// pending work.
+    pending_pre_driver: bool,
+}
+
+/// One window of work for a shard.
+struct WindowCmd {
+    start: u64,
+    end: u64,
+    /// Capture a [`PmFragment`] at the last cycle: set whenever the
+    /// watchdog could fire inside this window.
+    capture_pm: bool,
+    /// This shard's deliveries, `(cycle, global_index, dst, env)` in
+    /// global hand-over order.
+    deliveries: Vec<(u64, u64, usize, Env)>,
+    /// All shards' memory writes from the previous window, replayed
+    /// into this shard's replica before the window starts.
+    foreign_writes: Vec<(u32, Word, bool)>,
+}
+
+enum Cmd {
+    Window(Box<WindowCmd>),
+    Stop,
+}
+
+/// What a shard reports back at a window barrier.
+#[derive(Default)]
+struct WindowResult {
+    sends: Vec<StagedSend>,
+    /// Final `(addr, word, full/empty)` snapshots of every word this
+    /// shard's processors wrote during the window. The coherence
+    /// protocol admits one writer per word per window (write permission
+    /// cannot transfer without a cross-node round trip, which exceeds
+    /// the lookahead), so snapshots from different shards never
+    /// collide and replay in any order.
+    writes: Vec<(u32, Word, bool)>,
+    /// Cumulative shard progress counters after each cycle of the
+    /// window: (instructions, directory events, controller events).
+    sigs: Vec<(u64, u64, u64)>,
+    fault: Option<ShardFault>,
+    halted_all: bool,
+    /// `nodes_pending_work` after driver events, for the quiescence
+    /// stop check.
+    pending: bool,
+    /// Earliest controller/directory retransmission deadline in the
+    /// shard after the window; feeds the next window-shrink decision.
+    next_deadline: u64,
+    pm: Option<PmFragment>,
+}
+
+/// A contiguous slice of the machine owned by one worker thread.
+struct Shard<'a> {
+    base: usize,
+    nodes: Vec<Node>,
+    /// Replica of global memory. Reads are coherent because read and
+    /// write permission for a word cannot coexist across shards within
+    /// one window; writes are reconciled through the write logs.
+    mem: FeMemory,
+    ready_at: Vec<u64>,
+    halted_at: Vec<Option<u64>>,
+    prog: &'a Program,
+    cfg: MachineConfig,
+    write_log: Vec<u32>,
+    scratch_out: Vec<(usize, CohMsg)>,
+    scratch_dir: Vec<(usize, CohMsg)>,
+    scratch_io: Vec<(usize, CohMsg)>,
+    scratch_evs: Vec<(usize, StepEvent)>,
+}
+
+/// Charging context handed to the driver for a single node's event; the
+/// shard owns both halves, so drivers run lock-free on worker threads.
+struct ShardCtx<'a> {
+    cpu: &'a mut Cpu,
+    ready_at: &'a mut u64,
+}
+
+impl EventCtx for ShardCtx<'_> {
+    fn cpu(&mut self) -> &mut Cpu {
+        self.cpu
+    }
+
+    fn charge_handler(&mut self, cycles: u64) {
+        self.cpu.charge_handler(cycles);
+        *self.ready_at += cycles;
+    }
+
+    fn charge_idle(&mut self, cycles: u64) {
+        self.cpu.charge_idle(cycles);
+        *self.ready_at += cycles;
+    }
+}
+
+impl Shard<'_> {
+    fn record_fault(res: &mut WindowResult, key: (u64, u8, u64, u8), fault: MachineFault) {
+        // Keys are generated in ascending order within a shard, so the
+        // first recorded fault is the shard's earliest.
+        if res.fault.is_none() {
+            res.fault = Some(ShardFault { key, fault });
+        }
+    }
+
+    fn run_window(&mut self, cmd: &WindowCmd, driver: &dyn NodeDriver) -> WindowResult {
+        let mut res = WindowResult::default();
+        let cfg = self.cfg;
+        for &(addr, w, full) in &cmd.foreign_writes {
+            self.mem.set_word_state(addr, w, full);
+        }
+        self.write_log.clear();
+        let mut next_delivery = 0usize;
+        for c in cmd.start..cmd.end {
+            // Phase order per cycle mirrors `Alewife::advance`: clocks,
+            // delivery dispatch, CPU steps, protocol ticks, watchdog
+            // bookkeeping, then (as the sequential driver loop does
+            // after `advance` returns) driver events.
+            for n in &mut self.nodes {
+                n.ctl.set_clock(c);
+                n.dir.set_clock(c);
+            }
+            while next_delivery < cmd.deliveries.len() && cmd.deliveries[next_delivery].0 == c {
+                let (_, gidx, dst, env) = cmd.deliveries[next_delivery];
+                next_delivery += 1;
+                let local = dst - self.base;
+                self.scratch_out.clear();
+                self.scratch_dir.clear();
+                match dispatch_to_node(
+                    dst,
+                    &mut self.nodes[local],
+                    env,
+                    &cfg,
+                    &mut self.scratch_out,
+                    &mut self.scratch_dir,
+                ) {
+                    Ok(()) => {
+                        let mut seq = 0u32;
+                        for &(to, msg) in &self.scratch_out {
+                            res.sends.push(StagedSend {
+                                key: (c, 0, gidx, seq),
+                                at: c,
+                                src: dst,
+                                dst: to,
+                                size: msg.size_flits(cfg.block_words()) as u64,
+                                env: Env { src: dst, msg },
+                            });
+                            seq += 1;
+                        }
+                        for &(to, msg) in &self.scratch_dir {
+                            res.sends.push(StagedSend {
+                                key: (c, 0, gidx, seq),
+                                at: c + cfg.mem_latency,
+                                src: dst,
+                                dst: to,
+                                size: msg.size_flits(cfg.block_words()) as u64,
+                                env: Env { src: dst, msg },
+                            });
+                            seq += 1;
+                        }
+                    }
+                    Err(fault) => {
+                        debug_assert_eq!(c, cmd.end - 1, "fault off the window's last cycle");
+                        Self::record_fault(&mut res, (c, 0, gidx, 0), fault);
+                    }
+                }
+            }
+            // Step processors in node order.
+            self.scratch_evs.clear();
+            for k in 0..self.nodes.len() {
+                if self.ready_at[k] > c || self.nodes[k].cpu.is_halted() {
+                    continue;
+                }
+                self.scratch_out.clear();
+                self.scratch_io.clear();
+                let node = &mut self.nodes[k];
+                let before = node.cpu.stats.total();
+                let ev = {
+                    let port = NodePort {
+                        node: self.base + k,
+                        ctl: &mut node.ctl,
+                        dir: &mut node.dir,
+                        io_regs: &mut node.io_regs,
+                        mem: &mut self.mem,
+                        cfg: &cfg,
+                        out: &mut self.scratch_out,
+                        io_sends: &mut self.scratch_io,
+                        write_log: Some(&mut self.write_log),
+                    };
+                    node.cpu.step(self.prog, port)
+                };
+                let cost = node.cpu.stats.total() - before;
+                self.ready_at[k] = c + cost;
+                if node.cpu.is_halted() && self.halted_at[k].is_none() {
+                    self.halted_at[k] = Some(c);
+                }
+                let gid = (self.base + k) as u64;
+                let mut seq = 0u32;
+                for &(to, msg) in &self.scratch_out {
+                    res.sends.push(StagedSend {
+                        key: (c, 1, gid, seq),
+                        at: c,
+                        src: self.base + k,
+                        dst: to,
+                        size: msg.size_flits(cfg.block_words()) as u64,
+                        env: Env {
+                            src: self.base + k,
+                            msg,
+                        },
+                    });
+                    seq += 1;
+                }
+                for &(to, msg) in &self.scratch_io {
+                    res.sends.push(StagedSend {
+                        key: (c, 1, gid, seq),
+                        at: c,
+                        src: self.base + k,
+                        dst: to,
+                        size: MIN_FLITS,
+                        env: Env {
+                            src: self.base + k,
+                            msg,
+                        },
+                    });
+                    seq += 1;
+                }
+                match ev {
+                    StepEvent::Executed | StepEvent::Stalled { .. } => {}
+                    other => self.scratch_evs.push((k, other)),
+                }
+            }
+            // Tick the protocol clocks in node order: controller, then
+            // directory, per node.
+            for k in 0..self.nodes.len() {
+                let gid = (self.base + k) as u64;
+                let mut seq = 0u32;
+                self.scratch_out.clear();
+                match self.nodes[k]
+                    .ctl
+                    .tick(c, |a| cfg.home_of(a), &mut self.scratch_out)
+                {
+                    Ok(()) => {
+                        for &(to, msg) in &self.scratch_out {
+                            res.sends.push(StagedSend {
+                                key: (c, 2, gid, seq),
+                                at: c,
+                                src: self.base + k,
+                                dst: to,
+                                size: msg.size_flits(cfg.block_words()) as u64,
+                                env: Env {
+                                    src: self.base + k,
+                                    msg,
+                                },
+                            });
+                            seq += 1;
+                        }
+                    }
+                    Err(e) => {
+                        debug_assert_eq!(c, cmd.end - 1, "fault off the window's last cycle");
+                        Self::record_fault(
+                            &mut res,
+                            (c, 2, gid, 0),
+                            MachineFault::Protocol {
+                                node: self.base + k,
+                                error: e,
+                            },
+                        );
+                    }
+                }
+                self.scratch_out.clear();
+                match self.nodes[k].dir.tick(c, &mut self.scratch_out) {
+                    Ok(()) => {
+                        for &(to, msg) in &self.scratch_out {
+                            res.sends.push(StagedSend {
+                                key: (c, 2, gid, seq),
+                                at: c + cfg.mem_latency,
+                                src: self.base + k,
+                                dst: to,
+                                size: msg.size_flits(cfg.block_words()) as u64,
+                                env: Env {
+                                    src: self.base + k,
+                                    msg,
+                                },
+                            });
+                            seq += 1;
+                        }
+                    }
+                    Err(e) => {
+                        debug_assert_eq!(c, cmd.end - 1, "fault off the window's last cycle");
+                        Self::record_fault(
+                            &mut res,
+                            (c, 2, gid, 1),
+                            MachineFault::Protocol {
+                                node: self.base + k,
+                                error: e,
+                            },
+                        );
+                    }
+                }
+            }
+            // Cumulative progress counters after this cycle; the
+            // coordinator adds the network's delivered count and
+            // replays the watchdog per cycle at the barrier.
+            let instrs: u64 = self.nodes.iter().map(|n| n.cpu.stats.instructions).sum();
+            let dir_events: u64 = self.nodes.iter().map(|n| n.dir.stats.total()).sum();
+            let ctl_events: u64 = self.nodes.iter().map(|n| n.ctl.stats.total()).sum();
+            res.sigs.push((instrs, dir_events, ctl_events));
+            if cmd.capture_pm && c == cmd.end - 1 {
+                let mut pm = PmFragment {
+                    pending_pre_driver: nodes_pending_work(&self.nodes),
+                    ..PmFragment::default()
+                };
+                node_post_mortem_fragments(
+                    self.base,
+                    &self.nodes,
+                    &mut pm.busy_blocks,
+                    &mut pm.outstanding,
+                    &mut pm.stalled_frames,
+                    &mut pm.fences,
+                );
+                res.pm = Some(pm);
+            }
+            // Driver events, exactly where the sequential loop services
+            // them: after the cycle's machine work, before the next.
+            for idx in 0..self.scratch_evs.len() {
+                let (k, ev) = self.scratch_evs[idx];
+                let mut ctx = ShardCtx {
+                    cpu: &mut self.nodes[k].cpu,
+                    ready_at: &mut self.ready_at[k],
+                };
+                driver.on_event(self.base + k, ev, &mut ctx);
+            }
+        }
+        // Collapse the write log into final word snapshots.
+        self.write_log.sort_unstable();
+        self.write_log.dedup();
+        res.writes = self
+            .write_log
+            .iter()
+            .map(|&addr| {
+                let (w, full) = self.mem.word_state(addr);
+                (addr, w, full)
+            })
+            .collect();
+        res.halted_all = self.nodes.iter().all(|n| n.cpu.is_halted());
+        res.pending = nodes_pending_work(&self.nodes);
+        res.next_deadline = self
+            .nodes
+            .iter()
+            .map(|n| n.ctl.next_deadline().min(n.dir.next_deadline()))
+            .min()
+            .unwrap_or(u64::MAX);
+        res
+    }
+}
+
+/// A mailbox between the coordinator and one worker. Windows are a few
+/// microseconds of work, so the receiver first spins (`spin` tries)
+/// hoping the producer lands the value without a syscall, then parks on
+/// the condvar. The spin budget is sized by the caller: generous when
+/// the host has a core per thread, near-zero when threads outnumber
+/// cores and spinning can only steal the producer's timeslice.
+struct Slot {
+    cmd: Mutex<Option<Cmd>>,
+    cmd_cv: Condvar,
+    res: Mutex<Option<WindowResult>>,
+    res_cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            cmd: Mutex::new(None),
+            cmd_cv: Condvar::new(),
+            res: Mutex::new(None),
+            res_cv: Condvar::new(),
+        }
+    }
+}
+
+/// Posts `v` into a mailbox and wakes its receiver.
+fn post<T>(m: &Mutex<Option<T>>, cv: &Condvar, v: T) {
+    let prev = m.lock().expect("mailbox poisoned").replace(v);
+    debug_assert!(prev.is_none(), "mailbox overwritten");
+    cv.notify_one();
+}
+
+/// Takes the next value from a mailbox: spin briefly, then block.
+fn take<T>(m: &Mutex<Option<T>>, cv: &Condvar, spin: u32) -> T {
+    for _ in 0..spin {
+        if let Ok(mut g) = m.try_lock() {
+            if let Some(v) = g.take() {
+                return v;
+            }
+        }
+        std::hint::spin_loop();
+    }
+    let mut g = m.lock().expect("mailbox poisoned");
+    loop {
+        if let Some(v) = g.take() {
+            return v;
+        }
+        g = cv.wait(g).expect("mailbox poisoned");
+    }
+}
+
+/// The parallel ALEWIFE machine: bit-exact with [`crate::Alewife`]
+/// under the same [`NodeDriver`], for any worker count.
+///
+/// Construction, boot, and inspection mirror the sequential machine;
+/// [`ParallelAlewife::run`] replaces the `advance()` loop — the driver
+/// is embedded rather than polled, because step events are serviced on
+/// worker threads inside the conservative windows.
+#[derive(Debug)]
+pub struct ParallelAlewife {
+    nodes: Vec<Node>,
+    mem: FeMemory,
+    net: Network<Env>,
+    prog: Program,
+    cfg: MachineConfig,
+    ready_at: Vec<u64>,
+    halted_at: Vec<Option<u64>>,
+    now: u64,
+    watchdog: Watchdog,
+    fault: Option<MachineFault>,
+}
+
+impl ParallelAlewife {
+    /// Builds the machine described by `cfg`, loading `prog`'s static
+    /// image into global memory.
+    pub fn new(cfg: MachineConfig, prog: Program) -> ParallelAlewife {
+        let n = cfg.num_nodes();
+        let mut mem = FeMemory::new(cfg.total_mem_bytes());
+        mem.load_image(&prog);
+        let nodes = (0..n)
+            .map(|i| Node {
+                cpu: Cpu::new(cfg.cpu),
+                ctl: CacheController::new(i, cfg.cache, cfg.ctl),
+                dir: Directory::with_config(cfg.dir),
+                io_regs: [0; 8],
+            })
+            .collect();
+        ParallelAlewife {
+            nodes,
+            mem,
+            net: Network::new(cfg.topology, cfg.net),
+            prog,
+            cfg,
+            ready_at: vec![0; n],
+            halted_at: vec![None; n],
+            now: 0,
+            watchdog: Watchdog::default(),
+            fault: None,
+        }
+    }
+
+    /// Installs a fault-injection plan on the network; runs stay
+    /// exactly reproducible from the plan's seed for every worker
+    /// count.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.net.set_fault_plan(Some(plan));
+    }
+
+    /// Counts of faults the network has injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.net.fault_stats
+    }
+
+    /// Network statistics so far.
+    pub fn net_stats(&self) -> april_net::network::NetStats {
+        self.net.stats
+    }
+
+    /// Sum of all processors' cycle ledgers.
+    pub fn total_stats(&self) -> CpuStats {
+        let mut s = CpuStats::default();
+        for n in &self.nodes {
+            s.merge(&n.cpu.stats);
+        }
+        s
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulated time in cycles (the last executed cycle).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Node `i` (processor, controller, directory).
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    /// Processor `i`.
+    pub fn cpu(&self, i: usize) -> &Cpu {
+        &self.nodes[i].cpu
+    }
+
+    /// Mutable processor `i` (for booting and pre-run setup).
+    pub fn cpu_mut(&mut self, i: usize) -> &mut Cpu {
+        &mut self.nodes[i].cpu
+    }
+
+    /// Global memory (canonical image; replicas are reconciled into it
+    /// at every window barrier, so between runs this is exact).
+    pub fn mem(&self) -> &FeMemory {
+        &self.mem
+    }
+
+    /// Mutable global memory, for pre-run setup.
+    pub fn mem_mut(&mut self) -> &mut FeMemory {
+        &mut self.mem
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Boots node 0 at the program entry.
+    pub fn boot(&mut self) {
+        let entry = self.prog.entry;
+        self.nodes[0].cpu.boot(entry);
+    }
+
+    /// The fatal fault that ended the run, if any.
+    pub fn fault(&self) -> Option<&MachineFault> {
+        self.fault.as_ref()
+    }
+
+    /// Per-node halt cycles (see [`crate::Alewife::halted_cycles`]).
+    pub fn halted_cycles(&self) -> &[Option<u64>] {
+        &self.halted_at
+    }
+
+    /// The window width the scheduler will use: the network lookahead,
+    /// optionally narrowed (never widened) by
+    /// [`MachineConfig::window_override`].
+    pub fn window_width(&self) -> u64 {
+        let la = self.net.lookahead(MIN_FLITS);
+        if self.cfg.window_override == 0 {
+            la
+        } else {
+            self.cfg.window_override.min(la)
+        }
+    }
+
+    /// Runs the machine under `driver` until it faults or goes fully
+    /// quiescent (every CPU halted, no protocol work pending, network
+    /// idle), returning the fault if one ended the run. Identical to
+    /// [`crate::driver::drive_sequential`] over the sequential machine
+    /// — same final state, bit for bit — for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if simulated time reaches `max` (a hang), or if the
+    /// configuration admits no conservative window (zero lookahead).
+    pub fn run<D: NodeDriver>(&mut self, driver: &D, max: u64) -> Option<MachineFault> {
+        let n = self.nodes.len();
+        let width_max = self.window_width();
+        assert!(
+            width_max >= 1,
+            "network config admits no conservative window (lookahead 0)"
+        );
+        let workers = self.cfg.workers.clamp(1, n);
+        let chunk = n.div_ceil(workers);
+        let nshards = n.div_ceil(chunk);
+
+        // Carve the machine into contiguous shards.
+        let mut shards: Vec<Shard> = Vec::with_capacity(nshards);
+        {
+            let mut nodes = std::mem::take(&mut self.nodes);
+            let mut ready_at = std::mem::take(&mut self.ready_at);
+            let mut halted_at = std::mem::take(&mut self.halted_at);
+            let prog = &self.prog;
+            for s in (0..nshards).rev() {
+                let lo = s * chunk;
+                shards.push(Shard {
+                    base: lo,
+                    nodes: nodes.split_off(lo),
+                    mem: self.mem.clone(),
+                    ready_at: ready_at.split_off(lo),
+                    halted_at: halted_at.split_off(lo),
+                    prog,
+                    cfg: self.cfg,
+                    write_log: Vec::new(),
+                    scratch_out: Vec::new(),
+                    scratch_dir: Vec::new(),
+                    scratch_io: Vec::new(),
+                    scratch_evs: Vec::new(),
+                });
+            }
+            shards.reverse();
+        }
+
+        let mut min_deadline = u64::MAX;
+        for sh in &shards {
+            min_deadline = min_deadline.min(
+                sh.nodes
+                    .iter()
+                    .map(|nd| nd.ctl.next_deadline().min(nd.dir.next_deadline()))
+                    .min()
+                    .unwrap_or(u64::MAX),
+            );
+        }
+
+        let slots: Vec<Slot> = (0..nshards).map(|_| Slot::new()).collect();
+        // Spin only when the host has a core for every thread
+        // (coordinator included); otherwise spinning can only steal the
+        // producing thread's timeslice, so park almost immediately.
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let spin: u32 = if cores > nshards { 1 << 14 } else { 8 };
+        let mut timed_out = false;
+
+        // The per-window coordinator, shared by the inline and threaded
+        // paths: plans each window, hands one command per shard to
+        // `submit`, and merges the results it returns (in shard order).
+        let net = &mut self.net;
+        let mem = &mut self.mem;
+        let watchdog = &mut self.watchdog;
+        let fault = &mut self.fault;
+        let now = &mut self.now;
+        let cfg = self.cfg;
+        let mut coordinate = |submit: &mut dyn FnMut(Vec<WindowCmd>) -> Vec<WindowResult>| {
+            let mut quiesced = false;
+            let mut deliveries: Vec<(u64, usize, Env)> = Vec::new();
+            let mut shard_deliveries: Vec<Vec<(u64, u64, usize, Env)>> =
+                (0..nshards).map(|_| Vec::new()).collect();
+            let mut foreign: Vec<(u32, Word, bool)> = Vec::new();
+            let mut staged: Vec<StagedSend> = Vec::new();
+
+            loop {
+                if fault.is_some() || quiesced {
+                    break;
+                }
+                if *now >= max {
+                    timed_out = true;
+                    break;
+                }
+                let start = *now + 1;
+
+                // Window-shrink rule: any event that could raise a
+                // fault (a delivery faulting a protocol engine, an
+                // overdue retransmission exhausting its retries, the
+                // watchdog firing) must land on the window's *last*
+                // cycle, so every shard completes the faulting cycle
+                // exactly as the sequential machine does. Deadlines
+                // and deliveries that arise mid-window always mature
+                // at least one cycle later, which with a width-2
+                // window is the last cycle; only those already due at
+                // `start` force a width-1 window.
+                let due_now = net.earliest_delivery(start) == Some(start);
+                let wd_deadline = if cfg.watchdog.enabled {
+                    watchdog.deadline(cfg.watchdog.horizon)
+                } else {
+                    u64::MAX
+                };
+                let width = if width_max > 1
+                    && (due_now || min_deadline <= start || wd_deadline <= start)
+                {
+                    1
+                } else {
+                    width_max
+                };
+                let end = start + width;
+                let capture_pm = cfg.watchdog.enabled && wd_deadline < end;
+
+                let base_delivered = net.stats.delivered;
+                deliveries.clear();
+                net.window_deliveries(start, end, &mut deliveries);
+                for v in &mut shard_deliveries {
+                    v.clear();
+                }
+                for (gidx, &(t, dst, env)) in deliveries.iter().enumerate() {
+                    shard_deliveries[dst / chunk].push((t, gidx as u64, dst, env));
+                }
+
+                let cmds = (0..nshards)
+                    .map(|s| WindowCmd {
+                        start,
+                        end,
+                        capture_pm,
+                        deliveries: std::mem::take(&mut shard_deliveries[s]),
+                        foreign_writes: foreign.clone(),
+                    })
+                    .collect();
+                let mut results = submit(cmds);
+
+                // Merge staged sends in the deterministic order and
+                // inject; packet ids now match the sequential run's.
+                staged.clear();
+                for r in &results {
+                    staged.extend_from_slice(&r.sends);
+                }
+                staged.sort_unstable_by_key(|s| s.key);
+                for s in &staged {
+                    net.send(s.at, s.src, s.dst, s.size, s.env);
+                }
+
+                // Reconcile memory: apply every shard's write snapshots
+                // to the canonical image and broadcast them to all
+                // replicas next window.
+                foreign.clear();
+                #[cfg(debug_assertions)]
+                {
+                    let mut seen = std::collections::HashSet::new();
+                    for r in &results {
+                        for &(addr, ..) in &r.writes {
+                            assert!(
+                                seen.insert(addr),
+                                "two shards wrote {addr:#x} in one window"
+                            );
+                        }
+                    }
+                }
+                for r in &results {
+                    for &(addr, w, full) in &r.writes {
+                        mem.set_word_state(addr, w, full);
+                    }
+                    foreign.extend_from_slice(&r.writes);
+                }
+
+                // Catch the network's internal clock up to the last
+                // executed cycle (resolving drops and outage stalls due
+                // by then), as the sequential per-cycle poll would
+                // have; injection order above guarantees identical
+                // event ordering.
+                net.route_to(end - 1);
+
+                // The globally first fault wins, exactly as the
+                // sequential machine records the first `set_fault`.
+                let mut first: Option<&ShardFault> = None;
+                for r in &results {
+                    if let Some(f) = &r.fault {
+                        if first.is_none_or(|b| f.key < b.key) {
+                            first = Some(f);
+                        }
+                    }
+                }
+                if let Some(f) = first {
+                    *fault = Some(f.fault.clone());
+                } else if cfg.watchdog.enabled {
+                    // Replay the watchdog cycle by cycle against the
+                    // merged progress signature.
+                    for (ci, c) in (start..end).enumerate() {
+                        let mut instrs = 0;
+                        let mut dir_events = 0;
+                        let mut ctl_events = 0;
+                        for r in &results {
+                            let (i, d, l) = r.sigs[ci];
+                            instrs += i;
+                            dir_events += d;
+                            ctl_events += l;
+                        }
+                        let delivered = base_delivered
+                            + deliveries.iter().take_while(|&&(t, ..)| t <= c).count() as u64;
+                        let sig = (instrs, delivered, dir_events, ctl_events);
+                        if watchdog.observe(c, sig, cfg.watchdog.horizon) {
+                            let net_pending = net.in_flight_count() > 0;
+                            let shard_pending = results
+                                .iter()
+                                .any(|r| r.pm.as_ref().is_some_and(|p| p.pending_pre_driver));
+                            if net_pending || shard_pending {
+                                debug_assert_eq!(c, end - 1, "watchdog fired mid-window");
+                                let mut in_flight: Vec<InFlightMsg> = net
+                                    .in_flight_packets()
+                                    .map(|(id, dst, sent_at, _, env)| InFlightMsg {
+                                        id,
+                                        src: env.src,
+                                        dst,
+                                        sent_at,
+                                        msg: env.msg,
+                                    })
+                                    .collect();
+                                in_flight.sort_by_key(|m| m.id);
+                                let mut pm = PostMortem {
+                                    cycle: c,
+                                    horizon: cfg.watchdog.horizon,
+                                    in_flight,
+                                    fault_stats: net.fault_stats,
+                                    ..PostMortem::default()
+                                };
+                                for r in &mut results {
+                                    if let Some(frag) = r.pm.take() {
+                                        pm.busy_blocks.extend(frag.busy_blocks);
+                                        pm.outstanding.extend(frag.outstanding);
+                                        pm.stalled_frames.extend(frag.stalled_frames);
+                                        pm.fences.extend(frag.fences);
+                                    }
+                                }
+                                *fault = Some(MachineFault::NoForwardProgress(Box::new(pm)));
+                                break;
+                            }
+                        }
+                    }
+                }
+
+                min_deadline = results
+                    .iter()
+                    .map(|r| r.next_deadline)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                quiesced = results.iter().all(|r| r.halted_all && !r.pending) && net.is_idle();
+                *now = end - 1;
+            }
+        };
+
+        let mut shards = if nshards == 1 {
+            // Single shard: run the windows inline on this thread. No
+            // spawn, no hand-offs — this is also the 1-worker baseline
+            // the scaling benchmark measures against, so it must not
+            // pay for parallelism it does not use.
+            let mut sh = shards.pop().expect("one shard");
+            coordinate(&mut |mut cmds| {
+                let cmd = cmds.pop().expect("one command");
+                vec![sh.run_window(&cmd, driver)]
+            });
+            vec![sh]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .zip(&slots)
+                    .map(|(mut sh, slot)| {
+                        scope.spawn(move || loop {
+                            match take(&slot.cmd, &slot.cmd_cv, spin) {
+                                Cmd::Stop => return sh,
+                                Cmd::Window(w) => {
+                                    let res = sh.run_window(&w, driver);
+                                    post(&slot.res, &slot.res_cv, res);
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+
+                coordinate(&mut |cmds: Vec<WindowCmd>| {
+                    for (slot, cmd) in slots.iter().zip(cmds) {
+                        post(&slot.cmd, &slot.cmd_cv, Cmd::Window(Box::new(cmd)));
+                    }
+                    slots
+                        .iter()
+                        .map(|slot| take(&slot.res, &slot.res_cv, spin))
+                        .collect()
+                });
+
+                // Wind the workers down and recover their shards.
+                for slot in &slots {
+                    post(&slot.cmd, &slot.cmd_cv, Cmd::Stop);
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Scatter the shard state back into the machine.
+        shards.sort_by_key(|sh| sh.base);
+        for sh in shards {
+            self.nodes.extend(sh.nodes);
+            self.ready_at.extend(sh.ready_at);
+            self.halted_at.extend(sh.halted_at);
+        }
+
+        assert!(!timed_out, "timeout at cycle {}", self.now);
+        self.fault.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::SwitchSpin;
+    use april_core::isa::asm::assemble;
+    use april_net::topology::Topology;
+
+    fn small_cfg(workers: usize) -> MachineConfig {
+        MachineConfig {
+            topology: Topology::new(2, 2),
+            region_bytes: 0x10000,
+            workers,
+            net: april_net::network::NetConfig {
+                hop_latency: 1,
+                loopback_latency: 2,
+            },
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn remote_access_completes_in_parallel_mode() {
+        let prog = assemble(
+            "
+            movi 0x10000, r1
+            movi 77, r2
+            st r2, r1+0
+            ld r1+0, r3
+            halt
+        ",
+        )
+        .unwrap();
+        for workers in [1, 2, 4] {
+            let mut m = ParallelAlewife::new(small_cfg(workers), prog.clone());
+            // Boot every node: the run drains to quiescence, which
+            // requires all processors to reach `halt`.
+            for i in 0..m.num_procs() {
+                m.cpu_mut(i).boot(0);
+            }
+            assert_eq!(m.run(&SwitchSpin::default(), 100_000), None);
+            assert_eq!(m.mem().read(0x10000), Word(77));
+            assert!(m.cpu(0).is_halted());
+            assert!(m.halted_cycles()[0].is_some());
+        }
+    }
+
+    #[test]
+    fn window_override_narrows_but_never_widens() {
+        let mut cfg = small_cfg(2);
+        let m = ParallelAlewife::new(cfg, assemble("halt").unwrap());
+        assert_eq!(m.window_width(), 2);
+        cfg.window_override = 1;
+        let m = ParallelAlewife::new(cfg, assemble("halt").unwrap());
+        assert_eq!(m.window_width(), 1);
+        cfg.window_override = 100;
+        let m = ParallelAlewife::new(cfg, assemble("halt").unwrap());
+        assert_eq!(m.window_width(), 2, "override must not exceed lookahead");
+    }
+
+    #[test]
+    #[should_panic(expected = "no conservative window")]
+    fn zero_lookahead_is_rejected() {
+        let cfg = MachineConfig {
+            net: april_net::network::NetConfig {
+                hop_latency: 1,
+                loopback_latency: 0,
+            },
+            ..small_cfg(2)
+        };
+        let mut m = ParallelAlewife::new(cfg, assemble("halt").unwrap());
+        m.boot();
+        m.run(&SwitchSpin::default(), 1_000);
+    }
+}

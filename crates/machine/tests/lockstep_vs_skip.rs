@@ -1,63 +1,33 @@
-//! Lockstep-vs-skip equivalence: the event-driven `advance()` must be
-//! *cycle-exact* with the strict cycle-by-cycle reference path. Every
-//! workload here runs twice — once with `MachineConfig::lockstep` set,
-//! once with the default event-driven skip — under an identical driver,
-//! and the two machines must end in bit-identical states: the same
-//! final memory image, the same per-node `CpuStats`/`CtlStats`/
-//! `DirStats`, the same network and fault-injection counters, the same
-//! halt (or fault) cycle, and, for the watchdog workloads, the same
-//! structured fault — post-mortem included.
+//! Three-way scheduler equivalence: the event-driven `advance()` and
+//! the conservative-window parallel machine must both be *bit-exact*
+//! with the strict cycle-by-cycle reference path. Every workload here
+//! runs under the identical [`SwitchSpin`] driver on all three
+//! schedulers (the parallel one at several worker counts), and the
+//! machines must end in bit-identical states: the same final memory
+//! image (data words *and* full/empty bits), the same per-node
+//! `CpuStats`/`CtlStats`/`DirStats`, the same per-node halt cycles, the
+//! same network and fault-injection counters, and the same structured
+//! fault — post-mortem included — for the watchdog workloads.
+//!
+//! Runs drain to full quiescence (every CPU halted, no protocol work
+//! pending, network idle), so "final state" is well-defined even though
+//! the schedulers' clocks stop at different cycles: past quiescence a
+//! machine can only tick time forward, never change state.
 
-use april_core::cpu::StepEvent;
-use april_core::frame::FrameState;
 use april_core::isa::asm::assemble;
 use april_core::program::Program;
-use april_core::trap::Trap;
 use april_machine::alewife::Alewife;
 use april_machine::config::MachineConfig;
+use april_machine::driver::{drive_sequential, SwitchSpin};
+use april_machine::parallel::ParallelAlewife;
 use april_machine::watchdog::{MachineFault, WatchdogConfig};
 use april_machine::Machine;
 use april_mem::{ProtocolError, RetryConfig};
 use april_net::fault::{FaultPlan, FaultRule};
 use april_net::topology::{Channel, Topology};
 
-/// The switch-spin driver shared by the stress and soak suites: on a
-/// remote miss, park the frame and charge the trap handler; with no
-/// ready frame, rotate to one or idle one cycle.
-fn drive(m: &mut Alewife, max: u64) {
-    loop {
-        assert!(m.now() < max, "timeout at cycle {}", m.now());
-        if m.fault().is_some() {
-            return;
-        }
-        if (0..m.num_procs()).all(|i| m.cpu(i).is_halted()) {
-            return;
-        }
-        for (i, ev) in m.advance() {
-            match ev {
-                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
-                    let fp = m.cpu(i).fp();
-                    let fr = m.cpu_mut(i).frame_mut(fp);
-                    fr.state = FrameState::WaitingRemote;
-                    fr.psr.in_trap = false;
-                    m.charge_handler(i, 6);
-                }
-                StepEvent::Trapped(t) => panic!("node {i}: {t}"),
-                StepEvent::NoReadyFrame => {
-                    let cpu = m.cpu_mut(i);
-                    match cpu.next_ready_frame() {
-                        Some(f) => cpu.set_fp(f),
-                        None => m.charge_idle(i, 1),
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
-/// Builds, boots (all nodes), and drives one machine.
-fn run_one(
+/// Builds, boots (all nodes), and drives one sequential machine.
+fn run_seq(
     mut cfg: MachineConfig,
     prog: Program,
     plan: Option<FaultPlan>,
@@ -72,14 +42,94 @@ fn run_one(
     for i in 0..m.num_procs() {
         m.cpu_mut(i).boot(0);
     }
-    drive(&mut m, max);
+    drive_sequential(&mut m, &SwitchSpin::default(), max);
     m
 }
 
-/// Runs `prog` under both paths and asserts bit-exact equivalence.
+/// Builds, boots (all nodes), and runs one parallel machine.
+fn run_par(
+    mut cfg: MachineConfig,
+    prog: Program,
+    plan: Option<FaultPlan>,
+    workers: usize,
+    max: u64,
+) -> ParallelAlewife {
+    cfg.workers = workers;
+    let mut m = ParallelAlewife::new(cfg, prog);
+    if let Some(plan) = plan {
+        m.set_fault_plan(plan);
+    }
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    m.run(&SwitchSpin::default(), max);
+    m
+}
+
+/// Asserts the full-memory images (words and full/empty bits) match.
+fn assert_same_memory(a: &april_mem::femem::FeMemory, b: &april_mem::femem::FeMemory, who: &str) {
+    assert_eq!(a.len_bytes(), b.len_bytes());
+    for addr in (0..a.len_bytes() as u32).step_by(4) {
+        assert_eq!(
+            a.word_state(addr),
+            b.word_state(addr),
+            "{who}: memory diverged at {addr:#x}"
+        );
+    }
+}
+
+/// Asserts a parallel run ended bit-identical to the lockstep
+/// reference.
+fn assert_par_matches(reference: &Alewife, par: &ParallelAlewife, workers: usize) {
+    let who = format!("parallel x{workers}");
+    assert_eq!(
+        reference.fault(),
+        par.fault(),
+        "{who}: fault outcome diverged"
+    );
+    for i in 0..reference.nodes.len() {
+        assert_eq!(
+            reference.nodes[i].cpu.stats,
+            par.node(i).cpu.stats,
+            "{who}: node {i} CpuStats diverged"
+        );
+        assert_eq!(
+            reference.nodes[i].ctl.stats,
+            par.node(i).ctl.stats,
+            "{who}: node {i} CtlStats diverged"
+        );
+        assert_eq!(
+            reference.nodes[i].dir.stats,
+            par.node(i).dir.stats,
+            "{who}: node {i} DirStats diverged"
+        );
+    }
+    assert_eq!(
+        reference.halted_cycles(),
+        par.halted_cycles(),
+        "{who}: halt cycles diverged"
+    );
+    assert_eq!(
+        reference.net_stats(),
+        par.net_stats(),
+        "{who}: network stats diverged"
+    );
+    assert_eq!(
+        reference.fault_stats(),
+        par.fault_stats(),
+        "{who}: fault-injection stats diverged"
+    );
+    assert_same_memory(reference.mem(), par.mem(), &who);
+}
+
+/// Runs `prog` under all three schedulers and asserts bit-exact
+/// equivalence: lockstep vs event-skip (cycle-for-cycle, including the
+/// stop cycle), and lockstep vs parallel at 2 and 3 workers (full final
+/// state; the parallel clock may coast a partial window past the
+/// sequential stop cycle, so `now` itself is not compared).
 fn assert_equivalent(cfg: MachineConfig, prog: Program, plan: Option<FaultPlan>, max: u64) {
-    let reference = run_one(cfg, prog.clone(), plan.clone(), true, max);
-    let skipping = run_one(cfg, prog, plan, false, max);
+    let reference = run_seq(cfg, prog.clone(), plan.clone(), true, max);
+    let skipping = run_seq(cfg, prog.clone(), plan.clone(), false, max);
 
     assert_eq!(
         reference.now(),
@@ -108,6 +158,11 @@ fn assert_equivalent(cfg: MachineConfig, prog: Program, plan: Option<FaultPlan>,
         );
     }
     assert_eq!(
+        reference.halted_cycles(),
+        skipping.halted_cycles(),
+        "halt cycles diverged"
+    );
+    assert_eq!(
         reference.net_stats(),
         skipping.net_stats(),
         "network stats diverged"
@@ -117,12 +172,11 @@ fn assert_equivalent(cfg: MachineConfig, prog: Program, plan: Option<FaultPlan>,
         skipping.fault_stats(),
         "fault-injection stats diverged"
     );
-    for addr in (0..0x1000u32).step_by(4) {
-        assert_eq!(
-            reference.mem().read(addr),
-            skipping.mem().read(addr),
-            "memory diverged at {addr:#x}"
-        );
+    assert_same_memory(reference.mem(), skipping.mem(), "skip");
+
+    for workers in [2, 3] {
+        let par = run_par(cfg, prog.clone(), plan.clone(), workers, max);
+        assert_par_matches(&reference, &par, workers);
     }
 }
 
@@ -157,15 +211,37 @@ fn stress_cfg() -> MachineConfig {
     }
 }
 
+/// Like `stress_cfg`, but with a 2-cycle loopback so the parallel
+/// scheduler earns full-width (2-cycle) windows; the default 1-cycle
+/// loopback caps the lookahead — and thus the window — at 1.
+fn wide_window_cfg() -> MachineConfig {
+    MachineConfig {
+        net: april_net::network::NetConfig {
+            hop_latency: 1,
+            loopback_latency: 2,
+        },
+        ..stress_cfg()
+    }
+}
+
 #[test]
 fn coherence_stress_is_cycle_exact() {
     assert_equivalent(stress_cfg(), stress_program(), None, 3_000_000);
 }
 
 #[test]
+fn coherence_stress_is_cycle_exact_with_wide_windows() {
+    // Same stress under a 2-cycle conservative window: the parallel
+    // barrier merge now batches two cycles of staged sends at a time.
+    assert_equivalent(wide_window_cfg(), stress_program(), None, 3_000_000);
+}
+
+#[test]
 fn coherence_stress_is_cycle_exact_on_a_larger_mesh() {
     // More nodes, longer remote-miss stalls: the regime where the
-    // event-driven skip actually earns its keep.
+    // event-driven skip actually earns its keep, and where the
+    // parallel shards (64 nodes over 2 and 3 workers) carry uneven
+    // node counts.
     let cfg = MachineConfig {
         topology: Topology::new(2, 8),
         region_bytes: 1 << 20,
@@ -177,8 +253,11 @@ fn coherence_stress_is_cycle_exact_on_a_larger_mesh() {
 #[test]
 fn fault_soak_is_cycle_exact() {
     // Drops force controller retransmissions, dups exercise the dedup
-    // paths, delays reorder packets: the event-driven path must track
-    // every retransmit deadline and fault verdict cycle for cycle.
+    // paths, delays reorder packets: every scheduler must track every
+    // retransmit deadline and fault verdict cycle for cycle. The
+    // parallel machine additionally proves that the deterministic
+    // merge order reproduces the sequential packet ids — the fault
+    // RNG draws hang off them.
     for seed in [0x50a1_u64, 2, 3] {
         let plan = FaultPlan::new(seed).with_default_rule(FaultRule {
             drop: 0.02,
@@ -188,6 +267,17 @@ fn fault_soak_is_cycle_exact() {
         });
         assert_equivalent(stress_cfg(), stress_program(), Some(plan), 30_000_000);
     }
+}
+
+#[test]
+fn fault_soak_is_cycle_exact_with_wide_windows() {
+    let plan = FaultPlan::new(0x50a1).with_default_rule(FaultRule {
+        drop: 0.02,
+        dup: 0.02,
+        delay: 0.04,
+        max_delay: 40,
+    });
+    assert_equivalent(wide_window_cfg(), stress_program(), Some(plan), 30_000_000);
 }
 
 /// A 2-node machine where every packet leaving node 0 is dropped (as in
@@ -238,29 +328,38 @@ fn dead_link(retry: RetryConfig, watchdog: WatchdogConfig) -> (MachineConfig, Pr
 #[test]
 fn watchdog_fires_at_the_identical_cycle() {
     // With no retries, the only future event on the dead link is the
-    // watchdog itself: its deadline must participate in `next_event()`
-    // or the skip would sail past the firing cycle. The equivalence
-    // check covers the fault (including the post-mortem's cycle).
+    // watchdog itself. The equivalence check covers the structured
+    // fault, including the post-mortem's cycle, in-flight list, and
+    // per-node fragments — the parallel machine assembles its
+    // post-mortem from shard fragments and must produce the identical
+    // report.
     let wd = WatchdogConfig {
         enabled: true,
         horizon: 3_000,
     };
     let (cfg, prog, plan) = dead_link(RetryConfig::disabled(), wd);
     assert_equivalent(cfg, prog.clone(), Some(plan.clone()), 200_000);
-    // And the fault really is the watchdog, on both paths.
-    let m = run_one(cfg, prog, Some(plan), false, 200_000);
+    // And the fault really is the watchdog, on all schedulers.
+    let m = run_seq(cfg, prog.clone(), Some(plan.clone()), false, 200_000);
     assert!(
         matches!(m.fault(), Some(MachineFault::NoForwardProgress(_))),
         "expected a watchdog fault, got {:?}",
         m.fault()
+    );
+    let p = run_par(cfg, prog, Some(plan), 2, 200_000);
+    assert!(
+        matches!(p.fault(), Some(MachineFault::NoForwardProgress(_))),
+        "expected a watchdog fault in parallel mode, got {:?}",
+        p.fault()
     );
 }
 
 #[test]
 fn retries_exhaust_at_the_identical_cycle() {
     // With retries enabled, the controller's retransmit deadlines are
-    // the machine's only heartbeat: the skip must stop at each backoff
-    // expiry so the RetriesExhausted fault lands on the same cycle.
+    // the machine's only heartbeat: every scheduler must stop at each
+    // backoff expiry so the RetriesExhausted fault lands on the same
+    // cycle — the parallel machine shrinks its window to end on it.
     let retry = RetryConfig {
         enabled: true,
         timeout: 50,
@@ -273,7 +372,7 @@ fn retries_exhaust_at_the_identical_cycle() {
     };
     let (cfg, prog, plan) = dead_link(retry, wd);
     assert_equivalent(cfg, prog.clone(), Some(plan.clone()), 500_000);
-    let m = run_one(cfg, prog, Some(plan), false, 500_000);
+    let m = run_seq(cfg, prog, Some(plan), false, 500_000);
     assert!(
         matches!(
             m.fault(),
@@ -293,7 +392,7 @@ fn retries_exhaust_at_the_identical_cycle() {
 
 #[test]
 fn quiescent_machine_skips_without_diverging() {
-    // A machine that halts immediately: both paths must sit still,
+    // A machine that halts immediately: all schedulers must sit still,
     // never fire the watchdog, and agree on every counter.
     let cfg = MachineConfig {
         topology: Topology::new(1, 2),
@@ -312,7 +411,7 @@ fn quiescent_machine_skips_without_diverging() {
         },
         prog.clone(),
     );
-    let mut skipping = Alewife::new(cfg, prog);
+    let mut skipping = Alewife::new(cfg, prog.clone());
     lockstep.boot();
     skipping.boot();
     for _ in 0..5_000 {
@@ -323,4 +422,66 @@ fn quiescent_machine_skips_without_diverging() {
     assert_eq!(skipping.fault(), None);
     assert_eq!(lockstep.nodes[0].cpu.stats, skipping.nodes[0].cpu.stats);
     assert_eq!(lockstep.nodes[1].cpu.stats, skipping.nodes[1].cpu.stats);
+    // The parallel run drains to quiescence: with both nodes booted
+    // into an immediate halt, it stops on its own and agrees.
+    let par = run_par(cfg, prog, None, 2, 10_000);
+    assert_eq!(par.fault(), None);
+    assert!(par.cpu(0).is_halted() && par.cpu(1).is_halted());
+}
+
+#[test]
+fn worker_count_does_not_change_the_run() {
+    // Satellite determinism check: the same seed at 1, 2, 4, and 5
+    // workers (5 does not divide the 64 nodes — uneven shards) must
+    // produce identical cycle counts, CpuStats, fault stats, and the
+    // identical full/empty memory image.
+    let cfg = MachineConfig {
+        topology: Topology::new(2, 8),
+        region_bytes: 1 << 16,
+        net: april_net::network::NetConfig {
+            hop_latency: 1,
+            loopback_latency: 2,
+        },
+        ..MachineConfig::default()
+    };
+    let plan = FaultPlan::new(0xc0de).with_default_rule(FaultRule {
+        drop: 0.01,
+        dup: 0.01,
+        delay: 0.02,
+        max_delay: 24,
+    });
+    let base = run_par(cfg, stress_program(), Some(plan.clone()), 1, 30_000_000);
+    for workers in [2, 4, 5] {
+        let other = run_par(
+            cfg,
+            stress_program(),
+            Some(plan.clone()),
+            workers,
+            30_000_000,
+        );
+        assert_eq!(base.fault(), other.fault(), "x{workers}: fault diverged");
+        assert_eq!(
+            base.halted_cycles(),
+            other.halted_cycles(),
+            "x{workers}: halt cycles diverged"
+        );
+        for i in 0..base.num_procs() {
+            assert_eq!(
+                base.node(i).cpu.stats,
+                other.node(i).cpu.stats,
+                "x{workers}: node {i} CpuStats diverged"
+            );
+        }
+        assert_eq!(
+            base.fault_stats(),
+            other.fault_stats(),
+            "x{workers}: fault stats diverged"
+        );
+        assert_eq!(
+            base.net_stats(),
+            other.net_stats(),
+            "x{workers}: net stats diverged"
+        );
+        assert_same_memory(base.mem(), other.mem(), &format!("x{workers}"));
+    }
 }

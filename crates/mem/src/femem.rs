@@ -84,6 +84,24 @@ impl FeMemory {
         self.fe[i] = full;
     }
 
+    /// The word and full/empty bit at `addr` as one snapshot; the unit
+    /// of the write logs that keep parallel shard replicas coherent.
+    pub fn word_state(&self, addr: u32) -> (Word, bool) {
+        let i = self.index(addr);
+        (self.words[i], self.fe[i])
+    }
+
+    /// Overwrites both the word and the full/empty bit at `addr`.
+    /// Replay primitive for cross-shard write logs: the coherence
+    /// protocol guarantees one writer per word per window, so applying
+    /// logged `(addr, word, fe)` snapshots in any order between windows
+    /// reproduces the sequential memory image.
+    pub fn set_word_state(&mut self, addr: u32, w: Word, full: bool) {
+        let i = self.index(addr);
+        self.words[i] = w;
+        self.fe[i] = full;
+    }
+
     /// Loads a program's static data image.
     pub fn load_image(&mut self, prog: &Program) {
         for (k, &(w, full)) in prog.static_data.iter().enumerate() {

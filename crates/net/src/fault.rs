@@ -132,6 +132,10 @@ pub struct FaultPlan {
     outages: HashMap<Channel, Vec<Outage>>,
 }
 
+// The parallel machine's coordinator owns the network (and thus the
+// plan) while worker threads run; the plan must stay `Send`.
+const _: () = april_util::assert_send::<FaultPlan>();
+
 impl FaultPlan {
     /// A plan with the given seed and no faults configured.
     pub fn new(seed: u64) -> FaultPlan {

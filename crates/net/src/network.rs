@@ -234,6 +234,12 @@ impl<P> Network<P> {
     /// Advances the simulation to `now` and returns packets delivered
     /// by then, in deterministic order.
     ///
+    /// Test-only convenience wrapper around [`Network::poll_into`]: it
+    /// allocates a fresh `Vec` per call, which is exactly the per-cycle
+    /// allocation the hot paths avoid. Production cycle loops (the
+    /// machines, the experiment binaries) reuse a scratch buffer via
+    /// `poll_into` instead.
+    ///
     /// Requires `P: Clone` so a fault plan can fork duplicate packets;
     /// without a plan no clone ever happens.
     pub fn poll(&mut self, now: u64) -> Vec<(usize, P)>
@@ -251,21 +257,115 @@ impl<P> Network<P> {
     where
         P: Clone,
     {
+        self.route_until(now);
+        while let Some(&(t, _, _)) = self.ready.front() {
+            if t > now {
+                break;
+            }
+            let (t, dst, id) = self.ready.pop_front().expect("checked nonempty");
+            let flight = self.flights.remove(&id).expect("flight exists");
+            self.count_delivery(t, &flight);
+            out.push((dst, flight.payload));
+        }
+    }
+
+    /// Processes queued routing events up to and including `bound`.
+    fn route_until(&mut self, bound: u64)
+    where
+        P: Clone,
+    {
         while let Some(&Reverse(ev)) = self.events.peek() {
-            if ev.time > now {
+            if ev.time > bound {
                 break;
             }
             self.events.pop();
             self.advance(ev);
         }
+    }
+
+    /// Delivery statistics are charged when a packet is handed over
+    /// (popped), not when its header first reaches the destination:
+    /// hand-over order is deterministic in machine time, while header
+    /// routing may run early under [`Network::earliest_delivery`], and
+    /// the machine's forward-progress signature reads these counters.
+    fn count_delivery(&mut self, tail: u64, flight: &Flight<P>) {
+        self.stats.delivered += 1;
+        self.stats.total_latency += tail - flight.sent_at;
+        self.stats.total_hops += flight.hops;
+    }
+
+    /// Pops every delivery due in the half-open window `[start, end)`,
+    /// appending `(deliver_cycle, dst, payload)` in hand-over order.
+    ///
+    /// Routing events are processed only up to `start` — the
+    /// conservative-window scheduler calls this at a window barrier,
+    /// when traffic staged inside the window has not been injected yet,
+    /// and an event at `start` or later could be ordered against those
+    /// pending sends. Provided `end - start` does not exceed the
+    /// [`Network::lookahead`] bound, every delivery inside the window
+    /// has already completed its routing by `start`, so nothing due is
+    /// missed. With `end == start + 1` this is exactly
+    /// [`Network::poll_into`] (plus the delivery cycle).
+    pub fn window_deliveries(&mut self, start: u64, end: u64, out: &mut Vec<(u64, usize, P)>)
+    where
+        P: Clone,
+    {
+        self.route_until(start);
         while let Some(&(t, _, _)) = self.ready.front() {
-            if t > now {
+            if t >= end {
                 break;
             }
-            let (_, dst, id) = self.ready.pop_front().expect("checked nonempty");
+            let (t, dst, id) = self.ready.pop_front().expect("checked nonempty");
             let flight = self.flights.remove(&id).expect("flight exists");
-            out.push((dst, flight.payload));
+            self.count_delivery(t, &flight);
+            out.push((t, dst, flight.payload));
         }
+    }
+
+    /// Processes queued routing events up to and including `bound`
+    /// without handing anything over: drops and outage stalls due by
+    /// `bound` are resolved, exactly as a per-cycle `poll` loop would
+    /// have resolved them. The conservative-window scheduler calls this
+    /// at a barrier *after* injecting the window's staged sends, so the
+    /// machine's pending-work view (and a post-mortem's in-flight list)
+    /// at the window's last cycle matches the sequential machine's.
+    /// The same logical-ordering contract as
+    /// [`Network::earliest_delivery`] applies: no later `send` may
+    /// carry a time earlier than an event processed here.
+    pub fn route_to(&mut self, bound: u64)
+    where
+        P: Clone,
+    {
+        self.route_until(bound);
+    }
+
+    /// The conservative-PDES lookahead: the widest time window `W` such
+    /// that (a) a packet sent at cycle `t` can never be handed over
+    /// before `t + W`, and (b) every hand-over inside a window of `W`
+    /// cycles has finished routing by the window's start.
+    ///
+    /// Three terms bound it, given the smallest packet is `min_flits`
+    /// flits (protocol messages are never smaller than 2: header +
+    /// address):
+    ///
+    /// * loopback: a self-send is handed over `loopback_latency` cycles
+    ///   after injection;
+    /// * the topology: the closest distinct pair of nodes is
+    ///   [`Topology::min_hop_distance`] channels apart, and a crossing
+    ///   costs `hop_latency` per channel plus `min_flits - 1` tail
+    ///   cycles;
+    /// * routing completion: a cross-node hand-over at cycle `d` has
+    ///   its last routing event at `d - (min_flits - 1)`, which must
+    ///   not be later than the window start, so `W <= min_flits`.
+    ///
+    /// Returns 0 when the configuration admits no safe window (e.g. a
+    /// zero loopback latency, under which a self-send is handed over in
+    /// the cycle it was injected); callers requiring parallelism must
+    /// reject such configurations.
+    pub fn lookahead(&self, min_flits: u64) -> u64 {
+        let tail = min_flits.saturating_sub(1);
+        let cross = self.topo.min_hop_distance() * self.cfg.hop_latency + tail;
+        self.cfg.loopback_latency.min(cross).min(min_flits)
     }
 
     fn advance(&mut self, ev: Event)
@@ -273,7 +373,7 @@ impl<P> Network<P> {
         P: Clone,
     {
         let flight = self.flights.get(&ev.id).expect("flight exists");
-        let (dst, size, hops, sent_at) = (flight.dst, flight.size, flight.hops, flight.sent_at);
+        let (dst, size, hops) = (flight.dst, flight.size, flight.hops);
         if ev.node == dst {
             // Header arrived; the tail needs size-1 more cycles (or
             // loopback latency for self-sends that never hopped).
@@ -282,9 +382,6 @@ impl<P> Network<P> {
             } else {
                 ev.time + size.saturating_sub(1)
             };
-            self.stats.delivered += 1;
-            self.stats.total_latency += tail - sent_at;
-            self.stats.total_hops += hops;
             // Insert keeping deliver-time order (events are processed
             // in time order, so tails are nearly sorted; fix up local
             // inversions caused by differing sizes).
@@ -621,6 +718,103 @@ mod tests {
             (got, net.fault_stats)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_guard_zero_denominators() {
+        // An empty or zero-elapsed run must report 0.0, never NaN or a
+        // division panic.
+        let s = NetStats::default();
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.avg_hops(), 0.0);
+        assert_eq!(s.channel_utilization(0, 0), 0.0);
+        assert_eq!(s.channel_utilization(16, 0), 0.0);
+        assert_eq!(s.channel_utilization(0, 1_000), 0.0);
+        let busy = NetStats {
+            busy_flit_cycles: 40,
+            ..NetStats::default()
+        };
+        assert_eq!(busy.avg_latency(), 0.0, "no deliveries yet");
+        assert!(busy.channel_utilization(4, 10).is_finite());
+    }
+
+    #[test]
+    fn stats_charged_at_handover_not_at_routing() {
+        let mut net: Network<u32> = Network::new(Topology::new(1, 8), NetConfig::default());
+        net.send(0, 0, 7, 4, 42);
+        // Route the packet all the way forward: no delivery counted.
+        assert_eq!(net.earliest_delivery(u64::MAX), Some(10));
+        assert_eq!(net.stats.delivered, 0);
+        assert_eq!(net.stats.total_latency, 0);
+        assert_eq!(net.stats.total_hops, 0);
+        // Popping it charges latency and hops exactly once.
+        assert_eq!(net.poll(10), vec![(7, 42)]);
+        assert_eq!(net.stats.delivered, 1);
+        assert_eq!(net.stats.total_latency, 10);
+        assert_eq!(net.stats.total_hops, 7);
+    }
+
+    #[test]
+    fn lookahead_bounds() {
+        let net = |hop, loopback| -> Network<u32> {
+            Network::new(
+                Topology::new(2, 4),
+                NetConfig {
+                    hop_latency: hop,
+                    loopback_latency: loopback,
+                },
+            )
+        };
+        // Default timing: the 1-cycle loopback is the binding term.
+        assert_eq!(net(1, 1).lookahead(2), 1);
+        // Loopback 2: every term allows a 2-cycle window.
+        assert_eq!(net(1, 2).lookahead(2), 2);
+        // Routing completion caps the window at min_flits even when
+        // hops and loopback are slow.
+        assert_eq!(net(3, 5).lookahead(2), 2);
+        // A zero loopback admits no safe window at all.
+        assert_eq!(net(1, 0).lookahead(2), 0);
+    }
+
+    #[test]
+    fn window_deliveries_matches_per_cycle_poll() {
+        let spray_into = |net: &mut Network<usize>| {
+            let n = net.topology().num_nodes();
+            for i in 0..60 {
+                net.send(
+                    (i % 5) as u64,
+                    i % n,
+                    (i * 7 + 3) % n,
+                    2 + (i % 3) as u64,
+                    i,
+                );
+            }
+        };
+        let cfg = NetConfig {
+            hop_latency: 1,
+            loopback_latency: 2,
+        };
+        let mut a: Network<usize> = Network::new(Topology::new(2, 4), cfg);
+        let mut b: Network<usize> = Network::new(Topology::new(2, 4), cfg);
+        spray_into(&mut a);
+        spray_into(&mut b);
+        let w = a.lookahead(2);
+        assert_eq!(w, 2);
+        let mut per_cycle = Vec::new();
+        for t in 0..200 {
+            for (dst, p) in a.poll(t) {
+                per_cycle.push((t, dst, p));
+            }
+        }
+        let mut windowed = Vec::new();
+        let mut t = 0;
+        while t < 200 {
+            b.window_deliveries(t, t + w, &mut windowed);
+            t += w;
+        }
+        assert_eq!(per_cycle, windowed);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.is_idle() && b.is_idle());
     }
 
     #[test]

@@ -1,8 +1,13 @@
 #!/usr/bin/env sh
-# Runs the sim_hotpaths benchmark harness and leaves BENCH_hotpaths.json
-# at the repository root: simulated cycles per wall-second for each
-# whole-machine workload, under both the lockstep reference path and the
-# event-driven scheduler, plus the speedup between them.
+# Runs the benchmark harnesses and leaves their JSON reports at the
+# repository root:
+#   BENCH_hotpaths.json — simulated cycles per wall-second per workload,
+#     lockstep reference vs the event-driven scheduler.
+#   BENCH_parallel.json — parallel-scheduler scaling: cycles per
+#     wall-second at 1/2/4/8 workers on 16- and 64-node machines (every
+#     point asserted bit-identical to the 1-worker run). Wall-clock
+#     speedup is bounded by min(workers, host cores); the report records
+#     host_cpus so core-limited numbers read as what they are.
 #
 # BENCH_SMOKE=1 shrinks the workloads for a fast CI smoke run.
 set -eu
@@ -10,3 +15,4 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCH_OUT="$(pwd)/BENCH_hotpaths.json" cargo bench -p april-bench --bench sim_hotpaths
+BENCH_PAR_OUT="$(pwd)/BENCH_parallel.json" cargo bench -p april-bench --bench sim_parallel

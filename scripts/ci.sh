@@ -12,6 +12,12 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== three-way scheduler equivalence (3 fault seeds) =="
+# The lockstep/event/parallel bit-exactness suite is part of the
+# workspace tests above; run it again in release so the fault-soak
+# seeds and multi-worker runs execute at full depth quickly.
+cargo test -q --release -p april-machine --test lockstep_vs_skip
+
 echo "== rustfmt =="
 cargo fmt --all -- --check
 
