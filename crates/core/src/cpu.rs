@@ -23,6 +23,7 @@ use crate::psr::{CondCodes, FpCond};
 use crate::stats::CpuStats;
 use crate::trap::{Trap, TRAP_ENTRY_CYCLES};
 use crate::word::Word;
+use april_obs::{EventKind, Probe};
 use std::collections::VecDeque;
 
 /// Default number of hardware task frames (the SPARC implementation's
@@ -142,6 +143,11 @@ pub struct Cpu {
     /// Cycle ledger.
     pub stats: CpuStats,
     cfg: CpuConfig,
+    /// Machine clock mirror, kept current by the scheduler (the ledger
+    /// in `stats` lags the clock, so trace events cannot use it).
+    clock: u64,
+    /// Trace recorder for this processor's lane (inert by default).
+    probe: Probe,
 }
 
 impl Default for Cpu {
@@ -166,7 +172,25 @@ impl Cpu {
             irqs: VecDeque::new(),
             stats: CpuStats::default(),
             cfg,
+            clock: 0,
+            probe: Probe::default(),
         }
+    }
+
+    /// Mirrors the machine clock so trace events carry the true cycle.
+    /// Schedulers call this alongside the controller/directory clocks.
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = now;
+    }
+
+    /// Installs a trace recorder for this processor's lane.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The processor's trace recorder.
+    pub fn trace_probe(&self) -> &Probe {
+        &self.probe
     }
 
     /// Resets frame 0 to start executing at `entry` and selects it.
@@ -292,6 +316,8 @@ impl Cpu {
     /// Records a context switch in the ledger.
     pub fn count_context_switch(&mut self) {
         self.stats.context_switches += 1;
+        self.probe
+            .emit(self.clock, EventKind::ContextSwitch, self.fp as u64, 0);
     }
 
     fn raise(&mut self, t: Trap) -> StepEvent {
@@ -302,6 +328,30 @@ impl Cpu {
             Trap::FullEmpty { .. } => self.stats.fe_traps += 1,
             Trap::FutureTouch { .. } | Trap::FutureAddr { .. } => self.stats.future_traps += 1,
             _ => {}
+        }
+        match t {
+            Trap::FullEmpty { addr, is_store } => {
+                self.probe.emit(
+                    self.clock,
+                    EventKind::FullEmptyWait,
+                    addr as u64,
+                    is_store as u64,
+                );
+            }
+            Trap::FutureTouch { reg } | Trap::FutureAddr { reg } => {
+                self.probe
+                    .emit(self.clock, EventKind::FutureTouch, encode_reg(reg), 0);
+            }
+            _ => {
+                let b = match t {
+                    Trap::RemoteMiss { addr, .. } | Trap::Alignment { addr } => addr as u64,
+                    Trap::RtCall { n } => n as u64,
+                    Trap::Interrupt { from } => from as u64,
+                    _ => 0,
+                };
+                self.probe
+                    .emit(self.clock, EventKind::TrapTaken, t.vector() as u64, b);
+            }
         }
         self.frames[self.fp].psr.in_trap = true;
         StepEvent::Trapped(t)
@@ -732,6 +782,15 @@ impl Cpu {
             Cond::FpLt => psr.fcc == FpCond::Lt,
             Cond::FpGt => psr.fcc == FpCond::Gt,
         }
+    }
+}
+
+/// Trace payload encoding of a register name: globals map to their
+/// index, locals to `0x100 | index`.
+fn encode_reg(r: Reg) -> u64 {
+    match r {
+        Reg::G(i) => i as u64,
+        Reg::L(i) => 0x100 | i as u64,
     }
 }
 

@@ -3,9 +3,9 @@
 //! APRIL is "a basic RISC instruction set augmented with special memory
 //! instructions for full/empty bit operations, multithreading, and
 //! cache support". This module defines the instruction forms; sibling
-//! modules provide a binary encoding ([`encode`](crate::isa::encode)),
-//! a text assembler ([`asm`](crate::isa::asm)) and a disassembler
-//! ([`disasm`](crate::isa::disasm)).
+//! modules provide a binary encoding ([`encode`]),
+//! a text assembler ([`asm`]) and a disassembler
+//! ([`disasm`]).
 //!
 //! All register operands are addressed **relative to the current frame
 //! pointer** except the eight global registers, which are always

@@ -31,6 +31,7 @@ use april_mem::femem::FeMemory;
 use april_mem::msg::CohMsg;
 use april_net::fault::{FaultPlan, FaultStats};
 use april_net::network::Network;
+use april_obs::{lane, Component, EventKind, Probe, StatsReport, Trace, TraceConfig};
 
 /// I/O register: reading returns this node's id (fixnum).
 pub const IO_NODE_ID: u16 = 1;
@@ -102,6 +103,10 @@ pub struct Alewife {
     scratch_out: Vec<(usize, CohMsg)>,
     scratch_dir: Vec<(usize, CohMsg)>,
     scratch_io: Vec<(usize, CohMsg)>,
+    /// Scheduler-internal events (watchdog arming/firing). Lives on
+    /// the meta lane, which [`Trace::retain_semantic`] excludes from
+    /// the cross-scheduler determinism contract.
+    meta_probe: Probe,
 }
 
 impl Alewife {
@@ -135,6 +140,7 @@ impl Alewife {
             scratch_out: Vec::new(),
             scratch_dir: Vec::new(),
             scratch_io: Vec::new(),
+            meta_probe: Probe::default(),
         }
     }
 
@@ -242,7 +248,7 @@ impl Alewife {
         self.net.in_flight_count() > 0 || nodes_pending_work(&self.nodes)
     }
 
-    /// Public probe of [`Self::has_pending_work`], used by drivers that
+    /// Public probe of `has_pending_work`, used by drivers that
     /// stop at quiescence rather than at a single node's halt.
     pub fn pending_work(&self) -> bool {
         self.has_pending_work()
@@ -672,6 +678,7 @@ impl Machine for Alewife {
         // are dispatched, not after the post-step tick. Done in both
         // modes so lockstep and event-driven stay bit-identical.
         for n in &mut self.nodes {
+            n.cpu.set_clock(self.now);
             n.ctl.set_clock(self.now);
             n.dir.set_clock(self.now);
         }
@@ -774,11 +781,17 @@ impl Machine for Alewife {
         // a stable signature on an idle machine is quiescence.
         if self.cfg.watchdog.enabled && self.fault.is_none() {
             let sig = self.progress_sig();
-            if self
-                .watchdog
-                .observe(self.now, sig, self.cfg.watchdog.horizon)
-                && self.has_pending_work()
-            {
+            let horizon = self.cfg.watchdog.horizon;
+            let deadline_before = self.watchdog.deadline(horizon);
+            let fired = self.watchdog.observe(self.now, sig, horizon);
+            let deadline_after = self.watchdog.deadline(horizon);
+            if deadline_after != deadline_before {
+                self.meta_probe
+                    .emit(self.now, EventKind::WatchdogArmed, deadline_after, 0);
+            }
+            if fired && self.has_pending_work() {
+                self.meta_probe
+                    .emit(self.now, EventKind::WatchdogFired, deadline_after, 0);
                 let pm = self.post_mortem();
                 self.set_fault(MachineFault::NoForwardProgress(Box::new(pm)));
             }
@@ -854,6 +867,26 @@ impl Machine for Alewife {
 
     fn fault(&self) -> Option<&MachineFault> {
         self.fault.as_ref()
+    }
+
+    fn attach_tracer(&mut self, cfg: TraceConfig) {
+        crate::obs::attach_node_probes(&mut self.nodes, cfg);
+        self.net
+            .attach_probe(Probe::new(lane(Component::Net, 0), cfg));
+        self.meta_probe = Probe::new(lane(Component::Meta, 0), cfg);
+    }
+
+    fn collect_trace(&self) -> Trace {
+        let mut t = Trace::new();
+        crate::obs::collect_node_traces(&mut t, &self.nodes);
+        t.push_probe(self.net.trace_probe());
+        t.push_probe(&self.meta_probe);
+        t.sort();
+        t
+    }
+
+    fn stats_report(&self) -> StatsReport {
+        crate::obs::build_report(&self.nodes, &self.net)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Embeddable run-time drivers.
 //!
-//! The sequential [`Machine`](crate::Machine) loop surfaces step events
+//! The sequential [`crate::Machine`] loop surfaces step events
 //! to its caller, who answers them through `cpu_mut`/`charge_handler`/
 //! `charge_idle`. The parallel machine cannot do that — events arise on
 //! worker threads mid-window, and shipping them to the coordinator and

@@ -23,12 +23,14 @@ pub mod alewife;
 pub mod config;
 pub mod driver;
 pub mod ideal;
+pub(crate) mod obs;
 pub mod parallel;
 pub mod watchdog;
 
 use april_core::cpu::{Cpu, StepEvent};
 use april_core::program::Program;
 use april_mem::femem::FeMemory;
+use april_obs::{StatsReport, Trace, TraceConfig};
 
 pub use alewife::Alewife;
 pub use config::MachineConfig;
@@ -91,5 +93,23 @@ pub trait Machine {
     /// (e.g. the ideal machine) report `None` forever.
     fn fault(&self) -> Option<&MachineFault> {
         None
+    }
+
+    /// Installs live event probes on every instrumented component.
+    /// Must be called before the run starts; attaching mid-run would
+    /// make the trace depend on when the caller attached. Machines
+    /// without instrumentation ignore the request.
+    fn attach_tracer(&mut self, _cfg: TraceConfig) {}
+
+    /// Merges every component probe into one canonically ordered
+    /// [`Trace`]. Uninstrumented machines return an empty trace.
+    fn collect_trace(&self) -> Trace {
+        Trace::new()
+    }
+
+    /// Snapshots the machine's counters and histograms as a
+    /// [`StatsReport`]. Uninstrumented machines return an empty report.
+    fn stats_report(&self) -> StatsReport {
+        StatsReport::new()
     }
 }

@@ -1,0 +1,153 @@
+//! Machine-level observability plumbing shared by the sequential and
+//! parallel ALEWIFE machines: probe attachment, trace assembly, and
+//! the [`StatsReport`] builder.
+//!
+//! Reports are derived exclusively from deterministic component state
+//! (cycle ledgers, protocol counters, network statistics) — never from
+//! the scheduler's final clock — so the same workload yields a
+//! byte-equal report under the lockstep, event-driven, and parallel
+//! schedulers at any worker count. Traces likewise merge per-component
+//! probe rings whose contents are bit-identical across schedulers (see
+//! DESIGN.md §10).
+
+use crate::alewife::{Env, Node};
+use april_core::stats::CpuStats;
+use april_mem::controller::CtlStats;
+use april_mem::directory::DirStats;
+use april_net::network::Network;
+use april_obs::{lane, Component, Probe, Section, StatsReport, Trace, TraceConfig};
+
+/// Installs live probes on every node's processor, cache controller,
+/// and directory, one lane per component per node.
+pub(crate) fn attach_node_probes(nodes: &mut [Node], cfg: TraceConfig) {
+    for (i, n) in nodes.iter_mut().enumerate() {
+        let i = i as u32;
+        n.cpu.attach_probe(Probe::new(lane(Component::Cpu, i), cfg));
+        n.ctl.attach_probe(Probe::new(lane(Component::Ctl, i), cfg));
+        n.dir.attach_probe(Probe::new(lane(Component::Dir, i), cfg));
+    }
+}
+
+/// Appends every node-component probe to `trace` (the network and meta
+/// probes are pushed by the caller, which owns them).
+pub(crate) fn collect_node_traces(trace: &mut Trace, nodes: &[Node]) {
+    for n in nodes {
+        trace.push_probe(n.cpu.trace_probe());
+        trace.push_probe(n.ctl.trace_probe());
+        trace.push_probe(n.dir.trace_probe());
+    }
+}
+
+/// Builds the full metrics snapshot: machine-wide aggregates (the
+/// paper's Table 4–7 style breakdowns — utilization, misses per 1k
+/// cycles, context-switch frequency) followed by one section per node.
+pub(crate) fn build_report(nodes: &[Node], net: &Network<Env>) -> StatsReport {
+    let mut report = StatsReport::new();
+
+    let mut cpu = CpuStats::default();
+    let mut ctl = CtlStats::default();
+    let mut dir = DirStats::default();
+    for n in nodes {
+        cpu.merge(&n.cpu.stats);
+        ctl.merge(&n.ctl.stats);
+        dir.merge(&n.dir.stats);
+    }
+    let total = cpu.total();
+    let per_1k = |count: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            count as f64 * 1000.0 / total as f64
+        }
+    };
+
+    let mut s = Section::new("machine");
+    s.counter("nodes", nodes.len() as u64)
+        .counter("total_cycles", total);
+    report.push(s);
+
+    let mut s = Section::new("cpu");
+    s.counter("useful_cycles", cpu.useful_cycles)
+        .counter("trap_cycles", cpu.trap_cycles)
+        .counter("handler_cycles", cpu.handler_cycles)
+        .counter("stall_cycles", cpu.stall_cycles)
+        .counter("idle_cycles", cpu.idle_cycles)
+        .counter("instructions", cpu.instructions)
+        .counter("context_switches", cpu.context_switches)
+        .counter("traps", cpu.traps)
+        .counter("mem_ops", cpu.mem_ops)
+        .counter("remote_misses", cpu.remote_misses)
+        .counter("fe_traps", cpu.fe_traps)
+        .counter("future_traps", cpu.future_traps)
+        .gauge("utilization", cpu.utilization())
+        .gauge("misses_per_1k_cycles", per_1k(cpu.remote_misses))
+        .gauge("switches_per_1k_cycles", per_1k(cpu.context_switches));
+    report.push(s);
+
+    let mut s = Section::new("cache");
+    let accesses = ctl.hits + ctl.local_fills + ctl.remote_txns;
+    s.counter("hits", ctl.hits)
+        .counter("local_fills", ctl.local_fills)
+        .counter("remote_txns", ctl.remote_txns)
+        .counter("invals", ctl.invals)
+        .counter("downgrades", ctl.downgrades)
+        .counter("writebacks", ctl.writebacks)
+        .counter("retransmits", ctl.retransmits)
+        .counter("nacks", ctl.nacks)
+        .counter("stale_replies", ctl.stale_replies)
+        .gauge(
+            "miss_ratio",
+            if accesses == 0 {
+                0.0
+            } else {
+                (ctl.local_fills + ctl.remote_txns) as f64 / accesses as f64
+            },
+        );
+    report.push(s);
+
+    let mut s = Section::new("dir");
+    s.counter("read_reqs", dir.read_reqs)
+        .counter("write_reqs", dir.write_reqs)
+        .counter("invals_sent", dir.invals_sent)
+        .counter("wb_reqs_sent", dir.wb_reqs_sent)
+        .counter("deferred", dir.deferred)
+        .counter("nacks", dir.nacks)
+        .counter("retransmits", dir.retransmits)
+        .counter("stale_acks", dir.stale_acks);
+    report.push(s);
+
+    let mut s = Section::new("net");
+    s.counter("delivered", net.stats.delivered)
+        .counter("total_latency", net.stats.total_latency)
+        .counter("total_hops", net.stats.total_hops)
+        .counter("busy_flit_cycles", net.stats.busy_flit_cycles)
+        .gauge("avg_latency", net.stats.avg_latency())
+        .gauge("avg_hops", net.stats.avg_hops())
+        .hist("latency", *net.latency_hist())
+        .hist("hops", *net.hops_hist());
+    report.push(s);
+
+    let mut s = Section::new("faults");
+    s.counter("dropped", net.fault_stats.dropped)
+        .counter("duplicated", net.fault_stats.duplicated)
+        .counter("delayed", net.fault_stats.delayed)
+        .counter("outage_stalls", net.fault_stats.outage_stalls);
+    report.push(s);
+
+    for (i, n) in nodes.iter().enumerate() {
+        let mut s = Section::new(format!("node{i}"));
+        s.counter("instructions", n.cpu.stats.instructions)
+            .counter("useful_cycles", n.cpu.stats.useful_cycles)
+            .counter("idle_cycles", n.cpu.stats.idle_cycles)
+            .counter("context_switches", n.cpu.stats.context_switches)
+            .counter("remote_misses", n.cpu.stats.remote_misses)
+            .counter("cache_hits", n.ctl.stats.hits)
+            .counter("local_fills", n.ctl.stats.local_fills)
+            .counter("remote_txns", n.ctl.stats.remote_txns)
+            .counter("dir_read_reqs", n.dir.stats.read_reqs)
+            .counter("dir_write_reqs", n.dir.stats.write_reqs)
+            .gauge("utilization", n.cpu.stats.utilization());
+        report.push(s);
+    }
+    report
+}

@@ -33,6 +33,7 @@ use april_mem::femem::FeMemory;
 use april_mem::msg::CohMsg;
 use april_net::fault::{FaultPlan, FaultStats};
 use april_net::network::Network;
+use april_obs::{lane, Component, EventKind, Probe, StatsReport, Trace, TraceConfig};
 use std::sync::{Condvar, Mutex};
 
 /// The smallest protocol packet in flits (header + address); the
@@ -193,6 +194,7 @@ impl Shard<'_> {
             // bookkeeping, then (as the sequential driver loop does
             // after `advance` returns) driver events.
             for n in &mut self.nodes {
+                n.cpu.set_clock(c);
                 n.ctl.set_clock(c);
                 n.dir.set_clock(c);
             }
@@ -499,6 +501,10 @@ pub struct ParallelAlewife {
     now: u64,
     watchdog: Watchdog,
     fault: Option<MachineFault>,
+    /// Scheduler-internal events (window barriers, watchdog arming/
+    /// firing) on the meta lane, which [`Trace::retain_semantic`]
+    /// excludes from the cross-scheduler determinism contract.
+    meta_probe: Probe,
 }
 
 impl ParallelAlewife {
@@ -527,7 +533,37 @@ impl ParallelAlewife {
             now: 0,
             watchdog: Watchdog::default(),
             fault: None,
+            meta_probe: Probe::default(),
         }
+    }
+
+    /// Installs live event probes on every node component and the
+    /// network, plus a meta-lane probe for window barriers and
+    /// watchdog events. Call before [`ParallelAlewife::run`].
+    pub fn attach_tracer(&mut self, cfg: TraceConfig) {
+        crate::obs::attach_node_probes(&mut self.nodes, cfg);
+        self.net
+            .attach_probe(Probe::new(lane(Component::Net, 0), cfg));
+        self.meta_probe = Probe::new(lane(Component::Meta, 0), cfg);
+    }
+
+    /// Merges every component probe into one canonically ordered
+    /// [`Trace`]. After [`Trace::retain_semantic`], the result is
+    /// bit-identical to the sequential machine's for the same workload
+    /// at any worker count.
+    pub fn collect_trace(&self) -> Trace {
+        let mut t = Trace::new();
+        crate::obs::collect_node_traces(&mut t, &self.nodes);
+        t.push_probe(self.net.trace_probe());
+        t.push_probe(&self.meta_probe);
+        t.sort();
+        t
+    }
+
+    /// Snapshots the machine's counters and histograms; byte-equal to
+    /// the sequential machine's report for the same workload.
+    pub fn stats_report(&self) -> StatsReport {
+        crate::obs::build_report(&self.nodes, &self.net)
     }
 
     /// Installs a fault-injection plan on the network; runs stay
@@ -705,6 +741,7 @@ impl ParallelAlewife {
         let watchdog = &mut self.watchdog;
         let fault = &mut self.fault;
         let now = &mut self.now;
+        let meta = &mut self.meta_probe;
         let cfg = self.cfg;
         let mut coordinate = |submit: &mut dyn FnMut(Vec<WindowCmd>) -> Vec<WindowResult>| {
             let mut quiesced = false;
@@ -748,6 +785,7 @@ impl ParallelAlewife {
                     width_max
                 };
                 let end = start + width;
+                meta.emit(end - 1, EventKind::WindowBarrier, start, width);
                 let capture_pm = cfg.watchdog.enabled && wd_deadline < end;
 
                 let base_delivered = net.stats.delivered;
@@ -840,13 +878,20 @@ impl ParallelAlewife {
                         let delivered = base_delivered
                             + deliveries.iter().take_while(|&&(t, ..)| t <= c).count() as u64;
                         let sig = (instrs, delivered, dir_events, ctl_events);
-                        if watchdog.observe(c, sig, cfg.watchdog.horizon) {
+                        let deadline_before = watchdog.deadline(cfg.watchdog.horizon);
+                        let fired = watchdog.observe(c, sig, cfg.watchdog.horizon);
+                        let deadline_after = watchdog.deadline(cfg.watchdog.horizon);
+                        if deadline_after != deadline_before {
+                            meta.emit(c, EventKind::WatchdogArmed, deadline_after, 0);
+                        }
+                        if fired {
                             let net_pending = net.in_flight_count() > 0;
                             let shard_pending = results
                                 .iter()
                                 .any(|r| r.pm.as_ref().is_some_and(|p| p.pending_pre_driver));
                             if net_pending || shard_pending {
                                 debug_assert_eq!(c, end - 1, "watchdog fired mid-window");
+                                meta.emit(c, EventKind::WatchdogFired, deadline_after, 0);
                                 let mut in_flight: Vec<InFlightMsg> = net
                                     .in_flight_packets()
                                     .map(|(id, dst, sent_at, _, env)| InFlightMsg {

@@ -25,6 +25,7 @@ use april_machine::Machine;
 use april_mem::{ProtocolError, RetryConfig};
 use april_net::fault::{FaultPlan, FaultRule};
 use april_net::topology::{Channel, Topology};
+use april_obs::{validate_json, TraceConfig};
 
 /// Builds, boots (all nodes), and drives one sequential machine.
 fn run_seq(
@@ -427,6 +428,212 @@ fn quiescent_machine_skips_without_diverging() {
     let par = run_par(cfg, prog, None, 2, 10_000);
     assert_eq!(par.fault(), None);
     assert!(par.cpu(0).is_halted() && par.cpu(1).is_halted());
+}
+
+/// Like [`run_seq`], with event probes attached before boot.
+fn run_seq_traced(
+    mut cfg: MachineConfig,
+    prog: Program,
+    plan: Option<FaultPlan>,
+    lockstep: bool,
+    max: u64,
+    tc: TraceConfig,
+) -> Alewife {
+    cfg.lockstep = lockstep;
+    let mut m = Alewife::new(cfg, prog);
+    m.attach_tracer(tc);
+    if let Some(plan) = plan {
+        m.set_fault_plan(plan);
+    }
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    drive_sequential(&mut m, &SwitchSpin::default(), max);
+    m
+}
+
+/// Like [`run_par`], with event probes attached before boot.
+fn run_par_traced(
+    mut cfg: MachineConfig,
+    prog: Program,
+    plan: Option<FaultPlan>,
+    workers: usize,
+    max: u64,
+    tc: TraceConfig,
+) -> ParallelAlewife {
+    cfg.workers = workers;
+    let mut m = ParallelAlewife::new(cfg, prog);
+    m.attach_tracer(tc);
+    if let Some(plan) = plan {
+        m.set_fault_plan(plan);
+    }
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    m.run(&SwitchSpin::default(), max);
+    m
+}
+
+/// Runs `prog` under all three schedulers with probes attached and
+/// asserts the observability contract: the semantic trace (JSONL, after
+/// dropping the scheduler-internal meta lane) and the `StatsReport`
+/// JSON are byte-identical across lockstep, event-driven, and parallel
+/// runs at every worker count.
+fn assert_obs_equivalent(
+    cfg: MachineConfig,
+    prog: Program,
+    plan: Option<FaultPlan>,
+    max: u64,
+    tc: TraceConfig,
+) {
+    let reference = run_seq_traced(cfg, prog.clone(), plan.clone(), true, max, tc);
+    let mut ref_trace = reference.collect_trace();
+    ref_trace.retain_semantic();
+    let ref_jsonl = ref_trace.to_jsonl();
+    let ref_report = reference.stats_report().to_json();
+    assert!(
+        !ref_trace.events().is_empty(),
+        "reference trace is empty — the workload exercised no probes"
+    );
+
+    let skipping = run_seq_traced(cfg, prog.clone(), plan.clone(), false, max, tc);
+    let mut t = skipping.collect_trace();
+    t.retain_semantic();
+    assert_eq!(ref_jsonl, t.to_jsonl(), "event-driven trace diverged");
+    assert_eq!(
+        ref_report,
+        skipping.stats_report().to_json(),
+        "event-driven report diverged"
+    );
+
+    for workers in [2, 3] {
+        let par = run_par_traced(cfg, prog.clone(), plan.clone(), workers, max, tc);
+        let mut t = par.collect_trace();
+        t.retain_semantic();
+        assert_eq!(
+            ref_jsonl,
+            t.to_jsonl(),
+            "parallel x{workers} trace diverged"
+        );
+        assert_eq!(
+            ref_report,
+            par.stats_report().to_json(),
+            "parallel x{workers} report diverged"
+        );
+    }
+}
+
+#[test]
+fn trace_and_report_identical_across_schedulers() {
+    // Two fault seeds over the coherence stress: drops, dups, and
+    // delays give every lane real traffic (cache misses, NACKs,
+    // retransmits, directory transitions, hop/drop/dup/delay events)
+    // while the three schedulers must still produce byte-identical
+    // traces and reports.
+    for seed in [0x50a1_u64, 7] {
+        let plan = FaultPlan::new(seed).with_default_rule(FaultRule {
+            drop: 0.02,
+            dup: 0.02,
+            delay: 0.04,
+            max_delay: 40,
+        });
+        assert_obs_equivalent(
+            stress_cfg(),
+            stress_program(),
+            Some(plan),
+            30_000_000,
+            TraceConfig::default(),
+        );
+    }
+    // And with 2-cycle conservative windows, where the parallel
+    // barrier merge batches two cycles of staged sends at a time.
+    let plan = FaultPlan::new(0x50a1).with_default_rule(FaultRule {
+        drop: 0.02,
+        dup: 0.02,
+        delay: 0.04,
+        max_delay: 40,
+    });
+    assert_obs_equivalent(
+        wide_window_cfg(),
+        stress_program(),
+        Some(plan),
+        30_000_000,
+        TraceConfig::default(),
+    );
+}
+
+#[test]
+fn sampled_trace_identical_across_schedulers() {
+    // Sampling decisions are pure hashes of event content, so a 25%
+    // sample must keep exactly the same events under every scheduler.
+    let tc = TraceConfig {
+        sample: 0.25,
+        seed: 0xfeed,
+        ..TraceConfig::default()
+    };
+    let plan = FaultPlan::new(2).with_default_rule(FaultRule {
+        drop: 0.02,
+        dup: 0.02,
+        delay: 0.04,
+        max_delay: 40,
+    });
+    assert_obs_equivalent(stress_cfg(), stress_program(), Some(plan), 30_000_000, tc);
+
+    // The sample rate actually bites: a full-rate run emits strictly
+    // more retained events.
+    let full = run_seq_traced(
+        stress_cfg(),
+        stress_program(),
+        None,
+        false,
+        3_000_000,
+        TraceConfig::default(),
+    );
+    let sampled = run_seq_traced(stress_cfg(), stress_program(), None, false, 3_000_000, tc);
+    let full_trace = full.collect_trace();
+    let sampled_trace = sampled.collect_trace();
+    assert_eq!(full_trace.sampled_out(), 0);
+    assert!(
+        sampled_trace.sampled_out() > 0,
+        "25% sampling discarded nothing"
+    );
+    assert!(sampled_trace.events().len() < full_trace.events().len());
+}
+
+#[test]
+fn chrome_trace_of_16_node_run_is_valid_json() {
+    // A 16-node mesh run exported as Chrome trace_event JSON: the
+    // whole document must parse as strict JSON, and so must every
+    // JSONL line.
+    let cfg = MachineConfig {
+        topology: Topology::new(2, 4),
+        region_bytes: 1 << 16,
+        ..MachineConfig::default()
+    };
+    let m = run_seq_traced(
+        cfg,
+        stress_program(),
+        None,
+        false,
+        10_000_000,
+        TraceConfig::default(),
+    );
+    let trace = m.collect_trace();
+    assert!(!trace.events().is_empty());
+    let chrome = m.collect_trace().to_chrome_trace();
+    validate_json(&chrome).expect("chrome trace is valid JSON");
+    for line in trace.to_jsonl().lines() {
+        validate_json(line).expect("JSONL line is valid JSON");
+    }
+    // The report snapshot is valid JSON too, and carries the headline
+    // utilization gauge.
+    let report = m.stats_report();
+    validate_json(&report.to_json()).expect("report is valid JSON");
+    assert!(report
+        .section("cpu")
+        .unwrap()
+        .get_gauge("utilization")
+        .is_some());
 }
 
 #[test]

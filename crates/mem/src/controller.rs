@@ -31,6 +31,7 @@ use crate::cache::{Cache, CacheConfig, LineState};
 use crate::directory::Directory;
 use crate::error::{ProtocolError, RetryConfig};
 use crate::msg::CohMsg;
+use april_obs::{EventKind, Probe};
 use std::collections::HashMap;
 
 /// Controller timing parameters.
@@ -126,6 +127,20 @@ impl CtlStats {
             + self.nacks
             + self.stale_replies
     }
+
+    /// Field-wise accumulation of `other` into `self`, for
+    /// machine-wide aggregates over per-node controllers.
+    pub fn merge(&mut self, other: &CtlStats) {
+        self.hits += other.hits;
+        self.local_fills += other.local_fills;
+        self.remote_txns += other.remote_txns;
+        self.invals += other.invals;
+        self.downgrades += other.downgrades;
+        self.writebacks += other.writebacks;
+        self.retransmits += other.retransmits;
+        self.nacks += other.nacks;
+        self.stale_replies += other.stale_replies;
+    }
 }
 
 /// A node's cache controller.
@@ -159,6 +174,8 @@ pub struct CacheController {
     cfg: CtlConfig,
     /// Event counters.
     pub stats: CtlStats,
+    /// Trace recorder for this controller's lane (inert by default).
+    probe: Probe,
 }
 
 impl CacheController {
@@ -177,12 +194,23 @@ impl CacheController {
             fence: 0,
             cfg,
             stats: CtlStats::default(),
+            probe: Probe::default(),
         }
     }
 
     /// This controller's node id.
     pub fn node(&self) -> usize {
         self.node
+    }
+
+    /// Installs a trace recorder for this controller's lane.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The controller's trace recorder.
+    pub fn trace_probe(&self) -> &Probe {
+        &self.probe
     }
 
     /// Outstanding fenced write-backs (the FENCE instruction stalls
@@ -306,6 +334,8 @@ impl CacheController {
                         out,
                     );
                     self.stats.local_fills += 1;
+                    self.probe
+                        .emit(self.clock, EventKind::CacheMiss, block as u64, 0);
                     return Outcome::LocalFill {
                         stall: self.cfg.local_mem_latency,
                     };
@@ -333,6 +363,8 @@ impl CacheController {
         };
         out.push((home, msg));
         self.stats.remote_txns += 1;
+        self.probe
+            .emit(self.clock, EventKind::CacheMiss, block as u64, 1);
         Outcome::Remote
     }
 
@@ -472,6 +504,8 @@ impl CacheController {
                 if let Some(txn) = self.txns.get_mut(&block) {
                     if txn.xid == xid {
                         self.stats.nacks += 1;
+                        self.probe
+                            .emit(self.clock, EventKind::NackRecv, block as u64, xid as u64);
                         let at = self.clock + self.cfg.retry.backoff(txn.retries);
                         txn.next_retry = at;
                         rescheduled = Some(at);
@@ -578,8 +612,8 @@ impl CacheController {
                     xid: txn.xid,
                 }
             };
-            resend.push((home_of(block), msg));
             txn.retries += 1;
+            resend.push((home_of(block), msg, txn.retries));
             txn.next_retry = now + retry.backoff(txn.retries);
             min_next = min_next.min(txn.next_retry);
         }
@@ -596,6 +630,7 @@ impl CacheController {
                     retries: fl.retries,
                 });
             }
+            fl.retries += 1;
             resend.push((
                 home_of(fl.block),
                 CohMsg::FlushData {
@@ -603,16 +638,26 @@ impl CacheController {
                     fenced: true,
                     xid,
                 },
+                fl.retries,
             ));
-            fl.retries += 1;
             fl.next_retry = now + retry.backoff(fl.retries);
             min_next = min_next.min(fl.next_retry);
         }
         self.next_deadline = min_next;
         self.stats.retransmits += resend.len() as u64;
         // Deterministic send order regardless of hash-map iteration.
-        resend.sort_by_key(|&(to, msg)| (msg.block(), msg.xid(), to));
-        out.append(&mut resend);
+        // Trace events are emitted in the same sorted order (a lane's
+        // event sequence must not depend on map iteration).
+        resend.sort_by_key(|&(to, msg, _)| (msg.block(), msg.xid(), to));
+        for &(to, msg, retries) in &resend {
+            self.probe.emit(
+                self.clock,
+                EventKind::Retransmit,
+                msg.block().unwrap_or(0) as u64,
+                retries as u64,
+            );
+            out.push((to, msg));
+        }
         Ok(())
     }
 

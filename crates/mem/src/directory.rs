@@ -3,7 +3,7 @@
 //! Each node's directory tracks, for every memory block whose home is
 //! that node, the set of caches holding it — the full-map,
 //! invalidation-based scheme of Chaiken, Fields, Kurihara and Agarwal
-//! (the paper's reference [5]), which ALEWIFE distributes with the
+//! (the paper's reference \[5\]), which ALEWIFE distributes with the
 //! processing nodes (Section 2).
 //!
 //! The directory is a message transducer: [`Directory::handle_request`]
@@ -33,6 +33,7 @@
 )]
 use crate::error::{ProtocolError, RetryConfig};
 use crate::msg::CohMsg;
+use april_obs::{EventKind, Probe};
 use std::collections::{HashMap, VecDeque};
 
 /// Sharing state of one block at its home.
@@ -96,6 +97,24 @@ impl Default for DirEntry {
     }
 }
 
+/// Payload codes for `DirTransition` trace events (register `b`).
+pub mod transition {
+    /// A read was served; the block is (or stays) Shared.
+    pub const READ_GRANT: u64 = 0;
+    /// A write was served immediately; the block is Exclusive.
+    pub const WRITE_GRANT: u64 = 1;
+    /// A busy episode began: downgrading an exclusive owner.
+    pub const BUSY_DOWN: u64 = 2;
+    /// A busy episode began: invalidating sharers for a writer.
+    pub const BUSY_INVAL: u64 = 3;
+    /// A busy episode began: write-back-invalidating an owner.
+    pub const BUSY_WBINVAL: u64 = 4;
+    /// A busy episode completed; the block is Exclusive.
+    pub const RESOLVED_WRITE: u64 = 5;
+    /// A busy episode completed; the block is Shared.
+    pub const RESOLVED_READ: u64 = 6;
+}
+
 /// Directory policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DirConfig {
@@ -148,6 +167,19 @@ impl DirStats {
             + self.retransmits
             + self.stale_acks
     }
+
+    /// Field-wise accumulation of `other` into `self`, for
+    /// machine-wide aggregates over per-node directories.
+    pub fn merge(&mut self, other: &DirStats) {
+        self.read_reqs += other.read_reqs;
+        self.write_reqs += other.write_reqs;
+        self.invals_sent += other.invals_sent;
+        self.wb_reqs_sent += other.wb_reqs_sent;
+        self.deferred += other.deferred;
+        self.nacks += other.nacks;
+        self.retransmits += other.retransmits;
+        self.stale_acks += other.stale_acks;
+    }
 }
 
 /// A node's directory: protocol state for the blocks it is home to.
@@ -168,6 +200,8 @@ pub struct Directory {
     busy_ct: usize,
     /// Event counters.
     pub stats: DirStats,
+    /// Trace recorder for this directory's lane (inert by default).
+    probe: Probe,
 }
 
 impl Default for Directory {
@@ -180,6 +214,7 @@ impl Default for Directory {
             next_deadline: u64::MAX,
             busy_ct: 0,
             stats: DirStats::default(),
+            probe: Probe::default(),
         }
     }
 }
@@ -196,6 +231,16 @@ impl Directory {
             cfg,
             ..Directory::default()
         }
+    }
+
+    /// Installs a trace recorder for this directory's lane.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The directory's trace recorder.
+    pub fn trace_probe(&self) -> &Probe {
+        &self.probe
     }
 
     /// Current sharing state of `block`. Clones the sharer vector, so
@@ -286,6 +331,16 @@ impl Directory {
         } else {
             self.stats.read_reqs += 1;
         }
+        self.probe.emit(
+            self.clock,
+            EventKind::DirTransition,
+            block as u64,
+            if write {
+                transition::WRITE_GRANT
+            } else {
+                transition::READ_GRANT
+            },
+        );
         let e = self.entries.entry(block).or_default();
         if write {
             e.state = DirState::Exclusive(from);
@@ -360,6 +415,8 @@ impl Directory {
             }
             if e.waiters.len() >= max_waiters {
                 self.stats.nacks += 1;
+                self.probe
+                    .emit(self.clock, EventKind::DirNack, block as u64, from as u64);
                 out.push((from, CohMsg::Nack { block, xid }));
                 return;
             }
@@ -379,21 +436,24 @@ impl Directory {
                 next_retry: retry_at,
             }
         };
-        match (&mut e.state, write) {
+        let code = match (&mut e.state, write) {
             (DirState::Uncached, false) => {
                 e.state = DirState::Shared(vec![from]);
                 out.push((from, CohMsg::RdReply { block, xid }));
+                transition::READ_GRANT
             }
             (DirState::Shared(s), false) => {
                 if !s.contains(&from) {
                     s.push(from);
                 }
                 out.push((from, CohMsg::RdReply { block, xid }));
+                transition::READ_GRANT
             }
             (DirState::Exclusive(o), false) if *o == from => {
                 // Owner re-reads (flush race); regrant as shared.
                 e.state = DirState::Shared(vec![from]);
                 out.push((from, CohMsg::RdReply { block, xid }));
+                transition::READ_GRANT
             }
             (DirState::Exclusive(o), false) => {
                 let owner = *o;
@@ -411,16 +471,19 @@ impl Directory {
                     },
                 ));
                 self.stats.wb_reqs_sent += 1;
+                transition::BUSY_DOWN
             }
             (DirState::Uncached, true) => {
                 e.state = DirState::Exclusive(from);
                 out.push((from, CohMsg::WrReply { block, xid }));
+                transition::WRITE_GRANT
             }
             (DirState::Shared(s), true) => {
                 let targets: Vec<usize> = s.iter().copied().filter(|&n| n != from).collect();
                 if targets.is_empty() {
                     e.state = DirState::Exclusive(from);
                     out.push((from, CohMsg::WrReply { block, xid }));
+                    transition::WRITE_GRANT
                 } else {
                     let n = targets.len();
                     e.busy = Some(begin_busy(BusyKind::Inval, targets.clone()));
@@ -439,10 +502,12 @@ impl Directory {
                         ));
                     }
                     self.stats.invals_sent += n as u64;
+                    transition::BUSY_INVAL
                 }
             }
             (DirState::Exclusive(o), true) if *o == from => {
                 out.push((from, CohMsg::WrReply { block, xid }));
+                transition::WRITE_GRANT
             }
             (DirState::Exclusive(o), true) => {
                 let owner = *o;
@@ -460,8 +525,11 @@ impl Directory {
                     },
                 ));
                 self.stats.wb_reqs_sent += 1;
+                transition::BUSY_WBINVAL
             }
-        }
+        };
+        self.probe
+            .emit(self.clock, EventKind::DirTransition, block as u64, code);
     }
 
     /// Handles an acknowledgment (`InvAck`, `DownAck`, `WbInvalAck`) or
@@ -540,6 +608,16 @@ impl Directory {
                     } = *busy;
                     e.busy = None;
                     self.busy_ct -= 1;
+                    self.probe.emit(
+                        self.clock,
+                        EventKind::DirTransition,
+                        block as u64,
+                        if write {
+                            transition::RESOLVED_WRITE
+                        } else {
+                            transition::RESOLVED_READ
+                        },
+                    );
                     if write {
                         e.state = DirState::Exclusive(requester);
                         out.push((
@@ -621,19 +699,29 @@ impl Directory {
                     retries: busy.retries,
                 });
             }
+            busy.retries += 1;
             for &t in &busy.pending {
-                resend.push((t, busy.kind.message(block, busy.epoch)));
+                resend.push((t, busy.kind.message(block, busy.epoch), busy.retries));
                 retransmits += 1;
             }
-            busy.retries += 1;
             busy.next_retry = now + retry.backoff(busy.retries);
             min_next = min_next.min(busy.next_retry);
         }
         self.next_deadline = min_next;
         self.stats.retransmits += retransmits;
         // Deterministic send order regardless of hash-map iteration.
-        resend.sort_by_key(|&(to, msg)| (msg.block(), to));
-        out.append(&mut resend);
+        // Trace events are emitted in the same sorted order (a lane's
+        // event sequence must not depend on map iteration).
+        resend.sort_by_key(|&(to, msg, _)| (msg.block(), to));
+        for &(to, msg, retries) in &resend {
+            self.probe.emit(
+                self.clock,
+                EventKind::Retransmit,
+                msg.block().unwrap_or(0) as u64,
+                retries as u64,
+            );
+            out.push((to, msg));
+        }
         Ok(())
     }
 }

@@ -11,7 +11,7 @@
 //! * [`cache`] — set-associative MSI cache (tags + state).
 //! * [`msg`] — coherence protocol messages and their network sizes.
 //! * [`directory`] — the home-side protocol engine (full-map
-//!   invalidation directory, the paper's reference [5]).
+//!   invalidation directory, the paper's reference \[5\]).
 //! * [`controller`] — the requester-side controller: local fast path
 //!   vs. remote transaction, FLUSH and the fence counter.
 //! * [`error`] — typed protocol errors and the retransmission policy.

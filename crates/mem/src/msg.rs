@@ -5,7 +5,7 @@
 //! directed to its local memory. It maintains strong cache coherence
 //! for memory accesses" (paper, Section 2.1). The directory protocol is
 //! the full-map invalidation scheme of Chaiken et al. (the paper's
-//! reference [5]).
+//! reference \[5\]).
 //!
 //! Messages carry no data payload in this model; data is functionally
 //! backed by the machine's global memory, so only the protocol events

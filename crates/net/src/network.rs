@@ -13,6 +13,7 @@
 
 use crate::fault::{FaultPlan, FaultStats, Verdict};
 use crate::topology::{Channel, Topology};
+use april_obs::{EventKind, Hist, Probe};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -112,17 +113,15 @@ struct Event {
 ///
 /// let mut net: Network<&str> = Network::new(Topology::new(2, 4), NetConfig::default());
 /// net.send(0, 0, 15, 4, "hello");
+/// let mut d = Vec::new();
 /// let mut t = 0;
-/// loop {
-///     let d = net.poll(t);
-///     if !d.is_empty() {
-///         assert_eq!(d[0], (15, "hello"));
-///         break;
-///     }
+/// while d.is_empty() {
+///     net.poll_into(t, &mut d);
 ///     t += 1;
 /// }
+/// assert_eq!(d[0], (15, "hello"));
 /// // 6 hops + 4 flits: delivered by cycle 10.
-/// assert!(t <= 10);
+/// assert!(t <= 11);
 /// ```
 #[derive(Debug)]
 pub struct Network<P> {
@@ -140,6 +139,14 @@ pub struct Network<P> {
     pub stats: NetStats,
     /// Counts of injected faults (all zero without a fault plan).
     pub fault_stats: FaultStats,
+    /// End-to-end delivery latency distribution (log2 buckets).
+    /// Recorded unconditionally: hand-over order is deterministic, the
+    /// merge is order-independent, and the cost is a few adds.
+    latency_hist: Hist,
+    /// Hop-count distribution of delivered packets.
+    hops_hist: Hist,
+    /// Trace recorder for the network lane (inert by default).
+    probe: Probe,
 }
 
 impl<P> Network<P> {
@@ -158,7 +165,30 @@ impl<P> Network<P> {
             fault: None,
             stats: NetStats::default(),
             fault_stats: FaultStats::default(),
+            latency_hist: Hist::new(),
+            hops_hist: Hist::new(),
+            probe: Probe::default(),
         }
+    }
+
+    /// Installs a trace recorder for the network lane.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The network's trace recorder.
+    pub fn trace_probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Distribution of end-to-end delivery latencies (log2 buckets).
+    pub fn latency_hist(&self) -> &Hist {
+        &self.latency_hist
+    }
+
+    /// Distribution of delivered packets' hop counts.
+    pub fn hops_hist(&self) -> &Hist {
+        &self.hops_hist
     }
 
     /// Creates an idle network with a fault-injection plan installed.
@@ -231,28 +261,13 @@ impl<P> Network<P> {
         }));
     }
 
-    /// Advances the simulation to `now` and returns packets delivered
-    /// by then, in deterministic order.
-    ///
-    /// Test-only convenience wrapper around [`Network::poll_into`]: it
-    /// allocates a fresh `Vec` per call, which is exactly the per-cycle
-    /// allocation the hot paths avoid. Production cycle loops (the
-    /// machines, the experiment binaries) reuse a scratch buffer via
-    /// `poll_into` instead.
+    /// Advances the simulation to `now` and appends packets delivered
+    /// by then onto a caller-supplied buffer, in deterministic order —
+    /// the buffer is reused by machine cycle loops so the hot path
+    /// never allocates.
     ///
     /// Requires `P: Clone` so a fault plan can fork duplicate packets;
     /// without a plan no clone ever happens.
-    pub fn poll(&mut self, now: u64) -> Vec<(usize, P)>
-    where
-        P: Clone,
-    {
-        let mut out = Vec::new();
-        self.poll_into(now, &mut out);
-        out
-    }
-
-    /// [`Network::poll`], appending deliveries onto a caller-supplied
-    /// buffer so a machine's cycle loop can reuse scratch storage.
     pub fn poll_into(&mut self, now: u64, out: &mut Vec<(usize, P)>)
     where
         P: Clone,
@@ -292,6 +307,8 @@ impl<P> Network<P> {
         self.stats.delivered += 1;
         self.stats.total_latency += tail - flight.sent_at;
         self.stats.total_hops += flight.hops;
+        self.latency_hist.record(tail - flight.sent_at);
+        self.hops_hist.record(flight.hops);
     }
 
     /// Pops every delivery due in the half-open window `[start, end)`,
@@ -401,12 +418,14 @@ impl<P> Network<P> {
                 Verdict::Drop => {
                     self.flights.remove(&ev.id);
                     self.fault_stats.dropped += 1;
+                    self.probe.emit(ev.time, EventKind::NetDrop, ev.id, 0);
                     return;
                 }
                 Verdict::StallUntil(t) => {
                     // The link is down; retry the crossing when the
                     // outage window closes.
                     self.fault_stats.outage_stalls += 1;
+                    self.probe.emit(ev.time, EventKind::NetOutage, ev.id, t);
                     self.push_event(t, ev.id, ev.node);
                     return;
                 }
@@ -414,6 +433,7 @@ impl<P> Network<P> {
                     self.fault_stats.duplicated += 1;
                     let dup_id = DUP_BIT | self.next_dup_id;
                     self.next_dup_id += 1;
+                    self.probe.emit(ev.time, EventKind::NetDup, ev.id, dup_id);
                     let payload = self
                         .flights
                         .get(&ev.id)
@@ -434,6 +454,7 @@ impl<P> Network<P> {
                 }
                 Verdict::Delay(d) => {
                     self.fault_stats.delayed += 1;
+                    self.probe.emit(ev.time, EventKind::NetDelay, ev.id, d);
                     extra = d;
                 }
             }
@@ -442,6 +463,8 @@ impl<P> Network<P> {
         let start = ev.time.max(free);
         self.channel_free.insert(ch, start + size);
         self.stats.busy_flit_cycles += size;
+        self.probe
+            .emit(ev.time, EventKind::NetHop, ev.id, ev.node as u64);
         self.flights.get_mut(&ev.id).expect("flight exists").hops += 1;
         let arrive = start + self.cfg.hop_latency + extra;
         self.push_event(arrive, ev.id, next);
@@ -521,8 +544,10 @@ mod tests {
 
     fn drain<P: Copy>(net: &mut Network<P>, until: u64) -> Vec<(u64, usize, P)> {
         let mut out = Vec::new();
+        let mut scratch = Vec::new();
         for t in 0..=until {
-            for (dst, p) in net.poll(t) {
+            net.poll_into(t, &mut scratch);
+            for (dst, p) in scratch.drain(..) {
                 out.push((t, dst, p));
             }
         }
@@ -618,8 +643,11 @@ mod tests {
         assert_eq!(net.next_event_time(), Some(0));
         assert_eq!(net.earliest_delivery(u64::MAX), Some(10));
         // Routing ahead must not change what poll delivers, or when.
-        assert!(net.poll(9).is_empty());
-        assert_eq!(net.poll(10), vec![(7, 42)]);
+        let mut got = Vec::new();
+        net.poll_into(9, &mut got);
+        assert!(got.is_empty());
+        net.poll_into(10, &mut got);
+        assert_eq!(got, vec![(7, 42)]);
         assert!(net.is_idle());
     }
 
@@ -748,7 +776,9 @@ mod tests {
         assert_eq!(net.stats.total_latency, 0);
         assert_eq!(net.stats.total_hops, 0);
         // Popping it charges latency and hops exactly once.
-        assert_eq!(net.poll(10), vec![(7, 42)]);
+        let mut got = Vec::new();
+        net.poll_into(10, &mut got);
+        assert_eq!(got, vec![(7, 42)]);
         assert_eq!(net.stats.delivered, 1);
         assert_eq!(net.stats.total_latency, 10);
         assert_eq!(net.stats.total_hops, 7);
@@ -801,8 +831,10 @@ mod tests {
         let w = a.lookahead(2);
         assert_eq!(w, 2);
         let mut per_cycle = Vec::new();
+        let mut scratch = Vec::new();
         for t in 0..200 {
-            for (dst, p) in a.poll(t) {
+            a.poll_into(t, &mut scratch);
+            for (dst, p) in scratch.drain(..) {
                 per_cycle.push((t, dst, p));
             }
         }

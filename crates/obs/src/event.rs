@@ -1,0 +1,223 @@
+//! Structured trace events and lane encoding.
+
+/// The component a lane belongs to. Together with a node index it
+/// forms a [`lane`] id; each lane carries one deterministic event
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Component {
+    /// An APRIL processor (traps, context switches, synchronization
+    /// waits).
+    Cpu = 0,
+    /// A requester-side cache controller (misses, NACKs,
+    /// retransmissions).
+    Ctl = 1,
+    /// A home-side directory (protocol transitions, NACKs,
+    /// retransmissions).
+    Dir = 2,
+    /// The run-time software system (thread spawn/block/resume, lazy
+    /// task creation).
+    Runtime = 3,
+    /// The interconnection network (hops, drops, duplicates, delays,
+    /// outage stalls). A single lane; the node field is 0.
+    Net = 4,
+    /// Scheduler-internal events (window barriers, watchdog arming and
+    /// firing). Excluded from the cross-scheduler determinism contract
+    /// — they describe the scheduler, not the simulated machine.
+    Meta = 5,
+}
+
+impl Component {
+    /// Short lower-case name used in exports (`"cpu"`, `"net"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Cpu => "cpu",
+            Component::Ctl => "ctl",
+            Component::Dir => "dir",
+            Component::Runtime => "rt",
+            Component::Net => "net",
+            Component::Meta => "meta",
+        }
+    }
+
+    fn from_bits(bits: u32) -> Component {
+        match bits {
+            0 => Component::Cpu,
+            1 => Component::Ctl,
+            2 => Component::Dir,
+            3 => Component::Runtime,
+            4 => Component::Net,
+            _ => Component::Meta,
+        }
+    }
+}
+
+/// Packs a component and node index into a lane id. The node index
+/// must fit in 24 bits (16M nodes — far beyond any simulated machine).
+pub const fn lane(comp: Component, node: u32) -> u32 {
+    ((comp as u32) << 24) | (node & 0x00ff_ffff)
+}
+
+/// The component of a lane id.
+pub fn lane_component(lane: u32) -> Component {
+    Component::from_bits(lane >> 24)
+}
+
+/// The node index of a lane id.
+pub const fn lane_node(lane: u32) -> u32 {
+    lane & 0x00ff_ffff
+}
+
+/// What happened. The payload registers `a`/`b` carry kind-specific
+/// detail (addresses, packet ids, thread ids); the full schema is
+/// documented in DESIGN.md §10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A processor took a trap other than full/empty or future touch.
+    /// `a` = trap code, `b` = faulting address or service number.
+    TrapTaken = 0,
+    /// The run-time performed a context switch on this processor.
+    ContextSwitch = 1,
+    /// A full/empty synchronization fault. `a` = address, `b` = 1 for
+    /// a store.
+    FullEmptyWait = 2,
+    /// A future touch (strict operand or address tag). `a` = register
+    /// index.
+    FutureTouch = 3,
+    /// A cache miss. `a` = block address, `b` = 0 for a local fill,
+    /// 1 for a remote transaction.
+    CacheMiss = 4,
+    /// The controller received a NACK from an overloaded home.
+    /// `a` = block address.
+    NackRecv = 5,
+    /// A protocol message was retransmitted (controller request or
+    /// directory demand). `a` = block address, `b` = retry count.
+    Retransmit = 6,
+    /// A directory entry changed protocol state. `a` = block address,
+    /// `b` = encoded transition (see DESIGN.md §10).
+    DirTransition = 7,
+    /// The directory NACKed a request (waiter queue full).
+    /// `a` = block address, `b` = requester.
+    DirNack = 8,
+    /// A packet header crossed one channel. `a` = packet id,
+    /// `b` = channel source node.
+    NetHop = 9,
+    /// A packet was dropped by fault injection. `a` = packet id.
+    NetDrop = 10,
+    /// A packet was duplicated by fault injection. `a` = original id,
+    /// `b` = duplicate id.
+    NetDup = 11,
+    /// A packet crossing was delayed by fault injection.
+    /// `a` = packet id, `b` = extra cycles.
+    NetDelay = 12,
+    /// A packet crossing stalled on a link outage. `a` = packet id,
+    /// `b` = cycle the outage ends.
+    NetOutage = 13,
+    /// A conservative-window barrier completed (parallel scheduler
+    /// only; [`Component::Meta`]). `a` = window start, `b` = window
+    /// end (exclusive).
+    WindowBarrier = 14,
+    /// The forward-progress watchdog re-armed after observing
+    /// progress ([`Component::Meta`]). `a` = new deadline.
+    WatchdogArmed = 15,
+    /// The forward-progress watchdog fired ([`Component::Meta`]).
+    /// `a` = firing cycle.
+    WatchdogFired = 16,
+    /// The run-time created a thread. `a` = thread id, `b` = entry pc.
+    ThreadSpawn = 17,
+    /// A thread blocked on an unresolved future or full/empty wait.
+    /// `a` = thread id, `b` = address.
+    ThreadBlock = 18,
+    /// A blocked thread was made runnable again. `a` = thread id,
+    /// `b` = address.
+    ThreadResume = 19,
+    /// A lazy future (deferred task) was created. `a` = future
+    /// address, `b` = owner node.
+    LazyTask = 20,
+}
+
+impl EventKind {
+    /// Short stable name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TrapTaken => "trap",
+            EventKind::ContextSwitch => "context_switch",
+            EventKind::FullEmptyWait => "fe_wait",
+            EventKind::FutureTouch => "future_touch",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::NackRecv => "nack_recv",
+            EventKind::Retransmit => "retransmit",
+            EventKind::DirTransition => "dir_transition",
+            EventKind::DirNack => "dir_nack",
+            EventKind::NetHop => "net_hop",
+            EventKind::NetDrop => "net_drop",
+            EventKind::NetDup => "net_dup",
+            EventKind::NetDelay => "net_delay",
+            EventKind::NetOutage => "net_outage",
+            EventKind::WindowBarrier => "window_barrier",
+            EventKind::WatchdogArmed => "watchdog_armed",
+            EventKind::WatchdogFired => "watchdog_fired",
+            EventKind::ThreadSpawn => "thread_spawn",
+            EventKind::ThreadBlock => "thread_block",
+            EventKind::ThreadResume => "thread_resume",
+            EventKind::LazyTask => "lazy_task",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// `(cycle, lane, seq)` is the canonical sort key: `seq` numbers every
+/// emission on its lane (sampled out or not), so the key is unique and
+/// the canonical order is identical across schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle at which the event occurred.
+    pub cycle: u64,
+    /// Lane id (see [`lane`]).
+    pub lane: u32,
+    /// Emission number on this lane (monotonic, counts unsampled
+    /// emissions too).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload register (kind-specific).
+    pub a: u64,
+    /// Second payload register (kind-specific).
+    pub b: u64,
+}
+
+impl Event {
+    /// The canonical sort key.
+    pub fn key(&self) -> (u64, u32, u64) {
+        (self.cycle, self.lane, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_roundtrip() {
+        for comp in [
+            Component::Cpu,
+            Component::Ctl,
+            Component::Dir,
+            Component::Runtime,
+            Component::Net,
+            Component::Meta,
+        ] {
+            let l = lane(comp, 1234);
+            assert_eq!(lane_component(l), comp);
+            assert_eq!(lane_node(l), 1234);
+        }
+    }
+
+    #[test]
+    fn lanes_order_by_component_then_node() {
+        assert!(lane(Component::Cpu, 5) < lane(Component::Ctl, 0));
+        assert!(lane(Component::Ctl, 1) < lane(Component::Ctl, 2));
+    }
+}

@@ -1,0 +1,393 @@
+//! Minimal JSON emission and validation.
+//!
+//! The workspace builds fully offline with no external dependencies,
+//! so exports are hand-assembled. [`JsonWriter`] keeps the assembly
+//! honest (escaping, comma placement); [`validate_json`] is a strict
+//! syntax checker the test suites run over every export so a malformed
+//! trace can never ship silently.
+
+use std::fmt::Write as _;
+
+/// An append-only JSON assembler over a `String`.
+///
+/// The writer tracks comma placement per nesting level; the caller
+/// supplies structure (`begin_object` / `key` / `value`) in document
+/// order. Gauges are formatted with a fixed precision so equal inputs
+/// produce byte-equal documents.
+///
+/// # Examples
+///
+/// ```
+/// use april_obs::{validate_json, JsonWriter};
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.str_value("stall_heavy");
+/// w.key("cycles");
+/// w.u64_value(580111);
+/// w.end_object();
+/// let doc = w.finish();
+/// assert!(validate_json(&doc).is_ok());
+/// assert_eq!(doc, r#"{"name":"stall_heavy","cycles":580111}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Per-level "needs a comma before the next item" flags.
+    comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(c) = self.comma.last_mut() {
+            if *c {
+                self.out.push(',');
+            }
+            *c = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key. The next call must write its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        // The value that follows must not emit a comma of its own.
+        if let Some(c) = self.comma.last_mut() {
+            *c = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn str_value(&mut self, s: &str) {
+        self.pre_value();
+        write_escaped(&mut self.out, s);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64_value(&mut self, v: u64) {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a float with fixed 6-digit precision (deterministic:
+    /// equal inputs yield byte-equal output). Non-finite values are
+    /// not valid JSON and are clamped to 0.
+    pub fn f64_value(&mut self, v: f64) {
+        self.pre_value();
+        let v = if v.is_finite() { v } else { 0.0 };
+        let _ = write!(self.out, "{v:.6}");
+    }
+
+    /// Writes a boolean value.
+    pub fn bool_value(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Returns the assembled document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.comma.is_empty(), "unbalanced JSON writer");
+        self.out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes) onto `out`.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Strictly validates that `s` is one complete JSON value (RFC 8259
+/// grammar; no trailing content). Returns the byte offset and a
+/// message on the first error.
+///
+/// This is a syntax checker, not a parser: it builds no value tree, so
+/// the equivalence tests can afford to run it over multi-megabyte
+/// traces.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing content at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("{} at byte {}", what, self.i)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character")),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected a fraction digit"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected an exponent digit"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "0",
+            "-1.5e3",
+            r#"{"a":[1,2,{"b":"c\n"}],"d":null,"e":true}"#,
+            "  [1, 2, 3]  ",
+            r#""é""#,
+        ] {
+            assert!(validate_json(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            "01",
+            "1.",
+            "nul",
+            "[1] extra",
+            "\"unterminated",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate_json(doc).is_err(), "{doc:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn writer_escapes_and_balances() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("s");
+        w.str_value("line\n\"quote\"\\");
+        w.key("arr");
+        w.begin_array();
+        w.u64_value(1);
+        w.f64_value(0.5);
+        w.bool_value(false);
+        w.end_array();
+        w.end_object();
+        let doc = w.finish();
+        assert!(validate_json(&doc).is_ok(), "{doc}");
+        assert_eq!(
+            doc,
+            "{\"s\":\"line\\n\\\"quote\\\"\\\\\",\"arr\":[1,0.500000,false]}"
+        );
+    }
+}

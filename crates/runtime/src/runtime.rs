@@ -27,6 +27,7 @@ use april_core::stats::CpuStats;
 use april_core::trap::Trap;
 use april_core::word::Word;
 use april_machine::Machine;
+use april_obs::{lane, Component, EventKind, Probe, Section, StatsReport, Trace, TraceConfig};
 
 /// The outcome of a completed run.
 #[derive(Debug, Clone)]
@@ -83,6 +84,9 @@ pub struct Runtime<M: Machine> {
     /// Threads unloaded waiting for a word's full/empty state to
     /// change: (thread, address, wants_empty).
     fe_waiters: Vec<(ThreadId, u32, bool)>,
+    /// Scheduler-lane event recorder (thread spawn/block/resume, lazy
+    /// task creation). Inert until [`Runtime::attach_tracer`].
+    probe: Probe,
 }
 
 /// Run failure: the simulated program misbehaved or hung.
@@ -166,12 +170,48 @@ impl<M: Machine> Runtime<M> {
             booted: false,
             fe_spins: std::collections::HashMap::new(),
             fe_waiters: Vec::new(),
+            probe: Probe::default(),
         }
     }
 
     /// The wrapped machine (for inspection).
     pub fn machine(&self) -> &M {
         &self.machine
+    }
+
+    /// Installs live event probes on the machine's components and on
+    /// the run-time scheduler itself. Call before [`Runtime::run`].
+    pub fn attach_tracer(&mut self, cfg: TraceConfig) {
+        self.machine.attach_tracer(cfg);
+        self.probe = Probe::new(lane(Component::Runtime, 0), cfg);
+    }
+
+    /// Merges the machine's trace with the scheduler lane into one
+    /// canonically ordered [`Trace`].
+    pub fn collect_trace(&self) -> Trace {
+        let mut t = self.machine.collect_trace();
+        t.push_probe(&self.probe);
+        t.sort();
+        t
+    }
+
+    /// The machine's [`StatsReport`] extended with a `sched` section
+    /// of run-time scheduler counters.
+    pub fn stats_report(&self) -> StatsReport {
+        let mut report = self.machine.stats_report();
+        let st = self.sched.stats;
+        let mut s = Section::new("sched");
+        s.counter("threads_created", st.threads_created)
+            .counter("lazy_created", st.lazy_created)
+            .counter("inline_evals", st.inline_evals)
+            .counter("lazy_steals", st.lazy_steals)
+            .counter("ready_steals", st.ready_steals)
+            .counter("blocks", st.blocks)
+            .counter("wakes", st.wakes)
+            .counter("loads", st.loads)
+            .counter("unloads", st.unloads);
+        report.push(s);
+        report
     }
 
     /// Scheduler statistics so far.
@@ -316,6 +356,9 @@ impl<M: Machine> Runtime<M> {
                                 ThreadState::Blocked { future: addr };
                             self.fe_waiters.push((tid, addr, is_store));
                             self.sched.stats.blocks += 1;
+                            let now = self.machine.now();
+                            self.probe
+                                .emit(now, EventKind::ThreadBlock, tid.0 as u64, addr as u64);
                             self.fill_frame(node, fp);
                         }
                         self.machine.charge_handler(node, 4);
@@ -419,6 +462,9 @@ impl<M: Machine> Runtime<M> {
                 self.unload_thread(node, fp, ThreadState::Blocked { future: addr });
                 self.futures.add_waiter(addr, tid);
                 self.sched.stats.blocks += 1;
+                let now = self.machine.now();
+                self.probe
+                    .emit(now, EventKind::ThreadBlock, tid.0 as u64, addr as u64);
                 self.fill_frame(node, fp);
             }
         }
@@ -472,6 +518,7 @@ impl<M: Machine> Runtime<M> {
         } else {
             self.cfg.determine_cycles + 4 * waiters.len() as u64
         };
+        let now = self.machine.now();
         for tid in waiters {
             let t = &mut self.threads[tid.0 as usize];
             debug_assert!(matches!(t.state, ThreadState::Blocked { .. }));
@@ -479,6 +526,8 @@ impl<M: Machine> Runtime<M> {
             let home = t.home;
             self.sched.enqueue_ready(home, tid);
             self.sched.stats.wakes += 1;
+            self.probe
+                .emit(now, EventKind::ThreadResume, tid.0 as u64, addr as u64);
         }
         self.machine.charge_handler(node, cost);
     }
@@ -501,6 +550,9 @@ impl<M: Machine> Runtime<M> {
         t.regs[25] = Word::future_ptr(future); // REG_FUT
         self.sched.enqueue_ready(target, id);
         self.sched.stats.threads_created += 1;
+        let now = self.machine.now();
+        self.probe
+            .emit(now, EventKind::ThreadSpawn, id.0 as u64, target as u64);
         id
     }
 
@@ -599,6 +651,9 @@ impl<M: Machine> Runtime<M> {
         t.regs[0] = thunk.closure;
         t.regs[25] = Word::future_ptr(fut);
         self.sched.stats.threads_created += 1;
+        let now = self.machine.now();
+        self.probe
+            .emit(now, EventKind::ThreadSpawn, tid.0 as u64, node as u64);
         self.load_thread(node, frame, tid);
     }
 
@@ -620,12 +675,15 @@ impl<M: Machine> Runtime<M> {
                 true
             }
         });
+        let now = self.machine.now();
         for tid in woken {
             let t = &mut self.threads[tid.0 as usize];
             t.state = ThreadState::Ready;
             let home = t.home;
             self.sched.enqueue_ready(home, tid);
             self.sched.stats.wakes += 1;
+            self.probe
+                .emit(now, EventKind::ThreadResume, tid.0 as u64, home as u64);
         }
     }
 
@@ -702,6 +760,9 @@ impl<M: Machine> Runtime<M> {
                 );
                 self.sched.push_lazy(node, fut);
                 self.sched.stats.lazy_created += 1;
+                let now = self.machine.now();
+                self.probe
+                    .emit(now, EventKind::LazyTask, fut as u64, node as u64);
                 self.machine
                     .cpu_mut(node)
                     .set_reg(abi::REG_RET, Word::future_ptr(fut));
@@ -832,6 +893,9 @@ impl<M: Machine> Runtime<M> {
                 self.unload_thread(node, fp, ThreadState::Blocked { future: addr });
                 self.futures.add_waiter(addr, tid);
                 self.sched.stats.blocks += 1;
+                let now = self.machine.now();
+                self.probe
+                    .emit(now, EventKind::ThreadBlock, tid.0 as u64, addr as u64);
                 self.fill_frame(node, fp);
             }
         }

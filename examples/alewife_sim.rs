@@ -5,11 +5,17 @@
 //! in the background (paper, Sections 2-3).
 //!
 //! Run with: `cargo run --release --example alewife_sim`
+//!
+//! Set `APRIL_TRACE=trace.json` to also record the full structured
+//! event trace and write it out in Chrome `trace_event` format — open
+//! the file in `chrome://tracing` or <https://ui.perfetto.dev> to see
+//! per-node CPU, cache-controller, directory and network timelines.
 
 use april::machine::alewife::Alewife;
 use april::machine::config::MachineConfig;
 use april::mult::{compile, programs, CompileOptions};
 use april::net::topology::Topology;
+use april::obs::TraceConfig;
 use april::runtime::{RtConfig, Runtime};
 
 const REGION: u32 = 4 << 20;
@@ -30,7 +36,20 @@ fn main() {
             ..RtConfig::default()
         },
     );
+    let trace_out = std::env::var("APRIL_TRACE").ok();
+    if trace_out.is_some() {
+        rt.attach_tracer(TraceConfig::default());
+    }
     let r = rt.run().expect("completes");
+    if let Some(path) = &trace_out {
+        let trace = rt.collect_trace();
+        std::fs::write(path, trace.to_chrome_trace()).expect("trace written");
+        println!(
+            "wrote {} events to {path} (open in chrome://tracing or ui.perfetto.dev)",
+            trace.events().len()
+        );
+        println!();
+    }
 
     println!("fib(10) on a 4-node ALEWIFE: result = {}", r.value);
     println!("total cycles: {}", r.cycles);

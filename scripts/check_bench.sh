@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# Re-runs the benchmark smoke suite and reports percent deltas against
+# the committed baselines (BENCH_hotpaths.json / BENCH_parallel.json).
+#
+# The perf numbers are a *report*, not a gate: CI hardware varies far
+# too much to fail a build on throughput. The script fails only when a
+# baseline is missing, either side's JSON is malformed, or the expected
+# result arrays are absent — any of which means the harness itself (or
+# the committed baseline) broke, not the machine it ran on.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail() {
+    echo "check_bench: $*" >&2
+    exit 1
+}
+
+for f in BENCH_hotpaths.json BENCH_parallel.json; do
+    [ -f "$f" ] || fail "missing committed baseline $f"
+    jq empty "$f" 2>/dev/null || fail "committed baseline $f is malformed JSON"
+done
+jq -e '.workloads | type == "array" and length > 0' BENCH_hotpaths.json >/dev/null ||
+    fail "BENCH_hotpaths.json has no workloads array"
+jq -e '.points | type == "array" and length > 0' BENCH_parallel.json >/dev/null ||
+    fail "BENCH_parallel.json has no points array"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== bench smoke (fresh run) =="
+BENCH_SMOKE=1 BENCH_OUT="$tmp/hotpaths.json" \
+    cargo bench -q -p april-bench --bench sim_hotpaths >/dev/null
+BENCH_SMOKE=1 BENCH_PAR_OUT="$tmp/parallel.json" \
+    cargo bench -q -p april-bench --bench sim_parallel >/dev/null
+
+for f in "$tmp/hotpaths.json" "$tmp/parallel.json"; do
+    [ -f "$f" ] || fail "bench run produced no $(basename "$f")"
+    jq empty "$f" 2>/dev/null || fail "bench output $(basename "$f") is malformed JSON"
+done
+
+# Percent change of $1 relative to $2.
+pct() {
+    awk -v new="$1" -v old="$2" 'BEGIN {
+        if (old == 0) { print "n/a"; exit }
+        printf "%+.1f%%", (new - old) * 100.0 / old
+    }'
+}
+
+echo
+echo "hotpaths: event-driven cycles/sec, fresh smoke vs committed baseline"
+jq -r '.workloads[] | "\(.name) \(.event_cycles_per_sec)"' "$tmp/hotpaths.json" |
+    while read -r name fresh; do
+        base=$(jq -r --arg n "$name" \
+            '.workloads[] | select(.name == $n) | .event_cycles_per_sec // empty' \
+            BENCH_hotpaths.json)
+        if [ -z "$base" ]; then
+            echo "  $name: no committed baseline (new workload?)"
+        else
+            echo "  $name: $fresh vs $base ($(pct "$fresh" "$base"))"
+        fi
+    done
+
+echo
+echo "parallel: cycles/sec per (nodes, workers), fresh smoke vs committed baseline"
+jq -r '.points[] | "\(.nodes) \(.workers) \(.cycles_per_sec)"' "$tmp/parallel.json" |
+    while read -r nodes workers fresh; do
+        base=$(jq -r --argjson n "$nodes" --argjson w "$workers" \
+            '.points[] | select(.nodes == $n and .workers == $w) | .cycles_per_sec // empty' \
+            BENCH_parallel.json)
+        if [ -z "$base" ]; then
+            echo "  ${nodes}n x${workers}w: no committed baseline"
+        else
+            echo "  ${nodes}n x${workers}w: $fresh vs $base ($(pct "$fresh" "$base"))"
+        fi
+    done
+
+echo
+echo "check_bench: report complete (deltas are informational; only JSON health gates)."

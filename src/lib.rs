@@ -3,22 +3,25 @@
 //!
 //! This facade re-exports the whole system. The pieces:
 //!
-//! * [`core`](april_core) — the APRIL processor: tagged words, the
+//! * [`core`] — the APRIL processor: tagged words, the
 //!   instruction set with full/empty-bit memory operations and
 //!   `Jfull`/`Jempty`, four hardware task frames, the trap mechanism,
 //!   and a cycle-accounted execution engine.
-//! * [`mem`](april_mem) — caches, the full-map directory coherence
+//! * [`mem`] — caches, the full-map directory coherence
 //!   protocol, and word-addressed memory with full/empty bits.
-//! * [`net`](april_net) — the k-ary n-cube packet-switched network.
-//! * [`machine`](april_machine) — the ALEWIFE machine (and the ideal
+//! * [`net`] — the k-ary n-cube packet-switched network.
+//! * [`machine`] — the ALEWIFE machine (and the ideal
 //!   zero-latency machine used for the paper's Table 3).
-//! * [`runtime`](april_runtime) — the run-time software system:
+//! * [`runtime`] — the run-time software system:
 //!   virtual threads, scheduling, futures, lazy task creation, trap
 //!   handlers.
-//! * [`mult`](april_mult) — the Mul-T compiler (T-seq / Encore / APRIL
+//! * [`mult`] — the Mul-T compiler (T-seq / Encore / APRIL
 //!   targets) and the paper's four benchmarks.
-//! * [`model`](april_model) — the Section 8 analytical utilization
+//! * [`model`] — the Section 8 analytical utilization
 //!   model.
+//! * [`obs`] — the observability layer: structured event
+//!   tracing (JSONL / Chrome `trace_event` exports) and the metrics
+//!   registry snapshot, deterministic across all three schedulers.
 //!
 //! # Quick start
 //!
@@ -48,4 +51,5 @@ pub use april_mem as mem;
 pub use april_model as model;
 pub use april_mult as mult;
 pub use april_net as net;
+pub use april_obs as obs;
 pub use april_runtime as runtime;
