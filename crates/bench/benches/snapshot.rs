@@ -1,0 +1,155 @@
+//! Checkpoint/restore cost benchmark: how long a full-machine
+//! [`Snapshot`](april_machine::Snapshot) takes to capture and to
+//! restore, and how large the encoded state is, emitted as
+//! `BENCH_snapshot.json` so the cost trajectory is tracked from PR to
+//! PR.
+//!
+//! The workload is the false-sharing increment stress from the
+//! equivalence suites, cut mid-run so the checkpoint lands with live
+//! protocol transactions, network packets in flight, and partially
+//! filled caches — the realistic (and most expensive) case, not a
+//! quiescent machine. Every restore is verified: the resumed machine
+//! must re-encode to byte-identical snapshot bytes.
+//!
+//! `BENCH_SMOKE=1` shrinks the grid to the 16-node machine for CI.
+//! `BENCH_SNAP_OUT` overrides the output path.
+
+use april_core::isa::asm::assemble;
+use april_core::program::Program;
+use april_machine::alewife::Alewife;
+use april_machine::config::MachineConfig;
+use april_machine::driver::{drive_sequential_until, SwitchSpin};
+use april_machine::Machine;
+use april_net::topology::Topology;
+use std::time::Instant;
+
+/// Every node increments its own word of one shared block, forcing
+/// continuous invalidation traffic so the cut is protocol-busy.
+fn stress_program() -> Program {
+    assemble(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            movi 0x200, r9
+            add r9, r8, r9     ; my word within the shared block
+            movi 200, r10
+        loop:
+            ld r9+0, r11
+            add r11, 4, r11
+            st r11, r9+0
+            sub r10, 1, r10
+            jne loop
+            nop
+            halt
+        ",
+    )
+    .unwrap()
+}
+
+fn bench_cfg(dim: usize, radix: usize) -> MachineConfig {
+    MachineConfig {
+        topology: Topology::new(dim, radix),
+        region_bytes: 1 << 20,
+        ..MachineConfig::default()
+    }
+}
+
+/// A machine driven to a protocol-busy mid-run cut point.
+fn machine_at_cut(cfg: MachineConfig) -> Alewife {
+    let mut m = Alewife::new(cfg, stress_program());
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    drive_sequential_until(&mut m, &SwitchSpin::default(), 500, 10_000_000);
+    assert!(!m.all_halted(), "cut must land mid-run");
+    m
+}
+
+struct Point {
+    nodes: usize,
+    snapshot_bytes: usize,
+    checkpoint_us: f64,
+    restore_us: f64,
+}
+
+fn run_point(dim: usize, radix: usize, reps: u32) -> Point {
+    let cfg = bench_cfg(dim, radix);
+    let m = machine_at_cut(cfg);
+    let snap = m.checkpoint().expect("checkpoint");
+
+    // Best-of-N: the encoded state is deterministic, wall time is not.
+    let mut checkpoint_us = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = m.checkpoint().expect("checkpoint");
+        checkpoint_us = checkpoint_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(s.as_bytes(), snap.as_bytes(), "checkpoint is not stable");
+    }
+
+    let mut restore_us = f64::INFINITY;
+    for _ in 0..reps {
+        let mut fresh = Alewife::new(cfg, stress_program());
+        let t0 = Instant::now();
+        fresh.restore(&snap).expect("restore");
+        restore_us = restore_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        // The restored machine must re-encode to the same bytes — a
+        // cheap full-state equality check.
+        assert_eq!(
+            fresh.checkpoint().expect("re-checkpoint").as_bytes(),
+            snap.as_bytes(),
+            "restore round-trip is not a fixed point"
+        );
+    }
+
+    Point {
+        nodes: cfg.topology.num_nodes(),
+        snapshot_bytes: snap.as_bytes().len(),
+        checkpoint_us,
+        restore_us,
+    }
+}
+
+fn emit_json(points: &[Point]) {
+    let path = std::env::var("BENCH_SNAP_OUT").unwrap_or_else(|_| "BENCH_snapshot.json".into());
+    let mut body = String::from("{\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        body.push_str(&format!(
+            concat!(
+                "    {{\"nodes\": {}, \"snapshot_bytes\": {}, ",
+                "\"checkpoint_us\": {:.1}, \"restore_us\": {:.1}, ",
+                "\"encode_mb_per_sec\": {:.1}}}{}\n"
+            ),
+            p.nodes,
+            p.snapshot_bytes,
+            p.checkpoint_us,
+            p.restore_us,
+            p.snapshot_bytes as f64 / p.checkpoint_us,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, &body) {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let reps = if smoke { 3 } else { 10 };
+
+    println!("snapshot (mid-run checkpoint/restore cost, best of {reps})");
+    let mut points = vec![run_point(2, 4, reps)];
+    if !smoke {
+        points.push(run_point(2, 8, reps));
+    }
+    for p in &points {
+        println!(
+            "{:>3} nodes  {:>9} bytes  checkpoint {:>8.1} us  restore {:>8.1} us",
+            p.nodes, p.snapshot_bytes, p.checkpoint_us, p.restore_us,
+        );
+    }
+    emit_json(&points);
+}

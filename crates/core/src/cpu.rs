@@ -135,19 +135,19 @@ pub enum StepEvent {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cpu {
-    frames: Vec<TaskFrame>,
-    globals: [Word; 8],
-    fp: usize,
-    halted: bool,
-    irqs: VecDeque<usize>,
+    pub(crate) frames: Vec<TaskFrame>,
+    pub(crate) globals: [Word; 8],
+    pub(crate) fp: usize,
+    pub(crate) halted: bool,
+    pub(crate) irqs: VecDeque<usize>,
     /// Cycle ledger.
     pub stats: CpuStats,
-    cfg: CpuConfig,
+    pub(crate) cfg: CpuConfig,
     /// Machine clock mirror, kept current by the scheduler (the ledger
     /// in `stats` lags the clock, so trace events cannot use it).
-    clock: u64,
+    pub(crate) clock: u64,
     /// Trace recorder for this processor's lane (inert by default).
-    probe: Probe,
+    pub(crate) probe: Probe,
 }
 
 impl Default for Cpu {

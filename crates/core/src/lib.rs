@@ -76,6 +76,7 @@ pub mod isa;
 pub mod memport;
 pub mod program;
 pub mod psr;
+pub mod snapshot;
 pub mod stats;
 pub mod trap;
 pub mod word;

@@ -1,0 +1,231 @@
+//! Wire encoding of processor state for machine snapshots.
+//!
+//! The checkpoint subsystem (DESIGN.md §11) serializes each APRIL
+//! processor — task frames, PC chains, PSRs, globals, pending
+//! interrupts, the cycle ledger, and the trace probe — so a restored
+//! machine resumes *bit-exactly*: same register contents, same trap
+//! behavior, same trace event stream.
+//!
+//! Restore targets an existing [`Cpu`] built from the same
+//! [`CpuConfig`](crate::cpu::CpuConfig); the configuration itself is
+//! validated at the machine layer (it is part of the snapshot header),
+//! so this module only checks structural invariants such as the frame
+//! count.
+
+use crate::cpu::Cpu;
+use crate::frame::{FrameState, TaskFrame, FREGS_PER_FRAME, REGS_PER_FRAME};
+use crate::psr::Psr;
+use crate::word::Word;
+use april_obs::Probe;
+use april_util::wire::{ByteReader, ByteWriter, WireError};
+use std::collections::VecDeque;
+
+fn encode_frame(f: &TaskFrame, w: &mut ByteWriter) {
+    for r in &f.regs {
+        w.u32(r.0);
+    }
+    for &fr in &f.fregs {
+        w.u32(fr);
+    }
+    w.u32(f.pc);
+    w.u32(f.npc);
+    w.u32(f.psr.to_word().0);
+    w.u8(match f.state {
+        FrameState::Empty => 0,
+        FrameState::Ready => 1,
+        FrameState::WaitingRemote => 2,
+    });
+}
+
+fn decode_frame(r: &mut ByteReader<'_>) -> Result<TaskFrame, WireError> {
+    let mut f = TaskFrame::default();
+    for i in 0..REGS_PER_FRAME {
+        f.regs[i] = Word(r.u32()?);
+    }
+    for i in 0..FREGS_PER_FRAME {
+        f.fregs[i] = r.u32()?;
+    }
+    f.pc = r.u32()?;
+    f.npc = r.u32()?;
+    f.psr = Psr::from_word(Word(r.u32()?));
+    let at = r.pos();
+    f.state = match r.u8()? {
+        0 => FrameState::Empty,
+        1 => FrameState::Ready,
+        2 => FrameState::WaitingRemote,
+        tag => return Err(WireError::BadTag { at, tag }),
+    };
+    Ok(f)
+}
+
+/// Appends `cpu`'s complete architectural and accounting state to a
+/// snapshot buffer.
+pub fn encode_cpu(cpu: &Cpu, w: &mut ByteWriter) {
+    w.usize(cpu.frames.len());
+    for f in &cpu.frames {
+        encode_frame(f, w);
+    }
+    for g in &cpu.globals {
+        w.u32(g.0);
+    }
+    w.usize(cpu.fp);
+    w.bool(cpu.halted);
+    w.usize(cpu.irqs.len());
+    for &src in &cpu.irqs {
+        w.usize(src);
+    }
+    let s = &cpu.stats;
+    for v in [
+        s.useful_cycles,
+        s.trap_cycles,
+        s.handler_cycles,
+        s.stall_cycles,
+        s.idle_cycles,
+        s.instructions,
+        s.context_switches,
+        s.traps,
+        s.mem_ops,
+        s.remote_misses,
+        s.fe_traps,
+        s.future_traps,
+    ] {
+        w.u64(v);
+    }
+    w.u64(cpu.clock);
+    cpu.probe.encode(w);
+}
+
+/// Restores state written by [`encode_cpu`] into an existing processor
+/// constructed with the same configuration.
+///
+/// The processor's [`CpuConfig`](crate::cpu::CpuConfig) is untouched;
+/// a frame-count mismatch (snapshot from a differently sized machine)
+/// is rejected as [`WireError::Corrupt`].
+pub fn restore_cpu(cpu: &mut Cpu, r: &mut ByteReader<'_>) -> Result<(), WireError> {
+    let nframes = r.usize()?;
+    if nframes != cpu.frames.len() {
+        return Err(WireError::Corrupt("task frame count mismatch"));
+    }
+    for i in 0..nframes {
+        cpu.frames[i] = decode_frame(r)?;
+    }
+    for g in cpu.globals.iter_mut() {
+        *g = Word(r.u32()?);
+    }
+    let fp = r.usize()?;
+    if fp >= nframes {
+        return Err(WireError::Corrupt("frame pointer out of range"));
+    }
+    cpu.fp = fp;
+    cpu.halted = r.bool()?;
+    let nirqs = r.usize()?;
+    let mut irqs = VecDeque::with_capacity(nirqs);
+    for _ in 0..nirqs {
+        irqs.push_back(r.usize()?);
+    }
+    cpu.irqs = irqs;
+    let s = &mut cpu.stats;
+    for v in [
+        &mut s.useful_cycles,
+        &mut s.trap_cycles,
+        &mut s.handler_cycles,
+        &mut s.stall_cycles,
+        &mut s.idle_cycles,
+        &mut s.instructions,
+        &mut s.context_switches,
+        &mut s.traps,
+        &mut s.mem_ops,
+        &mut s.remote_misses,
+        &mut s.fe_traps,
+        &mut s.future_traps,
+    ] {
+        *v = r.u64()?;
+    }
+    cpu.clock = r.u64()?;
+    cpu.probe = Probe::decode(r)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuConfig;
+    use crate::frame::FrameState;
+    use april_obs::{lane, Component, EventKind, TraceConfig};
+
+    fn busy_cpu() -> Cpu {
+        let mut cpu = Cpu::new(CpuConfig::default());
+        cpu.attach_probe(Probe::new(lane(Component::Cpu, 2), TraceConfig::default()));
+        cpu.boot(10);
+        cpu.set_reg(crate::isa::Reg::L(3), Word::fixnum(77));
+        cpu.set_reg(crate::isa::Reg::G(4), Word(0xdead_0000));
+        cpu.frame_mut(1).reset_at(44);
+        cpu.frame_mut(1).state = FrameState::WaitingRemote;
+        cpu.set_fp(1);
+        cpu.post_interrupt(9);
+        cpu.charge_handler(12);
+        cpu.charge_idle(3);
+        cpu.set_clock(500);
+        cpu.count_context_switch();
+        cpu
+    }
+
+    #[test]
+    fn cpu_roundtrips_exactly() {
+        let cpu = busy_cpu();
+        let mut w = ByteWriter::new();
+        encode_cpu(&cpu, &mut w);
+        let bytes = w.finish();
+
+        let mut restored = Cpu::new(CpuConfig::default());
+        restore_cpu(&mut restored, &mut ByteReader::new(&bytes)).unwrap();
+
+        assert_eq!(restored.fp(), cpu.fp());
+        assert_eq!(restored.is_halted(), cpu.is_halted());
+        assert_eq!(restored.stats, cpu.stats);
+        for i in 0..cpu.nframes() {
+            assert_eq!(restored.frame(i), cpu.frame(i), "frame {i}");
+        }
+        assert_eq!(
+            restored.trace_probe().emitted(),
+            cpu.trace_probe().emitted()
+        );
+        // Both continue identically.
+        let mut a = cpu;
+        let mut b = restored;
+        a.count_context_switch();
+        b.count_context_switch();
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn frame_count_mismatch_is_rejected() {
+        let cpu = busy_cpu();
+        let mut w = ByteWriter::new();
+        encode_cpu(&cpu, &mut w);
+        let bytes = w.finish();
+        let mut other = Cpu::new(CpuConfig {
+            nframes: 2,
+            ..CpuConfig::default()
+        });
+        assert!(restore_cpu(&mut other, &mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn restored_probe_resumes_event_stream() {
+        let mut cpu = busy_cpu();
+        let mut w = ByteWriter::new();
+        encode_cpu(&cpu, &mut w);
+        let bytes = w.finish();
+        let mut restored = Cpu::new(CpuConfig::default());
+        restore_cpu(&mut restored, &mut ByteReader::new(&bytes)).unwrap();
+        cpu.set_clock(501);
+        restored.set_clock(501);
+        cpu.count_context_switch();
+        restored.count_context_switch();
+        let a: Vec<_> = cpu.trace_probe().events().copied().collect();
+        let b: Vec<_> = restored.trace_probe().events().copied().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.last().unwrap().kind, EventKind::ContextSwitch);
+    }
+}

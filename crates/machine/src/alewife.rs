@@ -76,17 +76,17 @@ pub(crate) struct Env {
 pub struct Alewife {
     /// Per-node state.
     pub nodes: Vec<Node>,
-    mem: FeMemory,
-    net: Network<Env>,
-    prog: Program,
-    cfg: MachineConfig,
-    ready_at: Vec<u64>,
-    now: u64,
-    watchdog: Watchdog,
-    fault: Option<MachineFault>,
+    pub(crate) mem: FeMemory,
+    pub(crate) net: Network<Env>,
+    pub(crate) prog: Program,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) ready_at: Vec<u64>,
+    pub(crate) now: u64,
+    pub(crate) watchdog: Watchdog,
+    pub(crate) fault: Option<MachineFault>,
     /// `halted_at[i]`: the cycle at which node `i`'s CPU executed
     /// `halt`, once it has.
-    halted_at: Vec<Option<u64>>,
+    pub(crate) halted_at: Vec<Option<u64>>,
     /// `parked[i]`: stepping CPU `i` is known to yield `NoReadyFrame`,
     /// which every driver answers with exactly `charge_idle(i, 1)` and
     /// nothing else. A parked CPU does not hold the event-driven skip
@@ -95,7 +95,7 @@ pub struct Alewife {
     /// cleared aggressively — on any delivery, any driver mutation, or
     /// any non-idle step event — because a stale `true` could skip real
     /// work while a spurious `false` only costs a smaller skip.
-    parked: Vec<bool>,
+    pub(crate) parked: Vec<bool>,
     /// Scratch buffers reused across cycles so the hot loop allocates
     /// nothing: network deliveries, controller/directory sends, I/O
     /// sends.
@@ -106,7 +106,7 @@ pub struct Alewife {
     /// Scheduler-internal events (watchdog arming/firing). Lives on
     /// the meta lane, which [`Trace::retain_semantic`] excludes from
     /// the cross-scheduler determinism contract.
-    meta_probe: Probe,
+    pub(crate) meta_probe: Probe,
 }
 
 impl Alewife {
@@ -325,6 +325,184 @@ impl Alewife {
         } else {
             t
         }
+    }
+
+    /// The cycle the next `advance()` would jump to: the next event
+    /// under the event-driven skip, or simply `now + 1` in lockstep
+    /// mode or once a fault has been recorded.
+    fn advance_target(&mut self) -> u64 {
+        if self.cfg.lockstep || self.fault.is_some() {
+            self.now + 1
+        } else {
+            self.next_event()
+        }
+    }
+
+    /// Advances like [`Machine::advance`], but never past cycle `cap`.
+    ///
+    /// Capping is what makes cycle-exact checkpoints possible on the
+    /// event-driven scheduler: the skip would otherwise jump over the
+    /// requested cycle. A capped target is just a smaller skip — the
+    /// parked-CPU idle bulk-charge is linear in the skipped span, so
+    /// stopping early and resuming reproduces the uncapped ledger bit
+    /// for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not in the future (`cap <= now()`).
+    pub fn advance_capped(&mut self, cap: u64) -> Vec<(usize, StepEvent)> {
+        assert!(
+            cap > self.now,
+            "advance_capped: cap {cap} <= now {}",
+            self.now
+        );
+        let target = self.advance_target().min(cap);
+        self.advance_to(target)
+    }
+
+    /// The jump-and-execute body shared by [`Machine::advance`] and
+    /// [`Alewife::advance_capped`]: moves the clock to `target` and
+    /// performs the full cycle of machine work there.
+    fn advance_to(&mut self, target: u64) -> Vec<(usize, StepEvent)> {
+        // Bulk-charge parked CPUs the idle cycles lockstep would have
+        // charged one at a time over the skipped window. A parked CPU
+        // has `ready_at[i] <= now + 1 <= target`; lockstep would step
+        // it (yielding `NoReadyFrame`, +1 idle from the driver) at each
+        // of `ready_at[i] .. target`, leaving `ready_at[i] == target`.
+        for i in 0..self.nodes.len() {
+            if self.parked[i] && !self.nodes[i].cpu.is_halted() {
+                let add = target - self.ready_at[i];
+                if add > 0 {
+                    self.nodes[i].cpu.charge_idle(add);
+                    self.ready_at[i] = target;
+                }
+            }
+        }
+        self.now = target;
+        // Protocol engines stamp fresh transactions `clock + timeout`;
+        // after a jump their clocks must be current *before* deliveries
+        // are dispatched, not after the post-step tick. Done in both
+        // modes so lockstep and event-driven stay bit-identical.
+        for n in &mut self.nodes {
+            n.cpu.set_clock(self.now);
+            n.ctl.set_clock(self.now);
+            n.dir.set_clock(self.now);
+        }
+        // Deliver network messages due this cycle. Any delivery can
+        // make a CPU runnable (reply wakes a frame, IPI posts an
+        // interrupt), so all parked flags are conservatively cleared.
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        deliveries.clear();
+        self.net.poll_into(self.now, &mut deliveries);
+        if !deliveries.is_empty() {
+            self.parked.fill(false);
+        }
+        for &(dst, env) in &deliveries {
+            self.dispatch_msg(dst, env);
+        }
+        deliveries.clear();
+        self.scratch_deliveries = deliveries;
+        // Step processors.
+        let mut evs = Vec::new();
+        let cfg = self.cfg;
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let mut io_sends = std::mem::take(&mut self.scratch_io);
+        for i in 0..self.nodes.len() {
+            if self.ready_at[i] > self.now || self.nodes[i].cpu.is_halted() {
+                continue;
+            }
+            out.clear();
+            io_sends.clear();
+            let node = &mut self.nodes[i];
+            let before = node.cpu.stats.total();
+            let ev = {
+                let port = NodePort {
+                    node: i,
+                    ctl: &mut node.ctl,
+                    dir: &mut node.dir,
+                    io_regs: &mut node.io_regs,
+                    mem: &mut self.mem,
+                    cfg: &cfg,
+                    out: &mut out,
+                    io_sends: &mut io_sends,
+                    write_log: None,
+                };
+                node.cpu.step(&self.prog, port)
+            };
+            let cost = node.cpu.stats.total() - before;
+            self.ready_at[i] = self.now + cost;
+            if node.cpu.is_halted() && self.halted_at[i].is_none() {
+                self.halted_at[i] = Some(self.now);
+            }
+            if !matches!(ev, StepEvent::NoReadyFrame) {
+                // The CPU did something: it is no longer known-idle.
+                self.parked[i] = false;
+            }
+            for &(to, msg) in &out {
+                let size = msg.size_flits(cfg.block_words()) as u64;
+                self.net.send(self.now, i, to, size, Env { src: i, msg });
+            }
+            for &(to, msg) in &io_sends {
+                self.net.send(self.now, i, to, 2, Env { src: i, msg });
+            }
+            match ev {
+                StepEvent::Executed | StepEvent::Stalled { .. } => {}
+                other => evs.push((i, other)),
+            }
+        }
+        // Advance the protocol clocks: retransmit overdue requests
+        // (controller side) and overdue demands (directory side).
+        // O(1) per node between deadlines thanks to `next_deadline`.
+        for i in 0..self.nodes.len() {
+            out.clear();
+            match self.nodes[i]
+                .ctl
+                .tick(self.now, |a| cfg.home_of(a), &mut out)
+            {
+                Ok(()) => {
+                    for &(to, msg) in &out {
+                        let size = msg.size_flits(cfg.block_words()) as u64;
+                        self.net.send(self.now, i, to, size, Env { src: i, msg });
+                    }
+                }
+                Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
+            }
+            out.clear();
+            match self.nodes[i].dir.tick(self.now, &mut out) {
+                Ok(()) => {
+                    for &(to, msg) in &out {
+                        let size = msg.size_flits(cfg.block_words()) as u64;
+                        self.net
+                            .send(self.now + cfg.mem_latency, i, to, size, Env { src: i, msg });
+                    }
+                }
+                Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
+            }
+        }
+        out.clear();
+        io_sends.clear();
+        self.scratch_out = out;
+        self.scratch_io = io_sends;
+        // Forward-progress watchdog: fire only when work is pending —
+        // a stable signature on an idle machine is quiescence.
+        if self.cfg.watchdog.enabled && self.fault.is_none() {
+            let sig = self.progress_sig();
+            let horizon = self.cfg.watchdog.horizon;
+            let deadline_before = self.watchdog.deadline(horizon);
+            let fired = self.watchdog.observe(self.now, sig, horizon);
+            let deadline_after = self.watchdog.deadline(horizon);
+            if deadline_after != deadline_before {
+                self.meta_probe
+                    .emit(self.now, EventKind::WatchdogArmed, deadline_after, 0);
+            }
+            if fired && self.has_pending_work() {
+                self.meta_probe
+                    .emit(self.now, EventKind::WatchdogFired, deadline_after, 0);
+                let pm = self.post_mortem();
+                self.set_fault(MachineFault::NoForwardProgress(Box::new(pm)));
+            }
+        }
+        evs
     }
 
     /// Captures the machine's stuck state for a watchdog report.
@@ -652,151 +830,10 @@ impl Machine for Alewife {
         // anything can happen. Cycle-exact with the lockstep path (see
         // DESIGN.md §8): every skipped cycle is one in which lockstep
         // would only have stepped parked CPUs into `NoReadyFrame` and
-        // charged them one idle cycle each — replayed in bulk below.
-        let target = if self.cfg.lockstep || self.fault.is_some() {
-            self.now + 1
-        } else {
-            self.next_event()
-        };
-        // Bulk-charge parked CPUs the idle cycles lockstep would have
-        // charged one at a time over the skipped window. A parked CPU
-        // has `ready_at[i] <= now + 1 <= target`; lockstep would step
-        // it (yielding `NoReadyFrame`, +1 idle from the driver) at each
-        // of `ready_at[i] .. target`, leaving `ready_at[i] == target`.
-        for i in 0..self.nodes.len() {
-            if self.parked[i] && !self.nodes[i].cpu.is_halted() {
-                let add = target - self.ready_at[i];
-                if add > 0 {
-                    self.nodes[i].cpu.charge_idle(add);
-                    self.ready_at[i] = target;
-                }
-            }
-        }
-        self.now = target;
-        // Protocol engines stamp fresh transactions `clock + timeout`;
-        // after a jump their clocks must be current *before* deliveries
-        // are dispatched, not after the post-step tick. Done in both
-        // modes so lockstep and event-driven stay bit-identical.
-        for n in &mut self.nodes {
-            n.cpu.set_clock(self.now);
-            n.ctl.set_clock(self.now);
-            n.dir.set_clock(self.now);
-        }
-        // Deliver network messages due this cycle. Any delivery can
-        // make a CPU runnable (reply wakes a frame, IPI posts an
-        // interrupt), so all parked flags are conservatively cleared.
-        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
-        deliveries.clear();
-        self.net.poll_into(self.now, &mut deliveries);
-        if !deliveries.is_empty() {
-            self.parked.fill(false);
-        }
-        for &(dst, env) in &deliveries {
-            self.dispatch_msg(dst, env);
-        }
-        deliveries.clear();
-        self.scratch_deliveries = deliveries;
-        // Step processors.
-        let mut evs = Vec::new();
-        let cfg = self.cfg;
-        let mut out = std::mem::take(&mut self.scratch_out);
-        let mut io_sends = std::mem::take(&mut self.scratch_io);
-        for i in 0..self.nodes.len() {
-            if self.ready_at[i] > self.now || self.nodes[i].cpu.is_halted() {
-                continue;
-            }
-            out.clear();
-            io_sends.clear();
-            let node = &mut self.nodes[i];
-            let before = node.cpu.stats.total();
-            let ev = {
-                let port = NodePort {
-                    node: i,
-                    ctl: &mut node.ctl,
-                    dir: &mut node.dir,
-                    io_regs: &mut node.io_regs,
-                    mem: &mut self.mem,
-                    cfg: &cfg,
-                    out: &mut out,
-                    io_sends: &mut io_sends,
-                    write_log: None,
-                };
-                node.cpu.step(&self.prog, port)
-            };
-            let cost = node.cpu.stats.total() - before;
-            self.ready_at[i] = self.now + cost;
-            if node.cpu.is_halted() && self.halted_at[i].is_none() {
-                self.halted_at[i] = Some(self.now);
-            }
-            if !matches!(ev, StepEvent::NoReadyFrame) {
-                // The CPU did something: it is no longer known-idle.
-                self.parked[i] = false;
-            }
-            for &(to, msg) in &out {
-                let size = msg.size_flits(cfg.block_words()) as u64;
-                self.net.send(self.now, i, to, size, Env { src: i, msg });
-            }
-            for &(to, msg) in &io_sends {
-                self.net.send(self.now, i, to, 2, Env { src: i, msg });
-            }
-            match ev {
-                StepEvent::Executed | StepEvent::Stalled { .. } => {}
-                other => evs.push((i, other)),
-            }
-        }
-        // Advance the protocol clocks: retransmit overdue requests
-        // (controller side) and overdue demands (directory side).
-        // O(1) per node between deadlines thanks to `next_deadline`.
-        for i in 0..self.nodes.len() {
-            out.clear();
-            match self.nodes[i]
-                .ctl
-                .tick(self.now, |a| cfg.home_of(a), &mut out)
-            {
-                Ok(()) => {
-                    for &(to, msg) in &out {
-                        let size = msg.size_flits(cfg.block_words()) as u64;
-                        self.net.send(self.now, i, to, size, Env { src: i, msg });
-                    }
-                }
-                Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
-            }
-            out.clear();
-            match self.nodes[i].dir.tick(self.now, &mut out) {
-                Ok(()) => {
-                    for &(to, msg) in &out {
-                        let size = msg.size_flits(cfg.block_words()) as u64;
-                        self.net
-                            .send(self.now + cfg.mem_latency, i, to, size, Env { src: i, msg });
-                    }
-                }
-                Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
-            }
-        }
-        out.clear();
-        io_sends.clear();
-        self.scratch_out = out;
-        self.scratch_io = io_sends;
-        // Forward-progress watchdog: fire only when work is pending —
-        // a stable signature on an idle machine is quiescence.
-        if self.cfg.watchdog.enabled && self.fault.is_none() {
-            let sig = self.progress_sig();
-            let horizon = self.cfg.watchdog.horizon;
-            let deadline_before = self.watchdog.deadline(horizon);
-            let fired = self.watchdog.observe(self.now, sig, horizon);
-            let deadline_after = self.watchdog.deadline(horizon);
-            if deadline_after != deadline_before {
-                self.meta_probe
-                    .emit(self.now, EventKind::WatchdogArmed, deadline_after, 0);
-            }
-            if fired && self.has_pending_work() {
-                self.meta_probe
-                    .emit(self.now, EventKind::WatchdogFired, deadline_after, 0);
-                let pm = self.post_mortem();
-                self.set_fault(MachineFault::NoForwardProgress(Box::new(pm)));
-            }
-        }
-        evs
+        // charged them one idle cycle each — replayed in bulk by
+        // `advance_to`.
+        let target = self.advance_target();
+        self.advance_to(target)
     }
 
     fn cpu(&self, i: usize) -> &Cpu {
@@ -887,6 +924,17 @@ impl Machine for Alewife {
 
     fn stats_report(&self) -> StatsReport {
         crate::obs::build_report(&self.nodes, &self.net)
+    }
+
+    fn checkpoint(&self) -> Result<crate::snapshot::Snapshot, crate::snapshot::SnapshotError> {
+        Alewife::checkpoint(self)
+    }
+
+    fn restore(
+        &mut self,
+        snap: &crate::snapshot::Snapshot,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Alewife::restore(self, snap)
     }
 }
 

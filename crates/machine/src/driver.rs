@@ -135,3 +135,30 @@ pub fn drive_sequential(
         }
     }
 }
+
+/// Like [`drive_sequential`], but stops as soon as the clock reaches
+/// `stop_at` (the machine lands on that cycle exactly — see
+/// [`Alewife::advance_capped`]), whether or not the run is finished.
+/// Used to position a machine for a checkpoint, or to replay a
+/// restored machine up to a comparison cycle. Returns the fault if one
+/// ended the run first. Panics past `max` cycles.
+pub fn drive_sequential_until(
+    m: &mut Alewife,
+    driver: &dyn NodeDriver,
+    stop_at: u64,
+    max: u64,
+) -> Option<MachineFault> {
+    loop {
+        assert!(m.now() < max, "timeout at cycle {}", m.now());
+        if m.fault().is_some() {
+            return m.fault().cloned();
+        }
+        if m.now() >= stop_at || (m.all_halted() && !m.pending_work()) {
+            return None;
+        }
+        for (i, ev) in m.advance_capped(stop_at) {
+            let mut ctx = MachineCtx { m, node: i };
+            driver.on_event(i, ev, &mut ctx);
+        }
+    }
+}

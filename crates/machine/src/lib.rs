@@ -25,6 +25,8 @@ pub mod driver;
 pub mod ideal;
 pub(crate) mod obs;
 pub mod parallel;
+pub mod replay;
+pub mod snapshot;
 pub mod watchdog;
 
 use april_core::cpu::{Cpu, StepEvent};
@@ -34,10 +36,15 @@ use april_obs::{StatsReport, Trace, TraceConfig};
 
 pub use alewife::Alewife;
 pub use config::MachineConfig;
+pub use driver::drive_sequential_until;
 pub use driver::{drive_sequential, EventCtx, NodeDriver, SwitchSpin};
 pub use ideal::IdealMachine;
 pub use parallel::ParallelAlewife;
+pub use replay::{Divergence, Replayer};
+pub use snapshot::{diff_snapshots, Snapshot, SnapshotError};
 pub use watchdog::{MachineFault, PostMortem, WatchdogConfig};
+
+pub use april_net::topology::Topology;
 
 /// A machine the run-time system can drive.
 ///
@@ -111,5 +118,20 @@ pub trait Machine {
     /// [`StatsReport`]. Uninstrumented machines return an empty report.
     fn stats_report(&self) -> StatsReport {
         StatsReport::new()
+    }
+
+    /// Captures the machine's complete state as a versioned
+    /// [`Snapshot`] (DESIGN.md §11). Machines without snapshot support
+    /// report [`SnapshotError::Unsupported`].
+    fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+        Err(SnapshotError::Unsupported)
+    }
+
+    /// Restores a [`Snapshot`] taken on an identically configured
+    /// machine running the same program; the continuation is bit-exact
+    /// with the checkpointed run. Machines without snapshot support
+    /// report [`SnapshotError::Unsupported`].
+    fn restore(&mut self, _snap: &Snapshot) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported)
     }
 }

@@ -491,20 +491,20 @@ fn take<T>(m: &Mutex<Option<T>>, cv: &Condvar, spin: u32) -> T {
 /// worker threads inside the conservative windows.
 #[derive(Debug)]
 pub struct ParallelAlewife {
-    nodes: Vec<Node>,
-    mem: FeMemory,
-    net: Network<Env>,
-    prog: Program,
-    cfg: MachineConfig,
-    ready_at: Vec<u64>,
-    halted_at: Vec<Option<u64>>,
-    now: u64,
-    watchdog: Watchdog,
-    fault: Option<MachineFault>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) mem: FeMemory,
+    pub(crate) net: Network<Env>,
+    pub(crate) prog: Program,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) ready_at: Vec<u64>,
+    pub(crate) halted_at: Vec<Option<u64>>,
+    pub(crate) now: u64,
+    pub(crate) watchdog: Watchdog,
+    pub(crate) fault: Option<MachineFault>,
     /// Scheduler-internal events (window barriers, watchdog arming/
     /// firing) on the meta lane, which [`Trace::retain_semantic`]
     /// excludes from the cross-scheduler determinism contract.
-    meta_probe: Probe,
+    pub(crate) meta_probe: Probe,
 }
 
 impl ParallelAlewife {
@@ -677,6 +677,31 @@ impl ParallelAlewife {
     /// Panics if simulated time reaches `max` (a hang), or if the
     /// configuration admits no conservative window (zero lookahead).
     pub fn run<D: NodeDriver>(&mut self, driver: &D, max: u64) -> Option<MachineFault> {
+        self.run_inner(driver, max, None)
+    }
+
+    /// Like [`ParallelAlewife::run`], but stops as soon as the clock
+    /// reaches `stop_at` (the machine lands on that cycle exactly),
+    /// whether or not the run is finished. Window widths are clamped so
+    /// no window crosses `stop_at`; narrower windows are always sound
+    /// (see [`MachineConfig::window_override`]), so the run stays
+    /// bit-exact with the sequential schedulers. Used to position a
+    /// machine for a checkpoint or to replay a restored one.
+    pub fn run_until<D: NodeDriver>(
+        &mut self,
+        driver: &D,
+        stop_at: u64,
+        max: u64,
+    ) -> Option<MachineFault> {
+        self.run_inner(driver, max, Some(stop_at))
+    }
+
+    fn run_inner<D: NodeDriver>(
+        &mut self,
+        driver: &D,
+        max: u64,
+        stop_at: Option<u64>,
+    ) -> Option<MachineFault> {
         let n = self.nodes.len();
         let width_max = self.window_width();
         assert!(
@@ -755,6 +780,9 @@ impl ParallelAlewife {
                 if fault.is_some() || quiesced {
                     break;
                 }
+                if stop_at.is_some_and(|s| *now >= s) {
+                    break;
+                }
                 if *now >= max {
                     timed_out = true;
                     break;
@@ -783,6 +811,12 @@ impl ParallelAlewife {
                     1
                 } else {
                     width_max
+                };
+                // A checkpoint stop clamps the window so `end - 1`
+                // never crosses it; narrower windows are always sound.
+                let width = match stop_at {
+                    Some(stop) => width.min(stop - *now),
+                    None => width,
                 };
                 let end = start + width;
                 meta.emit(end - 1, EventKind::WindowBarrier, start, width);

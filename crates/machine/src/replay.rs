@@ -1,0 +1,325 @@
+//! Deterministic replay and divergence bisection.
+//!
+//! Because a restored machine continues bit-exactly, a [`Snapshot`]
+//! plus the machine's configuration and program is a *reproducer*: any
+//! cycle of the original run can be revisited by restoring and driving
+//! forward. [`Replayer`] packages that, and [`Replayer::bisect`] turns
+//! it into a debugging tool — given a reference trace (from the
+//! original run, or from the same snapshot replayed on a different
+//! scheduler) it binary-searches the **first cycle at which the replay's
+//! semantic event stream diverges** and names the offending lane and
+//! event. O(log n) replays instead of one cycle-by-cycle comparison
+//! pass over the whole run.
+//!
+//! Comparisons use the semantic trace ([`Trace::retain_semantic`]),
+//! the same stream the cross-scheduler determinism contract is stated
+//! over. One caveat carries over from the probe rings: each lane
+//! retains its most recent [`TraceConfig::capacity`] events, so
+//! bisection is exact only while no lane has overwritten events in the
+//! compared window — size `capacity` to the run (the trace's
+//! `overwritten()` counter says whether this bit).
+
+use crate::alewife::Alewife;
+use crate::config::MachineConfig;
+use crate::driver::{drive_sequential_until, NodeDriver};
+use crate::snapshot::{Snapshot, SnapshotError};
+use crate::Machine;
+use april_core::program::Program;
+use april_obs::{lane_component, lane_node, Component, Event, Trace, TraceConfig};
+use std::fmt;
+
+/// The first point at which a replay's event stream departs from the
+/// reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The first cycle whose events differ.
+    pub cycle: u64,
+    /// The lane of the diverging event.
+    pub lane: u32,
+    /// The component half of the lane.
+    pub component: Component,
+    /// The node half of the lane.
+    pub node: u32,
+    /// The diverging event's per-lane sequence number.
+    pub seq: u64,
+    /// The reference's event at the divergence point, if it has one.
+    pub expected: Option<Event>,
+    /// The replay's event at the divergence point, if it has one.
+    pub actual: Option<Event>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at cycle {}: {:?} lane (node {}, seq {})",
+            self.cycle, self.component, self.node, self.seq
+        )?;
+        match (&self.expected, &self.actual) {
+            (Some(e), Some(a)) => write!(f, ": expected {e:?}, got {a:?}"),
+            (Some(e), None) => write!(f, ": expected {e:?}, replay has no event here"),
+            (None, Some(a)) => write!(f, ": reference has no event here, replay has {a:?}"),
+            (None, None) => Ok(()),
+        }
+    }
+}
+
+/// Compares the two traces' semantic events up to and including
+/// `cycle_cap`, returning the first mismatch. Both traces must be in
+/// canonical order (as [`Machine::collect_trace`] returns them).
+pub fn first_divergence(reference: &Trace, replay: &Trace, cycle_cap: u64) -> Option<Divergence> {
+    let semantic = |t: &Trace| {
+        let mut t = t.clone();
+        t.retain_semantic();
+        t
+    };
+    let a = semantic(reference);
+    let b = semantic(replay);
+    let ae = a.events().iter().filter(|e| e.cycle <= cycle_cap);
+    let be = b.events().iter().filter(|e| e.cycle <= cycle_cap);
+    let mut ae = ae.peekable();
+    let mut be = be.peekable();
+    loop {
+        match (ae.peek().copied(), be.peek().copied()) {
+            (None, None) => return None,
+            (x, y) if x == y => {
+                ae.next();
+                be.next();
+            }
+            (x, y) => {
+                let witness = x.or(y).expect("at least one side has an event");
+                return Some(Divergence {
+                    cycle: witness.cycle,
+                    lane: witness.lane,
+                    component: lane_component(witness.lane),
+                    node: lane_node(witness.lane),
+                    seq: witness.seq,
+                    expected: x.copied(),
+                    actual: y.copied(),
+                });
+            }
+        }
+    }
+}
+
+/// Rebuilds machines from snapshots and drives them forward for
+/// comparison. Holds everything a rebuild needs: the configuration,
+/// the program image, and the trace configuration the reference run
+/// used (probes must be attached with identical parameters or the
+/// sampled streams are incomparable).
+pub struct Replayer {
+    cfg: MachineConfig,
+    prog: Program,
+    trace_cfg: TraceConfig,
+}
+
+impl Replayer {
+    /// A replayer for machines built from `cfg` + `prog`, traced with
+    /// `trace_cfg`.
+    pub fn new(cfg: MachineConfig, prog: Program, trace_cfg: TraceConfig) -> Replayer {
+        Replayer {
+            cfg,
+            prog,
+            trace_cfg,
+        }
+    }
+
+    /// Builds a fresh machine, attaches probes, and restores `snap`
+    /// into it.
+    pub fn rebuild(&self, snap: &Snapshot) -> Result<Alewife, SnapshotError> {
+        let mut m = Alewife::new(self.cfg, self.prog.clone());
+        m.attach_tracer(self.trace_cfg);
+        m.restore(snap)?;
+        Ok(m)
+    }
+
+    /// Restores `snap` and drives to `stop_at` (or quiescence/fault,
+    /// whichever first), returning the machine for inspection.
+    pub fn run_to(
+        &self,
+        snap: &Snapshot,
+        driver: &dyn NodeDriver,
+        stop_at: u64,
+        max: u64,
+    ) -> Result<Alewife, SnapshotError> {
+        let mut m = self.rebuild(snap)?;
+        drive_sequential_until(&mut m, driver, stop_at, max);
+        Ok(m)
+    }
+
+    /// Binary-searches the first cycle in `(snap.cycle(), end]` at
+    /// which replaying from `snap` diverges from `reference` (a trace
+    /// collected at or after `end` on the reference run). Returns
+    /// `None` when the whole window matches. `max` bounds every replay
+    /// (a hang panics, as in [`drive_sequential_until`]).
+    ///
+    /// Cost: O(log(end - snap.cycle())) replays. The search relies on
+    /// divergence being *persistent* — once the streams disagree at
+    /// cycle c they disagree at every cap ≥ c — which holds because
+    /// events are compared in canonical order.
+    pub fn bisect(
+        &self,
+        snap: &Snapshot,
+        driver: &dyn NodeDriver,
+        reference: &Trace,
+        end: u64,
+        max: u64,
+    ) -> Result<Option<Divergence>, SnapshotError> {
+        let full = self.run_to(snap, driver, end, max)?;
+        if first_divergence(reference, &full.collect_trace(), end).is_none() {
+            return Ok(None);
+        }
+        // Invariant: no visible divergence at cap `lo`; divergence
+        // visible at cap `hi`.
+        let mut lo = snap.cycle();
+        let mut hi = end;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let m = self.run_to(snap, driver, mid, max)?;
+            if first_divergence(reference, &m.collect_trace(), mid).is_some() {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        let m = self.run_to(snap, driver, hi, max)?;
+        Ok(first_divergence(reference, &m.collect_trace(), hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{EventCtx, SwitchSpin};
+    use crate::Machine;
+    use april_core::cpu::StepEvent;
+    use april_core::frame::FrameState;
+    use april_core::isa::asm::assemble;
+    use april_core::trap::Trap;
+    use april_net::topology::Topology;
+
+    /// A (deliberately wasteful) run-time that never parks a missing
+    /// frame: the faulting instruction retries every handler interval,
+    /// re-trapping until the fill lands. Each re-trap emits another
+    /// `TrapTaken` event, so replaying under this driver departs from a
+    /// `SwitchSpin` reference at the first remote miss — a *semantic*
+    /// divergence, unlike a mere handler-cost change (whose extra delay
+    /// is absorbed by the remote wait and never reaches the trace).
+    struct HotRetry;
+
+    impl NodeDriver for HotRetry {
+        fn on_event(&self, node: usize, ev: StepEvent, ctx: &mut dyn EventCtx) {
+            match ev {
+                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                    let cpu = ctx.cpu();
+                    let fp = cpu.fp();
+                    let fr = cpu.frame_mut(fp);
+                    fr.state = FrameState::Ready;
+                    fr.psr.in_trap = false;
+                    ctx.charge_handler(6);
+                }
+                StepEvent::Trapped(t) => panic!("node {node}: {t}"),
+                StepEvent::NoReadyFrame => {
+                    let cpu = ctx.cpu();
+                    match cpu.next_ready_frame() {
+                        Some(f) => cpu.set_fp(f),
+                        None => ctx.charge_idle(1),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig {
+            topology: Topology::new(2, 2),
+            region_bytes: 0x10000,
+            ..MachineConfig::default()
+        }
+    }
+
+    fn prog() -> Program {
+        assemble(
+            "
+            movi 0x10000, r1
+            movi 77, r2
+            st r2, r1+0
+            ld r1+0, r3
+            halt
+        ",
+        )
+        .unwrap()
+    }
+
+    /// Runs the reference to completion, checkpointing at `stop`.
+    fn traced_run(stop: u64) -> (Alewife, Snapshot) {
+        let driver = SwitchSpin::default();
+        let mut m = Alewife::new(cfg(), prog());
+        m.attach_tracer(TraceConfig::default());
+        for i in 0..m.nodes.len() {
+            m.nodes[i].cpu.boot(0);
+        }
+        drive_sequential_until(&mut m, &driver, stop, 100_000);
+        let snap = m.checkpoint().unwrap();
+        crate::driver::drive_sequential(&mut m, &driver, 100_000);
+        (m, snap)
+    }
+
+    #[test]
+    fn faithful_replay_has_no_divergence() {
+        let (reference, snap) = traced_run(20);
+        let end = reference.now();
+        let rep = Replayer::new(cfg(), prog(), TraceConfig::default());
+        let d = rep
+            .bisect(
+                &snap,
+                &SwitchSpin::default(),
+                &reference.collect_trace(),
+                end,
+                100_000,
+            )
+            .unwrap();
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn perturbed_replay_bisects_to_the_first_divergent_cycle() {
+        // Checkpoint at cycle 1, before the program's remote-miss
+        // traps, so the perturbed run-time policy takes effect after
+        // the restore.
+        let (reference, snap) = traced_run(1);
+        let end = reference.now();
+        let rep = Replayer::new(cfg(), prog(), TraceConfig::default());
+        let d = rep
+            .bisect(&snap, &HotRetry, &reference.collect_trace(), end, 100_000)
+            .unwrap()
+            .expect("perturbed replay must diverge");
+        // The divergence must be minimal: replaying to the cycle just
+        // before it shows no divergence.
+        if d.cycle > snap.cycle() + 1 {
+            let m = rep.run_to(&snap, &HotRetry, d.cycle - 1, 100_000).unwrap();
+            assert_eq!(
+                first_divergence(&reference.collect_trace(), &m.collect_trace(), d.cycle - 1),
+                None,
+                "divergence at {} was not the first",
+                d.cycle
+            );
+        }
+        assert!(d.to_string().contains("first divergence at cycle"));
+    }
+
+    #[test]
+    fn divergence_reports_lane_and_events() {
+        let (reference, snap) = traced_run(1);
+        let end = reference.now();
+        let rep = Replayer::new(cfg(), prog(), TraceConfig::default());
+        let d = rep
+            .bisect(&snap, &HotRetry, &reference.collect_trace(), end, 100_000)
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.component, lane_component(d.lane));
+        assert_eq!(d.node, lane_node(d.lane));
+        assert!(d.expected.is_some() || d.actual.is_some());
+    }
+}

@@ -1,0 +1,774 @@
+//! Versioned binary checkpoints of the full machine state.
+//!
+//! A [`Snapshot`] captures everything [`Alewife`] and
+//! [`ParallelAlewife`] evolve at run time — CPU task frames and cycle
+//! ledgers, caches, directories with in-flight busy episodes,
+//! controller transactions, full/empty memory, the network's event
+//! heap and fault-plan state, scheduler bookkeeping, and every probe's
+//! ring — as one self-describing byte string. The two schedulers share
+//! one encoder over the identical field set, so a snapshot taken on
+//! either restores into either: checkpoint on the sequential machine,
+//! resume on the parallel one (or vice versa), and the continuation is
+//! bit-exact for any worker count.
+//!
+//! The format (DESIGN.md §11) is a fixed header — magic `"APRL"`,
+//! version byte, checkpoint cycle, the `Debug` rendering of the
+//! [`MachineConfig`], a digest of the program image, the node count —
+//! followed by a list of *sections*, each tagged with a kind byte and
+//! node id and length-prefixed. Sectioning buys two things: a restore
+//! can verify it is consuming exactly the state it expects, and
+//! [`diff_snapshots`] can name the first component two snapshots
+//! disagree on instead of reporting "bytes differ".
+//!
+//! Restores are *validated*, not trusted: config and program must
+//! match the machine the snapshot is restored into, section tags must
+//! arrive in canonical order, and every section must consume its
+//! payload exactly. A failed restore leaves the machine in an
+//! unspecified state — rebuild it before retrying.
+
+use crate::alewife::Node;
+use crate::alewife::{Alewife, Env};
+use crate::config::MachineConfig;
+use crate::parallel::ParallelAlewife;
+use crate::watchdog::Watchdog;
+use april_core::program::Program;
+use april_core::snapshot::{encode_cpu, restore_cpu};
+use april_mem::femem::FeMemory;
+use april_mem::snapshot::{
+    decode_msg, encode_ctl, encode_dir, encode_femem, encode_msg, restore_ctl, restore_dir,
+    restore_femem,
+};
+use april_net::network::Network;
+use april_obs::Probe;
+use april_util::wire::{digest64, ByteReader, ByteWriter, WireError};
+use std::fmt;
+
+/// The four-byte magic prefix of every snapshot.
+pub const MAGIC: [u8; 4] = *b"APRL";
+/// The format version this build writes and the only one it reads.
+pub const VERSION: u8 = 1;
+
+/// Section kinds. Per-node sections (`CPU`..`IO`) carry the node id in
+/// their tag; machine-wide sections use node id 0.
+const SEC_CPU: u8 = 0;
+const SEC_CTL: u8 = 1;
+const SEC_DIR: u8 = 2;
+const SEC_IO: u8 = 3;
+const SEC_MEM: u8 = 4;
+const SEC_NET: u8 = 5;
+const SEC_SCHED: u8 = 6;
+const SEC_WATCHDOG: u8 = 7;
+const SEC_META: u8 = 8;
+
+fn section_name(kind: u8) -> &'static str {
+    match kind {
+        SEC_CPU => "cpu",
+        SEC_CTL => "ctl",
+        SEC_DIR => "dir",
+        SEC_IO => "io",
+        SEC_MEM => "mem",
+        SEC_NET => "net",
+        SEC_SCHED => "sched",
+        SEC_WATCHDOG => "watchdog",
+        SEC_META => "meta",
+        _ => "unknown",
+    }
+}
+
+/// Why a checkpoint or restore was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// This machine type does not implement checkpointing.
+    Unsupported,
+    /// The machine has recorded a fatal fault; a checkpoint of a
+    /// faulted machine could not be resumed meaningfully.
+    Faulted,
+    /// The bytes do not start with the `"APRL"` magic.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    Version(u8),
+    /// The snapshot's machine configuration differs from the machine
+    /// it is being restored into.
+    ConfigMismatch,
+    /// The snapshot's program digest differs from the loaded program.
+    ProgramMismatch,
+    /// The byte stream is structurally invalid.
+    Corrupt(WireError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Unsupported => write!(f, "machine does not support checkpointing"),
+            SnapshotError::Faulted => write!(f, "cannot checkpoint a faulted machine"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapshotError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::ConfigMismatch => {
+                write!(f, "snapshot was taken on a differently configured machine")
+            }
+            SnapshotError::ProgramMismatch => {
+                write!(f, "snapshot was taken with a different program image")
+            }
+            SnapshotError::Corrupt(e) => write!(f, "corrupt snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> SnapshotError {
+        SnapshotError::Corrupt(e)
+    }
+}
+
+/// Parsed header fields (borrowed from the snapshot's bytes).
+struct Header<'a> {
+    now: u64,
+    cfg_debug: &'a str,
+    prog_digest: u64,
+    nodes: usize,
+    sections: usize,
+}
+
+fn read_header<'a>(r: &mut ByteReader<'a>) -> Result<Header<'a>, SnapshotError> {
+    let magic = r.bytes()?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(SnapshotError::Version(version));
+    }
+    Ok(Header {
+        now: r.u64()?,
+        cfg_debug: r.str()?,
+        prog_digest: r.u64()?,
+        nodes: r.usize()?,
+        sections: r.usize()?,
+    })
+}
+
+/// A complete machine checkpoint: an owned, versioned byte string.
+///
+/// Produced by [`Alewife::checkpoint`] / [`ParallelAlewife::checkpoint`]
+/// (or the [`crate::Machine::checkpoint`] trait method) and consumed by
+/// the matching `restore`. The bytes are self-contained — they can be
+/// written to disk and reloaded with [`Snapshot::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// The raw encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Adopts `bytes` as a snapshot after validating the header and
+    /// walking the section framing (payloads are validated at restore).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Snapshot, SnapshotError> {
+        let snap = Snapshot { bytes };
+        snap.walk_sections(|_, _, _| Ok(()))?;
+        Ok(snap)
+    }
+
+    /// The cycle at which the checkpoint was taken.
+    pub fn cycle(&self) -> u64 {
+        let mut r = ByteReader::new(&self.bytes);
+        read_header(&mut r).map(|h| h.now).unwrap_or(0)
+    }
+
+    /// The `Debug` rendering of the configuration the snapshot was
+    /// taken under.
+    pub fn config_debug(&self) -> Result<&str, SnapshotError> {
+        let mut r = ByteReader::new(&self.bytes);
+        Ok(read_header(&mut r)?.cfg_debug)
+    }
+
+    /// Walks the header and every section, handing `(kind, node,
+    /// payload)` to `f` in file order.
+    fn walk_sections<'a>(
+        &'a self,
+        mut f: impl FnMut(u8, u32, &'a [u8]) -> Result<(), SnapshotError>,
+    ) -> Result<(), SnapshotError> {
+        let mut r = ByteReader::new(&self.bytes);
+        let h = read_header(&mut r)?;
+        for _ in 0..h.sections {
+            let kind = r.u8()?;
+            let node = r.u32()?;
+            let payload = r.bytes()?;
+            f(kind, node, payload)?;
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt(WireError::Corrupt(
+                "trailing bytes after last section",
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Names the first point at which two snapshots disagree, or `None` if
+/// they are byte-identical. The answer is a human-readable label —
+/// `"section cpu@3"`, `"header (cycle/config/program)"` — intended for
+/// replay-divergence reports, not machine parsing.
+pub fn diff_snapshots(a: &Snapshot, b: &Snapshot) -> Option<String> {
+    if a.bytes == b.bytes {
+        return None;
+    }
+    let collect = |s: &Snapshot| {
+        let mut v: Vec<(u8, u32, Vec<u8>)> = Vec::new();
+        s.walk_sections(|kind, node, payload| {
+            v.push((kind, node, payload.to_vec()));
+            Ok(())
+        })
+        .map(|_| v)
+    };
+    let (sa, sb) = match (collect(a), collect(b)) {
+        (Ok(sa), Ok(sb)) => (sa, sb),
+        _ => return Some("unparseable snapshot".to_string()),
+    };
+    for (x, y) in sa.iter().zip(&sb) {
+        if x.0 != y.0 || x.1 != y.1 {
+            return Some(format!(
+                "section order: {}@{} vs {}@{}",
+                section_name(x.0),
+                x.1,
+                section_name(y.0),
+                y.1
+            ));
+        }
+        if x.2 != y.2 {
+            return Some(format!("section {}@{}", section_name(x.0), x.1));
+        }
+    }
+    if sa.len() != sb.len() {
+        return Some(format!("section count: {} vs {}", sa.len(), sb.len()));
+    }
+    Some("header (cycle/config/program)".to_string())
+}
+
+fn encode_env(env: &Env, w: &mut ByteWriter) {
+    w.usize(env.src);
+    encode_msg(&env.msg, w);
+}
+
+fn decode_env(r: &mut ByteReader<'_>) -> Result<Env, WireError> {
+    Ok(Env {
+        src: r.usize()?,
+        msg: decode_msg(r)?,
+    })
+}
+
+fn prog_digest(prog: &Program) -> u64 {
+    digest64(format!("{prog:?}").as_bytes())
+}
+
+/// The configuration rendering snapshots embed and validate against.
+/// The scheduler-selection knobs (`lockstep`, `workers`,
+/// `window_override`) are normalized away: they do not affect machine
+/// semantics — the bit-exact equivalence contract is precisely that —
+/// so a checkpoint taken under one scheduler restores under any other
+/// scheduler or worker count.
+fn semantic_config_debug(cfg: &MachineConfig) -> String {
+    let mut c = *cfg;
+    c.lockstep = false;
+    c.workers = 1;
+    c.window_override = 0;
+    format!("{c:?}")
+}
+
+/// Everything the two schedulers checkpoint, borrowed. Both machines
+/// hand their fields to [`encode_machine`] through this view, which is
+/// what guarantees their snapshots are interchangeable.
+pub(crate) struct MachineView<'a> {
+    pub nodes: &'a [Node],
+    pub mem: &'a FeMemory,
+    pub net: &'a Network<Env>,
+    pub prog: &'a Program,
+    pub cfg: &'a MachineConfig,
+    pub ready_at: &'a [u64],
+    pub halted_at: &'a [Option<u64>],
+    pub now: u64,
+    pub watchdog: &'a Watchdog,
+    pub meta_probe: &'a Probe,
+}
+
+/// The same field set, mutable, for restores.
+pub(crate) struct MachineViewMut<'a> {
+    pub nodes: &'a mut [Node],
+    pub mem: &'a mut FeMemory,
+    pub net: &'a mut Network<Env>,
+    pub prog: &'a Program,
+    pub cfg: &'a MachineConfig,
+    pub ready_at: &'a mut [u64],
+    pub halted_at: &'a mut [Option<u64>],
+    pub now: &'a mut u64,
+    pub watchdog: &'a mut Watchdog,
+    pub meta_probe: &'a mut Probe,
+}
+
+fn push_section(w: &mut ByteWriter, kind: u8, node: u32, payload: ByteWriter) {
+    w.u8(kind);
+    w.u32(node);
+    w.bytes(&payload.finish());
+}
+
+pub(crate) fn encode_machine(v: MachineView<'_>) -> Snapshot {
+    let n = v.nodes.len();
+    let mut w = ByteWriter::new();
+    w.bytes(&MAGIC);
+    w.u8(VERSION);
+    w.u64(v.now);
+    w.str(&semantic_config_debug(v.cfg));
+    w.u64(prog_digest(v.prog));
+    w.usize(n);
+    w.usize(n * 4 + 5);
+
+    for (i, node) in v.nodes.iter().enumerate() {
+        let i = i as u32;
+        let mut p = ByteWriter::new();
+        encode_cpu(&node.cpu, &mut p);
+        push_section(&mut w, SEC_CPU, i, p);
+        let mut p = ByteWriter::new();
+        encode_ctl(&node.ctl, &mut p);
+        push_section(&mut w, SEC_CTL, i, p);
+        let mut p = ByteWriter::new();
+        encode_dir(&node.dir, &mut p);
+        push_section(&mut w, SEC_DIR, i, p);
+        let mut p = ByteWriter::new();
+        for &r in &node.io_regs {
+            p.u32(r);
+        }
+        push_section(&mut w, SEC_IO, i, p);
+    }
+
+    let mut p = ByteWriter::new();
+    encode_femem(v.mem, &mut p);
+    push_section(&mut w, SEC_MEM, 0, p);
+
+    let mut p = ByteWriter::new();
+    v.net.encode_with(&mut p, encode_env);
+    push_section(&mut w, SEC_NET, 0, p);
+
+    let mut p = ByteWriter::new();
+    for &r in v.ready_at {
+        p.u64(r);
+    }
+    for &h in v.halted_at {
+        p.bool(h.is_some());
+        p.u64(h.unwrap_or(0));
+    }
+    push_section(&mut w, SEC_SCHED, 0, p);
+
+    let mut p = ByteWriter::new();
+    p.u64(v.watchdog.sig.0);
+    p.u64(v.watchdog.sig.1);
+    p.u64(v.watchdog.sig.2);
+    p.u64(v.watchdog.sig.3);
+    p.u64(v.watchdog.last_change);
+    push_section(&mut w, SEC_WATCHDOG, 0, p);
+
+    let mut p = ByteWriter::new();
+    v.meta_probe.encode(&mut p);
+    push_section(&mut w, SEC_META, 0, p);
+
+    Snapshot { bytes: w.finish() }
+}
+
+pub(crate) fn restore_machine(v: MachineViewMut<'_>, snap: &Snapshot) -> Result<(), SnapshotError> {
+    {
+        let mut r = ByteReader::new(&snap.bytes);
+        let h = read_header(&mut r)?;
+        if h.cfg_debug != semantic_config_debug(v.cfg) {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        if h.prog_digest != prog_digest(v.prog) {
+            return Err(SnapshotError::ProgramMismatch);
+        }
+        if h.nodes != v.nodes.len() {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        *v.now = h.now;
+    }
+    let n = v.nodes.len();
+    // The canonical section sequence; restore refuses anything else.
+    let mut expected: Vec<(u8, u32)> = Vec::with_capacity(n * 4 + 5);
+    for i in 0..n as u32 {
+        expected.extend([(SEC_CPU, i), (SEC_CTL, i), (SEC_DIR, i), (SEC_IO, i)]);
+    }
+    expected.extend([
+        (SEC_MEM, 0),
+        (SEC_NET, 0),
+        (SEC_SCHED, 0),
+        (SEC_WATCHDOG, 0),
+        (SEC_META, 0),
+    ]);
+    let mut idx = 0usize;
+    let nodes = v.nodes;
+    let mem = v.mem;
+    let net = v.net;
+    let ready_at = v.ready_at;
+    let halted_at = v.halted_at;
+    let watchdog = v.watchdog;
+    let meta_probe = v.meta_probe;
+    snap.walk_sections(|kind, node, payload| {
+        let Some(&(ek, en)) = expected.get(idx) else {
+            return Err(SnapshotError::Corrupt(WireError::Corrupt(
+                "more sections than expected",
+            )));
+        };
+        if (kind, node) != (ek, en) {
+            return Err(SnapshotError::Corrupt(WireError::Corrupt(
+                "section out of canonical order",
+            )));
+        }
+        idx += 1;
+        let mut r = ByteReader::new(payload);
+        match kind {
+            SEC_CPU => restore_cpu(&mut nodes[node as usize].cpu, &mut r)?,
+            SEC_CTL => restore_ctl(&mut nodes[node as usize].ctl, &mut r)?,
+            SEC_DIR => restore_dir(&mut nodes[node as usize].dir, &mut r)?,
+            SEC_IO => {
+                for reg in &mut nodes[node as usize].io_regs {
+                    *reg = r.u32()?;
+                }
+            }
+            SEC_MEM => restore_femem(mem, &mut r)?,
+            SEC_NET => net.restore_with(&mut r, decode_env)?,
+            SEC_SCHED => {
+                for slot in ready_at.iter_mut() {
+                    *slot = r.u64()?;
+                }
+                for slot in halted_at.iter_mut() {
+                    let some = r.bool()?;
+                    let c = r.u64()?;
+                    *slot = if some { Some(c) } else { None };
+                }
+            }
+            SEC_WATCHDOG => {
+                watchdog.sig = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+                watchdog.last_change = r.u64()?;
+            }
+            SEC_META => *meta_probe = Probe::decode(&mut r)?,
+            _ => {
+                return Err(SnapshotError::Corrupt(WireError::Corrupt(
+                    "unknown section kind",
+                )))
+            }
+        }
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt(WireError::Corrupt(
+                "section payload not fully consumed",
+            )));
+        }
+        Ok(())
+    })?;
+    if idx != expected.len() {
+        return Err(SnapshotError::Corrupt(WireError::Corrupt(
+            "fewer sections than expected",
+        )));
+    }
+    Ok(())
+}
+
+impl Alewife {
+    /// Captures the machine's complete state at the current cycle.
+    ///
+    /// Refused on a faulted machine ([`SnapshotError::Faulted`]): the
+    /// fault report references state the snapshot format deliberately
+    /// omits, and resuming a dead run is meaningless anyway.
+    pub fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+        if self.fault.is_some() {
+            return Err(SnapshotError::Faulted);
+        }
+        Ok(encode_machine(MachineView {
+            nodes: &self.nodes,
+            mem: &self.mem,
+            net: &self.net,
+            prog: &self.prog,
+            cfg: &self.cfg,
+            ready_at: &self.ready_at,
+            halted_at: &self.halted_at,
+            now: self.now,
+            watchdog: &self.watchdog,
+            meta_probe: &self.meta_probe,
+        }))
+    }
+
+    /// Restores `snap` into this machine, which must have been built
+    /// with the same [`MachineConfig`] and program (restores validate
+    /// both). The continuation is bit-exact with the run the snapshot
+    /// was taken from, on any scheduler. A failed restore leaves the
+    /// machine in an unspecified state — rebuild it before retrying.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        restore_machine(
+            MachineViewMut {
+                nodes: &mut self.nodes,
+                mem: &mut self.mem,
+                net: &mut self.net,
+                prog: &self.prog,
+                cfg: &self.cfg,
+                ready_at: &mut self.ready_at,
+                halted_at: &mut self.halted_at,
+                now: &mut self.now,
+                watchdog: &mut self.watchdog,
+                meta_probe: &mut self.meta_probe,
+            },
+            snap,
+        )?;
+        self.fault = None;
+        // `parked` is a pure optimization hint ("stepping this CPU is
+        // known to yield NoReadyFrame"); all-false is always safe and
+        // reproduces the lockstep ledger regardless of what the
+        // checkpointed machine had inferred.
+        self.parked.fill(false);
+        Ok(())
+    }
+}
+
+impl ParallelAlewife {
+    /// Captures the machine's complete state at the current cycle.
+    /// Interchangeable with [`Alewife::checkpoint`]: the two machines
+    /// encode the identical field set.
+    pub fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+        if self.fault().is_some() {
+            return Err(SnapshotError::Faulted);
+        }
+        Ok(encode_machine(MachineView {
+            nodes: &self.nodes,
+            mem: &self.mem,
+            net: &self.net,
+            prog: &self.prog,
+            cfg: &self.cfg,
+            ready_at: &self.ready_at,
+            halted_at: &self.halted_at,
+            now: self.now,
+            watchdog: &self.watchdog,
+            meta_probe: &self.meta_probe,
+        }))
+    }
+
+    /// Restores `snap` into this machine (see [`Alewife::restore`]);
+    /// snapshots cross freely between the sequential and parallel
+    /// machines and any worker count.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        restore_machine(
+            MachineViewMut {
+                nodes: &mut self.nodes,
+                mem: &mut self.mem,
+                net: &mut self.net,
+                prog: &self.prog,
+                cfg: &self.cfg,
+                ready_at: &mut self.ready_at,
+                halted_at: &mut self.halted_at,
+                now: &mut self.now,
+                watchdog: &mut self.watchdog,
+                meta_probe: &mut self.meta_probe,
+            },
+            snap,
+        )?;
+        self.fault = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{drive_sequential, drive_sequential_until, SwitchSpin};
+    use crate::Machine;
+    use april_core::isa::asm::assemble;
+    use april_net::topology::Topology;
+    use april_obs::TraceConfig;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig {
+            topology: Topology::new(2, 2),
+            region_bytes: 0x10000,
+            ..MachineConfig::default()
+        }
+    }
+
+    fn prog() -> Program {
+        assemble(
+            "
+            movi 0x10000, r1
+            movi 77, r2
+            st r2, r1+0
+            ld r1+0, r3
+            movi 0x100, r4
+            st r3, r4+0
+            halt
+        ",
+        )
+        .unwrap()
+    }
+
+    fn boot_all(m: &mut Alewife) {
+        for i in 0..m.nodes.len() {
+            m.nodes[i].cpu.boot(0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_mid_run() {
+        let driver = SwitchSpin::default();
+        let mut m = Alewife::new(cfg(), prog());
+        m.attach_tracer(TraceConfig::default());
+        boot_all(&mut m);
+        drive_sequential_until(&mut m, &driver, 25, 100_000);
+        assert_eq!(m.now(), 25, "capped drive lands exactly on the cycle");
+        let snap = m.checkpoint().unwrap();
+        assert_eq!(snap.cycle(), 25);
+
+        let mut r = Alewife::new(cfg(), prog());
+        r.attach_tracer(TraceConfig::default());
+        r.restore(&snap).unwrap();
+        assert_eq!(r.now(), 25);
+        assert_eq!(diff_snapshots(&snap, &r.checkpoint().unwrap()), None);
+
+        // Both continuations finish identically.
+        assert_eq!(drive_sequential(&mut m, &driver, 100_000), None);
+        assert_eq!(drive_sequential(&mut r, &driver, 100_000), None);
+        assert_eq!(m.mem().read(0x100), april_core::word::Word(77));
+        assert_eq!(r.mem().read(0x100), april_core::word::Word(77));
+        assert_eq!(m.halted_cycles(), r.halted_cycles());
+        assert_eq!(
+            m.collect_trace().events(),
+            r.collect_trace().events(),
+            "post-restore trace is byte-identical"
+        );
+        assert_eq!(
+            m.stats_report().to_json(),
+            r.stats_report().to_json(),
+            "post-restore stats report is byte-identical"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_config_and_program_mismatch() {
+        let mut m = Alewife::new(cfg(), prog());
+        boot_all(&mut m);
+        let snap = m.checkpoint().unwrap();
+
+        let other_cfg = MachineConfig {
+            mem_latency: 11,
+            ..cfg()
+        };
+        let mut r = Alewife::new(other_cfg, prog());
+        assert_eq!(r.restore(&snap), Err(SnapshotError::ConfigMismatch));
+
+        let mut r = Alewife::new(cfg(), assemble("halt").unwrap());
+        assert_eq!(r.restore(&snap), Err(SnapshotError::ProgramMismatch));
+    }
+
+    #[test]
+    fn from_bytes_validates_framing() {
+        let m = Alewife::new(cfg(), prog());
+        let snap = m.checkpoint().unwrap();
+        let bytes = snap.as_bytes().to_vec();
+        assert_eq!(Snapshot::from_bytes(bytes.clone()).unwrap(), snap);
+
+        assert_eq!(
+            Snapshot::from_bytes(b"nope".to_vec()),
+            Err(SnapshotError::Corrupt(WireError::Eof { at: 0 }))
+        );
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[8] = b'X'; // first magic byte (after the length prefix)
+        assert_eq!(
+            Snapshot::from_bytes(wrong_magic),
+            Err(SnapshotError::BadMagic)
+        );
+        let mut wrong_version = bytes.clone();
+        wrong_version[12] = 99;
+        assert_eq!(
+            Snapshot::from_bytes(wrong_version),
+            Err(SnapshotError::Version(99))
+        );
+        let mut truncated = bytes;
+        truncated.truncate(truncated.len() - 1);
+        assert!(matches!(
+            Snapshot::from_bytes(truncated),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn diff_names_the_first_differing_section() {
+        let driver = SwitchSpin::default();
+        let mut m = Alewife::new(cfg(), prog());
+        boot_all(&mut m);
+        let a = m.checkpoint().unwrap();
+        drive_sequential_until(&mut m, &driver, 5, 100_000);
+        let mut m2 = Alewife::new(cfg(), prog());
+        boot_all(&mut m2);
+        drive_sequential_until(&mut m2, &driver, 5, 100_000);
+        let b = m2.checkpoint().unwrap();
+        let d = diff_snapshots(&a, &b).expect("cycle 0 vs cycle 5 must differ");
+        assert!(
+            d.starts_with("section cpu@0"),
+            "first difference is node 0's CPU, got: {d}"
+        );
+        assert_eq!(diff_snapshots(&b, &m.checkpoint().unwrap()), None);
+    }
+
+    #[test]
+    fn faulted_machine_refuses_checkpoint() {
+        use crate::watchdog::{MachineFault, PostMortem};
+        let mut m = Alewife::new(cfg(), prog());
+        m.fault = Some(MachineFault::NoForwardProgress(Box::<PostMortem>::default()));
+        assert_eq!(m.checkpoint().unwrap_err(), SnapshotError::Faulted);
+    }
+
+    #[test]
+    fn sequential_snapshot_restores_into_parallel_machine() {
+        let driver = SwitchSpin::default();
+        let pcfg = MachineConfig {
+            workers: 2,
+            ..cfg()
+        };
+
+        // Reference: unbroken parallel run.
+        let mut reference = ParallelAlewife::new(pcfg, prog());
+        reference.attach_tracer(TraceConfig::default());
+        for i in 0..reference.num_procs() {
+            reference.cpu_mut(i).boot(0);
+        }
+        assert_eq!(reference.run(&driver, 100_000), None);
+
+        // Checkpoint a sequential run at cycle 30, restore into a
+        // parallel machine, finish there.
+        let mut m = Alewife::new(pcfg, prog());
+        m.attach_tracer(TraceConfig::default());
+        boot_all(&mut m);
+        drive_sequential_until(&mut m, &driver, 30, 100_000);
+        let snap = m.checkpoint().unwrap();
+
+        let mut p = ParallelAlewife::new(pcfg, prog());
+        p.attach_tracer(TraceConfig::default());
+        p.restore(&snap).unwrap();
+        assert_eq!(p.now(), 30);
+        assert_eq!(p.run(&driver, 100_000), None);
+
+        assert_eq!(p.halted_cycles(), reference.halted_cycles());
+        let mut t_ref = reference.collect_trace();
+        let mut t_p = p.collect_trace();
+        t_ref.retain_semantic();
+        t_p.retain_semantic();
+        assert_eq!(t_ref.events(), t_p.events());
+        assert_eq!(
+            reference.stats_report().to_json(),
+            p.stats_report().to_json()
+        );
+        // The semantic state is byte-identical; only the meta lane
+        // (scheduler-internal window barriers) may differ.
+        let d = diff_snapshots(&reference.checkpoint().unwrap(), &p.checkpoint().unwrap());
+        assert!(
+            d.is_none() || d.as_deref() == Some("section meta@0"),
+            "only the meta lane may differ across schedulers, got {d:?}"
+        );
+    }
+}

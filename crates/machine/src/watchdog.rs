@@ -228,8 +228,8 @@ impl std::error::Error for MachineFault {}
 /// last changed.
 #[derive(Debug, Clone, Default)]
 pub struct Watchdog {
-    sig: (u64, u64, u64, u64),
-    last_change: u64,
+    pub(crate) sig: (u64, u64, u64, u64),
+    pub(crate) last_change: u64,
 }
 
 impl Watchdog {

@@ -1,0 +1,240 @@
+//! Checkpoint/restore round-trips across schedulers under fault
+//! injection.
+//!
+//! The determinism contract (DESIGN.md §9) says the three schedulers
+//! are bit-exact over the semantic event stream; the snapshot contract
+//! (§11) extends it: a run may be cut at *any* cycle, checkpointed,
+//! and resumed on a *different* scheduler — lockstep to parallel, any
+//! worker count, and back — and the stitched-together run's semantic
+//! trace, statistics report, and final memory image must be
+//! byte-identical to an unbroken run's. These soaks exercise exactly
+//! that, under a seeded fault plan (drops, duplicates, delay-reorders)
+//! so the checkpoint lands mid-protocol with the injector's PRNG
+//! cursors in flight.
+
+use april_core::program::Program;
+use april_machine::alewife::Alewife;
+use april_machine::config::MachineConfig;
+use april_machine::driver::{drive_sequential, drive_sequential_until, SwitchSpin};
+use april_machine::parallel::ParallelAlewife;
+use april_machine::Machine;
+use april_net::fault::{FaultPlan, FaultRule};
+use april_net::topology::Topology;
+use april_obs::{Event, Trace, TraceConfig};
+
+const MAX: u64 = 3_000_000;
+
+fn cfg() -> MachineConfig {
+    MachineConfig {
+        topology: Topology::new(2, 2),
+        region_bytes: 1 << 20,
+        ..MachineConfig::default()
+    }
+}
+
+/// The false-sharing increment stress: four nodes each increment
+/// their own word of one shared block 50 times, forcing continuous
+/// invalidation traffic.
+fn prog() -> Program {
+    april_core::isa::asm::assemble(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            movi 0x200, r9
+            add r9, r8, r9     ; my word within the shared block
+            movi 50, r10
+        loop:
+            ld r9+0, r11
+            add r11, 4, r11    ; increment (fixnum +1)
+            st r11, r9+0
+            sub r10, 1, r10
+            jne loop
+            nop
+            halt
+        ",
+    )
+    .unwrap()
+}
+
+/// Drops, duplicates, and reordering jitter, deterministically seeded.
+fn plan() -> FaultPlan {
+    FaultPlan::new(0x50a1).with_default_rule(FaultRule {
+        drop: 0.02,
+        dup: 0.02,
+        delay: 0.04,
+        max_delay: 40,
+    })
+}
+
+fn semantic(t: Trace) -> Vec<Event> {
+    let mut t = t;
+    t.retain_semantic();
+    t.events().to_vec()
+}
+
+/// A booted, fault-seeded, traced sequential machine.
+fn fresh_seq(lockstep: bool) -> Alewife {
+    let mut m = Alewife::new(MachineConfig { lockstep, ..cfg() }, prog());
+    m.attach_tracer(TraceConfig::default());
+    m.set_fault_plan(plan());
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    m
+}
+
+/// A traced parallel machine ready to be restored into (the snapshot
+/// carries the fault plan and the booted CPU state).
+fn fresh_par(workers: usize) -> ParallelAlewife {
+    let mut m = ParallelAlewife::new(MachineConfig { workers, ..cfg() }, prog());
+    m.attach_tracer(TraceConfig::default());
+    m
+}
+
+fn assert_same_memory(a: &april_mem::femem::FeMemory, b: &april_mem::femem::FeMemory, who: &str) {
+    assert_eq!(a.len_bytes(), b.len_bytes());
+    for addr in (0..a.len_bytes() as u32).step_by(4) {
+        assert_eq!(
+            a.word_state(addr),
+            b.word_state(addr),
+            "{who}: memory diverged at {addr:#x}"
+        );
+    }
+}
+
+#[test]
+fn fault_seeded_checkpoint_resumes_on_any_scheduler() {
+    // Unbroken reference: event-skipping sequential run to quiescence.
+    let mut reference = fresh_seq(false);
+    drive_sequential(&mut reference, &SwitchSpin::default(), MAX);
+    assert!(reference.fault().is_none());
+    let ref_trace = semantic(reference.collect_trace());
+    let ref_report = reference.stats_report().to_json();
+
+    // Cut the same run mid-flight, with protocol and injector state
+    // live, and checkpoint.
+    let mut cut = fresh_seq(false);
+    drive_sequential_until(&mut cut, &SwitchSpin::default(), 400, MAX);
+    assert!(
+        !cut.all_halted(),
+        "checkpoint cycle must land mid-run for the test to mean anything"
+    );
+    let snap = cut.checkpoint().unwrap();
+    assert_eq!(snap.cycle(), 400);
+
+    // Resume on the lockstep scheduler.
+    let mut lockstep = fresh_seq(true);
+    lockstep.restore(&snap).unwrap();
+    drive_sequential(&mut lockstep, &SwitchSpin::default(), MAX);
+    assert_eq!(
+        semantic(lockstep.collect_trace()),
+        ref_trace,
+        "lockstep resume: semantic trace diverged"
+    );
+    assert_eq!(
+        lockstep.stats_report().to_json(),
+        ref_report,
+        "lockstep resume: stats diverged"
+    );
+    assert_same_memory(reference.mem(), lockstep.mem(), "lockstep resume");
+
+    // Resume on the parallel scheduler, at several worker counts.
+    for workers in [1, 2, 3] {
+        let mut par = fresh_par(workers);
+        par.restore(&snap).unwrap();
+        par.run(&SwitchSpin::default(), MAX);
+        assert!(par.fault().is_none());
+        assert_eq!(
+            semantic(par.collect_trace()),
+            ref_trace,
+            "parallel x{workers} resume: semantic trace diverged"
+        );
+        assert_eq!(
+            par.stats_report().to_json(),
+            ref_report,
+            "parallel x{workers} resume: stats diverged"
+        );
+        assert_same_memory(
+            reference.mem(),
+            par.mem(),
+            &format!("parallel x{workers} resume"),
+        );
+    }
+}
+
+#[test]
+fn parallel_checkpoint_resumes_sequentially() {
+    // Reference: unbroken sequential run.
+    let mut reference = fresh_seq(false);
+    drive_sequential(&mut reference, &SwitchSpin::default(), MAX);
+    let ref_trace = semantic(reference.collect_trace());
+    let ref_report = reference.stats_report().to_json();
+
+    // Cut a *parallel* run (2 workers) at the same point and
+    // checkpoint there.
+    let mut cut = fresh_par(2);
+    cut.set_fault_plan(plan());
+    for i in 0..cut.num_procs() {
+        cut.cpu_mut(i).boot(0);
+    }
+    cut.run_until(&SwitchSpin::default(), 400, MAX);
+    let snap = cut.checkpoint().unwrap();
+
+    // A sequential checkpoint at the same cycle must be identical in
+    // every semantic section (the meta lane legitimately differs: the
+    // parallel scheduler's window barriers are scheduler artifacts).
+    let mut seq_cut = fresh_seq(false);
+    drive_sequential_until(&mut seq_cut, &SwitchSpin::default(), snap.cycle(), MAX);
+    let seq_snap = seq_cut.checkpoint().unwrap();
+    let d = april_machine::diff_snapshots(&seq_snap, &snap);
+    assert!(
+        d.is_none() || d.as_deref() == Some("section meta@0"),
+        "parallel and sequential checkpoints differ beyond the meta lane: {d:?}"
+    );
+
+    // Resume the parallel checkpoint sequentially and finish.
+    let mut seq = fresh_seq(false);
+    seq.restore(&snap).unwrap();
+    drive_sequential(&mut seq, &SwitchSpin::default(), MAX);
+    assert_eq!(
+        semantic(seq.collect_trace()),
+        ref_trace,
+        "sequential resume of parallel checkpoint: semantic trace diverged"
+    );
+    assert_eq!(
+        seq.stats_report().to_json(),
+        ref_report,
+        "sequential resume of parallel checkpoint: stats diverged"
+    );
+    assert_same_memory(reference.mem(), seq.mem(), "sequential resume");
+}
+
+#[test]
+fn chained_checkpoints_compose() {
+    // Checkpoint at 300 on the skip scheduler, resume on parallel,
+    // checkpoint *that* at a later cycle, resume sequentially — two
+    // scheduler crossings in one run, still bit-exact.
+    let mut reference = fresh_seq(false);
+    drive_sequential(&mut reference, &SwitchSpin::default(), MAX);
+    let ref_trace = semantic(reference.collect_trace());
+
+    let mut first = fresh_seq(false);
+    drive_sequential_until(&mut first, &SwitchSpin::default(), 300, MAX);
+    let snap1 = first.checkpoint().unwrap();
+
+    let mut par = fresh_par(2);
+    par.restore(&snap1).unwrap();
+    par.run_until(&SwitchSpin::default(), 700, MAX);
+    let snap2 = par.checkpoint().unwrap();
+    assert!(snap2.cycle() >= 700);
+
+    let mut last = fresh_seq(false);
+    last.restore(&snap2).unwrap();
+    drive_sequential(&mut last, &SwitchSpin::default(), MAX);
+    assert_eq!(
+        semantic(last.collect_trace()),
+        ref_trace,
+        "doubly-resumed run diverged from the unbroken reference"
+    );
+}

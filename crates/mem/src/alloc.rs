@@ -43,9 +43,9 @@ impl std::error::Error for OutOfMemory {}
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BumpAllocator {
-    base: u32,
-    next: u32,
-    limit: u32,
+    pub(crate) base: u32,
+    pub(crate) next: u32,
+    pub(crate) limit: u32,
 }
 
 impl BumpAllocator {

@@ -60,10 +60,10 @@ impl CacheConfig {
 const INVALID_BLOCK: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
-struct Line {
-    block: u32,
-    state: LineState,
-    lru: u64,
+pub(crate) struct Line {
+    pub(crate) block: u32,
+    pub(crate) state: LineState,
+    pub(crate) lru: u64,
 }
 
 impl Line {
@@ -141,10 +141,10 @@ pub struct Cache {
     /// `lines[s * assoc .. (s + 1) * assoc]`. Empty ways carry
     /// [`INVALID_BLOCK`], which no real (block-aligned) address can
     /// match, so lookups need no separate validity check.
-    lines: Vec<Line>,
-    set_mask: u32,
-    assoc: usize,
-    clock: u64,
+    pub(crate) lines: Vec<Line>,
+    pub(crate) set_mask: u32,
+    pub(crate) assoc: usize,
+    pub(crate) clock: u64,
     /// Access counters.
     pub stats: CacheStats,
 }

@@ -70,24 +70,24 @@ pub enum Outcome {
 }
 
 #[derive(Debug, Clone, Default)]
-struct Txn {
+pub(crate) struct Txn {
     /// This transaction's sequence number; replies must echo it.
-    xid: u32,
+    pub(crate) xid: u32,
     /// Waiting hardware contexts: `(frame, needs_write)`.
-    frames: Vec<(usize, bool)>,
+    pub(crate) frames: Vec<(usize, bool)>,
     /// A write-grade request has been issued.
-    write_issued: bool,
+    pub(crate) write_issued: bool,
     /// Retransmissions so far.
-    retries: u32,
+    pub(crate) retries: u32,
     /// When the next retransmission fires.
-    next_retry: u64,
+    pub(crate) next_retry: u64,
 }
 
 #[derive(Debug, Clone)]
-struct FenceFlush {
-    block: u32,
-    retries: u32,
-    next_retry: u64,
+pub(crate) struct FenceFlush {
+    pub(crate) block: u32,
+    pub(crate) retries: u32,
+    pub(crate) next_retry: u64,
 }
 
 /// Controller event counters.
@@ -146,20 +146,20 @@ impl CtlStats {
 /// A node's cache controller.
 #[derive(Debug, Clone)]
 pub struct CacheController {
-    node: usize,
+    pub(crate) node: usize,
     /// The processor cache (tags + MSI state).
     pub cache: Cache,
-    txns: HashMap<u32, Txn>,
+    pub(crate) txns: HashMap<u32, Txn>,
     /// Outstanding fenced flushes by flush id (awaiting `FlushAck`).
-    flushes: HashMap<u32, FenceFlush>,
-    next_xid: u32,
-    clock: u64,
+    pub(crate) flushes: HashMap<u32, FenceFlush>,
+    pub(crate) next_xid: u32,
+    pub(crate) clock: u64,
     /// Lower bound on the earliest `next_retry` over all outstanding
     /// transactions and fenced flushes. Min-updated when a deadline is
     /// scheduled; never raised on removal (a stale bound costs one
     /// wasted scan, which recomputes the exact minimum), so
     /// [`CacheController::tick`] is O(1) between deadlines.
-    next_deadline: u64,
+    pub(crate) next_deadline: u64,
     /// Blocks filled for a waiting context but not yet accessed: the
     /// controller guarantees the processor one access before
     /// surrendering the line again, closing ALEWIFE's "window of
@@ -167,15 +167,15 @@ pub struct CacheController {
     /// would otherwise livelock — the paper's Section 3.1 thrashing
     /// problems, "addressed with appropriate hardware interlock
     /// mechanisms").
-    pinned: std::collections::HashSet<u32>,
+    pub(crate) pinned: std::collections::HashSet<u32>,
     /// Protocol requests deferred while their block is pinned.
-    deferred: Vec<(usize, CohMsg)>,
-    fence: u32,
-    cfg: CtlConfig,
+    pub(crate) deferred: Vec<(usize, CohMsg)>,
+    pub(crate) fence: u32,
+    pub(crate) cfg: CtlConfig,
     /// Event counters.
     pub stats: CtlStats,
     /// Trace recorder for this controller's lane (inert by default).
-    probe: Probe,
+    pub(crate) probe: Probe,
 }
 
 impl CacheController {

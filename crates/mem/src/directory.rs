@@ -49,7 +49,7 @@ pub enum DirState {
 
 /// Which demand message a busy episode is waiting on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BusyKind {
+pub(crate) enum BusyKind {
     Inval,
     Down,
     WbInval,
@@ -66,25 +66,25 @@ impl BusyKind {
 }
 
 #[derive(Debug, Clone)]
-struct Busy {
-    requester: usize,
+pub(crate) struct Busy {
+    pub(crate) requester: usize,
     /// The requester's transaction id, echoed in the eventual reply.
-    req_xid: u32,
-    write: bool,
-    kind: BusyKind,
+    pub(crate) req_xid: u32,
+    pub(crate) write: bool,
+    pub(crate) kind: BusyKind,
     /// This episode's epoch: demands carry it, acks must echo it.
-    epoch: u32,
+    pub(crate) epoch: u32,
     /// Nodes whose acknowledgment is still outstanding.
-    pending: Vec<usize>,
-    retries: u32,
-    next_retry: u64,
+    pub(crate) pending: Vec<usize>,
+    pub(crate) retries: u32,
+    pub(crate) next_retry: u64,
 }
 
 #[derive(Debug, Clone)]
-struct DirEntry {
-    state: DirState,
-    busy: Option<Busy>,
-    waiters: VecDeque<(usize, bool, u32)>,
+pub(crate) struct DirEntry {
+    pub(crate) state: DirState,
+    pub(crate) busy: Option<Busy>,
+    pub(crate) waiters: VecDeque<(usize, bool, u32)>,
 }
 
 impl Default for DirEntry {
@@ -185,23 +185,23 @@ impl DirStats {
 /// A node's directory: protocol state for the blocks it is home to.
 #[derive(Debug, Clone)]
 pub struct Directory {
-    entries: HashMap<u32, DirEntry>,
-    cfg: DirConfig,
-    epoch_counter: u32,
-    clock: u64,
+    pub(crate) entries: HashMap<u32, DirEntry>,
+    pub(crate) cfg: DirConfig,
+    pub(crate) epoch_counter: u32,
+    pub(crate) clock: u64,
     /// Lower bound on the earliest `next_retry` over all busy episodes.
     /// Maintained incrementally when an episode begins and never raised
     /// on completion (a stale bound costs at most one wasted scan);
     /// [`Directory::tick`] recomputes the exact minimum whenever it
     /// scans, so between deadlines it is O(1).
-    next_deadline: u64,
+    pub(crate) next_deadline: u64,
     /// Number of blocks with a busy episode in flight, kept in sync so
     /// the machine's per-cycle pending-work probe is O(1).
-    busy_ct: usize,
+    pub(crate) busy_ct: usize,
     /// Event counters.
     pub stats: DirStats,
     /// Trace recorder for this directory's lane (inert by default).
-    probe: Probe,
+    pub(crate) probe: Probe,
 }
 
 impl Default for Directory {

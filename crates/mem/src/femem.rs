@@ -31,8 +31,8 @@ use april_core::word::Word;
 /// ```
 #[derive(Debug, Clone)]
 pub struct FeMemory {
-    words: Vec<Word>,
-    fe: Vec<bool>,
+    pub(crate) words: Vec<Word>,
+    pub(crate) fe: Vec<bool>,
 }
 
 impl FeMemory {

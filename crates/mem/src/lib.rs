@@ -15,6 +15,9 @@
 //! * [`controller`] — the requester-side controller: local fast path
 //!   vs. remote transaction, FLUSH and the fence counter.
 //! * [`error`] — typed protocol errors and the retransmission policy.
+//! * [`snapshot`] — wire encoding of every protocol engine's state,
+//!   including in-flight transactions, for machine checkpoints
+//!   (DESIGN.md §11).
 //!
 //! The protocol engines tolerate an unreliable network: requests and
 //! replies carry transaction sequence numbers, demands and their acks
@@ -34,6 +37,7 @@ pub mod directory;
 pub mod error;
 pub mod femem;
 pub mod msg;
+pub mod snapshot;
 
 pub use cache::{Cache, CacheConfig, LineState};
 pub use controller::{CacheController, CtlConfig, Outcome};

@@ -1,0 +1,720 @@
+//! Wire encoding of memory-substrate state for machine snapshots.
+//!
+//! Serializes everything between the processor and the network
+//! (DESIGN.md §11): the full/empty memory image, the set-associative
+//! cache (tags, MSI state, LRU clocks), the requester-side controller
+//! with its *in-flight protocol transactions*, and the home-side
+//! directory with busy episodes and waiter queues. Capturing the
+//! in-flight state — outstanding transactions, retry deadlines, busy
+//! epochs — is what lets a restored machine replay the exact same
+//! protocol schedule as the original run.
+//!
+//! Determinism rule: hash-map-backed state (transactions, directory
+//! entries, pinned blocks) is written in sorted key order, so equal
+//! states encode to equal bytes.
+
+use crate::alloc::BumpAllocator;
+use crate::cache::{Cache, LineState};
+use crate::controller::{CacheController, FenceFlush, Txn};
+use crate::directory::{Busy, BusyKind, DirEntry, DirState, Directory};
+use crate::femem::FeMemory;
+use crate::msg::CohMsg;
+use april_core::word::Word;
+use april_obs::Probe;
+use april_util::wire::{ByteReader, ByteWriter, WireError};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Appends a coherence message to a snapshot buffer (used for deferred
+/// protocol requests and for in-flight network payloads).
+pub fn encode_msg(msg: &CohMsg, w: &mut ByteWriter) {
+    match *msg {
+        CohMsg::RdReq { block, xid } => {
+            w.u8(0);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::WrReq { block, xid } => {
+            w.u8(1);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::RdReply { block, xid } => {
+            w.u8(2);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::WrReply { block, xid } => {
+            w.u8(3);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::Nack { block, xid } => {
+            w.u8(4);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::Inval { block, xid } => {
+            w.u8(5);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::InvAck { block, xid } => {
+            w.u8(6);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::DownReq { block, xid } => {
+            w.u8(7);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::DownAck { block, xid } => {
+            w.u8(8);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::WbInvalReq { block, xid } => {
+            w.u8(9);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::WbInvalAck { block, xid } => {
+            w.u8(10);
+            w.u32(block);
+            w.u32(xid);
+        }
+        CohMsg::FlushData { block, fenced, xid } => {
+            w.u8(11);
+            w.u32(block);
+            w.bool(fenced);
+            w.u32(xid);
+        }
+        CohMsg::FlushAck { block, fenced, xid } => {
+            w.u8(12);
+            w.u32(block);
+            w.bool(fenced);
+            w.u32(xid);
+        }
+        CohMsg::Ipi => w.u8(13),
+        CohMsg::BlockXfer { block, words } => {
+            w.u8(14);
+            w.u32(block);
+            w.u32(words);
+        }
+    }
+}
+
+/// Decodes a coherence message written by [`encode_msg`].
+pub fn decode_msg(r: &mut ByteReader<'_>) -> Result<CohMsg, WireError> {
+    let at = r.pos();
+    let tag = r.u8()?;
+    Ok(match tag {
+        0..=10 => {
+            let block = r.u32()?;
+            let xid = r.u32()?;
+            match tag {
+                0 => CohMsg::RdReq { block, xid },
+                1 => CohMsg::WrReq { block, xid },
+                2 => CohMsg::RdReply { block, xid },
+                3 => CohMsg::WrReply { block, xid },
+                4 => CohMsg::Nack { block, xid },
+                5 => CohMsg::Inval { block, xid },
+                6 => CohMsg::InvAck { block, xid },
+                7 => CohMsg::DownReq { block, xid },
+                8 => CohMsg::DownAck { block, xid },
+                9 => CohMsg::WbInvalReq { block, xid },
+                _ => CohMsg::WbInvalAck { block, xid },
+            }
+        }
+        11 | 12 => {
+            let block = r.u32()?;
+            let fenced = r.bool()?;
+            let xid = r.u32()?;
+            if tag == 11 {
+                CohMsg::FlushData { block, fenced, xid }
+            } else {
+                CohMsg::FlushAck { block, fenced, xid }
+            }
+        }
+        13 => CohMsg::Ipi,
+        14 => CohMsg::BlockXfer {
+            block: r.u32()?,
+            words: r.u32()?,
+        },
+        tag => return Err(WireError::BadTag { at, tag }),
+    })
+}
+
+/// Appends a bump allocator's cursor to a snapshot buffer.
+pub fn encode_alloc(a: &BumpAllocator, w: &mut ByteWriter) {
+    w.u32(a.base);
+    w.u32(a.next);
+    w.u32(a.limit);
+}
+
+/// Decodes a bump allocator written by [`encode_alloc`].
+pub fn decode_alloc(r: &mut ByteReader<'_>) -> Result<BumpAllocator, WireError> {
+    let base = r.u32()?;
+    let next = r.u32()?;
+    let limit = r.u32()?;
+    if base > next || next > limit || base & 3 != 0 {
+        return Err(WireError::Corrupt("bump allocator cursor out of range"));
+    }
+    Ok(BumpAllocator { base, next, limit })
+}
+
+/// Appends the full/empty memory image (words plus bit-packed
+/// full/empty flags) to a snapshot buffer.
+pub fn encode_femem(m: &FeMemory, w: &mut ByteWriter) {
+    w.usize(m.words.len());
+    for word in &m.words {
+        w.u32(word.0);
+    }
+    let mut packed = vec![0u8; m.fe.len().div_ceil(8)];
+    for (i, &full) in m.fe.iter().enumerate() {
+        if full {
+            packed[i / 8] |= 1 << (i % 8);
+        }
+    }
+    w.bytes(&packed);
+}
+
+/// Restores a memory image written by [`encode_femem`] into an
+/// existing memory of the same size.
+pub fn restore_femem(m: &mut FeMemory, r: &mut ByteReader<'_>) -> Result<(), WireError> {
+    let n = r.usize()?;
+    if n != m.words.len() {
+        return Err(WireError::Corrupt("memory size mismatch"));
+    }
+    for word in m.words.iter_mut() {
+        *word = Word(r.u32()?);
+    }
+    let packed = r.bytes()?;
+    if packed.len() != n.div_ceil(8) {
+        return Err(WireError::Corrupt("full/empty bitmap size mismatch"));
+    }
+    for i in 0..n {
+        m.fe[i] = packed[i / 8] & (1 << (i % 8)) != 0;
+    }
+    Ok(())
+}
+
+fn encode_cache(c: &Cache, w: &mut ByteWriter) {
+    w.usize(c.lines.len());
+    for line in &c.lines {
+        w.u32(line.block);
+        w.u8(match line.state {
+            LineState::Shared => 0,
+            LineState::Modified => 1,
+        });
+        w.u64(line.lru);
+    }
+    w.u64(c.clock);
+    let s = &c.stats;
+    for v in [
+        s.reads,
+        s.writes,
+        s.read_misses,
+        s.write_misses,
+        s.evictions,
+        s.invalidations,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn restore_cache(c: &mut Cache, r: &mut ByteReader<'_>) -> Result<(), WireError> {
+    let n = r.usize()?;
+    if n != c.lines.len() {
+        return Err(WireError::Corrupt("cache geometry mismatch"));
+    }
+    for line in c.lines.iter_mut() {
+        line.block = r.u32()?;
+        let at = r.pos();
+        line.state = match r.u8()? {
+            0 => LineState::Shared,
+            1 => LineState::Modified,
+            tag => return Err(WireError::BadTag { at, tag }),
+        };
+        line.lru = r.u64()?;
+    }
+    c.clock = r.u64()?;
+    let s = &mut c.stats;
+    for v in [
+        &mut s.reads,
+        &mut s.writes,
+        &mut s.read_misses,
+        &mut s.write_misses,
+        &mut s.evictions,
+        &mut s.invalidations,
+    ] {
+        *v = r.u64()?;
+    }
+    Ok(())
+}
+
+/// Appends a cache controller's complete state — cache contents,
+/// outstanding transactions, fenced flushes, pinned blocks, deferred
+/// requests, counters, and trace probe — to a snapshot buffer.
+pub fn encode_ctl(ctl: &CacheController, w: &mut ByteWriter) {
+    w.usize(ctl.node);
+    encode_cache(&ctl.cache, w);
+    let mut blocks: Vec<&u32> = ctl.txns.keys().collect();
+    blocks.sort();
+    w.usize(blocks.len());
+    for &block in blocks {
+        let t = &ctl.txns[&block];
+        w.u32(block);
+        w.u32(t.xid);
+        w.usize(t.frames.len());
+        for &(frame, needs_write) in &t.frames {
+            w.usize(frame);
+            w.bool(needs_write);
+        }
+        w.bool(t.write_issued);
+        w.u32(t.retries);
+        w.u64(t.next_retry);
+    }
+    let mut fids: Vec<&u32> = ctl.flushes.keys().collect();
+    fids.sort();
+    w.usize(fids.len());
+    for &fid in fids {
+        let f = &ctl.flushes[&fid];
+        w.u32(fid);
+        w.u32(f.block);
+        w.u32(f.retries);
+        w.u64(f.next_retry);
+    }
+    w.u32(ctl.next_xid);
+    w.u64(ctl.clock);
+    w.u64(ctl.next_deadline);
+    let mut pinned: Vec<&u32> = ctl.pinned.iter().collect();
+    pinned.sort();
+    w.usize(pinned.len());
+    for &b in pinned {
+        w.u32(b);
+    }
+    w.usize(ctl.deferred.len());
+    for (src, msg) in &ctl.deferred {
+        w.usize(*src);
+        encode_msg(msg, w);
+    }
+    w.u32(ctl.fence);
+    let s = &ctl.stats;
+    for v in [
+        s.hits,
+        s.local_fills,
+        s.remote_txns,
+        s.invals,
+        s.downgrades,
+        s.writebacks,
+        s.retransmits,
+        s.nacks,
+        s.stale_replies,
+    ] {
+        w.u64(v);
+    }
+    ctl.probe.encode(w);
+}
+
+/// Restores controller state written by [`encode_ctl`] into an
+/// existing controller with the same node id and cache geometry.
+pub fn restore_ctl(ctl: &mut CacheController, r: &mut ByteReader<'_>) -> Result<(), WireError> {
+    if r.usize()? != ctl.node {
+        return Err(WireError::Corrupt("controller node id mismatch"));
+    }
+    restore_cache(&mut ctl.cache, r)?;
+    let ntxns = r.usize()?;
+    let mut txns = HashMap::with_capacity(ntxns);
+    for _ in 0..ntxns {
+        let block = r.u32()?;
+        let xid = r.u32()?;
+        let nframes = r.usize()?;
+        let mut frames = Vec::with_capacity(nframes);
+        for _ in 0..nframes {
+            let frame = r.usize()?;
+            let needs_write = r.bool()?;
+            frames.push((frame, needs_write));
+        }
+        let write_issued = r.bool()?;
+        let retries = r.u32()?;
+        let next_retry = r.u64()?;
+        txns.insert(
+            block,
+            Txn {
+                xid,
+                frames,
+                write_issued,
+                retries,
+                next_retry,
+            },
+        );
+    }
+    ctl.txns = txns;
+    let nflushes = r.usize()?;
+    let mut flushes = HashMap::with_capacity(nflushes);
+    for _ in 0..nflushes {
+        let fid = r.u32()?;
+        let block = r.u32()?;
+        let retries = r.u32()?;
+        let next_retry = r.u64()?;
+        flushes.insert(
+            fid,
+            FenceFlush {
+                block,
+                retries,
+                next_retry,
+            },
+        );
+    }
+    ctl.flushes = flushes;
+    ctl.next_xid = r.u32()?;
+    ctl.clock = r.u64()?;
+    ctl.next_deadline = r.u64()?;
+    let npinned = r.usize()?;
+    let mut pinned = HashSet::with_capacity(npinned);
+    for _ in 0..npinned {
+        pinned.insert(r.u32()?);
+    }
+    ctl.pinned = pinned;
+    let ndeferred = r.usize()?;
+    let mut deferred = Vec::with_capacity(ndeferred);
+    for _ in 0..ndeferred {
+        let src = r.usize()?;
+        let msg = decode_msg(r)?;
+        deferred.push((src, msg));
+    }
+    ctl.deferred = deferred;
+    ctl.fence = r.u32()?;
+    let s = &mut ctl.stats;
+    for v in [
+        &mut s.hits,
+        &mut s.local_fills,
+        &mut s.remote_txns,
+        &mut s.invals,
+        &mut s.downgrades,
+        &mut s.writebacks,
+        &mut s.retransmits,
+        &mut s.nacks,
+        &mut s.stale_replies,
+    ] {
+        *v = r.u64()?;
+    }
+    ctl.probe = Probe::decode(r)?;
+    Ok(())
+}
+
+fn encode_dir_state(state: &DirState, w: &mut ByteWriter) {
+    match state {
+        DirState::Uncached => w.u8(0),
+        DirState::Shared(nodes) => {
+            w.u8(1);
+            w.usize(nodes.len());
+            for &n in nodes {
+                w.usize(n);
+            }
+        }
+        DirState::Exclusive(owner) => {
+            w.u8(2);
+            w.usize(*owner);
+        }
+    }
+}
+
+fn decode_dir_state(r: &mut ByteReader<'_>) -> Result<DirState, WireError> {
+    let at = r.pos();
+    Ok(match r.u8()? {
+        0 => DirState::Uncached,
+        1 => {
+            let n = r.usize()?;
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                nodes.push(r.usize()?);
+            }
+            DirState::Shared(nodes)
+        }
+        2 => DirState::Exclusive(r.usize()?),
+        tag => return Err(WireError::BadTag { at, tag }),
+    })
+}
+
+/// Appends a directory's complete state — per-block protocol states,
+/// busy episodes with their epochs and retry deadlines, waiter queues,
+/// counters, and trace probe — to a snapshot buffer.
+pub fn encode_dir(dir: &Directory, w: &mut ByteWriter) {
+    let mut blocks: Vec<&u32> = dir.entries.keys().collect();
+    blocks.sort();
+    w.usize(blocks.len());
+    for &block in blocks {
+        let e = &dir.entries[&block];
+        w.u32(block);
+        encode_dir_state(&e.state, w);
+        match &e.busy {
+            None => w.bool(false),
+            Some(b) => {
+                w.bool(true);
+                w.usize(b.requester);
+                w.u32(b.req_xid);
+                w.bool(b.write);
+                w.u8(match b.kind {
+                    BusyKind::Inval => 0,
+                    BusyKind::Down => 1,
+                    BusyKind::WbInval => 2,
+                });
+                w.u32(b.epoch);
+                w.usize(b.pending.len());
+                for &n in &b.pending {
+                    w.usize(n);
+                }
+                w.u32(b.retries);
+                w.u64(b.next_retry);
+            }
+        }
+        w.usize(e.waiters.len());
+        for &(node, write, xid) in &e.waiters {
+            w.usize(node);
+            w.bool(write);
+            w.u32(xid);
+        }
+    }
+    w.u32(dir.epoch_counter);
+    w.u64(dir.clock);
+    w.u64(dir.next_deadline);
+    w.usize(dir.busy_ct);
+    let s = &dir.stats;
+    for v in [
+        s.read_reqs,
+        s.write_reqs,
+        s.invals_sent,
+        s.wb_reqs_sent,
+        s.deferred,
+        s.nacks,
+        s.retransmits,
+        s.stale_acks,
+    ] {
+        w.u64(v);
+    }
+    dir.probe.encode(w);
+}
+
+/// Restores directory state written by [`encode_dir`].
+pub fn restore_dir(dir: &mut Directory, r: &mut ByteReader<'_>) -> Result<(), WireError> {
+    let nentries = r.usize()?;
+    let mut entries = HashMap::with_capacity(nentries);
+    for _ in 0..nentries {
+        let block = r.u32()?;
+        let state = decode_dir_state(r)?;
+        let busy = if r.bool()? {
+            let requester = r.usize()?;
+            let req_xid = r.u32()?;
+            let write = r.bool()?;
+            let at = r.pos();
+            let kind = match r.u8()? {
+                0 => BusyKind::Inval,
+                1 => BusyKind::Down,
+                2 => BusyKind::WbInval,
+                tag => return Err(WireError::BadTag { at, tag }),
+            };
+            let epoch = r.u32()?;
+            let npending = r.usize()?;
+            let mut pending = Vec::with_capacity(npending);
+            for _ in 0..npending {
+                pending.push(r.usize()?);
+            }
+            let retries = r.u32()?;
+            let next_retry = r.u64()?;
+            Some(Busy {
+                requester,
+                req_xid,
+                write,
+                kind,
+                epoch,
+                pending,
+                retries,
+                next_retry,
+            })
+        } else {
+            None
+        };
+        let nwaiters = r.usize()?;
+        let mut waiters = VecDeque::with_capacity(nwaiters);
+        for _ in 0..nwaiters {
+            let node = r.usize()?;
+            let write = r.bool()?;
+            let xid = r.u32()?;
+            waiters.push_back((node, write, xid));
+        }
+        entries.insert(
+            block,
+            DirEntry {
+                state,
+                busy,
+                waiters,
+            },
+        );
+    }
+    let busy_found = entries.values().filter(|e| e.busy.is_some()).count();
+    dir.entries = entries;
+    dir.epoch_counter = r.u32()?;
+    dir.clock = r.u64()?;
+    dir.next_deadline = r.u64()?;
+    let busy_ct = r.usize()?;
+    if busy_ct != busy_found {
+        return Err(WireError::Corrupt("directory busy count mismatch"));
+    }
+    dir.busy_ct = busy_ct;
+    let s = &mut dir.stats;
+    for v in [
+        &mut s.read_reqs,
+        &mut s.write_reqs,
+        &mut s.invals_sent,
+        &mut s.wb_reqs_sent,
+        &mut s.deferred,
+        &mut s.nacks,
+        &mut s.retransmits,
+        &mut s.stale_acks,
+    ] {
+        *v = r.u64()?;
+    }
+    dir.probe = Probe::decode(r)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::controller::CtlConfig;
+
+    #[test]
+    fn every_coherence_message_roundtrips() {
+        let msgs = [
+            CohMsg::RdReq { block: 1, xid: 2 },
+            CohMsg::WrReq { block: 3, xid: 4 },
+            CohMsg::RdReply { block: 5, xid: 6 },
+            CohMsg::WrReply { block: 7, xid: 8 },
+            CohMsg::Nack { block: 9, xid: 10 },
+            CohMsg::Inval { block: 11, xid: 12 },
+            CohMsg::InvAck { block: 13, xid: 14 },
+            CohMsg::DownReq { block: 15, xid: 16 },
+            CohMsg::DownAck { block: 17, xid: 18 },
+            CohMsg::WbInvalReq { block: 19, xid: 20 },
+            CohMsg::WbInvalAck { block: 21, xid: 22 },
+            CohMsg::FlushData {
+                block: 23,
+                fenced: true,
+                xid: 24,
+            },
+            CohMsg::FlushAck {
+                block: 25,
+                fenced: false,
+                xid: 26,
+            },
+            CohMsg::Ipi,
+            CohMsg::BlockXfer {
+                block: 27,
+                words: 16,
+            },
+        ];
+        let mut w = ByteWriter::new();
+        for m in &msgs {
+            encode_msg(m, &mut w);
+        }
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        for m in &msgs {
+            assert_eq!(decode_msg(&mut r).unwrap(), *m);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn femem_roundtrips_words_and_fe_bits() {
+        let mut m = FeMemory::new(100);
+        m.write(0, Word(0xdead_beef));
+        m.write(96, Word(7));
+        m.set_fe(4, false);
+        m.set_fe(92, false);
+        let mut w = ByteWriter::new();
+        encode_femem(&m, &mut w);
+        let bytes = w.finish();
+        let mut n = FeMemory::new(100);
+        restore_femem(&mut n, &mut ByteReader::new(&bytes)).unwrap();
+        for a in (0..100).step_by(4) {
+            assert_eq!(n.read(a), m.read(a), "word at {a:#x}");
+            assert_eq!(n.fe(a), m.fe(a), "fe bit at {a:#x}");
+        }
+        let mut small = FeMemory::new(96);
+        assert!(restore_femem(&mut small, &mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn allocator_cursor_roundtrips_and_validates() {
+        let mut a = BumpAllocator::new(0x100, 0x400);
+        a.alloc(40, 8).unwrap();
+        let mut w = ByteWriter::new();
+        encode_alloc(&a, &mut w);
+        let bytes = w.finish();
+        let b = decode_alloc(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(a, b);
+        let mut w = ByteWriter::new();
+        w.u32(0x200);
+        w.u32(0x100); // next < base
+        w.u32(0x400);
+        let bad = w.finish();
+        assert!(decode_alloc(&mut ByteReader::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn controller_with_inflight_state_roundtrips() {
+        let mk = || CacheController::new(3, CacheConfig::default(), CtlConfig::default());
+        let mut ctl = mk();
+        ctl.set_clock(100);
+        // Start two remote transactions: home 0 is not this node, so
+        // each access issues a request and records an in-flight txn.
+        let mut out = Vec::new();
+        ctl.cpu_access(0x8000, false, 0, 0, None, |_| 0, &mut out);
+        ctl.cpu_access(0x9000, true, 1, 0, None, |_| 0, &mut out);
+        assert_eq!(ctl.outstanding(), 2);
+        let mut w = ByteWriter::new();
+        encode_ctl(&ctl, &mut w);
+        let bytes = w.finish();
+        let mut restored = mk();
+        restore_ctl(&mut restored, &mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(restored.outstanding_txns(), ctl.outstanding_txns());
+        assert_eq!(restored.stats, ctl.stats);
+        assert_eq!(restored.fence_count(), ctl.fence_count());
+        // A node-id mismatch is rejected.
+        let mut other = CacheController::new(5, CacheConfig::default(), CtlConfig::default());
+        assert!(restore_ctl(&mut other, &mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn directory_with_busy_episode_roundtrips() {
+        let mut dir = Directory::new();
+        dir.set_clock(50);
+        // Build protocol state: node 1 reads, node 2 writes (starts a
+        // busy invalidation episode with node 1 pending).
+        dir.handle_request(1, 64, false, 1);
+        dir.handle_request(2, 64, true, 2);
+        assert_eq!(dir.busy_count(), 1);
+        let mut w = ByteWriter::new();
+        encode_dir(&dir, &mut w);
+        let bytes = w.finish();
+        let mut restored = Directory::new();
+        restore_dir(&mut restored, &mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(restored.stats, dir.stats);
+        assert_eq!(restored.busy_entries(), dir.busy_entries());
+        assert_eq!(restored.busy_count(), dir.busy_count());
+        // The restored directory finishes the episode identically.
+        let epoch = dir.busy_entries()[0].3;
+        let ack = CohMsg::InvAck {
+            block: 64,
+            xid: epoch,
+        };
+        let a = dir.handle_ack(1, ack).unwrap();
+        let b = restored.handle_ack(1, ack).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(restored.state(64), dir.state(64));
+    }
+}

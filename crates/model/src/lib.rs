@@ -24,7 +24,7 @@
 //! assert!(u3 > 0.75);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache_model;
 pub mod net_model;

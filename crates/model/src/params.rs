@@ -6,6 +6,15 @@
 /// three-dimensional array of radix 20, 10-cycle memory latency, 2%
 /// fixed miss rate, 4-flit average packets, 16-byte cache blocks,
 /// 250-block per-thread working sets, 64-Kbyte caches.
+///
+/// ```
+/// use april_model::SystemParams;
+///
+/// let p = SystemParams::default();
+/// assert_eq!(p.num_processors(), 8000.0); // 20^3
+/// assert_eq!(p.avg_hops(), 20.0);         // nk/3
+/// assert_eq!(p.base_round_trip(), 55.0);  // the paper's 55 cycles
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
     /// Memory latency in cycles.

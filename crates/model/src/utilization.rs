@@ -18,6 +18,15 @@ use crate::params::SystemParams;
 
 /// Equation 1 for given miss rate `m`, round-trip latency `t`, and
 /// switch overhead `c`.
+///
+/// ```
+/// use april_model::equation_1;
+///
+/// // One thread, 2% misses, 55-cycle round trips: latency-bound.
+/// assert!((equation_1(1.0, 0.02, 55.0, 10.0) - 1.0 / 2.1).abs() < 1e-12);
+/// // Many threads: capped by the 1/(1 + C·m) switch-overhead bound.
+/// assert!((equation_1(8.0, 0.02, 55.0, 10.0) - 1.0 / 1.2).abs() < 1e-12);
+/// ```
 pub fn equation_1(p: f64, m: f64, t: f64, c: f64) -> f64 {
     let saturation = (1.0 + t * m) / (1.0 + c * m);
     if p < saturation {

@@ -126,10 +126,10 @@ pub(crate) enum Verdict {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
-    seed: u64,
-    default_rule: FaultRule,
-    per_channel: HashMap<Channel, FaultRule>,
-    outages: HashMap<Channel, Vec<Outage>>,
+    pub(crate) seed: u64,
+    pub(crate) default_rule: FaultRule,
+    pub(crate) per_channel: HashMap<Channel, FaultRule>,
+    pub(crate) outages: HashMap<Channel, Vec<Outage>>,
 }
 
 // The parallel machine's coordinator owns the network (and thus the

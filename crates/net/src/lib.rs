@@ -13,11 +13,15 @@
 //! * [`fault`] — deterministic seeded fault injection (packet drop,
 //!   duplication, delay, transient link outages) for robustness testing
 //!   of the coherence protocol and run-time system above.
+//! * [`snapshot`] — wire encoding of the complete network state
+//!   (event heap, in-flight packets, channel reservations, fault plan)
+//!   for machine checkpoints (DESIGN.md §11).
 
 #![warn(missing_docs)]
 
 pub mod fault;
 pub mod network;
+pub mod snapshot;
 pub mod topology;
 
 pub use fault::{FaultPlan, FaultRule, FaultStats, Outage};

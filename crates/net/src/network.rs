@@ -86,21 +86,21 @@ impl NetStats {
 }
 
 #[derive(Debug)]
-struct Flight<P> {
-    dst: usize,
-    size: u64,
-    sent_at: u64,
-    hops: u64,
-    payload: P,
+pub(crate) struct Flight<P> {
+    pub(crate) dst: usize,
+    pub(crate) size: u64,
+    pub(crate) sent_at: u64,
+    pub(crate) hops: u64,
+    pub(crate) payload: P,
 }
 
 /// An event: packet `id`'s header arrives at `node` at `time`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    time: u64,
-    seq: u64,
-    id: u64,
-    node: usize,
+pub(crate) struct Event {
+    pub(crate) time: u64,
+    pub(crate) seq: u64,
+    pub(crate) id: u64,
+    pub(crate) node: usize,
 }
 
 /// The interconnection network, generic over the payload type.
@@ -125,16 +125,16 @@ struct Event {
 /// ```
 #[derive(Debug)]
 pub struct Network<P> {
-    topo: Topology,
-    cfg: NetConfig,
-    events: BinaryHeap<Reverse<Event>>,
-    flights: HashMap<u64, Flight<P>>,
-    channel_free: HashMap<Channel, u64>,
-    ready: VecDeque<(u64, usize, u64)>, // (deliver_time, dst, id)
-    next_id: u64,
-    next_dup_id: u64,
-    seq: u64,
-    fault: Option<FaultPlan>,
+    pub(crate) topo: Topology,
+    pub(crate) cfg: NetConfig,
+    pub(crate) events: BinaryHeap<Reverse<Event>>,
+    pub(crate) flights: HashMap<u64, Flight<P>>,
+    pub(crate) channel_free: HashMap<Channel, u64>,
+    pub(crate) ready: VecDeque<(u64, usize, u64)>, // (deliver_time, dst, id)
+    pub(crate) next_id: u64,
+    pub(crate) next_dup_id: u64,
+    pub(crate) seq: u64,
+    pub(crate) fault: Option<FaultPlan>,
     /// Aggregate statistics.
     pub stats: NetStats,
     /// Counts of injected faults (all zero without a fault plan).
@@ -142,11 +142,11 @@ pub struct Network<P> {
     /// End-to-end delivery latency distribution (log2 buckets).
     /// Recorded unconditionally: hand-over order is deterministic, the
     /// merge is order-independent, and the cost is a few adds.
-    latency_hist: Hist,
+    pub(crate) latency_hist: Hist,
     /// Hop-count distribution of delivered packets.
-    hops_hist: Hist,
+    pub(crate) hops_hist: Hist,
     /// Trace recorder for the network lane (inert by default).
-    probe: Probe,
+    pub(crate) probe: Probe,
 }
 
 impl<P> Network<P> {

@@ -1,5 +1,7 @@
 //! Structured trace events and lane encoding.
 
+use april_util::wire::{ByteReader, ByteWriter, WireError};
+
 /// The component a lane belongs to. Together with a node index it
 /// forms a [`lane`] id; each lane carries one deterministic event
 /// stream.
@@ -138,6 +140,34 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Decodes the wire discriminant written by [`Event::encode`].
+    pub(crate) fn from_u8(tag: u8, at: usize) -> Result<EventKind, WireError> {
+        Ok(match tag {
+            0 => EventKind::TrapTaken,
+            1 => EventKind::ContextSwitch,
+            2 => EventKind::FullEmptyWait,
+            3 => EventKind::FutureTouch,
+            4 => EventKind::CacheMiss,
+            5 => EventKind::NackRecv,
+            6 => EventKind::Retransmit,
+            7 => EventKind::DirTransition,
+            8 => EventKind::DirNack,
+            9 => EventKind::NetHop,
+            10 => EventKind::NetDrop,
+            11 => EventKind::NetDup,
+            12 => EventKind::NetDelay,
+            13 => EventKind::NetOutage,
+            14 => EventKind::WindowBarrier,
+            15 => EventKind::WatchdogArmed,
+            16 => EventKind::WatchdogFired,
+            17 => EventKind::ThreadSpawn,
+            18 => EventKind::ThreadBlock,
+            19 => EventKind::ThreadResume,
+            20 => EventKind::LazyTask,
+            tag => return Err(WireError::BadTag { at, tag }),
+        })
+    }
+
     /// Short stable name used in exports.
     pub fn name(self) -> &'static str {
         match self {
@@ -193,6 +223,55 @@ impl Event {
     pub fn key(&self) -> (u64, u32, u64) {
         (self.cycle, self.lane, self.seq)
     }
+
+    /// Appends the event to a snapshot buffer (DESIGN.md §11).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use april_obs::{lane, Component, Event, EventKind};
+    /// use april_util::wire::{ByteReader, ByteWriter};
+    ///
+    /// let e = Event {
+    ///     cycle: 42,
+    ///     lane: lane(Component::Cpu, 3),
+    ///     seq: 7,
+    ///     kind: EventKind::CacheMiss,
+    ///     a: 0x100,
+    ///     b: 1,
+    /// };
+    /// let mut w = ByteWriter::new();
+    /// e.encode(&mut w);
+    /// let bytes = w.finish();
+    /// assert_eq!(Event::decode(&mut ByteReader::new(&bytes)).unwrap(), e);
+    /// ```
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.cycle);
+        w.u32(self.lane);
+        w.u64(self.seq);
+        w.u8(self.kind as u8);
+        w.u64(self.a);
+        w.u64(self.b);
+    }
+
+    /// Decodes an event written by [`Event::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Event, WireError> {
+        let cycle = r.u64()?;
+        let lane = r.u32()?;
+        let seq = r.u64()?;
+        let at = r.pos();
+        let kind = EventKind::from_u8(r.u8()?, at)?;
+        let a = r.u64()?;
+        let b = r.u64()?;
+        Ok(Event {
+            cycle,
+            lane,
+            seq,
+            kind,
+            a,
+            b,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +298,28 @@ mod tests {
     fn lanes_order_by_component_then_node() {
         assert!(lane(Component::Cpu, 5) < lane(Component::Ctl, 0));
         assert!(lane(Component::Ctl, 1) < lane(Component::Ctl, 2));
+    }
+
+    #[test]
+    fn every_kind_roundtrips_on_the_wire() {
+        for tag in 0u8..=20 {
+            let kind = EventKind::from_u8(tag, 0).unwrap();
+            assert_eq!(kind as u8, tag);
+            let e = Event {
+                cycle: 1 + tag as u64,
+                lane: lane(Component::Dir, tag as u32),
+                seq: 99,
+                kind,
+                a: u64::MAX - tag as u64,
+                b: tag as u64,
+            };
+            let mut w = ByteWriter::new();
+            e.encode(&mut w);
+            let bytes = w.finish();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(Event::decode(&mut r).unwrap(), e);
+            assert!(r.is_empty());
+        }
+        assert!(EventKind::from_u8(21, 0).is_err());
     }
 }

@@ -32,7 +32,7 @@
 //! exception; they describe the scheduler rather than the simulated
 //! machine and are excluded by [`Trace::retain_semantic`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod event;
 mod json;

@@ -2,6 +2,7 @@
 
 use crate::event::{Event, EventKind};
 use april_util::splitmix64;
+use april_util::wire::{ByteReader, ByteWriter, WireError};
 
 /// Tracing configuration shared by every probe of a machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -177,6 +178,81 @@ impl Probe {
     pub fn overwritten(&self) -> u64 {
         self.overwritten
     }
+
+    /// Appends the probe's complete state — configuration, counters,
+    /// and retained ring contents — to a snapshot buffer
+    /// (DESIGN.md §11).
+    ///
+    /// Snapshotting the full state (not just the ring) matters for
+    /// restore-equivalence: `seq` feeds both the sampling hash and the
+    /// canonical event key, so a restored probe must resume counting
+    /// exactly where the original stopped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use april_obs::{lane, Component, EventKind, Probe, TraceConfig};
+    /// use april_util::wire::{ByteReader, ByteWriter};
+    ///
+    /// let mut p = Probe::new(lane(Component::Cpu, 0), TraceConfig::default());
+    /// p.emit(3, EventKind::TrapTaken, 1, 2);
+    /// let mut w = ByteWriter::new();
+    /// p.encode(&mut w);
+    /// let bytes = w.finish();
+    /// let q = Probe::decode(&mut ByteReader::new(&bytes)).unwrap();
+    /// assert_eq!(q.emitted(), 1);
+    /// assert_eq!(q.events().count(), 1);
+    /// ```
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.lane);
+        w.bool(self.enabled);
+        w.u64(self.threshold);
+        w.u64(self.seed);
+        // The ring's *capacity* (not just its contents) is state: it
+        // decides when overwriting starts, so it must survive the
+        // round trip for eviction to stay deterministic.
+        w.usize(self.ring.capacity());
+        w.usize(self.ring.len());
+        for ev in &self.ring {
+            ev.encode(w);
+        }
+        w.usize(self.head);
+        w.u64(self.seq);
+        w.u64(self.sampled_out);
+        w.u64(self.overwritten);
+    }
+
+    /// Decodes a probe written by [`Probe::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Probe, WireError> {
+        let lane = r.u32()?;
+        let enabled = r.bool()?;
+        let threshold = r.u64()?;
+        let seed = r.u64()?;
+        let cap = r.usize()?;
+        let len = r.usize()?;
+        if len > cap {
+            return Err(WireError::Corrupt("probe ring longer than its capacity"));
+        }
+        let mut ring = Vec::with_capacity(cap);
+        for _ in 0..len {
+            ring.push(Event::decode(r)?);
+        }
+        let head = r.usize()?;
+        if head >= len.max(1) {
+            return Err(WireError::Corrupt("probe ring head out of range"));
+        }
+        Ok(Probe {
+            lane,
+            enabled,
+            threshold,
+            seed,
+            ring,
+            head,
+            seq: r.u64()?,
+            sampled_out: r.u64()?,
+            overwritten: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +306,40 @@ mod tests {
         assert_eq!(a_out, b_out);
         assert_eq!(a_n, b_n);
         assert!(a_out > 300 && a_out < 700, "~half sampled out: {a_out}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_identically() {
+        // Two probes that diverge unless *all* state (seq, head,
+        // counters, ring capacity) survives the round trip.
+        let mut live = Probe::new(lane(Component::Ctl, 3), cfg(4, 0.5));
+        for c in 0..37u64 {
+            live.emit(c, EventKind::NackRecv, c * 8, c);
+        }
+        let mut w = ByteWriter::new();
+        live.encode(&mut w);
+        let bytes = w.finish();
+        let mut restored = Probe::decode(&mut ByteReader::new(&bytes)).unwrap();
+        for c in 37..100u64 {
+            live.emit(c, EventKind::NackRecv, c * 8, c);
+            restored.emit(c, EventKind::NackRecv, c * 8, c);
+        }
+        assert_eq!(
+            live.events().copied().collect::<Vec<_>>(),
+            restored.events().copied().collect::<Vec<_>>()
+        );
+        assert_eq!(live.emitted(), restored.emitted());
+        assert_eq!(live.sampled_out(), restored.sampled_out());
+        assert_eq!(live.overwritten(), restored.overwritten());
+    }
+
+    #[test]
+    fn corrupt_probe_bytes_are_rejected() {
+        let p = Probe::new(lane(Component::Cpu, 1), cfg(2, 1.0));
+        let mut w = ByteWriter::new();
+        p.encode(&mut w);
+        let bytes = w.finish();
+        assert!(Probe::decode(&mut ByteReader::new(&bytes[..bytes.len() - 1])).is_err());
     }
 
     #[test]

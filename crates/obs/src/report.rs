@@ -1,6 +1,7 @@
 //! The counter / gauge / histogram registry snapshot.
 
 use crate::json::JsonWriter;
+use april_util::wire::{ByteReader, ByteWriter, WireError};
 
 /// A log2-bucketed histogram of `u64` samples.
 ///
@@ -99,6 +100,42 @@ impl Hist {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+    }
+
+    /// Appends the histogram to a snapshot buffer (DESIGN.md §11).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use april_obs::Hist;
+    /// use april_util::wire::{ByteReader, ByteWriter};
+    ///
+    /// let mut h = Hist::new();
+    /// h.record(12);
+    /// let mut w = ByteWriter::new();
+    /// h.encode(&mut w);
+    /// let bytes = w.finish();
+    /// assert_eq!(Hist::decode(&mut ByteReader::new(&bytes)).unwrap(), h);
+    /// ```
+    pub fn encode(&self, w: &mut ByteWriter) {
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.max);
+    }
+
+    /// Decodes a histogram written by [`Hist::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Hist, WireError> {
+        let mut h = Hist::new();
+        for b in h.buckets.iter_mut() {
+            *b = r.u64()?;
+        }
+        h.count = r.u64()?;
+        h.sum = r.u64()?;
+        h.max = r.u64()?;
+        Ok(h)
     }
 
     fn write_json(&self, w: &mut JsonWriter) {

@@ -36,7 +36,7 @@ pub struct FutureInfo {
 /// All live futures' metadata, keyed by the future record's address.
 #[derive(Debug, Clone, Default)]
 pub struct FutureTable {
-    map: HashMap<u32, FutureInfo>,
+    pub(crate) map: HashMap<u32, FutureInfo>,
 }
 
 impl FutureTable {

@@ -23,9 +23,9 @@ pub struct NodeLayout {
     /// Heap chunks come from here.
     pub heap: BumpAllocator,
     /// Stack segments come from here.
-    stacks: BumpAllocator,
-    free_stacks: Vec<u32>,
-    stack_bytes: u32,
+    pub(crate) stacks: BumpAllocator,
+    pub(crate) free_stacks: Vec<u32>,
+    pub(crate) stack_bytes: u32,
 }
 
 /// Size of the heap chunk installed into `g5`/`g6` at a time.

@@ -18,6 +18,8 @@
 //!   resolved touch).
 //! * [`runtime`] — the trap handlers and scheduler driving a
 //!   [`april_machine::Machine`].
+//! * [`snapshot`] — checkpoint/restore of the whole run-time
+//!   (embedding a machine snapshot), for bit-exact resumption.
 
 #![warn(missing_docs)]
 
@@ -27,8 +29,10 @@ pub mod futures;
 pub mod layout;
 pub mod runtime;
 pub mod sched;
+pub mod snapshot;
 pub mod thread;
 
 pub use config::{FePolicy, RtConfig, TouchPolicy};
 pub use runtime::{RunError, RunResult, Runtime};
+pub use snapshot::RuntimeSnapshot;
 pub use thread::{Thread, ThreadId, ThreadState};

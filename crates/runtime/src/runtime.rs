@@ -65,28 +65,28 @@ pub struct RunResult {
 /// ```
 #[derive(Debug)]
 pub struct Runtime<M: Machine> {
-    machine: M,
-    cfg: RtConfig,
-    threads: Vec<Thread>,
-    sched: Scheduler,
-    futures: FutureTable,
-    layouts: Vec<NodeLayout>,
+    pub(crate) machine: M,
+    pub(crate) cfg: RtConfig,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) sched: Scheduler,
+    pub(crate) futures: FutureTable,
+    pub(crate) layouts: Vec<NodeLayout>,
     /// Which thread occupies each (node, frame).
-    loaded: Vec<Vec<Option<ThreadId>>>,
-    result: Option<Word>,
-    prints: Vec<Word>,
-    task_entry: u32,
-    inline_entry: Option<u32>,
-    booted: bool,
+    pub(crate) loaded: Vec<Vec<Option<ThreadId>>>,
+    pub(crate) result: Option<Word>,
+    pub(crate) prints: Vec<Word>,
+    pub(crate) task_entry: u32,
+    pub(crate) inline_entry: Option<u32>,
+    pub(crate) booted: bool,
     /// Consecutive full/empty faults per (node, frame) on one address,
     /// for the `BlockAfterSpins` policy.
-    fe_spins: std::collections::HashMap<(usize, usize), (u32, u32)>,
+    pub(crate) fe_spins: std::collections::HashMap<(usize, usize), (u32, u32)>,
     /// Threads unloaded waiting for a word's full/empty state to
     /// change: (thread, address, wants_empty).
-    fe_waiters: Vec<(ThreadId, u32, bool)>,
+    pub(crate) fe_waiters: Vec<(ThreadId, u32, bool)>,
     /// Scheduler-lane event recorder (thread spawn/block/resume, lazy
     /// task creation). Inert until [`Runtime::attach_tracer`].
-    probe: Probe,
+    pub(crate) probe: Probe,
 }
 
 /// Run failure: the simulated program misbehaved or hung.
@@ -243,6 +243,26 @@ impl<M: Machine> Runtime<M> {
     /// Returns [`RunError`] on deadlock, cycle-limit exhaustion, or a
     /// simulated program fault.
     pub fn run(&mut self) -> Result<RunResult, RunError> {
+        match self.run_until(u64::MAX)? {
+            Some(r) => Ok(r),
+            // `max_cycles` always fires before the clock reaches
+            // `u64::MAX`, so a `None` here is unreachable.
+            None => Err(RunError::CycleLimit(self.cfg.max_cycles)),
+        }
+    }
+
+    /// Runs until the program completes *or* the machine clock reaches
+    /// `stop_at`, whichever happens first. `Ok(None)` means the clock
+    /// got there with the program still in flight — the natural moment
+    /// to take a [`Runtime::checkpoint`]. Because the advance sequence
+    /// is deterministic, stopping and resuming (or stopping,
+    /// checkpointing, and restoring elsewhere) does not change the
+    /// run's subsequent behavior.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::run`].
+    pub fn run_until(&mut self, stop_at: u64) -> Result<Option<RunResult>, RunError> {
         if !self.booted {
             self.boot();
         }
@@ -253,6 +273,9 @@ impl<M: Machine> Runtime<M> {
                                               // same check lockstep runs at each 4096-cycle boundary.
         let mut next_liveness = 4096u64;
         loop {
+            if self.machine.now() >= stop_at {
+                return Ok(None);
+            }
             if self.machine.now() > self.cfg.max_cycles {
                 return Err(RunError::CycleLimit(self.cfg.max_cycles));
             }
@@ -270,14 +293,14 @@ impl<M: Machine> Runtime<M> {
                 for s in &per_cpu {
                     total.merge(s);
                 }
-                return Ok(RunResult {
+                return Ok(Some(RunResult {
                     value,
                     cycles: self.machine.now(),
                     total,
                     per_cpu,
                     sched: self.sched.stats,
                     prints: std::mem::take(&mut self.prints),
-                });
+                }));
             }
             // Liveness check every ~4096 cycles.
             if self.machine.now() >= next_liveness {

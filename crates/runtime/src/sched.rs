@@ -36,16 +36,16 @@ pub struct SchedStats {
 
 /// One node's queues.
 #[derive(Debug, Clone, Default)]
-struct NodeQueues {
-    ready: VecDeque<ThreadId>,
-    lazy: VecDeque<u32>, // future addresses with unstolen thunks
+pub(crate) struct NodeQueues {
+    pub(crate) ready: VecDeque<ThreadId>,
+    pub(crate) lazy: VecDeque<u32>, // future addresses with unstolen thunks
 }
 
 /// The distributed scheduler state.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
-    nodes: Vec<NodeQueues>,
-    spawn_rr: usize,
+    pub(crate) nodes: Vec<NodeQueues>,
+    pub(crate) spawn_rr: usize,
     /// Event counters.
     pub stats: SchedStats,
 }

@@ -1,0 +1,688 @@
+//! Checkpointing the run-time system.
+//!
+//! A machine [`Snapshot`] captures the
+//! hardware; the run-time holds just as much behavior-determining
+//! state in software — virtual threads and their saved register
+//! images, ready and lazy queues, future wait lists, per-node
+//! allocators, and the scheduler's round-robin cursor. A
+//! [`RuntimeSnapshot`] wraps the machine snapshot together with all of
+//! it, so [`Runtime::restore`] resumes a run bit-exactly: the
+//! continued run's trace, statistics, and result are identical to an
+//! unbroken one.
+//!
+//! The encoding follows the machine format's conventions (see
+//! DESIGN.md §11): little-endian fixed-width integers, length-prefixed
+//! byte strings, maps sorted by key so equal logical state always
+//! produces identical bytes. The wrapper is versioned independently of
+//! the machine snapshot it embeds.
+
+use crate::futures::{FutureInfo, FutureTable, LazyThunk};
+use crate::layout::NodeLayout;
+use crate::runtime::Runtime;
+use crate::sched::{NodeQueues, Scheduler};
+use crate::thread::{SavedFrame, Thread, ThreadId, ThreadState};
+use april_core::frame::{FREGS_PER_FRAME, REGS_PER_FRAME};
+use april_core::psr::Psr;
+use april_core::word::Word;
+use april_machine::{Machine, Snapshot, SnapshotError};
+use april_mem::snapshot::{decode_alloc, encode_alloc};
+use april_obs::Probe;
+use april_util::wire::{ByteReader, ByteWriter, WireError};
+
+/// Magic prefix of a runtime snapshot (the machine format uses
+/// `APRL`).
+pub const MAGIC: &[u8] = b"APRT";
+
+/// Current runtime-wrapper format version.
+pub const VERSION: u8 = 1;
+
+/// A serialized run-time checkpoint: one machine snapshot plus the
+/// run-time software state wrapped around it.
+///
+/// Produced by [`Runtime::checkpoint`], consumed by
+/// [`Runtime::restore`]. The byte string is self-contained and
+/// write-to-disk stable ([`RuntimeSnapshot::as_bytes`] /
+/// [`RuntimeSnapshot::from_bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl RuntimeSnapshot {
+    /// The serialized form.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Reconstructs a snapshot from bytes, validating the wrapper
+    /// header and the embedded machine snapshot's framing. The
+    /// run-time payload is validated when it is actually decoded, at
+    /// [`Runtime::restore`] time.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`], [`SnapshotError::Version`], or
+    /// [`SnapshotError::Corrupt`] when the bytes are not a runtime
+    /// snapshot.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<RuntimeSnapshot, SnapshotError> {
+        let snap = RuntimeSnapshot { bytes };
+        snap.machine_snapshot()?;
+        Ok(snap)
+    }
+
+    /// The machine clock at which the checkpoint was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot bytes are corrupt (impossible for a
+    /// value that came through [`RuntimeSnapshot::from_bytes`] or
+    /// [`Runtime::checkpoint`]).
+    pub fn cycle(&self) -> u64 {
+        self.machine_snapshot().expect("validated snapshot").cycle()
+    }
+
+    /// Extracts the embedded machine [`Snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RuntimeSnapshot::from_bytes`].
+    pub fn machine_snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        let mut r = ByteReader::new(&self.bytes);
+        let magic = r.bytes()?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(SnapshotError::Version(version));
+        }
+        let _cfg = r.str()?;
+        Snapshot::from_bytes(r.bytes()?.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field encoders
+// ---------------------------------------------------------------------
+
+fn encode_saved_frame(f: &SavedFrame, w: &mut ByteWriter) {
+    for r in &f.regs {
+        w.u32(r.0);
+    }
+    for r in &f.fregs {
+        w.u32(*r);
+    }
+    w.u32(f.pc);
+    w.u32(f.npc);
+    w.u32(f.psr.to_word().0);
+}
+
+fn decode_saved_frame(r: &mut ByteReader<'_>) -> Result<SavedFrame, WireError> {
+    let mut regs = [Word::ZERO; REGS_PER_FRAME];
+    for reg in &mut regs {
+        *reg = Word(r.u32()?);
+    }
+    let mut fregs = [0u32; FREGS_PER_FRAME];
+    for reg in &mut fregs {
+        *reg = r.u32()?;
+    }
+    Ok(SavedFrame {
+        regs,
+        fregs,
+        pc: r.u32()?,
+        npc: r.u32()?,
+        psr: Psr::from_word(Word(r.u32()?)),
+    })
+}
+
+fn encode_state(s: &ThreadState, w: &mut ByteWriter) {
+    match s {
+        ThreadState::Ready => w.u8(0),
+        ThreadState::Loaded { node, frame } => {
+            w.u8(1);
+            w.usize(*node);
+            w.usize(*frame);
+        }
+        ThreadState::Blocked { future } => {
+            w.u8(2);
+            w.u32(*future);
+        }
+        ThreadState::Exited => w.u8(3),
+    }
+}
+
+fn decode_state(r: &mut ByteReader<'_>) -> Result<ThreadState, WireError> {
+    Ok(match r.u8()? {
+        0 => ThreadState::Ready,
+        1 => ThreadState::Loaded {
+            node: r.usize()?,
+            frame: r.usize()?,
+        },
+        2 => ThreadState::Blocked { future: r.u32()? },
+        3 => ThreadState::Exited,
+        _ => return Err(WireError::Corrupt("unknown thread state tag")),
+    })
+}
+
+fn encode_thread(t: &Thread, w: &mut ByteWriter) {
+    w.u32(t.id.0);
+    for r in &t.regs {
+        w.u32(r.0);
+    }
+    for r in &t.fregs {
+        w.u32(*r);
+    }
+    w.u32(t.pc);
+    w.u32(t.npc);
+    w.u32(t.psr.to_word().0);
+    encode_state(&t.state, w);
+    w.usize(t.home);
+    w.u32(t.stack_base);
+    w.usize(t.shadow.len());
+    for f in &t.shadow {
+        encode_saved_frame(f, w);
+    }
+    w.bool(t.started);
+}
+
+fn decode_thread(r: &mut ByteReader<'_>) -> Result<Thread, WireError> {
+    let id = ThreadId(r.u32()?);
+    let mut t = Thread::fresh(id, 0, 0);
+    for reg in &mut t.regs {
+        *reg = Word(r.u32()?);
+    }
+    for reg in &mut t.fregs {
+        *reg = r.u32()?;
+    }
+    t.pc = r.u32()?;
+    t.npc = r.u32()?;
+    t.psr = Psr::from_word(Word(r.u32()?));
+    t.state = decode_state(r)?;
+    t.home = r.usize()?;
+    t.stack_base = r.u32()?;
+    let shadows = r.usize()?;
+    t.shadow = (0..shadows)
+        .map(|_| decode_saved_frame(r))
+        .collect::<Result<_, _>>()?;
+    t.started = r.bool()?;
+    Ok(t)
+}
+
+fn encode_sched(s: &Scheduler, w: &mut ByteWriter) {
+    w.usize(s.nodes.len());
+    for q in &s.nodes {
+        w.usize(q.ready.len());
+        for t in &q.ready {
+            w.u32(t.0);
+        }
+        w.usize(q.lazy.len());
+        for f in &q.lazy {
+            w.u32(*f);
+        }
+    }
+    w.usize(s.spawn_rr);
+    let st = s.stats;
+    for c in [
+        st.threads_created,
+        st.lazy_created,
+        st.inline_evals,
+        st.lazy_steals,
+        st.ready_steals,
+        st.blocks,
+        st.wakes,
+        st.loads,
+        st.unloads,
+    ] {
+        w.u64(c);
+    }
+}
+
+fn decode_sched(r: &mut ByteReader<'_>) -> Result<Scheduler, WireError> {
+    let n = r.usize()?;
+    let mut s = Scheduler::new(n.max(1));
+    s.nodes.clear();
+    for _ in 0..n {
+        let mut q = NodeQueues::default();
+        for _ in 0..r.usize()? {
+            q.ready.push_back(ThreadId(r.u32()?));
+        }
+        for _ in 0..r.usize()? {
+            q.lazy.push_back(r.u32()?);
+        }
+        s.nodes.push(q);
+    }
+    s.spawn_rr = r.usize()?;
+    s.stats.threads_created = r.u64()?;
+    s.stats.lazy_created = r.u64()?;
+    s.stats.inline_evals = r.u64()?;
+    s.stats.lazy_steals = r.u64()?;
+    s.stats.ready_steals = r.u64()?;
+    s.stats.blocks = r.u64()?;
+    s.stats.wakes = r.u64()?;
+    s.stats.loads = r.u64()?;
+    s.stats.unloads = r.u64()?;
+    Ok(s)
+}
+
+fn encode_futures(f: &FutureTable, w: &mut ByteWriter) {
+    let mut entries: Vec<_> = f.map.iter().collect();
+    entries.sort_by_key(|(addr, _)| **addr);
+    w.usize(entries.len());
+    for (addr, info) in entries {
+        w.u32(*addr);
+        w.usize(info.waiters.len());
+        for t in &info.waiters {
+            w.u32(t.0);
+        }
+        match &info.lazy {
+            Some(LazyThunk { closure, owner }) => {
+                w.bool(true);
+                w.u32(closure.0);
+                w.usize(*owner);
+            }
+            None => w.bool(false),
+        }
+    }
+}
+
+fn decode_futures(r: &mut ByteReader<'_>) -> Result<FutureTable, WireError> {
+    let mut f = FutureTable::new();
+    for _ in 0..r.usize()? {
+        let addr = r.u32()?;
+        let waiters = (0..r.usize()?)
+            .map(|_| r.u32().map(ThreadId))
+            .collect::<Result<_, _>>()?;
+        let lazy = if r.bool()? {
+            Some(LazyThunk {
+                closure: Word(r.u32()?),
+                owner: r.usize()?,
+            })
+        } else {
+            None
+        };
+        if f.map.insert(addr, FutureInfo { waiters, lazy }).is_some() {
+            return Err(WireError::Corrupt("duplicate future address"));
+        }
+    }
+    Ok(f)
+}
+
+fn encode_layout(l: &NodeLayout, w: &mut ByteWriter) {
+    encode_alloc(&l.heap, w);
+    encode_alloc(&l.stacks, w);
+    w.usize(l.free_stacks.len());
+    for s in &l.free_stacks {
+        w.u32(*s);
+    }
+    w.u32(l.stack_bytes);
+}
+
+fn decode_layout(r: &mut ByteReader<'_>) -> Result<NodeLayout, WireError> {
+    let heap = decode_alloc(r)?;
+    let stacks = decode_alloc(r)?;
+    let free_stacks = (0..r.usize()?).map(|_| r.u32()).collect::<Result<_, _>>()?;
+    Ok(NodeLayout {
+        heap,
+        stacks,
+        free_stacks,
+        stack_bytes: r.u32()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------
+
+impl<M: Machine> Runtime<M> {
+    /// Serializes the complete run-time state — the wrapped machine
+    /// (via [`Machine::checkpoint`]) plus threads, queues, futures,
+    /// allocators, and the scheduler probe — into a self-contained
+    /// [`RuntimeSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the machine's [`SnapshotError`]: `Unsupported` when
+    /// the wrapped machine type cannot checkpoint, `Faulted` when it
+    /// is stopped on a machine fault.
+    pub fn checkpoint(&self) -> Result<RuntimeSnapshot, SnapshotError> {
+        let msnap = self.machine.checkpoint()?;
+        let mut w = ByteWriter::new();
+        w.bytes(MAGIC);
+        w.u8(VERSION);
+        w.str(&format!("{:?}", self.cfg));
+        w.bytes(msnap.as_bytes());
+        w.usize(self.threads.len());
+        for t in &self.threads {
+            encode_thread(t, &mut w);
+        }
+        encode_sched(&self.sched, &mut w);
+        encode_futures(&self.futures, &mut w);
+        w.usize(self.layouts.len());
+        for l in &self.layouts {
+            encode_layout(l, &mut w);
+        }
+        w.usize(self.loaded.len());
+        for frames in &self.loaded {
+            w.usize(frames.len());
+            for slot in frames {
+                match slot {
+                    Some(t) => {
+                        w.bool(true);
+                        w.u32(t.0);
+                    }
+                    None => w.bool(false),
+                }
+            }
+        }
+        match self.result {
+            Some(v) => {
+                w.bool(true);
+                w.u32(v.0);
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.prints.len());
+        for p in &self.prints {
+            w.u32(p.0);
+        }
+        w.u32(self.task_entry);
+        match self.inline_entry {
+            Some(e) => {
+                w.bool(true);
+                w.u32(e);
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.booted);
+        let mut spins: Vec<_> = self.fe_spins.iter().collect();
+        spins.sort_by_key(|(k, _)| **k);
+        w.usize(spins.len());
+        for (&(node, frame), &(addr, count)) in spins {
+            w.usize(node);
+            w.usize(frame);
+            w.u32(addr);
+            w.u32(count);
+        }
+        w.usize(self.fe_waiters.len());
+        for &(t, addr, wants_empty) in &self.fe_waiters {
+            w.u32(t.0);
+            w.u32(addr);
+            w.bool(wants_empty);
+        }
+        self.probe.encode(&mut w);
+        Ok(RuntimeSnapshot { bytes: w.finish() })
+    }
+
+    /// Restores `snap` into this run-time. The run-time must be
+    /// constructed with the same [`RtConfig`](crate::config::RtConfig)
+    /// and an identically-configured machine as the checkpointed one
+    /// (validated; the embedded machine snapshot additionally
+    /// validates the machine configuration and program image).
+    /// Continuing afterwards reproduces the original run bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ConfigMismatch`] when the run-time
+    /// configuration differs, plus everything [`Machine::restore`]
+    /// reports. After an error the run-time's state is unspecified —
+    /// rebuild it rather than continuing.
+    pub fn restore(&mut self, snap: &RuntimeSnapshot) -> Result<(), SnapshotError> {
+        let mut r = ByteReader::new(&snap.bytes);
+        if r.bytes()? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(SnapshotError::Version(version));
+        }
+        if r.str()? != format!("{:?}", self.cfg) {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        let msnap = Snapshot::from_bytes(r.bytes()?.to_vec())?;
+        self.machine.restore(&msnap)?;
+        let n = self.machine.num_procs();
+        let threads = r.usize()?;
+        self.threads = (0..threads)
+            .map(|_| decode_thread(&mut r))
+            .collect::<Result<_, _>>()?;
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.id.0 as usize != i {
+                return Err(WireError::Corrupt("thread id out of sequence").into());
+            }
+        }
+        self.sched = decode_sched(&mut r)?;
+        if self.sched.num_nodes() != n {
+            return Err(WireError::Corrupt("scheduler node count mismatch").into());
+        }
+        self.futures = decode_futures(&mut r)?;
+        let layouts = r.usize()?;
+        if layouts != n {
+            return Err(WireError::Corrupt("layout count mismatch").into());
+        }
+        self.layouts = (0..layouts)
+            .map(|_| decode_layout(&mut r))
+            .collect::<Result<_, _>>()?;
+        let nodes = r.usize()?;
+        if nodes != n {
+            return Err(WireError::Corrupt("loaded-map node count mismatch").into());
+        }
+        let mut loaded = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let frames = r.usize()?;
+            let mut row = Vec::with_capacity(frames);
+            for _ in 0..frames {
+                row.push(if r.bool()? {
+                    let t = ThreadId(r.u32()?);
+                    if t.0 as usize >= self.threads.len() {
+                        return Err(WireError::Corrupt("loaded thread out of range").into());
+                    }
+                    Some(t)
+                } else {
+                    None
+                });
+            }
+            loaded.push(row);
+        }
+        self.loaded = loaded;
+        self.result = if r.bool()? {
+            Some(Word(r.u32()?))
+        } else {
+            None
+        };
+        self.prints = (0..r.usize()?)
+            .map(|_| r.u32().map(Word))
+            .collect::<Result<_, _>>()?;
+        self.task_entry = r.u32()?;
+        self.inline_entry = if r.bool()? { Some(r.u32()?) } else { None };
+        self.booted = r.bool()?;
+        self.fe_spins.clear();
+        for _ in 0..r.usize()? {
+            let key = (r.usize()?, r.usize()?);
+            let val = (r.u32()?, r.u32()?);
+            if self.fe_spins.insert(key, val).is_some() {
+                return Err(WireError::Corrupt("duplicate fe-spin key").into());
+            }
+        }
+        self.fe_waiters = (0..r.usize()?)
+            .map(|_| Ok::<_, WireError>((ThreadId(r.u32()?), r.u32()?, r.bool()?)))
+            .collect::<Result<_, _>>()?;
+        self.probe = Probe::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireError::Corrupt("trailing bytes after runtime snapshot").into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi;
+    use crate::config::RtConfig;
+    use april_core::isa::asm::assemble;
+    use april_core::program::Program;
+    use april_machine::{Alewife, MachineConfig, Topology};
+    use april_obs::TraceConfig;
+
+    const REGION: u32 = 1 << 20;
+
+    fn mcfg() -> MachineConfig {
+        MachineConfig {
+            topology: Topology::new(2, 2),
+            region_bytes: REGION,
+            ..MachineConfig::default()
+        }
+    }
+
+    fn rtcfg() -> RtConfig {
+        RtConfig {
+            region_bytes: REGION,
+            stack_bytes: 4096,
+            max_cycles: 10_000_000,
+            ..RtConfig::default()
+        }
+    }
+
+    /// A fan-out/join program: spawn 6 eager futures, sum via strict
+    /// touches. Exercises threads, queues, futures, and blocking.
+    fn prog() -> Program {
+        let body = "
+        .entry main
+        main:
+            movi 0, r10        ; sum
+            movi 6, r11        ; count
+            movi 0x200, r12    ; future array base
+        spawn:
+            or g5, 0, g1
+            add g5, 8, g5
+            movi @five, g2
+            st g2, g1+0
+            or g1, 2, r1       ; other-tag the closure
+            rtcall 2           ; RT_FUTURE -> r1
+            st r1, r12+0
+            add r12, 4, r12
+            sub r11, 1, r11
+            jne spawn
+            nop
+            movi 6, r11
+            movi 0x200, r12
+        join:
+            ld r12+0, r13
+            tadd r10, r13, r10 ; strict add: touches the future
+            add r12, 4, r12
+            sub r11, 1, r11
+            jne join
+            nop
+            or r10, 0, r1
+            rtcall 1           ; RT_MAIN_DONE
+        five:
+            movi 20, r1        ; fixnum 5
+            jmpl r31+0, g0
+            nop
+        ";
+        let src = format!("{}\n{}", body, abi::entry_stubs_asm());
+        assemble(&src).unwrap()
+    }
+
+    fn fresh_rt() -> Runtime<Alewife> {
+        let m = Alewife::new(mcfg(), prog());
+        let mut rt = Runtime::new(m, rtcfg());
+        rt.attach_tracer(TraceConfig::default());
+        rt
+    }
+
+    #[test]
+    fn runtime_checkpoint_restore_roundtrips_mid_run() {
+        // Unbroken reference run.
+        let mut reference = fresh_rt();
+        let ref_result = reference.run().unwrap();
+
+        // Checkpoint mid-run, while threads and futures are in flight.
+        let mut rt = fresh_rt();
+        let paused = rt.run_until(400).unwrap();
+        assert!(paused.is_none(), "program finished before the checkpoint");
+        let snap = rt.checkpoint().unwrap();
+        assert_eq!(snap.cycle(), rt.machine().now());
+
+        // Restore into a fresh runtime and finish there.
+        let mut restored = fresh_rt();
+        restored.restore(&snap).unwrap();
+        let result = restored.run().unwrap();
+
+        assert_eq!(result.value, ref_result.value);
+        assert_eq!(result.cycles, ref_result.cycles);
+        assert_eq!(result.total, ref_result.total);
+        assert_eq!(result.sched, ref_result.sched);
+        assert_eq!(
+            restored.collect_trace().events(),
+            reference.collect_trace().events(),
+            "continued trace must be identical to the unbroken run's"
+        );
+        assert_eq!(
+            restored.stats_report().to_json(),
+            reference.stats_report().to_json()
+        );
+    }
+
+    #[test]
+    fn snapshot_bytes_are_stable_and_reloadable() {
+        let mut rt = fresh_rt();
+        rt.run_until(300).unwrap();
+        let a = rt.checkpoint().unwrap();
+        let b = rt.checkpoint().unwrap();
+        assert_eq!(a, b, "checkpoint must be a pure read");
+        let reloaded = RuntimeSnapshot::from_bytes(a.as_bytes().to_vec()).unwrap();
+        assert_eq!(reloaded, a);
+
+        let mut restored = fresh_rt();
+        restored.restore(&reloaded).unwrap();
+        let again = restored.checkpoint().unwrap();
+        assert_eq!(again, a, "restore/re-checkpoint must be a fixed point");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_runtime_config() {
+        let mut rt = fresh_rt();
+        rt.run_until(200).unwrap();
+        let snap = rt.checkpoint().unwrap();
+        let m = Alewife::new(mcfg(), prog());
+        let mut other = Runtime::new(
+            m,
+            RtConfig {
+                stack_bytes: 8192,
+                ..rtcfg()
+            },
+        );
+        other.attach_tracer(TraceConfig::default());
+        assert!(matches!(
+            other.restore(&snap),
+            Err(SnapshotError::ConfigMismatch)
+        ));
+    }
+
+    #[test]
+    fn from_bytes_validates_the_wrapper_header() {
+        let mut rt = fresh_rt();
+        rt.run_until(100).unwrap();
+        let snap = rt.checkpoint().unwrap();
+        let bytes = snap.as_bytes().to_vec();
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[8] = b'X'; // magic text starts after its length prefix
+        assert!(matches!(
+            RuntimeSnapshot::from_bytes(wrong_magic),
+            Err(SnapshotError::BadMagic)
+        ));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[12] = 99;
+        assert!(matches!(
+            RuntimeSnapshot::from_bytes(wrong_version),
+            Err(SnapshotError::Version(99))
+        ));
+
+        // Truncating into the embedded machine snapshot is caught (the
+        // runtime payload after it is validated at restore time).
+        assert!(RuntimeSnapshot::from_bytes(bytes[..bytes.len() / 2].to_vec()).is_err());
+    }
+}

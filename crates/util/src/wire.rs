@@ -1,0 +1,324 @@
+//! Hand-rolled little-endian wire format helpers.
+//!
+//! The snapshot subsystem (DESIGN.md §11) serializes full machine
+//! state into a versioned binary image with **no external
+//! dependencies**. Every crate encodes its own private state through
+//! these two types; all integers are fixed-width little-endian, all
+//! variable-length data is length-prefixed, and floating-point values
+//! travel as their IEEE-754 bit patterns so encode → decode is exact.
+//!
+//! Determinism rule: a type's `encode` must emit identical bytes for
+//! semantically identical state. Hash-map-backed state therefore must
+//! be written in sorted key order, never in iteration order.
+
+use std::fmt;
+
+/// An error while decoding a wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the requested field.
+    Eof {
+        /// Byte offset at which the read was attempted.
+        at: usize,
+    },
+    /// A tag or discriminant byte had no defined meaning.
+    BadTag {
+        /// Byte offset of the offending tag.
+        at: usize,
+        /// The tag value found.
+        tag: u8,
+    },
+    /// A length prefix or count was implausible for the platform.
+    BadLen {
+        /// Byte offset of the offending length.
+        at: usize,
+        /// The length value found.
+        len: u64,
+    },
+    /// A decoded value violated an invariant of the target type.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Eof { at } => write!(f, "unexpected end of buffer at byte {at}"),
+            WireError::BadTag { at, tag } => write!(f, "unknown tag {tag:#x} at byte {at}"),
+            WireError::BadLen { at, len } => write!(f, "implausible length {len} at byte {at}"),
+            WireError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only binary encoder.
+///
+/// # Examples
+///
+/// ```
+/// use april_util::wire::{ByteReader, ByteWriter};
+///
+/// let mut w = ByteWriter::new();
+/// w.u32(7);
+/// w.str("april");
+/// let bytes = w.finish();
+/// let mut r = ByteReader::new(&bytes);
+/// assert_eq!(r.u32().unwrap(), 7);
+/// assert_eq!(r.str().unwrap(), "april");
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (the format is platform-independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern, so the round trip
+    /// is exact (including NaN payloads and signed zero).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Sequential binary decoder over a borrowed buffer.
+///
+/// Every read is bounds-checked and returns a typed [`WireError`]
+/// rather than panicking, so corrupt or truncated snapshots surface as
+/// ordinary errors.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current read offset in bytes.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Eof { at: self.pos })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` and converts it to `usize`, rejecting values that
+    /// do not fit the platform or exceed the remaining buffer-derived
+    /// plausibility bound.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        let at = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::BadLen { at, len: v })
+    }
+
+    /// Reads a `bool` byte, rejecting values other than 0 and 1.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { at, tag }),
+        }
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let at = self.pos;
+        let n = self.usize()?;
+        if n > self.buf.len() - self.pos {
+            return Err(WireError::BadLen { at, len: n as u64 });
+        }
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| WireError::Corrupt("invalid UTF-8"))
+    }
+}
+
+/// A 64-bit content digest: FNV-1a over the bytes, finalized with
+/// [`splitmix64`](crate::splitmix64) for avalanche. Used by snapshots
+/// to fingerprint the loaded program without storing it.
+///
+/// # Examples
+///
+/// ```
+/// let a = april_util::wire::digest64(b"april");
+/// let b = april_util::wire::digest64(b"april");
+/// assert_eq!(a, b);
+/// assert_ne!(a, april_util::wire::digest64(b"alewife"));
+/// ```
+pub fn digest64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    crate::splitmix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.u8(0xab);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.usize(12345);
+        w.bool(true);
+        w.bool(false);
+        w.f64(-0.125);
+        w.bytes(&[1, 2, 3]);
+        w.str("snapshot");
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.str().unwrap(), "snapshot");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut w = ByteWriter::new();
+        w.u64(7);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert_eq!(r.u64(), Err(WireError::Eof { at: 0 }));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_len_are_rejected() {
+        let mut r = ByteReader::new(&[7]);
+        assert_eq!(r.bool(), Err(WireError::BadTag { at: 0, tag: 7 }));
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX); // absurd length prefix
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.bytes(), Err(WireError::BadLen { .. })));
+    }
+
+    #[test]
+    fn f64_bits_are_exact() {
+        for v in [0.0, -0.0, f64::NAN, f64::INFINITY, 1.0 / 3.0] {
+            let mut w = ByteWriter::new();
+            w.f64(v);
+            let bytes = w.finish();
+            let got = ByteReader::new(&bytes).f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        assert_eq!(digest64(b""), digest64(b""));
+        assert_ne!(digest64(b"a"), digest64(b"b"));
+    }
+}

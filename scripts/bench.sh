@@ -8,6 +8,10 @@
 #     point asserted bit-identical to the 1-worker run). Wall-clock
 #     speedup is bounded by min(workers, host cores); the report records
 #     host_cpus so core-limited numbers read as what they are.
+#   BENCH_snapshot.json — mid-run checkpoint/restore cost: encoded
+#     snapshot size and best-of-N capture/restore wall time on 16- and
+#     64-node machines, every restore verified as a re-encode fixed
+#     point.
 #
 # BENCH_SMOKE=1 shrinks the workloads for a fast CI smoke run.
 set -eu
@@ -16,3 +20,4 @@ cd "$(dirname "$0")/.."
 
 BENCH_OUT="$(pwd)/BENCH_hotpaths.json" cargo bench -p april-bench --bench sim_hotpaths
 BENCH_PAR_OUT="$(pwd)/BENCH_parallel.json" cargo bench -p april-bench --bench sim_parallel
+BENCH_SNAP_OUT="$(pwd)/BENCH_snapshot.json" cargo bench -p april-bench --bench snapshot

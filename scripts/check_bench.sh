@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Re-runs the benchmark smoke suite and reports percent deltas against
-# the committed baselines (BENCH_hotpaths.json / BENCH_parallel.json).
+# the committed baselines (BENCH_hotpaths.json / BENCH_parallel.json /
+# BENCH_snapshot.json).
 #
 # The perf numbers are a *report*, not a gate: CI hardware varies far
 # too much to fail a build on throughput. The script fails only when a
@@ -16,7 +17,7 @@ fail() {
     exit 1
 }
 
-for f in BENCH_hotpaths.json BENCH_parallel.json; do
+for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json; do
     [ -f "$f" ] || fail "missing committed baseline $f"
     jq empty "$f" 2>/dev/null || fail "committed baseline $f is malformed JSON"
 done
@@ -24,6 +25,8 @@ jq -e '.workloads | type == "array" and length > 0' BENCH_hotpaths.json >/dev/nu
     fail "BENCH_hotpaths.json has no workloads array"
 jq -e '.points | type == "array" and length > 0' BENCH_parallel.json >/dev/null ||
     fail "BENCH_parallel.json has no points array"
+jq -e '.points | type == "array" and length > 0' BENCH_snapshot.json >/dev/null ||
+    fail "BENCH_snapshot.json has no points array"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -33,8 +36,10 @@ BENCH_SMOKE=1 BENCH_OUT="$tmp/hotpaths.json" \
     cargo bench -q -p april-bench --bench sim_hotpaths >/dev/null
 BENCH_SMOKE=1 BENCH_PAR_OUT="$tmp/parallel.json" \
     cargo bench -q -p april-bench --bench sim_parallel >/dev/null
+BENCH_SMOKE=1 BENCH_SNAP_OUT="$tmp/snapshot.json" \
+    cargo bench -q -p april-bench --bench snapshot >/dev/null
 
-for f in "$tmp/hotpaths.json" "$tmp/parallel.json"; do
+for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json"; do
     [ -f "$f" ] || fail "bench run produced no $(basename "$f")"
     jq empty "$f" 2>/dev/null || fail "bench output $(basename "$f") is malformed JSON"
 done
@@ -72,6 +77,20 @@ jq -r '.points[] | "\(.nodes) \(.workers) \(.cycles_per_sec)"' "$tmp/parallel.js
             echo "  ${nodes}n x${workers}w: no committed baseline"
         else
             echo "  ${nodes}n x${workers}w: $fresh vs $base ($(pct "$fresh" "$base"))"
+        fi
+    done
+
+echo
+echo "snapshot: checkpoint cost per machine size, fresh smoke vs committed baseline"
+jq -r '.points[] | "\(.nodes) \(.checkpoint_us)"' "$tmp/snapshot.json" |
+    while read -r nodes fresh; do
+        base=$(jq -r --argjson n "$nodes" \
+            '.points[] | select(.nodes == $n) | .checkpoint_us // empty' \
+            BENCH_snapshot.json)
+        if [ -z "$base" ]; then
+            echo "  ${nodes}n: no committed baseline"
+        else
+            echo "  ${nodes}n: ${fresh}us vs ${base}us ($(pct "$fresh" "$base"))"
         fi
     done
 

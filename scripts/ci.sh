@@ -18,8 +18,8 @@ echo "== three-way scheduler equivalence (3 fault seeds) =="
 # seeds and multi-worker runs execute at full depth quickly.
 cargo test -q --release -p april-machine --test lockstep_vs_skip
 
-echo "== docs (rustdoc, warnings are errors) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+echo "== docs (markdown links + rustdoc, warnings are errors) =="
+sh scripts/check_docs.sh
 
 echo "== doc tests =="
 cargo test -q --doc --workspace
