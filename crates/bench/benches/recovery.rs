@@ -1,0 +1,262 @@
+//! Recovery cost benchmark: what periodic checkpointing costs on a
+//! fault-free run (per checkpoint interval), and what a full
+//! link-kill → quarantine → rollback → re-execute recovery costs in
+//! wall time versus the fault-free baseline — emitted as
+//! `BENCH_recovery.json` so both trajectories are tracked from PR to
+//! PR.
+//!
+//! The overhead sweep runs the false-sharing increment stress on the
+//! 16-node machine under the [`RecoveryManager`] with no fault plan:
+//! every measured cycle beyond the unsupervised baseline is checkpoint
+//! cost. The recovery point uses the proven 2x2 scenario from the
+//! integration suite (node 0's +x link killed at cycle 200, fast
+//! retries) and measures the complete supervised run including its
+//! rollbacks.
+//!
+//! `BENCH_SMOKE=1` shrinks reps and the interval grid for CI.
+//! `BENCH_REC_OUT` overrides the output path.
+
+use april_core::isa::asm::assemble;
+use april_core::program::Program;
+use april_machine::alewife::Alewife;
+use april_machine::config::MachineConfig;
+use april_machine::driver::{drive_sequential, SwitchSpin};
+use april_machine::recovery::{RecoveryConfig, RecoveryManager};
+use april_machine::watchdog::WatchdogConfig;
+use april_machine::Machine;
+use april_mem::{CtlConfig, DirConfig, RetryConfig};
+use april_net::fault::FaultPlan;
+use april_net::topology::{Channel, Topology};
+use std::time::Instant;
+
+fn stress_program(iters: u32) -> Program {
+    assemble(&format!(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            movi 0x200, r9
+            add r9, r8, r9     ; my word within the shared block
+            movi {iters}, r10
+        loop:
+            ld r9+0, r11
+            add r11, 4, r11
+            st r11, r9+0
+            sub r10, 1, r10
+            jne loop
+            nop
+            halt
+        ",
+    ))
+    .unwrap()
+}
+
+fn cfg(radix: usize, horizon: u64) -> MachineConfig {
+    let retry = RetryConfig {
+        enabled: true,
+        timeout: 50,
+        backoff_cap: 200,
+        max_retries: 5,
+    };
+    MachineConfig {
+        topology: Topology::new(2, radix),
+        region_bytes: 1 << 20,
+        ctl: CtlConfig {
+            retry,
+            ..CtlConfig::default()
+        },
+        dir: DirConfig {
+            retry,
+            ..DirConfig::default()
+        },
+        watchdog: WatchdogConfig {
+            enabled: true,
+            horizon,
+        },
+        ..MachineConfig::default()
+    }
+}
+
+fn booted(cfg: MachineConfig, prog: &Program) -> Alewife {
+    let mut m = Alewife::new(cfg, prog.clone());
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    m
+}
+
+/// Wall time of an unsupervised fault-free run.
+fn baseline_wall(c: MachineConfig, prog: &Program, reps: u32) -> f64 {
+    let mut wall = f64::INFINITY;
+    for _ in 0..reps {
+        let mut m = booted(c, prog);
+        let t0 = Instant::now();
+        let fault = drive_sequential(&mut m, &SwitchSpin::default(), 100_000_000);
+        wall = wall.min(t0.elapsed().as_secs_f64());
+        assert!(fault.is_none(), "baseline faulted: {fault:?}");
+    }
+    wall
+}
+
+struct OverheadPoint {
+    interval: u64,
+    wall_s: f64,
+    checkpoints: u64,
+}
+
+/// Wall time of the same run supervised at a checkpoint interval.
+fn supervised_wall(c: MachineConfig, prog: &Program, interval: u64, reps: u32) -> OverheadPoint {
+    let mut wall = f64::INFINITY;
+    let mut checkpoints = 0;
+    for _ in 0..reps {
+        let mut m = booted(c, prog);
+        let mut mgr = RecoveryManager::new(RecoveryConfig {
+            checkpoint_interval: interval,
+            ring_capacity: 4,
+            max_attempts: 4,
+            max_cycles: 100_000_000,
+        });
+        let t0 = Instant::now();
+        let report = mgr.run(&mut m, &SwitchSpin::default());
+        wall = wall.min(t0.elapsed().as_secs_f64());
+        assert!(
+            report.recovered,
+            "fault-free run failed: {:?}",
+            report.failure
+        );
+        assert_eq!(report.attempts, 0, "fault-free run rolled back");
+        checkpoints = report.checkpoints_taken;
+    }
+    OverheadPoint {
+        interval,
+        wall_s: wall,
+        checkpoints,
+    }
+}
+
+struct RecoveryPoint {
+    wall_s: f64,
+    attempts: u32,
+    rollbacks: u64,
+    quarantined_channels: usize,
+    final_cycle: u64,
+}
+
+/// Wall time of a complete recovered run: the 2x2 link-kill scenario.
+fn recovered_run(prog: &Program, reps: u32) -> RecoveryPoint {
+    let mut wall = f64::INFINITY;
+    let mut point = None;
+    for _ in 0..reps {
+        let mut m = booted(cfg(2, 20_000), prog);
+        m.set_fault_plan(FaultPlan::new(0x5eed).with_link_kill(
+            Channel {
+                node: 0,
+                dim: 0,
+                plus: true,
+            },
+            200,
+        ));
+        let mut mgr = RecoveryManager::new(RecoveryConfig {
+            checkpoint_interval: 500,
+            ring_capacity: 8,
+            max_attempts: 6,
+            max_cycles: 100_000_000,
+        });
+        let t0 = Instant::now();
+        let report = mgr.run(&mut m, &SwitchSpin::default());
+        wall = wall.min(t0.elapsed().as_secs_f64());
+        assert!(report.recovered, "recovery failed: {:?}", report.failure);
+        assert!(report.attempts >= 1, "the kill never forced a rollback");
+        point = Some(RecoveryPoint {
+            wall_s: 0.0,
+            attempts: report.attempts,
+            rollbacks: report.rollbacks,
+            quarantined_channels: report.quarantine.channels.len(),
+            final_cycle: report.final_cycle,
+        });
+    }
+    let mut p = point.expect("ran at least once");
+    p.wall_s = wall;
+    p
+}
+
+fn emit_json(baseline_s: f64, points: &[OverheadPoint], rec: &RecoveryPoint, rec_base_s: f64) {
+    let path = std::env::var("BENCH_REC_OUT").unwrap_or_else(|_| "BENCH_recovery.json".into());
+    let mut body =
+        format!("{{\n  \"baseline_wall_s\": {baseline_s:.6},\n  \"checkpoint_overhead\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        body.push_str(&format!(
+            concat!(
+                "    {{\"interval\": {}, \"wall_s\": {:.6}, \"checkpoints\": {}, ",
+                "\"overhead_pct\": {:.1}}}{}\n"
+            ),
+            p.interval,
+            p.wall_s,
+            p.checkpoints,
+            (p.wall_s / baseline_s - 1.0) * 100.0,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    body.push_str(&format!(
+        concat!(
+            "  ],\n  \"recovered_run\": {{\"wall_s\": {:.6}, ",
+            "\"fault_free_wall_s\": {:.6}, \"attempts\": {}, \"rollbacks\": {}, ",
+            "\"quarantined_channels\": {}, \"final_cycle\": {}}}\n}}\n"
+        ),
+        rec.wall_s,
+        rec_base_s,
+        rec.attempts,
+        rec.rollbacks,
+        rec.quarantined_channels,
+        rec.final_cycle,
+    ));
+    if let Err(e) = std::fs::write(&path, &body) {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let reps = if smoke { 2 } else { 5 };
+    let iters = if smoke { 50 } else { 200 };
+    let intervals: &[u64] = if smoke {
+        &[2_000]
+    } else {
+        &[500, 2_000, 8_000]
+    };
+    let prog = stress_program(iters);
+
+    println!("recovery (checkpoint overhead + recovered-run cost, best of {reps})");
+    // Overhead sweep: 16-node machine, no faults.
+    let c16 = cfg(4, 50_000);
+    let base = baseline_wall(c16, &prog, reps);
+    println!("  16-node fault-free baseline: {:.3} ms", base * 1e3);
+    let mut points = Vec::new();
+    for &iv in intervals {
+        let p = supervised_wall(c16, &prog, iv, reps);
+        println!(
+            "  interval {:>5}: {:.3} ms  ({} checkpoints, +{:.1}%)",
+            iv,
+            p.wall_s * 1e3,
+            p.checkpoints,
+            (p.wall_s / base - 1.0) * 100.0,
+        );
+        points.push(p);
+    }
+
+    // Recovered run: the 2x2 link-kill scenario vs its own baseline.
+    let rec_base = baseline_wall(cfg(2, 20_000), &prog, reps);
+    let rec = recovered_run(&prog, reps);
+    println!(
+        "  2x2 recovered run: {:.3} ms vs {:.3} ms fault-free \
+         ({} attempts, {} rollbacks, {} channels quarantined)",
+        rec.wall_s * 1e3,
+        rec_base * 1e3,
+        rec.attempts,
+        rec.rollbacks,
+        rec.quarantined_channels,
+    );
+    emit_json(base, &points, &rec, rec_base);
+}

@@ -15,7 +15,8 @@
 
 use crate::config::MachineConfig;
 use crate::watchdog::{
-    BusyEntry, FrameStall, InFlightMsg, MachineFault, OutstandingTxn, PostMortem, Watchdog,
+    BusyEntry, FrameStall, InFlightMsg, MachineFault, OutstandingTxn, PostMortem, UndeliverableMsg,
+    Watchdog,
 };
 use crate::Machine;
 use april_core::cpu::{Cpu, StepEvent};
@@ -31,6 +32,7 @@ use april_mem::femem::FeMemory;
 use april_mem::msg::CohMsg;
 use april_net::fault::{FaultPlan, FaultStats};
 use april_net::network::Network;
+use april_net::topology::Channel;
 use april_obs::{lane, Component, EventKind, Probe, StatsReport, Trace, TraceConfig};
 
 /// I/O register: reading returns this node's id (fixnum).
@@ -154,6 +156,35 @@ impl Alewife {
     /// Counts of faults the network has injected so far.
     pub fn fault_stats(&self) -> FaultStats {
         self.net.fault_stats
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.net.fault_plan()
+    }
+
+    /// Quarantines a channel: the router detours around it from now on
+    /// (installing an inert fault plan first if none was configured).
+    pub fn quarantine_channel(&mut self, ch: Channel) {
+        self.net.fault_plan_mut().quarantine_channel(ch);
+    }
+
+    /// Quarantines a node: the router stops routing through or to it.
+    pub fn quarantine_node(&mut self, node: usize) {
+        self.net.fault_plan_mut().quarantine_node(node);
+    }
+
+    /// Replaces the watchdog's no-progress horizon. The recovery layer
+    /// backs this off exponentially across attempts; the horizon is
+    /// scheduler policy, not machine state, so changing it never
+    /// perturbs the simulated computation.
+    pub fn set_watchdog_horizon(&mut self, horizon: u64) {
+        self.cfg.watchdog.horizon = horizon;
+    }
+
+    /// The watchdog's current no-progress horizon.
+    pub fn watchdog_horizon(&self) -> u64 {
+        self.cfg.watchdog.horizon
     }
 
     /// The machine configuration.
@@ -522,6 +553,17 @@ impl Alewife {
             })
             .collect();
         in_flight.sort_by_key(|m| m.id);
+        let undeliverable = self
+            .net
+            .dead_letters()
+            .iter()
+            .map(|dl| UndeliverableMsg {
+                id: dl.id,
+                dst: dl.dst,
+                at: dl.at,
+                msg: dl.payload.msg,
+            })
+            .collect();
         let mut busy_blocks = Vec::new();
         let mut outstanding = Vec::new();
         let mut stalled_frames = Vec::new();
@@ -538,6 +580,7 @@ impl Alewife {
             cycle: self.now,
             horizon: self.cfg.watchdog.horizon,
             in_flight,
+            undeliverable,
             busy_blocks,
             outstanding,
             stalled_frames,

@@ -43,6 +43,15 @@ pub trait NodeDriver: Sync {
     fn on_event(&self, node: usize, ev: StepEvent, ctx: &mut dyn EventCtx);
 }
 
+/// References forward, so generic `run` surfaces (which take `&D` with
+/// `D: NodeDriver`) also accept `&dyn NodeDriver` — the recovery layer
+/// drives machines through trait objects.
+impl<T: NodeDriver + ?Sized> NodeDriver for &T {
+    fn on_event(&self, node: usize, ev: StepEvent, ctx: &mut dyn EventCtx) {
+        (**self).on_event(node, ev, ctx);
+    }
+}
+
 /// The switch-spin run-time used throughout the equivalence and bench
 /// suites: on a remote-miss trap, park the frame as `WaitingRemote` and
 /// pay the context-switch handler; with no ready frame, rotate to the

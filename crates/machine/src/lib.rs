@@ -25,6 +25,7 @@ pub mod driver;
 pub mod ideal;
 pub(crate) mod obs;
 pub mod parallel;
+pub mod recovery;
 pub mod replay;
 pub mod snapshot;
 pub mod watchdog;
@@ -40,9 +41,13 @@ pub use driver::drive_sequential_until;
 pub use driver::{drive_sequential, EventCtx, NodeDriver, SwitchSpin};
 pub use ideal::IdealMachine;
 pub use parallel::ParallelAlewife;
+pub use recovery::{
+    derive_quarantine, Quarantine, QuarantineAction, RecoverableMachine, RecoveryConfig,
+    RecoveryFailure, RecoveryManager, RecoveryReport,
+};
 pub use replay::{Divergence, Replayer};
 pub use snapshot::{diff_snapshots, Snapshot, SnapshotError};
-pub use watchdog::{MachineFault, PostMortem, WatchdogConfig};
+pub use watchdog::{MachineFault, PostMortem, UndeliverableMsg, WatchdogConfig};
 
 pub use april_net::topology::Topology;
 

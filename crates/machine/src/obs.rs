@@ -131,7 +131,9 @@ pub(crate) fn build_report(nodes: &[Node], net: &Network<Env>) -> StatsReport {
     s.counter("dropped", net.fault_stats.dropped)
         .counter("duplicated", net.fault_stats.duplicated)
         .counter("delayed", net.fault_stats.delayed)
-        .counter("outage_stalls", net.fault_stats.outage_stalls);
+        .counter("outage_stalls", net.fault_stats.outage_stalls)
+        .counter("failstop_drops", net.fault_stats.failstop_drops)
+        .counter("dead_letters", net.fault_stats.dead_letters);
     report.push(s);
 
     for (i, n) in nodes.iter().enumerate() {

@@ -21,7 +21,8 @@ use crate::alewife::{
 use crate::config::MachineConfig;
 use crate::driver::{EventCtx, NodeDriver};
 use crate::watchdog::{
-    BusyEntry, FrameStall, InFlightMsg, MachineFault, OutstandingTxn, PostMortem, Watchdog,
+    BusyEntry, FrameStall, InFlightMsg, MachineFault, OutstandingTxn, PostMortem, UndeliverableMsg,
+    Watchdog,
 };
 use april_core::cpu::{Cpu, StepEvent};
 use april_core::program::Program;
@@ -33,6 +34,7 @@ use april_mem::femem::FeMemory;
 use april_mem::msg::CohMsg;
 use april_net::fault::{FaultPlan, FaultStats};
 use april_net::network::Network;
+use april_net::topology::Channel;
 use april_obs::{lane, Component, EventKind, Probe, StatsReport, Trace, TraceConfig};
 use std::sync::{Condvar, Mutex};
 
@@ -578,6 +580,37 @@ impl ParallelAlewife {
         self.net.fault_stats
     }
 
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.net.fault_plan()
+    }
+
+    /// Quarantines a channel: the router detours around it from now on
+    /// (installing an inert fault plan first if none was configured).
+    /// The network is coordinator-owned, so the decision is identical
+    /// for every worker count.
+    pub fn quarantine_channel(&mut self, ch: Channel) {
+        self.net.fault_plan_mut().quarantine_channel(ch);
+    }
+
+    /// Quarantines a node: the router stops routing through or to it.
+    pub fn quarantine_node(&mut self, node: usize) {
+        self.net.fault_plan_mut().quarantine_node(node);
+    }
+
+    /// Replaces the watchdog's no-progress horizon. The recovery layer
+    /// backs this off exponentially across attempts; the horizon is
+    /// scheduler policy, not machine state, so changing it never
+    /// perturbs the simulated computation.
+    pub fn set_watchdog_horizon(&mut self, horizon: u64) {
+        self.cfg.watchdog.horizon = horizon;
+    }
+
+    /// The watchdog's current no-progress horizon.
+    pub fn watchdog_horizon(&self) -> u64 {
+        self.cfg.watchdog.horizon
+    }
+
     /// Network statistics so far.
     pub fn net_stats(&self) -> april_net::network::NetStats {
         self.net.stats
@@ -937,10 +970,21 @@ impl ParallelAlewife {
                                     })
                                     .collect();
                                 in_flight.sort_by_key(|m| m.id);
+                                let undeliverable = net
+                                    .dead_letters()
+                                    .iter()
+                                    .map(|dl| UndeliverableMsg {
+                                        id: dl.id,
+                                        dst: dl.dst,
+                                        at: dl.at,
+                                        msg: dl.payload.msg,
+                                    })
+                                    .collect();
                                 let mut pm = PostMortem {
                                     cycle: c,
                                     horizon: cfg.watchdog.horizon,
                                     in_flight,
+                                    undeliverable,
                                     fault_stats: net.fault_stats,
                                     ..PostMortem::default()
                                 };

@@ -46,7 +46,9 @@ use std::fmt;
 /// The four-byte magic prefix of every snapshot.
 pub const MAGIC: [u8; 4] = *b"APRL";
 /// The format version this build writes and the only one it reads.
-pub const VERSION: u8 = 1;
+/// Version 2 extended the network section with fail-stop fault state,
+/// quarantine sets, and the dead-letter log.
+pub const VERSION: u8 = 2;
 
 /// Section kinds. Per-node sections (`CPU`..`IO`) carry the node id in
 /// their tag; machine-wide sections use node id 0.
@@ -271,12 +273,16 @@ fn prog_digest(prog: &Program) -> u64 {
 /// `window_override`) are normalized away: they do not affect machine
 /// semantics — the bit-exact equivalence contract is precisely that —
 /// so a checkpoint taken under one scheduler restores under any other
-/// scheduler or worker count.
+/// scheduler or worker count. The watchdog horizon is normalized for
+/// the same reason: it is supervision policy, not machine state, and
+/// the recovery layer backs it off between attempts while restoring
+/// checkpoints taken under the original horizon.
 fn semantic_config_debug(cfg: &MachineConfig) -> String {
     let mut c = *cfg;
     c.lockstep = false;
     c.workers = 1;
     c.window_override = 0;
+    c.watchdog.horizon = 0;
     format!("{c:?}")
 }
 

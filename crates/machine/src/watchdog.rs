@@ -100,6 +100,20 @@ pub struct OutstandingTxn {
     pub frames: Vec<usize>,
 }
 
+/// A protocol message the network gave up on: under the quarantine in
+/// force there was no alive route to its destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndeliverableMsg {
+    /// Network packet id.
+    pub id: u64,
+    /// The unreachable destination.
+    pub dst: usize,
+    /// Cycle the router gave up.
+    pub at: u64,
+    /// The protocol message.
+    pub msg: CohMsg,
+}
+
 /// A task frame that is loaded but cannot run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrameStall {
@@ -122,6 +136,9 @@ pub struct PostMortem {
     pub horizon: u64,
     /// Messages still in the network.
     pub in_flight: Vec<InFlightMsg>,
+    /// Messages the router dead-lettered (no alive route under the
+    /// quarantine in force).
+    pub undeliverable: Vec<UndeliverableMsg>,
     /// Directory entries stuck mid-transaction.
     pub busy_blocks: Vec<BusyEntry>,
     /// Requester transactions awaiting replies.
@@ -156,6 +173,20 @@ impl fmt::Display for PostMortem {
                 "    #{} {} -> {} sent@{}: {:?}",
                 m.id, m.src, m.dst, m.sent_at, m.msg
             )?;
+        }
+        if !self.undeliverable.is_empty() {
+            writeln!(
+                f,
+                "  undeliverable messages (dead letters): {}",
+                self.undeliverable.len()
+            )?;
+            for m in &self.undeliverable {
+                writeln!(
+                    f,
+                    "    #{} -> {} gave up@{}: {:?}",
+                    m.id, m.dst, m.at, m.msg
+                )?;
+            }
         }
         writeln!(f, "  busy directory entries: {}", self.busy_blocks.len())?;
         for b in &self.busy_blocks {
@@ -298,6 +329,15 @@ mod tests {
                     xid: 3,
                 },
             }],
+            undeliverable: vec![UndeliverableMsg {
+                id: 9,
+                dst: 3,
+                at: 41_000,
+                msg: CohMsg::RdReq {
+                    block: 0x80,
+                    xid: 4,
+                },
+            }],
             busy_blocks: vec![BusyEntry {
                 home: 1,
                 block: 0x40,
@@ -329,6 +369,7 @@ mod tests {
         assert!(s.contains("no forward progress for 50000 cycles"));
         assert!(s.contains("4 dropped"));
         assert!(s.contains("RdReq"));
+        assert!(s.contains("undeliverable messages (dead letters): 1"));
         assert!(s.contains("home 1 block 0x40"));
         assert!(s.contains("node 0 block 0x40 xid 3"));
         assert!(s.contains("WaitingRemote"));

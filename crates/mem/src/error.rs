@@ -41,6 +41,20 @@ pub enum ProtocolError {
     },
 }
 
+impl ProtocolError {
+    /// The `(node, block)` pair a recovery layer should suspect: for
+    /// [`ProtocolError::RetriesExhausted`] the giving-up node and the
+    /// block whose home it could not reach. [`None`] for errors that do
+    /// not implicate a network path (an unexpected message is a logic
+    /// bug, not a dead link — no quarantine can fix it).
+    pub fn implicates(&self) -> Option<(usize, u32)> {
+        match *self {
+            ProtocolError::RetriesExhausted { node, block, .. } => Some((node, block)),
+            ProtocolError::UnexpectedMessage { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -128,6 +142,23 @@ mod tests {
         assert_eq!(r.backoff(1), 200);
         assert_eq!(r.backoff(2), 350);
         assert_eq!(r.backoff(30), 350);
+    }
+
+    #[test]
+    fn implicates_names_the_suspect_path() {
+        let e = ProtocolError::RetriesExhausted {
+            node: 3,
+            block: 0x40,
+            xid: 7,
+            retries: 5,
+        };
+        assert_eq!(e.implicates(), Some((3, 0x40)));
+        let e = ProtocolError::UnexpectedMessage {
+            node: 1,
+            from: 2,
+            msg: CohMsg::RdReq { block: 0, xid: 0 },
+        };
+        assert_eq!(e.implicates(), None);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::topology::Channel;
 use april_util::splitmix64;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Per-channel fault probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,12 +90,25 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Crossings stalled until an outage window closed.
     pub outage_stalls: u64,
+    /// Packets silently swallowed by a fail-stopped link or node. The
+    /// router does not know about fail-stop faults, so these losses
+    /// look exactly like wedged protocol transactions from above —
+    /// until a post-mortem diagnoses them.
+    pub failstop_drops: u64,
+    /// Packets with no alive route to their destination under the
+    /// current quarantine (typed loss, recorded as a dead letter).
+    pub dead_letters: u64,
 }
 
 impl FaultStats {
     /// Total number of injected fault events.
     pub fn total(&self) -> u64 {
-        self.dropped + self.duplicated + self.delayed + self.outage_stalls
+        self.dropped
+            + self.duplicated
+            + self.delayed
+            + self.outage_stalls
+            + self.failstop_drops
+            + self.dead_letters
     }
 }
 
@@ -130,6 +143,20 @@ pub struct FaultPlan {
     pub(crate) default_rule: FaultRule,
     pub(crate) per_channel: HashMap<Channel, FaultRule>,
     pub(crate) outages: HashMap<Channel, Vec<Outage>>,
+    /// Permanent link kills: from the onset cycle on, every packet that
+    /// tries to cross the channel is silently swallowed. Unlike an
+    /// outage, a kill never ends and the router is not told about it —
+    /// the protocol above experiences it as a wedge.
+    pub(crate) link_kills: HashMap<Channel, u64>,
+    /// Permanent node fail-stops: from the onset cycle on, every packet
+    /// at, through, or destined to the node is silently swallowed.
+    pub(crate) node_kills: HashMap<usize, u64>,
+    /// Channels the router must avoid (the *known-dead* set derived by
+    /// recovery). Quarantined channels are excluded from route search;
+    /// destinations with no alive route become typed dead letters.
+    pub(crate) quarantined_channels: HashSet<Channel>,
+    /// Nodes the router must avoid routing through or to.
+    pub(crate) quarantined_nodes: HashSet<usize>,
 }
 
 // The parallel machine's coordinator owns the network (and thus the
@@ -144,6 +171,10 @@ impl FaultPlan {
             default_rule: FaultRule::NONE,
             per_channel: HashMap::new(),
             outages: HashMap::new(),
+            link_kills: HashMap::new(),
+            node_kills: HashMap::new(),
+            quarantined_channels: HashSet::new(),
+            quarantined_nodes: HashSet::new(),
         }
     }
 
@@ -169,6 +200,80 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a permanent link kill: from cycle `onset` on, packets
+    /// crossing `ch` are silently swallowed (a fail-stop fault the
+    /// router does not know about).
+    pub fn with_link_kill(mut self, ch: Channel, onset: u64) -> FaultPlan {
+        self.link_kills.insert(ch, onset);
+        self
+    }
+
+    /// Schedules a permanent node fail-stop: from cycle `onset` on,
+    /// packets at, through, or destined to `node` are silently
+    /// swallowed (including loopback traffic — the whole node is dead).
+    pub fn with_node_kill(mut self, node: usize, onset: u64) -> FaultPlan {
+        self.node_kills.insert(node, onset);
+        self
+    }
+
+    /// Quarantines a channel: the router avoids it from now on
+    /// (builder form of [`FaultPlan::quarantine_channel`]).
+    pub fn with_quarantined_channel(mut self, ch: Channel) -> FaultPlan {
+        self.quarantined_channels.insert(ch);
+        self
+    }
+
+    /// Quarantines a node (builder form of
+    /// [`FaultPlan::quarantine_node`]).
+    pub fn with_quarantined_node(mut self, node: usize) -> FaultPlan {
+        self.quarantined_nodes.insert(node);
+        self
+    }
+
+    /// Marks a channel as known-dead: the router stops using it.
+    pub fn quarantine_channel(&mut self, ch: Channel) {
+        self.quarantined_channels.insert(ch);
+    }
+
+    /// Marks a node as known-dead: the router stops routing through or
+    /// to it.
+    pub fn quarantine_node(&mut self, node: usize) {
+        self.quarantined_nodes.insert(node);
+    }
+
+    /// True if the fail-stop schedule has killed channel `ch` by `now`.
+    pub fn link_killed(&self, ch: Channel, now: u64) -> bool {
+        self.link_kills.get(&ch).is_some_and(|&onset| onset <= now)
+    }
+
+    /// True if the fail-stop schedule has killed `node` by `now`.
+    pub fn node_killed(&self, node: usize, now: u64) -> bool {
+        self.node_kills
+            .get(&node)
+            .is_some_and(|&onset| onset <= now)
+    }
+
+    /// True if channel `ch` is in the quarantine avoidance set.
+    pub fn channel_quarantined(&self, ch: Channel) -> bool {
+        self.quarantined_channels.contains(&ch)
+    }
+
+    /// True if `node` is in the quarantine avoidance set.
+    pub fn node_quarantined(&self, node: usize) -> bool {
+        self.quarantined_nodes.contains(&node)
+    }
+
+    /// True if any channel or node is quarantined (the router then
+    /// switches from dimension-order to avoidance routing).
+    pub fn has_quarantine(&self) -> bool {
+        !self.quarantined_channels.is_empty() || !self.quarantined_nodes.is_empty()
+    }
+
+    /// True if the plan schedules any permanent fail-stop fault.
+    pub fn has_fail_stop(&self) -> bool {
+        !self.link_kills.is_empty() || !self.node_kills.is_empty()
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -179,6 +284,8 @@ impl FaultPlan {
         self.default_rule.is_none()
             && self.per_channel.values().all(FaultRule::is_none)
             && self.outages.is_empty()
+            && !self.has_fail_stop()
+            && !self.has_quarantine()
     }
 
     fn rule_for(&self, ch: Channel) -> FaultRule {
@@ -322,6 +429,36 @@ mod tests {
             .with_default_rule(FaultRule::dup(0.01))
             .is_inert());
         assert!(!FaultPlan::new(1).with_outage(ch(0), 0, 1).is_inert());
+    }
+
+    #[test]
+    fn kills_honor_their_onset_cycle() {
+        let plan = FaultPlan::new(1)
+            .with_link_kill(ch(0), 100)
+            .with_node_kill(3, 250);
+        assert!(!plan.link_killed(ch(0), 99));
+        assert!(plan.link_killed(ch(0), 100));
+        assert!(plan.link_killed(ch(0), u64::MAX));
+        assert!(!plan.link_killed(ch(1), u64::MAX));
+        assert!(!plan.node_killed(3, 249));
+        assert!(plan.node_killed(3, 250));
+        assert!(!plan.node_killed(2, u64::MAX));
+    }
+
+    #[test]
+    fn quarantine_flags_and_inertness() {
+        let mut plan = FaultPlan::new(1);
+        assert!(plan.is_inert() && !plan.has_quarantine());
+        plan.quarantine_channel(ch(2));
+        assert!(plan.has_quarantine() && plan.channel_quarantined(ch(2)));
+        assert!(!plan.channel_quarantined(ch(3)));
+        assert!(!plan.is_inert());
+        let plan = FaultPlan::new(1).with_quarantined_node(5);
+        assert!(plan.node_quarantined(5) && !plan.node_quarantined(4));
+        assert!(!plan.is_inert());
+        assert!(!FaultPlan::new(1).with_link_kill(ch(0), 0).is_inert());
+        assert!(!FaultPlan::new(1).with_node_kill(0, 0).is_inert());
+        assert!(FaultPlan::new(1).with_node_kill(0, 0).has_fail_stop());
     }
 
     #[test]

@@ -85,6 +85,24 @@ impl NetStats {
     }
 }
 
+/// A packet the network had to give up on: under the current
+/// quarantine there is no alive route to its destination (or the
+/// destination itself is quarantined). Dead letters are the *typed*
+/// form of loss — recorded with their payload, counted in
+/// [`FaultStats::dead_letters`], and surfaced in machine post-mortems —
+/// as opposed to the silent swallowing a fail-stop fault produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadLetter<P> {
+    /// The packet's id.
+    pub id: u64,
+    /// The unreachable destination.
+    pub dst: usize,
+    /// The cycle the router gave up.
+    pub at: u64,
+    /// The undelivered payload.
+    pub payload: P,
+}
+
 #[derive(Debug)]
 pub(crate) struct Flight<P> {
     pub(crate) dst: usize,
@@ -145,6 +163,9 @@ pub struct Network<P> {
     pub(crate) latency_hist: Hist,
     /// Hop-count distribution of delivered packets.
     pub(crate) hops_hist: Hist,
+    /// Packets that had no alive route under the quarantine, in the
+    /// deterministic order the router gave up on them.
+    pub(crate) dead_letters: Vec<DeadLetter<P>>,
     /// Trace recorder for the network lane (inert by default).
     pub(crate) probe: Probe,
 }
@@ -167,6 +188,7 @@ impl<P> Network<P> {
             fault_stats: FaultStats::default(),
             latency_hist: Hist::new(),
             hops_hist: Hist::new(),
+            dead_letters: Vec::new(),
             probe: Probe::default(),
         }
     }
@@ -206,6 +228,19 @@ impl<P> Network<P> {
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_ref()
+    }
+
+    /// Mutable access to the fault plan, installing an inert seed-0
+    /// plan first if none was configured — the recovery layer applies
+    /// quarantines through this regardless of how the run was faulted.
+    pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
+        self.fault.get_or_insert_with(|| FaultPlan::new(0))
+    }
+
+    /// Packets the router had to give up on (no alive route under the
+    /// quarantine), in the order it gave up.
+    pub fn dead_letters(&self) -> &[DeadLetter<P>] {
+        &self.dead_letters
     }
 
     /// The network topology.
@@ -385,6 +420,28 @@ impl<P> Network<P> {
         self.cfg.loopback_latency.min(cross).min(min_flits)
     }
 
+    /// Removes a packet that has no alive route and records it as a
+    /// typed dead letter.
+    fn dead_letter(&mut self, id: u64, dst: usize, at: u64) {
+        let flight = self.flights.remove(&id).expect("flight exists");
+        self.fault_stats.dead_letters += 1;
+        self.probe
+            .emit(at, EventKind::NetDeadLetter, id, dst as u64);
+        self.dead_letters.push(DeadLetter {
+            id,
+            dst,
+            at,
+            payload: flight.payload,
+        });
+    }
+
+    /// Silently swallows a packet at a fail-stopped link or node.
+    fn fail_stop(&mut self, id: u64, at: u64, site: u64) {
+        self.flights.remove(&id);
+        self.fault_stats.failstop_drops += 1;
+        self.probe.emit(at, EventKind::NetFailStop, id, site);
+    }
+
     fn advance(&mut self, ev: Event)
     where
         P: Clone,
@@ -392,6 +449,19 @@ impl<P> Network<P> {
         let flight = self.flights.get(&ev.id).expect("flight exists");
         let (dst, size, hops) = (flight.dst, flight.size, flight.hops);
         if ev.node == dst {
+            // Node-level faults apply to delivery (and loopback) too: a
+            // quarantined destination is a typed dead letter, a
+            // fail-stopped one swallows silently.
+            if let Some(plan) = &self.fault {
+                if plan.node_quarantined(dst) {
+                    self.dead_letter(ev.id, dst, ev.time);
+                    return;
+                }
+                if plan.node_killed(dst, ev.time) {
+                    self.fail_stop(ev.id, ev.time, dst as u64);
+                    return;
+                }
+            }
             // Header arrived; the tail needs size-1 more cycles (or
             // loopback latency for self-sends that never hopped).
             let tail = if hops == 0 {
@@ -410,7 +480,31 @@ impl<P> Network<P> {
             self.ready.insert(pos, (tail, dst, ev.id));
             return;
         }
-        let (ch, next) = self.topo.next_hop(ev.node, dst).expect("not at dst");
+        // Routing: dimension order normally; minimal-detour avoidance
+        // once a quarantine is in force. Fail-stop kills are *not*
+        // avoided — the router does not know about them.
+        let hop = match &self.fault {
+            Some(plan) if plan.has_quarantine() => {
+                let avoid = |ch: Channel, next: usize| {
+                    plan.channel_quarantined(ch) || plan.node_quarantined(next)
+                };
+                self.topo.next_hop_avoiding(ev.node, dst, &avoid)
+            }
+            _ => self.topo.next_hop(ev.node, dst),
+        };
+        let Some((ch, next)) = hop else {
+            self.dead_letter(ev.id, dst, ev.time);
+            return;
+        };
+        if let Some(plan) = &self.fault {
+            if plan.link_killed(ch, ev.time)
+                || plan.node_killed(ev.node, ev.time)
+                || plan.node_killed(next, ev.time)
+            {
+                self.fail_stop(ev.id, ev.time, ch.node as u64);
+                return;
+            }
+        }
         let mut extra = 0;
         if let Some(plan) = &self.fault {
             match plan.decide(ev.id, hops, ch, ev.time, ev.id & DUP_BIT == 0) {
@@ -730,6 +824,97 @@ mod tests {
             got[0].0
         );
         assert_eq!(net.fault_stats.outage_stalls, 1);
+    }
+
+    #[test]
+    fn link_kill_swallows_silently_from_onset() {
+        let topo = Topology::new(1, 4);
+        let (ch, _) = topo.next_hop(0, 1).expect("hop exists");
+        let mut net: Network<u32> = Network::with_faults(
+            topo,
+            NetConfig::default(),
+            FaultPlan::new(7).with_link_kill(ch, 5),
+        );
+        net.send(0, 0, 1, 4, 1); // crosses at cycle 0: survives
+        net.send(5, 0, 1, 4, 2); // crosses at cycle 5: swallowed
+        let got = drain(&mut net, 1000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].2, 1);
+        assert_eq!(net.fault_stats.failstop_drops, 1);
+        assert_eq!(net.fault_stats.dead_letters, 0, "silent, not typed");
+        assert!(net.dead_letters().is_empty());
+        assert!(net.is_idle(), "swallowed packets must not linger");
+    }
+
+    #[test]
+    fn node_kill_swallows_traffic_at_through_and_to_the_node() {
+        let mut net: Network<u32> = Network::with_faults(
+            Topology::new(1, 4),
+            NetConfig::default(),
+            FaultPlan::new(7).with_node_kill(1, 0),
+        );
+        net.send(0, 0, 1, 4, 1); // to the dead node
+        net.send(0, 0, 2, 4, 2); // through the dead node
+        net.send(0, 1, 1, 4, 3); // loopback at the dead node
+        net.send(0, 3, 2, 4, 4); // untouched
+        let got = drain(&mut net, 1000);
+        assert_eq!(got, vec![(4, 2, 4)]);
+        assert_eq!(net.fault_stats.failstop_drops, 3);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn quarantine_reroutes_around_a_dead_link() {
+        let topo = Topology::new(2, 2);
+        let (dead, _) = topo.next_hop(0, 1).expect("hop exists");
+        // The link is killed from cycle 0 AND quarantined: the router
+        // detours 0 -> 2 -> 3 -> 1 and the packet survives.
+        let plan = FaultPlan::new(7)
+            .with_link_kill(dead, 0)
+            .with_quarantined_channel(dead);
+        let mut net: Network<u32> = Network::with_faults(topo, NetConfig::default(), plan);
+        net.send(0, 0, 1, 4, 9);
+        let got = drain(&mut net, 1000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, 1);
+        assert_eq!(net.fault_stats.failstop_drops, 0);
+        assert_eq!(net.stats.total_hops, 3, "minimal detour is 3 hops");
+    }
+
+    #[test]
+    fn unreachable_destination_is_a_typed_dead_letter() {
+        let topo = Topology::new(1, 2);
+        let (only, _) = topo.next_hop(0, 1).expect("hop exists");
+        let plan = FaultPlan::new(7).with_quarantined_channel(only);
+        let mut net: Network<u32> = Network::with_faults(topo, NetConfig::default(), plan);
+        net.send(3, 0, 1, 4, 9);
+        let got = drain(&mut net, 1000);
+        assert!(got.is_empty());
+        assert_eq!(net.fault_stats.dead_letters, 1);
+        assert_eq!(
+            net.dead_letters(),
+            &[DeadLetter {
+                id: 0,
+                dst: 1,
+                at: 3,
+                payload: 9
+            }]
+        );
+        assert!(net.is_idle(), "dead letters leave the flight table");
+    }
+
+    #[test]
+    fn quarantined_destination_dead_letters_deliveries() {
+        let plan = FaultPlan::new(7).with_quarantined_node(1);
+        let mut net: Network<u32> =
+            Network::with_faults(Topology::new(1, 4), NetConfig::default(), plan);
+        net.send(0, 0, 1, 4, 9);
+        net.send(0, 3, 2, 4, 8);
+        let got = drain(&mut net, 1000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].2, 8);
+        assert_eq!(net.fault_stats.dead_letters, 1);
+        assert_eq!(net.dead_letters().len(), 1);
     }
 
     #[test]

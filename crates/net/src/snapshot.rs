@@ -10,12 +10,12 @@
 //! produce identical bytes. See DESIGN.md §11 for the format rules.
 
 use crate::fault::{FaultPlan, FaultRule, FaultStats, Outage};
-use crate::network::{Event, Flight, NetStats, Network};
+use crate::network::{DeadLetter, Event, Flight, NetStats, Network};
 use crate::topology::Channel;
 use april_obs::{Hist, Probe};
 use april_util::wire::{ByteReader, ByteWriter, WireError};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 fn encode_channel(ch: &Channel, w: &mut ByteWriter) {
     w.usize(ch.node);
@@ -71,6 +71,32 @@ pub fn encode_fault_plan(plan: &FaultPlan, w: &mut ByteWriter) {
             w.u64(o.end);
         }
     }
+    let mut kills: Vec<&Channel> = plan.link_kills.keys().collect();
+    kills.sort_by_key(|c| (c.node, c.dim, c.plus));
+    w.usize(kills.len());
+    for ch in kills {
+        encode_channel(ch, w);
+        w.u64(plan.link_kills[ch]);
+    }
+    let mut nodes: Vec<&usize> = plan.node_kills.keys().collect();
+    nodes.sort();
+    w.usize(nodes.len());
+    for n in nodes {
+        w.usize(*n);
+        w.u64(plan.node_kills[n]);
+    }
+    let mut qc: Vec<&Channel> = plan.quarantined_channels.iter().collect();
+    qc.sort_by_key(|c| (c.node, c.dim, c.plus));
+    w.usize(qc.len());
+    for ch in qc {
+        encode_channel(ch, w);
+    }
+    let mut qn: Vec<&usize> = plan.quarantined_nodes.iter().collect();
+    qn.sort();
+    w.usize(qn.len());
+    for n in qn {
+        w.usize(*n);
+    }
 }
 
 /// Decode a fault plan encoded by [`encode_fault_plan`].
@@ -99,11 +125,37 @@ pub fn decode_fault_plan(r: &mut ByteReader) -> Result<FaultPlan, WireError> {
         }
         outages.insert(ch, windows);
     }
+    let nkill = r.usize()?;
+    let mut link_kills = HashMap::new();
+    for _ in 0..nkill {
+        let ch = decode_channel(r)?;
+        link_kills.insert(ch, r.u64()?);
+    }
+    let nnode = r.usize()?;
+    let mut node_kills = HashMap::new();
+    for _ in 0..nnode {
+        let n = r.usize()?;
+        node_kills.insert(n, r.u64()?);
+    }
+    let nqc = r.usize()?;
+    let mut quarantined_channels = HashSet::new();
+    for _ in 0..nqc {
+        quarantined_channels.insert(decode_channel(r)?);
+    }
+    let nqn = r.usize()?;
+    let mut quarantined_nodes = HashSet::new();
+    for _ in 0..nqn {
+        quarantined_nodes.insert(r.usize()?);
+    }
     Ok(FaultPlan {
         seed,
         default_rule,
         per_channel,
         outages,
+        link_kills,
+        node_kills,
+        quarantined_channels,
+        quarantined_nodes,
     })
 }
 
@@ -128,6 +180,8 @@ fn encode_fault_stats(s: &FaultStats, w: &mut ByteWriter) {
     w.u64(s.duplicated);
     w.u64(s.delayed);
     w.u64(s.outage_stalls);
+    w.u64(s.failstop_drops);
+    w.u64(s.dead_letters);
 }
 
 fn decode_fault_stats(r: &mut ByteReader) -> Result<FaultStats, WireError> {
@@ -136,6 +190,8 @@ fn decode_fault_stats(r: &mut ByteReader) -> Result<FaultStats, WireError> {
         duplicated: r.u64()?,
         delayed: r.u64()?,
         outage_stalls: r.u64()?,
+        failstop_drops: r.u64()?,
+        dead_letters: r.u64()?,
     })
 }
 
@@ -201,6 +257,15 @@ impl<P> Network<P> {
 
         encode_net_stats(&self.stats, w);
         encode_fault_stats(&self.fault_stats, w);
+
+        w.usize(self.dead_letters.len());
+        for dl in &self.dead_letters {
+            w.u64(dl.id);
+            w.usize(dl.dst);
+            w.u64(dl.at);
+            enc(&dl.payload, w);
+        }
+
         self.latency_hist.encode(w);
         self.hops_hist.encode(w);
         self.probe.encode(w);
@@ -288,6 +353,25 @@ impl<P> Network<P> {
 
         let stats = decode_net_stats(r)?;
         let fault_stats = decode_fault_stats(r)?;
+
+        let ndead = r.usize()?;
+        let mut dead_letters = Vec::with_capacity(ndead);
+        for _ in 0..ndead {
+            let id = r.u64()?;
+            let dst = r.usize()?;
+            let at = r.u64()?;
+            let payload = dec(r)?;
+            if dst >= self.topo.num_nodes() {
+                return Err(WireError::Corrupt("dead letter destination out of range"));
+            }
+            dead_letters.push(DeadLetter {
+                id,
+                dst,
+                at,
+                payload,
+            });
+        }
+
         let latency_hist = Hist::decode(r)?;
         let hops_hist = Hist::decode(r)?;
         let probe = Probe::decode(r)?;
@@ -302,6 +386,7 @@ impl<P> Network<P> {
         self.fault = fault;
         self.stats = stats;
         self.fault_stats = fault_stats;
+        self.dead_letters = dead_letters;
         self.latency_hist = latency_hist;
         self.hops_hist = hops_hist;
         self.probe = probe;
@@ -391,7 +476,22 @@ mod tests {
                 },
                 10,
                 20,
-            );
+            )
+            .with_link_kill(
+                Channel {
+                    node: 2,
+                    dim: 0,
+                    plus: false,
+                },
+                5_000,
+            )
+            .with_node_kill(7, 12_000)
+            .with_quarantined_channel(Channel {
+                node: 1,
+                dim: 1,
+                plus: true,
+            })
+            .with_quarantined_node(4);
         let mut w = ByteWriter::new();
         encode_fault_plan(&plan, &mut w);
         let bytes = w.finish();
@@ -435,6 +535,31 @@ mod tests {
         assert_eq!(original.stats, restored.stats);
         assert_eq!(original.fault_stats, restored.fault_stats);
         assert_eq!(snapshot(&original), snapshot(&restored));
+    }
+
+    #[test]
+    fn dead_letters_roundtrip_with_payloads() {
+        let topo = Topology::new(1, 2);
+        let (only, _) = topo.next_hop(0, 1).expect("hop exists");
+        let plan = FaultPlan::new(9).with_quarantined_channel(only);
+        let mut net: Network<u64> = Network::with_faults(topo, NetConfig::default(), plan);
+        let mut out = Vec::new();
+        net.send(0, 0, 1, 4, 0xdead);
+        net.poll_into(10, &mut out);
+        assert_eq!(net.dead_letters().len(), 1);
+
+        let bytes = snapshot(&net);
+        let mut restored: Network<u64> = Network::with_faults(
+            topo,
+            NetConfig::default(),
+            net.fault_plan().cloned().unwrap(),
+        );
+        let mut r = ByteReader::new(&bytes);
+        restored.restore_with(&mut r, dec_u64).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored.dead_letters(), net.dead_letters());
+        assert_eq!(restored.fault_stats, net.fault_stats);
+        assert_eq!(bytes, snapshot(&restored));
     }
 
     #[test]

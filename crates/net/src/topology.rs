@@ -113,6 +113,100 @@ impl Topology {
         unreachable!("coords equal but nodes differ");
     }
 
+    /// The neighbor of `cur` along `dim` in direction `plus`, or `None`
+    /// at the mesh edge (no wraparound).
+    pub fn neighbor(&self, cur: usize, dim: usize, plus: bool) -> Option<usize> {
+        let stride = self.radix.pow(dim as u32);
+        let coord = (cur / stride) % self.radix;
+        if plus {
+            (coord + 1 < self.radix).then(|| cur + stride)
+        } else {
+            (coord > 0).then(|| cur - stride)
+        }
+    }
+
+    /// Minimal-detour avoidance routing: the first hop of a shortest
+    /// path from `cur` to `dst` that uses no channel for which
+    /// `avoid(channel, next_node)` is true, or `None` if every path is
+    /// blocked (the caller turns that into a typed dead letter).
+    ///
+    /// The choice is deterministic: a reverse BFS from `dst` labels
+    /// every node with its alive-graph distance, and candidates at
+    /// `cur` are examined in dimension order with the direction toward
+    /// `dst` first — so with nothing avoided this degenerates to
+    /// exactly [`Topology::next_hop`], and following the rule hop by
+    /// hop strictly descends the distance gradient (no loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cur == dst` (route before calling, as
+    /// [`Topology::next_hop`]'s `None` contract does).
+    pub fn next_hop_avoiding(
+        &self,
+        cur: usize,
+        dst: usize,
+        avoid: &dyn Fn(Channel, usize) -> bool,
+    ) -> Option<(Channel, usize)> {
+        assert!(cur != dst, "already at destination");
+        // Reverse BFS from dst over alive channels: dist[u] = alive
+        // hops from u to dst.
+        let n = self.num_nodes();
+        let mut dist = vec![u32::MAX; n];
+        dist[dst] = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        queue.push_back(dst);
+        while let Some(v) = queue.pop_front() {
+            for d in 0..self.dim {
+                for plus in [false, true] {
+                    // Predecessor u with an alive channel u -> v.
+                    let Some(u) = self.neighbor(v, d, plus) else {
+                        continue;
+                    };
+                    if dist[u] != u32::MAX {
+                        continue;
+                    }
+                    let ch = Channel {
+                        node: u,
+                        dim: d,
+                        plus: !plus,
+                    };
+                    if avoid(ch, v) {
+                        continue;
+                    }
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if dist[cur] == u32::MAX {
+            return None;
+        }
+        // First neighbor on the gradient, dimension-ordered, toward-dst
+        // direction first.
+        let (cc, cd) = (self.coords(cur), self.coords(dst));
+        for d in 0..self.dim {
+            let dirs = if cd[d] >= cc[d] {
+                [true, false]
+            } else {
+                [false, true]
+            };
+            for plus in dirs {
+                let Some(next) = self.neighbor(cur, d, plus) else {
+                    continue;
+                };
+                let ch = Channel {
+                    node: cur,
+                    dim: d,
+                    plus,
+                };
+                if !avoid(ch, next) && dist[next] != u32::MAX && dist[next] + 1 == dist[cur] {
+                    return Some((ch, next));
+                }
+            }
+        }
+        unreachable!("finite distance implies a gradient neighbor");
+    }
+
     /// Average hop count between uniformly random node pairs, which the
     /// paper approximates as nk/3.
     pub fn avg_distance_estimate(&self) -> f64 {
@@ -194,6 +288,61 @@ mod tests {
             }
         }
         assert_eq!(t.distance(0, 0), 0);
+    }
+
+    #[test]
+    fn avoidance_routing_matches_dimension_order_when_unconstrained() {
+        let t = Topology::new(2, 4);
+        let none = |_: Channel, _: usize| false;
+        for src in 0..t.num_nodes() {
+            for dst in 0..t.num_nodes() {
+                if src == dst {
+                    continue;
+                }
+                assert_eq!(
+                    t.next_hop_avoiding(src, dst, &none),
+                    t.next_hop(src, dst),
+                    "{src}->{dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avoidance_routing_detours_around_a_dead_link() {
+        let t = Topology::new(2, 2);
+        // Kill 0 -> 1 (dim 0, plus). Shortest alive path: 0 -> 2 -> 3 -> 1.
+        let dead = Channel {
+            node: 0,
+            dim: 0,
+            plus: true,
+        };
+        let avoid = move |ch: Channel, _: usize| ch == dead;
+        let mut cur = 0;
+        let mut path = vec![0];
+        while cur != 1 {
+            let (ch, next) = t.next_hop_avoiding(cur, 1, &avoid).expect("reachable");
+            assert_ne!(ch, dead);
+            cur = next;
+            path.push(next);
+            assert!(path.len() <= 4, "detour too long: {path:?}");
+        }
+        assert_eq!(path, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn avoidance_routing_reports_unreachable() {
+        let t = Topology::new(1, 2);
+        // The mesh's only 0 -> 1 channel is avoided: unreachable.
+        let avoid = |ch: Channel, _: usize| ch.node == 0;
+        assert_eq!(t.next_hop_avoiding(0, 1, &avoid), None);
+        // The reverse direction is untouched.
+        let (_, next) = t.next_hop_avoiding(1, 0, &avoid).expect("alive");
+        assert_eq!(next, 0);
+        // Avoiding the destination node itself is also unreachable.
+        let t = Topology::new(2, 3);
+        let avoid = |_: Channel, next: usize| next == 4;
+        assert_eq!(t.next_hop_avoiding(0, 4, &avoid), None);
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub enum Component {
     /// firing). Excluded from the cross-scheduler determinism contract
     /// — they describe the scheduler, not the simulated machine.
     Meta = 5,
+    /// The recovery manager (checkpoints taken, rollbacks, quarantines,
+    /// re-executions). Owned by the manager's own probe, outside the
+    /// machine's trace: a recovered run's *machine* trace stays
+    /// byte-identical to a fresh run from the same checkpoint.
+    Recovery = 6,
 }
 
 impl Component {
@@ -39,6 +44,7 @@ impl Component {
             Component::Runtime => "rt",
             Component::Net => "net",
             Component::Meta => "meta",
+            Component::Recovery => "recovery",
         }
     }
 
@@ -49,6 +55,7 @@ impl Component {
             2 => Component::Dir,
             3 => Component::Runtime,
             4 => Component::Net,
+            6 => Component::Recovery,
             _ => Component::Meta,
         }
     }
@@ -137,6 +144,31 @@ pub enum EventKind {
     /// A lazy future (deferred task) was created. `a` = future
     /// address, `b` = owner node.
     LazyTask = 20,
+    /// A packet was silently swallowed by a fail-stopped link or node.
+    /// `a` = packet id, `b` = failure site (channel source node, or the
+    /// dead node itself).
+    NetFailStop = 21,
+    /// A packet had no alive route under the quarantine and was
+    /// recorded as a typed dead letter. `a` = packet id,
+    /// `b` = unreachable destination.
+    NetDeadLetter = 22,
+    /// The recovery manager took a periodic checkpoint
+    /// ([`Component::Recovery`]). `a` = checkpoint cycle, `b` = ring
+    /// occupancy after insertion.
+    CheckpointTaken = 23,
+    /// The recovery manager rolled the machine back to a checkpoint
+    /// ([`Component::Recovery`]). `a` = restored cycle, `b` = recovery
+    /// attempt number (1-based).
+    Rollback = 24,
+    /// The recovery manager quarantined a channel or node
+    /// ([`Component::Recovery`]). `a` = encoded target (channel:
+    /// `node << 8 | dim << 1 | plus`; node: node index), `b` = 0 for a
+    /// channel, 1 for a node.
+    QuarantineApplied = 25,
+    /// The recovery manager resumed execution after a rollback
+    /// ([`Component::Recovery`]). `a` = resume cycle, `b` = the
+    /// backed-off watchdog horizon now in force.
+    ReExecute = 26,
 }
 
 impl EventKind {
@@ -164,6 +196,12 @@ impl EventKind {
             18 => EventKind::ThreadBlock,
             19 => EventKind::ThreadResume,
             20 => EventKind::LazyTask,
+            21 => EventKind::NetFailStop,
+            22 => EventKind::NetDeadLetter,
+            23 => EventKind::CheckpointTaken,
+            24 => EventKind::Rollback,
+            25 => EventKind::QuarantineApplied,
+            26 => EventKind::ReExecute,
             tag => return Err(WireError::BadTag { at, tag }),
         })
     }
@@ -192,6 +230,12 @@ impl EventKind {
             EventKind::ThreadBlock => "thread_block",
             EventKind::ThreadResume => "thread_resume",
             EventKind::LazyTask => "lazy_task",
+            EventKind::NetFailStop => "net_fail_stop",
+            EventKind::NetDeadLetter => "net_dead_letter",
+            EventKind::CheckpointTaken => "checkpoint_taken",
+            EventKind::Rollback => "rollback",
+            EventKind::QuarantineApplied => "quarantine_applied",
+            EventKind::ReExecute => "re_execute",
         }
     }
 }
@@ -287,6 +331,7 @@ mod tests {
             Component::Runtime,
             Component::Net,
             Component::Meta,
+            Component::Recovery,
         ] {
             let l = lane(comp, 1234);
             assert_eq!(lane_component(l), comp);
@@ -302,7 +347,7 @@ mod tests {
 
     #[test]
     fn every_kind_roundtrips_on_the_wire() {
-        for tag in 0u8..=20 {
+        for tag in 0u8..=26 {
             let kind = EventKind::from_u8(tag, 0).unwrap();
             assert_eq!(kind as u8, tag);
             let e = Event {
@@ -320,6 +365,6 @@ mod tests {
             assert_eq!(Event::decode(&mut r).unwrap(), e);
             assert!(r.is_empty());
         }
-        assert!(EventKind::from_u8(21, 0).is_err());
+        assert!(EventKind::from_u8(27, 0).is_err());
     }
 }

@@ -12,6 +12,10 @@
 #     snapshot size and best-of-N capture/restore wall time on 16- and
 #     64-node machines, every restore verified as a re-encode fixed
 #     point.
+#   BENCH_recovery.json — fault-tolerance cost: periodic-checkpoint
+#     overhead vs the unsupervised baseline per checkpoint interval,
+#     and the wall time of a complete link-kill -> quarantine ->
+#     rollback -> re-execute recovery vs its fault-free run.
 #
 # BENCH_SMOKE=1 shrinks the workloads for a fast CI smoke run.
 set -eu
@@ -21,3 +25,4 @@ cd "$(dirname "$0")/.."
 BENCH_OUT="$(pwd)/BENCH_hotpaths.json" cargo bench -p april-bench --bench sim_hotpaths
 BENCH_PAR_OUT="$(pwd)/BENCH_parallel.json" cargo bench -p april-bench --bench sim_parallel
 BENCH_SNAP_OUT="$(pwd)/BENCH_snapshot.json" cargo bench -p april-bench --bench snapshot
+BENCH_REC_OUT="$(pwd)/BENCH_recovery.json" cargo bench -p april-bench --bench recovery

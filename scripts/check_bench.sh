@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Re-runs the benchmark smoke suite and reports percent deltas against
 # the committed baselines (BENCH_hotpaths.json / BENCH_parallel.json /
-# BENCH_snapshot.json).
+# BENCH_snapshot.json / BENCH_recovery.json).
 #
 # The perf numbers are a *report*, not a gate: CI hardware varies far
 # too much to fail a build on throughput. The script fails only when a
@@ -17,7 +17,7 @@ fail() {
     exit 1
 }
 
-for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json; do
+for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json BENCH_recovery.json; do
     [ -f "$f" ] || fail "missing committed baseline $f"
     jq empty "$f" 2>/dev/null || fail "committed baseline $f is malformed JSON"
 done
@@ -27,6 +27,10 @@ jq -e '.points | type == "array" and length > 0' BENCH_parallel.json >/dev/null 
     fail "BENCH_parallel.json has no points array"
 jq -e '.points | type == "array" and length > 0' BENCH_snapshot.json >/dev/null ||
     fail "BENCH_snapshot.json has no points array"
+jq -e '.checkpoint_overhead | type == "array" and length > 0' BENCH_recovery.json >/dev/null ||
+    fail "BENCH_recovery.json has no checkpoint_overhead array"
+jq -e '.recovered_run.attempts >= 1' BENCH_recovery.json >/dev/null ||
+    fail "BENCH_recovery.json recovered_run shows no rollback attempt"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -38,8 +42,10 @@ BENCH_SMOKE=1 BENCH_PAR_OUT="$tmp/parallel.json" \
     cargo bench -q -p april-bench --bench sim_parallel >/dev/null
 BENCH_SMOKE=1 BENCH_SNAP_OUT="$tmp/snapshot.json" \
     cargo bench -q -p april-bench --bench snapshot >/dev/null
+BENCH_SMOKE=1 BENCH_REC_OUT="$tmp/recovery.json" \
+    cargo bench -q -p april-bench --bench recovery >/dev/null
 
-for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json"; do
+for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json" "$tmp/recovery.json"; do
     [ -f "$f" ] || fail "bench run produced no $(basename "$f")"
     jq empty "$f" 2>/dev/null || fail "bench output $(basename "$f") is malformed JSON"
 done
@@ -93,6 +99,23 @@ jq -r '.points[] | "\(.nodes) \(.checkpoint_us)"' "$tmp/snapshot.json" |
             echo "  ${nodes}n: ${fresh}us vs ${base}us ($(pct "$fresh" "$base"))"
         fi
     done
+
+echo
+echo "recovery: checkpoint overhead per interval, fresh smoke vs committed baseline"
+jq -r '.checkpoint_overhead[] | "\(.interval) \(.overhead_pct)"' "$tmp/recovery.json" |
+    while read -r interval fresh; do
+        base=$(jq -r --argjson iv "$interval" \
+            '.checkpoint_overhead[] | select(.interval == $iv) | .overhead_pct // empty' \
+            BENCH_recovery.json)
+        if [ -z "$base" ]; then
+            echo "  interval $interval: no committed baseline"
+        else
+            echo "  interval $interval: +${fresh}% vs +${base}% of fault-free baseline"
+        fi
+    done
+rec_fresh=$(jq -r '.recovered_run.wall_s' "$tmp/recovery.json")
+rec_base=$(jq -r '.recovered_run.wall_s' BENCH_recovery.json)
+echo "  recovered run: ${rec_fresh}s vs ${rec_base}s ($(pct "$rec_fresh" "$rec_base"))"
 
 echo
 echo "check_bench: report complete (deltas are informational; only JSON health gates)."

@@ -18,6 +18,12 @@ echo "== three-way scheduler equivalence (3 fault seeds) =="
 # seeds and multi-worker runs execute at full depth quickly.
 cargo test -q --release -p april-machine --test lockstep_vs_skip
 
+echo "== recovery soak (bounded) =="
+# Link-kill -> quarantine -> rollback -> re-execute across several
+# killed channels and seeds, plus the recovered-vs-fresh bit-identity
+# checks, in release so the re-executions run at full depth quickly.
+cargo test -q --release -p april-machine --test recovery
+
 echo "== docs (markdown links + rustdoc, warnings are errors) =="
 sh scripts/check_docs.sh
 
