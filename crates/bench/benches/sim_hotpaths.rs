@@ -6,6 +6,7 @@
 //! reports the best per-iteration time. Run with `cargo bench`.
 
 use april_core::cpu::{Cpu, CpuConfig, StepEvent};
+use april_core::decoded::DecodedProgram;
 use april_core::frame::FrameState;
 use april_core::isa::asm::assemble;
 use april_core::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
@@ -75,6 +76,34 @@ fn bench_cpu_step() {
     cpu.boot(0);
     bench("cpu/step_alu", 1000, || {
         for _ in 0..1000 {
+            cpu.step(&prog, &mut NullMem);
+        }
+    });
+}
+
+/// Decode-engine dispatch: a 64-op safe straight-line run executed
+/// through the flat bytecode (one `bookable_run` + `run_decoded` per
+/// block, then one `step` for the loop-closing jump) against the same
+/// block walked instruction by instruction through `Cpu::step`. The
+/// gap between the two lines is what DESIGN.md §13 buys per visited
+/// cycle.
+fn bench_decoded_dispatch() {
+    let body = "add r1, 1, r1\n".repeat(64);
+    let prog = assemble(&format!("top:\n{body}jmp top\n nop\n")).unwrap();
+    let dec = DecodedProgram::lower(&prog);
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.boot(0);
+    bench("decoded/run_64", 1040, || {
+        for _ in 0..16 {
+            let k = cpu.bookable_run(&dec);
+            cpu.run_decoded(&dec, k);
+            cpu.step(&prog, &mut NullMem); // the jmp back to top
+        }
+    });
+    let mut cpu = Cpu::new(CpuConfig::default());
+    cpu.boot(0);
+    bench("decoded/step_64_baseline", 1040, || {
+        for _ in 0..16 * 65 {
             cpu.step(&prog, &mut NullMem);
         }
     });
@@ -174,6 +203,7 @@ fn bench_toolchain() {
 /// what the event-driven skip reduces.
 fn drive(m: &mut Alewife, max: u64) -> u64 {
     let mut advances = 0;
+    let mut evs = Vec::new();
     loop {
         assert!(m.now() < max, "bench workload timed out at {}", m.now());
         if m.fault().is_some() {
@@ -183,7 +213,8 @@ fn drive(m: &mut Alewife, max: u64) -> u64 {
             return advances;
         }
         advances += 1;
-        for (i, ev) in m.advance() {
+        m.advance_into(&mut evs);
+        for (i, ev) in evs.drain(..) {
             match ev {
                 StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
                     let fp = m.cpu(i).fp();
@@ -235,6 +266,30 @@ fn stall_heavy_program(iters: u32) -> Program {
     .unwrap()
 }
 
+/// Every node grinds a long straight-line ALU body between loop
+/// branches, all frames resident, no remote traffic: the
+/// compute-bound regime where the decode engine's booked runs carry
+/// whole 64-op blocks per visited cycle. The counterpoint to
+/// `stall_heavy_16node`, whose visited cycles are protocol-bound and
+/// book nothing.
+fn compute_program(iters: u32) -> Program {
+    let body = "add r1, 4, r1\nxor r2, r1, r2\nsub r3, 4, r3\nadd r4, r2, r4\n".repeat(8);
+    assemble(&format!(
+        "
+        .entry main
+        main:
+            movi {iters}, r10
+        loop:
+            {body}
+            sub r10, 1, r10
+            jne loop
+            nop
+            halt
+        ",
+    ))
+    .unwrap()
+}
+
 /// Runs one workload in one mode; returns (simulated cycles, wall s,
 /// cycles actually visited).
 fn run_mode(
@@ -242,9 +297,11 @@ fn run_mode(
     prog: &Program,
     plan: Option<&FaultPlan>,
     lockstep: bool,
+    decode: bool,
     max: u64,
 ) -> (u64, f64, u64) {
     cfg.lockstep = lockstep;
+    cfg.decode = decode;
     let mut m = Alewife::new(cfg, prog.clone());
     if let Some(plan) = plan {
         m.set_fault_plan(plan.clone());
@@ -264,6 +321,9 @@ struct MachineBench {
     visited: u64,
     lockstep_wall: f64,
     event_wall: f64,
+    /// Event-driven with the decode engine forced off: the legacy
+    /// per-instruction interpreter on every visited cycle.
+    event_nodecode_wall: f64,
 }
 
 impl MachineBench {
@@ -273,8 +333,14 @@ impl MachineBench {
     fn event_cps(&self) -> f64 {
         self.cycles as f64 / self.event_wall
     }
+    fn event_nodecode_cps(&self) -> f64 {
+        self.cycles as f64 / self.event_nodecode_wall
+    }
     fn speedup(&self) -> f64 {
         self.lockstep_wall / self.event_wall
+    }
+    fn decode_speedup(&self) -> f64 {
+        self.event_nodecode_wall / self.event_wall
     }
 }
 
@@ -289,21 +355,30 @@ fn run_machine_workload(
     // not (shared hardware), and a quotient of two noisy walls is worse.
     let mut t_lock = f64::INFINITY;
     let mut t_evt = f64::INFINITY;
+    let mut t_evt_nodec = f64::INFINITY;
     let mut c_lock = 0;
     let mut c_evt = 0;
+    let mut c_evt_nodec = 0;
     let mut visited = 0;
     for _ in 0..3 {
-        let (c, t, _) = run_mode(cfg, &prog, plan.as_ref(), true, max);
+        let (c, t, _) = run_mode(cfg, &prog, plan.as_ref(), true, true, max);
         c_lock = c;
         t_lock = t_lock.min(t);
-        let (c, t, v) = run_mode(cfg, &prog, plan.as_ref(), false, max);
+        let (c, t, v) = run_mode(cfg, &prog, plan.as_ref(), false, true, max);
         c_evt = c;
         visited = v;
         t_evt = t_evt.min(t);
+        let (c, t, _) = run_mode(cfg, &prog, plan.as_ref(), false, false, max);
+        c_evt_nodec = c;
+        t_evt_nodec = t_evt_nodec.min(t);
     }
     assert_eq!(
         c_lock, c_evt,
         "{name}: lockstep and event-driven disagree on the final cycle"
+    );
+    assert_eq!(
+        c_evt, c_evt_nodec,
+        "{name}: decode engine on/off disagree on the final cycle"
     );
     MachineBench {
         name,
@@ -311,6 +386,7 @@ fn run_machine_workload(
         visited,
         lockstep_wall: t_lock,
         event_wall: t_evt,
+        event_nodecode_wall: t_evt_nodec,
     }
 }
 
@@ -337,6 +413,21 @@ fn machine_workloads(smoke: bool) -> Vec<MachineBench> {
                 ..MachineConfig::default()
             },
             stall_heavy_program(iters),
+            None,
+            1_000_000_000,
+        ),
+        // 16 nodes, compute-bound: long safe straight-line runs, which
+        // the decode engine executes as booked blocks — the workload
+        // where the engine column separates from the legacy
+        // interpreter.
+        run_machine_workload(
+            "compute_16node",
+            MachineConfig {
+                topology: Topology::new(2, 4),
+                region_bytes: 1 << 20,
+                ..MachineConfig::default()
+            },
+            compute_program(iters * 500),
             None,
             1_000_000_000,
         ),
@@ -369,16 +460,22 @@ fn emit_json(results: &[MachineBench]) {
             concat!(
                 "    {{\"name\": \"{}\", \"cycles\": {}, ",
                 "\"lockstep_wall_s\": {:.6}, \"event_wall_s\": {:.6}, ",
+                "\"event_nodecode_wall_s\": {:.6}, ",
                 "\"lockstep_cycles_per_sec\": {:.0}, ",
-                "\"event_cycles_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n"
+                "\"event_cycles_per_sec\": {:.0}, ",
+                "\"event_nodecode_cycles_per_sec\": {:.0}, ",
+                "\"speedup\": {:.2}, \"decode_speedup\": {:.2}}}{}\n"
             ),
             r.name,
             r.cycles,
             r.lockstep_wall,
             r.event_wall,
+            r.event_nodecode_wall,
             r.lockstep_cps(),
             r.event_cps(),
+            r.event_nodecode_cps(),
             r.speedup(),
+            r.decode_speedup(),
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -396,13 +493,15 @@ fn bench_machine() {
     println!("\nmachine workloads (simulated cycles per wall-second)");
     for r in &results {
         println!(
-            "{:<24} {:>12} cycles  visited {:>5.1}%  lockstep {:>12.0} c/s  event {:>12.0} c/s  speedup {:>5.2}x",
+            "{:<24} {:>12} cycles  visited {:>5.1}%  lockstep {:>12.0} c/s  event {:>12.0} c/s  event/nodecode {:>12.0} c/s  speedup {:>5.2}x  decode {:>5.2}x",
             r.name,
             r.cycles,
             100.0 * r.visited as f64 / r.cycles as f64,
             r.lockstep_cps(),
             r.event_cps(),
+            r.event_nodecode_cps(),
             r.speedup(),
+            r.decode_speedup(),
         );
     }
     emit_json(&results);
@@ -411,6 +510,7 @@ fn bench_machine() {
 fn main() {
     println!("sim_hotpaths (best-of per-iteration times)");
     bench_cpu_step();
+    bench_decoded_dispatch();
     bench_memory();
     bench_directory();
     bench_network();

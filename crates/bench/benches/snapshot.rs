@@ -75,7 +75,7 @@ struct Point {
 
 fn run_point(dim: usize, radix: usize, reps: u32) -> Point {
     let cfg = bench_cfg(dim, radix);
-    let m = machine_at_cut(cfg);
+    let mut m = machine_at_cut(cfg);
     let snap = m.checkpoint().expect("checkpoint");
 
     // Best-of-N: the encoded state is deterministic, wall time is not.

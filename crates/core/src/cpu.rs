@@ -383,7 +383,9 @@ impl Cpu {
 
         let pc = self.frames[self.fp].pc;
         let npc = self.frames[self.fp].npc;
-        let Some(instr) = prog.fetch(pc) else {
+        // Borrowing fetch: the hot loop re-reads the text segment every
+        // visited cycle, so skip the by-value copy of the fat enum.
+        let Some(&instr) = prog.fetch_ref(pc) else {
             self.halted = true;
             return StepEvent::Halted;
         };
@@ -445,15 +447,19 @@ impl Cpu {
                 if addr & 3 != 0 {
                     return self.raise(Trap::Alignment { addr });
                 }
-                self.stats.mem_ops += 1;
                 match mem.load(
                     addr,
                     crate::isa::LoadFlavor::NORMAL,
                     AccessCtx { frame: self.fp },
                 ) {
-                    LoadReply::Data { word, .. } => self.set_freg(fd, word.0),
+                    LoadReply::Data { word, .. } => {
+                        // Counted on retire only: a stalled or trapped
+                        // attempt reissues and must not inflate the
+                        // ledger transiently.
+                        self.stats.mem_ops += 1;
+                        self.set_freg(fd, word.0);
+                    }
                     LoadReply::Stall { cycles } => {
-                        self.stats.mem_ops -= 1;
                         self.stats.stall_cycles += cycles;
                         return StepEvent::Stalled { cycles };
                     }
@@ -481,16 +487,16 @@ impl Cpu {
                     return self.raise(Trap::Alignment { addr });
                 }
                 let value = Word(self.get_freg(fs));
-                self.stats.mem_ops += 1;
                 match mem.store(
                     addr,
                     value,
                     crate::isa::StoreFlavor::NORMAL,
                     AccessCtx { frame: self.fp },
                 ) {
-                    StoreReply::Done { .. } => {}
+                    StoreReply::Done { .. } => {
+                        self.stats.mem_ops += 1;
+                    }
                     StoreReply::Stall { cycles } => {
-                        self.stats.mem_ops -= 1;
                         self.stats.stall_cycles += cycles;
                         return StepEvent::Stalled { cycles };
                     }
@@ -611,16 +617,15 @@ impl Cpu {
                 if addr & 3 != 0 {
                     return self.raise(Trap::Alignment { addr });
                 }
-                self.stats.mem_ops += 1;
                 match mem.load(addr, flavor, AccessCtx { frame: self.fp }) {
                     LoadReply::Data { word, fe } => {
+                        self.stats.mem_ops += 1; // retired
                         self.set_reg(d, word);
                         if !flavor.fe_trap {
                             self.frames[self.fp].psr.fe_cond = fe;
                         }
                     }
                     LoadReply::Stall { cycles } => {
-                        self.stats.mem_ops -= 1; // will reissue
                         self.stats.stall_cycles += cycles;
                         return StepEvent::Stalled { cycles };
                     }
@@ -653,15 +658,14 @@ impl Cpu {
                     return self.raise(Trap::Alignment { addr });
                 }
                 let value = self.get_reg(s);
-                self.stats.mem_ops += 1;
                 match mem.store(addr, value, flavor, AccessCtx { frame: self.fp }) {
                     StoreReply::Done { fe } => {
+                        self.stats.mem_ops += 1; // retired
                         if !flavor.fe_trap {
                             self.frames[self.fp].psr.fe_cond = fe;
                         }
                     }
                     StoreReply::Stall { cycles } => {
-                        self.stats.mem_ops -= 1;
                         self.stats.stall_cycles += cycles;
                         return StepEvent::Stalled { cycles };
                     }
@@ -794,7 +798,7 @@ fn encode_reg(r: Reg) -> u64 {
     }
 }
 
-fn alu_add(a: u32, b: u32) -> (u32, CondCodes) {
+pub(crate) fn alu_add(a: u32, b: u32) -> (u32, CondCodes) {
     let (r, c) = a.overflowing_add(b);
     let v = ((a ^ r) & (b ^ r)) >> 31 != 0;
     (
@@ -808,7 +812,7 @@ fn alu_add(a: u32, b: u32) -> (u32, CondCodes) {
     )
 }
 
-fn alu_sub(a: u32, b: u32) -> (u32, CondCodes) {
+pub(crate) fn alu_sub(a: u32, b: u32) -> (u32, CondCodes) {
     let (r, borrow) = a.overflowing_sub(b);
     let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
     (
@@ -822,7 +826,7 @@ fn alu_sub(a: u32, b: u32) -> (u32, CondCodes) {
     )
 }
 
-fn logic_cc(r: u32) -> (u32, CondCodes) {
+pub(crate) fn logic_cc(r: u32) -> (u32, CondCodes) {
     (
         r,
         CondCodes {
@@ -1349,6 +1353,134 @@ mod tests {
         // nop (1) + mul (3) + halt (1)
         assert_eq!(cpu.stats.useful_cycles, 5);
         assert_eq!(cpu.stats.instructions, 3);
+    }
+
+    /// Stalls every first attempt at an address, succeeds on reissue.
+    struct FlakyMem {
+        attempts: u32,
+    }
+
+    impl MemoryPort for FlakyMem {
+        fn load(&mut self, _: u32, _: LoadFlavor, _: AccessCtx) -> LoadReply {
+            self.attempts += 1;
+            if self.attempts % 2 == 1 {
+                LoadReply::Stall { cycles: 3 }
+            } else {
+                LoadReply::Data {
+                    word: Word(0x10),
+                    fe: true,
+                }
+            }
+        }
+        fn store(&mut self, _: u32, _: Word, _: StoreFlavor, _: AccessCtx) -> StoreReply {
+            self.attempts += 1;
+            if self.attempts % 2 == 1 {
+                StoreReply::Stall { cycles: 3 }
+            } else {
+                StoreReply::Done { fe: false }
+            }
+        }
+    }
+
+    #[test]
+    fn mem_ops_count_only_on_retire() {
+        // Every flavor of memory op — Load, Store, LdF, StF — stalls
+        // once before retiring; the ledger must count each op exactly
+        // once, never transiently inflating during the stalled attempt.
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::MovI {
+            imm: 0x10,
+            d: Reg::L(1),
+        });
+        b.emit(Instr::Load {
+            flavor: LoadFlavor::NORMAL,
+            a: Reg::L(1),
+            offset: 0,
+            d: Reg::L(2),
+        });
+        b.emit(Instr::Store {
+            flavor: StoreFlavor::NORMAL,
+            a: Reg::L(1),
+            offset: 4,
+            s: Reg::L(2),
+        });
+        b.emit(Instr::LdF {
+            a: Reg::L(1),
+            offset: 0,
+            fd: 1,
+        });
+        b.emit(Instr::StF {
+            fs: 1,
+            a: Reg::L(1),
+            offset: 4,
+        });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = FlakyMem { attempts: 0 };
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Executed); // movi
+        for op in ["load", "store", "ldf", "stf"] {
+            let before = cpu.stats.mem_ops;
+            assert_eq!(
+                cpu.step(&prog, &mut mem),
+                StepEvent::Stalled { cycles: 3 },
+                "{op} first attempt stalls"
+            );
+            assert_eq!(cpu.stats.mem_ops, before, "{op} stall must not count");
+            assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Executed);
+            assert_eq!(cpu.stats.mem_ops, before + 1, "{op} retire counts once");
+        }
+        assert_eq!(cpu.stats.mem_ops, 4);
+    }
+
+    #[test]
+    fn mem_ops_not_counted_on_remote_miss_trap() {
+        struct MissOnce {
+            attempts: u32,
+        }
+        impl MemoryPort for MissOnce {
+            fn load(&mut self, _: u32, _: LoadFlavor, _: AccessCtx) -> LoadReply {
+                self.attempts += 1;
+                if self.attempts == 1 {
+                    LoadReply::RemoteMiss
+                } else {
+                    LoadReply::Data {
+                        word: Word(7),
+                        fe: true,
+                    }
+                }
+            }
+            fn store(&mut self, _: u32, _: Word, _: StoreFlavor, _: AccessCtx) -> StoreReply {
+                StoreReply::Done { fe: false }
+            }
+        }
+        let mut b = ProgramBuilder::new();
+        b.emit(Instr::MovI {
+            imm: 0x10,
+            d: Reg::L(1),
+        });
+        b.emit(Instr::Load {
+            flavor: LoadFlavor::NORMAL,
+            a: Reg::L(1),
+            offset: 0,
+            d: Reg::L(2),
+        });
+        b.emit(Instr::Halt);
+        let prog = b.finish().unwrap();
+        let mut cpu = Cpu::default();
+        cpu.boot(0);
+        let mut mem = MissOnce { attempts: 0 };
+        cpu.step(&prog, &mut mem);
+        assert!(matches!(
+            cpu.step(&prog, &mut mem),
+            StepEvent::Trapped(Trap::RemoteMiss { .. })
+        ));
+        assert_eq!(cpu.stats.mem_ops, 0, "trapped attempt did not retire");
+        // The handler returns and the instruction reissues.
+        cpu.active_frame_mut().psr.in_trap = false;
+        assert_eq!(cpu.step(&prog, &mut mem), StepEvent::Executed);
+        assert_eq!(cpu.stats.mem_ops, 1, "the retry retires exactly once");
     }
 
     #[test]

@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod decoded;
 pub mod frame;
 pub mod isa;
 pub mod memport;
@@ -82,6 +83,7 @@ pub mod trap;
 pub mod word;
 
 pub use cpu::{Cpu, CpuConfig, StepEvent};
+pub use decoded::DecodedProgram;
 pub use frame::{FrameState, TaskFrame};
 pub use isa::Instr;
 pub use program::{Program, ProgramBuilder};

@@ -32,6 +32,13 @@ impl Program {
         self.instrs.get(pc as usize).copied()
     }
 
+    /// Borrowing fetch for hot paths: the instruction at `pc` without
+    /// copying the enum out of the text segment.
+    #[inline]
+    pub fn fetch_ref(&self, pc: u32) -> Option<&Instr> {
+        self.instrs.get(pc as usize)
+    }
+
     /// Looks up a label's address.
     pub fn label(&self, name: &str) -> Option<u32> {
         self.labels.get(name).copied()

@@ -20,6 +20,7 @@ use crate::watchdog::{
 };
 use crate::Machine;
 use april_core::cpu::{Cpu, StepEvent};
+use april_core::decoded::DecodedProgram;
 use april_core::frame::FrameState;
 use april_core::isa::{LoadFlavor, StoreFlavor};
 use april_core::memport::{AccessCtx, LoadReply, MemoryPort, StoreReply};
@@ -58,6 +59,47 @@ pub struct Node {
     /// Home-side directory for this node's memory region.
     pub dir: Directory,
     pub(crate) io_regs: [u32; 8],
+    /// An outstanding *booked run* on the decode engine (DESIGN.md
+    /// §13): at cycle `start` the CPU was known to execute `len`
+    /// straight-line safe instructions over cycles `start ..
+    /// start+len`, so the scheduler charged the whole span up front
+    /// (`ready_at = start + len`) and deferred executing the ops. The
+    /// run *materializes* — executes for real, in one tight loop — at
+    /// the next visit, or is cut short the moment anything could
+    /// observe or perturb the CPU (a delivery addressed to it, a
+    /// driver mutation, a checkpoint). Scheduler bookkeeping, never
+    /// snapshotted: restores clear it.
+    pub(crate) resv: Option<Resv>,
+}
+
+/// A booked decode-engine run: `len` safe instructions promised over
+/// cycles `start .. start + len`. See [`Node::resv`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Resv {
+    pub(crate) start: u64,
+    pub(crate) len: u32,
+}
+
+/// The smallest run worth booking: a 1-instruction "run" costs the
+/// same bookkeeping as stepping, so book only from 2 up.
+pub(crate) const MIN_RUN: u32 = 2;
+
+/// Whether a delivered message can observe or perturb the destination
+/// CPU. An IPI posts an interrupt the next step must take; every
+/// controller-bound message can wake task frames. Directory-bound
+/// messages only touch home-directory state, which a booked run of
+/// safe (register-only) instructions can neither read nor write, so
+/// they leave a reservation standing.
+pub(crate) fn msg_touches_cpu(msg: &CohMsg) -> bool {
+    !matches!(
+        msg,
+        CohMsg::RdReq { .. }
+            | CohMsg::WrReq { .. }
+            | CohMsg::InvAck { .. }
+            | CohMsg::DownAck { .. }
+            | CohMsg::WbInvalAck { .. }
+            | CohMsg::FlushData { .. }
+    )
 }
 
 // The parallel machine moves whole nodes across worker threads; any
@@ -81,6 +123,10 @@ pub struct Alewife {
     pub(crate) mem: FeMemory,
     pub(crate) net: Network<Env>,
     pub(crate) prog: Program,
+    /// The program lowered to flat bytecode for the decode engine
+    /// (`None` with `cfg.decode` off). Derived state: rebuilt by
+    /// construction, never part of a snapshot.
+    pub(crate) dec: Option<DecodedProgram>,
     pub(crate) cfg: MachineConfig,
     pub(crate) ready_at: Vec<u64>,
     pub(crate) now: u64,
@@ -91,12 +137,15 @@ pub struct Alewife {
     pub(crate) halted_at: Vec<Option<u64>>,
     /// `parked[i]`: stepping CPU `i` is known to yield `NoReadyFrame`,
     /// which every driver answers with exactly `charge_idle(i, 1)` and
-    /// nothing else. A parked CPU does not hold the event-driven skip
-    /// back; the skipped idle cycles are bulk-charged when the clock
-    /// jumps, reproducing the lockstep ledger bit for bit. The flag is
-    /// cleared aggressively — on any delivery, any driver mutation, or
-    /// any non-idle step event — because a stale `true` could skip real
-    /// work while a spurious `false` only costs a smaller skip.
+    /// nothing else. A parked CPU is neither stepped nor allowed to
+    /// hold the event-driven skip back: its idle cycles (skipped ones
+    /// *and* visited ones) are charged wholesale, reproducing the
+    /// lockstep ledger bit for bit. The flag is cleared by every path
+    /// that could void the idle promise: a CPU-touching delivery to
+    /// the node, a driver mutation of its CPU, a shared-memory write
+    /// (the run queue lives there, so all nodes are cleared), or a
+    /// non-idle step event. A stale `true` could skip real work; a
+    /// spurious `false` only costs an extra idle step.
     pub(crate) parked: Vec<bool>,
     /// Scratch buffers reused across cycles so the hot loop allocates
     /// nothing: network deliveries, controller/directory sends, I/O
@@ -109,6 +158,12 @@ pub struct Alewife {
     /// the meta lane, which [`Trace::retain_semantic`] excludes from
     /// the cross-scheduler determinism contract.
     pub(crate) meta_probe: Probe,
+    /// Cached forward-progress signature, recomputed only on visits
+    /// where something that feeds it ran (a dispatch, a step, a
+    /// materialized run, a protocol tick). Derived state: never
+    /// snapshotted, marked stale on restore.
+    sig_cache: (u64, u64, u64, u64),
+    pub(crate) sig_stale: bool,
 }
 
 impl Alewife {
@@ -124,13 +179,16 @@ impl Alewife {
                 ctl: CacheController::new(i, cfg.cache, cfg.ctl),
                 dir: Directory::with_config(cfg.dir),
                 io_regs: [0; 8],
+                resv: None,
             })
             .collect();
+        let dec = cfg.decode.then(|| DecodedProgram::lower(&prog));
         Alewife {
             nodes,
             mem,
             net: Network::new(cfg.topology, cfg.net),
             prog,
+            dec,
             cfg,
             ready_at: vec![0; n],
             now: 0,
@@ -143,6 +201,8 @@ impl Alewife {
             scratch_dir: Vec::new(),
             scratch_io: Vec::new(),
             meta_probe: Probe::default(),
+            sig_cache: (0, 0, 0, 0),
+            sig_stale: true,
         }
     }
 
@@ -221,7 +281,56 @@ impl Alewife {
         }
     }
 
+    /// Cuts node `i`'s booked run at the current cycle, *before* this
+    /// cycle's instruction: the `now - start` instructions whose cycles
+    /// have fully elapsed materialize, and the node becomes ready to
+    /// step (or re-book) this cycle. Called ahead of dispatching a
+    /// CPU-touching delivery, so e.g. an IPI's interrupt is taken
+    /// exactly where lockstep would take it.
+    fn cut_resv(&mut self, i: usize) {
+        let Some(r) = self.nodes[i].resv.take() else {
+            return;
+        };
+        let done = (self.now - r.start) as u32;
+        if done > 0 {
+            let dec = self.dec.as_ref().expect("booked run without decode image");
+            self.nodes[i].cpu.run_decoded(dec, done);
+            self.sig_stale = true;
+        }
+        self.ready_at[i] = self.now;
+    }
+
+    /// Settles node `i`'s booked run *after* the current cycle's work:
+    /// instructions through cycle `now` inclusive materialize and the
+    /// node is ready next cycle. Called before anything outside the
+    /// advance loop (a driver mutation, a checkpoint) can observe the
+    /// CPU.
+    pub(crate) fn settle_resv(&mut self, i: usize) {
+        let Some(r) = self.nodes[i].resv.take() else {
+            return;
+        };
+        let done = (self.now - r.start + 1).min(r.len as u64) as u32;
+        let dec = self.dec.as_ref().expect("booked run without decode image");
+        self.nodes[i].cpu.run_decoded(dec, done);
+        self.sig_stale = true;
+        self.ready_at[i] = self.now + 1;
+    }
+
     fn dispatch_msg(&mut self, dst: usize, env: Env) {
+        self.sig_stale = true;
+        // On-demand clock stamp (see `advance_to`): the handlers below
+        // timestamp trace events and compute retry deadlines from
+        // their engine's clock.
+        {
+            let now = self.now;
+            let n = &mut self.nodes[dst];
+            n.cpu.set_clock(now);
+            n.ctl.set_clock(now);
+            n.dir.set_clock(now);
+        }
+        if msg_touches_cpu(&env.msg) {
+            self.cut_resv(dst);
+        }
         let cfg = self.cfg;
         // Reusable scratch buffers: restored (cleared) on every path.
         let mut out = std::mem::take(&mut self.scratch_out);
@@ -267,9 +376,16 @@ impl Alewife {
     /// retrying, its bounded retry budget (not the watchdog) decides
     /// when to give up.
     fn progress_sig(&self) -> (u64, u64, u64, u64) {
-        let instrs = self.nodes.iter().map(|n| n.cpu.stats.instructions).sum();
-        let dir_events = self.nodes.iter().map(|n| n.dir.stats.total()).sum();
-        let ctl_events = self.nodes.iter().map(|n| n.ctl.stats.total()).sum();
+        // One pass over the nodes, not three: this runs every visited
+        // cycle when the watchdog is on.
+        let mut instrs = 0u64;
+        let mut dir_events = 0u64;
+        let mut ctl_events = 0u64;
+        for n in &self.nodes {
+            instrs += n.cpu.stats.instructions;
+            dir_events += n.dir.stats.total();
+            ctl_events += n.ctl.stats.total();
+        }
         (instrs, self.net.stats.delivered, dir_events, ctl_events)
     }
 
@@ -319,18 +435,15 @@ impl Alewife {
     fn next_event(&mut self) -> u64 {
         let floor = self.now + 1;
         let mut t = u64::MAX;
-        for i in 0..self.nodes.len() {
-            if self.nodes[i].cpu.is_halted() || self.parked[i] {
-                continue;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.cpu.is_halted() && !self.parked[i] {
+                let r = self.ready_at[i].max(floor);
+                if r == floor {
+                    // A CPU is runnable right away: nothing to skip.
+                    return floor;
+                }
+                t = t.min(r);
             }
-            let r = self.ready_at[i].max(floor);
-            if r == floor {
-                // A CPU is runnable right away: nothing to skip.
-                return floor;
-            }
-            t = t.min(r);
-        }
-        for n in &self.nodes {
             t = t.min(n.ctl.next_deadline().max(floor));
             t = t.min(n.dir.next_deadline().max(floor));
         }
@@ -388,59 +501,112 @@ impl Alewife {
             self.now
         );
         let target = self.advance_target().min(cap);
-        self.advance_to(target)
+        let mut evs = Vec::new();
+        self.advance_to(target, &mut evs);
+        evs
     }
 
     /// The jump-and-execute body shared by [`Machine::advance`] and
     /// [`Alewife::advance_capped`]: moves the clock to `target` and
-    /// performs the full cycle of machine work there.
-    fn advance_to(&mut self, target: u64) -> Vec<(usize, StepEvent)> {
-        // Bulk-charge parked CPUs the idle cycles lockstep would have
-        // charged one at a time over the skipped window. A parked CPU
-        // has `ready_at[i] <= now + 1 <= target`; lockstep would step
-        // it (yielding `NoReadyFrame`, +1 idle from the driver) at each
-        // of `ready_at[i] .. target`, leaving `ready_at[i] == target`.
-        for i in 0..self.nodes.len() {
-            if self.parked[i] && !self.nodes[i].cpu.is_halted() {
-                let add = target - self.ready_at[i];
-                if add > 0 {
-                    self.nodes[i].cpu.charge_idle(add);
-                    self.ready_at[i] = target;
-                }
-            }
-        }
+    /// performs the full cycle of machine work there, appending the
+    /// events that need run-time attention onto `evs`.
+    fn advance_to(&mut self, target: u64, evs: &mut Vec<(usize, StepEvent)>) {
+        // Component clocks are stamped *on demand*, not wholesale: only
+        // a component about to act (a dispatch, a step, a driver
+        // mutation) needs a current clock — it marks fresh transactions
+        // `clock + timeout` and timestamps trace events with it. An
+        // idle node's stale clock is unobservable: `tick` stamps
+        // itself, the idle charges are pure ledger adds, and
+        // `checkpoint` settles every clock before encoding. Stamping
+        // all 3N components here would touch every node's cache lines
+        // on every visited cycle for nothing.
         self.now = target;
-        // Protocol engines stamp fresh transactions `clock + timeout`;
-        // after a jump their clocks must be current *before* deliveries
-        // are dispatched, not after the post-step tick. Done in both
-        // modes so lockstep and event-driven stay bit-identical.
-        for n in &mut self.nodes {
-            n.cpu.set_clock(self.now);
-            n.ctl.set_clock(self.now);
-            n.dir.set_clock(self.now);
-        }
-        // Deliver network messages due this cycle. Any delivery can
-        // make a CPU runnable (reply wakes a frame, IPI posts an
-        // interrupt), so all parked flags are conservatively cleared.
+        // Deliver network messages due this cycle. A delivery can make
+        // its destination CPU runnable — but only a CPU-touching one
+        // (a reply waking a frame, an IPI posting an interrupt; the
+        // same predicate that cuts a booked run). Directory-bound
+        // traffic never changes processor state, and no delivery
+        // touches any *other* node's processor, so exactly the
+        // CPU-touching deliveries' destinations are unparked.
         let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
         deliveries.clear();
         self.net.poll_into(self.now, &mut deliveries);
-        if !deliveries.is_empty() {
-            self.parked.fill(false);
-        }
         for &(dst, env) in &deliveries {
+            if msg_touches_cpu(&env.msg) && self.parked[dst] {
+                // The idle span accrued since the last visit's
+                // wholesale charge ends *here*: the delivery makes the
+                // CPU runnable this very cycle, so the skipped span
+                // `[ready_at, now)` was idle but `now` itself is not —
+                // exactly the per-cycle charges lockstep would have
+                // made before the delivery woke the node.
+                let n = &mut self.nodes[dst];
+                if !n.cpu.is_halted() && self.ready_at[dst] < target {
+                    n.cpu.charge_idle(target - self.ready_at[dst]);
+                    self.ready_at[dst] = target;
+                }
+                self.parked[dst] = false;
+            }
             self.dispatch_msg(dst, env);
         }
         deliveries.clear();
         self.scratch_deliveries = deliveries;
         // Step processors.
-        let mut evs = Vec::new();
         let cfg = self.cfg;
         let mut out = std::mem::take(&mut self.scratch_out);
         let mut io_sends = std::mem::take(&mut self.scratch_io);
         for i in 0..self.nodes.len() {
+            // A CPU still parked once this cycle's deliveries are in is
+            // charged its idle time wholesale and not stepped at all.
+            // The parked contract makes this exact: stepping it would
+            // yield `NoReadyFrame`, which every driver answers with
+            // exactly `charge_idle(i, 1)` — so the machine pre-charges
+            // the skipped window *and* the visited cycle (lockstep
+            // would charge one cycle at each of `ready_at[i ..= now`),
+            // leaving the identical ledger and `ready_at` the driver
+            // round trip would have left. Anything that could change
+            // the driver's answer (a delivery, a handler publishing
+            // work, a shared-memory write) clears the flag before this
+            // loop runs.
+            if self.parked[i] {
+                let n = &mut self.nodes[i];
+                if !n.cpu.is_halted() {
+                    n.cpu.charge_idle(target - self.ready_at[i] + 1);
+                    self.ready_at[i] = target + 1;
+                }
+                continue;
+            }
             if self.ready_at[i] > self.now || self.nodes[i].cpu.is_halted() {
                 continue;
+            }
+            // This node acts this cycle: give all three of its engines
+            // the current clock (trace timestamps, retry deadlines).
+            {
+                let n = &mut self.nodes[i];
+                n.cpu.set_clock(target);
+                n.ctl.set_clock(target);
+                n.dir.set_clock(target);
+            }
+            // Decode engine (DESIGN.md §13): a visit first materializes
+            // the booked run that just elapsed, then — if the next
+            // instructions are a safe straight-line run — books a new
+            // one: charge the whole span now, execute at the next
+            // visit. A booked cycle emits no event and sends nothing
+            // (safe ops can't), which is exactly what lockstep's
+            // per-cycle `Executed` steps amount to.
+            if let Some(dec) = &self.dec {
+                if let Some(r) = self.nodes[i].resv.take() {
+                    self.nodes[i].cpu.run_decoded(dec, r.len);
+                    self.sig_stale = true;
+                }
+                let k = self.nodes[i].cpu.bookable_run(dec);
+                if k >= MIN_RUN {
+                    self.nodes[i].resv = Some(Resv {
+                        start: self.now,
+                        len: k,
+                    });
+                    self.ready_at[i] = self.now + k as u64;
+                    continue;
+                }
             }
             out.clear();
             io_sends.clear();
@@ -460,6 +626,7 @@ impl Alewife {
                 };
                 node.cpu.step(&self.prog, port)
             };
+            self.sig_stale = true;
             let cost = node.cpu.stats.total() - before;
             self.ready_at[i] = self.now + cost;
             if node.cpu.is_halted() && self.halted_at[i].is_none() {
@@ -483,31 +650,44 @@ impl Alewife {
         }
         // Advance the protocol clocks: retransmit overdue requests
         // (controller side) and overdue demands (directory side).
-        // O(1) per node between deadlines thanks to `next_deadline`.
+        // `tick` stamps its engine's clock itself and is a no-op until
+        // its `next_deadline` — so skip the call (and its scratch
+        // churn) entirely until something is actually due.
         for i in 0..self.nodes.len() {
-            out.clear();
-            match self.nodes[i]
-                .ctl
-                .tick(self.now, |a| cfg.home_of(a), &mut out)
-            {
-                Ok(()) => {
-                    for &(to, msg) in &out {
-                        let size = msg.size_flits(cfg.block_words()) as u64;
-                        self.net.send(self.now, i, to, size, Env { src: i, msg });
+            if self.nodes[i].ctl.tick_pending(self.now) {
+                self.sig_stale = true;
+                out.clear();
+                match self.nodes[i]
+                    .ctl
+                    .tick(self.now, |a| cfg.home_of(a), &mut out)
+                {
+                    Ok(()) => {
+                        for &(to, msg) in &out {
+                            let size = msg.size_flits(cfg.block_words()) as u64;
+                            self.net.send(self.now, i, to, size, Env { src: i, msg });
+                        }
                     }
+                    Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
                 }
-                Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
             }
-            out.clear();
-            match self.nodes[i].dir.tick(self.now, &mut out) {
-                Ok(()) => {
-                    for &(to, msg) in &out {
-                        let size = msg.size_flits(cfg.block_words()) as u64;
-                        self.net
-                            .send(self.now + cfg.mem_latency, i, to, size, Env { src: i, msg });
+            if self.nodes[i].dir.tick_pending(self.now) {
+                self.sig_stale = true;
+                out.clear();
+                match self.nodes[i].dir.tick(self.now, &mut out) {
+                    Ok(()) => {
+                        for &(to, msg) in &out {
+                            let size = msg.size_flits(cfg.block_words()) as u64;
+                            self.net.send(
+                                self.now + cfg.mem_latency,
+                                i,
+                                to,
+                                size,
+                                Env { src: i, msg },
+                            );
+                        }
                     }
+                    Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
                 }
-                Err(e) => self.set_fault(MachineFault::Protocol { node: i, error: e }),
             }
         }
         out.clear();
@@ -517,7 +697,11 @@ impl Alewife {
         // Forward-progress watchdog: fire only when work is pending —
         // a stable signature on an idle machine is quiescence.
         if self.cfg.watchdog.enabled && self.fault.is_none() {
-            let sig = self.progress_sig();
+            if self.sig_stale {
+                self.sig_cache = self.progress_sig();
+                self.sig_stale = false;
+            }
+            let sig = self.sig_cache;
             let horizon = self.cfg.watchdog.horizon;
             let deadline_before = self.watchdog.deadline(horizon);
             let fired = self.watchdog.observe(self.now, sig, horizon);
@@ -533,7 +717,6 @@ impl Alewife {
                 self.set_fault(MachineFault::NoForwardProgress(Box::new(pm)));
             }
         }
-        evs
     }
 
     /// Captures the machine's stuck state for a watchdog report.
@@ -868,15 +1051,16 @@ impl Machine for Alewife {
         self.now
     }
 
-    fn advance(&mut self) -> Vec<(usize, StepEvent)> {
+    fn advance_into(&mut self, evs: &mut Vec<(usize, StepEvent)>) {
         // Event-driven skip: jump straight to the next cycle at which
         // anything can happen. Cycle-exact with the lockstep path (see
         // DESIGN.md §8): every skipped cycle is one in which lockstep
         // would only have stepped parked CPUs into `NoReadyFrame` and
         // charged them one idle cycle each — replayed in bulk by
         // `advance_to`.
+        evs.clear();
         let target = self.advance_target();
-        self.advance_to(target)
+        self.advance_to(target, evs);
     }
 
     fn cpu(&self, i: usize) -> &Cpu {
@@ -884,9 +1068,18 @@ impl Machine for Alewife {
     }
 
     fn cpu_mut(&mut self, i: usize) -> &mut Cpu {
+        // The driver is about to observe or mutate this CPU: any booked
+        // run must materialize first so the caller sees the state
+        // lockstep would show.
+        self.settle_resv(i);
         // The driver may make this CPU runnable (assign a frame, wake a
         // waiter): it can no longer be assumed idle.
         self.parked[i] = false;
+        self.sig_stale = true;
+        // Whatever the driver does may emit trace events; make sure
+        // they carry the current cycle even if this node has been
+        // asleep (clocks are stamped on demand, see `advance_to`).
+        self.nodes[i].cpu.set_clock(self.now);
         &mut self.nodes[i].cpu
     }
 
@@ -907,14 +1100,16 @@ impl Machine for Alewife {
     }
 
     fn charge_handler(&mut self, i: usize, cycles: u64) {
+        self.settle_resv(i);
         self.nodes[i].cpu.charge_handler(cycles);
         self.ready_at[i] += cycles;
-        // A handler may publish work other nodes' schedulers can see
-        // (the run-time enqueues spawned threads, which idle nodes
-        // steal): every parked node's idle promise is void, not just
-        // this node's. Lockstep would let each of them poll next
-        // cycle; unparking them all reproduces that.
-        self.parked.fill(false);
+        // No parked flags change here: a handler charge is a pure
+        // cycle charge. Anything a handler *publishes* that another
+        // node's scheduler could see travels through `mem_mut` (the
+        // run-queue lives in shared memory — it unparks everyone),
+        // `cpu_mut` (unparks that node), or `send_ipi` (the delivery
+        // unparks its destination), so every path that could void an
+        // idle promise already clears the flag itself.
     }
 
     fn charge_idle(&mut self, i: usize, cycles: u64) {
@@ -969,7 +1164,7 @@ impl Machine for Alewife {
         crate::obs::build_report(&self.nodes, &self.net)
     }
 
-    fn checkpoint(&self) -> Result<crate::snapshot::Snapshot, crate::snapshot::SnapshotError> {
+    fn checkpoint(&mut self) -> Result<crate::snapshot::Snapshot, crate::snapshot::SnapshotError> {
         Alewife::checkpoint(self)
     }
 

@@ -47,6 +47,14 @@ pub struct MachineConfig {
     /// value may only *narrow* the window (it is clamped to the
     /// lookahead, never widened past it — wider would be unsound).
     pub window_override: u64,
+    /// Use the pre-decoded bytecode fast path (DESIGN.md §13): the
+    /// loaded program is lowered once into flat [`april_core::DecodedProgram`]
+    /// ops and straight-line safe runs are executed in batches without
+    /// per-instruction IRQ/frame/trap re-checks. Cycle-exact with the
+    /// interpreter (`decode: false`); defaults on, overridable with the
+    /// `APRIL_DECODE=0` environment variable. The decoded image is
+    /// derived state — rebuilt on load/restore, never snapshotted.
+    pub decode: bool,
 }
 
 impl Default for MachineConfig {
@@ -64,8 +72,16 @@ impl Default for MachineConfig {
             lockstep: false,
             workers: 1,
             window_override: 0,
+            decode: decode_default(),
         }
     }
+}
+
+/// Default for [`MachineConfig::decode`]: on, unless `APRIL_DECODE=0`
+/// is set in the environment (the CI equivalence suite uses this to
+/// keep the legacy interpreter path honest).
+fn decode_default() -> bool {
+    std::env::var("APRIL_DECODE").map_or(true, |v| v != "0")
 }
 
 impl MachineConfig {

@@ -130,6 +130,9 @@ pub fn drive_sequential(
     driver: &dyn NodeDriver,
     max: u64,
 ) -> Option<MachineFault> {
+    // One event buffer for the whole run: the advance loop allocates
+    // nothing once the buffer has grown to the steady-state width.
+    let mut evs = Vec::new();
     loop {
         assert!(m.now() < max, "timeout at cycle {}", m.now());
         if m.fault().is_some() {
@@ -138,7 +141,8 @@ pub fn drive_sequential(
         if m.all_halted() && !m.pending_work() {
             return None;
         }
-        for (i, ev) in m.advance() {
+        m.advance_into(&mut evs);
+        for (i, ev) in evs.drain(..) {
             let mut ctx = MachineCtx { m, node: i };
             driver.on_event(i, ev, &mut ctx);
         }

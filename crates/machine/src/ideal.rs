@@ -113,9 +113,9 @@ impl Machine for IdealMachine {
         self.now
     }
 
-    fn advance(&mut self) -> Vec<(usize, StepEvent)> {
+    fn advance_into(&mut self, evs: &mut Vec<(usize, StepEvent)>) {
+        evs.clear();
         self.now += 1;
-        let mut evs = Vec::new();
         for i in 0..self.cpus.len() {
             if self.ready_at[i] > self.now || self.cpus[i].is_halted() {
                 continue;
@@ -129,7 +129,6 @@ impl Machine for IdealMachine {
                 other => evs.push((i, other)),
             }
         }
-        evs
     }
 
     fn cpu(&self, i: usize) -> &Cpu {

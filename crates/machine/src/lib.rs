@@ -68,7 +68,17 @@ pub trait Machine {
 
     /// Advances time by one cycle, stepping every due processor, and
     /// returns the events that need run-time attention.
-    fn advance(&mut self) -> Vec<(usize, StepEvent)>;
+    fn advance(&mut self) -> Vec<(usize, StepEvent)> {
+        let mut evs = Vec::new();
+        self.advance_into(&mut evs);
+        evs
+    }
+
+    /// Like [`Machine::advance`], but clears `evs` and appends the
+    /// events into it instead of allocating a fresh vector. Drivers
+    /// hand the same buffer back every cycle so the advance loop stays
+    /// allocation-free.
+    fn advance_into(&mut self, evs: &mut Vec<(usize, StepEvent)>);
 
     /// Processor `i`.
     fn cpu(&self, i: usize) -> &Cpu;
@@ -126,9 +136,12 @@ pub trait Machine {
     }
 
     /// Captures the machine's complete state as a versioned
-    /// [`Snapshot`] (DESIGN.md §11). Machines without snapshot support
-    /// report [`SnapshotError::Unsupported`].
-    fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+    /// [`Snapshot`] (DESIGN.md §11). Takes `&mut self` because the
+    /// decode engine's booked runs must materialize before encoding —
+    /// the snapshot itself is still a pure read of the settled state.
+    /// Machines without snapshot support report
+    /// [`SnapshotError::Unsupported`].
+    fn checkpoint(&mut self) -> Result<Snapshot, SnapshotError> {
         Err(SnapshotError::Unsupported)
     }
 

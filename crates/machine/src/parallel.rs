@@ -16,7 +16,8 @@
 //! count. DESIGN.md §9 walks through the full argument.
 
 use crate::alewife::{
-    dispatch_to_node, node_post_mortem_fragments, nodes_pending_work, Env, Node, NodePort,
+    dispatch_to_node, msg_touches_cpu, node_post_mortem_fragments, nodes_pending_work, Env, Node,
+    NodePort, Resv, MIN_RUN,
 };
 use crate::config::MachineConfig;
 use crate::driver::{EventCtx, NodeDriver};
@@ -25,6 +26,7 @@ use crate::watchdog::{
     Watchdog,
 };
 use april_core::cpu::{Cpu, StepEvent};
+use april_core::decoded::DecodedProgram;
 use april_core::program::Program;
 use april_core::stats::CpuStats;
 use april_core::word::Word;
@@ -142,6 +144,9 @@ struct Shard<'a> {
     ready_at: Vec<u64>,
     halted_at: Vec<Option<u64>>,
     prog: &'a Program,
+    /// The coordinator's decoded image, shared read-only by every
+    /// shard (`None` with the decode engine off).
+    dec: Option<&'a DecodedProgram>,
     cfg: MachineConfig,
     write_log: Vec<u32>,
     scratch_out: Vec<(usize, CohMsg)>,
@@ -204,6 +209,20 @@ impl Shard<'_> {
                 let (_, gidx, dst, env) = cmd.deliveries[next_delivery];
                 next_delivery += 1;
                 let local = dst - self.base;
+                // Cut a booked decode-engine run ahead of a delivery
+                // that can observe or perturb the CPU, exactly as the
+                // sequential dispatch does: the elapsed instructions
+                // materialize and the node steps again this cycle.
+                if msg_touches_cpu(&env.msg) {
+                    if let Some(r) = self.nodes[local].resv.take() {
+                        let done = (c - r.start) as u32;
+                        if done > 0 {
+                            let dec = self.dec.expect("booked run without decode image");
+                            self.nodes[local].cpu.run_decoded(dec, done);
+                        }
+                        self.ready_at[local] = c;
+                    }
+                }
                 self.scratch_out.clear();
                 self.scratch_dir.clear();
                 match dispatch_to_node(
@@ -250,6 +269,20 @@ impl Shard<'_> {
             for k in 0..self.nodes.len() {
                 if self.ready_at[k] > c || self.nodes[k].cpu.is_halted() {
                     continue;
+                }
+                // Decode engine: materialize the booked run that just
+                // elapsed, then book the next straight-line safe run if
+                // one is available — mirroring `Alewife::advance_to`.
+                if let Some(dec) = self.dec {
+                    if let Some(r) = self.nodes[k].resv.take() {
+                        self.nodes[k].cpu.run_decoded(dec, r.len);
+                    }
+                    let run = self.nodes[k].cpu.bookable_run(dec);
+                    if run >= MIN_RUN {
+                        self.nodes[k].resv = Some(Resv { start: c, len: run });
+                        self.ready_at[k] = c + run as u64;
+                        continue;
+                    }
                 }
                 self.scratch_out.clear();
                 self.scratch_io.clear();
@@ -497,6 +530,9 @@ pub struct ParallelAlewife {
     pub(crate) mem: FeMemory,
     pub(crate) net: Network<Env>,
     pub(crate) prog: Program,
+    /// Decoded image for the decode engine (derived state, rebuilt by
+    /// construction, never snapshotted); `None` with `cfg.decode` off.
+    pub(crate) dec: Option<DecodedProgram>,
     pub(crate) cfg: MachineConfig,
     pub(crate) ready_at: Vec<u64>,
     pub(crate) halted_at: Vec<Option<u64>>,
@@ -522,13 +558,16 @@ impl ParallelAlewife {
                 ctl: CacheController::new(i, cfg.cache, cfg.ctl),
                 dir: Directory::with_config(cfg.dir),
                 io_regs: [0; 8],
+                resv: None,
             })
             .collect();
+        let dec = cfg.decode.then(|| DecodedProgram::lower(&prog));
         ParallelAlewife {
             nodes,
             mem,
             net: Network::new(cfg.topology, cfg.net),
             prog,
+            dec,
             cfg,
             ready_at: vec![0; n],
             halted_at: vec![None; n],
@@ -652,7 +691,23 @@ impl ParallelAlewife {
 
     /// Mutable processor `i` (for booting and pre-run setup).
     pub fn cpu_mut(&mut self, i: usize) -> &mut Cpu {
+        self.settle_resv(i);
         &mut self.nodes[i].cpu
+    }
+
+    /// Materializes node `i`'s booked decode-engine run through the
+    /// current cycle, if one is outstanding, so external observers see
+    /// the state the sequential lockstep machine would show. See
+    /// [`crate::Alewife`]'s settle rules; runs booked inside a window
+    /// survive across windows and across `run` calls until settled.
+    pub(crate) fn settle_resv(&mut self, i: usize) {
+        let Some(r) = self.nodes[i].resv.take() else {
+            return;
+        };
+        let done = (self.now - r.start + 1).min(r.len as u64) as u32;
+        let dec = self.dec.as_ref().expect("booked run without decode image");
+        self.nodes[i].cpu.run_decoded(dec, done);
+        self.ready_at[i] = self.now + 1;
     }
 
     /// Global memory (canonical image; replicas are reconciled into it
@@ -752,6 +807,7 @@ impl ParallelAlewife {
             let mut ready_at = std::mem::take(&mut self.ready_at);
             let mut halted_at = std::mem::take(&mut self.halted_at);
             let prog = &self.prog;
+            let dec = self.dec.as_ref();
             for s in (0..nshards).rev() {
                 let lo = s * chunk;
                 shards.push(Shard {
@@ -761,6 +817,7 @@ impl ParallelAlewife {
                     ready_at: ready_at.split_off(lo),
                     halted_at: halted_at.split_off(lo),
                     prog,
+                    dec,
                     cfg: self.cfg,
                     write_log: Vec::new(),
                     scratch_out: Vec::new(),

@@ -182,8 +182,9 @@ pub trait RecoverableMachine {
     /// True when the run is complete: every processor halted and no
     /// protocol or network work pending.
     fn finished(&self) -> bool;
-    /// Captures the machine's complete state.
-    fn checkpoint(&self) -> Result<Snapshot, SnapshotError>;
+    /// Captures the machine's complete state (`&mut self`: decode-
+    /// engine booked runs materialize before encoding).
+    fn checkpoint(&mut self) -> Result<Snapshot, SnapshotError>;
     /// Restores a checkpoint (clearing any recorded fault).
     fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError>;
     /// Runs under `driver` until the clock reaches `stop_at`, the run
@@ -219,7 +220,7 @@ impl RecoverableMachine for Alewife {
         self.all_halted() && !self.pending_work()
     }
 
-    fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+    fn checkpoint(&mut self) -> Result<Snapshot, SnapshotError> {
         Alewife::checkpoint(self)
     }
 
@@ -277,7 +278,7 @@ impl RecoverableMachine for ParallelAlewife {
             && self.net.is_idle()
     }
 
-    fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+    fn checkpoint(&mut self) -> Result<Snapshot, SnapshotError> {
         ParallelAlewife::checkpoint(self)
     }
 

@@ -283,6 +283,10 @@ fn semantic_config_debug(cfg: &MachineConfig) -> String {
     c.workers = 1;
     c.window_override = 0;
     c.watchdog.horizon = 0;
+    // The decode engine is cycle-exact with the interpreter and its
+    // image is derived state: a checkpoint taken with it on restores
+    // with it off, and vice versa.
+    c.decode = false;
     format!("{c:?}")
 }
 
@@ -486,9 +490,28 @@ impl Alewife {
     /// Refused on a faulted machine ([`SnapshotError::Faulted`]): the
     /// fault report references state the snapshot format deliberately
     /// omits, and resuming a dead run is meaningless anyway.
-    pub fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+    ///
+    /// Takes `&mut self` to materialize any decode-engine booked runs
+    /// first (their instructions semantically executed on cycles up to
+    /// and including `now`); the encoded bytes are a pure read of the
+    /// settled state.
+    pub fn checkpoint(&mut self) -> Result<Snapshot, SnapshotError> {
         if self.fault.is_some() {
             return Err(SnapshotError::Faulted);
+        }
+        for i in 0..self.nodes.len() {
+            self.settle_resv(i);
+        }
+        // Clocks are stamped on demand (only when a component acts), so
+        // an idle node's clock lags `now`. The lag is unobservable in a
+        // run but the snapshot encodes the fields verbatim — settle
+        // them so sequential and parallel checkpoints agree bit for
+        // bit.
+        let now = self.now;
+        for n in &mut self.nodes {
+            n.cpu.set_clock(now);
+            n.ctl.set_clock(now);
+            n.dir.set_clock(now);
         }
         Ok(encode_machine(MachineView {
             nodes: &self.nodes,
@@ -531,6 +554,12 @@ impl Alewife {
         // reproduces the lockstep ledger regardless of what the
         // checkpointed machine had inferred.
         self.parked.fill(false);
+        // Booked runs are scheduler bookkeeping over pre-restore state;
+        // snapshots are always settled, so none can survive a restore.
+        for n in &mut self.nodes {
+            n.resv = None;
+        }
+        self.sig_stale = true;
         Ok(())
     }
 }
@@ -538,10 +567,15 @@ impl Alewife {
 impl ParallelAlewife {
     /// Captures the machine's complete state at the current cycle.
     /// Interchangeable with [`Alewife::checkpoint`]: the two machines
-    /// encode the identical field set.
-    pub fn checkpoint(&self) -> Result<Snapshot, SnapshotError> {
+    /// encode the identical field set. `&mut self` for the same reason
+    /// as the sequential machine: booked decode-engine runs
+    /// materialize before encoding.
+    pub fn checkpoint(&mut self) -> Result<Snapshot, SnapshotError> {
         if self.fault().is_some() {
             return Err(SnapshotError::Faulted);
+        }
+        for i in 0..self.nodes.len() {
+            self.settle_resv(i);
         }
         Ok(encode_machine(MachineView {
             nodes: &self.nodes,
@@ -577,6 +611,9 @@ impl ParallelAlewife {
             snap,
         )?;
         self.fault = None;
+        for n in &mut self.nodes {
+            n.resv = None;
+        }
         Ok(())
     }
 }
@@ -673,7 +710,7 @@ mod tests {
 
     #[test]
     fn from_bytes_validates_framing() {
-        let m = Alewife::new(cfg(), prog());
+        let mut m = Alewife::new(cfg(), prog());
         let snap = m.checkpoint().unwrap();
         let bytes = snap.as_bytes().to_vec();
         assert_eq!(Snapshot::from_bytes(bytes.clone()).unwrap(), snap);

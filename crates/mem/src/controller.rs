@@ -154,11 +154,14 @@ pub struct CacheController {
     pub(crate) flushes: HashMap<u32, FenceFlush>,
     pub(crate) next_xid: u32,
     pub(crate) clock: u64,
-    /// Lower bound on the earliest `next_retry` over all outstanding
-    /// transactions and fenced flushes. Min-updated when a deadline is
-    /// scheduled; never raised on removal (a stale bound costs one
-    /// wasted scan, which recomputes the exact minimum), so
-    /// [`CacheController::tick`] is O(1) between deadlines.
+    /// The exact earliest `next_retry` over all outstanding
+    /// transactions and fenced flushes (`u64::MAX` when none are
+    /// pending). Min-updated when a deadline is scheduled and
+    /// recomputed when a completion shrinks the pending set: keeping
+    /// the bound tight means the event-driven machine never schedules
+    /// a visit for a deadline that no longer exists, so in a
+    /// fault-free run [`CacheController::tick`] only ever fires for
+    /// true retransmissions.
     pub(crate) next_deadline: u64,
     /// Blocks filled for a waiting context but not yet accessed: the
     /// controller guarantees the processor one access before
@@ -184,12 +187,12 @@ impl CacheController {
         CacheController {
             node,
             cache: Cache::new(cache_cfg),
-            txns: HashMap::new(),
-            flushes: HashMap::new(),
+            txns: HashMap::default(),
+            flushes: HashMap::default(),
             next_xid: 0,
             clock: 0,
             next_deadline: u64::MAX,
-            pinned: std::collections::HashSet::new(),
+            pinned: std::collections::HashSet::default(),
             deferred: Vec::new(),
             fence: 0,
             cfg,
@@ -253,6 +256,7 @@ impl CacheController {
     /// to retransmit — a lower bound (`u64::MAX` when nothing is
     /// scheduled or retries are disabled), letting an event-driven
     /// machine skip quiet cycles without missing a deadline.
+    #[inline]
     pub fn next_deadline(&self) -> u64 {
         if self.cfg.retry.enabled {
             self.next_deadline
@@ -261,10 +265,34 @@ impl CacheController {
         }
     }
 
+    /// Whether [`CacheController::tick`] would do any work at `now` —
+    /// exactly its early-return test, on the raw deadline field. The
+    /// machine uses this to skip the call entirely on quiet cycles;
+    /// skipping is state-preserving precisely when this is false.
+    #[inline]
+    pub fn tick_pending(&self, now: u64) -> bool {
+        self.cfg.retry.enabled && self.next_deadline <= now
+    }
+
     fn note_deadline(&mut self, at: u64) {
         if at < self.next_deadline {
             self.next_deadline = at;
         }
+    }
+
+    /// Recomputes the exact earliest deadline after a completion or a
+    /// reschedule changed the pending set. O(outstanding), and the
+    /// outstanding sets are small (bounded by the frames that can miss
+    /// concurrently plus unacknowledged fenced flushes).
+    fn recompute_deadline(&mut self) {
+        let mut min_next = u64::MAX;
+        for t in self.txns.values() {
+            min_next = min_next.min(t.next_retry);
+        }
+        for f in self.flushes.values() {
+            min_next = min_next.min(f.next_retry);
+        }
+        self.next_deadline = min_next;
     }
 
     /// Advances the controller's notion of the current cycle without
@@ -470,9 +498,8 @@ impl CacheController {
                 txn.next_retry = retry_at;
                 if txn.frames.is_empty() {
                     self.txns.remove(&block);
-                } else {
-                    self.note_deadline(retry_at);
                 }
+                self.recompute_deadline();
                 if !woken.is_empty() {
                     self.pinned.insert(block);
                 }
@@ -487,7 +514,9 @@ impl CacheController {
                     }
                 }
                 self.fill(block, LineState::Modified, home_of, out);
-                match self.txns.remove(&block) {
+                let removed = self.txns.remove(&block);
+                self.recompute_deadline();
+                match removed {
                     Some(txn) => {
                         let woken: Vec<usize> = txn.frames.into_iter().map(|(f, _)| f).collect();
                         if !woken.is_empty() {
@@ -511,8 +540,10 @@ impl CacheController {
                         rescheduled = Some(at);
                     }
                 }
-                if let Some(at) = rescheduled {
-                    self.note_deadline(at);
+                if rescheduled.is_some() {
+                    // The backoff may have *raised* this transaction's
+                    // deadline past others'; recompute to stay tight.
+                    self.recompute_deadline();
                 }
                 Ok(Vec::new())
             }
@@ -553,6 +584,7 @@ impl CacheController {
                 // the fence; duplicates are ignored.
                 if fenced && self.flushes.remove(&xid).is_some() {
                     self.fence = self.fence.saturating_sub(1);
+                    self.recompute_deadline();
                 }
                 Ok(Vec::new())
             }

@@ -207,7 +207,7 @@ pub struct Directory {
 impl Default for Directory {
     fn default() -> Directory {
         Directory {
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             cfg: DirConfig::default(),
             epoch_counter: 0,
             clock: 0,
@@ -268,12 +268,24 @@ impl Directory {
     /// overdue. A conservative lower bound: the event-driven scheduler
     /// may stop here and find nothing due, but it will never skip past
     /// a real retransmission deadline.
+    #[inline]
     pub fn next_deadline(&self) -> u64 {
         if !self.cfg.retry.enabled || self.busy_ct == 0 {
             u64::MAX
         } else {
             self.next_deadline
         }
+    }
+
+    /// Whether [`Directory::tick`] would do any work at `now` — exactly
+    /// its early-return test, on the raw deadline field (which, unlike
+    /// [`Directory::next_deadline`], is *not* masked while no episode
+    /// is busy: a stale due deadline makes tick rescan and rewrite the
+    /// field, and that cleanup is checkpointed state). Skipping the
+    /// call is state-preserving precisely when this is false.
+    #[inline]
+    pub fn tick_pending(&self, now: u64) -> bool {
+        self.cfg.retry.enabled && self.next_deadline <= now
     }
 
     /// Advances the directory's notion of time without retransmitting.
@@ -608,6 +620,17 @@ impl Directory {
                     } = *busy;
                     e.busy = None;
                     self.busy_ct -= 1;
+                    if self.busy_ct == 0 {
+                        // No episode pending anywhere: reset the
+                        // deadline eagerly (O(1)) so the event-driven
+                        // machine never visits a dead deadline and
+                        // [`Directory::tick`] stays a no-op until a new
+                        // episode arms. With episodes still pending the
+                        // bound may go stale-low; the tick at the stale
+                        // cycle rescans and tightens it, identically
+                        // under every scheduler.
+                        self.next_deadline = u64::MAX;
+                    }
                     self.probe.emit(
                         self.clock,
                         EventKind::DirTransition,

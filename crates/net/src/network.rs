@@ -14,6 +14,7 @@
 use crate::fault::{FaultPlan, FaultStats, Verdict};
 use crate::topology::{Channel, Topology};
 use april_obs::{EventKind, Hist, Probe};
+use april_util::hash::DetState;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -112,6 +113,21 @@ pub(crate) struct Flight<P> {
     pub(crate) payload: P,
 }
 
+/// One precomputed routing-table entry: the dimension-order next hop
+/// from the row's source toward the column's destination. `next` is
+/// `u32::MAX` on the (never consulted) diagonal.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RouteHop {
+    next: u32,
+    dim: u8,
+    plus: bool,
+}
+
+/// Largest `n * n` for which the routing table is materialized. Beyond
+/// this (e.g. the paper's 8000-processor analysis configuration) the
+/// router falls back to computing hops digit by digit.
+const ROUTE_TABLE_MAX: usize = 1 << 20;
+
 /// An event: packet `id`'s header arrives at `node` at `time`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) struct Event {
@@ -146,8 +162,12 @@ pub struct Network<P> {
     pub(crate) topo: Topology,
     pub(crate) cfg: NetConfig,
     pub(crate) events: BinaryHeap<Reverse<Event>>,
-    pub(crate) flights: HashMap<u64, Flight<P>>,
-    pub(crate) channel_free: HashMap<Channel, u64>,
+    // Both hot maps use the deterministic multiply-mix hasher: they
+    // are probed several times per routed hop, keyed by values the
+    // simulator generates itself (sequential ids, small coordinates),
+    // and every serialized view sorts keys — SipHash bought nothing.
+    pub(crate) flights: HashMap<u64, Flight<P>, DetState>,
+    pub(crate) channel_free: HashMap<Channel, u64, DetState>,
     pub(crate) ready: VecDeque<(u64, usize, u64)>, // (deliver_time, dst, id)
     pub(crate) next_id: u64,
     pub(crate) next_dup_id: u64,
@@ -168,17 +188,51 @@ pub struct Network<P> {
     pub(crate) dead_letters: Vec<DeadLetter<P>>,
     /// Trace recorder for the network lane (inert by default).
     pub(crate) probe: Probe,
+    /// Dimension-order next hops, indexed `cur * route_stride + dst`:
+    /// the per-channel-crossing routing decision becomes one table
+    /// load instead of a mixed-radix digit peel (division chains on
+    /// the hottest line in the simulator). A pure function of the
+    /// immutable topology — derived state, never snapshotted — and
+    /// empty for meshes too large to tabulate (the computed path is
+    /// bit-identical, just slower).
+    pub(crate) routes: Vec<RouteHop>,
+    pub(crate) route_stride: usize,
 }
 
 impl<P> Network<P> {
     /// Creates an idle network.
     pub fn new(topo: Topology, cfg: NetConfig) -> Network<P> {
+        let n = topo.num_nodes();
+        let routes = if n * n <= ROUTE_TABLE_MAX {
+            let mut t = Vec::with_capacity(n * n);
+            for cur in 0..n {
+                for dst in 0..n {
+                    t.push(match topo.next_hop(cur, dst) {
+                        Some((ch, next)) => RouteHop {
+                            next: next as u32,
+                            dim: ch.dim as u8,
+                            plus: ch.plus,
+                        },
+                        None => RouteHop {
+                            next: u32::MAX,
+                            dim: 0,
+                            plus: false,
+                        },
+                    });
+                }
+            }
+            t
+        } else {
+            Vec::new()
+        };
         Network {
+            routes,
+            route_stride: n,
             topo,
             cfg,
             events: BinaryHeap::new(),
-            flights: HashMap::new(),
-            channel_free: HashMap::new(),
+            flights: HashMap::default(),
+            channel_free: HashMap::default(),
             ready: VecDeque::new(),
             next_id: 0,
             next_dup_id: 0,
@@ -442,6 +496,28 @@ impl<P> Network<P> {
         self.probe.emit(at, EventKind::NetFailStop, id, site);
     }
 
+    /// The fault-free dimension-order next hop, from the table when it
+    /// was built, otherwise computed — identical results either way
+    /// (the table is filled by [`Topology::next_hop`] itself).
+    #[inline]
+    fn route_hop(&self, cur: usize, dst: usize) -> Option<(Channel, usize)> {
+        if self.routes.is_empty() {
+            return self.topo.next_hop(cur, dst);
+        }
+        let h = self.routes[cur * self.route_stride + dst];
+        if h.next == u32::MAX {
+            return None;
+        }
+        Some((
+            Channel {
+                node: cur,
+                dim: h.dim as usize,
+                plus: h.plus,
+            },
+            h.next as usize,
+        ))
+    }
+
     fn advance(&mut self, ev: Event)
     where
         P: Clone,
@@ -490,7 +566,7 @@ impl<P> Network<P> {
                 };
                 self.topo.next_hop_avoiding(ev.node, dst, &avoid)
             }
-            _ => self.topo.next_hop(ev.node, dst),
+            _ => self.route_hop(ev.node, dst),
         };
         let Some((ch, next)) = hop else {
             self.dead_letter(ev.id, dst, ev.time);

@@ -13,6 +13,7 @@ use crate::fault::{FaultPlan, FaultRule, FaultStats, Outage};
 use crate::network::{DeadLetter, Event, Flight, NetStats, Network};
 use crate::topology::Channel;
 use april_obs::{Hist, Probe};
+use april_util::hash::DetState;
 use april_util::wire::{ByteReader, ByteWriter, WireError};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
@@ -305,7 +306,7 @@ impl<P> Network<P> {
         }
 
         let nflights = r.usize()?;
-        let mut flights = HashMap::with_capacity(nflights);
+        let mut flights = HashMap::with_capacity_and_hasher(nflights, DetState);
         for _ in 0..nflights {
             let id = r.u64()?;
             let dst = r.usize()?;
@@ -329,7 +330,7 @@ impl<P> Network<P> {
         }
 
         let nchan = r.usize()?;
-        let mut channel_free = HashMap::with_capacity(nchan);
+        let mut channel_free = HashMap::with_capacity_and_hasher(nchan, DetState);
         for _ in 0..nchan {
             let ch = decode_channel(r)?;
             channel_free.insert(ch, r.u64()?);

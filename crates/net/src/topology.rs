@@ -80,8 +80,16 @@ impl Topology {
 
     /// Manhattan distance (number of hops) between two nodes.
     pub fn distance(&self, a: usize, b: usize) -> usize {
-        let (ca, cb) = (self.coords(a), self.coords(b));
-        ca.iter().zip(&cb).map(|(&x, &y)| x.abs_diff(y)).sum()
+        // Peel coordinates digit by digit; the router calls this on
+        // hot paths, so no intermediate vectors.
+        let (mut a, mut b) = (a, b);
+        let mut d = 0;
+        for _ in 0..self.dim {
+            d += (a % self.radix).abs_diff(b % self.radix);
+            a /= self.radix;
+            b /= self.radix;
+        }
+        d
     }
 
     /// Dimension-order routing: the channel and next node for a packet
@@ -90,25 +98,27 @@ impl Topology {
         if cur == dst {
             return None;
         }
-        let (cc, cd) = (self.coords(cur), self.coords(dst));
-        let stride: Vec<usize> = (0..self.dim).map(|d| self.radix.pow(d as u32)).collect();
-        for d in 0..self.dim {
-            if cc[d] != cd[d] {
-                let plus = cd[d] > cc[d];
-                let next = if plus {
-                    cur + stride[d]
-                } else {
-                    cur - stride[d]
-                };
+        // Walk the mixed-radix digits in place — this runs once per
+        // channel crossing of every packet, so it must not allocate.
+        let (mut c, mut t) = (cur, dst);
+        let mut stride = 1;
+        for dim in 0..self.dim {
+            let (cc, cd) = (c % self.radix, t % self.radix);
+            if cc != cd {
+                let plus = cd > cc;
+                let next = if plus { cur + stride } else { cur - stride };
                 return Some((
                     Channel {
                         node: cur,
-                        dim: d,
+                        dim,
                         plus,
                     },
                     next,
                 ));
             }
+            c /= self.radix;
+            t /= self.radix;
+            stride *= self.radix;
         }
         unreachable!("coords equal but nodes differ");
     }

@@ -272,6 +272,9 @@ impl<M: Machine> Runtime<M> {
                                               // would land only by luck. Crossing the threshold triggers the
                                               // same check lockstep runs at each 4096-cycle boundary.
         let mut next_liveness = 4096u64;
+        // One event buffer for the whole run so the advance loop
+        // allocates nothing in the steady state.
+        let mut evs = Vec::new();
         loop {
             if self.machine.now() >= stop_at {
                 return Ok(None);
@@ -279,7 +282,8 @@ impl<M: Machine> Runtime<M> {
             if self.machine.now() > self.cfg.max_cycles {
                 return Err(RunError::CycleLimit(self.cfg.max_cycles));
             }
-            for (node, ev) in self.machine.advance() {
+            self.machine.advance_into(&mut evs);
+            for (node, ev) in evs.drain(..) {
                 self.handle(node, ev)?;
             }
             if let Some(fault) = self.machine.fault() {

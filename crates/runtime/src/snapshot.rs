@@ -344,7 +344,7 @@ impl<M: Machine> Runtime<M> {
     /// Propagates the machine's [`SnapshotError`]: `Unsupported` when
     /// the wrapped machine type cannot checkpoint, `Faulted` when it
     /// is stopped on a machine fault.
-    pub fn checkpoint(&self) -> Result<RuntimeSnapshot, SnapshotError> {
+    pub fn checkpoint(&mut self) -> Result<RuntimeSnapshot, SnapshotError> {
         let msnap = self.machine.checkpoint()?;
         let mut w = ByteWriter::new();
         w.bytes(MAGIC);

@@ -1,0 +1,149 @@
+//! A fast deterministic hasher for hot-path hash maps.
+//!
+//! `std`'s default hasher is SipHash-1-3 behind a per-process random
+//! key: robust against crafted collisions, but it dominates the
+//! profile of simulator loops that hit a `HashMap` several times per
+//! cycle with small integer keys (packet ids, channel ids). Those maps
+//! key on values the simulator itself generates — sequential counters
+//! and small coordinates — so the DoS hardening buys nothing, and a
+//! multiply–xor finalizer (the splitmix64 mixer already vendored in
+//! [`crate::rng`]) spreads them perfectly well.
+//!
+//! Determinism note: swapping the random state for a fixed one makes
+//! iteration order stable *within one build*, but nothing in the
+//! workspace may depend on map iteration order anyway — with the
+//! random default hasher, order already differed between any two maps
+//! — and every serialized surface (snapshots, reports) sorts keys
+//! first. The hasher is a pure speed substitution.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// A [`BuildHasher`] producing [`DetHasher`]s. Zero-sized and `Default`,
+/// so `HashMap<K, V, DetState>` works with `HashMap::default()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetState;
+
+impl BuildHasher for DetState {
+    type Hasher = DetHasher;
+
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher { state: 0 }
+    }
+}
+
+/// The hasher built by [`DetState`]: folds every written word into the
+/// state with the splitmix64 finalizer. Not collision-resistant against
+/// an adversary — use only for keys the program generates itself.
+#[derive(Debug, Clone, Copy)]
+pub struct DetHasher {
+    state: u64,
+}
+
+impl DetHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        // splitmix64's output mixer: full avalanche on 64 bits, two
+        // multiplies and three shifts.
+        let mut z = self.state.wrapping_add(v).wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        self.state = z ^ (z >> 31);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Derived `Hash` impls for structs of integers arrive as a few
+        // fixed-width `write_*` calls, not here; this path only matters
+        // for byte strings, which the hot maps never use.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = DetState.hash_one(0xdead_beefu64);
+        let b = DetState.hash_one(0xdead_beefu64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sequential packet ids must spread: check low bits differ
+        // (HashMap uses the low bits for bucket selection via the high
+        // bits in hashbrown, but full avalanche covers both).
+        let hashes: Vec<u64> = (0u64..64).map(|i| DetState.hash_one(i)).collect();
+        let mut uniq = hashes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), hashes.len());
+    }
+
+    #[test]
+    fn works_as_map_state() {
+        let mut m: HashMap<u64, u32, DetState> = HashMap::default();
+        for i in 0..100 {
+            m.insert(i, (i * 3) as u32);
+        }
+        for i in 0..100 {
+            assert_eq!(m[&i], (i * 3) as u32);
+        }
+    }
+
+    #[test]
+    fn byte_strings_hash_consistently() {
+        let h = |b: &[u8]| {
+            let mut h = DetState.build_hasher();
+            h.write(b);
+            h.finish()
+        };
+        assert_eq!(h(b"hello"), h(b"hello"));
+        assert_ne!(h(b"hello"), h(b"hello\0"), "length must matter");
+        assert_ne!(h(b"12345678x"), h(b"12345678y"));
+    }
+}

@@ -10,12 +10,17 @@
 //!   from a seed.
 //! * [`wire`]: the hand-rolled little-endian binary encoder/decoder
 //!   behind the machine snapshot format (DESIGN.md §11).
+//! * [`hash`]: a deterministic multiply–xor hasher for hot-path hash
+//!   maps keyed by simulator-generated integers, where SipHash's
+//!   collision hardening is pure overhead.
 
 #![warn(missing_docs)]
 
+pub mod hash;
 pub mod rng;
 pub mod wire;
 
+pub use hash::DetState;
 pub use rng::{splitmix64, Rng};
 
 /// Compile-time assertion that `T` is [`Send`].

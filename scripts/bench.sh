@@ -2,7 +2,10 @@
 # Runs the benchmark harnesses and leaves their JSON reports at the
 # repository root:
 #   BENCH_hotpaths.json — simulated cycles per wall-second per workload,
-#     lockstep reference vs the event-driven scheduler.
+#     lockstep reference vs the event-driven scheduler, with an engine
+#     column: event-driven is run with the pre-decoded bytecode engine
+#     on (the default) and forced off (the legacy per-instruction
+#     interpreter), and the per-workload decode_speedup is their ratio.
 #   BENCH_parallel.json — parallel-scheduler scaling: cycles per
 #     wall-second at 1/2/4/8 workers on 16- and 64-node machines (every
 #     point asserted bit-identical to the 1-worker run). Wall-clock

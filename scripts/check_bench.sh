@@ -23,6 +23,9 @@ for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json BENCH_recov
 done
 jq -e '.workloads | type == "array" and length > 0' BENCH_hotpaths.json >/dev/null ||
     fail "BENCH_hotpaths.json has no workloads array"
+jq -e '[.workloads[] | has("event_nodecode_cycles_per_sec") and has("decode_speedup")] | all' \
+    BENCH_hotpaths.json >/dev/null ||
+    fail "BENCH_hotpaths.json workloads are missing the decode-engine column"
 jq -e '.points | type == "array" and length > 0' BENCH_parallel.json >/dev/null ||
     fail "BENCH_parallel.json has no points array"
 jq -e '.points | type == "array" and length > 0' BENCH_snapshot.json >/dev/null ||
@@ -58,17 +61,21 @@ pct() {
     }'
 }
 
+jq -e '[.workloads[] | has("event_nodecode_cycles_per_sec") and has("decode_speedup")] | all' \
+    "$tmp/hotpaths.json" >/dev/null ||
+    fail "fresh hotpaths run is missing the decode-engine column"
+
 echo
 echo "hotpaths: event-driven cycles/sec, fresh smoke vs committed baseline"
-jq -r '.workloads[] | "\(.name) \(.event_cycles_per_sec)"' "$tmp/hotpaths.json" |
-    while read -r name fresh; do
+jq -r '.workloads[] | "\(.name) \(.event_cycles_per_sec) \(.decode_speedup)"' "$tmp/hotpaths.json" |
+    while read -r name fresh dec; do
         base=$(jq -r --arg n "$name" \
             '.workloads[] | select(.name == $n) | .event_cycles_per_sec // empty' \
             BENCH_hotpaths.json)
         if [ -z "$base" ]; then
             echo "  $name: no committed baseline (new workload?)"
         else
-            echo "  $name: $fresh vs $base ($(pct "$fresh" "$base"))"
+            echo "  $name: $fresh vs $base ($(pct "$fresh" "$base")), decode engine ${dec}x"
         fi
     done
 

@@ -18,6 +18,12 @@ echo "== three-way scheduler equivalence (3 fault seeds) =="
 # seeds and multi-worker runs execute at full depth quickly.
 cargo test -q --release -p april-machine --test lockstep_vs_skip
 
+echo "== scheduler equivalence, decode engine off =="
+# The same bit-exactness suite with APRIL_DECODE=0 (the legacy
+# per-instruction interpreter on every visited cycle), so the fallback
+# path the decode engine cuts over to stays honest.
+APRIL_DECODE=0 cargo test -q --release -p april-machine --test lockstep_vs_skip
+
 echo "== recovery soak (bounded) =="
 # Link-kill -> quarantine -> rollback -> re-execute across several
 # killed channels and seeds, plus the recovered-vs-fresh bit-identity
