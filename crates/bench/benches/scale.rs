@@ -1,0 +1,236 @@
+//! The 1000+-node scaling benchmark: sparse directories + lazy memory
+//! versus the full-map baseline at the machine size the APRIL paper
+//! actually argues about (Section 8 evaluates the architecture on up
+//! to 1000-processor configurations).
+//!
+//! One workload, deliberately directory-hostile: every node of a
+//! 33×33 mesh (1089 processors) reads the same set of blocks homed at
+//! node 0, so each block accumulates 1089 sharers. A full-map
+//! directory spills a 1089-entry pointer list per block; the sparse
+//! kinds overflow their inline pointer array once and from then on
+//! pay a fixed-size representation (broadcast set or coarse region
+//! vector). The benchmark records, per directory kind:
+//!
+//! * construction wall time (1089 nodes, lazily-chunked memory),
+//! * simulated cycles, wall seconds, and cycles/second,
+//! * directory state bytes per node and memory resident bytes per
+//!   node — the footprint numbers the sparse representation exists for,
+//! * the overflow count (zero for full-map by definition).
+//!
+//! Emitted as `BENCH_scale.json` (override with `BENCH_SCALE_OUT`);
+//! `BENCH_SMOKE` shrinks the per-node read count, not the machine.
+
+use april_core::cpu::StepEvent;
+use april_core::frame::FrameState;
+use april_core::isa::asm::assemble;
+use april_core::program::Program;
+use april_core::trap::Trap;
+use april_machine::alewife::Alewife;
+use april_machine::config::MachineConfig;
+use april_machine::Machine;
+use april_mem::DirectoryKind;
+use april_net::topology::Topology;
+use std::time::Instant;
+
+/// The switch-spin driver the machine suites use (see sim_hotpaths).
+fn drive(m: &mut Alewife, max: u64) {
+    let mut evs = Vec::new();
+    loop {
+        assert!(m.now() < max, "scale workload timed out at {}", m.now());
+        if m.fault().is_some() {
+            return;
+        }
+        if m.all_halted() {
+            return;
+        }
+        m.advance_into(&mut evs);
+        for (i, ev) in evs.drain(..) {
+            match ev {
+                StepEvent::Trapped(Trap::RemoteMiss { .. }) => {
+                    let fp = m.cpu(i).fp();
+                    let fr = m.cpu_mut(i).frame_mut(fp);
+                    fr.state = FrameState::WaitingRemote;
+                    fr.psr.in_trap = false;
+                    m.charge_handler(i, 6);
+                }
+                StepEvent::Trapped(t) => panic!("node {i}: {t}"),
+                StepEvent::NoReadyFrame => {
+                    let cpu = m.cpu_mut(i);
+                    match cpu.next_ready_frame() {
+                        Some(f) => cpu.set_fp(f),
+                        None => m.charge_idle(i, 1),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Every node writes one private word (so the lazy memory materializes
+/// the handful of chunks actually touched, out of ~68 MiB of address
+/// space) and then reads `blocks` distinct cache blocks, all homed at
+/// node 0 and never written: each block's sharer set grows to the full
+/// machine, which is exactly the case limited-pointer schemes were
+/// invented for (read-mostly data shared machine-wide).
+fn read_fanin_program(blocks: usize) -> Program {
+    let mut s = String::from(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            add r8, r8, r8     ; 8*id
+            add r8, r8, r8     ; 16*id: one whole block per node
+            movi 0x1000, r9
+            add r9, r8, r9     ; my private block, nobody else's
+            movi 4, r10
+            st r10, r9+0
+            movi 0x200, r4
+        ",
+    );
+    for i in 0..blocks {
+        s.push_str(&format!("    ld r4+{}, r11\n", 16 * i));
+    }
+    s.push_str("    halt\n");
+    assemble(&s).unwrap()
+}
+
+struct Point {
+    kind: &'static str,
+    construct_s: f64,
+    cycles: u64,
+    wall_s: f64,
+    dir_bytes_per_node: f64,
+    mem_resident_bytes_per_node: f64,
+    mem_capacity_bytes_per_node: f64,
+    overflows: u64,
+}
+
+impl Point {
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_s
+    }
+}
+
+fn run_point(kind_name: &'static str, kind: DirectoryKind, blocks: usize) -> Point {
+    let mut cfg = MachineConfig {
+        topology: Topology::new(2, 33), // 1089 nodes
+        region_bytes: 0x1_0000,
+        ..MachineConfig::default()
+    };
+    cfg.dir.kind = kind;
+    let nodes = cfg.num_nodes();
+    let prog = read_fanin_program(blocks);
+
+    let t0 = Instant::now();
+    let mut m = Alewife::new(cfg, prog);
+    let construct_s = t0.elapsed().as_secs_f64();
+    for i in 0..m.num_procs() {
+        m.cpu_mut(i).boot(0);
+    }
+    let t0 = Instant::now();
+    drive(&mut m, 1_000_000_000);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(
+        m.fault().is_none(),
+        "{kind_name}: machine faulted: {:?}",
+        m.fault()
+    );
+    assert!(m.all_halted(), "{kind_name}: not all nodes halted");
+
+    let dir_bytes: usize = m.nodes.iter().map(|n| n.dir.state_bytes()).sum();
+    let overflows: u64 = m.nodes.iter().map(|n| n.dir.stats.overflows).sum();
+    Point {
+        kind: kind_name,
+        construct_s,
+        cycles: m.now(),
+        wall_s,
+        dir_bytes_per_node: dir_bytes as f64 / nodes as f64,
+        mem_resident_bytes_per_node: m.mem().resident_bytes() as f64 / nodes as f64,
+        mem_capacity_bytes_per_node: m.mem().len_bytes() as f64 / nodes as f64,
+        overflows,
+    }
+}
+
+fn emit_json(nodes: usize, blocks: usize, points: &[Point]) {
+    let path = std::env::var("BENCH_SCALE_OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
+    let full_map_dir = points
+        .iter()
+        .find(|p| p.kind == "full_map")
+        .map(|p| p.dir_bytes_per_node)
+        .unwrap_or(f64::NAN);
+    let mut body =
+        format!("{{\n  \"nodes\": {nodes},\n  \"blocks_per_node\": {blocks},\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        body.push_str(&format!(
+            concat!(
+                "    {{\"kind\": \"{}\", \"construct_s\": {:.4}, ",
+                "\"cycles\": {}, \"wall_s\": {:.4}, ",
+                "\"cycles_per_sec\": {:.0}, ",
+                "\"dir_bytes_per_node\": {:.1}, ",
+                "\"mem_resident_bytes_per_node\": {:.1}, ",
+                "\"mem_capacity_bytes_per_node\": {:.1}, ",
+                "\"overflows\": {}, ",
+                "\"dir_ratio_vs_full_map\": {:.4}}}{}\n"
+            ),
+            p.kind,
+            p.construct_s,
+            p.cycles,
+            p.wall_s,
+            p.cycles_per_sec(),
+            p.dir_bytes_per_node,
+            p.mem_resident_bytes_per_node,
+            p.mem_capacity_bytes_per_node,
+            p.overflows,
+            p.dir_bytes_per_node / full_map_dir,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, &body) {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let blocks = if smoke { 8 } else { 128 };
+    let kinds: [(&'static str, DirectoryKind); 3] = [
+        ("full_map", DirectoryKind::FullMap),
+        ("limited_ptr_8", DirectoryKind::LimitedPtr { ptrs: 8 }),
+        (
+            "coarse_vector_64",
+            DirectoryKind::CoarseVector { region: 64 },
+        ),
+    ];
+    println!("scale: 1089-node read fan-in, {blocks} blocks/node");
+    let mut points = Vec::new();
+    for (name, kind) in kinds {
+        let p = run_point(name, kind, blocks);
+        println!(
+            "{:<18} construct {:>6.2}s  {:>10} cycles in {:>6.2}s ({:>10.0} c/s)  dir {:>9.1} B/node  mem {:>7.1}/{:.0} B/node  overflows {}",
+            p.kind,
+            p.construct_s,
+            p.cycles,
+            p.wall_s,
+            p.cycles_per_sec(),
+            p.dir_bytes_per_node,
+            p.mem_resident_bytes_per_node,
+            p.mem_capacity_bytes_per_node,
+            p.overflows,
+        );
+        points.push(p);
+    }
+    // The workload never writes a block after its sharer set
+    // overflows, so the sparse kinds send the exact same protocol
+    // messages as full-map and must land on the same final cycle: a
+    // cheap cross-kind determinism gate at 1089 nodes.
+    assert!(
+        points.windows(2).all(|w| w[0].cycles == w[1].cycles),
+        "directory kinds disagree on the final cycle"
+    );
+    let nodes = Topology::new(2, 33).num_nodes();
+    emit_json(nodes, blocks, &points);
+}

@@ -177,7 +177,7 @@ impl Alewife {
             .map(|i| Node {
                 cpu: Cpu::new(cfg.cpu),
                 ctl: CacheController::new(i, cfg.cache, cfg.ctl),
-                dir: Directory::with_config(cfg.dir),
+                dir: Directory::with_config(cfg.dir, n),
                 io_regs: [0; 8],
                 resv: None,
             })
@@ -876,7 +876,7 @@ pub(crate) fn node_post_mortem_fragments(
                 requester,
                 write,
                 epoch,
-                awaiting,
+                awaiting: awaiting.to_vec(),
             });
         }
         for (block, xid, write_issued, frames) in n.ctl.outstanding_txns() {
@@ -1331,8 +1331,11 @@ mod tests {
         let mut m = Alewife::new(tiny_cfg(), prog);
         m.boot();
         run(&mut m, 100_000);
-        use april_mem::directory::DirState;
+        use april_mem::directory::{DirState, SharerSet};
         assert_eq!(m.nodes[0].dir.state(0x100), DirState::Exclusive(0));
-        assert_eq!(m.nodes[1].dir.state(0x10000), DirState::Shared(vec![0]));
+        assert_eq!(
+            m.nodes[1].dir.state(0x10000),
+            DirState::Shared(SharerSet::one(0))
+        );
     }
 }

@@ -113,7 +113,8 @@ pub(crate) fn build_report(nodes: &[Node], net: &Network<Env>) -> StatsReport {
         .counter("deferred", dir.deferred)
         .counter("nacks", dir.nacks)
         .counter("retransmits", dir.retransmits)
-        .counter("stale_acks", dir.stale_acks);
+        .counter("stale_acks", dir.stale_acks)
+        .counter("overflows", dir.overflows);
     report.push(s);
 
     let mut s = Section::new("net");

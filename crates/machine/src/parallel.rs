@@ -556,7 +556,7 @@ impl ParallelAlewife {
             .map(|i| Node {
                 cpu: Cpu::new(cfg.cpu),
                 ctl: CacheController::new(i, cfg.cache, cfg.ctl),
-                dir: Directory::with_config(cfg.dir),
+                dir: Directory::with_config(cfg.dir, cfg.num_nodes()),
                 io_regs: [0; 8],
                 resv: None,
             })

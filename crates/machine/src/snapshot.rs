@@ -47,8 +47,11 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"APRL";
 /// The format version this build writes and the only one it reads.
 /// Version 2 extended the network section with fail-stop fault state,
-/// quarantine sets, and the dead-letter log.
-pub const VERSION: u8 = 2;
+/// quarantine sets, and the dead-letter log. Version 3 made the memory
+/// section sparse (untouched 4 KiB chunks serialize as holes), added
+/// coarse/broadcast sharer-set encodings for the sparse directory
+/// kinds, and appended the directory overflow counter.
+pub const VERSION: u8 = 3;
 
 /// Section kinds. Per-node sections (`CPU`..`IO`) carry the node id in
 /// their tag; machine-wide sections use node id 0.

@@ -736,7 +736,7 @@ impl CacheController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::directory::DirState;
+    use crate::directory::{DirState, SharerSet};
 
     fn ctl(node: usize) -> CacheController {
         CacheController::new(
@@ -767,7 +767,7 @@ mod tests {
         let o = c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 0, &mut out);
         assert_eq!(o, Outcome::LocalFill { stall: 10 });
         assert!(out.is_empty());
-        assert_eq!(dir.state(0x40), DirState::Shared(vec![0]));
+        assert_eq!(dir.state(0x40), DirState::Shared(SharerSet::one(0)));
         // Reissue hits.
         let o = c.cpu_access(0x40, false, 0, 0, Some(&mut dir), |_| 0, &mut out);
         assert_eq!(o, Outcome::Hit);

@@ -36,13 +36,269 @@ use crate::msg::CohMsg;
 use april_obs::{EventKind, Probe};
 use std::collections::{HashMap, VecDeque};
 
+/// How a directory represents the sharer set of a block, in the
+/// taxonomy of Chaiken et al.: Dir_n (full-map), Dir_i B (limited
+/// pointers, broadcast on overflow), and Dir_i CV (limited pointers,
+/// coarse vector on overflow). The sparse kinds bound per-block state
+/// to O(i) or O(N/region) instead of O(N), which is what makes the
+/// paper's 1000+-node configurations memory-feasible (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectoryKind {
+    /// Precise unbounded sharer list — the reference scheme of the
+    /// paper's \[5\] and the exact seed behavior.
+    FullMap,
+    /// Up to `min(ptrs, INLINE_PTRS)` precise inline pointers; on
+    /// overflow the set degrades to *broadcast*: a write invalidates
+    /// every node (controllers ack demands for lines they do not hold,
+    /// so the broadcast is idempotent and protocol-correct).
+    LimitedPtr {
+        /// Inline pointer budget (clamped to [`INLINE_PTRS`]).
+        ptrs: u8,
+    },
+    /// Up to [`INLINE_PTRS`] precise inline pointers; on overflow the
+    /// set degrades to a coarse bit vector with `region` consecutive
+    /// nodes per bit — invalidations go to whole regions.
+    CoarseVector {
+        /// Nodes per coarse-vector bit (must be nonzero).
+        region: u16,
+    },
+}
+
+/// Inline pointer capacity of a [`SharerSet`]: precise sharer sets up
+/// to this size live in the directory entry itself, with no heap
+/// allocation, under every [`DirectoryKind`].
+pub const INLINE_PTRS: usize = 8;
+
+/// The representation behind a [`SharerSet`]. Precise sets keep
+/// insertion order (the seed's `Vec<usize>` semantics, which fixes the
+/// invalidation send order); the canonical form of a precise set is
+/// `Inline` whenever it fits, so equal memberships compare and encode
+/// equal regardless of history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SharerRepr {
+    /// Precise, inline, insertion-ordered: `ids[..n]`.
+    Inline { n: u8, ids: [u32; INLINE_PTRS] },
+    /// Precise spill for [`DirectoryKind::FullMap`] sets that outgrow
+    /// the inline array; still insertion-ordered.
+    Spill(Vec<u32>),
+    /// Coarse vector: bit `g` covers nodes `g*region .. (g+1)*region`.
+    /// Over-approximates membership; single-node removal is a no-op.
+    Coarse { region: u16, bits: Box<[u64]> },
+    /// Broadcast: every node is presumed a sharer.
+    All,
+}
+
+/// A block's sharer set under some [`DirectoryKind`] (DESIGN.md §14).
+///
+/// Precise while it fits inline; what happens on overflow is the
+/// directory kind's policy, supplied per operation so the set itself
+/// stays one word-aligned value with no back-pointer to configuration.
+/// The coarse and broadcast forms over-approximate: they may name
+/// nodes that hold nothing, which is safe because invalidations are
+/// acknowledged regardless, and they ignore single-node removals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharerSet {
+    pub(crate) repr: SharerRepr,
+}
+
+impl SharerSet {
+    /// The set containing exactly `node`.
+    pub fn one(node: usize) -> SharerSet {
+        SharerSet::of(&[node])
+    }
+
+    /// A precise set with the given members in the given order.
+    /// Intended for tests and snapshot decoding; does not deduplicate.
+    pub fn of(nodes: &[usize]) -> SharerSet {
+        if nodes.len() <= INLINE_PTRS {
+            let mut ids = [0u32; INLINE_PTRS];
+            for (slot, &n) in ids.iter_mut().zip(nodes) {
+                *slot = n as u32;
+            }
+            SharerSet {
+                repr: SharerRepr::Inline {
+                    n: nodes.len() as u8,
+                    ids,
+                },
+            }
+        } else {
+            SharerSet {
+                repr: SharerRepr::Spill(nodes.iter().map(|&n| n as u32).collect()),
+            }
+        }
+    }
+
+    /// The members as a precise ordered list, or `None` once the set
+    /// has degraded to a coarse or broadcast over-approximation.
+    pub fn as_list(&self) -> Option<&[u32]> {
+        match &self.repr {
+            SharerRepr::Inline { n, ids } => Some(&ids[..*n as usize]),
+            SharerRepr::Spill(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the set has overflowed into an imprecise representation.
+    pub fn is_imprecise(&self) -> bool {
+        matches!(self.repr, SharerRepr::Coarse { .. } | SharerRepr::All)
+    }
+
+    /// Membership test (conservative: imprecise forms may say yes for
+    /// nodes that hold nothing).
+    pub fn contains(&self, node: usize) -> bool {
+        match &self.repr {
+            SharerRepr::Inline { n, ids } => ids[..*n as usize].contains(&(node as u32)),
+            SharerRepr::Spill(v) => v.contains(&(node as u32)),
+            SharerRepr::Coarse { region, bits } => {
+                let g = node / *region as usize;
+                bits.get(g / 64).is_some_and(|w| w >> (g % 64) & 1 == 1)
+            }
+            SharerRepr::All => true,
+        }
+    }
+
+    /// True when the set is certainly empty. Imprecise forms never
+    /// report empty (they cannot prove it).
+    pub fn is_known_empty(&self) -> bool {
+        match &self.repr {
+            SharerRepr::Inline { n, .. } => *n == 0,
+            SharerRepr::Spill(v) => v.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// True when `node` is provably the only sharer — the write
+    /// fast-path test. Imprecise forms answer false (conservative).
+    pub fn sole_sharer_is(&self, node: usize) -> bool {
+        self.as_list()
+            .is_some_and(|l| l.iter().all(|&n| n == node as u32))
+    }
+
+    /// Adds `node` under `kind`'s overflow policy (`num_nodes` sizes a
+    /// coarse vector at the moment of overflow). Returns true when this
+    /// insertion overflowed a precise set into an imprecise one.
+    pub fn insert(&mut self, node: usize, kind: DirectoryKind, num_nodes: usize) -> bool {
+        if self.contains(node) {
+            return false;
+        }
+        match &mut self.repr {
+            SharerRepr::Inline { n, ids } => {
+                let cap = match kind {
+                    DirectoryKind::FullMap | DirectoryKind::CoarseVector { .. } => INLINE_PTRS,
+                    DirectoryKind::LimitedPtr { ptrs } => (ptrs as usize).clamp(1, INLINE_PTRS),
+                };
+                if (*n as usize) < cap {
+                    ids[*n as usize] = node as u32;
+                    *n += 1;
+                    return false;
+                }
+                // Overflow: the kind decides what the set becomes.
+                match kind {
+                    DirectoryKind::FullMap => {
+                        let mut v: Vec<u32> = ids[..*n as usize].to_vec();
+                        v.push(node as u32);
+                        self.repr = SharerRepr::Spill(v);
+                        false
+                    }
+                    DirectoryKind::LimitedPtr { .. } => {
+                        self.repr = SharerRepr::All;
+                        true
+                    }
+                    DirectoryKind::CoarseVector { region } => {
+                        let region = region.max(1);
+                        let groups = num_nodes.div_ceil(region as usize).max(1);
+                        let mut bits = vec![0u64; groups.div_ceil(64)].into_boxed_slice();
+                        for &id in ids[..*n as usize].iter().chain([node as u32].iter()) {
+                            let g = id as usize / region as usize;
+                            bits[g / 64] |= 1 << (g % 64);
+                        }
+                        self.repr = SharerRepr::Coarse { region, bits };
+                        true
+                    }
+                }
+            }
+            SharerRepr::Spill(v) => {
+                v.push(node as u32);
+                false
+            }
+            SharerRepr::Coarse { region, bits } => {
+                let g = node / *region as usize;
+                if let Some(w) = bits.get_mut(g / 64) {
+                    *w |= 1 << (g % 64);
+                }
+                false
+            }
+            SharerRepr::All => false,
+        }
+    }
+
+    /// Removes `node` from a precise set (order-preserving); a no-op on
+    /// imprecise forms, which cannot un-name a node.
+    pub fn remove(&mut self, node: usize) {
+        match &mut self.repr {
+            SharerRepr::Inline { n, ids } => {
+                let len = *n as usize;
+                if let Some(i) = ids[..len].iter().position(|&x| x == node as u32) {
+                    ids.copy_within(i + 1..len, i);
+                    *n -= 1;
+                }
+            }
+            SharerRepr::Spill(v) => {
+                v.retain(|&x| x != node as u32);
+                if v.len() <= INLINE_PTRS {
+                    // Canonical form: precise sets live inline whenever
+                    // they fit, so equal memberships encode equal.
+                    *self = SharerSet::of(&v.iter().map(|&x| x as usize).collect::<Vec<_>>());
+                }
+            }
+            SharerRepr::Coarse { .. } | SharerRepr::All => {}
+        }
+    }
+
+    /// Appends the invalidation targets — every (presumed) sharer
+    /// except `exclude` — onto `out`. Precise sets keep insertion
+    /// order (the seed behavior); imprecise sets enumerate ascending.
+    pub fn targets_into(&self, exclude: usize, num_nodes: usize, out: &mut Vec<usize>) {
+        match &self.repr {
+            SharerRepr::Inline { .. } | SharerRepr::Spill(_) => {
+                if let Some(l) = self.as_list() {
+                    out.extend(l.iter().map(|&n| n as usize).filter(|&n| n != exclude));
+                }
+            }
+            SharerRepr::Coarse { region, bits } => {
+                let region = *region as usize;
+                for g in 0..bits.len() * 64 {
+                    if bits[g / 64] >> (g % 64) & 1 == 0 {
+                        continue;
+                    }
+                    let lo = g * region;
+                    let hi = ((g + 1) * region).min(num_nodes);
+                    out.extend((lo..hi).filter(|&n| n != exclude));
+                }
+            }
+            SharerRepr::All => out.extend((0..num_nodes).filter(|&n| n != exclude)),
+        }
+    }
+
+    /// Heap bytes resident behind this set (zero for inline, coarse
+    /// bit-vector words for coarse, the spill vector for full-map) —
+    /// the per-block term of [`Directory::state_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            SharerRepr::Inline { .. } | SharerRepr::All => 0,
+            SharerRepr::Spill(v) => v.len() * std::mem::size_of::<u32>(),
+            SharerRepr::Coarse { bits, .. } => bits.len() * std::mem::size_of::<u64>(),
+        }
+    }
+}
+
 /// Sharing state of one block at its home.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirState {
     /// No cache holds the block.
     Uncached,
-    /// Read-only copies at the listed nodes (full-map vector).
-    Shared(Vec<usize>),
+    /// Read-only copies at the nodes in the sharer set.
+    Shared(SharerSet),
     /// One cache holds the block read-write.
     Exclusive(usize),
 }
@@ -83,7 +339,11 @@ pub(crate) struct Busy {
 #[derive(Debug, Clone)]
 pub(crate) struct DirEntry {
     pub(crate) state: DirState,
-    pub(crate) busy: Option<Busy>,
+    /// Boxed because busy episodes are rare (at most a handful in
+    /// flight machine-wide) while entries are plentiful at 1000+
+    /// nodes: the common idle entry pays one pointer, not the whole
+    /// episode record.
+    pub(crate) busy: Option<Box<Busy>>,
     pub(crate) waiters: VecDeque<(usize, bool, u32)>,
 }
 
@@ -122,6 +382,9 @@ pub struct DirConfig {
     pub max_waiters: usize,
     /// Retransmission policy for unanswered demands.
     pub retry: RetryConfig,
+    /// Sharer-set representation (full-map is the exact seed behavior;
+    /// the sparse kinds bound per-block state, DESIGN.md §14).
+    pub kind: DirectoryKind,
 }
 
 impl Default for DirConfig {
@@ -129,6 +392,7 @@ impl Default for DirConfig {
         DirConfig {
             max_waiters: 64,
             retry: RetryConfig::default(),
+            kind: DirectoryKind::FullMap,
         }
     }
 }
@@ -152,6 +416,9 @@ pub struct DirStats {
     pub retransmits: u64,
     /// Duplicate or stale acknowledgments ignored.
     pub stale_acks: u64,
+    /// Precise sharer sets degraded to broadcast or coarse form
+    /// (always zero under [`DirectoryKind::FullMap`]).
+    pub overflows: u64,
 }
 
 impl DirStats {
@@ -166,6 +433,7 @@ impl DirStats {
             + self.nacks
             + self.retransmits
             + self.stale_acks
+            + self.overflows
     }
 
     /// Field-wise accumulation of `other` into `self`, for
@@ -179,6 +447,7 @@ impl DirStats {
         self.nacks += other.nacks;
         self.retransmits += other.retransmits;
         self.stale_acks += other.stale_acks;
+        self.overflows += other.overflows;
     }
 }
 
@@ -187,6 +456,10 @@ impl DirStats {
 pub struct Directory {
     pub(crate) entries: HashMap<u32, DirEntry>,
     pub(crate) cfg: DirConfig,
+    /// Machine size: sizes coarse vectors at overflow time and bounds
+    /// broadcast invalidations. Zero only under [`Directory::default`],
+    /// which is full-map and never broadcasts.
+    pub(crate) nodes: usize,
     pub(crate) epoch_counter: u32,
     pub(crate) clock: u64,
     /// Lower bound on the earliest `next_retry` over all busy episodes.
@@ -209,6 +482,7 @@ impl Default for Directory {
         Directory {
             entries: HashMap::default(),
             cfg: DirConfig::default(),
+            nodes: 0,
             epoch_counter: 0,
             clock: 0,
             next_deadline: u64::MAX,
@@ -225,10 +499,15 @@ impl Directory {
         Directory::default()
     }
 
-    /// Creates an empty directory with the given policy.
-    pub fn with_config(cfg: DirConfig) -> Directory {
+    /// Creates an empty directory with the given policy for a machine
+    /// of `num_nodes` nodes. The node count sizes coarse vectors and
+    /// bounds broadcast invalidations, so the sparse
+    /// [`DirectoryKind`]s require it to be accurate; full-map ignores
+    /// it.
+    pub fn with_config(cfg: DirConfig, num_nodes: usize) -> Directory {
         Directory {
             cfg,
+            nodes: num_nodes,
             ..Directory::default()
         }
     }
@@ -298,18 +577,42 @@ impl Directory {
 
     /// Busy entries as `(block, requester, write, epoch, pending)`,
     /// sorted by block — the directory slice of a deadlock post-mortem.
-    pub fn busy_entries(&self) -> Vec<(u32, usize, bool, u32, Vec<usize>)> {
+    /// The pending-ack lists are borrowed views, not clones: this runs
+    /// on the snapshot/stats path, where copying every sharer list per
+    /// call showed up in profiles.
+    pub fn busy_entries(&self) -> Vec<(u32, usize, bool, u32, &[usize])> {
         let mut v: Vec<_> = self
             .entries
             .iter()
             .filter_map(|(&b, e)| {
                 e.busy
                     .as_ref()
-                    .map(|bu| (b, bu.requester, bu.write, bu.epoch, bu.pending.clone()))
+                    .map(|bu| (b, bu.requester, bu.write, bu.epoch, bu.pending.as_slice()))
             })
             .collect();
         v.sort_by_key(|&(b, ..)| b);
         v
+    }
+
+    /// Resident bytes of directory protocol state: hash-map entries
+    /// plus per-block heap (sharer spill or coarse vector, pending-ack
+    /// lists, waiter queues). A deterministic content-based estimate —
+    /// the scale bench's full-map-vs-sparse bytes/node metric — not an
+    /// allocator measurement.
+    pub fn state_bytes(&self) -> usize {
+        let mut bytes =
+            self.entries.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<DirEntry>());
+        for e in self.entries.values() {
+            if let DirState::Shared(s) = &e.state {
+                bytes += s.heap_bytes();
+            }
+            if let Some(busy) = &e.busy {
+                bytes += std::mem::size_of::<Busy>();
+                bytes += busy.pending.len() * std::mem::size_of::<usize>();
+            }
+            bytes += e.waiters.len() * std::mem::size_of::<(usize, bool, u32)>();
+        }
+        bytes
     }
 
     /// True if a request could be granted immediately, with no
@@ -326,7 +629,7 @@ impl Directory {
         match (&e.state, write) {
             (DirState::Uncached, _) => true,
             (DirState::Shared(_), false) => true,
-            (DirState::Shared(s), true) => s.iter().all(|&n| n == from),
+            (DirState::Shared(s), true) => s.sole_sharer_is(from),
             (DirState::Exclusive(o), _) => *o == from,
         }
     }
@@ -353,21 +656,25 @@ impl Directory {
                 transition::READ_GRANT
             },
         );
+        let kind = self.cfg.kind;
+        let nodes = self.nodes;
+        let mut overflowed = false;
         let e = self.entries.entry(block).or_default();
         if write {
             e.state = DirState::Exclusive(from);
         } else {
             match &mut e.state {
                 DirState::Shared(s) => {
-                    if !s.contains(&from) {
-                        s.push(from);
-                    }
+                    overflowed = s.insert(from, kind, nodes);
                 }
                 st @ (DirState::Uncached | DirState::Exclusive(_)) => {
                     // Exclusive(from) re-reading after a silent flush race.
-                    *st = DirState::Shared(vec![from]);
+                    *st = DirState::Shared(SharerSet::one(from));
                 }
             }
+        }
+        if overflowed {
+            self.stats.overflows += 1;
         }
         true
     }
@@ -416,6 +723,9 @@ impl Directory {
         let next_epoch = self.epoch_counter.wrapping_add(1);
         let retry_at = self.clock + self.cfg.retry.timeout;
         let max_waiters = self.cfg.max_waiters;
+        let kind = self.cfg.kind;
+        let nodes = self.nodes;
+        let mut overflowed = false;
         let e = self.entries.entry(block).or_default();
         if let Some(busy) = &e.busy {
             // A retransmission of the request currently being serviced,
@@ -436,8 +746,8 @@ impl Directory {
             self.stats.deferred += 1;
             return;
         }
-        let begin_busy = |kind: BusyKind, targets: Vec<usize>| -> Busy {
-            Busy {
+        let begin_busy = |kind: BusyKind, targets: Vec<usize>| -> Box<Busy> {
+            Box::new(Busy {
                 requester: from,
                 req_xid: xid,
                 write,
@@ -446,24 +756,22 @@ impl Directory {
                 pending: targets,
                 retries: 0,
                 next_retry: retry_at,
-            }
+            })
         };
         let code = match (&mut e.state, write) {
             (DirState::Uncached, false) => {
-                e.state = DirState::Shared(vec![from]);
+                e.state = DirState::Shared(SharerSet::one(from));
                 out.push((from, CohMsg::RdReply { block, xid }));
                 transition::READ_GRANT
             }
             (DirState::Shared(s), false) => {
-                if !s.contains(&from) {
-                    s.push(from);
-                }
+                overflowed = s.insert(from, kind, nodes);
                 out.push((from, CohMsg::RdReply { block, xid }));
                 transition::READ_GRANT
             }
             (DirState::Exclusive(o), false) if *o == from => {
                 // Owner re-reads (flush race); regrant as shared.
-                e.state = DirState::Shared(vec![from]);
+                e.state = DirState::Shared(SharerSet::one(from));
                 out.push((from, CohMsg::RdReply { block, xid }));
                 transition::READ_GRANT
             }
@@ -491,7 +799,8 @@ impl Directory {
                 transition::WRITE_GRANT
             }
             (DirState::Shared(s), true) => {
-                let targets: Vec<usize> = s.iter().copied().filter(|&n| n != from).collect();
+                let mut targets = Vec::new();
+                s.targets_into(from, nodes, &mut targets);
                 if targets.is_empty() {
                     e.state = DirState::Exclusive(from);
                     out.push((from, CohMsg::WrReply { block, xid }));
@@ -540,6 +849,9 @@ impl Directory {
                 transition::BUSY_WBINVAL
             }
         };
+        if overflowed {
+            self.stats.overflows += 1;
+        }
         self.probe
             .emit(self.clock, EventKind::DirTransition, block as u64, code);
     }
@@ -575,8 +887,12 @@ impl Directory {
                     match &mut e.state {
                         DirState::Exclusive(o) if *o == from => e.state = DirState::Uncached,
                         DirState::Shared(s) => {
-                            s.retain(|&n| n != from);
-                            if s.is_empty() {
+                            // Imprecise sets cannot un-name a node, so
+                            // the remove is a no-op there: the stale
+                            // presumed sharer is invalidated (and acks)
+                            // on the next write, which is safe.
+                            s.remove(from);
+                            if s.is_known_empty() {
                                 e.state = DirState::Uncached;
                             }
                         }
@@ -617,7 +933,7 @@ impl Directory {
                         req_xid,
                         write,
                         ..
-                    } = *busy;
+                    } = **busy;
                     e.busy = None;
                     self.busy_ct -= 1;
                     if self.busy_ct == 0 {
@@ -653,7 +969,7 @@ impl Directory {
                     } else {
                         // Downgrade: the old owner (the acker) stays a
                         // sharer alongside the requester.
-                        e.state = DirState::Shared(vec![from, requester]);
+                        e.state = DirState::Shared(SharerSet::of(&[from, requester]));
                         out.push((
                             requester,
                             CohMsg::RdReply {
@@ -767,7 +1083,7 @@ mod tests {
                 }
             )]
         );
-        assert_eq!(d.state(0x40), DirState::Shared(vec![1]));
+        assert_eq!(d.state(0x40), DirState::Shared(SharerSet::one(1)));
     }
 
     #[test]
@@ -777,7 +1093,7 @@ mod tests {
         d.handle_request(2, 0, false, 2);
         let out = d.handle_request(3, 0, false, 3);
         assert_eq!(out, vec![(3, CohMsg::RdReply { block: 0, xid: 3 })]);
-        assert_eq!(d.state(0), DirState::Shared(vec![1, 2, 3]));
+        assert_eq!(d.state(0), DirState::Shared(SharerSet::of(&[1, 2, 3])));
     }
 
     #[test]
@@ -857,7 +1173,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out, vec![(2, CohMsg::RdReply { block: 0, xid: 2 })]);
-        assert_eq!(d.state(0), DirState::Shared(vec![1, 2]));
+        assert_eq!(d.state(0), DirState::Shared(SharerSet::of(&[1, 2])));
     }
 
     #[test]
@@ -933,7 +1249,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out, vec![(3, CohMsg::RdReply { block: 0, xid: 3 })]);
-        assert_eq!(d.state(0), DirState::Shared(vec![2, 3]));
+        assert_eq!(d.state(0), DirState::Shared(SharerSet::of(&[2, 3])));
     }
 
     #[test]
@@ -972,7 +1288,7 @@ mod tests {
             .handle_ack(1, CohMsg::InvAck { block: 0, xid: 0 })
             .unwrap();
         assert!(out.is_empty());
-        assert_eq!(d.state(0), DirState::Shared(vec![1]));
+        assert_eq!(d.state(0), DirState::Shared(SharerSet::one(1)));
         assert_eq!(d.stats.stale_acks, 1);
     }
 
@@ -1100,10 +1416,13 @@ mod tests {
 
     #[test]
     fn waiter_overflow_is_nacked() {
-        let mut d = Directory::with_config(DirConfig {
-            max_waiters: 1,
-            retry: RetryConfig::default(),
-        });
+        let mut d = Directory::with_config(
+            DirConfig {
+                max_waiters: 1,
+                ..DirConfig::default()
+            },
+            8,
+        );
         d.handle_request(1, 0, true, 1); // granted instantly (uncached)
         d.handle_request(2, 0, true, 2); // goes busy: WbInvalReq to 1
         let out = d.handle_request(3, 0, true, 3); // fills the 1-deep waiter queue
@@ -1153,8 +1472,9 @@ mod tests {
                 backoff_cap: 10,
                 max_retries: 3,
             },
+            ..DirConfig::default()
         };
-        let mut d = Directory::with_config(cfg);
+        let mut d = Directory::with_config(cfg, 8);
         d.handle_request(1, 0, false, 1);
         d.handle_request(2, 0, true, 2);
         let mut now = 0;
@@ -1174,10 +1494,14 @@ mod tests {
 
     #[test]
     fn disabled_retries_never_retransmit() {
-        let mut d = Directory::with_config(DirConfig {
-            max_waiters: 4,
-            retry: RetryConfig::disabled(),
-        });
+        let mut d = Directory::with_config(
+            DirConfig {
+                max_waiters: 4,
+                retry: RetryConfig::disabled(),
+                ..DirConfig::default()
+            },
+            8,
+        );
         d.handle_request(1, 0, false, 1);
         d.handle_request(2, 0, true, 2);
         let mut out = Vec::new();
@@ -1218,6 +1542,127 @@ mod tests {
         let out = d.handle_request(1, 0, true, 2);
         assert_eq!(out, vec![(1, CohMsg::WrReply { block: 0, xid: 2 })]);
         assert_eq!(d.state(0), DirState::Exclusive(1));
+    }
+
+    #[test]
+    fn sharer_set_is_canonical() {
+        // A spill that shrinks back to inline size compares equal to a
+        // directly built inline set: repr is a pure function of content.
+        let members: Vec<usize> = (0..10).collect();
+        let mut s = SharerSet::of(&[]);
+        for &m in &members {
+            s.insert(m, DirectoryKind::FullMap, 16);
+        }
+        assert_eq!(s, SharerSet::of(&members));
+        s.remove(9);
+        s.remove(0);
+        assert_eq!(s, SharerSet::of(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert!(s.as_list().is_some(), "back inline after shrink");
+    }
+
+    #[test]
+    fn limited_ptr_overflow_broadcasts_invalidations() {
+        let cfg = DirConfig {
+            kind: DirectoryKind::LimitedPtr { ptrs: 2 },
+            ..DirConfig::default()
+        };
+        let mut d = Directory::with_config(cfg, 6);
+        d.handle_request(1, 0, false, 1);
+        d.handle_request(2, 0, false, 2);
+        assert_eq!(d.stats.overflows, 0);
+        d.handle_request(3, 0, false, 3); // third sharer: overflow to All
+        assert_eq!(d.stats.overflows, 1);
+        let out = d.handle_request(4, 0, true, 4);
+        let epoch = out[0].1.xid().unwrap();
+        // Broadcast: every node except the writer gets an Inval, even
+        // nodes 0 and 5 which never held the block (they ack anyway).
+        let targets: Vec<usize> = out.iter().map(|&(t, _)| t).collect();
+        assert_eq!(targets, vec![0, 1, 2, 3, 5]);
+        assert_eq!(d.stats.invals_sent, 5);
+        for t in [0, 1, 2, 3] {
+            assert!(d
+                .handle_ack(
+                    t,
+                    CohMsg::InvAck {
+                        block: 0,
+                        xid: epoch
+                    }
+                )
+                .unwrap()
+                .is_empty());
+        }
+        let out = d
+            .handle_ack(
+                5,
+                CohMsg::InvAck {
+                    block: 0,
+                    xid: epoch,
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![(4, CohMsg::WrReply { block: 0, xid: 4 })]);
+        assert_eq!(d.state(0), DirState::Exclusive(4));
+    }
+
+    #[test]
+    fn coarse_vector_overflow_invalidates_regions() {
+        let mut s = SharerSet::of(&[]);
+        let kind = DirectoryKind::CoarseVector { region: 4 };
+        for n in 0..INLINE_PTRS {
+            assert!(!s.insert(n, kind, 12));
+        }
+        // Ninth sharer overflows into a coarse vector; node 9 sets the
+        // bit for region 8..12.
+        assert!(s.insert(9, kind, 12));
+        assert!(s.is_imprecise());
+        assert!(s.contains(9) && s.contains(10), "region granularity");
+        let mut targets = Vec::new();
+        s.targets_into(9, 12, &mut targets);
+        assert_eq!(targets, (0..12).filter(|&n| n != 9).collect::<Vec<_>>());
+        // Removal from an imprecise set is a no-op.
+        s.remove(3);
+        assert!(s.contains(3));
+    }
+
+    #[test]
+    fn flush_from_imprecise_set_leaves_it_shared() {
+        let cfg = DirConfig {
+            kind: DirectoryKind::LimitedPtr { ptrs: 1 },
+            ..DirConfig::default()
+        };
+        let mut d = Directory::with_config(cfg, 4);
+        d.handle_request(1, 0, false, 1);
+        d.handle_request(2, 0, false, 2); // overflow to All
+        d.handle_ack(
+            1,
+            CohMsg::FlushData {
+                block: 0,
+                fenced: false,
+                xid: 7,
+            },
+        )
+        .unwrap();
+        // The set cannot prove emptiness, so the block stays Shared;
+        // correctness is preserved because the next write broadcasts.
+        assert!(matches!(d.state(0), DirState::Shared(s) if s.is_imprecise()));
+    }
+
+    #[test]
+    fn state_bytes_tracks_sharers() {
+        let mut full = Directory::with_config(DirConfig::default(), 32);
+        let cfg = DirConfig {
+            kind: DirectoryKind::LimitedPtr { ptrs: 4 },
+            ..DirConfig::default()
+        };
+        let mut sparse = Directory::with_config(cfg, 32);
+        for n in 0..32 {
+            full.handle_request(n, 0, false, n as u32);
+            sparse.handle_request(n, 0, false, n as u32);
+        }
+        assert!(
+            sparse.state_bytes() < full.state_bytes(),
+            "broadcast set must be smaller than a 32-entry spill"
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod snapshot;
 
 pub use cache::{Cache, CacheConfig, LineState};
 pub use controller::{CacheController, CtlConfig, Outcome};
-pub use directory::{DirConfig, DirState, Directory};
+pub use directory::{DirConfig, DirState, Directory, DirectoryKind, SharerSet, INLINE_PTRS};
 pub use error::{ProtocolError, RetryConfig};
 pub use femem::FeMemory;
 pub use msg::CohMsg;

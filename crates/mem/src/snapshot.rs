@@ -16,8 +16,8 @@
 use crate::alloc::BumpAllocator;
 use crate::cache::{Cache, LineState};
 use crate::controller::{CacheController, FenceFlush, Txn};
-use crate::directory::{Busy, BusyKind, DirEntry, DirState, Directory};
-use crate::femem::FeMemory;
+use crate::directory::{Busy, BusyKind, DirEntry, DirState, Directory, SharerRepr, SharerSet};
+use crate::femem::{Chunk, FeMemory};
 use crate::msg::CohMsg;
 use april_core::word::Word;
 use april_obs::Probe;
@@ -163,38 +163,60 @@ pub fn decode_alloc(r: &mut ByteReader<'_>) -> Result<BumpAllocator, WireError> 
     Ok(BumpAllocator { base, next, limit })
 }
 
-/// Appends the full/empty memory image (words plus bit-packed
-/// full/empty flags) to a snapshot buffer.
+/// Appends the full/empty memory image to a snapshot buffer as a
+/// sparse sequence of non-default 4 KiB chunks; untouched (or
+/// touched-but-still-pristine) regions serialize as holes. The
+/// encoding is a pure function of memory *content* — which chunks a
+/// scheduler happened to materialize never shows in the bytes — so
+/// snapshots stay byte-identical across lockstep/event/parallel runs.
 pub fn encode_femem(m: &FeMemory, w: &mut ByteWriter) {
-    w.usize(m.words.len());
-    for word in &m.words {
-        w.u32(word.0);
-    }
-    let mut packed = vec![0u8; m.fe.len().div_ceil(8)];
-    for (i, &full) in m.fe.iter().enumerate() {
-        if full {
-            packed[i / 8] |= 1 << (i % 8);
+    w.usize(m.len_words);
+    let present: Vec<(usize, &Chunk)> = m
+        .chunks
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.as_deref().filter(|c| !c.is_default()).map(|c| (i, c)))
+        .collect();
+    w.usize(present.len());
+    for (i, c) in present {
+        w.u32(i as u32);
+        for word in &c.words {
+            w.u32(word.0);
+        }
+        for &bits in &c.fe {
+            w.u64(bits);
         }
     }
-    w.bytes(&packed);
 }
 
 /// Restores a memory image written by [`encode_femem`] into an
-/// existing memory of the same size.
+/// existing memory of the same size. Chunks absent from the stream
+/// become holes, so a restored image has the footprint of its content,
+/// not of the donor machine's address space.
 pub fn restore_femem(m: &mut FeMemory, r: &mut ByteReader<'_>) -> Result<(), WireError> {
     let n = r.usize()?;
-    if n != m.words.len() {
+    if n != m.len_words {
         return Err(WireError::Corrupt("memory size mismatch"));
     }
-    for word in m.words.iter_mut() {
-        *word = Word(r.u32()?);
+    for slot in m.chunks.iter_mut() {
+        *slot = None;
     }
-    let packed = r.bytes()?;
-    if packed.len() != n.div_ceil(8) {
-        return Err(WireError::Corrupt("full/empty bitmap size mismatch"));
-    }
-    for i in 0..n {
-        m.fe[i] = packed[i / 8] & (1 << (i % 8)) != 0;
+    let npresent = r.usize()?;
+    let mut last: Option<usize> = None;
+    for _ in 0..npresent {
+        let idx = r.u32()? as usize;
+        if idx >= m.chunks.len() || last.is_some_and(|l| idx <= l) {
+            return Err(WireError::Corrupt("memory chunk index out of order"));
+        }
+        last = Some(idx);
+        let mut c = Chunk::fresh();
+        for word in c.words.iter_mut() {
+            *word = Word(r.u32()?);
+        }
+        for bits in c.fe.iter_mut() {
+            *bits = r.u64()?;
+        }
+        m.chunks[idx] = Some(c);
     }
     Ok(())
 }
@@ -407,13 +429,30 @@ pub fn restore_ctl(ctl: &mut CacheController, r: &mut ByteReader<'_>) -> Result<
 fn encode_dir_state(state: &DirState, w: &mut ByteWriter) {
     match state {
         DirState::Uncached => w.u8(0),
-        DirState::Shared(nodes) => {
-            w.u8(1);
-            w.usize(nodes.len());
-            for &n in nodes {
-                w.usize(n);
+        DirState::Shared(set) => match &set.repr {
+            // Precise sets (inline or spill) share one wire form: the
+            // ordered member list. The canonical inline-iff-it-fits
+            // invariant means decoding via `SharerSet::of` rebuilds the
+            // exact in-memory representation, so re-encoding a restored
+            // snapshot is a byte fixed point.
+            SharerRepr::Inline { .. } | SharerRepr::Spill(_) => {
+                let nodes = set.as_list().unwrap_or(&[]);
+                w.u8(1);
+                w.usize(nodes.len());
+                for &n in nodes {
+                    w.usize(n as usize);
+                }
             }
-        }
+            SharerRepr::Coarse { region, bits } => {
+                w.u8(3);
+                w.u32(*region as u32);
+                w.usize(bits.len());
+                for &word in bits.iter() {
+                    w.u64(word);
+                }
+            }
+            SharerRepr::All => w.u8(4),
+        },
         DirState::Exclusive(owner) => {
             w.u8(2);
             w.usize(*owner);
@@ -431,9 +470,26 @@ fn decode_dir_state(r: &mut ByteReader<'_>) -> Result<DirState, WireError> {
             for _ in 0..n {
                 nodes.push(r.usize()?);
             }
-            DirState::Shared(nodes)
+            DirState::Shared(SharerSet::of(&nodes))
         }
         2 => DirState::Exclusive(r.usize()?),
+        3 => {
+            let region = r.u32()? as u16;
+            let nwords = r.usize()?;
+            let mut bits = Vec::with_capacity(nwords);
+            for _ in 0..nwords {
+                bits.push(r.u64()?);
+            }
+            DirState::Shared(SharerSet {
+                repr: SharerRepr::Coarse {
+                    region,
+                    bits: bits.into_boxed_slice(),
+                },
+            })
+        }
+        4 => DirState::Shared(SharerSet {
+            repr: SharerRepr::All,
+        }),
         tag => return Err(WireError::BadTag { at, tag }),
     })
 }
@@ -491,6 +547,7 @@ pub fn encode_dir(dir: &Directory, w: &mut ByteWriter) {
         s.nacks,
         s.retransmits,
         s.stale_acks,
+        s.overflows,
     ] {
         w.u64(v);
     }
@@ -523,7 +580,7 @@ pub fn restore_dir(dir: &mut Directory, r: &mut ByteReader<'_>) -> Result<(), Wi
             }
             let retries = r.u32()?;
             let next_retry = r.u64()?;
-            Some(Busy {
+            Some(Box::new(Busy {
                 requester,
                 req_xid,
                 write,
@@ -532,7 +589,7 @@ pub fn restore_dir(dir: &mut Directory, r: &mut ByteReader<'_>) -> Result<(), Wi
                 pending,
                 retries,
                 next_retry,
-            })
+            }))
         } else {
             None
         };
@@ -573,6 +630,7 @@ pub fn restore_dir(dir: &mut Directory, r: &mut ByteReader<'_>) -> Result<(), Wi
         &mut s.nacks,
         &mut s.retransmits,
         &mut s.stale_acks,
+        &mut s.overflows,
     ] {
         *v = r.u64()?;
     }
@@ -649,6 +707,36 @@ mod tests {
     }
 
     #[test]
+    fn femem_snapshot_is_content_based_with_holes() {
+        // 8 chunks of address space, two touched: the snapshot carries
+        // two chunks regardless of how many are materialized.
+        let mut m = FeMemory::new(32 * 1024);
+        m.write(0x10, Word(1));
+        m.write(0x7000, Word(2));
+        // Materialize a chunk and return it to pristine content: it
+        // must encode as a hole (content-based, not allocation-based).
+        m.write(0x3000, Word(9));
+        m.write(0x3000, Word::ZERO);
+        let mut w = ByteWriter::new();
+        encode_femem(&m, &mut w);
+        let bytes = w.finish();
+        let mut n = FeMemory::new(32 * 1024);
+        restore_femem(&mut n, &mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(n.read(0x10), Word(1));
+        assert_eq!(n.read(0x7000), Word(2));
+        assert_eq!(n.read(0x3000), Word::ZERO);
+        assert_eq!(
+            n.resident_bytes(),
+            2 * std::mem::size_of::<Chunk>(),
+            "restored image holds exactly the two non-default chunks"
+        );
+        // Re-encode fixed point: pristine-again chunks never reappear.
+        let mut w2 = ByteWriter::new();
+        encode_femem(&n, &mut w2);
+        assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
     fn allocator_cursor_roundtrips_and_validates() {
         let mut a = BumpAllocator::new(0x100, 0x400);
         a.alloc(40, 8).unwrap();
@@ -716,5 +804,39 @@ mod tests {
         let b = restored.handle_ack(1, ack).unwrap();
         assert_eq!(a, b);
         assert_eq!(restored.state(64), dir.state(64));
+    }
+
+    #[test]
+    fn sparse_directory_states_roundtrip_as_a_byte_fixed_point() {
+        use crate::directory::{DirConfig, DirectoryKind};
+        // One directory per kind, driven into every representation the
+        // kind can reach (inline, spill, coarse, broadcast).
+        for kind in [
+            DirectoryKind::FullMap,
+            DirectoryKind::LimitedPtr { ptrs: 2 },
+            DirectoryKind::CoarseVector { region: 4 },
+        ] {
+            let cfg = DirConfig {
+                kind,
+                ..DirConfig::default()
+            };
+            let mut dir = Directory::with_config(cfg, 24);
+            for n in 0..12 {
+                dir.handle_request(n, 64, false, n as u32);
+            }
+            dir.handle_request(0, 128, true, 99);
+            let mut w = ByteWriter::new();
+            encode_dir(&dir, &mut w);
+            let bytes = w.finish();
+            let mut restored = Directory::with_config(cfg, 24);
+            restore_dir(&mut restored, &mut ByteReader::new(&bytes)).unwrap();
+            assert_eq!(restored.state(64), dir.state(64), "{kind:?}");
+            assert_eq!(restored.stats, dir.stats, "{kind:?}");
+            // Re-encoding the restored directory must be a byte fixed
+            // point: the sharer representation is canonical.
+            let mut w2 = ByteWriter::new();
+            encode_dir(&restored, &mut w2);
+            assert_eq!(w2.finish(), bytes, "{kind:?}");
+        }
     }
 }

@@ -237,7 +237,7 @@ impl Harness {
                     // every holder we tracked must appear in it.
                     for holder in &self.sharers[bi] {
                         assert!(
-                            s.contains(holder),
+                            s.contains(*holder),
                             "cache holds a copy the directory forgot: node {holder}"
                         );
                     }

@@ -26,4 +26,4 @@ pub mod topology;
 
 pub use fault::{FaultPlan, FaultRule, FaultStats, Outage};
 pub use network::{NetConfig, NetStats, Network};
-pub use topology::{Channel, Topology};
+pub use topology::{Channel, Topology, TopologyError};

@@ -39,27 +39,73 @@ pub struct Channel {
     pub plus: bool,
 }
 
+/// Why [`Topology::try_new`] refused a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A zero dimension or radix.
+    Degenerate,
+    /// `radix^dim` does not fit in `usize` — in release builds the
+    /// unchecked power would silently wrap, so large meshes must be
+    /// rejected at construction, not at first (mis)use.
+    Overflow,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Degenerate => write!(f, "degenerate topology (zero dim or radix)"),
+            TopologyError::Overflow => write!(f, "radix^dim overflows the node count"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 impl Topology {
+    /// Creates a topology with `dim` dimensions of `radix` nodes each,
+    /// rejecting degenerate shapes and node counts that overflow
+    /// `usize` (a hazard for paper-scale configs like 3-D radix-20 on
+    /// small targets, and for typos like `new(20, 3000)` anywhere).
+    pub fn try_new(dim: usize, radix: usize) -> Result<Topology, TopologyError> {
+        if dim == 0 || radix == 0 {
+            return Err(TopologyError::Degenerate);
+        }
+        let dim32 = u32::try_from(dim).map_err(|_| TopologyError::Overflow)?;
+        radix.checked_pow(dim32).ok_or(TopologyError::Overflow)?;
+        Ok(Topology { dim, radix })
+    }
+
     /// Creates a topology with `dim` dimensions of `radix` nodes each.
     ///
     /// # Panics
     ///
-    /// Panics if either parameter is zero.
+    /// Panics if either parameter is zero or if the node count
+    /// `radix^dim` overflows `usize` (see [`Topology::try_new`] for
+    /// the non-panicking form).
     pub fn new(dim: usize, radix: usize) -> Topology {
-        assert!(dim > 0 && radix > 0, "degenerate topology");
-        Topology { dim, radix }
+        match Topology::try_new(dim, radix) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Total number of nodes, k^n.
     pub fn num_nodes(&self) -> usize {
-        self.radix.pow(self.dim as u32)
+        // Constructors reject overflowing shapes, but a Topology can be
+        // built by literal struct syntax; keep the check on in release.
+        self.radix
+            .checked_pow(self.dim as u32)
+            .expect("radix^dim overflows the node count")
     }
 
     /// Total number of directed channels.
     pub fn num_channels(&self) -> usize {
         // Per dimension: (k-1) internal links per row, 2 directions,
-        // k^(n-1) rows.
-        self.dim * 2 * (self.radix - 1) * self.radix.pow(self.dim as u32 - 1)
+        // k^(n-1) rows. Bounded by dim * 2 * num_nodes; the node count
+        // is overflow-checked, so check the final product too.
+        (self.dim * 2 * (self.radix - 1))
+            .checked_mul(self.radix.pow(self.dim as u32 - 1))
+            .expect("channel count overflows")
     }
 
     /// The coordinates of `node`.
@@ -360,5 +406,28 @@ mod tests {
         let t = Topology::new(2, 3);
         // 2 dims * 2 dirs * 2 links/row * 3 rows = 24.
         assert_eq!(t.num_channels(), 24);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_and_overflowing_shapes() {
+        assert_eq!(Topology::try_new(0, 4), Err(TopologyError::Degenerate));
+        assert_eq!(Topology::try_new(2, 0), Err(TopologyError::Degenerate));
+        // 3000^20 overflows any usize; must be an error, not a wrap.
+        assert_eq!(Topology::try_new(20, 3000), Err(TopologyError::Overflow));
+        // usize::MAX dimensions cannot even convert to the pow exponent.
+        assert_eq!(
+            Topology::try_new(usize::MAX, 2),
+            Err(TopologyError::Overflow)
+        );
+        // The paper's 8000-node mesh and the 1000+-node bench shapes
+        // are fine.
+        assert_eq!(Topology::try_new(3, 20).unwrap().num_nodes(), 8000);
+        assert_eq!(Topology::try_new(2, 33).unwrap().num_nodes(), 1089);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn new_panics_on_overflow_in_release_too() {
+        let _ = Topology::new(20, 3000);
     }
 }

@@ -19,6 +19,11 @@
 #     overhead vs the unsupervised baseline per checkpoint interval,
 #     and the wall time of a complete link-kill -> quarantine ->
 #     rollback -> re-execute recovery vs its fault-free run.
+#   BENCH_scale.json — the 1000+-node regime: a 1089-node (33x33 mesh)
+#     read fan-in run under full-map vs limited-pointer vs
+#     coarse-vector directories, recording construction wall time,
+#     simulated cycles/sec, and directory/memory resident bytes per
+#     node (the footprint the sparse representations exist for).
 #
 # BENCH_SMOKE=1 shrinks the workloads for a fast CI smoke run.
 set -eu
@@ -29,3 +34,4 @@ BENCH_OUT="$(pwd)/BENCH_hotpaths.json" cargo bench -p april-bench --bench sim_ho
 BENCH_PAR_OUT="$(pwd)/BENCH_parallel.json" cargo bench -p april-bench --bench sim_parallel
 BENCH_SNAP_OUT="$(pwd)/BENCH_snapshot.json" cargo bench -p april-bench --bench snapshot
 BENCH_REC_OUT="$(pwd)/BENCH_recovery.json" cargo bench -p april-bench --bench recovery
+BENCH_SCALE_OUT="$(pwd)/BENCH_scale.json" cargo bench -p april-bench --bench scale

@@ -17,7 +17,7 @@ fail() {
     exit 1
 }
 
-for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json BENCH_recovery.json; do
+for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json BENCH_recovery.json BENCH_scale.json; do
     [ -f "$f" ] || fail "missing committed baseline $f"
     jq empty "$f" 2>/dev/null || fail "committed baseline $f is malformed JSON"
 done
@@ -34,6 +34,16 @@ jq -e '.checkpoint_overhead | type == "array" and length > 0' BENCH_recovery.jso
     fail "BENCH_recovery.json has no checkpoint_overhead array"
 jq -e '.recovered_run.attempts >= 1' BENCH_recovery.json >/dev/null ||
     fail "BENCH_recovery.json recovered_run shows no rollback attempt"
+jq -e '.nodes >= 1000' BENCH_scale.json >/dev/null ||
+    fail "BENCH_scale.json machine is smaller than 1000 nodes"
+jq -e '.points | type == "array" and length > 0' BENCH_scale.json >/dev/null ||
+    fail "BENCH_scale.json has no points array"
+jq -e '[.points[] | has("dir_bytes_per_node") and has("mem_resident_bytes_per_node")] | all' \
+    BENCH_scale.json >/dev/null ||
+    fail "BENCH_scale.json points are missing the bytes-per-node columns"
+jq -e '[.points[] | select(.kind != "full_map") | .dir_ratio_vs_full_map < 1] | all' \
+    BENCH_scale.json >/dev/null ||
+    fail "BENCH_scale.json sparse kinds show no directory footprint win over full-map"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -47,8 +57,10 @@ BENCH_SMOKE=1 BENCH_SNAP_OUT="$tmp/snapshot.json" \
     cargo bench -q -p april-bench --bench snapshot >/dev/null
 BENCH_SMOKE=1 BENCH_REC_OUT="$tmp/recovery.json" \
     cargo bench -q -p april-bench --bench recovery >/dev/null
+BENCH_SMOKE=1 BENCH_SCALE_OUT="$tmp/scale.json" \
+    cargo bench -q -p april-bench --bench scale >/dev/null
 
-for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json" "$tmp/recovery.json"; do
+for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json" "$tmp/recovery.json" "$tmp/scale.json"; do
     [ -f "$f" ] || fail "bench run produced no $(basename "$f")"
     jq empty "$f" 2>/dev/null || fail "bench output $(basename "$f") is malformed JSON"
 done
@@ -123,6 +135,24 @@ jq -r '.checkpoint_overhead[] | "\(.interval) \(.overhead_pct)"' "$tmp/recovery.
 rec_fresh=$(jq -r '.recovered_run.wall_s' "$tmp/recovery.json")
 rec_base=$(jq -r '.recovered_run.wall_s' BENCH_recovery.json)
 echo "  recovered run: ${rec_fresh}s vs ${rec_base}s ($(pct "$rec_fresh" "$rec_base"))"
+
+jq -e '[.points[] | has("dir_bytes_per_node") and has("mem_resident_bytes_per_node")] | all' \
+    "$tmp/scale.json" >/dev/null ||
+    fail "fresh scale run is missing the bytes-per-node columns"
+
+echo
+echo "scale: 1089-node cycles/sec per directory kind, fresh smoke vs committed baseline"
+jq -r '.points[] | "\(.kind) \(.cycles_per_sec) \(.dir_bytes_per_node)"' "$tmp/scale.json" |
+    while read -r kind fresh dirb; do
+        base=$(jq -r --arg k "$kind" \
+            '.points[] | select(.kind == $k) | .cycles_per_sec // empty' \
+            BENCH_scale.json)
+        if [ -z "$base" ]; then
+            echo "  $kind: no committed baseline (new directory kind?)"
+        else
+            echo "  $kind: $fresh vs $base ($(pct "$fresh" "$base")), dir ${dirb} B/node"
+        fi
+    done
 
 echo
 echo "check_bench: report complete (deltas are informational; only JSON health gates)."
