@@ -14,6 +14,7 @@
 //! write-backs, contention — is simulated faithfully.
 
 use crate::config::MachineConfig;
+use crate::traffic::{ArrivalPlan, NodeTraffic, IO_RETIRE};
 use crate::watchdog::{
     BusyEntry, FrameStall, InFlightMsg, MachineFault, OutstandingTxn, PostMortem, UndeliverableMsg,
     Watchdog,
@@ -35,6 +36,7 @@ use april_net::fault::{FaultPlan, FaultStats};
 use april_net::network::Network;
 use april_net::topology::Channel;
 use april_obs::{lane, Component, EventKind, Probe, StatsReport, Trace, TraceConfig};
+use std::sync::Arc;
 
 /// I/O register: reading returns this node's id (fixnum).
 pub const IO_NODE_ID: u16 = 1;
@@ -70,6 +72,11 @@ pub struct Node {
     /// driver mutation, a checkpoint). Scheduler bookkeeping, never
     /// snapshotted: restores clear it.
     pub(crate) resv: Option<Resv>,
+    /// Open-loop traffic state (DESIGN.md §15): `Some` on edge
+    /// I/O-handler nodes of a machine with [`MachineConfig::traffic`]
+    /// set, `None` everywhere else. Lives inside the node so the
+    /// parallel machine's shards carry it with their nodes.
+    pub(crate) traffic: Option<Box<NodeTraffic>>,
 }
 
 /// A booked decode-engine run: `len` safe instructions promised over
@@ -154,6 +161,11 @@ pub struct Alewife {
     scratch_out: Vec<(usize, CohMsg)>,
     scratch_dir: Vec<(usize, CohMsg)>,
     scratch_io: Vec<(usize, CohMsg)>,
+    scratch_retired: Vec<u32>,
+    /// The open-loop arrival plan derived from `cfg.traffic` (`None`
+    /// without traffic). Shared read-only with anyone who needs birth
+    /// cycles; derived state, never snapshotted.
+    pub(crate) plan: Option<Arc<ArrivalPlan>>,
     /// Scheduler-internal events (watchdog arming/firing). Lives on
     /// the meta lane, which [`Trace::retain_semantic`] excludes from
     /// the cross-scheduler determinism contract.
@@ -173,6 +185,7 @@ impl Alewife {
         let n = cfg.num_nodes();
         let mut mem = FeMemory::new(cfg.total_mem_bytes());
         mem.load_image(&prog);
+        let plan = ArrivalPlan::build(&cfg).map(Arc::new);
         let nodes = (0..n)
             .map(|i| Node {
                 cpu: Cpu::new(cfg.cpu),
@@ -180,6 +193,10 @@ impl Alewife {
                 dir: Directory::with_config(cfg.dir, n),
                 io_regs: [0; 8],
                 resv: None,
+                traffic: plan
+                    .as_ref()
+                    .filter(|p| p.is_edge(i))
+                    .map(|_| Box::default()),
             })
             .collect();
         let dec = cfg.decode.then(|| DecodedProgram::lower(&prog));
@@ -200,6 +217,8 @@ impl Alewife {
             scratch_out: Vec::new(),
             scratch_dir: Vec::new(),
             scratch_io: Vec::new(),
+            scratch_retired: Vec::new(),
+            plan,
             meta_probe: Probe::default(),
             sig_cache: (0, 0, 0, 0),
             sig_stale: true,
@@ -447,6 +466,23 @@ impl Alewife {
             t = t.min(n.ctl.next_deadline().max(floor));
             t = t.min(n.dir.next_deadline().max(floor));
         }
+        // Open-loop arrivals are machine-driven events: the skip must
+        // land exactly on each edge node's next birth cycle so the
+        // injection happens where lockstep would perform it, and while
+        // a poison word is still waiting for its ring slot the machine
+        // retries every cycle — no skipping at all.
+        if let Some(plan) = &self.plan {
+            for (node, arrivals) in plan.entries() {
+                let Some(tr) = self.nodes[*node].traffic.as_deref() else {
+                    continue;
+                };
+                if tr.cursor < arrivals.len() {
+                    t = t.min(arrivals[tr.cursor].max(floor));
+                } else if !tr.poison_sent {
+                    return floor;
+                }
+            }
+        }
         // `t` is now the earliest cycle any traffic source can act, the
         // bound `earliest_delivery` needs (the watchdog, below, sends
         // nothing, so it does not constrain the bound).
@@ -521,6 +557,20 @@ impl Alewife {
         // all 3N components here would touch every node's cache lines
         // on every visited cycle for nothing.
         self.now = target;
+        // Open-loop ingress first (DESIGN.md §15): requests whose birth
+        // cycle is due land in their edge node's ring before any
+        // deliveries or steps this cycle, so a service loop polling the
+        // slot observes them at the exact same cycle under every
+        // scheduler. Injection is a functional edge-DMA write; it makes
+        // no CPU runnable (parked nodes discover the data through their
+        // own polling, exactly as under lockstep).
+        if let Some(plan) = self.plan.clone() {
+            for &(node, _) in plan.entries() {
+                if let Some(tr) = self.nodes[node].traffic.as_deref_mut() {
+                    crate::traffic::inject_due(&plan, node, tr, target, &mut self.mem, None);
+                }
+            }
+        }
         // Deliver network messages due this cycle. A delivery can make
         // its destination CPU runnable — but only a CPU-touching one
         // (a reply waking a frame, an IPI posting an interrupt; the
@@ -554,6 +604,7 @@ impl Alewife {
         let cfg = self.cfg;
         let mut out = std::mem::take(&mut self.scratch_out);
         let mut io_sends = std::mem::take(&mut self.scratch_io);
+        let mut retired = std::mem::take(&mut self.scratch_retired);
         for i in 0..self.nodes.len() {
             // A CPU still parked once this cycle's deliveries are in is
             // charged its idle time wholesale and not stepped at all.
@@ -610,6 +661,7 @@ impl Alewife {
             }
             out.clear();
             io_sends.clear();
+            retired.clear();
             let node = &mut self.nodes[i];
             let before = node.cpu.stats.total();
             let ev = {
@@ -623,10 +675,18 @@ impl Alewife {
                     out: &mut out,
                     io_sends: &mut io_sends,
                     write_log: None,
+                    retired: &mut retired,
                 };
                 node.cpu.step(&self.prog, port)
             };
             self.sig_stale = true;
+            if !retired.is_empty() {
+                if let (Some(plan), Some(tr)) = (&self.plan, node.traffic.as_deref_mut()) {
+                    for &w in &retired {
+                        crate::traffic::record_retire(plan, i, tr, w, target);
+                    }
+                }
+            }
             let cost = node.cpu.stats.total() - before;
             self.ready_at[i] = self.now + cost;
             if node.cpu.is_halted() && self.halted_at[i].is_none() {
@@ -692,8 +752,10 @@ impl Alewife {
         }
         out.clear();
         io_sends.clear();
+        retired.clear();
         self.scratch_out = out;
         self.scratch_io = io_sends;
+        self.scratch_retired = retired;
         // Forward-progress watchdog: fire only when work is pending —
         // a stable signature on an idle machine is quiescence.
         if self.cfg.watchdog.enabled && self.fault.is_none() {
@@ -926,6 +988,10 @@ pub(crate) struct NodePort<'a> {
     /// order across shards does not matter. The sequential machine
     /// passes `None`.
     pub(crate) write_log: Option<&'a mut Vec<u32>>,
+    /// Request words stored to [`IO_RETIRE`]; the machine drains this
+    /// after the step and timestamps each retirement against its
+    /// arrival plan (a no-op on machines without traffic).
+    pub(crate) retired: &'a mut Vec<u32>,
 }
 
 impl NodePort<'_> {
@@ -1019,6 +1085,9 @@ impl MemoryPort for NodePort<'_> {
 
     fn stio(&mut self, reg: u16, value: Word) {
         match reg {
+            IO_RETIRE => {
+                self.retired.push(value.0);
+            }
             IO_IPI => {
                 let to = value.as_fixnum().unwrap_or(0).max(0) as usize;
                 self.io_sends.push((to, CohMsg::Ipi));
@@ -1142,6 +1211,18 @@ impl Machine for Alewife {
 
     fn fault(&self) -> Option<&MachineFault> {
         self.fault.as_ref()
+    }
+
+    fn retire_request(&mut self, node: usize, word: u32) -> bool {
+        let Some(plan) = self.plan.clone() else {
+            return false;
+        };
+        let Some(tr) = self.nodes[node].traffic.as_deref_mut() else {
+            return false;
+        };
+        let before = tr.retired;
+        crate::traffic::record_retire(&plan, node, tr, word, self.now);
+        tr.retired > before
     }
 
     fn attach_tracer(&mut self, cfg: TraceConfig) {

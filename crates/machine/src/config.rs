@@ -1,5 +1,6 @@
 //! Machine configuration.
 
+use crate::traffic::TrafficConfig;
 use crate::watchdog::WatchdogConfig;
 use april_core::cpu::CpuConfig;
 use april_mem::cache::CacheConfig;
@@ -55,6 +56,11 @@ pub struct MachineConfig {
     /// `APRIL_DECODE=0` environment variable. The decoded image is
     /// derived state — rebuilt on load/restore, never snapshotted.
     pub decode: bool,
+    /// Open-loop traffic description (DESIGN.md §15): when set, edge
+    /// I/O-handler nodes receive a seeded, deterministic open-arrival
+    /// request stream injected by the machine itself. `None` (the
+    /// default) leaves the machine purely program-driven.
+    pub traffic: Option<TrafficConfig>,
 }
 
 impl Default for MachineConfig {
@@ -73,6 +79,7 @@ impl Default for MachineConfig {
             workers: 1,
             window_override: 0,
             decode: decode_default(),
+            traffic: None,
         }
     }
 }

@@ -28,6 +28,7 @@ pub mod parallel;
 pub mod recovery;
 pub mod replay;
 pub mod snapshot;
+pub mod traffic;
 pub mod watchdog;
 
 use april_core::cpu::{Cpu, StepEvent};
@@ -47,6 +48,7 @@ pub use recovery::{
 };
 pub use replay::{Divergence, Replayer};
 pub use snapshot::{diff_snapshots, Snapshot, SnapshotError};
+pub use traffic::{service_program, ArrivalPlan, TrafficConfig};
 pub use watchdog::{MachineFault, PostMortem, UndeliverableMsg, WatchdogConfig};
 
 pub use april_net::topology::Topology;
@@ -133,6 +135,16 @@ pub trait Machine {
     /// [`StatsReport`]. Uninstrumented machines return an empty report.
     fn stats_report(&self) -> StatsReport {
         StatsReport::new()
+    }
+
+    /// Retires an open-loop request (DESIGN.md §15) on behalf of the
+    /// run-time system: `word` is the request word a service task
+    /// hands back through the run-time's retire call, and the machine
+    /// timestamps it against its arrival plan ([`traffic`]). Returns
+    /// `true` when the word was recorded as a retirement; machines
+    /// without traffic support ignore the call.
+    fn retire_request(&mut self, _node: usize, _word: u32) -> bool {
+        false
     }
 
     /// Captures the machine's complete state as a versioned

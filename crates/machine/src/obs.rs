@@ -15,7 +15,7 @@ use april_core::stats::CpuStats;
 use april_mem::controller::CtlStats;
 use april_mem::directory::DirStats;
 use april_net::network::Network;
-use april_obs::{lane, Component, Probe, Section, StatsReport, Trace, TraceConfig};
+use april_obs::{lane, Component, Probe, QHist, Section, StatsReport, Trace, TraceConfig};
 
 /// Installs live probes on every node's processor, cache controller,
 /// and directory, one lane per component per node.
@@ -25,6 +25,9 @@ pub(crate) fn attach_node_probes(nodes: &mut [Node], cfg: TraceConfig) {
         n.cpu.attach_probe(Probe::new(lane(Component::Cpu, i), cfg));
         n.ctl.attach_probe(Probe::new(lane(Component::Ctl, i), cfg));
         n.dir.attach_probe(Probe::new(lane(Component::Dir, i), cfg));
+        if let Some(tr) = n.traffic.as_deref_mut() {
+            tr.probe = Probe::new(lane(Component::Request, i), cfg);
+        }
     }
 }
 
@@ -35,6 +38,9 @@ pub(crate) fn collect_node_traces(trace: &mut Trace, nodes: &[Node]) {
         trace.push_probe(n.cpu.trace_probe());
         trace.push_probe(n.ctl.trace_probe());
         trace.push_probe(n.dir.trace_probe());
+        if let Some(tr) = n.traffic.as_deref() {
+            trace.push_probe(&tr.probe);
+        }
     }
 }
 
@@ -136,6 +142,44 @@ pub(crate) fn build_report(nodes: &[Node], net: &Network<Env>) -> StatsReport {
         .counter("failstop_drops", net.fault_stats.failstop_drops)
         .counter("dead_letters", net.fault_stats.dead_letters);
     report.push(s);
+
+    // Open-loop traffic (DESIGN.md §15): one machine-wide section
+    // merging every edge node's counters and latency histogram.
+    // Derived purely from per-node traffic state (`last_retire` is the
+    // latest retirement's own cycle, not the scheduler clock), so the
+    // section is part of the cross-scheduler determinism contract.
+    if nodes.iter().any(|n| n.traffic.is_some()) {
+        let mut offered = 0u64;
+        let mut injected = 0u64;
+        let mut dropped = 0u64;
+        let mut retired = 0u64;
+        let mut last_retire = 0u64;
+        let mut latency = QHist::default();
+        for n in nodes.iter().filter_map(|n| n.traffic.as_deref()) {
+            offered += n.injected + n.dropped;
+            injected += n.injected;
+            dropped += n.dropped;
+            retired += n.retired;
+            last_retire = last_retire.max(n.last_retire);
+            latency.merge(&n.latency);
+        }
+        let mut s = Section::new("traffic");
+        s.counter("offered", offered)
+            .counter("injected", injected)
+            .counter("dropped", dropped)
+            .counter("retired", retired)
+            .counter("last_retire_cycle", last_retire)
+            .gauge(
+                "throughput_per_kcycle",
+                if last_retire == 0 {
+                    0.0
+                } else {
+                    retired as f64 * 1000.0 / last_retire as f64
+                },
+            )
+            .qhist("latency", latency);
+        report.push(s);
+    }
 
     for (i, n) in nodes.iter().enumerate() {
         let mut s = Section::new(format!("node{i}"));

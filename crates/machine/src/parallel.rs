@@ -21,6 +21,7 @@ use crate::alewife::{
 };
 use crate::config::MachineConfig;
 use crate::driver::{EventCtx, NodeDriver};
+use crate::traffic::ArrivalPlan;
 use crate::watchdog::{
     BusyEntry, FrameStall, InFlightMsg, MachineFault, OutstandingTxn, PostMortem, UndeliverableMsg,
     Watchdog,
@@ -38,7 +39,7 @@ use april_net::fault::{FaultPlan, FaultStats};
 use april_net::network::Network;
 use april_net::topology::Channel;
 use april_obs::{lane, Component, EventKind, Probe, StatsReport, Trace, TraceConfig};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The smallest protocol packet in flits (header + address); the
 /// lookahead bound is computed against it. `CohMsg::size_flits` never
@@ -148,11 +149,17 @@ struct Shard<'a> {
     /// shard (`None` with the decode engine off).
     dec: Option<&'a DecodedProgram>,
     cfg: MachineConfig,
+    /// The machine's open-loop arrival plan (`None` without traffic).
+    /// Injection and retirement both happen on the edge node's own
+    /// shard — producer and consumer share the write log, so the
+    /// one-writer-per-word-per-window invariant holds untouched.
+    plan: Option<Arc<ArrivalPlan>>,
     write_log: Vec<u32>,
     scratch_out: Vec<(usize, CohMsg)>,
     scratch_dir: Vec<(usize, CohMsg)>,
     scratch_io: Vec<(usize, CohMsg)>,
     scratch_evs: Vec<(usize, StepEvent)>,
+    scratch_retired: Vec<u32>,
 }
 
 /// Charging context handed to the driver for a single node's event; the
@@ -204,6 +211,25 @@ impl Shard<'_> {
                 n.cpu.set_clock(c);
                 n.ctl.set_clock(c);
                 n.dir.set_clock(c);
+            }
+            // Open-loop ingress, before deliveries and steps — the
+            // same within-cycle position as `Alewife::advance_to`.
+            // Writes land in this shard's replica and its write log;
+            // only the edge node itself ever touches its ring slots, so
+            // the replica is always current for them.
+            if let Some(plan) = &self.plan {
+                for k in 0..self.nodes.len() {
+                    if let Some(tr) = self.nodes[k].traffic.as_deref_mut() {
+                        crate::traffic::inject_due(
+                            plan,
+                            self.base + k,
+                            tr,
+                            c,
+                            &mut self.mem,
+                            Some(&mut self.write_log),
+                        );
+                    }
+                }
             }
             while next_delivery < cmd.deliveries.len() && cmd.deliveries[next_delivery].0 == c {
                 let (_, gidx, dst, env) = cmd.deliveries[next_delivery];
@@ -286,6 +312,7 @@ impl Shard<'_> {
                 }
                 self.scratch_out.clear();
                 self.scratch_io.clear();
+                self.scratch_retired.clear();
                 let node = &mut self.nodes[k];
                 let before = node.cpu.stats.total();
                 let ev = {
@@ -299,6 +326,7 @@ impl Shard<'_> {
                         out: &mut self.scratch_out,
                         io_sends: &mut self.scratch_io,
                         write_log: Some(&mut self.write_log),
+                        retired: &mut self.scratch_retired,
                     };
                     node.cpu.step(self.prog, port)
                 };
@@ -336,6 +364,16 @@ impl Shard<'_> {
                         },
                     });
                     seq += 1;
+                }
+                if !self.scratch_retired.is_empty() {
+                    if let (Some(plan), Some(tr)) =
+                        (&self.plan, self.nodes[k].traffic.as_deref_mut())
+                    {
+                        for &w in &self.scratch_retired {
+                            crate::traffic::record_retire(plan, self.base + k, tr, w, c);
+                        }
+                    }
+                    self.scratch_retired.clear();
                 }
                 match ev {
                     StepEvent::Executed | StepEvent::Stalled { .. } => {}
@@ -543,6 +581,10 @@ pub struct ParallelAlewife {
     /// firing) on the meta lane, which [`Trace::retain_semantic`]
     /// excludes from the cross-scheduler determinism contract.
     pub(crate) meta_probe: Probe,
+    /// The open-loop arrival plan derived from `cfg.traffic` (`None`
+    /// without traffic); cloned into every shard. Derived state, never
+    /// snapshotted.
+    pub(crate) plan: Option<Arc<ArrivalPlan>>,
 }
 
 impl ParallelAlewife {
@@ -552,6 +594,7 @@ impl ParallelAlewife {
         let n = cfg.num_nodes();
         let mut mem = FeMemory::new(cfg.total_mem_bytes());
         mem.load_image(&prog);
+        let plan = ArrivalPlan::build(&cfg).map(Arc::new);
         let nodes = (0..n)
             .map(|i| Node {
                 cpu: Cpu::new(cfg.cpu),
@@ -559,6 +602,10 @@ impl ParallelAlewife {
                 dir: Directory::with_config(cfg.dir, cfg.num_nodes()),
                 io_regs: [0; 8],
                 resv: None,
+                traffic: plan
+                    .as_ref()
+                    .filter(|p| p.is_edge(i))
+                    .map(|_| Box::default()),
             })
             .collect();
         let dec = cfg.decode.then(|| DecodedProgram::lower(&prog));
@@ -575,6 +622,7 @@ impl ParallelAlewife {
             watchdog: Watchdog::default(),
             fault: None,
             meta_probe: Probe::default(),
+            plan,
         }
     }
 
@@ -819,11 +867,13 @@ impl ParallelAlewife {
                     prog,
                     dec,
                     cfg: self.cfg,
+                    plan: self.plan.clone(),
                     write_log: Vec::new(),
                     scratch_out: Vec::new(),
                     scratch_dir: Vec::new(),
                     scratch_io: Vec::new(),
                     scratch_evs: Vec::new(),
+                    scratch_retired: Vec::new(),
                 });
             }
             shards.reverse();

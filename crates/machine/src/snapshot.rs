@@ -39,7 +39,7 @@ use april_mem::snapshot::{
     restore_femem,
 };
 use april_net::network::Network;
-use april_obs::Probe;
+use april_obs::{Probe, QHist};
 use april_util::wire::{digest64, ByteReader, ByteWriter, WireError};
 use std::fmt;
 
@@ -50,8 +50,9 @@ pub const MAGIC: [u8; 4] = *b"APRL";
 /// quarantine sets, and the dead-letter log. Version 3 made the memory
 /// section sparse (untouched 4 KiB chunks serialize as holes), added
 /// coarse/broadcast sharer-set encodings for the sparse directory
-/// kinds, and appended the directory overflow counter.
-pub const VERSION: u8 = 3;
+/// kinds, and appended the directory overflow counter. Version 4 added
+/// the per-edge-node open-loop traffic section (DESIGN.md §15).
+pub const VERSION: u8 = 4;
 
 /// Section kinds. Per-node sections (`CPU`..`IO`) carry the node id in
 /// their tag; machine-wide sections use node id 0.
@@ -64,6 +65,11 @@ const SEC_NET: u8 = 5;
 const SEC_SCHED: u8 = 6;
 const SEC_WATCHDOG: u8 = 7;
 const SEC_META: u8 = 8;
+/// Per-edge-node open-loop traffic state (only nodes with an ingress
+/// ring have one); follows the node's `IO` section. The injection
+/// cursor is deliberately absent — it is derived from the arrival plan
+/// and the restored clock.
+const SEC_TRAFFIC: u8 = 9;
 
 fn section_name(kind: u8) -> &'static str {
     match kind {
@@ -76,6 +82,7 @@ fn section_name(kind: u8) -> &'static str {
         SEC_SCHED => "sched",
         SEC_WATCHDOG => "watchdog",
         SEC_META => "meta",
+        SEC_TRAFFIC => "traffic",
         _ => "unknown",
     }
 }
@@ -331,6 +338,7 @@ fn push_section(w: &mut ByteWriter, kind: u8, node: u32, payload: ByteWriter) {
 
 pub(crate) fn encode_machine(v: MachineView<'_>) -> Snapshot {
     let n = v.nodes.len();
+    let traffic_nodes = v.nodes.iter().filter(|nd| nd.traffic.is_some()).count();
     let mut w = ByteWriter::new();
     w.bytes(&MAGIC);
     w.u8(VERSION);
@@ -338,7 +346,7 @@ pub(crate) fn encode_machine(v: MachineView<'_>) -> Snapshot {
     w.str(&semantic_config_debug(v.cfg));
     w.u64(prog_digest(v.prog));
     w.usize(n);
-    w.usize(n * 4 + 5);
+    w.usize(n * 4 + traffic_nodes + 5);
 
     for (i, node) in v.nodes.iter().enumerate() {
         let i = i as u32;
@@ -356,6 +364,17 @@ pub(crate) fn encode_machine(v: MachineView<'_>) -> Snapshot {
             p.u32(r);
         }
         push_section(&mut w, SEC_IO, i, p);
+        if let Some(tr) = node.traffic.as_deref() {
+            let mut p = ByteWriter::new();
+            p.u64(tr.injected);
+            p.u64(tr.dropped);
+            p.u64(tr.retired);
+            p.u64(tr.last_retire);
+            p.bool(tr.poison_sent);
+            tr.latency.encode(&mut p);
+            tr.probe.encode(&mut p);
+            push_section(&mut w, SEC_TRAFFIC, i, p);
+        }
     }
 
     let mut p = ByteWriter::new();
@@ -408,9 +427,14 @@ pub(crate) fn restore_machine(v: MachineViewMut<'_>, snap: &Snapshot) -> Result<
     }
     let n = v.nodes.len();
     // The canonical section sequence; restore refuses anything else.
-    let mut expected: Vec<(u8, u32)> = Vec::with_capacity(n * 4 + 5);
+    // Traffic sections appear exactly on the edge nodes, which the
+    // receiving machine knows from its own (already validated) config.
+    let mut expected: Vec<(u8, u32)> = Vec::with_capacity(n * 5 + 5);
     for i in 0..n as u32 {
         expected.extend([(SEC_CPU, i), (SEC_CTL, i), (SEC_DIR, i), (SEC_IO, i)]);
+        if v.nodes[i as usize].traffic.is_some() {
+            expected.push((SEC_TRAFFIC, i));
+        }
     }
     expected.extend([
         (SEC_MEM, 0),
@@ -448,6 +472,21 @@ pub(crate) fn restore_machine(v: MachineViewMut<'_>, snap: &Snapshot) -> Result<
                 for reg in &mut nodes[node as usize].io_regs {
                     *reg = r.u32()?;
                 }
+            }
+            SEC_TRAFFIC => {
+                let tr = nodes[node as usize]
+                    .traffic
+                    .as_deref_mut()
+                    .expect("expected list admits traffic sections only on edge nodes");
+                tr.injected = r.u64()?;
+                tr.dropped = r.u64()?;
+                tr.retired = r.u64()?;
+                tr.last_retire = r.u64()?;
+                tr.poison_sent = r.bool()?;
+                tr.latency = QHist::decode(&mut r)?;
+                tr.probe = Probe::decode(&mut r)?;
+                // `cursor` is derived from the arrival plan and the
+                // restored clock; the caller recomputes it.
             }
             SEC_MEM => restore_femem(mem, &mut r)?,
             SEC_NET => net.restore_with(&mut r, decode_env)?,
@@ -552,6 +591,16 @@ impl Alewife {
             snap,
         )?;
         self.fault = None;
+        // Injection cursors are derived: every arrival with a birth
+        // cycle ≤ the restored clock was already handled before the
+        // checkpoint.
+        if let Some(plan) = &self.plan {
+            for (node, arrivals) in plan.entries() {
+                if let Some(tr) = self.nodes[*node].traffic.as_deref_mut() {
+                    tr.reset_cursor(arrivals, self.now);
+                }
+            }
+        }
         // `parked` is a pure optimization hint ("stepping this CPU is
         // known to yield NoReadyFrame"); all-false is always safe and
         // reproduces the lockstep ledger regardless of what the
@@ -614,6 +663,15 @@ impl ParallelAlewife {
             snap,
         )?;
         self.fault = None;
+        // Injection cursors are derived state, recomputed from the
+        // plan and the restored clock (see `Alewife::restore`).
+        if let Some(plan) = &self.plan {
+            for (node, arrivals) in plan.entries() {
+                if let Some(tr) = self.nodes[*node].traffic.as_deref_mut() {
+                    tr.reset_cursor(arrivals, self.now);
+                }
+            }
+        }
         for n in &mut self.nodes {
             n.resv = None;
         }

@@ -32,4 +32,6 @@ pub mod params;
 pub mod utilization;
 
 pub use params::SystemParams;
-pub use utilization::{equation_1, figure5_sweep, solve, UtilizationPoint};
+pub use utilization::{
+    equation_1, figure5_sweep, open_loop_knee, open_loop_utilization, solve, UtilizationPoint,
+};

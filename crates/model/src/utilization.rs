@@ -94,6 +94,34 @@ impl UtilizationPoint {
     }
 }
 
+/// Section 8 applied to the open-loop server (DESIGN.md §15): one
+/// service thread per edge node absorbs requests arriving at
+/// `offered_work` useful cycles per processor cycle. Below the knee
+/// the processor is busy exactly as often as work arrives, so
+/// utilization tracks the offered load; past it, utilization caps at
+/// the single-thread Equation 1 bound for miss rate `m`, round-trip
+/// latency `t`, and context-switch overhead `c`.
+///
+/// ```
+/// use april_model::open_loop_utilization;
+///
+/// // Light load: the server idles between requests.
+/// assert!((open_loop_utilization(0.2, 0.02, 55.0, 10.0) - 0.2).abs() < 1e-12);
+/// // Overload: capped at the p = 1 Equation 1 bound.
+/// let cap = open_loop_utilization(2.0, 0.02, 55.0, 10.0);
+/// assert!((cap - 1.0 / 2.1).abs() < 1e-12);
+/// ```
+pub fn open_loop_utilization(offered_work: f64, m: f64, t: f64, c: f64) -> f64 {
+    offered_work.clamp(0.0, open_loop_knee(m, t, c))
+}
+
+/// The offered load (useful cycles per processor cycle) at which the
+/// open-loop server saturates — the knee of the throughput-vs-load
+/// curve, and the ceiling of [`open_loop_utilization`].
+pub fn open_loop_knee(m: f64, t: f64, c: f64) -> f64 {
+    equation_1(1.0, m, t, c)
+}
+
 /// Computes the Figure 5 sweep for `p = 1..=max_p` with context-switch
 /// overhead `c`.
 pub fn figure5_sweep(params: &SystemParams, max_p: usize, c: f64) -> Vec<UtilizationPoint> {
@@ -189,6 +217,21 @@ mod tests {
             let stack = pt.useful + pt.switch_loss() + pt.cache_loss() + pt.network_loss();
             assert!((stack - pt.ideal).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn open_loop_curve_is_linear_then_flat() {
+        let (m, t, c) = (0.02, 55.0, 10.0);
+        let knee = open_loop_knee(m, t, c);
+        assert!((0.0..=1.0).contains(&knee));
+        // Linear below the knee.
+        let lo = open_loop_utilization(knee * 0.3, m, t, c);
+        assert!((lo - knee * 0.3).abs() < 1e-12);
+        // Flat above it.
+        assert_eq!(open_loop_utilization(knee * 1.5, m, t, c), knee);
+        assert_eq!(open_loop_utilization(10.0, m, t, c), knee);
+        // A faster network raises the knee.
+        assert!(open_loop_knee(m, 20.0, c) > knee);
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub enum Component {
     /// machine's trace: a recovered run's *machine* trace stays
     /// byte-identical to a fresh run from the same checkpoint.
     Recovery = 6,
+    /// An open-loop traffic ingress point (request arrivals, retires,
+    /// drops at an edge I/O-handler node). One lane per edge node.
+    Request = 7,
 }
 
 impl Component {
@@ -45,6 +48,7 @@ impl Component {
             Component::Net => "net",
             Component::Meta => "meta",
             Component::Recovery => "recovery",
+            Component::Request => "request",
         }
     }
 
@@ -56,6 +60,7 @@ impl Component {
             3 => Component::Runtime,
             4 => Component::Net,
             6 => Component::Recovery,
+            7 => Component::Request,
             _ => Component::Meta,
         }
     }
@@ -169,6 +174,18 @@ pub enum EventKind {
     /// ([`Component::Recovery`]). `a` = resume cycle, `b` = the
     /// backed-off watchdog horizon now in force.
     ReExecute = 26,
+    /// An open-loop request was injected into an edge node's ingress
+    /// ring ([`Component::Request`]). `a` = request id, `b` = ring slot
+    /// address.
+    RequestArrive = 27,
+    /// An open-loop request was retired by the service loop
+    /// ([`Component::Request`]). `a` = request id, `b` = birth-to-retire
+    /// latency in cycles.
+    RequestRetire = 28,
+    /// An open-loop request arrived to a full ingress ring and was
+    /// dropped ([`Component::Request`]). `a` = request id, `b` = ring
+    /// slot address that was still occupied.
+    RequestDrop = 29,
 }
 
 impl EventKind {
@@ -202,6 +219,9 @@ impl EventKind {
             24 => EventKind::Rollback,
             25 => EventKind::QuarantineApplied,
             26 => EventKind::ReExecute,
+            27 => EventKind::RequestArrive,
+            28 => EventKind::RequestRetire,
+            29 => EventKind::RequestDrop,
             tag => return Err(WireError::BadTag { at, tag }),
         })
     }
@@ -236,6 +256,9 @@ impl EventKind {
             EventKind::Rollback => "rollback",
             EventKind::QuarantineApplied => "quarantine_applied",
             EventKind::ReExecute => "re_execute",
+            EventKind::RequestArrive => "request_arrive",
+            EventKind::RequestRetire => "request_retire",
+            EventKind::RequestDrop => "request_drop",
         }
     }
 }
@@ -332,6 +355,7 @@ mod tests {
             Component::Net,
             Component::Meta,
             Component::Recovery,
+            Component::Request,
         ] {
             let l = lane(comp, 1234);
             assert_eq!(lane_component(l), comp);
@@ -347,7 +371,7 @@ mod tests {
 
     #[test]
     fn every_kind_roundtrips_on_the_wire() {
-        for tag in 0u8..=26 {
+        for tag in 0u8..=29 {
             let kind = EventKind::from_u8(tag, 0).unwrap();
             assert_eq!(kind as u8, tag);
             let e = Event {
@@ -365,6 +389,6 @@ mod tests {
             assert_eq!(Event::decode(&mut r).unwrap(), e);
             assert!(r.is_empty());
         }
-        assert!(EventKind::from_u8(27, 0).is_err());
+        assert!(EventKind::from_u8(30, 0).is_err());
     }
 }

@@ -43,5 +43,5 @@ mod trace;
 pub use event::{lane, lane_component, lane_node, Component, Event, EventKind};
 pub use json::{validate_json, JsonWriter};
 pub use probe::{Probe, TraceConfig};
-pub use report::{Hist, Section, StatsReport};
+pub use report::{Hist, QHist, Section, StatsReport};
 pub use trace::Trace;

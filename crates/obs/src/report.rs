@@ -161,12 +161,225 @@ impl Hist {
     }
 }
 
+/// Sub-bucket count per power-of-two group in a [`QHist`].
+const QSUB: usize = 16;
+/// Total bucket count of a [`QHist`]: 16 exact buckets for values
+/// below 16, then 16 linear sub-buckets per power-of-two group up to
+/// `u64::MAX` (groups for exponents 4..=63).
+const QBUCKETS: usize = QSUB + 60 * QSUB;
+
+/// A quantile histogram: log2 groups refined by 16 linear sub-buckets,
+/// bounding the relative error of any reported quantile by 1/16.
+///
+/// [`Hist`]'s pure log2 buckets are fine for means and tails-by-decade
+/// but far too coarse for p999 latency curves, where a factor-of-two
+/// bucket swallows the whole tail. `QHist` records values below 16
+/// exactly and everything else into `(exponent, v >> (exponent - 4))`
+/// buckets, so [`QHist::quantile`] answers with at most ~6% error.
+/// Recording is allocation-free; merging is element-wise and therefore
+/// independent of recording order, which is what makes reports built
+/// from merged shard snapshots deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use april_obs::QHist;
+///
+/// let mut h = QHist::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.50);
+/// assert!((470..=530).contains(&p50), "p50 = {p50}");
+/// assert_eq!(h.quantile(1.0), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QHist {
+    buckets: Box<[u64; QBUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for QHist {
+    fn default() -> QHist {
+        QHist {
+            buckets: Box::new([0; QBUCKETS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl QHist {
+    /// Creates an empty histogram.
+    pub fn new() -> QHist {
+        QHist::default()
+    }
+
+    /// The bucket index of value `v`.
+    #[inline]
+    fn index_of(v: u64) -> usize {
+        if v < QSUB as u64 {
+            v as usize
+        } else {
+            let top = (63 - v.leading_zeros()) as usize; // >= 4
+            (top - 3) * QSUB + ((v >> (top - 4)) & (QSUB as u64 - 1)) as usize
+        }
+    }
+
+    /// The largest value that lands in bucket `idx` (its reported
+    /// representative).
+    fn upper_bound(idx: usize) -> u64 {
+        if idx < QSUB {
+            idx as u64
+        } else {
+            let top = idx / QSUB + 3;
+            let sub = (idx % QSUB) as u64;
+            let width = 1u64 << (top - 4);
+            ((QSUB as u64 + sub) << (top - 4)) + (width - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[QHist::index_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound on the
+    /// sample at rank `ceil(q * count)`, within 1/16 relative error
+    /// (and clamped to the true maximum). Returns 0 on an empty
+    /// histogram. Deterministic: a pure function of the recorded
+    /// multiset.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return QHist::upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise accumulation of `other` into `self`.
+    pub fn merge(&mut self, other: &QHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Appends the histogram to a snapshot buffer. Sparse: only
+    /// non-empty buckets are written.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.max);
+        let nonzero = self.buckets.iter().filter(|&&c| c != 0).count();
+        w.usize(nonzero);
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                w.u32(idx as u32);
+                w.u64(c);
+            }
+        }
+    }
+
+    /// Decodes a histogram written by [`QHist::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<QHist, WireError> {
+        let mut h = QHist::new();
+        h.count = r.u64()?;
+        h.sum = r.u64()?;
+        h.max = r.u64()?;
+        let nonzero = r.usize()?;
+        for _ in 0..nonzero {
+            let idx = r.u32()? as usize;
+            if idx >= QBUCKETS {
+                return Err(WireError::Corrupt("qhist bucket index out of range"));
+            }
+            h.buckets[idx] = r.u64()?;
+        }
+        Ok(h)
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("count");
+        w.u64_value(self.count);
+        w.key("sum");
+        w.u64_value(self.sum);
+        w.key("max");
+        w.u64_value(self.max);
+        w.key("mean");
+        w.f64_value(self.mean());
+        w.key("p50");
+        w.u64_value(self.quantile(0.50));
+        w.key("p99");
+        w.u64_value(self.quantile(0.99));
+        w.key("p999");
+        w.u64_value(self.quantile(0.999));
+        // Sparse [index, count] pairs; the bucket geometry (16 linear
+        // sub-buckets per log2 group) makes the index self-describing.
+        w.key("buckets");
+        w.begin_array();
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                w.begin_array();
+                w.u64_value(idx as u64);
+                w.u64_value(c);
+                w.end_array();
+            }
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
 /// What a [`Section`] entry holds.
 #[derive(Debug, Clone, PartialEq)]
 enum Metric {
     Counter(u64),
     Gauge(f64),
     Hist(Box<Hist>),
+    QHist(Box<QHist>),
 }
 
 /// A named group of metrics within a [`StatsReport`] (e.g. one per
@@ -210,6 +423,12 @@ impl Section {
         self
     }
 
+    /// Adds a quantile-histogram snapshot.
+    pub fn qhist(&mut self, key: &'static str, h: QHist) -> &mut Section {
+        self.entries.push((key, Metric::QHist(Box::new(h))));
+        self
+    }
+
     /// Looks up a counter by key.
     pub fn get_counter(&self, key: &str) -> Option<u64> {
         self.entries.iter().find_map(|(k, m)| match m {
@@ -226,6 +445,14 @@ impl Section {
         })
     }
 
+    /// Looks up a quantile histogram by key.
+    pub fn get_qhist(&self, key: &str) -> Option<&QHist> {
+        self.entries.iter().find_map(|(k, m)| match m {
+            Metric::QHist(h) if *k == key => Some(h.as_ref()),
+            _ => None,
+        })
+    }
+
     fn write_json(&self, w: &mut JsonWriter) {
         w.key(&self.name);
         w.begin_object();
@@ -235,6 +462,7 @@ impl Section {
                 Metric::Counter(v) => w.u64_value(*v),
                 Metric::Gauge(v) => w.f64_value(*v),
                 Metric::Hist(h) => h.write_json(w),
+                Metric::QHist(h) => h.write_json(w),
             }
         }
         w.end_object();
@@ -325,6 +553,70 @@ mod tests {
         ba.merge(&a);
         assert_eq!(ab, ba);
         assert_eq!(ab.count(), 100);
+    }
+
+    #[test]
+    fn qhist_quantiles_are_tight_and_merge_is_order_independent() {
+        let mut h = QHist::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.quantile(0.0), 1);
+        for (q, exact) in [(0.5, 5_000u64), (0.99, 9_900), (0.999, 9_990)] {
+            let got = h.quantile(q);
+            assert!(
+                got >= exact && (got - exact) as f64 <= exact as f64 / 16.0 + 1.0,
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+
+        // Small values are exact.
+        let mut s = QHist::new();
+        for v in [0u64, 3, 3, 7] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.5), 3);
+        assert_eq!(s.quantile(1.0), 7);
+
+        // Merge is element-wise, so order-independent.
+        let mut a = QHist::new();
+        let mut b = QHist::new();
+        for v in 0..1000u64 {
+            if v % 3 == 0 {
+                a.record(v * v);
+            } else {
+                b.record(v * v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 1000);
+
+        // Wire roundtrip.
+        let mut w = ByteWriter::new();
+        ab.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(QHist::decode(&mut r).unwrap(), ab);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn qhist_extremes_roundtrip() {
+        let mut h = QHist::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.1), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        let mut w = ByteWriter::new();
+        h.encode(&mut w);
+        let bytes = w.finish();
+        assert_eq!(QHist::decode(&mut ByteReader::new(&bytes)).unwrap(), h);
     }
 
     #[test]

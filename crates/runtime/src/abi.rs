@@ -78,6 +78,11 @@ pub const RT_HEAP_MORE: u16 = 9;
 pub const RT_PRINT: u16 = 10;
 /// Voluntary yield (used by synthetic workloads).
 pub const RT_YIELD: u16 = 11;
+/// Retire an open-loop request (DESIGN.md §15): `r1` holds the request
+/// word taken from an ingress ring; the machine timestamps it against
+/// its arrival plan and records birth→retire latency. A no-op on
+/// machines without traffic support.
+pub const RT_RETIRE: u16 = 12;
 
 // ---------------------------------------------------------------------
 // Data representation singletons
@@ -200,6 +205,7 @@ mod tests {
             RT_HEAP_MORE,
             RT_PRINT,
             RT_YIELD,
+            RT_RETIRE,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

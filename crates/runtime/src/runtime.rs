@@ -835,6 +835,14 @@ impl<M: Machine> Runtime<M> {
             abi::RT_YIELD => {
                 self.switch_spin(node);
             }
+            abi::RT_RETIRE => {
+                // Open-loop request retirement (DESIGN.md §15): hand
+                // the request word back to the machine, which records
+                // birth→retire latency against its arrival plan.
+                let w = self.machine.cpu(node).get_reg(abi::REG_RET);
+                self.machine.retire_request(node, w.0);
+                self.machine.charge_handler(node, 1);
+            }
             other => {
                 return Err(RunError::Fault {
                     what: format!("unknown rtcall {other}"),

@@ -485,3 +485,77 @@ fn spin_policy_retries_in_place() {
     assert!(r.total.fe_traps > 10, "pure spinning retries constantly");
     assert_eq!(r.total.context_switches, 0, "spinning never switches");
 }
+
+#[test]
+fn rt_retire_records_open_loop_latency() {
+    // The run-time path of DESIGN.md §15: instead of the machine-level
+    // `stio` retire, a service thread hands each request word back
+    // through `rtcall 12` (RT_RETIRE) and the machine times it against
+    // its arrival plan. Here main itself serves node 0's ingress ring:
+    // poll, retire, consume, until the poison word arrives.
+    use april_machine::{Alewife, Machine, MachineConfig, Topology, TrafficConfig};
+
+    let traffic = TrafficConfig {
+        seed: 0xcafe,
+        edge_every: 4, // only node 0 of the 2x2 mesh is an edge
+        requests_per_edge: 12,
+        mean_gap: 60,
+        phase_len: 0,
+        off_mul: 1,
+        ring_offset: 0x8000, // clear of the runtime's low-memory layout
+        ring_slots: 4,
+        work_remote: 0,
+        work_local: 0,
+    };
+    let body = "
+        .entry main
+        main:
+            movi 0x8000, r9    ; ring base (node 0's region starts at 0)
+            movi 0, r8         ; slot offset within the ring
+        poll:
+            add r9, r8, r7
+            ld r7+0, r3
+            sub r3, 1, r4      ; cc: empty < 0, poison = 0, request > 0
+            jlt poll
+            nop
+            jeq done
+            nop
+            or r3, 0, r1
+            rtcall 12          ; RT_RETIRE
+            movi 0, r4
+            st r4, r7+0        ; consume the slot
+            add r8, 4, r8
+            movi 16, r5        ; ring_slots * 4
+            rem r8, r5, r8
+            jmp poll
+            nop
+        done:
+            movi 168, r1       ; fixnum 42
+            rtcall 1           ; RT_MAIN_DONE
+    ";
+    let prog = program(body);
+    let m = Alewife::new(
+        MachineConfig {
+            topology: Topology::new(2, 2),
+            region_bytes: REGION,
+            traffic: Some(traffic),
+            ..MachineConfig::default()
+        },
+        prog,
+    );
+    let mut rt = Runtime::new(m, cfg());
+    let r = rt.run().unwrap_or_else(|e| panic!("run failed: {e}"));
+    assert_eq!(r.value.as_fixnum(), Some(42));
+
+    let report = rt.machine().stats_report();
+    let s = report.section("traffic").expect("traffic section present");
+    let injected = s.get_counter("injected").unwrap();
+    let dropped = s.get_counter("dropped").unwrap();
+    let retired = s.get_counter("retired").unwrap();
+    assert_eq!(injected + dropped, 12, "arrival accounting");
+    assert_eq!(retired, injected, "every injected request was retired");
+    assert!(retired > 0, "no requests retired through RT_RETIRE");
+    let hist = s.get_qhist("latency").expect("latency histogram present");
+    assert_eq!(hist.count(), retired, "one latency sample per retire");
+    assert!(hist.quantile(0.999) > 0, "latencies must be positive");
+}

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example utilization_model`
 
 use april::model::params::SystemParams;
-use april::model::utilization::{figure5_sweep, solve};
+use april::model::utilization::{figure5_sweep, open_loop_knee, open_loop_utilization, solve};
 
 fn bar(u: f64) -> String {
     let n = (u * 40.0).round() as usize;
@@ -59,4 +59,17 @@ fn main() {
         );
     }
     println!("(paper: 4 frames tolerate latencies of 150-300 cycles)");
+
+    println!("\nOpen-loop server (DESIGN.md §15): utilization vs offered load for a");
+    println!("single service thread per edge node. Below the knee the processor is");
+    println!("busy exactly as often as work arrives; past it, Equation 1's p = 1");
+    println!("bound caps the server and queues grow without bound:");
+    let (m, t, c) = (0.02, base.base_round_trip(), base.switch_overhead);
+    let knee = open_loop_knee(m, t, c);
+    for load in [0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0] {
+        let u = open_loop_utilization(load, m, t, c);
+        let mark = if load > knee { "  <- saturated" } else { "" };
+        println!("  offered = {load:.2}  {}{mark}", bar(u));
+    }
+    println!("  knee at offered = {knee:.3} (the referee for BENCH_openloop.json)");
 }

@@ -24,6 +24,11 @@
 #     coarse-vector directories, recording construction wall time,
 #     simulated cycles/sec, and directory/memory resident bytes per
 #     node (the footprint the sparse representations exist for).
+#   BENCH_openloop.json — open-loop traffic (DESIGN.md §15): offered
+#     load swept across the saturation knee, with p50/p99/p999 request
+#     latency, throughput, drops, and measured-vs-Section-8-model
+#     utilization per point (the model calibrated once from the
+#     most-saturated point's cycle ledger).
 #
 # BENCH_SMOKE=1 shrinks the workloads for a fast CI smoke run.
 set -eu
@@ -35,3 +40,4 @@ BENCH_PAR_OUT="$(pwd)/BENCH_parallel.json" cargo bench -p april-bench --bench si
 BENCH_SNAP_OUT="$(pwd)/BENCH_snapshot.json" cargo bench -p april-bench --bench snapshot
 BENCH_REC_OUT="$(pwd)/BENCH_recovery.json" cargo bench -p april-bench --bench recovery
 BENCH_SCALE_OUT="$(pwd)/BENCH_scale.json" cargo bench -p april-bench --bench scale
+BENCH_OPENLOOP_OUT="$(pwd)/BENCH_openloop.json" cargo bench -p april-bench --bench openloop

@@ -17,7 +17,7 @@ fail() {
     exit 1
 }
 
-for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json BENCH_recovery.json BENCH_scale.json; do
+for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json BENCH_recovery.json BENCH_scale.json BENCH_openloop.json; do
     [ -f "$f" ] || fail "missing committed baseline $f"
     jq empty "$f" 2>/dev/null || fail "committed baseline $f is malformed JSON"
 done
@@ -44,6 +44,19 @@ jq -e '[.points[] | has("dir_bytes_per_node") and has("mem_resident_bytes_per_no
 jq -e '[.points[] | select(.kind != "full_map") | .dir_ratio_vs_full_map < 1] | all' \
     BENCH_scale.json >/dev/null ||
     fail "BENCH_scale.json sparse kinds show no directory footprint win over full-map"
+jq -e '.points | type == "array" and length >= 4' BENCH_openloop.json >/dev/null ||
+    fail "BENCH_openloop.json has fewer than 4 offered-load points"
+jq -e '.calibration.knee as $k
+       | ([.points[] | select(.offered_load < $k)] | length >= 1)
+         and ([.points[] | select(.offered_load >= $k)] | length >= 1)' \
+    BENCH_openloop.json >/dev/null ||
+    fail "BENCH_openloop.json sweep does not span the saturation knee"
+jq -e '.calibration.knee as $k
+       | [.points[] | select(.offered_load < $k) | .within_tolerance] | all' \
+    BENCH_openloop.json >/dev/null ||
+    fail "BENCH_openloop.json has a below-knee point outside the Section 8 model tolerance"
+jq -e '[.points[] | .p999 > 0] | all' BENCH_openloop.json >/dev/null ||
+    fail "BENCH_openloop.json has a point with no finite p999 latency"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -59,10 +72,21 @@ BENCH_SMOKE=1 BENCH_REC_OUT="$tmp/recovery.json" \
     cargo bench -q -p april-bench --bench recovery >/dev/null
 BENCH_SMOKE=1 BENCH_SCALE_OUT="$tmp/scale.json" \
     cargo bench -q -p april-bench --bench scale >/dev/null
+BENCH_SMOKE=1 BENCH_OPENLOOP_OUT="$tmp/openloop.json" \
+    cargo bench -q -p april-bench --bench openloop >/dev/null
 
-for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json" "$tmp/recovery.json" "$tmp/scale.json"; do
+for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json" "$tmp/recovery.json" "$tmp/scale.json" "$tmp/openloop.json"; do
     [ -f "$f" ] || fail "bench run produced no $(basename "$f")"
     jq empty "$f" 2>/dev/null || fail "bench output $(basename "$f") is malformed JSON"
+done
+
+# Every committed BENCH_*.json baseline must have a fresh-run
+# counterpart above: a baseline nothing regenerates silently rots and
+# its gates stop meaning anything.
+for f in BENCH_*.json; do
+    name="${f#BENCH_}"
+    [ -f "$tmp/$name" ] ||
+        fail "committed baseline $f has no fresh-run counterpart in the smoke suite"
 done
 
 # Percent change of $1 relative to $2.
@@ -153,6 +177,27 @@ jq -r '.points[] | "\(.kind) \(.cycles_per_sec) \(.dir_bytes_per_node)"' "$tmp/s
             echo "  $kind: $fresh vs $base ($(pct "$fresh" "$base")), dir ${dirb} B/node"
         fi
     done
+
+jq -e '.calibration.knee as $k
+       | [.points[] | select(.offered_load < $k) | .within_tolerance] | all' \
+    "$tmp/openloop.json" >/dev/null ||
+    fail "fresh openloop run has a below-knee point outside the Section 8 model tolerance"
+
+echo
+echo "openloop: p999 latency and measured utilization per gap, fresh smoke vs committed baseline"
+jq -r '.points[] | "\(.mean_gap) \(.p999) \(.measured_util)"' "$tmp/openloop.json" |
+    while read -r gap p999 util; do
+        base=$(jq -r --argjson g "$gap" \
+            '.points[] | select(.mean_gap == $g) | .p999 // empty' \
+            BENCH_openloop.json)
+        if [ -z "$base" ]; then
+            echo "  gap $gap: no committed baseline (different sweep grid)"
+        else
+            echo "  gap $gap: p999 ${p999} vs ${base} cycles ($(pct "$p999" "$base")), util ${util}"
+        fi
+    done
+echo "  (committed knee: $(jq -r '.calibration.knee' BENCH_openloop.json);" \
+    "fresh knee: $(jq -r '.calibration.knee' "$tmp/openloop.json"))"
 
 echo
 echo "check_bench: report complete (deltas are informational; only JSON health gates)."
