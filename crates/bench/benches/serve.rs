@@ -1,0 +1,279 @@
+//! Warm-start benchmark (EXPERIMENTS.md E16): what snapshot forking
+//! buys a parameter sweep.
+//!
+//! For each sweep size N the bench runs the same N-point fault-seed
+//! sweep twice through the shared executor — cold (every job boots and
+//! re-executes the warmup) and warm (every job forks one registered
+//! checkpoint) — asserts the two are **byte-identical** in stats
+//! per point, and records the median per-job setup time of each mode.
+//! `setup_speedup` = cold median / warm median is the headline number:
+//! the full run must show ≥ 3x on the ≥ 100-point sweep (gated by
+//! scripts/check_bench.sh against the committed `BENCH_serve.json`).
+//!
+//! A final section drives the same sweep end-to-end through an
+//! in-process april-serve daemon over its Unix socket, so the wire
+//! protocol, chunked streaming, and worker pool are on the measured
+//! path too.
+//!
+//! `BENCH_SMOKE=1` shrinks the sweep for CI. `BENCH_SERVE_OUT`
+//! overrides the output path.
+
+use april_serve::{
+    build_warm_image, run_job, serve, Client, DaemonConfig, FaultSpec, JobSpec, SimSpec, WarmImage,
+    Workload,
+};
+use std::time::Instant;
+
+/// Remote iterations per node: sized so the workload runs long enough
+/// that the warmup re-execution dominates a cold job's setup.
+const OUTER: u32 = 1000;
+
+fn sim() -> SimSpec {
+    SimSpec {
+        radix: 2,
+        dim: 2,
+        workload: Workload::Contended {
+            outer: OUTER,
+            inner: 0,
+        },
+        ..SimSpec::default()
+    }
+}
+
+fn job(seed: u64, warm: Option<u32>, warm_cycles: u64) -> JobSpec {
+    JobSpec {
+        sim: sim(),
+        fault: Some(FaultSpec {
+            seed,
+            drop: 0.0,
+            dup: 0.0,
+            delay: 0.02,
+            max_delay: 16,
+        }),
+        warm,
+        warm_cycles,
+        max_cycles: 50_000_000,
+        want_trace: false,
+    }
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+struct Sweep {
+    points: usize,
+    cold_setup_ms: f64,
+    warm_setup_ms: f64,
+    speedup: f64,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+}
+
+/// One sweep size, cold then warm, with the byte-identity check.
+fn run_sweep(points: usize, img: &WarmImage) -> Sweep {
+    let seeds: Vec<u64> = (0..points as u64).map(|i| 0x5EED + i).collect();
+
+    let t0 = Instant::now();
+    let cold: Vec<_> = seeds
+        .iter()
+        .map(|&s| run_job(&job(s, None, img.cycle), None).expect("cold job refused"))
+        .collect();
+    let cold_wall_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let warm: Vec<_> = seeds
+        .iter()
+        .map(|&s| run_job(&job(s, Some(1), img.cycle), Some(img)).expect("warm job refused"))
+        .collect();
+    let warm_wall_s = t1.elapsed().as_secs_f64();
+
+    for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        assert!(c.fault.is_none(), "cold job {i} faulted: {:?}", c.fault);
+        assert_eq!(
+            c.stats_json, w.stats_json,
+            "seed {}: warm fork diverged from cold boot",
+            seeds[i]
+        );
+        assert_eq!(c.cycles, w.cycles);
+        assert_eq!(c.instrs, w.instrs);
+    }
+
+    let cold_setup = median(cold.iter().map(|o| o.setup_ns).collect());
+    let warm_setup = median(warm.iter().map(|o| o.setup_ns).collect());
+    Sweep {
+        points,
+        cold_setup_ms: cold_setup as f64 / 1e6,
+        warm_setup_ms: warm_setup as f64 / 1e6,
+        speedup: cold_setup as f64 / warm_setup.max(1) as f64,
+        cold_wall_s,
+        warm_wall_s,
+    }
+}
+
+struct DaemonRun {
+    threads: usize,
+    points: usize,
+    wall_s: f64,
+    setup_ms: f64,
+}
+
+/// The same sweep through a real daemon: socket, protocol, pool.
+fn run_daemon_sweep(points: usize, warm_cycles: u64) -> DaemonRun {
+    let threads = std::thread::available_parallelism()
+        .map_or(2, |p| p.get())
+        .min(4);
+    let socket =
+        std::env::temp_dir().join(format!("april-serve-bench-{}.sock", std::process::id()));
+    let cfg = DaemonConfig {
+        socket: socket.clone(),
+        threads,
+    };
+    let daemon = std::thread::spawn(move || serve(&cfg));
+    let mut client = loop {
+        match Client::connect(&socket, "bench") {
+            Ok(c) => break c,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    };
+
+    let t0 = Instant::now();
+    client
+        .register_warm(1, &sim(), warm_cycles)
+        .expect("warm registration failed");
+    for i in 0..points {
+        client
+            .submit(i as u32, &job(0x5EED + i as u64, Some(1), warm_cycles))
+            .expect("submit failed");
+    }
+    let results = client.collect(points).expect("collect failed");
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let setups: Vec<u64> = results
+        .iter()
+        .map(|r| {
+            let s = r.summary.as_ref().expect("daemon job should have run");
+            assert!(s.warm_used, "daemon job ran cold");
+            s.setup_ns
+        })
+        .collect();
+    client.shutdown(false).expect("shutdown failed");
+    daemon.join().unwrap().expect("daemon errored");
+    DaemonRun {
+        threads,
+        points,
+        wall_s,
+        setup_ms: median(setups) as f64 / 1e6,
+    }
+}
+
+fn emit_json(
+    quiesce: u64,
+    img: &WarmImage,
+    snap_bytes: usize,
+    sweeps: &[Sweep],
+    daemon: &DaemonRun,
+) {
+    let path = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let mut body = format!(
+        concat!(
+            "{{\n  \"machine\": {{\"nodes\": 4, \"outer\": {}, ",
+            "\"quiesce_cycles\": {}}},\n",
+            "  \"warm_image\": {{\"cut_cycle\": {}, \"snap_bytes\": {}, ",
+            "\"build_ms\": {:.3}}},\n  \"sweeps\": [\n"
+        ),
+        OUTER,
+        quiesce,
+        img.cycle,
+        snap_bytes,
+        img.build_ns as f64 / 1e6,
+    );
+    for (i, s) in sweeps.iter().enumerate() {
+        body.push_str(&format!(
+            concat!(
+                "    {{\"points\": {}, \"cold_setup_ms_median\": {:.3}, ",
+                "\"warm_setup_ms_median\": {:.3}, \"setup_speedup\": {:.2}, ",
+                "\"cold_wall_s\": {:.3}, \"warm_wall_s\": {:.3}, ",
+                "\"identical_outcomes\": true}}{}\n"
+            ),
+            s.points,
+            s.cold_setup_ms,
+            s.warm_setup_ms,
+            s.speedup,
+            s.cold_wall_s,
+            s.warm_wall_s,
+            if i + 1 < sweeps.len() { "," } else { "" },
+        ));
+    }
+    body.push_str(&format!(
+        concat!(
+            "  ],\n  \"daemon\": {{\"threads\": {}, \"points\": {}, ",
+            "\"wall_s\": {:.3}, \"median_setup_ms\": {:.3}, \"all_warm\": true}}\n}}\n"
+        ),
+        daemon.threads, daemon.points, daemon.wall_s, daemon.setup_ms,
+    ));
+    if let Err(e) = std::fs::write(&path, &body) {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    // The smoke grid is a subset of the full grid so check_bench.sh
+    // can line fresh smoke points up against committed baselines.
+    let sizes: &[usize] = if smoke { &[24] } else { &[24, 120] };
+
+    // Probe the workload to quiescence, then cut the shared warm image
+    // three quarters of the way in: most of a cold job's time is then
+    // warmup re-execution, which is exactly what forking amortizes.
+    let probe = run_job(
+        &JobSpec {
+            sim: sim(),
+            max_cycles: 50_000_000,
+            ..JobSpec::default()
+        },
+        None,
+    )
+    .expect("probe run refused");
+    assert!(probe.fault.is_none(), "probe faulted: {:?}", probe.fault);
+    let warm_cut = (probe.cycles * 3 / 4).max(1);
+    let img = build_warm_image(&sim(), warm_cut).expect("warm image build failed");
+    let snap_bytes = img.snap.as_bytes().len();
+    println!(
+        "serve (warm-start sweep, 4 nodes, outer {OUTER}): quiesce {} cycles, \
+         warm cut {warm_cut}, snapshot {snap_bytes} bytes, built in {:.1} ms",
+        probe.cycles,
+        img.build_ns as f64 / 1e6,
+    );
+
+    let sweeps: Vec<Sweep> = sizes.iter().map(|&n| run_sweep(n, &img)).collect();
+    for s in &sweeps {
+        println!(
+            "  {:>4} points: setup median {:.2} ms cold vs {:.2} ms warm \
+             ({:.1}x), wall {:.2}s cold vs {:.2}s warm",
+            s.points, s.cold_setup_ms, s.warm_setup_ms, s.speedup, s.cold_wall_s, s.warm_wall_s,
+        );
+    }
+    if !smoke {
+        let big = sweeps
+            .iter()
+            .find(|s| s.points >= 100)
+            .expect("full grid has a >=100-point sweep");
+        assert!(
+            big.speedup >= 3.0,
+            "warm-start setup speedup {:.2}x on the {}-point sweep is below the 3x contract",
+            big.speedup,
+            big.points,
+        );
+    }
+
+    let daemon = run_daemon_sweep(*sizes.last().unwrap(), warm_cut);
+    println!(
+        "  daemon end-to-end: {} points on {} workers in {:.2}s, median setup {:.2} ms",
+        daemon.points, daemon.threads, daemon.wall_s, daemon.setup_ms,
+    );
+    emit_json(probe.cycles, &img, snap_bytes, &sweeps, &daemon);
+}

@@ -7,115 +7,109 @@
 //! atomic cursor, and reported in job order no matter which thread
 //! finished first.
 //!
+//! Since the april-serve refactor the harness is a thin client of the
+//! shared job executor (`april_serve::exec`): the soak grid — one
+//! workload under many fault plans — is **warm-started** from a single
+//! checkpoint cut just short of the workload's quiescence point
+//! (calibrated by a probe run), so N soak points pay for one boot +
+//! warmup instead of N. Fault plans are installed at the warm point,
+//! identically for warm forks and cold re-runs, so the two setup paths
+//! stay byte-identical (see `crates/machine/tests/warm_start.rs`).
+//! The utilization grid varies the program itself, so each of its
+//! points is a cold boot.
+//!
 //! `SWEEP_THREADS` overrides the worker count (default: host
 //! parallelism); `SWEEP_SMOKE=1` shrinks the grid for CI.
 
-use april_core::isa::asm::assemble;
-use april_core::program::Program;
-use april_machine::config::MachineConfig;
-use april_machine::driver::{drive_sequential, SwitchSpin};
-use april_machine::{Alewife, Machine};
-use april_net::fault::{FaultPlan, FaultRule};
-use april_net::topology::Topology;
+use april_serve::{build_warm_image, run_job, FaultSpec, JobSpec, SimSpec, WarmImage, Workload};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+const MAX: u64 = 50_000_000;
 
 /// One independent simulation in the grid.
 struct Job {
     name: String,
-    cfg: MachineConfig,
-    prog: Program,
-    plan: Option<FaultPlan>,
-    max: u64,
+    spec: JobSpec,
+    warm: Option<Arc<WarmImage>>,
 }
 
 /// What one run reports.
 struct Row {
     name: String,
+    warm: bool,
     cycles: u64,
     instrs: u64,
     utilization: f64,
     drops: u64,
     dups: u64,
     delays: u64,
+    setup_ns: u64,
     fault: String,
 }
 
-/// All nodes hammer one falsely-shared block region homed at node 0,
-/// with `inner` ALU cycles of local compute between remote accesses —
-/// `inner = 0` is pure contention, large `inner` is compute-bound.
-fn workload(outer: u32, inner: u32) -> Program {
-    let compute = if inner > 0 {
-        format!(
-            "
-            movi {inner}, r12
-        inner:
-            add r13, 4, r13
-            sub r12, 1, r12
-            jne inner
-            nop"
-        )
-    } else {
-        String::new()
-    };
-    assemble(&format!(
-        "
-        .entry main
-        main:
-            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
-            movi 0x200, r9
-            add r9, r8, r9     ; my word, homed at node 0
-            movi {outer}, r10
-        outer:{compute}
-            ld r9+0, r11       ; remote read miss
-            add r11, 4, r11
-            st r11, r9+0       ; write-upgrade miss
-            flush r9+0
-            sub r10, 1, r10
-            jne outer
-            nop
-            halt
-        ",
-    ))
-    .unwrap()
+fn base_spec(outer: u32, inner: u32) -> SimSpec {
+    SimSpec {
+        radix: 2,
+        dim: 2,
+        workload: Workload::Contended { outer, inner },
+        ..SimSpec::default()
+    }
 }
 
-fn run_job(job: &Job) -> Row {
-    let mut m = Alewife::new(job.cfg, job.prog.clone());
-    if let Some(plan) = &job.plan {
-        m.set_fault_plan(plan.clone());
-    }
-    for i in 0..m.num_procs() {
-        m.cpu_mut(i).boot(0);
-    }
-    let fault = drive_sequential(&mut m, &SwitchSpin::default(), job.max);
-    let stats = m.total_stats();
-    let fs = m.fault_stats();
+fn execute(job: &Job) -> Row {
+    let out = run_job(&job.spec, job.warm.as_deref()).expect("sweep job refused");
     Row {
         name: job.name.clone(),
-        cycles: m.now(),
-        instrs: stats.instructions,
-        utilization: stats.instructions as f64 / (stats.total() as f64).max(1.0),
-        drops: fs.dropped,
-        dups: fs.duplicated,
-        delays: fs.delayed,
-        fault: match fault {
-            None => "-".into(),
-            Some(f) => format!("{f}"),
-        },
+        warm: out.warm_used,
+        cycles: out.cycles,
+        instrs: out.instrs,
+        utilization: out.utilization,
+        drops: out.drops,
+        dups: out.dups,
+        delays: out.delays,
+        setup_ns: out.setup_ns,
+        fault: out.fault.unwrap_or_else(|| "-".into()),
     }
 }
 
-fn build_jobs(smoke: bool) -> Vec<Job> {
-    let cfg = MachineConfig {
-        topology: Topology::new(2, 2),
-        region_bytes: 1 << 20,
-        ..MachineConfig::default()
-    };
+fn build_jobs(smoke: bool) -> (Vec<Job>, u64) {
     let outer = if smoke { 10 } else { 50 };
+    let soak_sim = base_spec(outer, 0);
+
+    // Calibrate the warm cut: probe the lossless soak point to
+    // quiescence, then cut the shared checkpoint a quarter of the way
+    // in — early enough that every fault plan still has most of the
+    // run to act on, late enough to be worth sharing.
+    let probe = run_job(
+        &JobSpec {
+            sim: soak_sim,
+            max_cycles: MAX,
+            ..JobSpec::default()
+        },
+        None,
+    )
+    .expect("probe run refused");
+    let warm_cut = (probe.cycles / 4).max(1);
+    let img = Arc::new(build_warm_image(&soak_sim, warm_cut).expect("warm image build failed"));
+
+    let soak = |name: String, fault: Option<FaultSpec>| Job {
+        name,
+        spec: JobSpec {
+            sim: soak_sim,
+            fault,
+            warm: Some(1),
+            warm_cycles: warm_cut,
+            max_cycles: MAX,
+            want_trace: false,
+        },
+        warm: Some(img.clone()),
+    };
+
     let mut jobs = Vec::new();
     // Fault-seed soak grid: the same contended workload under
-    // increasingly lossy networks, several seeds each.
+    // increasingly lossy networks, several seeds each — all forked
+    // from the one warm image.
     let seeds: &[u64] = if smoke { &[1, 2] } else { &[1, 2, 3, 4] };
     let drops: &[f64] = if smoke {
         &[0.0, 0.02]
@@ -125,47 +119,42 @@ fn build_jobs(smoke: bool) -> Vec<Job> {
     for &drop in drops {
         if drop == 0.0 {
             // The lossless point is seed-independent: one run suffices.
-            jobs.push(Job {
-                name: "soak/lossless".into(),
-                cfg,
-                prog: workload(outer, 0),
-                plan: None,
-                max: 50_000_000,
-            });
+            jobs.push(soak("soak/lossless".into(), None));
             continue;
         }
         for &seed in seeds {
-            jobs.push(Job {
-                name: format!("soak/drop{drop:.2}/seed{seed}"),
-                cfg,
-                prog: workload(outer, 0),
-                plan: Some(FaultPlan::new(seed).with_default_rule(FaultRule {
+            jobs.push(soak(
+                format!("soak/drop{drop:.2}/seed{seed}"),
+                Some(FaultSpec {
+                    seed,
                     drop,
                     dup: drop,
                     delay: 2.0 * drop,
                     max_delay: 40,
-                })),
-                max: 50_000_000,
-            });
+                }),
+            ));
         }
     }
     // Utilization curve: compute per remote access from zero to heavy.
+    // Each point is its own program, so no shared warm image applies.
     let inners: &[u32] = if smoke { &[0, 100] } else { &[0, 25, 100, 400] };
     for &inner in inners {
         jobs.push(Job {
             name: format!("util/inner{inner}"),
-            cfg,
-            prog: workload(outer, inner),
-            plan: None,
-            max: 50_000_000,
+            spec: JobSpec {
+                sim: base_spec(outer, inner),
+                max_cycles: MAX,
+                ..JobSpec::default()
+            },
+            warm: None,
         });
     }
-    jobs
+    (jobs, warm_cut)
 }
 
 fn main() {
     let smoke = std::env::var("SWEEP_SMOKE").is_ok();
-    let jobs = build_jobs(smoke);
+    let (jobs, warm_cut) = build_jobs(smoke);
     let threads = std::env::var("SWEEP_THREADS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -179,19 +168,20 @@ fn main() {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { return };
-                *results[i].lock().expect("result slot poisoned") = Some(run_job(job));
+                *results[i].lock().expect("result slot poisoned") = Some(execute(job));
             });
         }
     });
 
     println!(
-        "sweep: {} independent runs on {} thread(s)",
+        "sweep: {} independent runs on {} thread(s), soak grid warm-started at cycle {}",
         jobs.len(),
-        threads.min(jobs.len())
+        threads.min(jobs.len()),
+        warm_cut,
     );
     println!(
-        "{:<24} {:>10} {:>10} {:>6} {:>6} {:>6} {:>7}  fault",
-        "run", "cycles", "instrs", "util", "drops", "dups", "delays"
+        "{:<24} {:>4} {:>10} {:>10} {:>6} {:>6} {:>6} {:>7} {:>9}  fault",
+        "run", "warm", "cycles", "instrs", "util", "drops", "dups", "delays", "setup ms"
     );
     for slot in &results {
         let row = slot
@@ -200,14 +190,16 @@ fn main() {
             .take()
             .expect("job ran");
         println!(
-            "{:<24} {:>10} {:>10} {:>5.1}% {:>6} {:>6} {:>7}  {}",
+            "{:<24} {:>4} {:>10} {:>10} {:>5.1}% {:>6} {:>6} {:>7} {:>9.2}  {}",
             row.name,
+            if row.warm { "yes" } else { "no" },
             row.cycles,
             row.instrs,
             100.0 * row.utilization,
             row.drops,
             row.dups,
             row.delays,
+            row.setup_ns as f64 / 1e6,
             row.fault,
         );
     }

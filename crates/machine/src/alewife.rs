@@ -292,6 +292,17 @@ impl Alewife {
         self.nodes[0].cpu.boot(entry);
     }
 
+    /// Boots every node at the program entry — the SPMD convention the
+    /// sweep/serve harnesses and the equivalence suites use, where all
+    /// processors run the same program and self-select work by node
+    /// id.
+    pub fn boot_all(&mut self) {
+        let entry = self.prog.entry;
+        for node in &mut self.nodes {
+            node.cpu.boot(entry);
+        }
+    }
+
     /// Records the first fatal fault; later ones are dropped (the
     /// run-time aborts on the first anyway).
     fn set_fault(&mut self, fault: MachineFault) {

@@ -780,6 +780,15 @@ impl ParallelAlewife {
         self.nodes[0].cpu.boot(entry);
     }
 
+    /// Boots every node at the program entry (see
+    /// [`crate::Alewife::boot_all`]).
+    pub fn boot_all(&mut self) {
+        let entry = self.prog.entry;
+        for node in &mut self.nodes {
+            node.cpu.boot(entry);
+        }
+    }
+
     /// The fatal fault that ended the run, if any.
     pub fn fault(&self) -> Option<&MachineFault> {
         self.fault.as_ref()

@@ -527,6 +527,30 @@ pub(crate) fn restore_machine(v: MachineViewMut<'_>, snap: &Snapshot) -> Result<
 }
 
 impl Alewife {
+    /// Builds the machine described by `cfg`/`prog` and immediately
+    /// restores `snap` into it — machine construction *from* a
+    /// checkpoint, the primitive behind snapshot warm starts
+    /// (DESIGN.md §16): a parameter sweep forks one warmed checkpoint
+    /// per job instead of re-booting and re-warming the machine per
+    /// job. `tracer`, when present, is attached before the restore so
+    /// the snapshot's probe rings land in live probes and the
+    /// continuation's trace is bit-exact with the checkpointed run's.
+    /// `cfg` may differ from the snapshot's configuration in scheduler
+    /// knobs only (see [`Snapshot`] on semantic normalization).
+    pub fn from_snapshot(
+        cfg: MachineConfig,
+        prog: Program,
+        tracer: Option<april_obs::TraceConfig>,
+        snap: &Snapshot,
+    ) -> Result<Alewife, SnapshotError> {
+        let mut m = Alewife::new(cfg, prog);
+        if let Some(t) = tracer {
+            crate::Machine::attach_tracer(&mut m, t);
+        }
+        m.restore(snap)?;
+        Ok(m)
+    }
+
     /// Captures the machine's complete state at the current cycle.
     ///
     /// Refused on a faulted machine ([`SnapshotError::Faulted`]): the
@@ -617,6 +641,24 @@ impl Alewife {
 }
 
 impl ParallelAlewife {
+    /// Builds the parallel machine described by `cfg`/`prog` and
+    /// immediately restores `snap` into it (see
+    /// [`Alewife::from_snapshot`]); snapshots cross freely between the
+    /// sequential and parallel machines and any worker count.
+    pub fn from_snapshot(
+        cfg: MachineConfig,
+        prog: Program,
+        tracer: Option<april_obs::TraceConfig>,
+        snap: &Snapshot,
+    ) -> Result<ParallelAlewife, SnapshotError> {
+        let mut m = ParallelAlewife::new(cfg, prog);
+        if let Some(t) = tracer {
+            m.attach_tracer(t);
+        }
+        m.restore(snap)?;
+        Ok(m)
+    }
+
     /// Captures the machine's complete state at the current cycle.
     /// Interchangeable with [`Alewife::checkpoint`]: the two machines
     /// encode the identical field set. `&mut self` for the same reason

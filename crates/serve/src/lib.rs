@@ -1,0 +1,111 @@
+//! # april-serve — simulation as a service
+//!
+//! A long-running daemon that multiplexes many independent simulation
+//! jobs over a bounded host-thread pool, the way the SPARC T3-class
+//! throughput machines the paper's block-multithreading argument
+//! anticipates multiplex many request streams over hardware threads.
+//! Everything a long-lived service needs already existed in the
+//! workspace — the sweep harness, byte-stable APRL checkpoints,
+//! deterministic replay, JSONL/stats exports — and this crate is the
+//! assembly (DESIGN.md §16, PROTOCOL.md):
+//!
+//! * [`proto`] — the compact length-prefixed wire protocol spoken over
+//!   a local Unix socket, built on the `april-util` wire codec.
+//! * [`spec`] — the job vocabulary: a [`spec::SimSpec`] names a
+//!   machine + workload, a [`spec::JobSpec`] adds fault knobs, a warm
+//!   image reference, and a cycle budget.
+//! * [`exec`] — the shared job executor: one function runs a job
+//!   either from a cold boot or by forking a registered warm
+//!   checkpoint, with the guarantee that the two paths are
+//!   byte-identical in stats and semantic trace.
+//! * [`daemon`] — the server: accept loop, job queue, worker pool,
+//!   deterministic drain/cancel shutdown.
+//! * [`client`] — a blocking client that registers warm images,
+//!   submits jobs, and reassembles the streamed results.
+//!
+//! The headline feature is the **snapshot warm start**: a client
+//! registers a warmed machine once, and an N-point parameter sweep
+//! forks that checkpoint N times instead of re-booting and re-warming
+//! the machine N times. The fork is a restore of a byte-stable APRL
+//! snapshot, so a warm-started job is bit-exact with the cold job that
+//! re-executes the warmup — the equivalence suites hold the daemon to
+//! that.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod exec;
+pub mod proto;
+pub mod spec;
+
+pub use client::{Client, JobResult, ShutdownReport, WarmInfo};
+pub use daemon::{serve, DaemonConfig, DaemonReport};
+pub use exec::{build_warm_image, run_job, JobOutcome, WarmImage};
+pub use proto::{Frame, JobSummary, CHUNK_BYTES, PROTO_VERSION};
+pub use spec::{FaultSpec, JobSpec, SimSpec, Workload};
+
+use april_machine::SnapshotError;
+use april_util::wire::WireError;
+use std::fmt;
+
+/// Anything that can go wrong while speaking the protocol or running a
+/// job.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O error on the socket (or binding it).
+    Io(std::io::Error),
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// A frame failed to decode.
+    Wire(WireError),
+    /// A checkpoint failed to build or restore.
+    Snapshot(SnapshotError),
+    /// The peer violated the protocol (bad handshake, wrong frame).
+    Protocol(String),
+    /// A job spec was internally inconsistent.
+    BadSpec(String),
+    /// A job named a warm image the daemon does not hold.
+    UnknownWarm(u32),
+    /// A job named a warm image built for a different machine or
+    /// workload, or the wrong warm cycle.
+    WarmMismatch(String),
+    /// The daemon reported an error for the connection.
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket i/o: {e}"),
+            ServeError::Closed => write!(f, "connection closed"),
+            ServeError::Wire(e) => write!(f, "malformed frame: {e}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServeError::BadSpec(m) => write!(f, "bad job spec: {m}"),
+            ServeError::UnknownWarm(id) => write!(f, "unknown warm image {id}"),
+            ServeError::WarmMismatch(m) => write!(f, "warm image mismatch: {m}"),
+            ServeError::Remote(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> ServeError {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> ServeError {
+        ServeError::Snapshot(e)
+    }
+}

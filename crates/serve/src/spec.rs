@@ -1,0 +1,455 @@
+//! The job vocabulary: what a client may ask the daemon to simulate.
+//!
+//! A [`SimSpec`] fully determines a machine and a workload; a
+//! [`JobSpec`] wraps one with the per-job knobs a parameter sweep
+//! varies — fault plan, warm image, cycle budget. Both encode to the
+//! wire through the `april-util` codec (PROTOCOL.md gives the byte
+//! layout), and both are plain data: equality of specs is equality of
+//! runs, which is what the daemon's determinism contract rests on.
+
+use crate::ServeError;
+use april_core::isa::asm::assemble;
+use april_core::program::Program;
+use april_machine::{service_program, MachineConfig, TrafficConfig};
+use april_net::fault::{FaultPlan, FaultRule};
+use april_net::topology::Topology;
+use april_util::wire::{ByteReader, ByteWriter, WireError};
+
+/// The workload a job runs. The daemon regenerates the program from
+/// this description, so warm images and jobs agree on the program
+/// image by construction (snapshot restores validate the digest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// The contended-sharing sweep workload: all nodes hammer one
+    /// falsely-shared block region homed at node 0, with `inner` ALU
+    /// cycles of local compute between remote accesses. `inner = 0` is
+    /// pure contention; large `inner` is compute-bound.
+    Contended {
+        /// Remote read/write iterations per node.
+        outer: u32,
+        /// Local delay-loop iterations between remote accesses.
+        inner: u32,
+    },
+    /// The open-loop request-serving workload (DESIGN.md §15): edge
+    /// nodes absorb a seeded arrival stream and every node runs the
+    /// generated service loop.
+    OpenLoop(TrafficConfig),
+}
+
+impl Workload {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Workload::Contended { outer, inner } => {
+                w.u8(0);
+                w.u32(*outer);
+                w.u32(*inner);
+            }
+            Workload::OpenLoop(t) => {
+                w.u8(1);
+                w.u64(t.seed);
+                w.u32(t.edge_every);
+                w.u32(t.requests_per_edge);
+                w.u32(t.mean_gap);
+                w.u32(t.phase_len);
+                w.u32(t.off_mul);
+                w.u32(t.ring_offset);
+                w.u32(t.ring_slots);
+                w.u32(t.work_remote);
+                w.u32(t.work_local);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Workload, WireError> {
+        let at = r.pos();
+        match r.u8()? {
+            0 => Ok(Workload::Contended {
+                outer: r.u32()?,
+                inner: r.u32()?,
+            }),
+            1 => Ok(Workload::OpenLoop(TrafficConfig {
+                seed: r.u64()?,
+                edge_every: r.u32()?,
+                requests_per_edge: r.u32()?,
+                mean_gap: r.u32()?,
+                phase_len: r.u32()?,
+                off_mul: r.u32()?,
+                ring_offset: r.u32()?,
+                ring_slots: r.u32()?,
+                work_remote: r.u32()?,
+                work_local: r.u32()?,
+            })),
+            tag => Err(WireError::BadTag { at, tag }),
+        }
+    }
+}
+
+/// A complete machine + workload description: everything needed to
+/// build a [`MachineConfig`] and assemble the program. Scheduler knobs
+/// (`lockstep`, `workers`, `window_override`, `decode`,
+/// `watchdog_horizon`) select *how* the job is executed, not *what* it
+/// computes — they are free to differ between a warm image and the
+/// jobs forked from it, exactly as the snapshot layer's semantic
+/// config normalization allows (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSpec {
+    /// Mesh radix (nodes per dimension).
+    pub radix: u32,
+    /// Mesh dimensionality; `radix^dim` nodes total.
+    pub dim: u32,
+    /// Bytes of globally shared memory owned by each node.
+    pub region_bytes: u32,
+    /// Memory access latency at the home node, in cycles.
+    pub mem_latency: u64,
+    /// Force the strict cycle-by-cycle reference scheduler.
+    pub lockstep: bool,
+    /// Worker threads: 0 or 1 runs the sequential machine; ≥ 2 runs
+    /// the deterministic parallel machine with that many workers.
+    pub workers: u32,
+    /// Conservative-window override for the parallel machine (0 =
+    /// automatic).
+    pub window_override: u64,
+    /// Use the pre-decoded bytecode engine (DESIGN.md §13).
+    pub decode: bool,
+    /// Forward-progress watchdog horizon in cycles (0 = the machine
+    /// default).
+    pub watchdog_horizon: u64,
+    /// What the machine runs.
+    pub workload: Workload,
+}
+
+impl Default for SimSpec {
+    fn default() -> SimSpec {
+        SimSpec {
+            radix: 2,
+            dim: 2,
+            region_bytes: 1 << 20,
+            mem_latency: 10,
+            lockstep: false,
+            workers: 1,
+            window_override: 0,
+            decode: true,
+            watchdog_horizon: 0,
+            workload: Workload::Contended {
+                outer: 50,
+                inner: 0,
+            },
+        }
+    }
+}
+
+impl SimSpec {
+    /// The [`MachineConfig`] this spec describes.
+    pub fn machine_config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig {
+            topology: Topology::new(self.dim as usize, self.radix as usize),
+            region_bytes: self.region_bytes,
+            mem_latency: self.mem_latency,
+            lockstep: self.lockstep,
+            workers: self.workers.max(1) as usize,
+            window_override: self.window_override,
+            decode: self.decode,
+            ..MachineConfig::default()
+        };
+        if self.watchdog_horizon != 0 {
+            cfg.watchdog.horizon = self.watchdog_horizon;
+        }
+        if let Workload::OpenLoop(t) = self.workload {
+            cfg.traffic = Some(t);
+        }
+        cfg
+    }
+
+    /// Assembles the program image for this spec's workload.
+    pub fn program(&self) -> Result<Program, ServeError> {
+        let src = match self.workload {
+            Workload::Contended { outer, inner } => contended_source(outer, inner),
+            Workload::OpenLoop(_) => service_program(&self.machine_config()),
+        };
+        assemble(&src).map_err(|e| ServeError::BadSpec(format!("workload does not assemble: {e}")))
+    }
+
+    /// Whether a warm image built from `base` can seed a job running
+    /// this spec: everything that shapes the simulated computation
+    /// must match; scheduler-selection knobs are free.
+    pub fn warm_compatible(&self, base: &SimSpec) -> bool {
+        let norm = |s: &SimSpec| SimSpec {
+            lockstep: false,
+            workers: 1,
+            window_override: 0,
+            decode: true,
+            watchdog_horizon: 0,
+            ..*s
+        };
+        norm(self) == norm(base)
+    }
+
+    /// Encodes the spec (PROTOCOL.md "SimSpec").
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.radix);
+        w.u32(self.dim);
+        w.u32(self.region_bytes);
+        w.u64(self.mem_latency);
+        w.bool(self.lockstep);
+        w.u32(self.workers);
+        w.u64(self.window_override);
+        w.bool(self.decode);
+        w.u64(self.watchdog_horizon);
+        self.workload.encode(w);
+    }
+
+    /// Decodes a spec encoded by [`SimSpec::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<SimSpec, WireError> {
+        Ok(SimSpec {
+            radix: r.u32()?,
+            dim: r.u32()?,
+            region_bytes: r.u32()?,
+            mem_latency: r.u64()?,
+            lockstep: r.bool()?,
+            workers: r.u32()?,
+            window_override: r.u64()?,
+            decode: r.bool()?,
+            watchdog_horizon: r.u64()?,
+            workload: Workload::decode(r)?,
+        })
+    }
+}
+
+/// The contended-sharing workload source (shared with the sweep
+/// harness, which predates the daemon).
+fn contended_source(outer: u32, inner: u32) -> String {
+    let compute = if inner > 0 {
+        format!(
+            "
+            movi {inner}, r12
+        inner:
+            add r13, 4, r13
+            sub r12, 1, r12
+            jne inner
+            nop"
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "
+        .entry main
+        main:
+            ldio 1, r8         ; node id (fixnum == 4*id: byte offset!)
+            movi 0x200, r9
+            add r9, r8, r9     ; my word, homed at node 0
+            movi {outer}, r10
+        outer:{compute}
+            ld r9+0, r11       ; remote read miss
+            add r11, 4, r11
+            st r11, r9+0       ; write-upgrade miss
+            flush r9+0
+            sub r10, 1, r10
+            jne outer
+            nop
+            halt
+        ",
+    )
+}
+
+/// A seeded fault-injection description: the per-job knob a fault
+/// sweep varies. In a warm-started job the plan is installed at the
+/// warm point; the cold twin of such a job installs it at the same
+/// cycle after re-executing the warmup, so the two runs see identical
+/// fault schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Injection-PRNG seed.
+    pub seed: u64,
+    /// Per-hop drop probability.
+    pub drop: f64,
+    /// Per-hop duplication probability.
+    pub dup: f64,
+    /// Per-hop delay probability.
+    pub delay: f64,
+    /// Maximum injected delay in cycles.
+    pub max_delay: u64,
+}
+
+impl FaultSpec {
+    /// The [`FaultPlan`] this spec describes.
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed).with_default_rule(FaultRule {
+            drop: self.drop,
+            dup: self.dup,
+            delay: self.delay,
+            max_delay: self.max_delay,
+        })
+    }
+
+    /// Encodes the spec (PROTOCOL.md "FaultSpec").
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.seed);
+        w.f64(self.drop);
+        w.f64(self.dup);
+        w.f64(self.delay);
+        w.u64(self.max_delay);
+    }
+
+    /// Decodes a spec encoded by [`FaultSpec::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<FaultSpec, WireError> {
+        Ok(FaultSpec {
+            seed: r.u64()?,
+            drop: r.f64()?,
+            dup: r.f64()?,
+            delay: r.f64()?,
+            max_delay: r.u64()?,
+        })
+    }
+}
+
+/// One simulation job: a machine + workload, the sweep-varied knobs,
+/// and a cycle budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// The machine and workload.
+    pub sim: SimSpec,
+    /// Fault plan installed at the warm point (cycle `warm_cycles`).
+    pub fault: Option<FaultSpec>,
+    /// Warm image to fork instead of re-executing the warmup. The
+    /// image must have been registered with the daemon, be
+    /// [`SimSpec::warm_compatible`] with `sim`, and have been cut at
+    /// exactly `warm_cycles`.
+    pub warm: Option<u32>,
+    /// The warmup length in cycles. A cold run boots and executes the
+    /// warmup; a warm run restores a checkpoint cut at this cycle.
+    /// 0 means no warmup phase (plain cold boot from cycle 0).
+    pub warm_cycles: u64,
+    /// Hard cycle budget; a job that has not quiesced by then reports
+    /// a budget-exhausted outcome rather than running forever.
+    pub max_cycles: u64,
+    /// Stream the semantic event trace (JSONL) back alongside stats.
+    pub want_trace: bool,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            sim: SimSpec::default(),
+            fault: None,
+            warm: None,
+            warm_cycles: 0,
+            max_cycles: 50_000_000,
+            want_trace: false,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Encodes the spec (PROTOCOL.md "JobSpec").
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.sim.encode(w);
+        w.bool(self.fault.is_some());
+        if let Some(f) = &self.fault {
+            f.encode(w);
+        }
+        w.bool(self.warm.is_some());
+        w.u32(self.warm.unwrap_or(0));
+        w.u64(self.warm_cycles);
+        w.u64(self.max_cycles);
+        w.bool(self.want_trace);
+    }
+
+    /// Decodes a spec encoded by [`JobSpec::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<JobSpec, WireError> {
+        let sim = SimSpec::decode(r)?;
+        let fault = if r.bool()? {
+            Some(FaultSpec::decode(r)?)
+        } else {
+            None
+        };
+        let has_warm = r.bool()?;
+        let warm_id = r.u32()?;
+        Ok(JobSpec {
+            sim,
+            fault,
+            warm: has_warm.then_some(warm_id),
+            warm_cycles: r.u64()?,
+            max_cycles: r.u64()?,
+            want_trace: r.bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_exactly() {
+        let spec = JobSpec {
+            sim: SimSpec {
+                radix: 3,
+                dim: 2,
+                workers: 4,
+                lockstep: true,
+                watchdog_horizon: 9999,
+                workload: Workload::Contended {
+                    outer: 17,
+                    inner: 3,
+                },
+                ..SimSpec::default()
+            },
+            fault: Some(FaultSpec {
+                seed: 42,
+                drop: 0.01,
+                dup: 0.02,
+                delay: 0.03,
+                max_delay: 40,
+            }),
+            warm: Some(7),
+            warm_cycles: 12345,
+            max_cycles: 1 << 30,
+            want_trace: true,
+        };
+        let mut w = ByteWriter::new();
+        spec.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(JobSpec::decode(&mut r).unwrap(), spec);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn openloop_workload_roundtrips() {
+        let spec = SimSpec {
+            workload: Workload::OpenLoop(TrafficConfig::default()),
+            ..SimSpec::default()
+        };
+        let mut w = ByteWriter::new();
+        spec.encode(&mut w);
+        let bytes = w.finish();
+        assert_eq!(SimSpec::decode(&mut ByteReader::new(&bytes)).unwrap(), spec);
+    }
+
+    #[test]
+    fn warm_compatibility_ignores_scheduler_knobs() {
+        let base = SimSpec::default();
+        let par = SimSpec {
+            workers: 4,
+            lockstep: false,
+            decode: false,
+            watchdog_horizon: 1 << 20,
+            ..base
+        };
+        assert!(par.warm_compatible(&base));
+        let other = SimSpec {
+            mem_latency: 11,
+            ..base
+        };
+        assert!(!other.warm_compatible(&base));
+        let other_load = SimSpec {
+            workload: Workload::Contended {
+                outer: 51,
+                inner: 0,
+            },
+            ..base
+        };
+        assert!(!other_load.warm_compatible(&base));
+    }
+}

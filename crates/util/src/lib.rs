@@ -14,7 +14,7 @@
 //!   maps keyed by simulator-generated integers, where SipHash's
 //!   collision hardening is pure overhead.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod hash;
 pub mod rng;

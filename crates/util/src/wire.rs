@@ -121,6 +121,20 @@ impl ByteWriter {
 
     /// Writes an `f64` as its IEEE-754 bit pattern, so the round trip
     /// is exact (including NaN payloads and signed zero).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use april_util::wire::{ByteReader, ByteWriter};
+    ///
+    /// let mut w = ByteWriter::new();
+    /// w.f64(-0.0);
+    /// w.f64(f64::NAN);
+    /// let bytes = w.finish();
+    /// let mut r = ByteReader::new(&bytes);
+    /// assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+    /// assert!(r.f64().unwrap().is_nan());
+    /// ```
     pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
@@ -142,6 +156,21 @@ impl ByteWriter {
 /// Every read is bounds-checked and returns a typed [`WireError`]
 /// rather than panicking, so corrupt or truncated snapshots surface as
 /// ordinary errors.
+///
+/// # Examples
+///
+/// ```
+/// use april_util::wire::{ByteReader, ByteWriter, WireError};
+///
+/// let mut w = ByteWriter::new();
+/// w.u32(0xA9811990);
+/// let bytes = w.finish();
+///
+/// // Truncating the buffer turns the read into a typed error, with
+/// // the offset at which decoding failed.
+/// let mut r = ByteReader::new(&bytes[..3]);
+/// assert_eq!(r.u32(), Err(WireError::Eof { at: 0 }));
+/// ```
 #[derive(Debug)]
 pub struct ByteReader<'a> {
     buf: &'a [u8],
@@ -218,7 +247,22 @@ impl<'a> ByteReader<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    /// Reads a length-prefixed byte slice.
+    /// Reads a length-prefixed byte slice, borrowed from the buffer
+    /// (no copy). The length prefix is validated against the bytes
+    /// actually remaining, so a corrupt prefix cannot over-read.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use april_util::wire::{ByteReader, ByteWriter};
+    ///
+    /// let mut w = ByteWriter::new();
+    /// w.bytes(&[0xAA, 0xBB]);
+    /// let bytes = w.finish();
+    /// let mut r = ByteReader::new(&bytes);
+    /// assert_eq!(r.bytes().unwrap(), &[0xAA, 0xBB]);
+    /// assert!(r.is_empty());
+    /// ```
     pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
         let at = self.pos;
         let n = self.usize()?;

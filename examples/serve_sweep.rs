@@ -1,0 +1,111 @@
+//! Simulation as a service: an april-serve daemon, a client, and a
+//! warm-started parameter sweep — all in one process.
+//!
+//! The daemon thread binds a Unix socket and waits for work. The
+//! client registers **one** warm image (the contended-sharing workload
+//! booted and run 500 cycles in), then submits a small fault-seed
+//! sweep in which every job *forks* that checkpoint instead of
+//! re-executing the warmup. One job is submitted cold on purpose, with
+//! the same seed as a warm job: the two must come back byte-identical
+//! — the warm-start determinism contract (DESIGN.md §16) demonstrated
+//! over the wire.
+//!
+//! Run with: `cargo run --release --example serve_sweep`
+//!
+//! For the standalone binary equivalent, see README "Running
+//! april-serve": `april-serve daemon` + `april-serve sweep` speak the
+//! same protocol across processes.
+
+use april::serve::{serve, Client, DaemonConfig, FaultSpec, JobSpec, SimSpec, Workload};
+
+const WARM_CYCLES: u64 = 500;
+
+fn spec(seed: u64, warm: Option<u32>) -> JobSpec {
+    JobSpec {
+        sim: SimSpec {
+            radix: 2,
+            dim: 2,
+            workload: Workload::Contended {
+                outer: 60,
+                inner: 0,
+            },
+            ..SimSpec::default()
+        },
+        fault: Some(FaultSpec {
+            seed,
+            drop: 0.01,
+            dup: 0.01,
+            delay: 0.04,
+            max_delay: 40,
+        }),
+        warm,
+        warm_cycles: WARM_CYCLES,
+        max_cycles: 3_000_000,
+        want_trace: false,
+    }
+}
+
+fn main() {
+    let socket = std::env::temp_dir().join(format!("april-serve-demo-{}.sock", std::process::id()));
+    let cfg = DaemonConfig {
+        socket: socket.clone(),
+        threads: 2,
+    };
+    let daemon = std::thread::spawn(move || serve(&cfg));
+
+    let mut client = loop {
+        match Client::connect(&socket, "serve_sweep-example") {
+            Ok(c) => break c,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    };
+    println!(
+        "connected; daemon pool has {} worker thread(s)",
+        client.pool_threads()
+    );
+
+    let info = client
+        .register_warm(1, &spec(0, None).sim, WARM_CYCLES)
+        .expect("warm image");
+    println!(
+        "warm image ready: cut at cycle {}, {} snapshot bytes, built in {:.2} ms",
+        info.cycle,
+        info.snap_bytes,
+        info.build_ns as f64 / 1e6
+    );
+
+    // Jobs 0..4: warm forks across four fault seeds. Job 4: a cold
+    // twin of job 0 (same seed, warmup re-executed from boot).
+    for (id, seed) in [(0u32, 10u64), (1, 11), (2, 12), (3, 13)] {
+        client.submit(id, &spec(seed, Some(1))).expect("submit");
+    }
+    client.submit(4, &spec(10, None)).expect("submit");
+
+    let results = client.collect(5).expect("collect");
+    println!("\n job  warm    cycles  delays  setup ms");
+    for r in &results {
+        let s = r.summary.as_ref().expect("job ran");
+        println!(
+            " {:>3} {:>5} {:>9} {:>7} {:>9.3}",
+            r.job_id,
+            s.warm_used,
+            s.cycles,
+            s.delays,
+            s.setup_ns as f64 / 1e6
+        );
+    }
+
+    // The determinism contract, over the wire: warm fork == cold boot.
+    assert_eq!(
+        results[0].stats_json, results[4].stats_json,
+        "warm job 0 and its cold twin diverged"
+    );
+    println!("\nwarm fork (job 0) is byte-identical to its cold twin (job 4)");
+
+    let report = client.shutdown(false).expect("shutdown");
+    daemon.join().unwrap().expect("daemon exits cleanly");
+    println!(
+        "daemon exited: {} jobs completed, {} canceled",
+        report.completed, report.canceled
+    );
+}

@@ -29,6 +29,10 @@
 #     latency, throughput, drops, and measured-vs-Section-8-model
 #     utilization per point (the model calibrated once from the
 #     most-saturated point's cycle ledger).
+#   BENCH_serve.json — snapshot warm starts (DESIGN.md §16): median
+#     job-setup time for warm-forked vs cold-booted sweeps (every
+#     warm/cold pair asserted byte-identical), plus an end-to-end run
+#     of the largest sweep through the april-serve daemon.
 #
 # BENCH_SMOKE=1 shrinks the workloads for a fast CI smoke run.
 set -eu
@@ -41,3 +45,4 @@ BENCH_SNAP_OUT="$(pwd)/BENCH_snapshot.json" cargo bench -p april-bench --bench s
 BENCH_REC_OUT="$(pwd)/BENCH_recovery.json" cargo bench -p april-bench --bench recovery
 BENCH_SCALE_OUT="$(pwd)/BENCH_scale.json" cargo bench -p april-bench --bench scale
 BENCH_OPENLOOP_OUT="$(pwd)/BENCH_openloop.json" cargo bench -p april-bench --bench openloop
+BENCH_SERVE_OUT="$(pwd)/BENCH_serve.json" cargo bench -p april-bench --bench serve

@@ -17,7 +17,7 @@ fail() {
     exit 1
 }
 
-for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json BENCH_recovery.json BENCH_scale.json BENCH_openloop.json; do
+for f in BENCH_hotpaths.json BENCH_parallel.json BENCH_snapshot.json BENCH_recovery.json BENCH_scale.json BENCH_openloop.json BENCH_serve.json; do
     [ -f "$f" ] || fail "missing committed baseline $f"
     jq empty "$f" 2>/dev/null || fail "committed baseline $f is malformed JSON"
 done
@@ -57,6 +57,15 @@ jq -e '.calibration.knee as $k
     fail "BENCH_openloop.json has a below-knee point outside the Section 8 model tolerance"
 jq -e '[.points[] | .p999 > 0] | all' BENCH_openloop.json >/dev/null ||
     fail "BENCH_openloop.json has a point with no finite p999 latency"
+jq -e '.sweeps | type == "array" and length > 0' BENCH_serve.json >/dev/null ||
+    fail "BENCH_serve.json has no sweeps array"
+jq -e '[.sweeps[] | .identical_outcomes] | all' BENCH_serve.json >/dev/null ||
+    fail "BENCH_serve.json has a sweep where warm forks diverged from cold boots"
+jq -e '[.sweeps[] | select(.points >= 100 and .setup_speedup >= 3)] | length >= 1' \
+    BENCH_serve.json >/dev/null ||
+    fail "BENCH_serve.json shows no >=100-point sweep with a >=3x warm-start setup speedup"
+jq -e '.daemon.all_warm == true and .daemon.points >= 1' BENCH_serve.json >/dev/null ||
+    fail "BENCH_serve.json daemon section did not run warm-started jobs"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -74,8 +83,10 @@ BENCH_SMOKE=1 BENCH_SCALE_OUT="$tmp/scale.json" \
     cargo bench -q -p april-bench --bench scale >/dev/null
 BENCH_SMOKE=1 BENCH_OPENLOOP_OUT="$tmp/openloop.json" \
     cargo bench -q -p april-bench --bench openloop >/dev/null
+BENCH_SMOKE=1 BENCH_SERVE_OUT="$tmp/serve.json" \
+    cargo bench -q -p april-bench --bench serve >/dev/null
 
-for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json" "$tmp/recovery.json" "$tmp/scale.json" "$tmp/openloop.json"; do
+for f in "$tmp/hotpaths.json" "$tmp/parallel.json" "$tmp/snapshot.json" "$tmp/recovery.json" "$tmp/scale.json" "$tmp/openloop.json" "$tmp/serve.json"; do
     [ -f "$f" ] || fail "bench run produced no $(basename "$f")"
     jq empty "$f" 2>/dev/null || fail "bench output $(basename "$f") is malformed JSON"
 done
@@ -198,6 +209,23 @@ jq -r '.points[] | "\(.mean_gap) \(.p999) \(.measured_util)"' "$tmp/openloop.jso
     done
 echo "  (committed knee: $(jq -r '.calibration.knee' BENCH_openloop.json);" \
     "fresh knee: $(jq -r '.calibration.knee' "$tmp/openloop.json"))"
+
+jq -e '[.sweeps[] | .identical_outcomes] | all' "$tmp/serve.json" >/dev/null ||
+    fail "fresh serve run has a sweep where warm forks diverged from cold boots"
+
+echo
+echo "serve: warm-start setup speedup per sweep size, fresh smoke vs committed baseline"
+jq -r '.sweeps[] | "\(.points) \(.setup_speedup) \(.warm_setup_ms_median)"' "$tmp/serve.json" |
+    while read -r points fresh warmms; do
+        base=$(jq -r --argjson p "$points" \
+            '.sweeps[] | select(.points == $p) | .setup_speedup // empty' \
+            BENCH_serve.json)
+        if [ -z "$base" ]; then
+            echo "  $points points: no committed baseline (different sweep grid)"
+        else
+            echo "  $points points: ${fresh}x vs ${base}x ($(pct "$fresh" "$base")), warm setup ${warmms} ms"
+        fi
+    done
 
 echo
 echo "check_bench: report complete (deltas are informational; only JSON health gates)."

@@ -27,7 +27,7 @@ slug() {
         sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g'
 }
 
-docs="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md CHANGES.md"
+docs="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md CHANGES.md PROTOCOL.md"
 
 echo "== markdown links =="
 for doc in $docs; do

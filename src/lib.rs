@@ -22,6 +22,9 @@
 //! * [`obs`] — the observability layer: structured event
 //!   tracing (JSONL / Chrome `trace_event` exports) and the metrics
 //!   registry snapshot, deterministic across all three schedulers.
+//! * [`serve`] — simulation as a service: the april-serve daemon,
+//!   its Unix-socket wire protocol (PROTOCOL.md), and snapshot warm
+//!   starts that fork one registered checkpoint per sweep job.
 //!
 //! # Quick start
 //!
@@ -53,3 +56,4 @@ pub use april_mult as mult;
 pub use april_net as net;
 pub use april_obs as obs;
 pub use april_runtime as runtime;
+pub use april_serve as serve;
